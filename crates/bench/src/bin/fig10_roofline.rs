@@ -1,0 +1,19 @@
+//! Fig. 10: roofline of the computational kernels on the V100.
+use omen_bench::{header, row};
+use omen_perf::{attainable, is_compute_bound, paper_kernels, SimParams, V100};
+
+fn main() {
+    println!("Fig. 10: Roofline model of the computational kernels (V100, L2-resident)\n");
+    let p = SimParams::large(21);
+    let ks = paper_kernels(p.block_size() as usize, p.norb);
+    let w = [10, 18, 18, 16];
+    header(&["Kernel", "OI [flop/byte]", "Attainable", "Regime"], &w);
+    for k in &ks {
+        row(&[k.name.into(),
+            format!("{:.2}", k.intensity),
+            format!("{:.2} Tflop/s", attainable(&V100, k, true) / 1e12),
+            if is_compute_bound(&V100, k, true) { "compute-bound".into() } else { "memory-bound".into() }], &w);
+    }
+    println!("\npaper: RGF on the DP compute ceiling; SSE-64 on the L2 bandwidth slope;");
+    println!("       SSE-16 gains from 4x smaller elements but stays bandwidth-limited");
+}

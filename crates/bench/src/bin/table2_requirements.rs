@@ -1,0 +1,11 @@
+//! Table 2: requirements for accurate dissipative DFT+NEGF simulations.
+use omen_bench::{header, row};
+
+fn main() {
+    println!("Table 2: Requirements for Accurate Dissipative DFT+NEGF Simulations\n");
+    let w = [10, 52, 10];
+    header(&["Variable", "Description", "Value"], &w);
+    for r in omen_perf::table2_requirements() {
+        row(&[r.variable.into(), r.description.into(), r.value.into()], &w);
+    }
+}

@@ -1,0 +1,45 @@
+//! Table 8: the RGF three-matrix product F[n] @ gR[n+1] @ E[n+1] computed
+//! three ways (dense/dense, CSRMM2+GEMMI, CSRMM2+CSRMM2).
+use omen_bench::{header, rgf_like_blocks, row, timed_min};
+use omen_linalg::{csrmm, gemm, gemmi, CMatrix, CscMatrix, CsrMatrix, Op, C64};
+
+fn main() {
+    println!("Table 8: 3-Matrix Multiplication Performance (F @ gR @ E)\n");
+    let n = 384;
+    let density = 0.06;
+    let (f_dense, gr) = rgf_like_blocks(n, density, 11);
+    let (e_dense, _) = rgf_like_blocks(n, density, 23);
+    let f_csr = CsrMatrix::from_dense(&f_dense, 0.0);
+    let e_csr = CsrMatrix::from_dense(&e_dense, 0.0);
+    let e_csc = CscMatrix::from_dense(&e_dense, 0.0);
+    let mut t1 = CMatrix::zeros(n, n);
+    let mut t2 = CMatrix::zeros(n, n);
+    let reps = 5;
+
+    // 1. GEMM/GEMM.
+    let t_gg = timed_min(reps, || {
+        gemm(C64::ONE, &f_dense, Op::N, &gr, Op::N, C64::ZERO, &mut t1);
+        gemm(C64::ONE, &t1, Op::N, &e_dense, Op::N, C64::ZERO, &mut t2);
+    });
+    // 2. CSRMM2(TN on E)/GEMMI: (E^T^T)… stage E@? as in §7.1.4: first
+    //    E' = (E_csr^T … ) — we reproduce the paper's second approach:
+    //    intermediate = csrmm(E^T, gR^T)…; simplified to one csrmm + gemmi.
+    let t_cg = timed_min(reps, || {
+        csrmm(C64::ONE, &f_csr, Op::N, &gr, C64::ZERO, &mut t1);
+        gemmi(C64::ONE, &t1, &e_csc, C64::ZERO, &mut t2);
+    });
+    // 3. CSRMM2/CSRMM2: F@gR with CSR, then (E^T @ (F gR)^T)^T via NT-style
+    //    second sparse multiply — here: two sparse-left multiplies.
+    let t_cc = timed_min(reps, || {
+        csrmm(C64::ONE, &f_csr, Op::N, &gr, C64::ZERO, &mut t1);
+        // (t1 · E) = (E^T · t1^T)^T: use CSR(E)^T on the left.
+        csrmm(C64::ONE, &e_csr, Op::T, &t1, C64::ZERO, &mut t2);
+    });
+
+    let w = [22, 12];
+    header(&["Approach", "Time [ms]"], &w);
+    row(&["GEMM/GEMM".into(), format!("{:.3}", t_gg * 1e3)], &w);
+    row(&["CSRMM2/GEMMI".into(), format!("{:.3}", t_cg * 1e3)], &w);
+    row(&["CSRMM2/CSRMM2".into(), format!("{:.3}", t_cc * 1e3)], &w);
+    println!("\npaper (V100): 116.9 / 67.9 / 12.0 ms — sparse/sparse wins by 5.1-9.7x over dense");
+}

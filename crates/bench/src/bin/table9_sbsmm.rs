@@ -1,0 +1,46 @@
+//! Table 9: strided-batched small-matrix multiplication — padded
+//! vendor-style batched GEMM vs the specialized SBSMM vs f16 split-complex.
+use omen_bench::{header, row, timed_min};
+use omen_linalg::{
+    sbsmm, sbsmm_f16, sbsmm_padded, BatchDims, Normalization, SplitF16Batch, Strides, C64,
+};
+
+fn main() {
+    println!("Table 9: Strided Matrix Multiplication Performance (12x12 batch)\n");
+    let dims = BatchDims::square(12);
+    let s = Strides::packed(dims);
+    let batch = 4096;
+    let mk = |seed: usize| -> Vec<C64> {
+        (0..batch * s.a)
+            .map(|i| omen_linalg::c64(((i * 7 + seed) as f64).sin() * 1e-3, ((i * 3) as f64).cos() * 1e-3))
+            .collect()
+    };
+    let a = mk(1);
+    let b = mk(2);
+    let mut c = vec![C64::ZERO; batch * s.c];
+    let reps = 5;
+    let useful = dims.flops() as f64 * batch as f64;
+
+    let t_pad = timed_min(reps, || {
+        sbsmm_padded(dims, batch, C64::ONE, &a, &b, C64::ZERO, &mut c, s, 16)
+    });
+    let t_spec = timed_min(reps, || {
+        sbsmm(dims, batch, C64::ONE, &a, &b, C64::ZERO, &mut c, s)
+    });
+    let a16 = SplitF16Batch::from_c64(&a, Normalization::PerTensor);
+    let b16 = SplitF16Batch::from_c64(&b, Normalization::PerTensor);
+    let t_f16 = timed_min(reps, || {
+        c.fill(C64::ZERO);
+        sbsmm_f16(dims, batch, &a16, &b16, &mut c, s)
+    });
+
+    let w = [24, 12, 16, 14];
+    header(&["Kernel", "Time [ms]", "Useful Gflop/s", "vs padded"], &w);
+    let performed_pad = omen_linalg::batched::padded_flops(16, batch) as f64;
+    row(&["padded batched (cuBLAS-like)".into(), format!("{:.3}", t_pad * 1e3), format!("{:.2}", useful / t_pad / 1e9), "1.00x".into()], &w);
+    row(&["SBSMM (specialized)".into(), format!("{:.3}", t_spec * 1e3), format!("{:.2}", useful / t_spec / 1e9), format!("{:.2}x", t_pad / t_spec)], &w);
+    row(&["SBSMM-16 (split-complex)".into(), format!("{:.3}", t_f16 * 1e3), format!("{:.2}", useful / t_f16 / 1e9), format!("{:.2}x", t_pad / t_f16)], &w);
+    println!("\nuseful fraction of the padded kernel: {:.1}% (paper: ~6-7% useful on cuBLAS)", useful / performed_pad * 100.0);
+    println!("paper (V100): cuBLAS 4.62 ms vs SBSMM 0.70 ms (5.76x); Tensor-Core f16 0.13 ms (31x)");
+    println!("shape target: specialized beats padded by the padding ratio; f16 emulation trades storage, not speed, on CPU");
+}

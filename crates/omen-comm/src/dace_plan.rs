@@ -1,0 +1,450 @@
+//! The data-centric (DaCe) SSE communication scheme (§5.2, Fig. 5 right).
+//!
+//! The SSE map is re-tiled by atom position × energy window. Exactly
+//! **four** `Alltoallv` collectives move the data, once per tensor:
+//!
+//! 1. `G^≷` from the GF-phase `(kz, E)` owners to atom×energy tiles
+//!    (each tile receives its atoms + neighbor halo, its energies ± `Nω`
+//!    halo, all momenta);
+//! 2. `D^≷` from phonon owners to tiles (local pairs, reverse pairs, and
+//!    the touched diagonals);
+//! 3. `Σ^≷` from tiles back to `(kz, E)` owners;
+//! 4. `Π^≷` partials from tiles to phonon owners (summed at destination).
+//!
+//! No `G` row is ever replicated per `(qz, ω)` round — the asymptotic
+//! volume reduction of Tables 4–5.
+
+use crate::mpi_sim::{run_world, Comm};
+use crate::plan_common::{assemble, initial_d, initial_g, PlanResult, RankSse};
+use crate::sse_state::{LocalD, LocalG};
+use crate::topology::{DaceTiling, OmenGrid};
+use crate::volume::VolumeLedger;
+use omen_linalg::C64;
+use omen_sse::{pi_round_update, sigma_round_update_atoms, DTensor, GTensor, SseProblem};
+use std::collections::BTreeSet;
+
+/// Sorted atoms of tile `ia` plus the neighbor halo (the `c ≤ Nb` extra
+/// atoms of §6.1.2).
+pub fn tile_atoms_with_halo(prob: &SseProblem, tiling: &DaceTiling, ia: usize) -> Vec<usize> {
+    let (lo, hi) = tiling.atom_range(ia);
+    let mut set: BTreeSet<usize> = (lo..hi).collect();
+    for a in lo..hi {
+        for (_, b) in prob.pairs_of(a) {
+            set.insert(b);
+        }
+    }
+    set.into_iter().collect()
+}
+
+/// Sorted `D`-tensor entries tile `ia` needs: its atoms' pairs, their
+/// reverse pairs, and the diagonals of local + halo atoms.
+pub fn tile_d_entries(prob: &SseProblem, tiling: &DaceTiling, ia: usize) -> Vec<usize> {
+    let (lo, hi) = tiling.atom_range(ia);
+    let np = prob.npairs();
+    let mut set = BTreeSet::new();
+    for a in lo..hi {
+        set.insert(np + a);
+        for (p, b) in prob.pairs_of(a) {
+            set.insert(p);
+            set.insert(prob.rev_pair[p]);
+            set.insert(np + b);
+        }
+    }
+    set.into_iter().collect()
+}
+
+/// Sorted entries tile `ia` *produces* for `Π^≷`: its atoms' pairs and
+/// diagonals.
+pub fn tile_pi_entries(prob: &SseProblem, tiling: &DaceTiling, ia: usize) -> Vec<usize> {
+    let (lo, hi) = tiling.atom_range(ia);
+    let np = prob.npairs();
+    let mut set = BTreeSet::new();
+    for a in lo..hi {
+        set.insert(np + a);
+        for (p, _) in prob.pairs_of(a) {
+            set.insert(p);
+        }
+    }
+    set.into_iter().collect()
+}
+
+/// Executes the data-centric SSE on `tiling.nranks()` simulated ranks.
+/// `grid` describes where the GF phase left `G^≷`/`D^≷` (pair owners);
+/// it must have the same rank count as the tiling.
+pub fn run_dace_plan(
+    prob: &SseProblem,
+    g_l: &GTensor,
+    g_g: &GTensor,
+    d_l: &DTensor,
+    d_g: &DTensor,
+    grid: &OmenGrid,
+    tiling: &DaceTiling,
+) -> (PlanResult, VolumeLedger) {
+    assert_eq!(
+        grid.nranks(),
+        tiling.nranks(),
+        "source and tile decompositions must share the world"
+    );
+    let nranks = tiling.nranks();
+    let ledger = VolumeLedger::new(nranks);
+    let bsz = prob.norb() * prob.norb();
+    let na = prob.na();
+    let nentries = prob.npairs() + na;
+
+    let outputs = run_world(nranks, ledger.clone(), |comm: Comm| {
+        let me = comm.rank();
+        let (gl_own, gg_own) = initial_g(prob, grid, me, g_l, g_g);
+        let (dl_own, dg_own) = initial_d(prob, grid, me, d_l, d_g);
+        let (my_ia, my_ie) = tiling.tile_of(me);
+        let my_atom_list: Vec<usize> = {
+            let (lo, hi) = tiling.atom_range(my_ia);
+            (lo..hi).collect()
+        };
+        let my_atoms_halo = tile_atoms_with_halo(prob, tiling, my_ia);
+        let (e_lo, e_hi) = tiling.energy_range(my_ie);
+        let (h_lo, h_hi) = tiling.energy_range_halo(my_ie, prob.nw);
+
+        // ---- Alltoall #1: G^≷ to tiles ----
+        let my_owned = grid.owned_pairs(me);
+        let sendbufs: Vec<Vec<C64>> = (0..nranks)
+            .map(|t| {
+                let (ta_t, te_t) = tiling.tile_of(t);
+                let (tl, th) = tiling.energy_range_halo(te_t, prob.nw);
+                let atoms = tile_atoms_with_halo(prob, tiling, ta_t);
+                let mut buf = Vec::new();
+                for &(k, e) in &my_owned {
+                    if e >= tl && e < th {
+                        for &a in &atoms {
+                            buf.extend_from_slice(gl_own.get_block(k, e, a));
+                        }
+                        for &a in &atoms {
+                            buf.extend_from_slice(gg_own.get_block(k, e, a));
+                        }
+                    }
+                }
+                buf
+            })
+            .collect();
+        let got = comm.alltoallv(1, sendbufs);
+        let mut tile_gl = LocalG::new(na, bsz);
+        let mut tile_gg = LocalG::new(na, bsz);
+        for (s, buf) in got.iter().enumerate() {
+            let mut off = 0;
+            for (k, e) in grid.owned_pairs(s) {
+                if e >= h_lo && e < h_hi {
+                    for &a in &my_atoms_halo {
+                        tile_gl.insert_block(k, e, a, &buf[off..off + bsz]);
+                        off += bsz;
+                    }
+                    for &a in &my_atoms_halo {
+                        tile_gg.insert_block(k, e, a, &buf[off..off + bsz]);
+                        off += bsz;
+                    }
+                }
+            }
+            assert_eq!(off, buf.len(), "G unpack mismatch from rank {s}");
+        }
+
+        // ---- Alltoall #2: D^≷ to tiles ----
+        let my_phonon_points: Vec<(usize, usize)> = (0..prob.nq)
+            .flat_map(|q| (0..prob.nw).map(move |m| (q, m)))
+            .filter(|&(q, m)| grid.owner_phonon(q, m, prob.nw) == me)
+            .collect();
+        let sendbufs: Vec<Vec<C64>> = (0..nranks)
+            .map(|t| {
+                let (ta_t, _) = tiling.tile_of(t);
+                let entries = tile_d_entries(prob, tiling, ta_t);
+                let mut buf = Vec::new();
+                for &(q, m) in &my_phonon_points {
+                    for &en in &entries {
+                        buf.extend_from_slice(dl_own.get_block(q, m, en));
+                    }
+                    for &en in &entries {
+                        buf.extend_from_slice(dg_own.get_block(q, m, en));
+                    }
+                }
+                buf
+            })
+            .collect();
+        let got = comm.alltoallv(2, sendbufs);
+        let my_d_entries = tile_d_entries(prob, tiling, my_ia);
+        let mut tile_dl = LocalD::new(nentries);
+        let mut tile_dg = LocalD::new(nentries);
+        for (s, buf) in got.iter().enumerate() {
+            let mut off = 0;
+            for q in 0..prob.nq {
+                for m in 0..prob.nw {
+                    if grid.owner_phonon(q, m, prob.nw) == s {
+                        for &en in &my_d_entries {
+                            tile_dl.insert_block(q, m, en, &buf[off..off + 9]);
+                            off += 9;
+                        }
+                        for &en in &my_d_entries {
+                            tile_dg.insert_block(q, m, en, &buf[off..off + 9]);
+                            off += 9;
+                        }
+                    }
+                }
+            }
+            assert_eq!(off, buf.len(), "D unpack mismatch from rank {s}");
+        }
+
+        // ---- local compute: Σ^≷ for (my atoms × my energies × all k) ----
+        let nloc = my_atom_list.len();
+        let mut sig_l = vec![C64::ZERO; prob.nk * (e_hi - e_lo) * nloc * bsz];
+        let mut sig_g = vec![C64::ZERO; prob.nk * (e_hi - e_lo) * nloc * bsz];
+        let my_pairs: Vec<usize> = my_atom_list
+            .iter()
+            .flat_map(|&a| prob.pairs_of(a).map(|(p, _)| p))
+            .collect();
+        let mut pi_partial_l = vec![C64::ZERO; nentries * 9];
+        let mut pi_partial_g = vec![C64::ZERO; nentries * 9];
+        // Π is accumulated per (q, m) into separate rows.
+        let mut pi_rows: std::collections::BTreeMap<(usize, usize), (Vec<C64>, Vec<C64>)> =
+            std::collections::BTreeMap::new();
+
+        for q in 0..prob.nq {
+            for m in 0..prob.nw {
+                pi_partial_l.fill(C64::ZERO);
+                pi_partial_g.fill(C64::ZERO);
+                for k in 0..prob.nk {
+                    for e in e_lo..e_hi {
+                        let off = ((k * (e_hi - e_lo)) + (e - e_lo)) * nloc * bsz;
+                        sigma_round_update_atoms(
+                            prob,
+                            q,
+                            m,
+                            k,
+                            e,
+                            &tile_gl,
+                            &tile_gg,
+                            &tile_dl,
+                            &tile_dg,
+                            &my_atom_list,
+                            &mut sig_l[off..off + nloc * bsz],
+                            &mut sig_g[off..off + nloc * bsz],
+                        );
+                        for (p, c_l, c_g) in
+                            pi_round_update(prob, q, m, k, e, &tile_gl, &tile_gg, &my_pairs)
+                        {
+                            let a = prob.device.neighbors.pairs[p].from;
+                            let de = prob.npairs() + a;
+                            for x in 0..9 {
+                                pi_partial_l[p * 9 + x] += c_l[x];
+                                pi_partial_l[de * 9 + x] += c_l[x];
+                                pi_partial_g[p * 9 + x] += c_g[x];
+                                pi_partial_g[de * 9 + x] += c_g[x];
+                            }
+                        }
+                    }
+                }
+                pi_rows.insert((q, m), (pi_partial_l.clone(), pi_partial_g.clone()));
+            }
+        }
+
+        // ---- Alltoall #3: Σ^≷ back to pair owners ----
+        let sendbufs: Vec<Vec<C64>> = (0..nranks)
+            .map(|t| {
+                let mut buf = Vec::new();
+                for (k, e) in grid.owned_pairs(t) {
+                    if e >= e_lo && e < e_hi {
+                        let off = ((k * (e_hi - e_lo)) + (e - e_lo)) * nloc * bsz;
+                        buf.extend_from_slice(&sig_l[off..off + nloc * bsz]);
+                        buf.extend_from_slice(&sig_g[off..off + nloc * bsz]);
+                    }
+                }
+                buf
+            })
+            .collect();
+        let got = comm.alltoallv(3, sendbufs);
+        let mut sigma_out: std::collections::BTreeMap<(usize, usize), (Vec<C64>, Vec<C64>)> =
+            my_owned
+                .iter()
+                .map(|&p| (p, (vec![C64::ZERO; na * bsz], vec![C64::ZERO; na * bsz])))
+                .collect();
+        for (s, buf) in got.iter().enumerate() {
+            let (ta_s, te_s) = tiling.tile_of(s);
+            let (sl, sh) = tiling.energy_range(te_s);
+            let (alo, ahi) = tiling.atom_range(ta_s);
+            let nsrc = ahi - alo;
+            let mut off = 0;
+            for &(k, e) in &my_owned {
+                if e >= sl && e < sh {
+                    let (row_l, row_g) = sigma_out.get_mut(&(k, e)).unwrap();
+                    for (x, a) in (alo..ahi).enumerate() {
+                        row_l[a * bsz..(a + 1) * bsz]
+                            .copy_from_slice(&buf[off + x * bsz..off + (x + 1) * bsz]);
+                    }
+                    off += nsrc * bsz;
+                    for (x, a) in (alo..ahi).enumerate() {
+                        row_g[a * bsz..(a + 1) * bsz]
+                            .copy_from_slice(&buf[off + x * bsz..off + (x + 1) * bsz]);
+                    }
+                    off += nsrc * bsz;
+                }
+            }
+            assert_eq!(off, buf.len(), "Σ unpack mismatch from rank {s}");
+        }
+
+        // ---- Alltoall #4: Π^≷ partials to phonon owners ----
+        let my_pi_entries = tile_pi_entries(prob, tiling, my_ia);
+        let sendbufs: Vec<Vec<C64>> = (0..nranks)
+            .map(|t| {
+                let mut buf = Vec::new();
+                for q in 0..prob.nq {
+                    for m in 0..prob.nw {
+                        if grid.owner_phonon(q, m, prob.nw) == t {
+                            let (row_l, row_g) = &pi_rows[&(q, m)];
+                            for &en in &my_pi_entries {
+                                buf.extend_from_slice(&row_l[en * 9..en * 9 + 9]);
+                            }
+                            for &en in &my_pi_entries {
+                                buf.extend_from_slice(&row_g[en * 9..en * 9 + 9]);
+                            }
+                        }
+                    }
+                }
+                buf
+            })
+            .collect();
+        let got = comm.alltoallv(4, sendbufs);
+        let mut pi_dest = LocalD::new(nentries);
+        let mut pi_dest_g = LocalD::new(nentries);
+        for (s, buf) in got.iter().enumerate() {
+            let (ta_s, _) = tiling.tile_of(s);
+            let entries = tile_pi_entries(prob, tiling, ta_s);
+            let mut off = 0;
+            for &(q, m) in &my_phonon_points {
+                for &en in &entries {
+                    pi_dest.add_block(q, m, en, &buf[off..off + 9]);
+                    off += 9;
+                }
+                for &en in &entries {
+                    pi_dest_g.add_block(q, m, en, &buf[off..off + 9]);
+                    off += 9;
+                }
+            }
+            assert_eq!(off, buf.len(), "Π unpack mismatch from rank {s}");
+        }
+        let pi_out: Vec<((usize, usize), Vec<C64>, Vec<C64>)> = my_phonon_points
+            .iter()
+            .map(|&(q, m)| {
+                let row_l: Vec<C64> = (0..nentries)
+                    .flat_map(|en| pi_dest.get_block(q, m, en).to_vec())
+                    .collect();
+                let row_g: Vec<C64> = (0..nentries)
+                    .flat_map(|en| pi_dest_g.get_block(q, m, en).to_vec())
+                    .collect();
+                ((q, m), row_l, row_g)
+            })
+            .collect();
+
+        RankSse {
+            sigma: sigma_out
+                .into_iter()
+                .map(|((k, e), (l, g))| ((k, e), l, g))
+                .collect(),
+            pi: pi_out,
+        }
+    });
+
+    (assemble(prob, outputs), ledger)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::omen_plan::run_omen_plan;
+    use crate::volume::OpKind;
+    use omen_sse::testutil::{random_inputs, tiny_device};
+    use omen_sse::sse_reference;
+
+    #[test]
+    fn dace_plan_matches_reference() {
+        let dev = tiny_device();
+        let prob = SseProblem::new(&dev, 2, 6, 2, 2, 1.0, 1.0);
+        let (gl, gg, dl, dg) = random_inputs(&prob, 55);
+        let reference = sse_reference(&prob, &gl, &gg, &dl, &dg);
+        let grid = OmenGrid::new(2, 3, prob.nk, prob.ne);
+        let tiling = DaceTiling::new(3, 2, prob.na(), prob.ne);
+        let (result, ledger) = run_dace_plan(&prob, &gl, &gg, &dl, &dg, &grid, &tiling);
+
+        let ds = result.sigma_l.max_deviation(&reference.sigma_l)
+            / reference.sigma_l.max_abs().max(1e-300);
+        assert!(ds < 1e-10, "Σ< deviation {ds}");
+        let dsg = result.sigma_g.max_deviation(&reference.sigma_g)
+            / reference.sigma_g.max_abs().max(1e-300);
+        assert!(dsg < 1e-10, "Σ> deviation {dsg}");
+        let dp =
+            result.pi_l.max_deviation(&reference.pi_l) / reference.pi_l.max_abs().max(1e-300);
+        assert!(dp < 1e-10, "Π< deviation {dp}");
+        let dpg =
+            result.pi_g.max_deviation(&reference.pi_g) / reference.pi_g.max_abs().max(1e-300);
+        assert!(dpg < 1e-10, "Π> deviation {dpg}");
+
+        // Exactly four Alltoallv collectives, nothing else.
+        assert_eq!(ledger.calls(OpKind::Alltoall), 4);
+        assert_eq!(ledger.calls(OpKind::Bcast), 0);
+        assert_eq!(ledger.calls(OpKind::Reduce), 0);
+        assert_eq!(ledger.calls(OpKind::PointToPoint), 0);
+    }
+
+    #[test]
+    fn dace_volume_beats_omen() {
+        // With enough (q, m) rounds the OMEN replication dwarfs the
+        // one-time DaCe redistribution.
+        let dev = tiny_device();
+        let prob = SseProblem::new(&dev, 2, 10, 2, 3, 1.0, 1.0);
+        let (gl, gg, dl, dg) = random_inputs(&prob, 21);
+        let grid = OmenGrid::new(2, 3, prob.nk, prob.ne);
+        let tiling = DaceTiling::new(3, 2, prob.na(), prob.ne);
+        let (res_o, ledger_o) = run_omen_plan(&prob, &gl, &gg, &dl, &dg, &grid);
+        let (res_d, ledger_d) = run_dace_plan(&prob, &gl, &gg, &dl, &dg, &grid, &tiling);
+        // Same answer…
+        let dev_sig = res_d.sigma_l.max_deviation(&res_o.sigma_l)
+            / res_o.sigma_l.max_abs().max(1e-300);
+        assert!(dev_sig < 1e-10);
+        // …at a fraction of the traffic.
+        let vo = ledger_o.total_bytes();
+        let vd = ledger_d.total_bytes();
+        assert!(
+            vd * 2 < vo,
+            "DaCe volume {vd} should be well below OMEN volume {vo}"
+        );
+        // And with constant invocation count (4) vs O(Nq·Nω·…).
+        assert!(ledger_o.total_calls() > ledger_d.total_calls() * 5);
+    }
+
+    #[test]
+    fn entry_sets_are_consistent() {
+        let dev = tiny_device();
+        let prob = SseProblem::new(&dev, 2, 6, 2, 2, 1.0, 1.0);
+        let tiling = DaceTiling::new(4, 1, prob.na(), prob.ne);
+        for ia in 0..4 {
+            let atoms = tile_atoms_with_halo(&prob, &tiling, ia);
+            let (lo, hi) = tiling.atom_range(ia);
+            // Halo includes the tile itself.
+            for a in lo..hi {
+                assert!(atoms.contains(&a));
+            }
+            // Sorted and unique.
+            for w in atoms.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            // D entries cover every pair of every tile atom and its rev.
+            let entries = tile_d_entries(&prob, &tiling, ia);
+            for a in lo..hi {
+                for (p, b) in prob.pairs_of(a) {
+                    assert!(entries.contains(&p));
+                    assert!(entries.contains(&prob.rev_pair[p]));
+                    assert!(entries.contains(&(prob.npairs() + b)));
+                }
+            }
+            // Π entries are a subset of D entries (pairs + own diags).
+            let pi_entries = tile_pi_entries(&prob, &tiling, ia);
+            for en in &pi_entries {
+                assert!(entries.contains(en));
+            }
+        }
+    }
+}

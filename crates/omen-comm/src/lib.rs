@@ -1,0 +1,27 @@
+//! # omen-comm
+//!
+//! The distribution layer of the reproduction: a simulated MPI runtime
+//! (rank threads + channels) with byte-exact volume accounting, the two
+//! SSE communication schemes of the paper (OMEN's round-based replication
+//! vs the data-centric four-Alltoallv redistribution), an analytic network
+//! time model, and the data-ingestion staging path.
+
+pub mod dace_plan;
+pub mod mpi_sim;
+pub mod netmodel;
+pub mod omen_plan;
+pub mod plan_common;
+pub mod sse_state;
+pub mod staging;
+pub mod topology;
+pub mod volume;
+
+pub use dace_plan::{run_dace_plan, tile_atoms_with_halo, tile_d_entries, tile_pi_entries};
+pub use mpi_sim::{payload_bytes, run_world, Comm};
+pub use netmodel::Network;
+pub use omen_plan::run_omen_plan;
+pub use plan_common::{CombinedG, PlanResult, RankSse};
+pub use sse_state::{LocalD, LocalG};
+pub use staging::{pack_bytes, stage_material, unpack_bytes, StagingModel};
+pub use topology::{split_range, DaceTiling, OmenGrid};
+pub use volume::{OpKind, VolumeLedger};

@@ -1,0 +1,270 @@
+//! The OMEN SSE communication scheme (§6.1.2, Fig. 5 left).
+//!
+//! `Nqz · Nω` rounds; in each round `(qz, ω)`:
+//!
+//! 1. the phonon owner **broadcasts** `D^≷(qz, ω)` to all ranks;
+//! 2. every rank **sends/receives point-to-point** the `G^≷(kz−qz, E∓ω)`
+//!    and `G^≷(kz+qz, E+ω)` rows its local pairs require;
+//! 3. partial `Π^≷(qz, ω)` contributions are **reduced** to the owner.
+//!
+//! Every `G` row is replicated `O(Nqz·Nω)` times over the iteration — the
+//! multiplicative communication volume the data-centric variant removes.
+
+use crate::mpi_sim::{run_world, Comm};
+use crate::plan_common::{assemble, initial_d, initial_g, CombinedG, PlanResult, RankSse};
+use crate::sse_state::{LocalD, LocalG};
+use crate::topology::OmenGrid;
+use crate::volume::VolumeLedger;
+use omen_linalg::C64;
+use omen_sse::{pi_round_update, sigma_round_update, DTensor, GTensor, SseProblem};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The `(k', e')` rows rank `r` must fetch in round `(q, m)`, excluding
+/// rows it already owns. Deterministic: senders evaluate it for their
+/// peers.
+fn needed_points(
+    prob: &SseProblem,
+    grid: &OmenGrid,
+    rank: usize,
+    q: usize,
+    m: usize,
+) -> BTreeSet<(usize, usize)> {
+    let steps = m + 1;
+    let mut need = BTreeSet::new();
+    for (k, e) in grid.owned_pairs(rank) {
+        let kk = prob.k_minus_q(k, q);
+        let kq = prob.k_plus_q(k, q);
+        if e >= steps {
+            need.insert((kk, e - steps));
+        }
+        if e + steps < prob.ne {
+            need.insert((kk, e + steps));
+            need.insert((kq, e + steps));
+        }
+    }
+    need.retain(|&(k, e)| grid.owner_pair(k, e) != rank);
+    need
+}
+
+/// Executes the OMEN-decomposed SSE on `grid.nranks()` simulated ranks and
+/// returns the assembled self-energies plus the byte ledger.
+pub fn run_omen_plan(
+    prob: &SseProblem,
+    g_l: &GTensor,
+    g_g: &GTensor,
+    d_l: &DTensor,
+    d_g: &DTensor,
+    grid: &OmenGrid,
+) -> (PlanResult, VolumeLedger) {
+    let nranks = grid.nranks();
+    let ledger = VolumeLedger::new(nranks);
+    let bsz = prob.norb() * prob.norb();
+    let na = prob.na();
+    let nentries = prob.npairs() + na;
+    let all_pairs: Vec<usize> = (0..prob.npairs()).collect();
+
+    let outputs = run_world(nranks, ledger.clone(), |comm: Comm| {
+        let me = comm.rank();
+        let (gl_own, gg_own) = initial_g(prob, grid, me, g_l, g_g);
+        let (dl_own, dg_own) = initial_d(prob, grid, me, d_l, d_g);
+        let owned = grid.owned_pairs(me);
+
+        // Σ accumulators for owned pairs.
+        let mut sig: BTreeMap<(usize, usize), (Vec<C64>, Vec<C64>)> = owned
+            .iter()
+            .map(|&p| (p, (vec![C64::ZERO; na * bsz], vec![C64::ZERO; na * bsz])))
+            .collect();
+        // Π results for owned phonon points.
+        let mut pi_out: Vec<((usize, usize), Vec<C64>, Vec<C64>)> = Vec::new();
+
+        for q in 0..prob.nq {
+            for m in 0..prob.nw {
+                let round = (q * prob.nw + m) as u64;
+                let base_tag = round * 8;
+                let root = grid.owner_phonon(q, m, prob.nw);
+
+                // --- 1. broadcast D^≷(q, m) ---
+                let mut row_l = if me == root {
+                    (0..nentries)
+                        .flat_map(|en| dl_own.get_block(q, m, en).to_vec())
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let mut row_g = if me == root {
+                    (0..nentries)
+                        .flat_map(|en| dg_own.get_block(q, m, en).to_vec())
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                comm.bcast(root, base_tag, &mut row_l);
+                comm.bcast(root, base_tag + 1, &mut row_g);
+                let mut round_dl = LocalD::new(nentries);
+                let mut round_dg = LocalD::new(nentries);
+                round_dl.insert_row(q, m, row_l);
+                round_dg.insert_row(q, m, row_g);
+
+                // --- 2. point-to-point G^≷ exchange ---
+                // Send phase: what do the peers need from me?
+                for r in 0..comm.size() {
+                    if r == me {
+                        continue;
+                    }
+                    let to_send: Vec<(usize, usize)> = needed_points(prob, grid, r, q, m)
+                        .into_iter()
+                        .filter(|&(k, e)| grid.owner_pair(k, e) == me)
+                        .collect();
+                    if to_send.is_empty() {
+                        continue;
+                    }
+                    let mut buf = Vec::with_capacity(to_send.len() * 2 * na * bsz);
+                    for &(k, e) in &to_send {
+                        for a in 0..na {
+                            buf.extend_from_slice(gl_own.get_block(k, e, a));
+                        }
+                        for a in 0..na {
+                            buf.extend_from_slice(gg_own.get_block(k, e, a));
+                        }
+                    }
+                    comm.send(r, base_tag + 2, buf);
+                }
+                // Receive phase.
+                let myneed = needed_points(prob, grid, me, q, m);
+                let mut extra_l = LocalG::new(na, bsz);
+                let mut extra_g = LocalG::new(na, bsz);
+                let mut by_owner: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
+                for &(k, e) in &myneed {
+                    by_owner.entry(grid.owner_pair(k, e)).or_default().push((k, e));
+                }
+                for (s, points) in &by_owner {
+                    let buf = comm.recv(*s, base_tag + 2);
+                    assert_eq!(buf.len(), points.len() * 2 * na * bsz, "G message size");
+                    for (x, &(k, e)) in points.iter().enumerate() {
+                        let off = x * 2 * na * bsz;
+                        extra_l.insert_row(k, e, buf[off..off + na * bsz].to_vec());
+                        extra_g.insert_row(k, e, buf[off + na * bsz..off + 2 * na * bsz].to_vec());
+                    }
+                }
+                let view_l = CombinedG {
+                    own: &gl_own,
+                    extra: &extra_l,
+                };
+                let view_g = CombinedG {
+                    own: &gg_own,
+                    extra: &extra_g,
+                };
+
+                // --- 3. compute Σ and partial Π ---
+                let mut pi_partial_l = vec![C64::ZERO; nentries * 9];
+                let mut pi_partial_g = vec![C64::ZERO; nentries * 9];
+                for &(k, e) in &owned {
+                    let (acc_l, acc_g) = sig.get_mut(&(k, e)).unwrap();
+                    sigma_round_update(
+                        prob, q, m, k, e, &view_l, &view_g, &round_dl, &round_dg, acc_l, acc_g,
+                    );
+                    for (p, c_l, c_g) in
+                        pi_round_update(prob, q, m, k, e, &view_l, &view_g, &all_pairs)
+                    {
+                        let a = prob.device.neighbors.pairs[p].from;
+                        let de = prob.npairs() + a;
+                        for x in 0..9 {
+                            pi_partial_l[p * 9 + x] += c_l[x];
+                            pi_partial_l[de * 9 + x] += c_l[x];
+                            pi_partial_g[p * 9 + x] += c_g[x];
+                            pi_partial_g[de * 9 + x] += c_g[x];
+                        }
+                    }
+                }
+
+                // --- 4. reduce Π^≷(q, m) to the owner ---
+                comm.reduce_sum(root, base_tag + 3, &mut pi_partial_l);
+                comm.reduce_sum(root, base_tag + 4, &mut pi_partial_g);
+                if me == root {
+                    pi_out.push(((q, m), pi_partial_l, pi_partial_g));
+                }
+            }
+        }
+
+        RankSse {
+            sigma: sig
+                .into_iter()
+                .map(|((k, e), (l, g))| ((k, e), l, g))
+                .collect(),
+            pi: pi_out,
+        }
+    });
+
+    (assemble(prob, outputs), ledger)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::volume::OpKind;
+    use omen_sse::testutil::{random_inputs, tiny_device, tiny_problem};
+    use omen_sse::{sse_reference, GLayout};
+
+    #[test]
+    fn omen_plan_matches_reference() {
+        let dev = tiny_device();
+        let prob = tiny_problem(&dev);
+        let (gl, gg, dl, dg) = random_inputs(&prob, 17);
+        let reference = sse_reference(&prob, &gl, &gg, &dl, &dg);
+        let grid = OmenGrid::new(2, 3, prob.nk, prob.ne);
+        let (result, ledger) = run_omen_plan(&prob, &gl, &gg, &dl, &dg, &grid);
+
+        let ds = result.sigma_l.max_deviation(&reference.sigma_l)
+            / reference.sigma_l.max_abs().max(1e-300);
+        assert!(ds < 1e-10, "Σ< deviation {ds}");
+        let dsg = result.sigma_g.max_deviation(&reference.sigma_g)
+            / reference.sigma_g.max_abs().max(1e-300);
+        assert!(dsg < 1e-10, "Σ> deviation {dsg}");
+        let dp =
+            result.pi_l.max_deviation(&reference.pi_l) / reference.pi_l.max_abs().max(1e-300);
+        assert!(dp < 1e-10, "Π< deviation {dp}");
+        let dpg =
+            result.pi_g.max_deviation(&reference.pi_g) / reference.pi_g.max_abs().max(1e-300);
+        assert!(dpg < 1e-10, "Π> deviation {dpg}");
+
+        // Collective structure: 2 broadcasts + 2 reductions per round.
+        let rounds = (prob.nq * prob.nw) as u64;
+        assert_eq!(ledger.calls(OpKind::Bcast), 2 * rounds);
+        assert_eq!(ledger.calls(OpKind::Reduce), 2 * rounds);
+        assert!(ledger.bytes(OpKind::PointToPoint) > 0, "G replication traffic");
+    }
+
+    #[test]
+    fn single_rank_plan_matches_reference_with_zero_traffic() {
+        let dev = tiny_device();
+        let prob = tiny_problem(&dev);
+        let (gl, gg, dl, dg) = random_inputs(&prob, 4);
+        let reference = sse_reference(&prob, &gl, &gg, &dl, &dg);
+        let grid = OmenGrid::new(1, 1, prob.nk, prob.ne);
+        let (result, ledger) = run_omen_plan(&prob, &gl, &gg, &dl, &dg, &grid);
+        let ds = result.sigma_l.max_deviation(&reference.sigma_l)
+            / reference.sigma_l.max_abs().max(1e-300);
+        assert!(ds < 1e-10);
+        assert_eq!(ledger.total_bytes(), 0, "single rank: all traffic local");
+        let _ = GLayout::PairMajor;
+    }
+
+    #[test]
+    fn volume_grows_with_rounds() {
+        // More (q, m) rounds replicate G more: volume scales ~ Nq·Nω.
+        let dev = tiny_device();
+        let prob_small = omen_sse::SseProblem::new(&dev, 2, 6, 2, 1, 1.0, 1.0);
+        let prob_large = omen_sse::SseProblem::new(&dev, 2, 6, 2, 2, 1.0, 1.0);
+        let (gl, gg, dl1, dg1) = random_inputs(&prob_small, 2);
+        let (_, _, dl2, dg2) = random_inputs(&prob_large, 2);
+        let grid = OmenGrid::new(2, 2, 2, 6);
+        let (_, ledger1) = run_omen_plan(&prob_small, &gl, &gg, &dl1, &dg1, &grid);
+        let (_, ledger2) = run_omen_plan(&prob_large, &gl, &gg, &dl2, &dg2, &grid);
+        assert!(
+            ledger2.bytes(OpKind::PointToPoint) > ledger1.bytes(OpKind::PointToPoint),
+            "doubling Nω must increase P2P volume: {} vs {}",
+            ledger2.bytes(OpKind::PointToPoint),
+            ledger1.bytes(OpKind::PointToPoint)
+        );
+    }
+}

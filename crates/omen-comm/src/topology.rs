@@ -1,0 +1,223 @@
+//! Domain decompositions of the SSE phase (Fig. 5).
+//!
+//! * [`OmenGrid`] — the physics-natural decomposition: a
+//!   `kz × E/tE` process grid owning energy-momentum pairs; phonon points
+//!   round-robin across ranks.
+//! * [`DaceTiling`] — the data-centric decomposition: `Ta` atom tiles ×
+//!   `TE` energy tiles, obtained in the paper by re-tiling the SSE map by
+//!   atom position.
+
+/// The OMEN energy-momentum pair decomposition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OmenGrid {
+    /// Momentum groups (`Nkz` in the paper's full-scale runs).
+    pub gk: usize,
+    /// Energy tiles per momentum group (`NE / tE`).
+    pub ge: usize,
+    /// Electron momentum points.
+    pub nk: usize,
+    /// Electron energy points.
+    pub ne: usize,
+}
+
+impl OmenGrid {
+    /// Creates a `gk × ge` grid for an `nk × ne` point set.
+    pub fn new(gk: usize, ge: usize, nk: usize, ne: usize) -> Self {
+        assert!(gk >= 1 && ge >= 1);
+        assert!(gk <= nk, "more momentum groups than momentum points");
+        assert!(ge <= ne, "more energy tiles than energy points");
+        OmenGrid { gk, ge, nk, ne }
+    }
+
+    /// Total ranks.
+    pub fn nranks(&self) -> usize {
+        self.gk * self.ge
+    }
+
+    /// Energy-tile width (last tile may be short).
+    pub fn tile_e(&self) -> usize {
+        self.ne.div_ceil(self.ge)
+    }
+
+    /// Owner rank of electron pair `(k, e)`.
+    pub fn owner_pair(&self, k: usize, e: usize) -> usize {
+        let kg = k % self.gk;
+        let et = (e / self.tile_e()).min(self.ge - 1);
+        kg * self.ge + et
+    }
+
+    /// Owner rank of phonon point `(q, m)` (round-robin).
+    pub fn owner_phonon(&self, q: usize, m: usize, nw: usize) -> usize {
+        (q * nw + m) % self.nranks()
+    }
+
+    /// All electron pairs owned by `rank`, in deterministic order.
+    pub fn owned_pairs(&self, rank: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for k in 0..self.nk {
+            for e in 0..self.ne {
+                if self.owner_pair(k, e) == rank {
+                    out.push((k, e));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The DaCe atom × energy tiling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DaceTiling {
+    /// Atom tiles.
+    pub ta: usize,
+    /// Energy tiles.
+    pub te: usize,
+    /// Atoms.
+    pub na: usize,
+    /// Energy points.
+    pub ne: usize,
+}
+
+impl DaceTiling {
+    /// Creates a `ta × te` tiling of `na` atoms × `ne` energies.
+    pub fn new(ta: usize, te: usize, na: usize, ne: usize) -> Self {
+        assert!(ta >= 1 && te >= 1);
+        assert!(ta <= na, "more atom tiles than atoms");
+        assert!(te <= ne, "more energy tiles than energies");
+        DaceTiling { ta, te, na, ne }
+    }
+
+    /// Total ranks.
+    pub fn nranks(&self) -> usize {
+        self.ta * self.te
+    }
+
+    /// Rank of tile `(ia, ie)`.
+    pub fn rank_of(&self, ia: usize, ie: usize) -> usize {
+        ia * self.te + ie
+    }
+
+    /// Tile coordinates of `rank`.
+    pub fn tile_of(&self, rank: usize) -> (usize, usize) {
+        (rank / self.te, rank % self.te)
+    }
+
+    /// Atom range `[lo, hi)` of atom-tile `ia` (balanced split).
+    pub fn atom_range(&self, ia: usize) -> (usize, usize) {
+        split_range(self.na, self.ta, ia)
+    }
+
+    /// Energy range `[lo, hi)` of energy-tile `ie`.
+    pub fn energy_range(&self, ie: usize) -> (usize, usize) {
+        split_range(self.ne, self.te, ie)
+    }
+
+    /// Energy range of tile `ie` extended by the stencil halo `nw` on both
+    /// sides (clamped to the grid).
+    pub fn energy_range_halo(&self, ie: usize, nw: usize) -> (usize, usize) {
+        let (lo, hi) = self.energy_range(ie);
+        (lo.saturating_sub(nw), (hi + nw).min(self.ne))
+    }
+
+    /// Owner tile of atom `a`.
+    pub fn atom_tile(&self, a: usize) -> usize {
+        for ia in 0..self.ta {
+            let (lo, hi) = self.atom_range(ia);
+            if a >= lo && a < hi {
+                return ia;
+            }
+        }
+        unreachable!("atom {a} out of range");
+    }
+
+    /// Owner tile of energy `e`.
+    pub fn energy_tile(&self, e: usize) -> usize {
+        for ie in 0..self.te {
+            let (lo, hi) = self.energy_range(ie);
+            if e >= lo && e < hi {
+                return ie;
+            }
+        }
+        unreachable!("energy {e} out of range");
+    }
+}
+
+/// Balanced split of `n` items into `parts`; part `i`'s `[lo, hi)`.
+pub fn split_range(n: usize, parts: usize, i: usize) -> (usize, usize) {
+    let base = n / parts;
+    let rem = n % parts;
+    let lo = i * base + i.min(rem);
+    let len = base + usize::from(i < rem);
+    (lo, lo + len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn omen_grid_partitions_all_pairs() {
+        let g = OmenGrid::new(3, 4, 3, 10);
+        assert_eq!(g.nranks(), 12);
+        let mut seen = vec![false; 3 * 10];
+        for r in 0..g.nranks() {
+            for (k, e) in g.owned_pairs(r) {
+                assert!(!seen[k * 10 + e], "pair ({k},{e}) owned twice");
+                seen[k * 10 + e] = true;
+                assert_eq!(g.owner_pair(k, e), r);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every pair owned");
+    }
+
+    #[test]
+    fn omen_phonon_round_robin_covers_ranks() {
+        let g = OmenGrid::new(2, 2, 2, 8);
+        let mut counts = vec![0usize; 4];
+        for q in 0..2 {
+            for m in 0..4 {
+                counts[g.owner_phonon(q, m, 4)] += 1;
+            }
+        }
+        assert_eq!(counts, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn split_range_covers_without_overlap() {
+        for (n, parts) in [(10, 3), (7, 7), (16, 4), (5, 2)] {
+            let mut covered = 0;
+            for i in 0..parts {
+                let (lo, hi) = split_range(n, parts, i);
+                assert_eq!(lo, covered, "contiguous");
+                covered = hi;
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    fn dace_tiling_maps() {
+        let t = DaceTiling::new(3, 2, 16, 6);
+        assert_eq!(t.nranks(), 6);
+        for a in 0..16 {
+            let ia = t.atom_tile(a);
+            let (lo, hi) = t.atom_range(ia);
+            assert!(a >= lo && a < hi);
+        }
+        for e in 0..6 {
+            let ie = t.energy_tile(e);
+            let (lo, hi) = t.energy_range(ie);
+            assert!(e >= lo && e < hi);
+        }
+        let (r, c) = t.tile_of(t.rank_of(2, 1));
+        assert_eq!((r, c), (2, 1));
+    }
+
+    #[test]
+    fn halo_clamps_at_edges() {
+        let t = DaceTiling::new(1, 3, 4, 9);
+        assert_eq!(t.energy_range(0), (0, 3));
+        assert_eq!(t.energy_range_halo(0, 2), (0, 5));
+        assert_eq!(t.energy_range_halo(2, 2), (4, 9));
+    }
+}

@@ -1,0 +1,158 @@
+//! Energy, momentum, and frequency grids.
+//!
+//! The phonon frequencies are commensurate with the energy grid
+//! (`ℏω_m = (m+1)·dE`) so the `E ± ℏω` stencil of the SSE lands exactly on
+//! energy grid points — the discretization behind the paper's
+//! `E − Nω : E + Nω` stencil (Fig. 6).
+
+/// Uniform electron energy grid.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EnergyGrid {
+    /// First energy (eV).
+    pub e_min: f64,
+    /// Grid spacing (eV).
+    pub de: f64,
+    /// Point count (`NE`).
+    pub ne: usize,
+}
+
+impl EnergyGrid {
+    /// Builds a grid spanning `[e_min, e_max]` with `ne` points.
+    pub fn new(e_min: f64, e_max: f64, ne: usize) -> Self {
+        assert!(ne >= 2, "need at least two energy points");
+        assert!(e_max > e_min, "empty energy window");
+        EnergyGrid {
+            e_min,
+            de: (e_max - e_min) / (ne - 1) as f64,
+            ne,
+        }
+    }
+
+    /// Energy of grid point `ie`.
+    #[inline]
+    pub fn value(&self, ie: usize) -> f64 {
+        debug_assert!(ie < self.ne);
+        self.e_min + self.de * ie as f64
+    }
+
+    /// All energies.
+    pub fn values(&self) -> Vec<f64> {
+        (0..self.ne).map(|ie| self.value(ie)).collect()
+    }
+
+    /// Integration weight of one point: `dE / 2π` (atomic-like units with
+    /// `ℏ = 1`), times spin degeneracy 2.
+    pub fn weight(&self) -> f64 {
+        2.0 * self.de / (2.0 * std::f64::consts::PI)
+    }
+}
+
+/// Periodic momentum grid over `[−π, π)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MomentumGrid {
+    /// Point count (`Nkz`).
+    pub nk: usize,
+}
+
+impl MomentumGrid {
+    /// Builds an `nk`-point grid.
+    pub fn new(nk: usize) -> Self {
+        assert!(nk >= 1);
+        MomentumGrid { nk }
+    }
+
+    /// The `kz` value of index `ik`: `2π·ik/nk − π`.
+    #[inline]
+    pub fn value(&self, ik: usize) -> f64 {
+        debug_assert!(ik < self.nk);
+        2.0 * std::f64::consts::PI * ik as f64 / self.nk as f64 - std::f64::consts::PI
+    }
+
+    /// All momenta.
+    pub fn values(&self) -> Vec<f64> {
+        (0..self.nk).map(|ik| self.value(ik)).collect()
+    }
+
+    /// Momentum-average weight `1/nk`.
+    pub fn weight(&self) -> f64 {
+        1.0 / self.nk as f64
+    }
+}
+
+/// Phonon frequency grid commensurate with an energy grid.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrequencyGrid {
+    /// Energy spacing it derives from (eV).
+    pub de: f64,
+    /// Point count (`Nω`).
+    pub nw: usize,
+}
+
+impl FrequencyGrid {
+    /// Builds `nw` frequencies `ω_m = (m+1)·de`.
+    pub fn new(de: f64, nw: usize) -> Self {
+        assert!(nw >= 1);
+        assert!(de > 0.0);
+        FrequencyGrid { de, nw }
+    }
+
+    /// Frequency of index `m` (in energy units, `ℏ = 1`).
+    #[inline]
+    pub fn value(&self, m: usize) -> f64 {
+        debug_assert!(m < self.nw);
+        (m + 1) as f64 * self.de
+    }
+
+    /// All frequencies.
+    pub fn values(&self) -> Vec<f64> {
+        (0..self.nw).map(|m| self.value(m)).collect()
+    }
+
+    /// Integration weight `dω / 2π`.
+    pub fn weight(&self) -> f64 {
+        self.de / (2.0 * std::f64::consts::PI)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_grid_spans_window() {
+        let g = EnergyGrid::new(-1.0, 1.0, 5);
+        assert_eq!(g.values(), vec![-1.0, -0.5, 0.0, 0.5, 1.0]);
+        assert!((g.de - 0.5).abs() < 1e-15);
+        assert!(g.weight() > 0.0);
+    }
+
+    #[test]
+    fn momentum_grid_periodic_range() {
+        let g = MomentumGrid::new(4);
+        let v = g.values();
+        assert!((v[0] + std::f64::consts::PI).abs() < 1e-15);
+        assert!(v.iter().all(|&k| (-std::f64::consts::PI..std::f64::consts::PI).contains(&k)));
+        // Uniform spacing.
+        for w in v.windows(2) {
+            assert!((w[1] - w[0] - std::f64::consts::PI / 2.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn frequency_grid_commensurate() {
+        let e = EnergyGrid::new(0.0, 1.0, 11);
+        let f = FrequencyGrid::new(e.de, 3);
+        assert_eq!(f.values(), vec![0.1, 0.2, 0.30000000000000004]);
+        // ω_m is exactly (m+1) energy steps: the stencil lands on grid.
+        for m in 0..3 {
+            let steps = f.value(m) / e.de;
+            assert!((steps - (m + 1) as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn degenerate_energy_grid_panics() {
+        let _ = EnergyGrid::new(0.0, 1.0, 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! # omen-core
+//!
+//! The application layer of the reproduction: grids, the self-consistent
+//! Born loop coupling the GF and SSE phases, and the electro-thermal
+//! observables of Figs. 1(d) and 11.
+
+pub mod grids;
+pub mod simulation;
+pub mod state;
+pub mod thermal;
+
+pub use omen_linalg::Normalization;
+pub use grids::{EnergyGrid, FrequencyGrid, MomentumGrid};
+pub use simulation::{
+    IterationRecord, KernelVariant, Simulation, SimulationConfig, SimulationResult, SpectralData,
+};
+pub use thermal::{
+    electro_thermal_report, equilibrium_energy, fit_temperature, ElectroThermalReport,
+    KB_EV_PER_K,
+};
+pub use state::{
+    extract_electron_blocks, extract_phonon_blocks, pi_blocks_for_point, sigma_blocks_for_point,
+    zero_tensors,
+};

@@ -1,0 +1,628 @@
+//! The self-consistent GF ↔ SSE loop (Fig. 2 / Fig. 4 of the paper).
+//!
+//! Each iteration solves every electron `(kz, E)` and phonon `(qz, ω)`
+//! point with RGF under the current scattering self-energies, evaluates
+//! the coupled self-energies with one of the three SSE kernels, mixes, and
+//! repeats until the electrical current converges (the paper: 20–100
+//! Born iterations).
+
+use crate::grids::{EnergyGrid, FrequencyGrid, MomentumGrid};
+use crate::state::{
+    extract_electron_blocks, extract_phonon_blocks, pi_blocks_for_point, sigma_blocks_for_point,
+    zero_tensors,
+};
+use omen_device::{DeviceConfig, DeviceStructure};
+use omen_rgf::{
+    contact_current, interface_current, CacheMode, ElectronParams, ElectronSolver, PhaseTimes,
+    PhononParams, PhononSolver,
+};
+use omen_linalg::Normalization;
+use omen_sse::{
+    sse_mixed, sse_reference, sse_transformed, DTensor, GLayout, GTensor, MixedConfig, SseProblem,
+};
+use std::time::Instant;
+
+/// Which SSE kernel the simulation runs (§5.3–5.4 / Table 10 / Fig. 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelVariant {
+    /// OMEN-style reference loops.
+    Reference,
+    /// DaCe-transformed kernel.
+    Transformed,
+    /// Mixed-precision (binary16) kernel with the given normalization.
+    Mixed(Normalization),
+}
+
+/// Full configuration of a simulation.
+#[derive(Clone, Debug)]
+pub struct SimulationConfig {
+    /// Device geometry/material.
+    pub device: DeviceConfig,
+    /// Momentum points (`Nkz = Nqz`).
+    pub nk: usize,
+    /// Energy points (`NE`).
+    pub ne: usize,
+    /// Phonon frequency points (`Nω`).
+    pub nw: usize,
+    /// Energy window (eV).
+    pub e_min: f64,
+    /// Upper edge of the energy window (eV).
+    pub e_max: f64,
+    /// Source chemical potential (eV).
+    pub mu_source: f64,
+    /// Drain chemical potential (eV); `Vds = mu_source − mu_drain`.
+    pub mu_drain: f64,
+    /// Contact temperature `k_B·T` (eV).
+    pub kt: f64,
+    /// Electron-phonon coupling strength (dimensionless prefactor).
+    pub coupling: f64,
+    /// Born iteration cap.
+    pub max_iterations: usize,
+    /// Relative current-change convergence threshold.
+    pub tolerance: f64,
+    /// Linear mixing factor on the self-energies (1 = no damping).
+    pub mixing: f64,
+    /// SSE kernel.
+    pub kernel: KernelVariant,
+    /// GF-phase caching policy (§7.1.2).
+    pub cache_mode: CacheMode,
+    /// Electron broadening (eV).
+    pub eta: f64,
+    /// Phonon broadening (energy units).
+    pub eta_ph: f64,
+    /// Potential ramp `(x_on, x_off)` as fractions of the device length.
+    pub ramp: (f64, f64),
+}
+
+impl SimulationConfig {
+    /// A stable laptop-scale configuration on the `tiny` device.
+    pub fn tiny() -> SimulationConfig {
+        SimulationConfig {
+            device: DeviceConfig::tiny(),
+            nk: 2,
+            ne: 24,
+            nw: 2,
+            e_min: -1.2,
+            e_max: 1.2,
+            mu_source: 0.3,
+            mu_drain: 0.0,
+            kt: 0.025,
+            coupling: 0.005,
+            max_iterations: 12,
+            tolerance: 1e-4,
+            mixing: 0.6,
+            kernel: KernelVariant::Transformed,
+            cache_mode: CacheMode::CacheBcSpec,
+            eta: 1e-5,
+            eta_ph: 2e-5,
+            ramp: (0.3, 0.7),
+        }
+    }
+
+    /// The electro-thermal demonstrator (Fig. 11 scale-down).
+    pub fn demo() -> SimulationConfig {
+        SimulationConfig {
+            device: DeviceConfig::demo(),
+            nk: 3,
+            ne: 48,
+            nw: 3,
+            ..SimulationConfig::tiny()
+        }
+    }
+}
+
+/// Accumulated per-iteration observables.
+#[derive(Clone, Debug)]
+pub struct IterationRecord {
+    /// Iteration index (0 = ballistic).
+    pub iteration: usize,
+    /// Electrical current at the mid-device interface (e/ℏ·eV units).
+    pub current: f64,
+    /// Current per interface (conservation diagnostic).
+    pub current_profile: Vec<f64>,
+    /// Relative change of the current w.r.t. the previous iteration.
+    pub rel_change: f64,
+    /// GF-phase wall-clock breakdown.
+    pub gf_times: PhaseTimes,
+    /// SSE wall-clock (s).
+    pub sse_seconds: f64,
+    /// SSE flops this iteration.
+    pub sse_flops: u64,
+}
+
+/// Energy/space-resolved outputs of the GF phase of the last iteration.
+#[derive(Clone, Debug)]
+pub struct SpectralData {
+    /// Electron current spectrum `j(E, interface)` (momentum-averaged).
+    pub el_current_spectrum: Vec<Vec<f64>>,
+    /// Electron charge current per interface.
+    pub el_current: Vec<f64>,
+    /// Electron *energy* current per interface (weighted by `E`).
+    pub el_energy_current: Vec<f64>,
+    /// Phonon energy current per interface (weighted by `ω`).
+    pub ph_energy_current: Vec<f64>,
+    /// Per-atom phonon energy density (for the temperature map).
+    pub ph_energy_density: Vec<f64>,
+    /// Per-atom phonon density of states, resolved per frequency:
+    /// `dos[m][a]`.
+    pub ph_dos: Vec<Vec<f64>>,
+    /// Per-atom electron occupation.
+    pub el_density: Vec<f64>,
+    /// Meir-Wingreen contact currents (left, right).
+    pub contact_currents: (f64, f64),
+}
+
+/// The simulation driver.
+pub struct Simulation {
+    /// Configuration (read-only after construction).
+    pub config: SimulationConfig,
+    /// The synthetic device.
+    pub device: DeviceStructure,
+    /// Energy grid.
+    pub egrid: EnergyGrid,
+    /// Momentum grid.
+    pub kgrid: MomentumGrid,
+    /// Frequency grid.
+    pub fgrid: FrequencyGrid,
+    /// Per-atom electrostatic potential.
+    pub potential: Vec<f64>,
+    sigma_l: GTensor,
+    sigma_g: GTensor,
+    pi_l: DTensor,
+    pi_g: DTensor,
+    first_iteration_done: bool,
+}
+
+impl Simulation {
+    /// Builds the simulation (device assembly included).
+    pub fn new(config: SimulationConfig) -> Simulation {
+        let device = DeviceStructure::build(config.device.clone());
+        let egrid = EnergyGrid::new(config.e_min, config.e_max, config.ne);
+        let kgrid = MomentumGrid::new(config.nk);
+        let fgrid = FrequencyGrid::new(egrid.de, config.nw);
+        let vds = config.mu_source - config.mu_drain;
+        let potential = device.linear_potential(vds, config.ramp.0, config.ramp.1);
+        let (sigma_l, sigma_g, pi_l, pi_g) =
+            zero_tensors(&device, config.nk, config.ne, config.nk, config.nw);
+        Simulation {
+            config,
+            device,
+            egrid,
+            kgrid,
+            fgrid,
+            potential,
+            sigma_l,
+            sigma_g,
+            pi_l,
+            pi_g,
+            first_iteration_done: false,
+        }
+    }
+
+    /// The SSE problem bound to this simulation's grids and couplings.
+    pub fn sse_problem(&self) -> SseProblem<'_> {
+        let scale_sigma =
+            self.config.coupling * self.config.coupling * self.fgrid.weight() * self.kgrid.weight();
+        let scale_pi =
+            self.config.coupling * self.config.coupling * self.egrid.weight() * self.kgrid.weight();
+        SseProblem::new(
+            &self.device,
+            self.config.nk,
+            self.config.ne,
+            self.config.nk,
+            self.config.nw,
+            scale_sigma,
+            scale_pi,
+        )
+    }
+
+    fn electron_params(&self) -> ElectronParams {
+        ElectronParams {
+            eta: self.config.eta,
+            mu_source: self.config.mu_source,
+            mu_drain: self.config.mu_drain,
+            kt: self.config.kt,
+            ..ElectronParams::default()
+        }
+    }
+
+    fn phonon_params(&self) -> PhononParams {
+        PhononParams {
+            eta: self.config.eta_ph,
+            kt: self.config.kt,
+            ..PhononParams::default()
+        }
+    }
+
+    /// Runs the GF phase: every `(kz, E)` and `(qz, ω)` point, returning
+    /// the SSE input tensors plus the spectral observables.
+    pub fn gf_phase(&mut self) -> (GTensor, GTensor, DTensor, DTensor, SpectralData, PhaseTimes) {
+        let dev = &self.device;
+        let cfg = &self.config;
+        let nb = dev.bnum();
+        let (mut g_l, mut g_g, mut d_l, mut d_g) =
+            zero_tensors(dev, cfg.nk, cfg.ne, cfg.nk, cfg.nw);
+        let mut times = PhaseTimes::default();
+
+        let mut el_current_spectrum = vec![vec![0.0; nb - 1]; cfg.ne];
+        let mut el_current = vec![0.0; nb - 1];
+        let mut el_energy_current = vec![0.0; nb - 1];
+        let mut ph_energy_current = vec![0.0; nb - 1];
+        let mut ph_energy_density = vec![0.0; dev.num_atoms()];
+        let mut ph_dos = vec![vec![0.0; dev.num_atoms()]; cfg.nw];
+        let mut el_density = vec![0.0; dev.num_atoms()];
+        let mut contact_l = 0.0;
+        let mut contact_r = 0.0;
+
+        let have_sigma = self.first_iteration_done;
+        let w_e = self.egrid.weight() * self.kgrid.weight();
+        let w_ph = self.fgrid.weight() * self.kgrid.weight();
+
+        // --- electrons ---
+        let mut esolver = ElectronSolver::new(
+            dev,
+            self.potential.clone(),
+            self.electron_params(),
+            cfg.cache_mode,
+            self.kgrid.values(),
+            self.egrid.values(),
+        );
+        for ik in 0..cfg.nk {
+            for ie in 0..cfg.ne {
+                let out = if have_sigma {
+                    let (sr, sl, sg) =
+                        sigma_blocks_for_point(dev, &self.sigma_l, &self.sigma_g, ik, ie);
+                    esolver.solve(ik, ie, Some(&sr), Some(&sl), Some(&sg))
+                } else {
+                    esolver.solve(ik, ie, None, None, None)
+                };
+                times.accumulate(&out.times);
+                extract_electron_blocks(dev, &out.sol, ik, ie, &mut g_l, &mut g_g);
+                let e = self.egrid.value(ie);
+                for n in 0..nb - 1 {
+                    let j = interface_current(&out.m.upper[n], &out.sol.gl_lower[n]);
+                    el_current_spectrum[ie][n] += j * self.kgrid.weight();
+                    el_current[n] += j * w_e;
+                    el_energy_current[n] += e * j * w_e;
+                }
+                for (a, atom) in dev.lattice.atoms.iter().enumerate() {
+                    let norb = dev.material.norb;
+                    let r0 = atom.slab_offset * norb;
+                    let occ: f64 = (0..norb)
+                        .map(|o| out.sol.gl_diag[atom.slab][(r0 + o, r0 + o)].im)
+                        .sum();
+                    el_density[a] += occ * w_e;
+                }
+                contact_l += contact_current(
+                    &out.boundary_lg_left.0,
+                    &out.boundary_lg_left.1,
+                    &out.sol.gl_diag[0],
+                    &out.sol.gg_diag[0],
+                ) * w_e;
+                contact_r += contact_current(
+                    &out.boundary_lg_right.0,
+                    &out.boundary_lg_right.1,
+                    &out.sol.gl_diag[nb - 1],
+                    &out.sol.gg_diag[nb - 1],
+                ) * w_e;
+            }
+        }
+
+        // --- phonons ---
+        let mut psolver = PhononSolver::new(
+            dev,
+            self.phonon_params(),
+            cfg.cache_mode,
+            self.kgrid.values(),
+            self.fgrid.values(),
+        );
+        for iq in 0..cfg.nk {
+            for iw in 0..cfg.nw {
+                let out = if have_sigma {
+                    let (pr, pl, pg) = pi_blocks_for_point(dev, &self.pi_l, &self.pi_g, iq, iw);
+                    psolver.solve(iq, iw, Some(&pr), Some(&pl), Some(&pg))
+                } else {
+                    psolver.solve(iq, iw, None, None, None)
+                };
+                times.accumulate(&out.times);
+                extract_phonon_blocks(dev, &out.sol, iq, iw, &mut d_l, &mut d_g);
+                let w = self.fgrid.value(iw);
+                for n in 0..nb - 1 {
+                    let j = interface_current(&out.m.upper[n], &out.sol.gl_lower[n]);
+                    ph_energy_current[n] += w * j * w_ph;
+                }
+                for (a, atom) in dev.lattice.atoms.iter().enumerate() {
+                    let r0 = atom.slab_offset * 3;
+                    // Boson convention D^< = n·(D^R − D^A): the occupation
+                    // is −Im diag(D^<) (opposite sign to electrons).
+                    let occ: f64 = (0..3)
+                        .map(|x| -out.sol.gl_diag[atom.slab][(r0 + x, r0 + x)].im)
+                        .sum();
+                    ph_energy_density[a] += w * occ * w_ph;
+                    let spectral: f64 = (0..3)
+                        .map(|x| {
+                            let z = out.sol.gr_diag[atom.slab][(r0 + x, r0 + x)];
+                            -2.0 * z.im
+                        })
+                        .sum();
+                    ph_dos[iw][a] += spectral * self.kgrid.weight();
+                }
+            }
+        }
+
+        let spectral = SpectralData {
+            el_current_spectrum,
+            el_current,
+            el_energy_current,
+            ph_energy_current,
+            ph_energy_density,
+            ph_dos,
+            el_density,
+            contact_currents: (contact_l, contact_r),
+        };
+        (g_l, g_g, d_l, d_g, spectral, times)
+    }
+
+    /// Runs the configured SSE kernel on GF outputs.
+    pub fn sse_phase(
+        &self,
+        g_l: &GTensor,
+        g_g: &GTensor,
+        d_l: &DTensor,
+        d_g: &DTensor,
+    ) -> omen_sse::SseOutput {
+        let prob = self.sse_problem();
+        match self.config.kernel {
+            KernelVariant::Reference => sse_reference(&prob, g_l, g_g, d_l, d_g),
+            KernelVariant::Transformed => {
+                let gl = g_l.to_layout(GLayout::AtomMajor);
+                let gg = g_g.to_layout(GLayout::AtomMajor);
+                sse_transformed(&prob, &gl, &gg, d_l, d_g)
+            }
+            KernelVariant::Mixed(norm) => {
+                let gl = g_l.to_layout(GLayout::AtomMajor);
+                let gg = g_g.to_layout(GLayout::AtomMajor);
+                sse_mixed(
+                    &prob,
+                    &gl,
+                    &gg,
+                    d_l,
+                    d_g,
+                    MixedConfig {
+                        normalization: norm,
+                    },
+                )
+            }
+        }
+    }
+
+    /// One Born iteration; returns the record and the spectral data.
+    pub fn iterate(&mut self, previous_current: Option<f64>) -> (IterationRecord, SpectralData) {
+        let (g_l, g_g, d_l, d_g, spectral, gf_times) = self.gf_phase();
+
+        let t0 = Instant::now();
+        let sse = self.sse_phase(&g_l, &g_g, &d_l, &d_g);
+        let sse_seconds = t0.elapsed().as_secs_f64();
+
+        // Mix the self-energies (layout-normalize first).
+        let mix = self.config.mixing;
+        let new_sl = sse.sigma_l.to_layout(GLayout::PairMajor);
+        let new_sg = sse.sigma_g.to_layout(GLayout::PairMajor);
+        mix_g(&mut self.sigma_l, &new_sl, mix);
+        mix_g(&mut self.sigma_g, &new_sg, mix);
+        mix_d(&mut self.pi_l, &sse.pi_l, mix);
+        mix_d(&mut self.pi_g, &sse.pi_g, mix);
+        self.first_iteration_done = true;
+
+        let mid = spectral.el_current.len() / 2;
+        let current = spectral.el_current[mid];
+        let rel_change = match previous_current {
+            Some(prev) if prev.abs() > 1e-300 => ((current - prev) / prev).abs(),
+            _ => f64::INFINITY,
+        };
+        let record = IterationRecord {
+            iteration: 0,
+            current,
+            current_profile: spectral.el_current.clone(),
+            rel_change,
+            gf_times,
+            sse_seconds,
+            sse_flops: sse.flops,
+        };
+        (record, spectral)
+    }
+
+    /// Runs the full self-consistent loop.
+    pub fn run(&mut self) -> SimulationResult {
+        let mut records: Vec<IterationRecord> = Vec::new();
+        let mut spectral = None;
+        for it in 0..self.config.max_iterations {
+            let prev = records.last().map(|r| r.current);
+            let (mut rec, spec) = self.iterate(prev);
+            rec.iteration = it;
+            let converged = rec.rel_change < self.config.tolerance;
+            records.push(rec);
+            spectral = Some(spec);
+            if converged && it > 0 {
+                break;
+            }
+        }
+        SimulationResult {
+            records,
+            spectral: spectral.expect("at least one iteration"),
+        }
+    }
+}
+
+fn mix_g(state: &mut GTensor, new: &GTensor, mix: f64) {
+    for (s, n) in state.as_mut_slice().iter_mut().zip(new.as_slice()) {
+        *s = s.scale(1.0 - mix) + n.scale(mix);
+    }
+}
+
+fn mix_d(state: &mut DTensor, new: &DTensor, mix: f64) {
+    for (s, n) in state.as_mut_slice().iter_mut().zip(new.as_slice()) {
+        *s = s.scale(1.0 - mix) + n.scale(mix);
+    }
+}
+
+/// Final output of [`Simulation::run`].
+pub struct SimulationResult {
+    /// One record per Born iteration.
+    pub records: Vec<IterationRecord>,
+    /// Spectral data of the final iteration.
+    pub spectral: SpectralData,
+}
+
+impl SimulationResult {
+    /// The converged electrical current.
+    pub fn current(&self) -> f64 {
+        self.records.last().map(|r| r.current).unwrap_or(0.0)
+    }
+
+    /// Convergence history of the current (Fig. 7b's x-axis).
+    pub fn current_history(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.current).collect()
+    }
+
+    /// `true` if the final relative change met the tolerance.
+    pub fn converged(&self, tolerance: f64) -> bool {
+        self.records
+            .last()
+            .map(|r| r.rel_change < tolerance)
+            .unwrap_or(false)
+    }
+
+    /// Max relative spread of the current profile (conservation check).
+    pub fn current_nonuniformity(&self) -> f64 {
+        let prof = &self.records.last().unwrap().current_profile;
+        let mean = prof.iter().sum::<f64>() / prof.len() as f64;
+        if mean.abs() < 1e-300 {
+            return 0.0;
+        }
+        prof.iter()
+            .map(|j| (j - mean).abs())
+            .fold(0.0, f64::max)
+            / mean.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ballistic_iteration_conserves_current() {
+        let mut cfg = SimulationConfig::tiny();
+        cfg.coupling = 0.0; // ballistic: Σ stays zero
+        cfg.max_iterations = 1;
+        let mut sim = Simulation::new(cfg);
+        let result = sim.run();
+        assert!(result.current() > 0.0, "forward bias must drive current");
+        assert!(
+            result.current_nonuniformity() < 1e-3,
+            "ballistic current must be conserved: {}",
+            result.current_nonuniformity()
+        );
+        // Contact currents: left injects what right absorbs.
+        let (il, ir) = result.spectral.contact_currents;
+        assert!(il > 0.0);
+        assert!((il + ir).abs() < 1e-3 * il.abs(), "i_L = −i_R: {il} vs {ir}");
+    }
+
+    #[test]
+    fn scattering_changes_current_and_converges() {
+        let mut cfg = SimulationConfig::tiny();
+        cfg.max_iterations = 14;
+        let mut sim = Simulation::new(cfg.clone());
+        let result = sim.run();
+        assert!(result.records.len() >= 2);
+        // The self-consistent loop converges geometrically.
+        let last = result.records.last().unwrap();
+        assert!(
+            last.rel_change < 1e-3,
+            "Born loop drifting: rel change {}",
+            last.rel_change
+        );
+        // Scattering current differs from ballistic.
+        let mut cfg_b = cfg;
+        cfg_b.coupling = 0.0;
+        cfg_b.max_iterations = 1;
+        let ballistic = Simulation::new(cfg_b).run();
+        // Scattering suppresses the ballistic current measurably.
+        assert!(
+            ballistic.current() - result.current() > 1e-3 * ballistic.current(),
+            "SSE must suppress the current: {} vs ballistic {}",
+            result.current(),
+            ballistic.current()
+        );
+        // Current stays conserved within SCBA tolerance.
+        assert!(
+            result.current_nonuniformity() < 5e-3,
+            "current profile spread {}",
+            result.current_nonuniformity()
+        );
+    }
+
+    #[test]
+    fn kernel_variants_agree() {
+        let mut cfg = SimulationConfig::tiny();
+        cfg.max_iterations = 2;
+        let run = |kernel| {
+            let mut c = cfg.clone();
+            c.kernel = kernel;
+            Simulation::new(c).run().current()
+        };
+        let reference = run(KernelVariant::Reference);
+        let transformed = run(KernelVariant::Transformed);
+        let mixed = run(KernelVariant::Mixed(Normalization::PerTensor));
+        assert!(
+            ((transformed - reference) / reference).abs() < 1e-10,
+            "transformed {transformed} vs reference {reference}"
+        );
+        assert!(
+            ((mixed - reference) / reference).abs() < 1e-3,
+            "mixed {mixed} vs reference {reference}"
+        );
+    }
+
+    #[test]
+    fn zero_bias_zero_current() {
+        let mut cfg = SimulationConfig::tiny();
+        cfg.mu_drain = cfg.mu_source;
+        cfg.max_iterations = 2;
+        let mut sim = Simulation::new(cfg);
+        let result = sim.run();
+        let scale = result
+            .spectral
+            .el_current_spectrum
+            .iter()
+            .flat_map(|v| v.iter())
+            .map(|j| j.abs())
+            .fold(0.0, f64::max)
+            .max(1e-12);
+        assert!(
+            result.current().abs() < 1e-6 * scale.max(1.0),
+            "zero bias current {}",
+            result.current()
+        );
+    }
+
+    #[test]
+    fn phonon_energy_density_positive() {
+        let mut cfg = SimulationConfig::tiny();
+        cfg.max_iterations = 2;
+        let mut sim = Simulation::new(cfg);
+        let result = sim.run();
+        // Thermal occupation of phonon modes is non-negative everywhere.
+        for (a, &u) in result.spectral.ph_energy_density.iter().enumerate() {
+            assert!(u >= -1e-9, "atom {a}: phonon energy density {u}");
+        }
+        // DOS rows populated.
+        assert!(result
+            .spectral
+            .ph_dos
+            .iter()
+            .all(|row| row.iter().any(|&d| d > 0.0)));
+    }
+}

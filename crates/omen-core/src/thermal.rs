@@ -1,0 +1,234 @@
+//! Temperature extraction and the electro-thermal report — the quantities
+//! of Fig. 1(d) and Fig. 11.
+//!
+//! The atomically-resolved temperature is defined by Bose-matching: the
+//! local phonon energy density `u_a = Σ_ω ω·n_a(ω)` (from `D^<`) is
+//! compared against the equilibrium curve `u_eq(T) = Σ_ω ω·n_B(ω,T)·ρ_a(ω)`
+//! built from the local phonon DOS, and `T_a` solves `u_eq(T_a) = u_a` by
+//! bisection. In equilibrium this returns the contact temperature exactly;
+//! under bias, Joule heating raises it in the channel.
+
+use crate::simulation::{Simulation, SimulationResult, SpectralData};
+use omen_rgf::bose;
+
+/// Boltzmann constant in eV/K.
+pub const KB_EV_PER_K: f64 = 8.617333262e-5;
+
+/// Equilibrium phonon energy density of one atom at temperature `kt`,
+/// using its local DOS `ρ(ω_m)` and the frequency-integration weight.
+pub fn equilibrium_energy(dos: &[f64], omegas: &[f64], kt: f64, freq_weight: f64) -> f64 {
+    dos.iter()
+        .zip(omegas)
+        .map(|(&rho, &w)| w * bose(w, kt) * rho * freq_weight)
+        .sum()
+}
+
+/// Solves `u_eq(kT) = u` for `kT` (eV) by bisection on `[kt_lo, kt_hi]`.
+/// `u_eq` is monotone in `kT`, so the root is unique; out-of-range values
+/// clamp to the bracket edges.
+pub fn fit_temperature(
+    u: f64,
+    dos: &[f64],
+    omegas: &[f64],
+    freq_weight: f64,
+    kt_lo: f64,
+    kt_hi: f64,
+) -> f64 {
+    let f = |kt: f64| equilibrium_energy(dos, omegas, kt, freq_weight);
+    if u <= f(kt_lo) {
+        return kt_lo;
+    }
+    if u >= f(kt_hi) {
+        return kt_hi;
+    }
+    let (mut lo, mut hi) = (kt_lo, kt_hi);
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) < u {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// The assembled electro-thermal observables of Fig. 11.
+#[derive(Clone, Debug)]
+pub struct ElectroThermalReport {
+    /// Interface x positions (nm).
+    pub x: Vec<f64>,
+    /// Electrical current per interface.
+    pub current_profile: Vec<f64>,
+    /// Electron energy current per interface (Fig. 11 left, dashed blue).
+    pub electron_energy_current: Vec<f64>,
+    /// Phonon energy current per interface (dash-dotted green).
+    pub phonon_energy_current: Vec<f64>,
+    /// Their sum (solid red — constant when energy is conserved).
+    pub total_energy_current: Vec<f64>,
+    /// Energy-resolved current spectrum `j(E, interface)` (middle panel).
+    pub spectral_current: Vec<Vec<f64>>,
+    /// Per-atom temperature (K) — the Fig. 1(d) map.
+    pub temperature_per_atom: Vec<f64>,
+    /// Per-slab average temperature (K) along x.
+    pub temperature_profile: Vec<f64>,
+    /// Contact temperature (K).
+    pub contact_temperature: f64,
+}
+
+impl ElectroThermalReport {
+    /// Peak lattice temperature (K).
+    pub fn t_max(&self) -> f64 {
+        self.temperature_per_atom
+            .iter()
+            .copied()
+            .fold(0.0, f64::max)
+    }
+
+    /// Relative flatness of the total energy current — the paper's energy
+    /// conservation check ("as their sum is constant … energy is
+    /// conserved").
+    pub fn energy_conservation_error(&self) -> f64 {
+        let t = &self.total_energy_current;
+        let mean = t.iter().sum::<f64>() / t.len() as f64;
+        if mean.abs() < 1e-300 {
+            return 0.0;
+        }
+        t.iter().map(|v| (v - mean).abs()).fold(0.0, f64::max) / mean.abs()
+    }
+}
+
+/// Builds the electro-thermal report from a finished simulation.
+pub fn electro_thermal_report(
+    sim: &Simulation,
+    result: &SimulationResult,
+) -> ElectroThermalReport {
+    let spec: &SpectralData = &result.spectral;
+    let dev = &sim.device;
+    let omegas = sim.fgrid.values();
+    let fw = sim.fgrid.weight();
+    let kt0 = sim.config.kt;
+
+    // Per-atom temperatures by Bose matching.
+    let na = dev.num_atoms();
+    let mut t_atom = Vec::with_capacity(na);
+    for a in 0..na {
+        let dos: Vec<f64> = (0..omegas.len()).map(|m| spec.ph_dos[m][a]).collect();
+        let kt = fit_temperature(
+            spec.ph_energy_density[a],
+            &dos,
+            &omegas,
+            fw,
+            0.25 * kt0,
+            8.0 * kt0,
+        );
+        t_atom.push(kt / KB_EV_PER_K);
+    }
+    // Slab averages along x.
+    let nb = dev.bnum();
+    let mut t_slab = vec![0.0; nb];
+    let mut counts = vec![0usize; nb];
+    for (a, atom) in dev.lattice.atoms.iter().enumerate() {
+        t_slab[atom.slab] += t_atom[a];
+        counts[atom.slab] += 1;
+    }
+    for (t, c) in t_slab.iter_mut().zip(&counts) {
+        *t /= *c as f64;
+    }
+
+    let x: Vec<f64> = (0..nb - 1)
+        .map(|n| 0.5 * (dev.lattice.slab_x(n) + dev.lattice.slab_x(n + 1)))
+        .collect();
+    let total: Vec<f64> = spec
+        .el_energy_current
+        .iter()
+        .zip(&spec.ph_energy_current)
+        .map(|(e, p)| e + p)
+        .collect();
+
+    ElectroThermalReport {
+        x,
+        current_profile: spec.el_current.clone(),
+        electron_energy_current: spec.el_energy_current.clone(),
+        phonon_energy_current: spec.ph_energy_current.clone(),
+        total_energy_current: total,
+        spectral_current: spec.el_current_spectrum.clone(),
+        temperature_per_atom: t_atom,
+        temperature_profile: t_slab,
+        contact_temperature: kt0 / KB_EV_PER_K,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::SimulationConfig;
+
+    #[test]
+    fn bisection_recovers_bose_temperature() {
+        // Flat DOS, one mode: u = ω·n(ω, kT*)·ρ·w must invert to kT*.
+        let omegas = [0.05, 0.1];
+        let dos = [1.0, 0.7];
+        let w = 0.01;
+        for &kt_true in &[0.01, 0.025, 0.06] {
+            let u = equilibrium_energy(&dos, &omegas, kt_true, w);
+            let kt = fit_temperature(u, &dos, &omegas, w, 1e-3, 0.3);
+            assert!(
+                (kt - kt_true).abs() / kt_true < 1e-6,
+                "kT {kt} vs {kt_true}"
+            );
+        }
+    }
+
+    #[test]
+    fn clamping_at_bracket_edges() {
+        let omegas = [0.05];
+        let dos = [1.0];
+        assert_eq!(fit_temperature(-1.0, &dos, &omegas, 1.0, 0.01, 0.1), 0.01);
+        assert_eq!(fit_temperature(1e9, &dos, &omegas, 1.0, 0.01, 0.1), 0.1);
+    }
+
+    #[test]
+    fn equilibrium_device_sits_at_contact_temperature() {
+        // No bias, no coupling: the phonon bath is in equilibrium with the
+        // contacts, so every atom must read ~the contact temperature.
+        let mut cfg = SimulationConfig::tiny();
+        cfg.mu_drain = cfg.mu_source; // zero bias
+        cfg.coupling = 0.0;
+        cfg.max_iterations = 1;
+        let mut sim = Simulation::new(cfg);
+        let result = sim.run();
+        let report = electro_thermal_report(&sim, &result);
+        let t0 = report.contact_temperature;
+        for (a, &t) in report.temperature_per_atom.iter().enumerate() {
+            assert!(
+                (t - t0).abs() / t0 < 0.12,
+                "atom {a}: T = {t:.1} K vs contact {t0:.1} K"
+            );
+        }
+    }
+
+    #[test]
+    fn biased_device_heats_up() {
+        // With bias and coupling, Joule heating must raise the lattice
+        // temperature above the contacts somewhere in the device.
+        let mut cfg = SimulationConfig::tiny();
+        cfg.coupling = 0.01;
+        cfg.mu_source = 0.4;
+        cfg.max_iterations = 8;
+        let mut sim = Simulation::new(cfg);
+        let result = sim.run();
+        let report = electro_thermal_report(&sim, &result);
+        assert!(
+            report.t_max() > report.contact_temperature * 1.005,
+            "self-heating absent: Tmax {:.2} K vs contact {:.2} K",
+            report.t_max(),
+            report.contact_temperature
+        );
+        // Shapes consistent.
+        assert_eq!(report.x.len(), report.current_profile.len());
+        assert_eq!(report.temperature_profile.len(), sim.device.bnum());
+    }
+
+    use crate::simulation::Simulation;
+}

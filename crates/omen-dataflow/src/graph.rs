@@ -1,0 +1,484 @@
+//! The SDFG-lite intermediate representation (Fig. 3 of the paper) and the
+//! graph transformations of Figs. 5–6.
+//!
+//! Nodes are data containers (access nodes), tasklets (fine-grained
+//! computation), and parametric map scopes; memlet edges carry symbolic
+//! per-execution volumes. States sequence dataflow under control
+//! dependencies. The representation is deliberately *analyzable* rather
+//! than executable: its purpose in this reproduction is to derive the
+//! data-movement expressions the paper uses to discover the
+//! communication-avoiding variant, while the executable kernels live in
+//! `omen-sse` (the test suite ties the two together).
+
+use crate::symbolic::Expr;
+use std::collections::HashMap;
+
+/// A node of a dataflow state.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Node {
+    /// A data container (array) endpoint.
+    Access {
+        /// Array name.
+        data: String,
+    },
+    /// Fine-grained computation.
+    Tasklet {
+        /// Label.
+        name: String,
+    },
+    /// A parametric parallel scope over named iteration variables with
+    /// symbolic range sizes.
+    Map {
+        /// Label.
+        name: String,
+        /// `(variable, range size)` pairs, outermost first.
+        ranges: Vec<(String, Expr)>,
+        /// Nodes inside the scope (indices into the state's arena).
+        body: Vec<usize>,
+        /// Marks the map whose iterations are distributed across ranks.
+        distributed: bool,
+    },
+}
+
+/// A data-movement edge.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Memlet {
+    /// Array moved.
+    pub data: String,
+    /// Elements moved per execution of the innermost enclosing scope.
+    pub volume: Expr,
+    /// `true` if the subset accessed depends only on iteration variables
+    /// *owned by the local rank* after distribution (no remote traffic).
+    pub local_after_distribution: bool,
+    /// The node this memlet feeds (index into the state arena).
+    pub to: usize,
+}
+
+/// One dataflow state.
+#[derive(Clone, Debug, Default)]
+pub struct State {
+    /// Label.
+    pub name: String,
+    /// Node arena; `Node::Map` bodies refer into it.
+    pub nodes: Vec<Node>,
+    /// Memlets entering scopes/tasklets.
+    pub memlets: Vec<Memlet>,
+}
+
+/// A stateful dataflow multigraph.
+#[derive(Clone, Debug, Default)]
+pub struct Sdfg {
+    /// Program name.
+    pub name: String,
+    /// States in control-flow order.
+    pub states: Vec<State>,
+}
+
+impl State {
+    /// Adds a node, returning its index.
+    pub fn add_node(&mut self, node: Node) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Adds a memlet.
+    pub fn add_memlet(&mut self, m: Memlet) {
+        self.memlets.push(m);
+    }
+
+    /// The map node marked `distributed`, if any.
+    pub fn distributed_map(&self) -> Option<usize> {
+        self.nodes.iter().position(
+            |n| matches!(n, Node::Map { distributed, .. } if *distributed),
+        )
+    }
+
+    /// Iteration-space size of map `idx` (product of its range sizes).
+    pub fn map_extent(&self, idx: usize) -> Expr {
+        match &self.nodes[idx] {
+            Node::Map { ranges, .. } => {
+                Expr::product(&ranges.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>())
+            }
+            _ => panic!("node {idx} is not a map"),
+        }
+    }
+
+    /// Total data movement of the state: for each memlet, its volume times
+    /// the extent of every map that (transitively) contains its target.
+    pub fn total_movement(&self) -> Expr {
+        let containing = self.containing_maps();
+        let mut total = Expr::Const(0.0);
+        for m in &self.memlets {
+            let mut vol = m.volume.clone();
+            for &map_idx in &containing[m.to] {
+                vol = vol * self.map_extent(map_idx);
+            }
+            total = total + vol;
+        }
+        total
+    }
+
+    /// *Remote* data movement after distributing the `distributed` map:
+    /// memlets marked `local_after_distribution` cost nothing; the rest
+    /// keep their full multiplied volume.
+    pub fn distributed_movement(&self) -> Expr {
+        let containing = self.containing_maps();
+        let mut total = Expr::Const(0.0);
+        for m in &self.memlets {
+            if m.local_after_distribution {
+                continue;
+            }
+            let mut vol = m.volume.clone();
+            for &map_idx in &containing[m.to] {
+                vol = vol * self.map_extent(map_idx);
+            }
+            total = total + vol;
+        }
+        total
+    }
+
+    /// For each node, the maps containing it (transitively).
+    fn containing_maps(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.nodes.len()];
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if let Node::Map { body, .. } = node {
+                // Direct containment.
+                let mut stack: Vec<usize> = body.clone();
+                while let Some(child) = stack.pop() {
+                    out[child].push(idx);
+                    if let Node::Map { body: inner, .. } = &self.nodes[child] {
+                        stack.extend(inner.iter().copied());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Validates structural invariants: body indices in range, no node in
+    /// two map bodies, memlet targets in range.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut owner: HashMap<usize, usize> = HashMap::new();
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if let Node::Map { body, .. } = node {
+                for &child in body {
+                    if child >= self.nodes.len() {
+                        return Err(format!("map {idx} body index {child} out of range"));
+                    }
+                    if child == idx {
+                        return Err(format!("map {idx} contains itself"));
+                    }
+                    if let Some(prev) = owner.insert(child, idx) {
+                        return Err(format!(
+                            "node {child} owned by maps {prev} and {idx}"
+                        ));
+                    }
+                }
+            }
+        }
+        for (i, m) in self.memlets.iter().enumerate() {
+            if m.to >= self.nodes.len() {
+                return Err(format!("memlet {i} target {} out of range", m.to));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Sdfg {
+    /// Creates an empty SDFG.
+    pub fn new(name: &str) -> Sdfg {
+        Sdfg {
+            name: name.to_string(),
+            states: Vec::new(),
+        }
+    }
+
+    /// Appends a state, returning its index.
+    pub fn add_state(&mut self, state: State) -> usize {
+        self.states.push(state);
+        self.states.len() - 1
+    }
+
+    /// Validates all states.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, s) in self.states.iter().enumerate() {
+            s.validate().map_err(|e| format!("state {i}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Node count across states (the paper quotes 2,015 nodes for the
+    /// transformed production SDFG).
+    pub fn node_count(&self) -> usize {
+        self.states.iter().map(|s| s.nodes.len()).sum()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Transformations
+// ---------------------------------------------------------------------
+
+/// Map tiling: splits the ranges of map `idx` in `state` into
+/// outer (distributed) tiles of the given symbolic tile counts and an
+/// inner remainder map. The paper's decomposition change (Fig. 5) is
+/// exactly a re-tiling of the SSE map.
+pub fn map_tiling(
+    state: &mut State,
+    idx: usize,
+    tile_counts: &[(&str, Expr)],
+) -> Result<usize, String> {
+    let (name, ranges, body, distributed) = match &state.nodes[idx] {
+        Node::Map {
+            name,
+            ranges,
+            body,
+            distributed,
+        } => (name.clone(), ranges.clone(), body.clone(), *distributed),
+        _ => return Err(format!("node {idx} is not a map")),
+    };
+    // Outer map iterates over tiles; inner over elements within a tile.
+    let mut outer_ranges = Vec::new();
+    let mut inner_ranges = Vec::new();
+    for (var, size) in &ranges {
+        if let Some((_, tiles)) = tile_counts.iter().find(|(v, _)| v == var) {
+            outer_ranges.push((format!("{var}_tile"), tiles.clone()));
+            inner_ranges.push((var.clone(), size.clone() / tiles.clone()));
+        } else {
+            inner_ranges.push((var.clone(), size.clone()));
+        }
+    }
+    // Rewrite in place: `idx` becomes the inner map; a new outer map wraps it.
+    state.nodes[idx] = Node::Map {
+        name: format!("{name}_inner"),
+        ranges: inner_ranges,
+        body,
+        distributed: false,
+    };
+    let outer = state.add_node(Node::Map {
+        name: format!("{name}_tiles"),
+        ranges: outer_ranges,
+        body: vec![idx],
+        distributed,
+    });
+    Ok(outer)
+}
+
+/// Map fission (Fig. 6 step ❶): splits a map containing `tasklets` into
+/// one map per tasklet, materializing a transient array between
+/// consecutive stages. Returns the indices of the new maps.
+pub fn map_fission(
+    state: &mut State,
+    idx: usize,
+    transient_volume: Expr,
+) -> Result<Vec<usize>, String> {
+    let (name, ranges, body, distributed) = match &state.nodes[idx] {
+        Node::Map {
+            name,
+            ranges,
+            body,
+            distributed,
+        } => (name.clone(), ranges.clone(), body.clone(), *distributed),
+        _ => return Err(format!("node {idx} is not a map")),
+    };
+    if body.len() < 2 {
+        return Err("fission needs at least two children".to_string());
+    }
+    let mut new_maps = Vec::new();
+    for (stage, child) in body.iter().enumerate() {
+        let map_idx = if stage == 0 {
+            state.nodes[idx] = Node::Map {
+                name: format!("{name}_s0"),
+                ranges: ranges.clone(),
+                body: vec![*child],
+                distributed,
+            };
+            idx
+        } else {
+            // Transient access node between stages.
+            let t = state.add_node(Node::Access {
+                data: format!("{name}_transient{stage}"),
+            });
+            state.add_memlet(Memlet {
+                data: format!("{name}_transient{stage}"),
+                volume: transient_volume.clone(),
+                local_after_distribution: true,
+                to: t,
+            });
+            state.add_node(Node::Map {
+                name: format!("{name}_s{stage}"),
+                ranges: ranges.clone(),
+                body: vec![*child],
+                distributed: false,
+            })
+        };
+        new_maps.push(map_idx);
+    }
+    Ok(new_maps)
+}
+
+/// Map fusion (Fig. 6 step ❹): merges two maps with identical ranges into
+/// one scope (the inverse of fission, minus the transient).
+pub fn map_fusion(state: &mut State, a: usize, b: usize) -> Result<usize, String> {
+    let (ranges_a, mut body_a, name_a, dist_a) = match &state.nodes[a] {
+        Node::Map {
+            ranges,
+            body,
+            name,
+            distributed,
+        } => (ranges.clone(), body.clone(), name.clone(), *distributed),
+        _ => return Err(format!("node {a} is not a map")),
+    };
+    let (ranges_b, body_b) = match &state.nodes[b] {
+        Node::Map { ranges, body, .. } => (ranges.clone(), body.clone()),
+        _ => return Err(format!("node {b} is not a map")),
+    };
+    if ranges_a != ranges_b {
+        return Err("fusion requires identical ranges".to_string());
+    }
+    body_a.extend(body_b);
+    state.nodes[a] = Node::Map {
+        name: format!("{name_a}_fused"),
+        ranges: ranges_a,
+        body: body_a,
+        distributed: dist_a,
+    };
+    // Neutralize the second map (empty scope).
+    state.nodes[b] = Node::Map {
+        name: "(fused away)".to_string(),
+        ranges: Vec::new(),
+        body: Vec::new(),
+        distributed: false,
+    };
+    Ok(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbolic::{bindings, c, p};
+
+    fn simple_state() -> State {
+        // map (i: N) { tasklet reading A[i] (1 element) }
+        let mut s = State {
+            name: "s".into(),
+            ..Default::default()
+        };
+        let t = s.add_node(Node::Tasklet { name: "t".into() });
+        let _a = s.add_node(Node::Access { data: "A".into() });
+        let m = s.add_node(Node::Map {
+            name: "m".into(),
+            ranges: vec![("i".into(), p("N"))],
+            body: vec![t],
+            distributed: true,
+        });
+        s.add_memlet(Memlet {
+            data: "A".into(),
+            volume: c(1.0),
+            local_after_distribution: false,
+            to: t,
+        });
+        let _ = m;
+        s
+    }
+
+    #[test]
+    fn movement_multiplies_by_map_extent() {
+        let s = simple_state();
+        s.validate().unwrap();
+        let b = bindings(&[("N", 100.0)]);
+        assert_eq!(s.total_movement().eval(&b), 100.0);
+    }
+
+    #[test]
+    fn tiling_preserves_total_movement() {
+        let mut s = simple_state();
+        let m = s.nodes.iter().position(|n| matches!(n, Node::Map { .. })).unwrap();
+        map_tiling(&mut s, m, &[("i", p("T"))]).unwrap();
+        s.validate().unwrap();
+        let b = bindings(&[("N", 100.0), ("T", 4.0)]);
+        // (N/T per inner) × T tiles = N.
+        assert_eq!(s.total_movement().eval(&b), 100.0);
+    }
+
+    #[test]
+    fn local_memlets_drop_from_distributed_movement() {
+        let mut s = simple_state();
+        // A second, rank-local memlet.
+        let t2 = s.add_node(Node::Tasklet { name: "t2".into() });
+        if let Node::Map { body, .. } = &mut s.nodes[2] {
+            body.push(t2);
+        }
+        s.add_memlet(Memlet {
+            data: "B".into(),
+            volume: c(2.0),
+            local_after_distribution: true,
+            to: t2,
+        });
+        let b = bindings(&[("N", 10.0)]);
+        assert_eq!(s.total_movement().eval(&b), 10.0 + 20.0);
+        assert_eq!(s.distributed_movement().eval(&b), 10.0);
+    }
+
+    #[test]
+    fn fission_splits_and_fusion_merges() {
+        let mut s = State {
+            name: "s".into(),
+            ..Default::default()
+        };
+        let t1 = s.add_node(Node::Tasklet { name: "t1".into() });
+        let t2 = s.add_node(Node::Tasklet { name: "t2".into() });
+        let m = s.add_node(Node::Map {
+            name: "m".into(),
+            ranges: vec![("i".into(), p("N"))],
+            body: vec![t1, t2],
+            distributed: false,
+        });
+        let maps = map_fission(&mut s, m, c(1.0)).unwrap();
+        assert_eq!(maps.len(), 2);
+        s.validate().unwrap();
+        // Each stage carries one tasklet.
+        for &mi in &maps {
+            if let Node::Map { body, .. } = &s.nodes[mi] {
+                assert_eq!(body.len(), 1);
+            }
+        }
+        // Fuse back.
+        let fused = map_fusion(&mut s, maps[0], maps[1]).unwrap();
+        if let Node::Map { body, .. } = &s.nodes[fused] {
+            assert_eq!(body.len(), 2);
+        }
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_double_ownership() {
+        let mut s = State {
+            name: "bad".into(),
+            ..Default::default()
+        };
+        let t = s.add_node(Node::Tasklet { name: "t".into() });
+        s.add_node(Node::Map {
+            name: "m1".into(),
+            ranges: vec![],
+            body: vec![t],
+            distributed: false,
+        });
+        s.add_node(Node::Map {
+            name: "m2".into(),
+            ranges: vec![],
+            body: vec![t],
+            distributed: false,
+        });
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn sdfg_counts_nodes() {
+        let mut g = Sdfg::new("test");
+        g.add_state(simple_state());
+        g.add_state(simple_state());
+        assert_eq!(g.node_count(), 6);
+        g.validate().unwrap();
+    }
+}

@@ -1,0 +1,20 @@
+//! # omen-dataflow
+//!
+//! An SDFG-lite data-centric intermediate representation (the DaCe
+//! substitute of the reproduction): states, access nodes, tasklets,
+//! parametric maps, and memlets with *symbolic* volumes; graph
+//! transformations (tiling, fission, fusion); and movement analysis that
+//! derives the communication-volume expressions of Fig. 5 directly from
+//! the memlets — the paper's mechanism for discovering the
+//! communication-avoiding variant.
+
+pub mod graph;
+pub mod omen_graphs;
+pub mod symbolic;
+
+pub use graph::{map_fission, map_fusion, map_tiling, Memlet, Node, Sdfg, State};
+pub use omen_graphs::{
+    apply_dace_decomposition, apply_omen_decomposition, dace_volume_expr, omen_volume_expr,
+    simulation_sdfg, sse_state,
+};
+pub use symbolic::{bindings, c, p, Expr};

@@ -1,0 +1,172 @@
+//! Symbolic expressions over named parameters.
+//!
+//! Memlet volumes in the SDFG are symbolic in the simulation parameters
+//! (`Nkz`, `NE`, `Na`, …) so that decomposition transformations can be
+//! *analyzed* — the volume expressions of Fig. 5 are produced by
+//! evaluating these trees.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+/// A symbolic arithmetic expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Literal constant.
+    Const(f64),
+    /// Named parameter.
+    Param(String),
+    /// Sum.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Quotient.
+    Div(Box<Expr>, Box<Expr>),
+}
+
+/// Constant constructor.
+pub fn c(v: f64) -> Expr {
+    Expr::Const(v)
+}
+
+/// Parameter constructor.
+pub fn p(name: &str) -> Expr {
+    Expr::Param(name.to_string())
+}
+
+impl Expr {
+    /// Evaluates with the given parameter bindings.
+    ///
+    /// # Panics
+    /// Panics if a parameter is unbound.
+    pub fn eval(&self, bindings: &HashMap<String, f64>) -> f64 {
+        match self {
+            Expr::Const(v) => *v,
+            Expr::Param(name) => *bindings
+                .get(name)
+                .unwrap_or_else(|| panic!("unbound parameter `{name}`")),
+            Expr::Add(a, b) => a.eval(bindings) + b.eval(bindings),
+            Expr::Sub(a, b) => a.eval(bindings) - b.eval(bindings),
+            Expr::Mul(a, b) => a.eval(bindings) * b.eval(bindings),
+            Expr::Div(a, b) => a.eval(bindings) / b.eval(bindings),
+        }
+    }
+
+    /// All parameter names appearing in the expression.
+    pub fn params(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_params(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_params(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Param(name) => out.push(name.clone()),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                a.collect_params(out);
+                b.collect_params(out);
+            }
+        }
+    }
+
+    /// Product of a list of expressions (`1` when empty).
+    pub fn product(exprs: &[Expr]) -> Expr {
+        exprs
+            .iter()
+            .cloned()
+            .reduce(|a, b| a * b)
+            .unwrap_or(Expr::Const(1.0))
+    }
+}
+
+impl Add for Expr {
+    type Output = Expr;
+    fn add(self, o: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(o))
+    }
+}
+
+impl Sub for Expr {
+    type Output = Expr;
+    fn sub(self, o: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(o))
+    }
+}
+
+impl Mul for Expr {
+    type Output = Expr;
+    fn mul(self, o: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(o))
+    }
+}
+
+impl Div for Expr {
+    type Output = Expr;
+    fn div(self, o: Expr) -> Expr {
+        Expr::Div(Box::new(self), Box::new(o))
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Param(name) => write!(f, "{name}"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "{a}·{b}"),
+            Expr::Div(a, b) => write!(f, "{a}/{b}"),
+        }
+    }
+}
+
+/// Convenience: builds a binding map from `(name, value)` pairs.
+pub fn bindings(pairs: &[(&str, f64)]) -> HashMap<String, f64> {
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), *v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_evaluates() {
+        let e = (p("Na") * p("Norb") + c(3.0)) * c(2.0) / p("P");
+        let b = bindings(&[("Na", 10.0), ("Norb", 4.0), ("P", 2.0)]);
+        assert_eq!(e.eval(&b), (10.0 * 4.0 + 3.0) * 2.0 / 2.0);
+    }
+
+    #[test]
+    fn params_collected_sorted_unique() {
+        let e = p("b") * p("a") + p("b") - c(1.0);
+        assert_eq!(e.params(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound parameter")]
+    fn unbound_param_panics() {
+        let _ = p("missing").eval(&bindings(&[]));
+    }
+
+    #[test]
+    fn product_helper() {
+        let e = Expr::product(&[p("x"), c(2.0), p("y")]);
+        let b = bindings(&[("x", 3.0), ("y", 5.0)]);
+        assert_eq!(e.eval(&b), 30.0);
+        assert_eq!(Expr::product(&[]).eval(&b), 1.0);
+    }
+
+    #[test]
+    fn display_readable() {
+        let e = p("Nkz") * p("NE") * c(16.0);
+        assert_eq!(format!("{e}"), "Nkz·NE·16");
+    }
+}

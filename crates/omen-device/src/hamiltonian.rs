@@ -1,0 +1,242 @@
+//! Assembly of the kz-dependent Hamiltonian `H(kz)` and overlap `S(kz)`
+//! block-tridiagonal matrices.
+//!
+//! Couplings through periodic z-image `m` acquire the Bloch phase
+//! `e^{i m kz}` with `kz ∈ [−π, π]` (the paper's momentum representation of
+//! the tall fin direction, Fig. 1b). The slab partition of the lattice
+//! yields the `bnum` diagonal blocks RGF recurses over.
+
+use crate::lattice::Lattice;
+use crate::material::Material;
+use crate::neighbors::NeighborList;
+use omen_linalg::{c64, BlockTriDiag, C64, CMatrix};
+
+/// Assembles `H(kz)` with an optional per-atom electrostatic potential
+/// (eV) added to the on-site blocks. `potential` must be empty or
+/// `num_atoms` long.
+pub fn assemble_hamiltonian(
+    lattice: &Lattice,
+    neighbors: &NeighborList,
+    material: &Material,
+    kz: f64,
+    potential: &[f64],
+) -> BlockTriDiag {
+    assert!(
+        potential.is_empty() || potential.len() == lattice.num_atoms(),
+        "potential length must be 0 or Na"
+    );
+    let norb = material.norb;
+    let aps = lattice.atoms_per_slab();
+    let bs = aps * norb;
+    let mut h = BlockTriDiag::zeros(lattice.num_slabs, bs);
+
+    // On-site blocks.
+    for (a, atom) in lattice.atoms.iter().enumerate() {
+        let mut onsite = material.onsite_block();
+        if !potential.is_empty() {
+            for o in 0..norb {
+                onsite[(o, o)] += c64(potential[a], 0.0);
+            }
+        }
+        let r0 = atom.slab_offset * norb;
+        h.diag[atom.slab].add_block(r0, r0, C64::ONE, &onsite);
+    }
+
+    // Hopping blocks with Bloch phases.
+    scatter_pair_blocks(lattice, neighbors, &mut h, norb, |p| {
+        let phase = C64::cis(kz * p.z_image as f64);
+        material.hopping_block(p.delta).scaled(phase)
+    });
+    h
+}
+
+/// Assembles the overlap matrix `S(kz)` (identity + short-ranged overlap).
+pub fn assemble_overlap(
+    lattice: &Lattice,
+    neighbors: &NeighborList,
+    material: &Material,
+    kz: f64,
+) -> BlockTriDiag {
+    let norb = material.norb;
+    let aps = lattice.atoms_per_slab();
+    let bs = aps * norb;
+    let mut s = BlockTriDiag::zeros(lattice.num_slabs, bs);
+    for b in 0..lattice.num_slabs {
+        s.diag[b] = CMatrix::identity(bs);
+    }
+    scatter_pair_blocks(lattice, neighbors, &mut s, norb, |p| {
+        let phase = C64::cis(kz * p.z_image as f64);
+        material.overlap_block(p.delta).scaled(phase)
+    });
+    s
+}
+
+/// Assembles the dynamical matrix `Φ(qz)` (3 degrees of freedom per atom,
+/// mass-normalized) with the acoustic sum rule
+/// `Φ_aa = −Σ_{(b,m)} Φ_ab(m; qz=0)` so that uniform translations at
+/// `qz = 0` cost zero energy.
+pub fn assemble_dynamical(
+    lattice: &Lattice,
+    neighbors: &NeighborList,
+    material: &Material,
+    qz: f64,
+) -> BlockTriDiag {
+    let n3d = 3;
+    let aps = lattice.atoms_per_slab();
+    let bs = aps * n3d;
+    let mut phi = BlockTriDiag::zeros(lattice.num_slabs, bs);
+
+    // Off-site (and z-image) blocks with phases.
+    scatter_pair_blocks(lattice, neighbors, &mut phi, n3d, |p| {
+        let phase = C64::cis(qz * p.z_image as f64);
+        material.force_block(p.delta).scaled(phase)
+    });
+
+    // Acoustic sum rule on the on-site blocks (phase-free sum).
+    for (a, atom) in lattice.atoms.iter().enumerate() {
+        let mut acc = CMatrix::zeros(n3d, n3d);
+        for p in neighbors.of(a) {
+            acc += &material.force_block(p.delta);
+        }
+        let r0 = atom.slab_offset * n3d;
+        phi.diag[atom.slab].add_block(r0, r0, c64(-1.0, 0.0), &acc);
+    }
+    phi
+}
+
+/// Scatters one `block(pair)` per directed neighbor pair into the
+/// block-tridiagonal structure. `sub` is the per-atom sub-block size
+/// (`norb` for electrons, `3` for phonons).
+fn scatter_pair_blocks(
+    lattice: &Lattice,
+    neighbors: &NeighborList,
+    target: &mut BlockTriDiag,
+    sub: usize,
+    mut block: impl FnMut(&crate::neighbors::Neighbor) -> CMatrix,
+) {
+    for p in &neighbors.pairs {
+        let fa = lattice.atoms[p.from];
+        let ta = lattice.atoms[p.to];
+        let r0 = fa.slab_offset * sub;
+        let c0 = ta.slab_offset * sub;
+        let blk = block(p);
+        match ta.slab as i64 - fa.slab as i64 {
+            0 => target.diag[fa.slab].add_block(r0, c0, C64::ONE, &blk),
+            1 => target.upper[fa.slab].add_block(r0, c0, C64::ONE, &blk),
+            -1 => target.lower[ta.slab].add_block(r0, c0, C64::ONE, &blk),
+            _ => panic!("neighbor list spans non-adjacent slabs"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::Lattice;
+    use crate::neighbors::NeighborList;
+
+    fn setup() -> (Lattice, NeighborList, Material) {
+        let l = Lattice::rectangular(6, 2, 1, 0.25, 0.25, 0.25);
+        let nl = NeighborList::build(&l, 0.26);
+        let m = Material::silicon_like(3);
+        (l, nl, m)
+    }
+
+    #[test]
+    fn hamiltonian_hermitian_at_all_kz() {
+        let (l, nl, m) = setup();
+        for &kz in &[0.0, 0.7, -1.3, std::f64::consts::PI] {
+            let h = assemble_hamiltonian(&l, &nl, &m, kz, &[]);
+            assert!(h.is_hermitian(1e-12), "H(kz={kz}) not Hermitian");
+        }
+    }
+
+    #[test]
+    fn overlap_hermitian_and_diag_dominant() {
+        let (l, nl, m) = setup();
+        let s = assemble_overlap(&l, &nl, &m, 0.9);
+        assert!(s.is_hermitian(1e-12));
+        // Identity on the diagonal entries.
+        for b in &s.diag {
+            for i in 0..b.rows() {
+                assert!((b[(i, i)].re - 1.0).abs() < 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn dynamical_hermitian_and_acoustic_sum_rule() {
+        let (l, nl, m) = setup();
+        let phi = assemble_dynamical(&l, &nl, &m, 0.0);
+        assert!(phi.is_hermitian(1e-12));
+        // Acoustic sum rule: at qz = 0 the row sums over all 3x3 blocks
+        // vanish -> uniform translation is a zero mode. Check via dense
+        // matrix times the uniform displacement vector.
+        let d = phi.to_dense();
+        let n = d.rows();
+        for dir in 0..3 {
+            let u: Vec<C64> = (0..n)
+                .map(|i| if i % 3 == dir { C64::ONE } else { C64::ZERO })
+                .collect();
+            let f = d.matvec(&u);
+            let maxf = f.iter().map(|z| z.abs()).fold(0.0, f64::max);
+            assert!(maxf < 1e-12, "translation mode (dir {dir}) not free: {maxf}");
+        }
+    }
+
+    #[test]
+    fn dynamical_positive_semidefinite_at_zero_qz() {
+        // All Gershgorin-ish checks are weak; instead verify u†Φu >= 0 for a
+        // few random displacement vectors.
+        let (l, nl, m) = setup();
+        let phi = assemble_dynamical(&l, &nl, &m, 0.0).to_dense();
+        let n = phi.rows();
+        for s in 0..8 {
+            let u: Vec<C64> = (0..n)
+                .map(|i| c64(((i * 7 + s * 13) as f64).sin(), ((i * 3 + s) as f64).cos()))
+                .collect();
+            let pu = phi.matvec(&u);
+            let quad: f64 = u
+                .iter()
+                .zip(pu.iter())
+                .map(|(a, b)| (a.conj() * *b).re)
+                .sum();
+            assert!(quad > -1e-10, "negative phonon quadratic form: {quad}");
+        }
+    }
+
+    #[test]
+    fn potential_shifts_diagonal() {
+        let (l, nl, m) = setup();
+        let h0 = assemble_hamiltonian(&l, &nl, &m, 0.3, &[]);
+        let pot = vec![0.25; l.num_atoms()];
+        let h1 = assemble_hamiltonian(&l, &nl, &m, 0.3, &pot);
+        let d0 = h0.to_dense();
+        let d1 = h1.to_dense();
+        for i in 0..d0.rows() {
+            assert!((d1[(i, i)] - d0[(i, i)] - c64(0.25, 0.0)).abs() < 1e-13);
+        }
+        // Off-diagonals untouched.
+        assert!((d1[(0, 1)] - d0[(0, 1)]).abs() < 1e-14);
+    }
+
+    #[test]
+    fn kz_only_affects_z_image_couplings() {
+        // With az too large for z-image coupling, H must be kz-independent.
+        let l = Lattice::rectangular(6, 2, 1, 0.25, 0.25, 2.0);
+        let nl = NeighborList::build(&l, 0.26);
+        let m = Material::silicon_like(2);
+        let h1 = assemble_hamiltonian(&l, &nl, &m, 0.0, &[]).to_dense();
+        let h2 = assemble_hamiltonian(&l, &nl, &m, 1.1, &[]).to_dense();
+        assert!(h1.approx_eq(&h2, 1e-14));
+    }
+
+    #[test]
+    fn kz_pi_and_minus_pi_agree() {
+        // e^{iπm} == e^{-iπm} for integer m: Brillouin-zone edge consistency.
+        let (l, nl, m) = setup();
+        let hp = assemble_hamiltonian(&l, &nl, &m, std::f64::consts::PI, &[]).to_dense();
+        let hm = assemble_hamiltonian(&l, &nl, &m, -std::f64::consts::PI, &[]).to_dense();
+        assert!(hp.approx_eq(&hm, 1e-12));
+    }
+}

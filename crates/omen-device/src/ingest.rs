@@ -1,0 +1,219 @@
+//! Binary material-file format and the data-ingestion path (§7.1.1).
+//!
+//! The paper's simulator loads GiBs of CP2K output (Hamiltonian blocks,
+//! derivative blocks, structural data) from a parallel filesystem; naive
+//! per-rank reads cost ~30 minutes at scale, chunked broadcast staging
+//! brings it under a minute. Here we define the on-disk format — a
+//! deterministic little-endian layout built with `bytes` — so the staging
+//! simulation in `omen-comm` ships real payloads, and a loader that
+//! round-trips a [`DeviceStructure`].
+
+use crate::structure::{DeviceConfig, DeviceStructure};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic number identifying the material file format ("OMENMAT1").
+pub const MAGIC: u64 = 0x4F4D_454E_4D41_5431;
+
+/// Errors produced by [`deserialize_structure`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// The buffer does not start with [`MAGIC`].
+    BadMagic,
+    /// The buffer ended prematurely.
+    Truncated,
+    /// The embedded payload checksum does not match the regenerated data.
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::BadMagic => write!(f, "not a material file (bad magic)"),
+            IngestError::Truncated => write!(f, "material file truncated"),
+            IngestError::ChecksumMismatch => write!(f, "material payload checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Serializes a device structure to the material-file format.
+///
+/// The payload carries the generator configuration *and* the full `∇H`
+/// gradient table plus per-pair geometry — the bulky part CP2K would
+/// produce — so the byte volume scales like the real ingestion problem:
+/// `O(pairs · 3 · Norb²)` doubles.
+pub fn serialize_structure(dev: &DeviceStructure) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u64_le(MAGIC);
+    let c = &dev.config;
+    buf.put_u64_le(c.nx as u64);
+    buf.put_u64_le(c.ny as u64);
+    buf.put_u64_le(c.cols_per_slab as u64);
+    buf.put_u64_le(c.norb as u64);
+    buf.put_f64_le(c.ax);
+    buf.put_f64_le(c.ay);
+    buf.put_f64_le(c.az);
+    buf.put_f64_le(c.cutoff);
+    buf.put_u64_le(c.seed);
+
+    // Bulk payload: per-pair displacement + gradient blocks.
+    buf.put_u64_le(dev.neighbors.num_pairs() as u64);
+    let mut checksum = 0.0f64;
+    for (p, g) in dev.neighbors.pairs.iter().zip(dev.gradients.grads.iter()) {
+        buf.put_u64_le(p.from as u64);
+        buf.put_u64_le(p.to as u64);
+        buf.put_i8(p.z_image);
+        for d in 0..3 {
+            buf.put_f64_le(p.delta[d]);
+        }
+        for mat in g.iter() {
+            for z in mat.as_slice() {
+                buf.put_f64_le(z.re);
+                buf.put_f64_le(z.im);
+                checksum += z.re.abs() + z.im.abs();
+            }
+        }
+    }
+    buf.put_f64_le(checksum);
+    buf.freeze()
+}
+
+/// Parses a material file, rebuilds the device from its configuration, and
+/// verifies the payload against the regenerated gradient table.
+pub fn deserialize_structure(mut data: &[u8]) -> Result<DeviceStructure, IngestError> {
+    let need = |data: &[u8], n: usize| {
+        if data.remaining() < n {
+            Err(IngestError::Truncated)
+        } else {
+            Ok(())
+        }
+    };
+    need(data, 8)?;
+    if data.get_u64_le() != MAGIC {
+        return Err(IngestError::BadMagic);
+    }
+    need(data, 8 * 4 + 8 * 4 + 8)?;
+    let nx = data.get_u64_le() as usize;
+    let ny = data.get_u64_le() as usize;
+    let cols_per_slab = data.get_u64_le() as usize;
+    let norb = data.get_u64_le() as usize;
+    let ax = data.get_f64_le();
+    let ay = data.get_f64_le();
+    let az = data.get_f64_le();
+    let cutoff = data.get_f64_le();
+    let seed = data.get_u64_le();
+    let config = DeviceConfig {
+        nx,
+        ny,
+        cols_per_slab,
+        norb,
+        ax,
+        ay,
+        az,
+        cutoff,
+        seed,
+    };
+    let dev = DeviceStructure::build(config);
+
+    need(data, 8)?;
+    let npairs = data.get_u64_le() as usize;
+    if npairs != dev.neighbors.num_pairs() {
+        return Err(IngestError::ChecksumMismatch);
+    }
+    let per_pair = 8 + 8 + 1 + 3 * 8 + 3 * norb * norb * 16;
+    need(data, npairs * per_pair + 8)?;
+    let mut checksum = 0.0f64;
+    for g in dev.gradients.grads.iter() {
+        let _from = data.get_u64_le();
+        let _to = data.get_u64_le();
+        let _m = data.get_i8();
+        for _ in 0..3 {
+            let _ = data.get_f64_le();
+        }
+        for mat in g.iter() {
+            for z in mat.as_slice() {
+                let re = data.get_f64_le();
+                let im = data.get_f64_le();
+                // Regeneration is deterministic, so the comparison can be
+                // bit-exact — any corrupted payload bit is detected.
+                if re.to_bits() != z.re.to_bits() || im.to_bits() != z.im.to_bits() {
+                    return Err(IngestError::ChecksumMismatch);
+                }
+                checksum += re.abs() + im.abs();
+            }
+        }
+    }
+    let stored = data.get_f64_le();
+    if (stored - checksum).abs() > 1e-6 * checksum.max(1.0) {
+        return Err(IngestError::ChecksumMismatch);
+    }
+    Ok(dev)
+}
+
+/// The serialized size in bytes of a device's material file, without
+/// building the buffer (used by the staging model at paper scales).
+pub fn serialized_size(num_pairs: usize, norb: usize) -> usize {
+    8 /* magic */ + 4 * 8 + 4 * 8 + 8 /* config */
+        + 8 /* pair count */
+        + num_pairs * (8 + 8 + 1 + 24 + 3 * norb * norb * 16)
+        + 8 /* checksum */
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::{DeviceConfig, DeviceStructure};
+
+    #[test]
+    fn round_trip() {
+        let dev = DeviceStructure::build(DeviceConfig::tiny());
+        let bytes = serialize_structure(&dev);
+        let back = deserialize_structure(&bytes).expect("round trip");
+        assert_eq!(back.config, dev.config);
+        assert_eq!(back.num_atoms(), dev.num_atoms());
+        assert_eq!(back.neighbors.num_pairs(), dev.neighbors.num_pairs());
+    }
+
+    #[test]
+    fn size_formula_matches() {
+        let dev = DeviceStructure::build(DeviceConfig::tiny());
+        let bytes = serialize_structure(&dev);
+        assert_eq!(
+            bytes.len(),
+            serialized_size(dev.neighbors.num_pairs(), dev.config.norb)
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut data = serialize_structure(&DeviceStructure::build(DeviceConfig::tiny())).to_vec();
+        data[0] ^= 0xFF;
+        assert_eq!(deserialize_structure(&data).unwrap_err(), IngestError::BadMagic);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let data = serialize_structure(&DeviceStructure::build(DeviceConfig::tiny()));
+        for cut in [4usize, 40, data.len() / 2, data.len() - 1] {
+            assert_eq!(
+                deserialize_structure(&data[..cut]).unwrap_err(),
+                IngestError::Truncated,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let dev = DeviceStructure::build(DeviceConfig::tiny());
+        let mut data = serialize_structure(&dev).to_vec();
+        // Flip a byte inside the gradient payload.
+        let off = data.len() - 100;
+        data[off] ^= 0x01;
+        assert_eq!(
+            deserialize_structure(&data).unwrap_err(),
+            IngestError::ChecksumMismatch
+        );
+    }
+}

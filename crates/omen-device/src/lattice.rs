@@ -1,0 +1,162 @@
+//! Atomic lattice generation for FinFET-slice devices.
+//!
+//! The paper simulates a 2-D slice of a Si FinFET in the x–y plane
+//! (Fig. 1b): transport along x, confinement along y, and the tall z
+//! direction treated as periodic and represented by a momentum `kz`. We
+//! generate a rectangular lattice of atoms — `nx` columns along transport ×
+//! `ny` rows across the fin width — grouped into `bnum` slabs of
+//! `cols_per_slab` columns each. Couplings never reach beyond one slab,
+//! which is what makes `H`, `S`, and `Φ` block-tridiagonal.
+
+/// One atom of the device.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Atom {
+    /// Position in nanometres, `[x, y, z]`; all atoms sit at `z = 0` in the
+    /// reference cell (periodic images handle the z direction).
+    pub pos: [f64; 3],
+    /// Slab (block) index along transport.
+    pub slab: usize,
+    /// Index of this atom within its slab.
+    pub slab_offset: usize,
+}
+
+/// The generated lattice.
+#[derive(Clone, Debug)]
+pub struct Lattice {
+    /// All atoms, ordered slab-major (slab 0 first, then slab 1, …).
+    pub atoms: Vec<Atom>,
+    /// Number of columns along transport.
+    pub nx: usize,
+    /// Number of rows across the fin.
+    pub ny: usize,
+    /// Columns per slab.
+    pub cols_per_slab: usize,
+    /// Number of slabs (`bnum`).
+    pub num_slabs: usize,
+    /// Lattice constant along x (nm).
+    pub ax: f64,
+    /// Lattice constant along y (nm).
+    pub ay: f64,
+    /// Periodicity along z (nm) — the momentum direction.
+    pub az: f64,
+}
+
+impl Lattice {
+    /// Generates an `nx × ny` lattice grouped into slabs of
+    /// `cols_per_slab` columns.
+    ///
+    /// # Panics
+    /// Panics if `nx` is not divisible by `cols_per_slab`.
+    pub fn rectangular(nx: usize, ny: usize, cols_per_slab: usize, ax: f64, ay: f64, az: f64) -> Self {
+        assert!(nx > 0 && ny > 0 && cols_per_slab > 0);
+        assert!(
+            nx % cols_per_slab == 0,
+            "nx = {nx} must be divisible by cols_per_slab = {cols_per_slab}"
+        );
+        let num_slabs = nx / cols_per_slab;
+        let mut atoms = Vec::with_capacity(nx * ny);
+        // Slab-major ordering so the Hamiltonian block structure is
+        // contiguous: all atoms of slab 0, then slab 1, …
+        for s in 0..num_slabs {
+            let mut off = 0;
+            for cx in 0..cols_per_slab {
+                let ix = s * cols_per_slab + cx;
+                for iy in 0..ny {
+                    atoms.push(Atom {
+                        pos: [ix as f64 * ax, iy as f64 * ay, 0.0],
+                        slab: s,
+                        slab_offset: off,
+                    });
+                    off += 1;
+                }
+            }
+        }
+        Lattice {
+            atoms,
+            nx,
+            ny,
+            cols_per_slab,
+            num_slabs,
+            ax,
+            ay,
+            az,
+        }
+    }
+
+    /// Total number of atoms (`Na`).
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Atoms per slab.
+    pub fn atoms_per_slab(&self) -> usize {
+        self.cols_per_slab * self.ny
+    }
+
+    /// Device length along transport (nm).
+    pub fn length(&self) -> f64 {
+        (self.nx.saturating_sub(1)) as f64 * self.ax
+    }
+
+    /// Device width across the fin (nm).
+    pub fn width(&self) -> f64 {
+        (self.ny.saturating_sub(1)) as f64 * self.ay
+    }
+
+    /// Global atom index from `(slab, slab_offset)`.
+    pub fn atom_index(&self, slab: usize, slab_offset: usize) -> usize {
+        slab * self.atoms_per_slab() + slab_offset
+    }
+
+    /// The x coordinate of slab `s`'s first column.
+    pub fn slab_x(&self, s: usize) -> f64 {
+        (s * self.cols_per_slab) as f64 * self.ax
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_count_and_ordering() {
+        let l = Lattice::rectangular(6, 3, 2, 0.25, 0.25, 0.5);
+        assert_eq!(l.num_atoms(), 18);
+        assert_eq!(l.num_slabs, 3);
+        assert_eq!(l.atoms_per_slab(), 6);
+        // Slab-major: first 6 atoms in slab 0.
+        for (i, a) in l.atoms.iter().enumerate() {
+            assert_eq!(a.slab, i / 6, "atom {i}");
+            assert_eq!(a.slab_offset, i % 6);
+            assert_eq!(l.atom_index(a.slab, a.slab_offset), i);
+        }
+    }
+
+    #[test]
+    fn positions_cover_expected_extent() {
+        let l = Lattice::rectangular(8, 4, 2, 0.25, 0.3, 0.5);
+        assert!((l.length() - 7.0 * 0.25).abs() < 1e-12);
+        assert!((l.width() - 3.0 * 0.3).abs() < 1e-12);
+        let max_x = l.atoms.iter().map(|a| a.pos[0]).fold(0.0, f64::max);
+        assert!((max_x - l.length()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slab_positions_monotone() {
+        let l = Lattice::rectangular(9, 2, 3, 0.25, 0.25, 0.5);
+        assert_eq!(l.num_slabs, 3);
+        assert!(l.slab_x(0) < l.slab_x(1));
+        // All atoms of slab s lie within [slab_x(s), slab_x(s)+width).
+        for a in &l.atoms {
+            let x0 = l.slab_x(a.slab);
+            assert!(a.pos[0] >= x0 - 1e-12);
+            assert!(a.pos[0] < x0 + 3.0 * 0.25);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn indivisible_columns_panic() {
+        let _ = Lattice::rectangular(7, 2, 2, 0.25, 0.25, 0.5);
+    }
+}

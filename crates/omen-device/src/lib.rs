@@ -1,0 +1,30 @@
+//! # omen-device
+//!
+//! Synthetic nano-device generator — the CP2K substitute of the
+//! reproduction (see `DESIGN.md` §2 for the substitution argument).
+//!
+//! Produces everything the NEGF solver consumes:
+//! * a FinFET-slice lattice partitioned into `bnum` slabs ([`lattice`]),
+//! * short-ranged neighbor lists with periodic z-images ([`neighbors`]),
+//! * Hermitian kz-dependent `H(kz)`/`S(kz)` and a dynamical matrix `Φ(qz)`
+//!   obeying the acoustic sum rule ([`hamiltonian`]),
+//! * the `∇H` derivative table entering the scattering self-energies
+//!   ([`gradient`]),
+//! * a binary material-file format plus loaders for the data-ingestion
+//!   experiments ([`ingest`]).
+
+pub mod gradient;
+pub mod hamiltonian;
+pub mod ingest;
+pub mod lattice;
+pub mod material;
+pub mod neighbors;
+pub mod structure;
+
+pub use gradient::GradientTable;
+pub use hamiltonian::{assemble_dynamical, assemble_hamiltonian, assemble_overlap};
+pub use ingest::{deserialize_structure, serialize_structure, serialized_size, IngestError};
+pub use lattice::{Atom, Lattice};
+pub use material::Material;
+pub use neighbors::{Neighbor, NeighborList};
+pub use structure::{DeviceConfig, DeviceStructure};

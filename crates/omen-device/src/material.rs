@@ -1,0 +1,279 @@
+//! Material parameterization — the synthetic stand-in for CP2K's DFT output.
+//!
+//! CP2K would provide, per atom pair, `Norb × Norb` Hamiltonian and overlap
+//! coupling blocks, their position derivatives `∇H`, and `3 × 3`
+//! inter-atomic force-constant blocks. We generate all of these from a
+//! short-ranged analytic model:
+//!
+//! * hopping magnitude `t(r) = t0 · exp(−(r − r0)/λ)`;
+//! * an orbital mixing pattern that makes blocks dense like DFT (not
+//!   diagonal like simple tight-binding), with a deterministic
+//!   pseudo-random component so no accidental symmetry survives;
+//! * spring constants `k(r) = k0 · exp(−(r − r0)/λ_ph)` entering a
+//!   longitudinal/transverse force-constant block.
+//!
+//! The generated operators keep every property the solver relies on:
+//! Hermiticity, short range (block-tridiagonality), positive-definite
+//! overlap, and the acoustic sum rule for `Φ`.
+
+use omen_linalg::{c64, CMatrix, C64};
+
+/// Material parameters of the synthetic device.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Material {
+    /// Orbitals per atom (`Norb`).
+    pub norb: usize,
+    /// On-site orbital energies (eV), length `norb`.
+    pub onsite: Vec<f64>,
+    /// Hopping prefactor `t0` (eV).
+    pub t0: f64,
+    /// Reference bond length `r0` (nm).
+    pub r0: f64,
+    /// Hopping decay length `λ` (nm).
+    pub lambda: f64,
+    /// Overlap prefactor (dimensionless, small).
+    pub s0: f64,
+    /// Spring-constant prefactor `k0` (eV²; mass-normalized so `Φ` has
+    /// units of energy², matching `ω²` on the phonon grid).
+    pub k0: f64,
+    /// Spring decay length (nm).
+    pub lambda_ph: f64,
+    /// Fraction of transverse (non-longitudinal) restoring force.
+    pub transverse_frac: f64,
+    /// Seed for the deterministic orbital-mixing pattern.
+    pub seed: u64,
+}
+
+impl Material {
+    /// A silicon-like parameter set (energies in eV, lengths in nm).
+    pub fn silicon_like(norb: usize) -> Material {
+        let onsite = (0..norb)
+            .map(|o| 0.35 * (o as f64 - (norb as f64 - 1.0) / 2.0))
+            .collect();
+        Material {
+            norb,
+            onsite,
+            t0: 1.2,
+            r0: 0.25,
+            lambda: 0.12,
+            s0: 0.04,
+            k0: 3.0e-3,
+            lambda_ph: 0.12,
+            transverse_frac: 0.25,
+            seed: 0x5EED_0A70,
+        }
+    }
+
+    /// Radial hopping magnitude `t(r)` in eV.
+    pub fn hopping(&self, r: f64) -> f64 {
+        -self.t0 * (-(r - self.r0) / self.lambda).exp()
+    }
+
+    /// Radial derivative `dt/dr` in eV/nm.
+    pub fn hopping_deriv(&self, r: f64) -> f64 {
+        -self.hopping(r) / self.lambda
+    }
+
+    /// Radial overlap magnitude `s(r)` (dimensionless).
+    pub fn overlap(&self, r: f64) -> f64 {
+        self.s0 * (-(r - self.r0) / self.lambda).exp()
+    }
+
+    /// Radial spring constant `k(r)` in eV².
+    pub fn spring(&self, r: f64) -> f64 {
+        self.k0 * (-(r - self.r0) / self.lambda_ph).exp()
+    }
+
+    /// The `norb × norb` orbital mixing pattern for a displacement
+    /// direction `u = δ/r`. Real-valued and constructed so
+    /// `pattern(u)ᵀ == pattern(−u)`, which makes `H(kz)` Hermitian.
+    pub fn orbital_pattern(&self, unit: [f64; 3]) -> CMatrix {
+        let n = self.norb;
+        CMatrix::from_fn(n, n, |i, j| {
+            // Symmetric base + direction-odd antisymmetric part: swapping
+            // (i,j) and negating u leaves the value unchanged.
+            let sym = mix_hash(self.seed, i.min(j), i.max(j), 0);
+            let anti = mix_hash(self.seed, i.min(j), i.max(j), 1);
+            let sgn = if i < j {
+                1.0
+            } else if i > j {
+                -1.0
+            } else {
+                0.0
+            };
+            let dir = unit[0] * 0.9 + unit[1] * 0.7 + unit[2] * 0.5;
+            let diag_boost = if i == j { 1.0 } else { 0.45 };
+            c64(diag_boost * sym + 0.3 * sgn * dir * anti, 0.0)
+        })
+    }
+
+    /// Full `norb × norb` hopping block for displacement `delta`.
+    pub fn hopping_block(&self, delta: [f64; 3]) -> CMatrix {
+        let r = norm3(delta);
+        let unit = [delta[0] / r, delta[1] / r, delta[2] / r];
+        self.orbital_pattern(unit).scaled(C64::from_re(self.hopping(r)))
+    }
+
+    /// Full `norb × norb` overlap block for displacement `delta`.
+    pub fn overlap_block(&self, delta: [f64; 3]) -> CMatrix {
+        let r = norm3(delta);
+        let unit = [delta[0] / r, delta[1] / r, delta[2] / r];
+        self.orbital_pattern(unit).scaled(C64::from_re(self.overlap(r)))
+    }
+
+    /// `∇H` blocks: the three `norb × norb` derivative matrices
+    /// `∂H_ab/∂R_i`, `i ∈ {x, y, z}`, for displacement `delta`.
+    ///
+    /// We differentiate only the radial factor (the dominant term):
+    /// `∂H/∂R_i = t'(r) · (δ_i / r) · pattern(δ̂)`.
+    pub fn gradient_blocks(&self, delta: [f64; 3]) -> [CMatrix; 3] {
+        let r = norm3(delta);
+        let unit = [delta[0] / r, delta[1] / r, delta[2] / r];
+        let pat = self.orbital_pattern(unit);
+        let dt = self.hopping_deriv(r);
+        [
+            pat.scaled(C64::from_re(dt * unit[0])),
+            pat.scaled(C64::from_re(dt * unit[1])),
+            pat.scaled(C64::from_re(dt * unit[2])),
+        ]
+    }
+
+    /// `3 × 3` force-constant block for displacement `delta`
+    /// (mass-normalized): `Φ_ab = −k(r) [(1−f) δ̂⊗δ̂ + f·I]`.
+    pub fn force_block(&self, delta: [f64; 3]) -> CMatrix {
+        let r = norm3(delta);
+        let u = [delta[0] / r, delta[1] / r, delta[2] / r];
+        let k = self.spring(r);
+        let f = self.transverse_frac;
+        CMatrix::from_fn(3, 3, |i, j| {
+            let long = u[i] * u[j] * (1.0 - f);
+            let trans = if i == j { f } else { 0.0 };
+            c64(-k * (long + trans), 0.0)
+        })
+    }
+
+    /// On-site Hamiltonian block (diagonal orbital energies).
+    pub fn onsite_block(&self) -> CMatrix {
+        CMatrix::from_diag(&self.onsite.iter().map(|&e| c64(e, 0.0)).collect::<Vec<_>>())
+    }
+}
+
+/// Euclidean norm of a 3-vector.
+pub fn norm3(v: [f64; 3]) -> f64 {
+    (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt()
+}
+
+/// Deterministic hash → value in `[0.5, 1.0]`, used for the orbital mixing
+/// pattern (SplitMix64 finalizer).
+fn mix_hash(seed: u64, a: usize, b: usize, salt: u64) -> f64 {
+    let mut x = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(1 + a as u64))
+        .wrapping_add(0xBF58_476D_1CE4_E5B9u64.wrapping_mul(7 + b as u64))
+        .wrapping_add(0x94D0_49BB_1331_11EBu64.wrapping_mul(13 + salt));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    0.5 + 0.5 * (x as f64 / u64::MAX as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hopping_decays_with_distance() {
+        let m = Material::silicon_like(4);
+        assert!(m.hopping(0.25).abs() > m.hopping(0.35).abs());
+        assert!(m.hopping(0.25) < 0.0, "attractive hopping convention");
+        // Derivative is positive (hopping rises toward zero with distance).
+        assert!(m.hopping_deriv(0.25) > 0.0);
+    }
+
+    #[test]
+    fn pattern_transpose_symmetry() {
+        // pattern(u)^T == pattern(-u): the key Hermiticity ingredient.
+        let m = Material::silicon_like(5);
+        let u = [0.6, -0.64, 0.48];
+        let nu = [-0.6, 0.64, -0.48];
+        let p = m.orbital_pattern(u);
+        let q = m.orbital_pattern(nu);
+        assert!(p.transpose().approx_eq(&q, 1e-14));
+    }
+
+    #[test]
+    fn hopping_block_reciprocity() {
+        // T_ba(-δ) == T_ab(δ)^T  (real blocks).
+        let m = Material::silicon_like(4);
+        let d = [0.25, 0.1, -0.05];
+        let nd = [-0.25, -0.1, 0.05];
+        let t_ab = m.hopping_block(d);
+        let t_ba = m.hopping_block(nd);
+        assert!(t_ba.approx_eq(&t_ab.transpose(), 1e-14));
+    }
+
+    #[test]
+    fn gradient_is_antisymmetric_under_reversal() {
+        // ∇H_ba(-δ) == -(∇H_ab(δ))^T because t'(r)·δ̂ flips sign.
+        let m = Material::silicon_like(3);
+        let d = [0.2, -0.12, 0.09];
+        let nd = [-0.2, 0.12, -0.09];
+        let ga = m.gradient_blocks(d);
+        let gb = m.gradient_blocks(nd);
+        for i in 0..3 {
+            assert!(gb[i].approx_eq(&ga[i].transpose().scaled(c64(-1.0, 0.0)), 1e-14));
+        }
+    }
+
+    #[test]
+    fn force_block_symmetric_negative_definiteish() {
+        let m = Material::silicon_like(4);
+        let f = m.force_block([0.25, 0.0, 0.0]);
+        assert!(f.is_hermitian(1e-14));
+        // Longitudinal (x) component strongest.
+        assert!(f[(0, 0)].re < f[(1, 1)].re);
+        assert!(f[(0, 0)].re < 0.0);
+        // Transverse isotropy: yy == zz for an x-directed bond.
+        assert!((f[(1, 1)].re - f[(2, 2)].re).abs() < 1e-14);
+    }
+
+    #[test]
+    fn force_block_even_under_reversal() {
+        // Φ(δ) == Φ(-δ): u⊗u is even in u.
+        let m = Material::silicon_like(4);
+        let f1 = m.force_block([0.2, 0.1, 0.0]);
+        let f2 = m.force_block([-0.2, -0.1, 0.0]);
+        assert!(f1.approx_eq(&f2, 1e-14));
+    }
+
+    #[test]
+    fn onsite_block_is_diagonal_real() {
+        let m = Material::silicon_like(4);
+        let h0 = m.onsite_block();
+        assert!(h0.is_hermitian(0.0));
+        assert_eq!(h0[(0, 1)], C64::ZERO);
+        // Mean orbital energy centred on zero.
+        let tr: f64 = (0..4).map(|i| h0[(i, i)].re).sum();
+        assert!(tr.abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_pattern() {
+        let m = Material::silicon_like(6);
+        let p1 = m.orbital_pattern([1.0, 0.0, 0.0]);
+        let p2 = m.orbital_pattern([1.0, 0.0, 0.0]);
+        assert!(p1.approx_eq(&p2, 0.0), "pattern must be deterministic");
+        // Different seed -> different pattern.
+        let mut m2 = m.clone();
+        m2.seed ^= 0xFFFF;
+        let p3 = m2.orbital_pattern([1.0, 0.0, 0.0]);
+        assert!(!p1.approx_eq(&p3, 1e-6));
+    }
+
+    #[test]
+    fn overlap_much_smaller_than_hopping() {
+        let m = Material::silicon_like(4);
+        assert!(m.overlap(0.25) < 0.1 * m.hopping(0.25).abs());
+    }
+}

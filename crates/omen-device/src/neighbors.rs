@@ -1,0 +1,208 @@
+//! Neighbor-list construction.
+//!
+//! Couplings are short-ranged: atom `a` couples to atom `b` when their
+//! in-plane distance (including one periodic image along z) is below the
+//! material cutoff. Each directed pair carries the displacement vector
+//! `δ = R_b − R_a` and the z-image index `m ∈ {−1, 0, +1}` that produces
+//! the `e^{i m kz}` Bloch phase in `H(kz)`.
+
+use crate::lattice::Lattice;
+
+/// A directed coupling from atom `from` to atom `to` through z-image `m`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Source atom (global index).
+    pub from: usize,
+    /// Target atom (global index).
+    pub to: usize,
+    /// Displacement `R_to + m·az·ẑ − R_from` in nm.
+    pub delta: [f64; 3],
+    /// Periodic image index along z.
+    pub z_image: i8,
+    /// Euclidean length of `delta`.
+    pub dist: f64,
+}
+
+/// Neighbor list with per-atom adjacency offsets.
+#[derive(Clone, Debug)]
+pub struct NeighborList {
+    /// All directed neighbor pairs, sorted by `from`.
+    pub pairs: Vec<Neighbor>,
+    /// `offsets[a]..offsets[a+1]` indexes the pairs whose source is `a`.
+    pub offsets: Vec<usize>,
+    /// Maximum neighbor count over all atoms (`Nb` in the paper).
+    pub max_neighbors: usize,
+}
+
+impl NeighborList {
+    /// Builds the neighbor list of `lattice` with interaction `cutoff` (nm).
+    ///
+    /// Self-coupling through a periodic z image (same atom, `m = ±1`) is
+    /// included when `az <= cutoff`; the `m = 0` self-pair is excluded
+    /// (it is the on-site block, handled separately).
+    ///
+    /// # Panics
+    /// Panics if the cutoff exceeds one slab width — that would break the
+    /// block-tridiagonal structure RGF relies on.
+    pub fn build(lattice: &Lattice, cutoff: f64) -> Self {
+        // Columns c and c' in non-adjacent slabs are at least
+        // (cols_per_slab + 1) columns apart, so block-tridiagonality holds
+        // as long as the cutoff cannot bridge that distance.
+        let limit = (lattice.cols_per_slab + 1) as f64 * lattice.ax;
+        assert!(
+            cutoff < limit - 1e-12,
+            "cutoff {cutoff} nm reaches beyond adjacent slabs (limit {limit} nm): H would not be block-tridiagonal"
+        );
+        let n = lattice.num_atoms();
+        let mut pairs = Vec::new();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        let mut max_neighbors = 0usize;
+        for a in 0..n {
+            let pa = lattice.atoms[a].pos;
+            let mut count = 0usize;
+            for b in 0..n {
+                for m in -1i8..=1 {
+                    if b == a && m == 0 {
+                        continue;
+                    }
+                    let pb = lattice.atoms[b].pos;
+                    let delta = [
+                        pb[0] - pa[0],
+                        pb[1] - pa[1],
+                        pb[2] + m as f64 * lattice.az - pa[2],
+                    ];
+                    let dist =
+                        (delta[0] * delta[0] + delta[1] * delta[1] + delta[2] * delta[2]).sqrt();
+                    if dist <= cutoff {
+                        pairs.push(Neighbor {
+                            from: a,
+                            to: b,
+                            delta,
+                            z_image: m,
+                            dist,
+                        });
+                        count += 1;
+                    }
+                }
+            }
+            offsets.push(pairs.len());
+            max_neighbors = max_neighbors.max(count);
+        }
+        NeighborList {
+            pairs,
+            offsets,
+            max_neighbors,
+        }
+    }
+
+    /// The neighbors of atom `a`.
+    pub fn of(&self, a: usize) -> &[Neighbor] {
+        &self.pairs[self.offsets[a]..self.offsets[a + 1]]
+    }
+
+    /// Number of atoms covered.
+    pub fn num_atoms(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of directed pairs.
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Average neighbor count.
+    pub fn avg_neighbors(&self) -> f64 {
+        self.num_pairs() as f64 / self.num_atoms() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lat() -> Lattice {
+        Lattice::rectangular(6, 3, 2, 0.25, 0.25, 0.25)
+    }
+
+    #[test]
+    fn symmetry_of_directed_pairs() {
+        let l = lat();
+        let nl = NeighborList::build(&l, 0.3);
+        // For every (a -> b, m) there is (b -> a, -m) with negated delta.
+        for p in &nl.pairs {
+            let found = nl.of(p.to).iter().any(|q| {
+                q.to == p.from
+                    && q.z_image == -p.z_image
+                    && (q.delta[0] + p.delta[0]).abs() < 1e-12
+                    && (q.delta[1] + p.delta[1]).abs() < 1e-12
+                    && (q.delta[2] + p.delta[2]).abs() < 1e-12
+            });
+            assert!(found, "missing reverse pair for {p:?}");
+        }
+    }
+
+    #[test]
+    fn nearest_neighbor_count_interior() {
+        let l = lat();
+        // Cutoff covering only nearest neighbors (0.25 nm): interior atoms
+        // have 4 in-plane + 2 z-image self pairs.
+        let nl = NeighborList::build(&l, 0.26);
+        let interior = l
+            .atoms
+            .iter()
+            .position(|a| {
+                a.pos[0] > 0.0 && a.pos[0] < l.length() && a.pos[1] > 0.0 && a.pos[1] < l.width()
+            })
+            .unwrap();
+        assert_eq!(nl.of(interior).len(), 6);
+    }
+
+    #[test]
+    fn z_images_present_when_in_range() {
+        let l = lat();
+        let nl = NeighborList::build(&l, 0.26);
+        // Every atom couples to its own z images at distance az = 0.25.
+        for a in 0..l.num_atoms() {
+            let self_images = nl.of(a).iter().filter(|p| p.to == a).count();
+            assert_eq!(self_images, 2, "atom {a}");
+        }
+    }
+
+    #[test]
+    fn z_images_absent_when_out_of_range() {
+        let l = Lattice::rectangular(6, 3, 2, 0.25, 0.25, 1.0);
+        let nl = NeighborList::build(&l, 0.3);
+        for p in &nl.pairs {
+            assert_eq!(p.z_image, 0, "no z image should be within 0.3 of 1.0 period");
+        }
+    }
+
+    #[test]
+    fn couplings_stay_within_adjacent_slabs() {
+        let l = lat();
+        let nl = NeighborList::build(&l, 0.5); // equals slab width
+        for p in &nl.pairs {
+            let ds = l.atoms[p.from].slab as i64 - l.atoms[p.to].slab as i64;
+            assert!(ds.abs() <= 1, "pair {p:?} spans non-adjacent slabs");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block-tridiagonal")]
+    fn oversized_cutoff_panics() {
+        // cols_per_slab = 2, ax = 0.25 -> limit = 0.75 nm.
+        let l = lat();
+        let _ = NeighborList::build(&l, 0.8);
+    }
+
+    #[test]
+    fn offsets_consistent() {
+        let l = lat();
+        let nl = NeighborList::build(&l, 0.3);
+        assert_eq!(nl.num_atoms(), l.num_atoms());
+        let total: usize = (0..nl.num_atoms()).map(|a| nl.of(a).len()).sum();
+        assert_eq!(total, nl.num_pairs());
+        assert!(nl.max_neighbors >= nl.avg_neighbors() as usize);
+    }
+}

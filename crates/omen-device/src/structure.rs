@@ -1,0 +1,264 @@
+//! The assembled device description: lattice + neighbors + material +
+//! operator constructors, with presets matching the paper's structures.
+
+use crate::gradient::GradientTable;
+use crate::hamiltonian::{assemble_dynamical, assemble_hamiltonian, assemble_overlap};
+use crate::lattice::Lattice;
+use crate::material::Material;
+use crate::neighbors::NeighborList;
+use omen_linalg::BlockTriDiag;
+
+/// Build parameters of a synthetic device.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceConfig {
+    /// Columns along transport.
+    pub nx: usize,
+    /// Rows across the fin.
+    pub ny: usize,
+    /// Columns per slab (block).
+    pub cols_per_slab: usize,
+    /// Orbitals per atom.
+    pub norb: usize,
+    /// Lattice constants (nm).
+    pub ax: f64,
+    /// Lattice constant along y (nm).
+    pub ay: f64,
+    /// Periodicity along z (nm).
+    pub az: f64,
+    /// Coupling cutoff (nm).
+    pub cutoff: f64,
+    /// Material seed (orbital mixing pattern).
+    pub seed: u64,
+}
+
+impl DeviceConfig {
+    /// A minimal structure for fast unit tests:
+    /// 8 slabs × 2 atoms × 2 orbitals.
+    pub fn tiny() -> Self {
+        DeviceConfig {
+            nx: 8,
+            ny: 2,
+            cols_per_slab: 1,
+            norb: 2,
+            ax: 0.25,
+            ay: 0.25,
+            az: 0.25,
+            cutoff: 0.26,
+            seed: 0x5EED_0A70,
+        }
+    }
+
+    /// A laptop-scale demonstrator used by the examples and the
+    /// electro-thermal harness (hundreds of atoms).
+    pub fn demo() -> Self {
+        DeviceConfig {
+            nx: 24,
+            ny: 4,
+            cols_per_slab: 1,
+            norb: 3,
+            ax: 0.25,
+            ay: 0.25,
+            az: 0.25,
+            cutoff: 0.26,
+            seed: 0x5EED_0A70,
+        }
+    }
+
+    /// A reduced-scale proxy of the paper's "Small" structure
+    /// (W = 2.1 nm, L = 35 nm, Na = 4,864): same aspect ratio and slab
+    /// partitioning, scaled to run on one machine.
+    pub fn small_proxy() -> Self {
+        DeviceConfig {
+            nx: 35,
+            ny: 7,
+            cols_per_slab: 1,
+            norb: 4,
+            ax: 0.25,
+            ay: 0.3,
+            az: 0.25,
+            cutoff: 0.31,
+            seed: 0x5EED_0A70,
+        }
+    }
+
+    /// Total number of atoms.
+    pub fn num_atoms(&self) -> usize {
+        self.nx * self.ny
+    }
+}
+
+/// A fully assembled synthetic device.
+#[derive(Clone, Debug)]
+pub struct DeviceStructure {
+    /// The generating configuration.
+    pub config: DeviceConfig,
+    /// Atom positions and slab partition.
+    pub lattice: Lattice,
+    /// Directed neighbor pairs.
+    pub neighbors: NeighborList,
+    /// Material model.
+    pub material: Material,
+    /// `∇H` table aligned with `neighbors.pairs`.
+    pub gradients: GradientTable,
+}
+
+impl DeviceStructure {
+    /// Builds the device from a configuration.
+    pub fn build(config: DeviceConfig) -> Self {
+        let lattice = Lattice::rectangular(
+            config.nx,
+            config.ny,
+            config.cols_per_slab,
+            config.ax,
+            config.ay,
+            config.az,
+        );
+        let neighbors = NeighborList::build(&lattice, config.cutoff);
+        let mut material = Material::silicon_like(config.norb);
+        material.seed = config.seed;
+        let gradients = GradientTable::build(&lattice, &neighbors, &material);
+        DeviceStructure {
+            config,
+            lattice,
+            neighbors,
+            material,
+            gradients,
+        }
+    }
+
+    /// Number of atoms (`Na`).
+    pub fn num_atoms(&self) -> usize {
+        self.lattice.num_atoms()
+    }
+
+    /// Number of diagonal blocks (`bnum`).
+    pub fn bnum(&self) -> usize {
+        self.lattice.num_slabs
+    }
+
+    /// Electron block size (`atoms_per_slab × Norb`).
+    pub fn block_size_el(&self) -> usize {
+        self.lattice.atoms_per_slab() * self.material.norb
+    }
+
+    /// Phonon block size (`atoms_per_slab × 3`).
+    pub fn block_size_ph(&self) -> usize {
+        self.lattice.atoms_per_slab() * 3
+    }
+
+    /// Maximum neighbors per atom (`Nb`).
+    pub fn max_neighbors(&self) -> usize {
+        self.neighbors.max_neighbors
+    }
+
+    /// Assembles `H(kz)` with zero potential.
+    pub fn hamiltonian(&self, kz: f64) -> BlockTriDiag {
+        assemble_hamiltonian(&self.lattice, &self.neighbors, &self.material, kz, &[])
+    }
+
+    /// Assembles `H(kz)` with the per-atom electrostatic `potential` (eV).
+    pub fn hamiltonian_with_potential(&self, kz: f64, potential: &[f64]) -> BlockTriDiag {
+        assemble_hamiltonian(&self.lattice, &self.neighbors, &self.material, kz, potential)
+    }
+
+    /// Assembles `S(kz)`.
+    pub fn overlap(&self, kz: f64) -> BlockTriDiag {
+        assemble_overlap(&self.lattice, &self.neighbors, &self.material, kz)
+    }
+
+    /// Assembles `Φ(qz)`.
+    pub fn dynamical(&self, qz: f64) -> BlockTriDiag {
+        assemble_dynamical(&self.lattice, &self.neighbors, &self.material, qz)
+    }
+
+    /// A linear source→drain potential ramp: `0` before `x_on`, `−vds`
+    /// after `x_off`, linear in between — the textbook approximation of the
+    /// self-consistent electrostatic profile under bias.
+    pub fn linear_potential(&self, vds: f64, x_on_frac: f64, x_off_frac: f64) -> Vec<f64> {
+        let len = self.lattice.length().max(1e-12);
+        let x_on = x_on_frac * len;
+        let x_off = x_off_frac * len;
+        self.lattice
+            .atoms
+            .iter()
+            .map(|a| {
+                let x = a.pos[0];
+                if x <= x_on {
+                    0.0
+                } else if x >= x_off {
+                    -vds
+                } else {
+                    -vds * (x - x_on) / (x_off - x_on)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_tiny() {
+        let d = DeviceStructure::build(DeviceConfig::tiny());
+        assert_eq!(d.num_atoms(), 16);
+        assert_eq!(d.bnum(), 8);
+        assert_eq!(d.block_size_el(), 4);
+        assert_eq!(d.block_size_ph(), 6);
+        assert!(d.max_neighbors() >= 3);
+        assert_eq!(d.gradients.len(), d.neighbors.num_pairs());
+    }
+
+    #[test]
+    fn operators_consistent_shapes() {
+        let d = DeviceStructure::build(DeviceConfig::tiny());
+        let h = d.hamiltonian(0.4);
+        let s = d.overlap(0.4);
+        let phi = d.dynamical(0.4);
+        assert_eq!(h.num_blocks(), d.bnum());
+        assert_eq!(h.block_size(), d.block_size_el());
+        assert_eq!(s.block_size(), d.block_size_el());
+        assert_eq!(phi.block_size(), d.block_size_ph());
+        assert!(h.is_hermitian(1e-12));
+        assert!(s.is_hermitian(1e-12));
+        assert!(phi.is_hermitian(1e-12));
+    }
+
+    #[test]
+    fn potential_profile_monotone() {
+        let d = DeviceStructure::build(DeviceConfig::demo());
+        let u = d.linear_potential(0.6, 0.25, 0.75);
+        assert_eq!(u.len(), d.num_atoms());
+        // First slab at 0, last at -0.6.
+        let first = d.lattice.atoms.iter().position(|a| a.pos[0] == 0.0).unwrap();
+        assert_eq!(u[first], 0.0);
+        let len = d.lattice.length();
+        let last = d
+            .lattice
+            .atoms
+            .iter()
+            .position(|a| (a.pos[0] - len).abs() < 1e-12)
+            .unwrap();
+        assert!((u[last] + 0.6).abs() < 1e-12);
+        // Monotone nonincreasing along x.
+        let mut by_x: Vec<(f64, f64)> = d
+            .lattice
+            .atoms
+            .iter()
+            .zip(u.iter())
+            .map(|(a, &v)| (a.pos[0], v))
+            .collect();
+        by_x.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in by_x.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn presets_have_expected_scale() {
+        assert_eq!(DeviceConfig::tiny().num_atoms(), 16);
+        assert_eq!(DeviceConfig::demo().num_atoms(), 96);
+        assert_eq!(DeviceConfig::small_proxy().num_atoms(), 245);
+    }
+}

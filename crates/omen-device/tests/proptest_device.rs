@@ -1,0 +1,77 @@
+//! Property-based tests on the synthetic device generator: the structural
+//! invariants the NEGF solver relies on must hold for *every* geometry.
+
+use omen_device::{DeviceConfig, DeviceStructure};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = DeviceConfig> {
+    (2usize..7, 1usize..4, 1usize..4, 0.2f64..0.35)
+        .prop_map(|(nx_slabs, ny, norb, ax)| DeviceConfig {
+            nx: nx_slabs,
+            ny,
+            cols_per_slab: 1,
+            norb,
+            ax,
+            ay: ax,
+            az: ax,
+            cutoff: ax * 1.05,
+            seed: 0xABCD,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn hamiltonian_always_hermitian(cfg in arb_config(), kz in -3.1f64..3.1) {
+        let dev = DeviceStructure::build(cfg);
+        prop_assert!(dev.hamiltonian(kz).is_hermitian(1e-11));
+        prop_assert!(dev.overlap(kz).is_hermitian(1e-11));
+        prop_assert!(dev.dynamical(kz).is_hermitian(1e-11));
+    }
+
+    #[test]
+    fn acoustic_sum_rule_every_geometry(cfg in arb_config()) {
+        let dev = DeviceStructure::build(cfg);
+        let phi = dev.dynamical(0.0).to_dense();
+        let n = phi.rows();
+        for dir in 0..3 {
+            let u: Vec<omen_linalg::C64> = (0..n)
+                .map(|i| if i % 3 == dir { omen_linalg::C64::ONE } else { omen_linalg::C64::ZERO })
+                .collect();
+            let f = phi.matvec(&u);
+            let maxf = f.iter().map(|z| z.abs()).fold(0.0, f64::max);
+            prop_assert!(maxf < 1e-10, "translation dir {dir} costs {maxf}");
+        }
+    }
+
+    #[test]
+    fn neighbor_list_symmetric(cfg in arb_config()) {
+        let dev = DeviceStructure::build(cfg);
+        for p in &dev.neighbors.pairs {
+            let found = dev.neighbors.of(p.to).iter().any(|q| {
+                q.to == p.from && q.z_image == -p.z_image
+                    && (q.delta[0] + p.delta[0]).abs() < 1e-12
+            });
+            prop_assert!(found);
+        }
+    }
+
+    #[test]
+    fn material_file_round_trips(cfg in arb_config()) {
+        let dev = DeviceStructure::build(cfg);
+        let bytes = omen_device::serialize_structure(&dev);
+        let back = omen_device::deserialize_structure(&bytes).unwrap();
+        prop_assert_eq!(back.num_atoms(), dev.num_atoms());
+        prop_assert_eq!(back.neighbors.num_pairs(), dev.neighbors.num_pairs());
+    }
+
+    #[test]
+    fn potential_bounds_respected(cfg in arb_config(), vds in 0.0f64..1.0) {
+        let dev = DeviceStructure::build(cfg);
+        let u = dev.linear_potential(vds, 0.25, 0.75);
+        for &v in &u {
+            prop_assert!(v <= 1e-12 && v >= -vds - 1e-12);
+        }
+    }
+}

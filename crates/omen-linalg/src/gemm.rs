@@ -1,0 +1,319 @@
+//! General complex matrix-matrix multiplication (the cuBLAS `Zgemm`
+//! analogue) with all transpose combinations.
+//!
+//! Table 7 of the paper times GEMM in NN/NT/TN/TT variants; the RGF and SSE
+//! kernels use `N` and `C` (conjugate-transpose) operations. The kernels
+//! here are cache-aware but deliberately simple: column-major AXPY/dot
+//! formulations that keep the innermost loop contiguous.
+
+use crate::complex::C64;
+use crate::dense::CMatrix;
+
+/// Transpose operation applied to a GEMM operand, mirroring the BLAS
+/// `N`/`T`/`C` convention.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// Use the matrix as stored.
+    N,
+    /// Use the transpose.
+    T,
+    /// Use the conjugate transpose.
+    C,
+}
+
+impl Op {
+    /// Logical number of rows of `op(A)` for an `r × c` stored matrix.
+    #[inline]
+    pub fn rows(self, r: usize, c: usize) -> usize {
+        match self {
+            Op::N => r,
+            Op::T | Op::C => c,
+        }
+    }
+
+    /// Logical number of columns of `op(A)`.
+    #[inline]
+    pub fn cols(self, r: usize, c: usize) -> usize {
+        match self {
+            Op::N => c,
+            Op::T | Op::C => r,
+        }
+    }
+}
+
+/// `C = alpha * op_a(A) * op_b(B) + beta * C`.
+///
+/// Shapes: `op_a(A)` is `m × k`, `op_b(B)` is `k × n`, `C` is `m × n`.
+///
+/// # Panics
+/// Panics if the operand shapes are inconsistent.
+pub fn gemm(alpha: C64, a: &CMatrix, op_a: Op, b: &CMatrix, op_b: Op, beta: C64, c: &mut CMatrix) {
+    let m = op_a.rows(a.rows(), a.cols());
+    let k = op_a.cols(a.rows(), a.cols());
+    let kb = op_b.rows(b.rows(), b.cols());
+    let n = op_b.cols(b.rows(), b.cols());
+    assert_eq!(k, kb, "gemm inner dimension mismatch: {k} vs {kb}");
+    assert_eq!(
+        (c.rows(), c.cols()),
+        (m, n),
+        "gemm output shape mismatch: C is {}x{}, expected {m}x{n}",
+        c.rows(),
+        c.cols()
+    );
+
+    // Scale C by beta first.
+    if beta == C64::ZERO {
+        c.fill_zero();
+    } else if beta != C64::ONE {
+        c.scale_inplace(beta);
+    }
+    if alpha == C64::ZERO || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    match (op_a, op_b) {
+        (Op::N, _) => gemm_n_any(alpha, a, b, op_b, c, m, n, k),
+        (Op::T, _) => gemm_tc_any(alpha, a, false, b, op_b, c, m, n, k),
+        (Op::C, _) => gemm_tc_any(alpha, a, true, b, op_b, c, m, n, k),
+    }
+}
+
+/// Fetches element `(k, j)` of `op(B)` where `B` is stored `rb × cb`.
+#[inline(always)]
+fn fetch_b(b: &CMatrix, op_b: Op, k: usize, j: usize) -> C64 {
+    match op_b {
+        Op::N => b[(k, j)],
+        Op::T => b[(j, k)],
+        Op::C => b[(j, k)].conj(),
+    }
+}
+
+/// `op_a == N`: AXPY formulation. The inner loop runs down a contiguous
+/// column of `A` and a contiguous column of `C`.
+fn gemm_n_any(
+    alpha: C64,
+    a: &CMatrix,
+    b: &CMatrix,
+    op_b: Op,
+    c: &mut CMatrix,
+    _m: usize,
+    n: usize,
+    k: usize,
+) {
+    for j in 0..n {
+        let cj = c.col_mut(j);
+        for l in 0..k {
+            let w = alpha * fetch_b(b, op_b, l, j);
+            if w == C64::ZERO {
+                continue;
+            }
+            let al = a.col(l);
+            for (ci, &ail) in cj.iter_mut().zip(al.iter()) {
+                *ci = ci.mul_add(ail, w);
+            }
+        }
+    }
+}
+
+/// `op_a ∈ {T, C}`: dot-product formulation. `op(A)[i, l] = A[l, i]`
+/// (conjugated for `C`), so the inner loop runs down a contiguous column of
+/// `A`.
+fn gemm_tc_any(
+    alpha: C64,
+    a: &CMatrix,
+    conj_a: bool,
+    b: &CMatrix,
+    op_b: Op,
+    c: &mut CMatrix,
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    // Stage op(B) column j into a contiguous scratch to keep the dot loop
+    // simple; the scratch is reused across i.
+    let mut bcol = vec![C64::ZERO; k];
+    for j in 0..n {
+        for (l, slot) in bcol.iter_mut().enumerate() {
+            *slot = fetch_b(b, op_b, l, j);
+        }
+        let cj = c.col_mut(j);
+        for (i, ci) in cj.iter_mut().enumerate().take(m) {
+            let ai = a.col(i); // column i of A == row i of op(A)
+            let mut acc = C64::ZERO;
+            if conj_a {
+                for (&av, &bv) in ai.iter().zip(bcol.iter()) {
+                    acc = acc.mul_add(av.conj(), bv);
+                }
+            } else {
+                for (&av, &bv) in ai.iter().zip(bcol.iter()) {
+                    acc = acc.mul_add(av, bv);
+                }
+            }
+            *ci = ci.mul_add(alpha, acc);
+        }
+    }
+}
+
+/// Allocating convenience wrapper: returns `A * B`.
+pub fn matmul(a: &CMatrix, b: &CMatrix) -> CMatrix {
+    let mut c = CMatrix::zeros(a.rows(), b.cols());
+    gemm(C64::ONE, a, Op::N, b, Op::N, C64::ZERO, &mut c);
+    c
+}
+
+/// Allocating convenience wrapper: returns `op_a(A) * op_b(B)`.
+pub fn matmul_op(a: &CMatrix, op_a: Op, b: &CMatrix, op_b: Op) -> CMatrix {
+    let m = op_a.rows(a.rows(), a.cols());
+    let n = op_b.cols(b.rows(), b.cols());
+    let mut c = CMatrix::zeros(m, n);
+    gemm(C64::ONE, a, op_a, b, op_b, C64::ZERO, &mut c);
+    c
+}
+
+/// Triple product `A * B * C`, associating left-to-right.
+pub fn matmul3(a: &CMatrix, b: &CMatrix, c: &CMatrix) -> CMatrix {
+    matmul(&matmul(a, b), c)
+}
+
+/// Flop count of one complex GEMM with the paper's convention: a complex
+/// multiply-add costs 8 real flops, so `m × n × k` MACs cost `8 m n k`.
+#[inline]
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
+    8 * (m as u64) * (n as u64) * (k as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    fn naive(a: &CMatrix, op_a: Op, b: &CMatrix, op_b: Op) -> CMatrix {
+        let m = op_a.rows(a.rows(), a.cols());
+        let k = op_a.cols(a.rows(), a.cols());
+        let n = op_b.cols(b.rows(), b.cols());
+        let fa = |i: usize, l: usize| match op_a {
+            Op::N => a[(i, l)],
+            Op::T => a[(l, i)],
+            Op::C => a[(l, i)].conj(),
+        };
+        let fb = |l: usize, j: usize| match op_b {
+            Op::N => b[(l, j)],
+            Op::T => b[(j, l)],
+            Op::C => b[(j, l)].conj(),
+        };
+        CMatrix::from_fn(m, n, |i, j| (0..k).map(|l| fa(i, l) * fb(l, j)).sum())
+    }
+
+    fn test_mat(r: usize, c: usize, seed: f64) -> CMatrix {
+        CMatrix::from_fn(r, c, |i, j| {
+            c64(
+                ((i * 31 + j * 7) as f64 * 0.173 + seed).sin(),
+                ((i * 13 + j * 17) as f64 * 0.311 - seed).cos(),
+            )
+        })
+    }
+
+    #[test]
+    fn all_op_combinations_match_naive() {
+        // op(A) must be 4x3, op(B) 3x5.
+        for &op_a in &[Op::N, Op::T, Op::C] {
+            for &op_b in &[Op::N, Op::T, Op::C] {
+                let a = match op_a {
+                    Op::N => test_mat(4, 3, 0.1),
+                    _ => test_mat(3, 4, 0.1),
+                };
+                let b = match op_b {
+                    Op::N => test_mat(3, 5, 0.7),
+                    _ => test_mat(5, 3, 0.7),
+                };
+                let got = matmul_op(&a, op_a, &b, op_b);
+                let want = naive(&a, op_a, &b, op_b);
+                assert!(
+                    got.approx_eq(&want, 1e-12),
+                    "mismatch for ({op_a:?},{op_b:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_beta_accumulation() {
+        let a = test_mat(3, 3, 0.3);
+        let b = test_mat(3, 3, 0.9);
+        let c0 = test_mat(3, 3, 1.5);
+        let mut c = c0.clone();
+        let alpha = c64(0.5, -1.0);
+        let beta = c64(2.0, 0.25);
+        gemm(alpha, &a, Op::N, &b, Op::N, beta, &mut c);
+        let want = {
+            let mut w = naive(&a, Op::N, &b, Op::N).scaled(alpha);
+            w.axpy(beta, &c0);
+            // axpy computes w + beta*c0 elementwise in the other order; redo cleanly:
+            let mut w2 = c0.scaled(beta);
+            w2 += &naive(&a, Op::N, &b, Op::N).scaled(alpha);
+            w = w2;
+            w
+        };
+        assert!(c.approx_eq(&want, 1e-12));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = test_mat(5, 5, 0.2);
+        let id = CMatrix::identity(5);
+        assert!(matmul(&a, &id).approx_eq(&a, 1e-14));
+        assert!(matmul(&id, &a).approx_eq(&a, 1e-14));
+    }
+
+    #[test]
+    fn adjoint_product_identity() {
+        // (A B)† == B† A†
+        let a = test_mat(4, 3, 0.5);
+        let b = test_mat(3, 6, 1.1);
+        let lhs = matmul(&a, &b).adjoint();
+        let rhs = matmul_op(&b, Op::C, &a, Op::C);
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let a = test_mat(7, 2, 0.0);
+        let b = test_mat(2, 9, 0.4);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), (7, 9));
+        assert!(c.approx_eq(&naive(&a, Op::N, &b, Op::N), 1e-12));
+    }
+
+    #[test]
+    fn zero_alpha_only_scales_c() {
+        let a = test_mat(3, 3, 0.0);
+        let b = test_mat(3, 3, 0.1);
+        let c0 = test_mat(3, 3, 0.2);
+        let mut c = c0.clone();
+        gemm(C64::ZERO, &a, Op::N, &b, Op::N, c64(3.0, 0.0), &mut c);
+        assert!(c.approx_eq(&c0.scaled(c64(3.0, 0.0)), 1e-14));
+    }
+
+    #[test]
+    fn matmul3_associativity() {
+        let a = test_mat(3, 4, 0.1);
+        let b = test_mat(4, 2, 0.2);
+        let c = test_mat(2, 5, 0.3);
+        let lhs = matmul3(&a, &b, &c);
+        let rhs = matmul(&a, &matmul(&b, &c));
+        assert!(lhs.approx_eq(&rhs, 1e-11));
+    }
+
+    #[test]
+    fn flop_count_convention() {
+        assert_eq!(gemm_flops(12, 12, 12), 8 * 12 * 12 * 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let a = CMatrix::zeros(2, 3);
+        let b = CMatrix::zeros(4, 2);
+        let _ = matmul(&a, &b);
+    }
+}

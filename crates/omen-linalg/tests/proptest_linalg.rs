@@ -1,0 +1,180 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use omen_linalg::*;
+use proptest::prelude::*;
+
+fn arb_c64() -> impl Strategy<Value = C64> {
+    (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(re, im)| c64(re, im))
+}
+
+fn arb_matrix(max_dim: usize) -> impl Strategy<Value = CMatrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(arb_c64(), r * c)
+            .prop_map(move |data| CMatrix::from_vec(r, c, data))
+    })
+}
+
+fn arb_square(max_dim: usize) -> impl Strategy<Value = CMatrix> {
+    (1..=max_dim).prop_flat_map(|n| {
+        proptest::collection::vec(arb_c64(), n * n)
+            .prop_map(move |data| CMatrix::from_vec(n, n, data))
+    })
+}
+
+/// A well-conditioned square matrix: random + diagonal dominance.
+fn arb_invertible(max_dim: usize) -> impl Strategy<Value = CMatrix> {
+    arb_square(max_dim).prop_map(|m| {
+        let n = m.rows();
+        let mut out = m;
+        for i in 0..n {
+            // Diagonal dominance: row sums bounded by 10*n, so add margin.
+            out[(i, i)] += c64(30.0 * n as f64, 5.0);
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn complex_field_axioms(a in arb_c64(), b in arb_c64(), z in arb_c64()) {
+        // Commutativity and distributivity within fp tolerance.
+        prop_assert!(((a + b) - (b + a)).abs() < 1e-12);
+        prop_assert!(((a * b) - (b * a)).abs() < 1e-10);
+        let lhs = z * (a + b);
+        let rhs = z * a + z * b;
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn conj_is_ring_homomorphism(a in arb_c64(), b in arb_c64()) {
+        prop_assert!(((a * b).conj() - a.conj() * b.conj()).abs() < 1e-10);
+        prop_assert!(((a + b).conj() - (a.conj() + b.conj())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gemm_matches_naive(a in arb_matrix(6), b in arb_matrix(6)) {
+        prop_assume!(a.cols() == b.rows());
+        let got = matmul(&a, &b);
+        let want = CMatrix::from_fn(a.rows(), b.cols(), |i, j| {
+            (0..a.cols()).map(|k| a[(i, k)] * b[(k, j)]).sum()
+        });
+        prop_assert!(got.approx_eq(&want, 1e-9));
+    }
+
+    #[test]
+    fn gemm_transpose_consistency(a in arb_matrix(5), b in arb_matrix(5)) {
+        prop_assume!(a.cols() == b.rows());
+        // (A B)^T == B^T A^T computed via the T paths.
+        let lhs = matmul(&a, &b).transpose();
+        let rhs = matmul_op(&b, Op::T, &a, Op::T);
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+        // (A B)† == B† A† via the C paths.
+        let lhs_h = matmul(&a, &b).adjoint();
+        let rhs_h = matmul_op(&b, Op::C, &a, Op::C);
+        prop_assert!(lhs_h.approx_eq(&rhs_h, 1e-9));
+    }
+
+    #[test]
+    fn lu_inverse_round_trip(a in arb_invertible(8)) {
+        let inv = invert(&a);
+        let eye = matmul(&a, &inv);
+        prop_assert!(eye.approx_eq(&CMatrix::identity(a.rows()), 1e-7));
+    }
+
+    #[test]
+    fn lu_solve_residual(a in arb_invertible(8)) {
+        let n = a.rows();
+        let b = CMatrix::from_fn(n, 3, |i, j| c64(i as f64 - j as f64, 1.0));
+        let x = solve(&a, &b);
+        let r = &matmul(&a, &x) - &b;
+        prop_assert!(r.max_abs() < 1e-7, "residual {}", r.max_abs());
+    }
+
+    #[test]
+    fn sparse_dense_round_trip(a in arb_matrix(8)) {
+        let csr = CsrMatrix::from_dense(&a, 0.0);
+        prop_assert!(csr.to_dense().approx_eq(&a, 0.0));
+        let csc = csr.to_csc();
+        prop_assert!(csc.to_dense().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn csrmm_equals_gemm(a in arb_matrix(6), b in arb_matrix(6)) {
+        prop_assume!(a.cols() == b.rows());
+        let csr = CsrMatrix::from_dense(&a, 0.0);
+        let mut c = CMatrix::zeros(a.rows(), b.cols());
+        csrmm(C64::ONE, &csr, Op::N, &b, C64::ZERO, &mut c);
+        prop_assert!(c.approx_eq(&matmul(&a, &b), 1e-9));
+    }
+
+    #[test]
+    fn gemmi_equals_gemm(a in arb_matrix(6), b in arb_matrix(6)) {
+        prop_assume!(a.cols() == b.rows());
+        let csc = CscMatrix::from_dense(&b, 0.0);
+        let mut c = CMatrix::zeros(a.rows(), b.cols());
+        gemmi(C64::ONE, &a, &csc, C64::ZERO, &mut c);
+        prop_assert!(c.approx_eq(&matmul(&a, &b), 1e-9));
+    }
+
+    #[test]
+    fn f16_round_trip_monotone(x in -60000.0f64..60000.0, y in -60000.0f64..60000.0) {
+        // Rounding through f16 preserves (non-strict) order.
+        let rx = half::round_through_f16(x);
+        let ry = half::round_through_f16(y);
+        if x <= y {
+            prop_assert!(rx <= ry, "monotonicity violated: {x} -> {rx}, {y} -> {ry}");
+        }
+    }
+
+    #[test]
+    fn f16_relative_error_bound(x in 1e-4f64..6e4) {
+        let r = half::round_through_f16(x);
+        prop_assert!(((r - x) / x).abs() <= 2.0f64.powi(-11));
+    }
+
+    #[test]
+    fn f16_clamp_always_finite(x in proptest::num::f64::NORMAL) {
+        let h = F16::from_f64(half::clamp_to_f16_range(x));
+        prop_assert!(!h.is_infinite());
+        prop_assert!(!h.is_nan());
+    }
+
+    #[test]
+    fn sbsmm_matches_gemm(batch in 1usize..5, n in 1usize..8) {
+        let dims = BatchDims::square(n);
+        let s = Strides::packed(dims);
+        let mk = |seed: usize| -> Vec<C64> {
+            (0..batch * n * n)
+                .map(|i| c64(((i * 7 + seed) as f64).sin(), ((i * 3 + seed) as f64).cos()))
+                .collect()
+        };
+        let a = mk(1);
+        let b = mk(2);
+        let mut c = vec![C64::ZERO; batch * s.c];
+        sbsmm(dims, batch, C64::ONE, &a, &b, C64::ZERO, &mut c, s);
+        for idx in 0..batch {
+            let am = CMatrix::from_vec(n, n, a[idx * s.a..(idx + 1) * s.a].to_vec());
+            let bm = CMatrix::from_vec(n, n, b[idx * s.b..(idx + 1) * s.b].to_vec());
+            let cm = matmul(&am, &bm);
+            let got = CMatrix::from_vec(n, n, c[idx * s.c..(idx + 1) * s.c].to_vec());
+            prop_assert!(got.approx_eq(&cm, 1e-9));
+        }
+    }
+
+    #[test]
+    fn block_tridiag_dense_hermitian(nb in 1usize..5, bs in 1usize..4) {
+        let mut m = BlockTriDiag::zeros(nb, bs);
+        for b in 0..nb {
+            m.diag[b] = CMatrix::from_fn(bs, bs, |i, j| c64((i + j + b) as f64, (i as f64) - (j as f64)));
+            m.diag[b].hermitianize();
+        }
+        for b in 0..nb.saturating_sub(1) {
+            m.upper[b] = CMatrix::from_fn(bs, bs, |i, j| c64(i as f64, j as f64 + b as f64));
+            m.lower[b] = m.upper[b].adjoint();
+        }
+        prop_assert!(m.is_hermitian(1e-12));
+        prop_assert!(m.to_dense().is_hermitian(1e-12));
+    }
+}

@@ -1,0 +1,288 @@
+//! The communication-volume model of §6.1.2, reproducing Tables 4–5.
+//!
+//! OMEN scheme (per iteration):
+//! * all `G^≷` replicated `2·Nqz·Nω` times point-to-point:
+//!   `2·Nqz·Nω · Nkz·NE · (2·Na·Norb²·16)` bytes;
+//! * `D^≷` broadcast to all `P` ranks and `Π^≷` reduced back:
+//!   `2 · Nqz·Nω · P · (2·Na·(Nb+1)·N3D²·16)` bytes.
+//!
+//! DaCe scheme: four all-to-alls; per process
+//! * `64·Nkz·(NE/TE + 2Nω)·(Na/Ta + Nb)·Norb²` bytes for `G^≷`+`Σ^≷`,
+//! * `64·Nqz·Nω·(Na/Ta + Nb)·(Nb+1)·N3D²` bytes for `D^≷`+`Π^≷`,
+//! with `P = Ta·TE` (the halo over-approximation `c ≈ Nb` is the paper's).
+
+use crate::params::SimParams;
+
+/// Bytes of one `G^≷(kz, E)` slice, both components.
+pub fn g_slice_bytes(p: &SimParams) -> f64 {
+    2.0 * p.na as f64 * (p.norb * p.norb) as f64 * 16.0
+}
+
+/// Bytes of one `D^≷(qz, ω)` slice, both components.
+pub fn d_slice_bytes(p: &SimParams) -> f64 {
+    2.0 * p.na as f64 * (p.nb + 1) as f64 * (p.n3d * p.n3d) as f64 * 16.0
+}
+
+/// Total OMEN-scheme SSE traffic per iteration (bytes) on `nprocs` ranks.
+pub fn omen_volume(p: &SimParams, nprocs: usize) -> f64 {
+    let rounds = (p.nq * p.nw) as f64;
+    let g = 2.0 * rounds * (p.nk * p.ne) as f64 * g_slice_bytes(p);
+    let d_and_pi = 2.0 * rounds * nprocs as f64 * d_slice_bytes(p);
+    g + d_and_pi
+}
+
+/// OMEN-scheme MPI invocations per iteration (the paper's
+/// `9·Nω·Nqz·NE/tE` order; we count the collective structure of Fig. 5).
+pub fn omen_invocations(p: &SimParams, ne_per_tile: usize) -> f64 {
+    9.0 * (p.nw * p.nq) as f64 * (p.ne as f64 / ne_per_tile as f64)
+}
+
+/// Per-process DaCe all-to-all contribution for `G^≷ + Σ^≷` (bytes).
+pub fn dace_g_bytes_per_proc(p: &SimParams, ta: usize, te: usize) -> f64 {
+    64.0 * p.nk as f64
+        * (p.ne as f64 / te as f64 + 2.0 * p.nw as f64)
+        * (p.na as f64 / ta as f64 + p.nb as f64)
+        * (p.norb * p.norb) as f64
+}
+
+/// Per-process DaCe all-to-all contribution for `D^≷ + Π^≷` (bytes).
+pub fn dace_d_bytes_per_proc(p: &SimParams, ta: usize) -> f64 {
+    64.0 * (p.nq * p.nw) as f64
+        * (p.na as f64 / ta as f64 + p.nb as f64)
+        * ((p.nb + 1) * p.n3d * p.n3d) as f64
+}
+
+/// Total DaCe-scheme traffic for an explicit `(Ta, TE)` factorization.
+pub fn dace_volume_with(p: &SimParams, ta: usize, te: usize) -> f64 {
+    let procs = (ta * te) as f64;
+    procs * (dace_g_bytes_per_proc(p, ta, te) + dace_d_bytes_per_proc(p, ta))
+}
+
+/// The best `(Ta, TE)` factorization of `nprocs` (minimum volume), as the
+/// performance engineer would choose.
+pub fn dace_best_tiling(p: &SimParams, nprocs: usize) -> (usize, usize) {
+    let mut best = (nprocs, 1);
+    let mut best_vol = f64::INFINITY;
+    for ta in 1..=nprocs {
+        if nprocs % ta != 0 {
+            continue;
+        }
+        let te = nprocs / ta;
+        if ta > p.na || te > p.ne {
+            continue;
+        }
+        let v = dace_volume_with(p, ta, te);
+        if v < best_vol {
+            best_vol = v;
+            best = (ta, te);
+        }
+    }
+    best
+}
+
+/// Total DaCe-scheme traffic with the optimal factorization.
+pub fn dace_volume(p: &SimParams, nprocs: usize) -> f64 {
+    let (ta, te) = dace_best_tiling(p, nprocs);
+    dace_volume_with(p, ta, te)
+}
+
+/// One row of Table 4/5.
+#[derive(Clone, Copy, Debug)]
+pub struct VolumeRow {
+    /// Momentum points.
+    pub nk: usize,
+    /// Process count.
+    pub nprocs: usize,
+    /// OMEN volume (bytes).
+    pub omen: f64,
+    /// DaCe volume (bytes).
+    pub dace: f64,
+}
+
+impl VolumeRow {
+    /// Reduction factor (the bracketed numbers of Tables 4–5).
+    pub fn reduction(&self) -> f64 {
+        self.omen / self.dace
+    }
+}
+
+/// Table 4: weak scaling of the Small structure,
+/// `(Nkz, P) ∈ {(3,768), (5,1280), (7,1792), (9,2304), (11,2816)}`.
+pub fn table4() -> Vec<VolumeRow> {
+    [(3usize, 768usize), (5, 1280), (7, 1792), (9, 2304), (11, 2816)]
+        .iter()
+        .map(|&(nk, procs)| {
+            let p = SimParams::small(nk);
+            VolumeRow {
+                nk,
+                nprocs: procs,
+                omen: omen_volume(&p, procs),
+                dace: dace_volume(&p, procs),
+            }
+        })
+        .collect()
+}
+
+/// Table 5: strong scaling of the Small structure at `Nkz = 7`.
+pub fn table5() -> Vec<VolumeRow> {
+    [224usize, 448, 896, 1792, 2688]
+        .iter()
+        .map(|&procs| {
+            let p = SimParams::small(7);
+            VolumeRow {
+                nk: 7,
+                nprocs: procs,
+                omen: omen_volume(&p, procs),
+                dace: dace_volume(&p, procs),
+            }
+        })
+        .collect()
+}
+
+/// Tebibytes.
+pub const TIB: f64 = 1024.0 * 1024.0 * 1024.0 * 1024.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TABLE4_PAPER: [(usize, f64, f64); 5] = [
+        (768, 32.11, 0.54),
+        (1280, 89.18, 1.22),
+        (1792, 174.80, 2.17),
+        (2304, 288.95, 3.38),
+        (2816, 431.65, 4.86),
+    ];
+
+    #[test]
+    fn reproduces_table4_omen_column() {
+        for (row, &(procs, omen_tib, _)) in table4().iter().zip(TABLE4_PAPER.iter()) {
+            assert_eq!(row.nprocs, procs);
+            let got = row.omen / TIB;
+            let rel = (got - omen_tib).abs() / omen_tib;
+            assert!(
+                rel < 0.03,
+                "P={procs}: OMEN model {got:.2} TiB vs paper {omen_tib} ({rel:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn reproduces_table4_dace_column_shape() {
+        // The DaCe column depends on the authors' (Ta, TE) choice; our
+        // optimizer lands within ~20% of the published numbers and must
+        // preserve the two-orders-of-magnitude reduction.
+        for (row, &(procs, _, dace_tib)) in table4().iter().zip(TABLE4_PAPER.iter()) {
+            let got = row.dace / TIB;
+            let rel = (got - dace_tib).abs() / dace_tib;
+            assert!(
+                rel < 0.25,
+                "P={procs}: DaCe model {got:.2} TiB vs paper {dace_tib} ({rel:.3})"
+            );
+            assert!(
+                row.reduction() > 45.0,
+                "reduction {:.0}× must stay around two orders of magnitude",
+                row.reduction()
+            );
+        }
+    }
+
+    const TABLE5_PAPER: [(usize, f64, f64); 5] = [
+        (224, 108.24, 0.95),
+        (448, 117.75, 1.13),
+        (896, 136.76, 1.48),
+        (1792, 174.80, 2.17),
+        (2688, 212.84, 2.87),
+    ];
+
+    #[test]
+    fn reproduces_table5() {
+        for (row, &(procs, omen_tib, dace_tib)) in table5().iter().zip(TABLE5_PAPER.iter()) {
+            assert_eq!(row.nprocs, procs);
+            let rel_o = (row.omen / TIB - omen_tib).abs() / omen_tib;
+            assert!(
+                rel_o < 0.03,
+                "P={procs}: OMEN {:.2} vs {omen_tib}",
+                row.omen / TIB
+            );
+            // Our optimizer may find a better (Ta, TE) than the paper
+            // used; the model must stay within [-50%, +25%] of the
+            // published DaCe value and never exceed it grossly.
+            let got = row.dace / TIB;
+            assert!(
+                got > 0.5 * dace_tib && got < 1.25 * dace_tib,
+                "P={procs}: DaCe {got:.2} vs {dace_tib}"
+            );
+        }
+    }
+
+    #[test]
+    fn narrative_large_scale_numbers() {
+        // §6.1.2: "Large" with NE = 1,000: 2.58 PiB total for G^≷ and
+        // ~276 GiB for D^≷ per electron process over the rounds.
+        let mut p = SimParams::large(21);
+        p.ne = 1_000;
+        let rounds = (p.nq * p.nw) as f64;
+        let g_total = 2.0 * rounds * (p.nk * p.ne) as f64 * g_slice_bytes(&p);
+        let pib = TIB * 1024.0;
+        assert!(
+            (g_total / pib - 2.58).abs() / 2.58 < 0.02,
+            "G volume {:.2} PiB vs 2.58",
+            g_total / pib
+        );
+        // "receiving and sending 276 GiB": each process both receives the
+        // broadcast D^≷ and sends its Π^≷ partials — 2× the one-way rounds.
+        let d_per_proc = 2.0 * rounds * d_slice_bytes(&p);
+        let gib = 1024.0 * 1024.0 * 1024.0;
+        assert!(
+            (d_per_proc / gib - 276.0).abs() / 276.0 < 0.05,
+            "D per process {:.0} GiB vs 276",
+            d_per_proc / gib
+        );
+    }
+
+    #[test]
+    fn crossover_near_440k_processes() {
+        // §6.1.2: "the total cost for G^≷ becomes equal for the two
+        // communication schemes when the number of processes is greater
+        // than 440,000."
+        let mut p = SimParams::large(21);
+        p.ne = 1_000;
+        let rounds = (p.nq * p.nw) as f64;
+        let g_omen = 2.0 * rounds * (p.nk * p.ne) as f64 * g_slice_bytes(&p);
+        // DaCe G cost with Ta = P, TE = 1.
+        let g_dace = |procs: f64| {
+            procs
+                * 64.0
+                * p.nk as f64
+                * (p.ne as f64 + 2.0 * p.nw as f64)
+                * (p.na as f64 / procs + p.nb as f64)
+                * (p.norb * p.norb) as f64
+        };
+        // Find where they cross.
+        let mut crossover = 0f64;
+        let mut procs = 1000.0;
+        while procs < 2e6 {
+            if g_dace(procs) >= g_omen {
+                crossover = procs;
+                break;
+            }
+            procs *= 1.02;
+        }
+        assert!(
+            (crossover - 440_000.0).abs() / 440_000.0 < 0.15,
+            "crossover at {crossover:.0} processes (paper: ~440,000)"
+        );
+    }
+
+    #[test]
+    fn optimizer_picks_valid_factorization() {
+        let p = SimParams::small(7);
+        for procs in [224, 768, 1792] {
+            let (ta, te) = dace_best_tiling(&p, procs);
+            assert_eq!(ta * te, procs);
+            // Never worse than the pure-atom-tiling corner (Ta = P, TE = 1).
+            assert!(dace_volume_with(&p, ta, te) <= dace_volume_with(&p, procs, 1));
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! The computational-load model of §6.1.1, reproducing Table 3 and the
+//! flop column of Table 11.
+
+use crate::params::SimParams;
+
+/// RGF flops per electron energy-momentum point:
+/// `8·(26·bnum − 25)·(Na·Norb/bnum)³` (dense term; the sparse term is an
+/// upper-bound `O(·)` the paper does not include in Table 3).
+pub fn rgf_flops_per_point(p: &SimParams) -> f64 {
+    8.0 * (26.0 * p.bnum as f64 - 25.0) * p.block_size().powi(3)
+}
+
+/// RGF flops per phonon point (block size `Na·N3D/bnum`).
+pub fn rgf_flops_per_phonon_point(p: &SimParams) -> f64 {
+    let bs = p.na as f64 * p.n3d as f64 / p.bnum as f64;
+    8.0 * (26.0 * p.bnum as f64 - 25.0) * bs.powi(3)
+}
+
+/// Total RGF flops per iteration (electron + phonon points).
+pub fn rgf_flops_total(p: &SimParams) -> f64 {
+    rgf_flops_per_point(p) * p.electron_points() as f64
+        + rgf_flops_per_phonon_point(p) * p.phonon_points() as f64
+}
+
+/// Boundary-condition flops per iteration: `bc_block_ops` effective
+/// `bs³`-sized block operations per electron point (decimation depth —
+/// calibrated per structure, see `SimParams::bc_block_ops`).
+pub fn bc_flops_total(p: &SimParams) -> f64 {
+    p.bc_block_ops * 8.0 * p.block_size().powi(3) * p.electron_points() as f64
+}
+
+/// SSE flops per iteration, OMEN schedule:
+/// `64·Na·Nb·N3D·Nkz·Nqz·NE·Nω·Norb³`.
+pub fn sse_flops_omen(p: &SimParams) -> f64 {
+    64.0 * p.na as f64
+        * p.nb as f64
+        * p.n3d as f64
+        * p.nk as f64
+        * p.nq as f64
+        * p.ne as f64
+        * p.nw as f64
+        * (p.norb as f64).powi(3)
+}
+
+/// SSE flops per iteration, DaCe schedule (regrouping reduction
+/// `2NqzNω/(NqzNω+1)`).
+pub fn sse_flops_dace(p: &SimParams) -> f64 {
+    let qw = (p.nq * p.nw) as f64;
+    sse_flops_omen(p) * (qw + 1.0) / (2.0 * qw)
+}
+
+/// One row set of Table 3 at a given `Nkz` (values in flop).
+#[derive(Clone, Copy, Debug)]
+pub struct Table3Row {
+    /// Momentum points.
+    pub nk: usize,
+    /// Boundary conditions.
+    pub bc: f64,
+    /// RGF.
+    pub rgf: f64,
+    /// SSE, OMEN schedule.
+    pub sse_omen: f64,
+    /// SSE, DaCe schedule.
+    pub sse_dace: f64,
+}
+
+/// Computes Table 3 for the Small structure over the paper's `Nkz` sweep.
+pub fn table3(nk_values: &[usize]) -> Vec<Table3Row> {
+    nk_values
+        .iter()
+        .map(|&nk| {
+            let p = SimParams::small(nk);
+            Table3Row {
+                nk,
+                bc: bc_flops_total(&p),
+                rgf: rgf_flops_total(&p),
+                sse_omen: sse_flops_omen(&p),
+                sse_dace: sse_flops_dace(&p),
+            }
+        })
+        .collect()
+}
+
+/// Full-iteration flops of the Large structure by caching mode
+/// (Table 11 / Fig. 9): with all caches, only GF + SSE execute
+/// (8.17 Eflop); without caches, boundary conditions are recomputed
+/// (9.41 Eflop).
+pub fn large_iteration_flops(p: &SimParams, cache_bc_and_spec: bool) -> f64 {
+    let base = rgf_flops_total(p) + sse_flops_dace(p);
+    if cache_bc_and_spec {
+        base
+    } else {
+        base + bc_flops_total(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TABLE3_PAPER: [(usize, f64, f64, f64, f64); 5] = [
+        (3, 8.45, 52.95, 24.41, 12.38),
+        (5, 14.12, 88.25, 67.80, 34.19),
+        (7, 19.77, 123.55, 132.89, 66.85),
+        (9, 25.42, 158.85, 219.67, 110.36),
+        (11, 31.06, 194.15, 328.15, 164.71),
+    ];
+
+    #[test]
+    fn reproduces_table3() {
+        let rows = table3(&[3, 5, 7, 9, 11]);
+        for (row, &(nk, bc, rgf, so, sd)) in rows.iter().zip(TABLE3_PAPER.iter()) {
+            assert_eq!(row.nk, nk);
+            let check = |got: f64, want_pflop: f64, what: &str, tol: f64| {
+                let rel = (got / 1e15 - want_pflop).abs() / want_pflop;
+                assert!(
+                    rel < tol,
+                    "Nkz={nk} {what}: model {:.2} Pflop vs paper {want_pflop} ({rel:.3})",
+                    got / 1e15
+                );
+            };
+            check(row.bc, bc, "BC", 0.02);
+            check(row.rgf, rgf, "RGF", 0.03);
+            check(row.sse_omen, so, "SSE(OMEN)", 0.01);
+            check(row.sse_dace, sd, "SSE(DaCe)", 0.02);
+        }
+    }
+
+    #[test]
+    fn reproduces_table11_flops() {
+        // Table 11: GF 6.00 Eflop, SSE 2.18 Eflop, BC 1.23 Eflop;
+        // totals 8.17 (cached) / 9.41 (uncached... the paper quotes the
+        // 8.17–9.41 range in §7.3).
+        let p = SimParams::large(21);
+        let gf = rgf_flops_total(&p) / 1e18;
+        assert!((gf - 6.00).abs() / 6.00 < 0.02, "GF {gf:.2} Eflop");
+        let sse = sse_flops_dace(&p) / 1e18;
+        assert!((sse - 2.18).abs() / 2.18 < 0.02, "SSE {sse:.2} Eflop");
+        let bc = bc_flops_total(&p) / 1e18;
+        assert!((bc - 1.23).abs() / 1.23 < 0.02, "BC {bc:.2} Eflop");
+        let cached = large_iteration_flops(&p, true) / 1e18;
+        assert!((cached - 8.17).abs() / 8.17 < 0.02, "cached {cached:.2}");
+        let uncached = large_iteration_flops(&p, false) / 1e18;
+        assert!((uncached - 9.41).abs() / 9.41 < 0.02, "uncached {uncached:.2}");
+    }
+
+    #[test]
+    fn rgf_dominated_by_dense_term() {
+        // Phonon RGF is negligible next to the electron part (Norb=12 vs
+        // N3D=3: a (12/3)³ = 64× block-size advantage).
+        let p = SimParams::small(7);
+        let el = rgf_flops_per_point(&p) * p.electron_points() as f64;
+        let ph = rgf_flops_per_phonon_point(&p) * p.phonon_points() as f64;
+        assert!(ph < 0.01 * el);
+    }
+}

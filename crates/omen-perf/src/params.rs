@@ -1,0 +1,161 @@
+//! Simulation parameter sets of the paper's evaluation (§6).
+
+/// Full parameter set of one simulation configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimParams {
+    /// Total atoms (`Na`).
+    pub na: usize,
+    /// Neighbors per atom (`Nb`).
+    pub nb: usize,
+    /// Orbitals per atom (`Norb`).
+    pub norb: usize,
+    /// Crystal-vibration degrees of freedom (`N3D`).
+    pub n3d: usize,
+    /// Electron momentum points (`Nkz`).
+    pub nk: usize,
+    /// Phonon momentum points (`Nqz`).
+    pub nq: usize,
+    /// Energy points (`NE`).
+    pub ne: usize,
+    /// Phonon frequency points (`Nω`).
+    pub nw: usize,
+    /// RGF diagonal blocks (`bnum`); the flop-model value calibrated
+    /// against Table 3 / Table 11 is 40 for both structures.
+    pub bnum: usize,
+    /// Boundary-condition cost constant: effective number of `bs³`
+    /// block operations per point (decimation depth; calibrated against
+    /// the paper's Table 3 / Table 11 boundary rows).
+    pub bc_block_ops: f64,
+}
+
+impl SimParams {
+    /// The paper's "Small" Si FinFET (W = 2.1 nm, L = 35 nm) at momentum
+    /// resolution `nk`.
+    pub fn small(nk: usize) -> SimParams {
+        SimParams {
+            na: 4_864,
+            nb: 34,
+            norb: 12,
+            n3d: 3,
+            nk,
+            nq: nk,
+            ne: 706,
+            nw: 70,
+            bnum: 40,
+            bc_block_ops: 160.5,
+        }
+    }
+
+    /// The paper's "Large" structure (W = 4.8 nm, L = 35 nm) at momentum
+    /// resolution `nk` (21 for the full-scale runs).
+    pub fn large(nk: usize) -> SimParams {
+        SimParams {
+            na: 10_240,
+            nb: 34,
+            norb: 12,
+            n3d: 3,
+            nk,
+            nq: nk,
+            ne: 1_220,
+            nw: 70,
+            bnum: 40,
+            bc_block_ops: 207.0,
+        }
+    }
+
+    /// RGF block size `Na · Norb / bnum` (may be fractional for the
+    /// calibrated model).
+    pub fn block_size(&self) -> f64 {
+        self.na as f64 * self.norb as f64 / self.bnum as f64
+    }
+
+    /// Electron energy-momentum points per iteration.
+    pub fn electron_points(&self) -> usize {
+        self.nk * self.ne
+    }
+
+    /// Phonon frequency-momentum points per iteration.
+    pub fn phonon_points(&self) -> usize {
+        self.nq * self.nw
+    }
+}
+
+/// One row of Table 2 (requirements for accurate dissipative DFT+NEGF).
+#[derive(Clone, Copy, Debug)]
+pub struct Requirement {
+    /// Variable name.
+    pub variable: &'static str,
+    /// Description.
+    pub description: &'static str,
+    /// Required value.
+    pub value: &'static str,
+}
+
+/// Table 2 of the paper.
+pub fn table2_requirements() -> Vec<Requirement> {
+    vec![
+        Requirement {
+            variable: "Nkz/Nqz",
+            description: "Number of electron/phonon momentum points",
+            value: ">=21",
+        },
+        Requirement {
+            variable: "NE",
+            description: "Number of energy points",
+            value: ">=1,000",
+        },
+        Requirement {
+            variable: "Nw",
+            description: "Number of phonon frequencies",
+            value: ">=50",
+        },
+        Requirement {
+            variable: "Na",
+            description: "Total number of atoms per device structure",
+            value: ">=10,000",
+        },
+        Requirement {
+            variable: "Nb",
+            description: "Neighbors considered for each atom",
+            value: ">=30",
+        },
+        Requirement {
+            variable: "Norb",
+            description: "Number of orbitals per atom",
+            value: ">=10",
+        },
+        Requirement {
+            variable: "N3D",
+            description: "Degrees of freedom for crystal vibrations",
+            value: "3",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_structure_parameters() {
+        let p = SimParams::small(7);
+        assert_eq!(p.na, 4864);
+        assert_eq!(p.nq, 7);
+        assert_eq!(p.electron_points(), 7 * 706);
+        assert_eq!(p.phonon_points(), 7 * 70);
+        // Large meets the Table 2 requirements; Small deliberately not
+        // (the paper chose it so the original OMEN can still run it).
+        let l = SimParams::large(21);
+        assert!(l.na >= 10_000);
+        assert!(l.ne >= 1_000);
+        assert!(l.nk >= 21);
+        assert!(p.ne < 1_000);
+    }
+
+    #[test]
+    fn block_size_scaling() {
+        let p = SimParams::large(21);
+        assert!((p.block_size() - 3072.0).abs() < 1e-9);
+        assert_eq!(table2_requirements().len(), 7);
+    }
+}

@@ -1,0 +1,115 @@
+//! The Roofline model of Fig. 10: RGF is compute-bound; SSE-64 is
+//! memory-bound (small batched GEMMs resident in L2); SSE-16 halves the
+//! element size but stays bandwidth-limited.
+
+use crate::machines::Gpu;
+
+/// A kernel plotted on the roofline.
+#[derive(Clone, Copy, Debug)]
+pub struct RooflineKernel {
+    /// Label.
+    pub name: &'static str,
+    /// Operational intensity (flop/byte).
+    pub intensity: f64,
+    /// Uses Tensor-Core (half-precision) ceiling.
+    pub half_precision: bool,
+}
+
+/// Attainable performance of a kernel under the classic roofline:
+/// `min(compute ceiling, OI × bandwidth)`.
+pub fn attainable(gpu: &Gpu, k: &RooflineKernel, use_l2: bool) -> f64 {
+    let ceiling = if k.half_precision {
+        gpu.peak_hp
+    } else {
+        gpu.peak_dp
+    };
+    let bw = if use_l2 { gpu.l2_bw } else { gpu.mem_bw };
+    ceiling.min(k.intensity * bw)
+}
+
+/// `true` if the kernel hits the compute ceiling (vertical part of the
+/// roof) rather than the bandwidth slope.
+pub fn is_compute_bound(gpu: &Gpu, k: &RooflineKernel, use_l2: bool) -> bool {
+    let bw = if use_l2 { gpu.l2_bw } else { gpu.mem_bw };
+    let ceiling = if k.half_precision {
+        gpu.peak_hp
+    } else {
+        gpu.peak_dp
+    };
+    k.intensity * bw >= ceiling
+}
+
+/// Operational intensity of a dense complex GEMM of size `n`:
+/// `8n³` flops over `3·16·n²` bytes (read A, B; write C) → `n/6`.
+pub fn gemm_intensity(n: usize, bytes_per_element: usize) -> f64 {
+    8.0 * (n as f64).powi(3) / (3.0 * bytes_per_element as f64 * (n as f64).powi(2))
+}
+
+/// The paper's three kernels, parameterized by the RGF block size and the
+/// SSE small-matrix size (`Norb`).
+pub fn paper_kernels(rgf_block: usize, norb: usize) -> [RooflineKernel; 3] {
+    [
+        RooflineKernel {
+            name: "RGF",
+            intensity: gemm_intensity(rgf_block, 16),
+            half_precision: false,
+        },
+        RooflineKernel {
+            name: "SSE-64",
+            intensity: gemm_intensity(norb, 16),
+            half_precision: false,
+        },
+        RooflineKernel {
+            // Split-complex f16: 4 bytes per complex element.
+            name: "SSE-16",
+            intensity: gemm_intensity(norb, 4),
+            half_precision: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines::V100;
+
+    #[test]
+    fn rgf_compute_bound_sse_memory_bound() {
+        // Fig. 10: RGF sits on the DP compute ceiling; SSE-64 is limited
+        // by the L2 bandwidth slope; SSE-16 gains but stays on the slope
+        // relative to the Tensor-Core ceiling.
+        let ks = paper_kernels(3072, 12);
+        assert!(is_compute_bound(&V100, &ks[0], true), "RGF");
+        assert!(!is_compute_bound(&V100, &ks[1], true), "SSE-64");
+        assert!(!is_compute_bound(&V100, &ks[2], true), "SSE-16");
+    }
+
+    #[test]
+    fn sse16_attains_more_than_sse64() {
+        let ks = paper_kernels(3072, 12);
+        let p64 = attainable(&V100, &ks[1], true);
+        let p16 = attainable(&V100, &ks[2], true);
+        assert!(
+            p16 > 2.0 * p64,
+            "element shrink must raise attainable: {p16:e} vs {p64:e}"
+        );
+    }
+
+    #[test]
+    fn intensities_match_hand_calculation() {
+        // 12×12 double-complex GEMM: OI = 12/6 = 2 flop/byte.
+        assert!((gemm_intensity(12, 16) - 2.0).abs() < 1e-12);
+        // Same in split-complex f16: 4× higher.
+        assert!((gemm_intensity(12, 4) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attainable_respects_ceiling() {
+        let k = RooflineKernel {
+            name: "huge-OI",
+            intensity: 1e6,
+            half_precision: false,
+        };
+        assert_eq!(attainable(&V100, &k, false), V100.peak_dp);
+    }
+}

@@ -1,0 +1,547 @@
+//! Time-to-solution and scalability models: Figs. 8–9, Tables 11–12.
+//!
+//! The model combines
+//! * the flop model (`flops`),
+//! * the volume model (`commvolume`) with the injection-bandwidth network
+//!   model, and
+//! * calibrated effective per-GPU phase rates.
+//!
+//! **Calibration policy** (recorded in `EXPERIMENTS.md`): the per-phase
+//! rates of the DaCe variant are anchored on Table 11's full-scale
+//! breakdown (GF 145 Pflop/s on 27,360 GPUs, SSE 51.94, BC 40.40); the
+//! OMEN variant rates on Table 10 (Piz Daint single-node) and Table 12
+//! (Summit per-atom run). Everything else — scaling curves, crossovers,
+//! speedup ratios — is *derived*, and comparing those derived shapes to
+//! the paper is the point of the reproduction.
+
+use crate::commvolume::{dace_volume_with, omen_volume};
+use crate::flops::{bc_flops_total, rgf_flops_total, sse_flops_dace, sse_flops_omen};
+use crate::machines::MachineSpec;
+use crate::params::SimParams;
+
+/// Which code variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// The original OMEN schedule and decomposition.
+    Omen,
+    /// The data-centric (DaCe) variant.
+    Dace,
+}
+
+/// Caching strategy of the GF phase (§7.1.2 / Fig. 9).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Caching {
+    /// Recompute specialization + boundary conditions every iteration.
+    NoCache,
+    /// Cache boundary conditions only.
+    CacheBc,
+    /// Cache boundary conditions and specialized data.
+    CacheBcSpec,
+}
+
+/// Effective sustained flop/s per GPU for each phase.
+#[derive(Clone, Copy, Debug)]
+pub struct Rates {
+    /// Boundary conditions.
+    pub bc: f64,
+    /// RGF (GF phase).
+    pub gf: f64,
+    /// SSE, double precision.
+    pub sse: f64,
+    /// SSE, mixed precision.
+    pub sse_mixed: f64,
+}
+
+/// All-to-all bandwidth utilization (the paper measures 42–85%).
+pub const EFF_ALLTOALL: f64 = 0.47;
+/// Fine-grained point-to-point utilization of the OMEN scheme
+/// (calibrated so the Piz Daint communication improvement reproduces the
+/// paper's 417×: volume ratio ≈ 89× × utilization ratio ≈ 4.7×).
+pub const EFF_P2P: f64 = 0.10;
+/// Specialization cost as a fraction of the BC cost (re-assembly of
+/// `H(kz)`/`S(kz)`; memory-bound, no Table 11 row — rough constant).
+pub const SPEC_BC_FRACTION: f64 = 0.25;
+
+/// Calibrated per-GPU phase rates.
+pub fn rates(machine: &MachineSpec, variant: Variant) -> Rates {
+    match (machine.name, variant) {
+        // Anchored on Table 11 (27,360 GPUs): 40.40 / 145.01 / 51.94 /
+        // 60.21 Pflop/s system-wide.
+        ("Summit", Variant::Dace) => Rates {
+            bc: 1.48e12,
+            gf: 5.30e12,
+            sse: 1.90e12,
+            sse_mixed: 2.20e12,
+        },
+        // OMEN on POWER9 leans on libraries that are not optimized there
+        // (§7.2); SSE rate anchored between the Fig. 8b strong-scaling
+        // plot and Table 12's per-atom run.
+        ("Summit", Variant::Omen) => Rates {
+            bc: 1.10e12,
+            gf: 1.40e12,
+            sse: 2.0e10,
+            sse_mixed: 2.0e10,
+        },
+        // Anchored on Table 10 (per Piz Daint node = per P100):
+        // GF 174 Tflop / 111.25 s, SSE 31.8 Tflop / 29.93 s.
+        ("Piz Daint", Variant::Dace) => Rates {
+            bc: 1.10e12,
+            gf: 1.56e12,
+            sse: 1.06e12,
+            sse_mixed: 1.06e12, // no Tensor Cores on P100
+        },
+        // Table 10: GF 174 Tflop / 144.14 s, SSE 63.6 Tflop / 965.45 s.
+        ("Piz Daint", Variant::Omen) => Rates {
+            bc: 0.90e12,
+            gf: 1.21e12,
+            sse: 6.59e10,
+            sse_mixed: 6.59e10,
+        },
+        _ => panic!("no calibration for {} / {variant:?}", machine.name),
+    }
+}
+
+/// Modeled phase times of one GF+SSE iteration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IterationModel {
+    /// Boundary conditions (zero when cached).
+    pub bc: f64,
+    /// Specialization (zero when cached).
+    pub spec: f64,
+    /// GF (RGF) phase.
+    pub gf: f64,
+    /// SSE phase.
+    pub sse: f64,
+    /// SSE-phase communication.
+    pub comm: f64,
+}
+
+impl IterationModel {
+    /// Total per-iteration wall clock.
+    pub fn total(&self) -> f64 {
+        self.bc + self.spec + self.gf + self.sse + self.comm
+    }
+}
+
+/// SSE communication time of one iteration: volume over the aggregate
+/// injection bandwidth of the participating nodes, at the scheme's
+/// effective utilization.
+pub fn comm_time(
+    machine: &MachineSpec,
+    p: &SimParams,
+    variant: Variant,
+    gpus: usize,
+) -> f64 {
+    let nodes = machine.nodes_for_gpus(gpus) as f64;
+    let agg_bw = nodes * machine.injection_bw;
+    match variant {
+        Variant::Omen => omen_volume(p, gpus) / (agg_bw * EFF_P2P),
+        // The paper's large-scale runs used Ta = P, TE = 1 (§6.1.2).
+        Variant::Dace => dace_volume_with(p, gpus, 1) / (agg_bw * EFF_ALLTOALL),
+    }
+}
+
+/// Models one iteration on `gpus` GPUs.
+pub fn iteration_time(
+    machine: &MachineSpec,
+    p: &SimParams,
+    variant: Variant,
+    gpus: usize,
+    caching: Caching,
+    mixed: bool,
+) -> IterationModel {
+    let r = rates(machine, variant);
+    let g = gpus as f64;
+    let bc_full = bc_flops_total(p) / (g * r.bc);
+    let (bc, spec) = match caching {
+        Caching::NoCache => (bc_full, SPEC_BC_FRACTION * bc_full),
+        Caching::CacheBc => (0.0, SPEC_BC_FRACTION * bc_full),
+        Caching::CacheBcSpec => (0.0, 0.0),
+    };
+    let gf = rgf_flops_total(p) / (g * r.gf);
+    let sse_flops = match variant {
+        Variant::Omen => sse_flops_omen(p),
+        Variant::Dace => sse_flops_dace(p),
+    };
+    let sse_rate = if mixed { r.sse_mixed } else { r.sse };
+    let sse = sse_flops / (g * sse_rate);
+    let comm = comm_time(machine, p, variant, gpus);
+    IterationModel {
+        bc,
+        spec,
+        gf,
+        sse,
+        comm,
+    }
+}
+
+/// Flops *credited* to one iteration under a caching mode (Fig. 9 plots
+/// Pflop/s including recomputed boundary work).
+pub fn iteration_flops(p: &SimParams, variant: Variant, caching: Caching) -> f64 {
+    let sse = match variant {
+        Variant::Omen => sse_flops_omen(p),
+        Variant::Dace => sse_flops_dace(p),
+    };
+    let base = rgf_flops_total(p) + sse;
+    match caching {
+        Caching::NoCache => base + bc_flops_total(p),
+        // Specialization is data movement, not flops.
+        Caching::CacheBc | Caching::CacheBcSpec => base,
+    }
+}
+
+/// One point of the Fig. 9 strong-scaling experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig9Point {
+    /// GPU count.
+    pub gpus: usize,
+    /// Sustained Pflop/s in double precision for each caching mode.
+    pub pflops_nocache: f64,
+    /// Cache-BC mode.
+    pub pflops_cache_bc: f64,
+    /// Cache-BC+Spec mode.
+    pub pflops_cache_all: f64,
+    /// Mixed precision, best caching.
+    pub pflops_mixed: f64,
+    /// Fraction of HPL at this node count (double, best caching).
+    pub hpl_fraction: f64,
+}
+
+/// Models Fig. 9: the Large structure (Nkz = 21) on Summit.
+pub fn fig9(gpus_list: &[usize]) -> Vec<Fig9Point> {
+    let machine = MachineSpec::summit();
+    let p = SimParams::large(21);
+    gpus_list
+        .iter()
+        .map(|&gpus| {
+            let perf = |caching: Caching, mixed: bool| {
+                let t = iteration_time(&machine, &p, Variant::Dace, gpus, caching, mixed);
+                iteration_flops(&p, Variant::Dace, caching) / t.total()
+            };
+            let best = perf(Caching::CacheBcSpec, false);
+            let hpl_at_scale =
+                machine.hpl * machine.nodes_for_gpus(gpus) as f64 / machine.nodes as f64;
+            Fig9Point {
+                gpus,
+                pflops_nocache: perf(Caching::NoCache, false) / 1e15,
+                pflops_cache_bc: perf(Caching::CacheBc, false) / 1e15,
+                pflops_cache_all: best / 1e15,
+                pflops_mixed: perf(Caching::CacheBcSpec, true) / 1e15,
+                hpl_fraction: best / hpl_at_scale,
+            }
+        })
+        .collect()
+}
+
+/// One Fig. 8 scaling point (per-iteration seconds).
+#[derive(Clone, Copy, Debug)]
+pub struct Fig8Point {
+    /// GPU count (Piz Daint: nodes).
+    pub gpus: usize,
+    /// Momentum resolution of this point (varies along weak scaling).
+    pub nk: usize,
+    /// OMEN computation time.
+    pub omen_comp: f64,
+    /// OMEN communication time.
+    pub omen_comm: f64,
+    /// DaCe computation time.
+    pub dace_comp: f64,
+    /// DaCe communication time.
+    pub dace_comm: f64,
+}
+
+impl Fig8Point {
+    /// Total-runtime speedup of DaCe over OMEN.
+    pub fn speedup(&self) -> f64 {
+        (self.omen_comp + self.omen_comm) / (self.dace_comp + self.dace_comm)
+    }
+
+    /// Communication-time improvement.
+    pub fn comm_improvement(&self) -> f64 {
+        self.omen_comm / self.dace_comm
+    }
+}
+
+/// Fig. 8 strong scaling: Small structure, fixed `Nkz = 7`.
+pub fn fig8_strong(machine: &MachineSpec, gpus_list: &[usize]) -> Vec<Fig8Point> {
+    let p = SimParams::small(7);
+    gpus_list
+        .iter()
+        .map(|&gpus| point(machine, &p, gpus, 7))
+        .collect()
+}
+
+/// Fig. 8 weak scaling: Small structure, `Nkz` grows with the machine.
+pub fn fig8_weak(machine: &MachineSpec, points: &[(usize, usize)]) -> Vec<Fig8Point> {
+    points
+        .iter()
+        .map(|&(nk, gpus)| point(machine, &SimParams::small(nk), gpus, nk))
+        .collect()
+}
+
+fn point(machine: &MachineSpec, p: &SimParams, gpus: usize, nk: usize) -> Fig8Point {
+    let omen = iteration_time(machine, p, Variant::Omen, gpus, Caching::NoCache, false);
+    let dace = iteration_time(machine, p, Variant::Dace, gpus, Caching::NoCache, false);
+    Fig8Point {
+        gpus,
+        nk,
+        omen_comp: omen.bc + omen.spec + omen.gf + omen.sse,
+        omen_comm: omen.comm,
+        dace_comp: dace.bc + dace.spec + dace.gf + dace.sse,
+        dace_comm: dace.comm,
+    }
+}
+
+/// Table 11: modeled full-scale breakdown (27,360 GPUs, Large structure),
+/// with one-time costs amortized over `iterations` as the paper does.
+#[derive(Clone, Copy, Debug)]
+pub struct Table11Model {
+    /// Data ingestion (one-time, s).
+    pub ingestion: f64,
+    /// Boundary conditions (one-time with caching, s).
+    pub bc: f64,
+    /// GF phase (per iteration, s).
+    pub gf: f64,
+    /// SSE phase double precision (s).
+    pub sse_double: f64,
+    /// SSE phase mixed precision (s).
+    pub sse_mixed: f64,
+    /// Communication (s).
+    pub comm: f64,
+    /// Per-iteration total, double precision (GF + SSE + comm).
+    pub total_double: f64,
+    /// Per-iteration total including amortized one-time costs.
+    pub total_with_io: f64,
+    /// Sustained Pflop/s (double).
+    pub pflops_double: f64,
+    /// Sustained Pflop/s (mixed).
+    pub pflops_mixed: f64,
+}
+
+/// Builds the Table 11 model.
+pub fn table11(gpus: usize, iterations: usize) -> Table11Model {
+    let machine = MachineSpec::summit();
+    let p = SimParams::large(21);
+    let r = rates(&machine, Variant::Dace);
+    let g = gpus as f64;
+    let bc = bc_flops_total(&p) / (g * r.bc);
+    let gf = rgf_flops_total(&p) / (g * r.gf);
+    let sse_double = sse_flops_dace(&p) / (g * r.sse);
+    let sse_mixed = sse_flops_dace(&p) / (g * r.sse_mixed);
+    let comm = comm_time(&machine, &p, Variant::Dace, gpus);
+    // Ingestion: staged chunked broadcast (§7.1.1, 31.1 s measured).
+    let ingestion = 31.1;
+    let total_double = gf + sse_double + comm;
+    let amortized = (ingestion + bc) / iterations as f64;
+    let flops = rgf_flops_total(&p) + sse_flops_dace(&p);
+    Table11Model {
+        ingestion,
+        bc,
+        gf,
+        sse_double,
+        sse_mixed,
+        comm,
+        total_double,
+        total_with_io: total_double + amortized,
+        pflops_double: flops / total_double / 1e15,
+        pflops_mixed: flops / (gf + sse_mixed + comm) / 1e15,
+    }
+}
+
+/// Table 12: per-atom time comparison at 6,840 GPUs.
+#[derive(Clone, Copy, Debug)]
+pub struct Table12Model {
+    /// OMEN atoms (1,064).
+    pub omen_na: usize,
+    /// DaCe atoms (10,240).
+    pub dace_na: usize,
+    /// OMEN per-iteration time (s).
+    pub omen_time: f64,
+    /// DaCe per-iteration time (s).
+    pub dace_time: f64,
+}
+
+impl Table12Model {
+    /// Seconds per atom, OMEN.
+    pub fn omen_time_per_atom(&self) -> f64 {
+        self.omen_time / self.omen_na as f64
+    }
+
+    /// Seconds per atom, DaCe.
+    pub fn dace_time_per_atom(&self) -> f64 {
+        self.dace_time / self.dace_na as f64
+    }
+
+    /// The per-atom speedup (paper: 140.9×).
+    pub fn speedup(&self) -> f64 {
+        self.omen_time_per_atom() / self.dace_time_per_atom()
+    }
+}
+
+/// Builds the Table 12 model (both runs: Nkz = 21, NE = 1,220, 6,840
+/// GPUs; OMEN limited to 1,064 atoms by memory).
+pub fn table12() -> Table12Model {
+    let machine = MachineSpec::summit();
+    let gpus = 6_840;
+    let mut p_omen = SimParams::large(21);
+    p_omen.na = 1_064;
+    let p_dace = SimParams::large(21);
+    let t_omen = iteration_time(&machine, &p_omen, Variant::Omen, gpus, Caching::NoCache, false);
+    let t_dace = iteration_time(&machine, &p_dace, Variant::Dace, gpus, Caching::CacheBcSpec, false);
+    Table12Model {
+        omen_na: p_omen.na,
+        dace_na: p_dace.na,
+        omen_time: t_omen.total(),
+        dace_time: t_dace.total(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table11_reproduces_paper_breakdown() {
+        // Paper: GF 41.36 s, SSE 41.91 s (double) / 36.16 s (mixed),
+        // comm 11.50 s, total 94.77 s, 86.26 Pflop/s; with I/O 96.00 s.
+        let m = table11(27_360, 50);
+        assert!((m.gf - 41.36).abs() / 41.36 < 0.05, "GF {:.2}", m.gf);
+        assert!(
+            (m.sse_double - 41.91).abs() / 41.91 < 0.05,
+            "SSE {:.2}",
+            m.sse_double
+        );
+        assert!(
+            (m.sse_mixed - 36.16).abs() / 36.16 < 0.06,
+            "SSE-16 {:.2}",
+            m.sse_mixed
+        );
+        // Communication is modeled, not anchored: same order of
+        // magnitude as the measured 11.50 s.
+        assert!(
+            m.comm > 2.0 && m.comm < 23.0,
+            "comm {:.2} s (paper 11.50)",
+            m.comm
+        );
+        assert!(
+            (m.total_double - 94.77).abs() / 94.77 < 0.10,
+            "total {:.2}",
+            m.total_double
+        );
+        assert!(
+            (m.pflops_double - 86.26).abs() / 86.26 < 0.10,
+            "perf {:.2} Pflop/s",
+            m.pflops_double
+        );
+        // BC one-time cost ~30.51 s.
+        assert!((m.bc - 30.51).abs() / 30.51 < 0.05, "BC {:.2}", m.bc);
+        // Amortization matches: total_with_io − total ≈ (31.1+30.5)/50.
+        let amort = m.total_with_io - m.total_double;
+        assert!((amort - 1.23).abs() < 0.15, "amortized {amort:.2}");
+    }
+
+    #[test]
+    fn table12_reproduces_per_atom_speedup() {
+        let m = table12();
+        // Paper: 4,695.70 s vs 333.36 s; speedup 140.9×. The OMEN rate is
+        // calibrated to land in the right decade; require the headline
+        // two-orders-of-magnitude shape.
+        assert!(
+            (m.dace_time - 333.36).abs() / 333.36 < 0.15,
+            "DaCe time {:.0}",
+            m.dace_time
+        );
+        assert!(
+            m.omen_time > 2_000.0 && m.omen_time < 8_000.0,
+            "OMEN time {:.0} (paper 4,695.70)",
+            m.omen_time
+        );
+        let s = m.speedup();
+        assert!(
+            (70.0..250.0).contains(&s),
+            "per-atom speedup {s:.0}× (paper 140.9×)"
+        );
+    }
+
+    #[test]
+    fn fig9_shape() {
+        let pts = fig9(&[3_420, 6_840, 13_680, 27_360]);
+        // Monotone increase in sustained Pflop/s.
+        for w in pts.windows(2) {
+            assert!(w[1].pflops_cache_all > w[0].pflops_cache_all);
+        }
+        // Full-scale point ≈ 86 Pflop/s, ~58% of HPL.
+        let last = pts.last().unwrap();
+        assert!(
+            (last.pflops_cache_all - 86.26).abs() / 86.26 < 0.10,
+            "{:.1} Pflop/s",
+            last.pflops_cache_all
+        );
+        assert!((last.hpl_fraction - 0.58).abs() < 0.06, "{:.2}", last.hpl_fraction);
+        // Mixed precision is faster; NoCache is slower than cached modes
+        // in time but gets extra flops credited — its Pflop/s stays below.
+        assert!(last.pflops_mixed > last.pflops_cache_all);
+        assert!(last.pflops_nocache < last.pflops_cache_all);
+        assert!(last.pflops_cache_bc <= last.pflops_cache_all);
+        // Paper's baseline point: 11.53 Pflop/s at 3,420 GPUs (63% HPL);
+        // the model should land within ~20%.
+        assert!(
+            (pts[0].pflops_cache_all - 11.53).abs() / 11.53 < 0.25,
+            "{:.1} Pflop/s at 3,420 GPUs",
+            pts[0].pflops_cache_all
+        );
+    }
+
+    #[test]
+    fn fig8_summit_speedups() {
+        let m = MachineSpec::summit();
+        let pts = fig8_strong(&m, &[114, 342, 684, 1_368]);
+        for p in &pts {
+            // Paper: total runtime improves by up to 24.5× on Summit. A
+            // single scale-independent SSE rate cannot capture OMEN's
+            // scale-dependent inefficiency, so we accept the right decade.
+            let s = p.speedup();
+            assert!((10.0..130.0).contains(&s), "speedup {s:.0}× at {} GPUs", p.gpus);
+            // Communication improves by up to ~80× in the paper's
+            // measurements; the pure volume-over-bandwidth model has no
+            // constant per-message overheads, so at small process counts
+            // the modeled ratio overshoots (the DaCe volume collapses to
+            // the Nb halo while the OMEN volume stays fixed).
+            let c = p.comm_improvement();
+            assert!((20.0..1100.0).contains(&c), "comm ratio {c:.0}× at {} GPUs", p.gpus);
+        }
+    }
+
+    #[test]
+    fn fig8_piz_daint_comm_improvement() {
+        let m = MachineSpec::piz_daint();
+        let pts = fig8_weak(
+            &m,
+            &[(3, 384), (5, 640), (7, 896), (9, 1_152), (11, 1_408)],
+        );
+        // Paper: communication time improves by up to 417.2×.
+        let best = pts.iter().map(|p| p.comm_improvement()).fold(0.0, f64::max);
+        assert!(
+            (250.0..600.0).contains(&best),
+            "best comm improvement {best:.0}× (paper 417.2×)"
+        );
+        // Total speedup up to 16.3×.
+        let best_s = pts.iter().map(|p| p.speedup()).fold(0.0, f64::max);
+        assert!(
+            (8.0..35.0).contains(&best_s),
+            "best total speedup {best_s:.0}× (paper 16.3×)"
+        );
+    }
+
+    #[test]
+    fn strong_scaling_efficiency_declines() {
+        // Fixed problem, growing machine: efficiency must fall as
+        // communication and fixed costs grow relative to compute.
+        let m = MachineSpec::summit();
+        let p = SimParams::large(21);
+        let t1 = iteration_time(&m, &p, Variant::Dace, 3_420, Caching::CacheBcSpec, false);
+        let t8 = iteration_time(&m, &p, Variant::Dace, 27_360, Caching::CacheBcSpec, false);
+        let speedup = t1.total() / t8.total();
+        assert!(speedup > 4.0 && speedup < 8.0, "8× GPUs -> {speedup:.1}× speedup");
+    }
+}

@@ -1,0 +1,24 @@
+//! # omen-rgf
+//!
+//! Recursive Green's Function solvers — the paper's GF phase (§4 Eq. 1).
+
+pub mod boundary;
+pub mod dense_ref;
+pub mod observables;
+pub mod points;
+pub mod rgf;
+
+pub use boundary::{
+    bose, boundary_self_energies, contact_sigma_lg, fermi, surface_gf, BoundaryMethod,
+    BoundarySelfEnergies, SurfaceGf,
+};
+pub use observables::{
+    block_ldos, block_occupation, caroli_transmission, contact_current, current_profile,
+    interface_current, orbital_occupation,
+};
+pub use dense_ref::{dense_solve, DenseSolution};
+pub use points::{
+    CacheMode, ElectronParams, ElectronSolver, PhaseTimes, PhononParams, PhononSolver,
+    PointSolution,
+};
+pub use rgf::{rgf_flops_model, rgf_solve, RgfInputs, RgfSolution};

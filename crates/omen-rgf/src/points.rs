@@ -1,0 +1,586 @@
+//! Per-point GF solvers: assembly ("specialization"), boundary conditions,
+//! and RGF for electron `(kz, E)` and phonon `(qz, ω)` points, with the
+//! three caching modes of §7.1.2.
+//!
+//! For each energy-momentum point the GF phase performs:
+//! (a) **specialization** — assembling `H(kz)`, `S(kz)` (or `Φ(qz)`) from
+//!     the material data;
+//! (b) **boundary conditions** — lead surface-GF computation;
+//! (c) **RGF** — the recursive solve.
+//!
+//! (a) depends on the momentum only and (b) on the point only — neither
+//! depends on the self-consistent iteration, so both can be cached at a
+//! steep memory cost (the paper: 3 GB + 1 GB per point for the "Large"
+//! device). [`CacheMode`] selects the compute-memory tradeoff.
+
+use crate::boundary::{
+    bose, boundary_self_energies, contact_sigma_lg, fermi, BoundaryMethod, BoundarySelfEnergies,
+};
+use crate::rgf::{rgf_solve, RgfInputs, RgfSolution};
+use omen_device::DeviceStructure;
+use omen_linalg::{c64, BlockTriDiag, CMatrix};
+use std::time::{Duration, Instant};
+
+/// Compute/memory tradeoff of the GF phase (§7.1.2, Fig. 9).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Recompute specialization and boundary conditions every iteration.
+    NoCache,
+    /// Cache boundary conditions; re-specialize every iteration.
+    CacheBc,
+    /// Cache both specialization and boundary conditions.
+    CacheBcSpec,
+}
+
+/// Wall-clock spent in each GF sub-phase (for the caching benchmarks).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// Time in operator assembly (specialization).
+    pub specialization: Duration,
+    /// Time in boundary-condition computation.
+    pub boundary: Duration,
+    /// Time in the RGF solver itself.
+    pub rgf: Duration,
+}
+
+impl PhaseTimes {
+    /// Total across sub-phases.
+    pub fn total(&self) -> Duration {
+        self.specialization + self.boundary + self.rgf
+    }
+
+    /// Accumulates another sample.
+    pub fn accumulate(&mut self, other: &PhaseTimes) {
+        self.specialization += other.specialization;
+        self.boundary += other.boundary;
+        self.rgf += other.rgf;
+    }
+}
+
+/// Contact and numerical parameters of the electron GF solver.
+#[derive(Clone, Copy, Debug)]
+pub struct ElectronParams {
+    /// Retarded broadening `η` (eV). Keep ≳ 1e-6 of the bandwidth.
+    pub eta: f64,
+    /// Source (left) chemical potential (eV).
+    pub mu_source: f64,
+    /// Drain (right) chemical potential (eV).
+    pub mu_drain: f64,
+    /// Contact electron temperature `k_B T` (eV).
+    pub kt: f64,
+    /// Surface-GF algorithm.
+    pub method: BoundaryMethod,
+    /// Decimation tolerance.
+    pub bc_tol: f64,
+    /// Decimation iteration cap.
+    pub bc_max_iter: usize,
+}
+
+impl Default for ElectronParams {
+    fn default() -> Self {
+        ElectronParams {
+            eta: 1e-5,
+            mu_source: 0.0,
+            mu_drain: 0.0,
+            kt: 0.025,
+            method: BoundaryMethod::SanchoRubio,
+            bc_tol: 1e-13,
+            bc_max_iter: 200,
+        }
+    }
+}
+
+/// Contact parameters of the phonon GF solver.
+#[derive(Clone, Copy, Debug)]
+pub struct PhononParams {
+    /// Broadening added to `ω` before squaring (energy units).
+    pub eta: f64,
+    /// Contact lattice temperature `k_B T` (eV).
+    pub kt: f64,
+    /// Surface-GF algorithm.
+    pub method: BoundaryMethod,
+    /// Decimation tolerance.
+    pub bc_tol: f64,
+    /// Decimation iteration cap.
+    pub bc_max_iter: usize,
+}
+
+impl Default for PhononParams {
+    fn default() -> Self {
+        PhononParams {
+            eta: 2e-5,
+            kt: 0.025,
+            method: BoundaryMethod::SanchoRubio,
+            bc_tol: 1e-13,
+            bc_max_iter: 200,
+        }
+    }
+}
+
+/// Output of one GF point solve.
+pub struct PointSolution {
+    /// The RGF blocks.
+    pub sol: RgfSolution,
+    /// The folded `M` (for current operators: its `upper` blocks).
+    pub m: BlockTriDiag,
+    /// Left boundary `Σ^≷` blocks (for Meir-Wingreen currents).
+    pub boundary_lg_left: (CMatrix, CMatrix),
+    /// Right boundary `Σ^≷` blocks.
+    pub boundary_lg_right: (CMatrix, CMatrix),
+    /// Left/right broadenings `Γ`.
+    pub gamma: (CMatrix, CMatrix),
+    /// Sub-phase timings of this solve.
+    pub times: PhaseTimes,
+}
+
+/// Electron GF solver bound to one device, potential profile, and cache
+/// policy. One instance serves all `(kz, E)` points across the
+/// self-consistent iteration.
+pub struct ElectronSolver<'a> {
+    device: &'a DeviceStructure,
+    potential: Vec<f64>,
+    /// Parameters (public: adjusted between runs by the driver).
+    pub params: ElectronParams,
+    mode: CacheMode,
+    kz_values: Vec<f64>,
+    energies: Vec<f64>,
+    spec_cache: Vec<Option<(BlockTriDiag, BlockTriDiag)>>, // per kz: (H, S)
+    bc_cache: Vec<Option<BoundarySelfEnergies>>,           // per (ik, ie)
+}
+
+impl<'a> ElectronSolver<'a> {
+    /// Creates a solver for the grid `kz_values × energies`.
+    pub fn new(
+        device: &'a DeviceStructure,
+        potential: Vec<f64>,
+        params: ElectronParams,
+        mode: CacheMode,
+        kz_values: Vec<f64>,
+        energies: Vec<f64>,
+    ) -> Self {
+        let nk = kz_values.len();
+        let ne = energies.len();
+        ElectronSolver {
+            device,
+            potential,
+            params,
+            mode,
+            kz_values,
+            energies,
+            spec_cache: vec![None; nk],
+            bc_cache: vec![None; nk * ne],
+        }
+    }
+
+    /// The cache policy in force.
+    pub fn mode(&self) -> CacheMode {
+        self.mode
+    }
+
+    /// Approximate resident bytes of the caches (the memory side of the
+    /// compute-memory tradeoff).
+    pub fn cache_bytes(&self) -> usize {
+        let bs = self.device.block_size_el();
+        let bnum = self.device.bnum();
+        let spec = self
+            .spec_cache
+            .iter()
+            .flatten()
+            .count()
+            * 2 // H and S
+            * (bnum * 3) // diag + upper + lower (over-estimate by 2 blocks)
+            * bs * bs * 16;
+        let bc = self.bc_cache.iter().flatten().count() * 4 * bs * bs * 16;
+        spec + bc
+    }
+
+    /// Solves point `(ik, ie)` given the scattering self-energy blocks
+    /// (`None` for the ballistic first iteration).
+    pub fn solve(
+        &mut self,
+        ik: usize,
+        ie: usize,
+        sigma_r_scatt: Option<&[CMatrix]>,
+        sigma_l_scatt: Option<&[CMatrix]>,
+        sigma_g_scatt: Option<&[CMatrix]>,
+    ) -> PointSolution {
+        let kz = self.kz_values[ik];
+        let e = self.energies[ie];
+        let bnum = self.device.bnum();
+        let bs = self.device.block_size_el();
+        let mut times = PhaseTimes::default();
+
+        // --- (a) specialization ---
+        let t0 = Instant::now();
+        let use_spec_cache = self.mode == CacheMode::CacheBcSpec;
+        let (h, s) = if use_spec_cache && self.spec_cache[ik].is_some() {
+            self.spec_cache[ik].clone().unwrap()
+        } else {
+            let h = self
+                .device
+                .hamiltonian_with_potential(kz, &self.potential);
+            let s = self.device.overlap(kz);
+            if use_spec_cache {
+                self.spec_cache[ik] = Some((h.clone(), s.clone()));
+            }
+            (h, s)
+        };
+        times.specialization = t0.elapsed();
+
+        // M = (E + iη)·S − H.
+        let zc = c64(e, self.params.eta);
+        let mut m = s.linear_comb(zc, &h, c64(-1.0, 0.0));
+
+        // --- (b) boundary conditions (ballistic lead blocks) ---
+        let t1 = Instant::now();
+        let bc_key = ik * self.energies.len() + ie;
+        let use_bc_cache = self.mode != CacheMode::NoCache;
+        let bse = if use_bc_cache && self.bc_cache[bc_key].is_some() {
+            self.bc_cache[bc_key].clone().unwrap()
+        } else {
+            let bse = boundary_self_energies(
+                self.params.method,
+                &m.diag[0],
+                &m.upper[0],
+                &m.lower[0],
+                &m.diag[bnum - 1],
+                &m.upper[bnum - 2],
+                &m.lower[bnum - 2],
+                self.params.bc_tol,
+                self.params.bc_max_iter,
+            );
+            if use_bc_cache {
+                self.bc_cache[bc_key] = Some(bse.clone());
+            }
+            bse
+        };
+        times.boundary = t1.elapsed();
+
+        // Fold boundary and scattering Σ^R into M.
+        m.diag[0] -= &bse.left;
+        m.diag[bnum - 1] -= &bse.right;
+        if let Some(sr) = sigma_r_scatt {
+            assert_eq!(sr.len(), bnum, "sigma_r blocks");
+            for (b, blk) in sr.iter().enumerate() {
+                let neg = blk.scaled(c64(-1.0, 0.0));
+                m.diag[b] += &neg;
+            }
+        }
+
+        // Boundary Σ^≷ with contact Fermi factors.
+        let f_l = fermi(e, self.params.mu_source, self.params.kt);
+        let f_r = fermi(e, self.params.mu_drain, self.params.kt);
+        let (sl_l, sg_l) = contact_sigma_lg(&bse.left, f_l, false);
+        let (sl_r, sg_r) = contact_sigma_lg(&bse.right, f_r, false);
+
+        let mut sigma_l = match sigma_l_scatt {
+            Some(s) => s.to_vec(),
+            None => vec![CMatrix::zeros(bs, bs); bnum],
+        };
+        let mut sigma_g = match sigma_g_scatt {
+            Some(s) => s.to_vec(),
+            None => vec![CMatrix::zeros(bs, bs); bnum],
+        };
+        sigma_l[0] += &sl_l;
+        sigma_g[0] += &sg_l;
+        sigma_l[bnum - 1] += &sl_r;
+        sigma_g[bnum - 1] += &sg_r;
+
+        // --- (c) RGF ---
+        let t2 = Instant::now();
+        let sol = rgf_solve(&RgfInputs {
+            m: &m,
+            sigma_l: &sigma_l,
+            sigma_g: &sigma_g,
+        });
+        times.rgf = t2.elapsed();
+
+        PointSolution {
+            sol,
+            m,
+            boundary_lg_left: (sl_l, sg_l),
+            boundary_lg_right: (sl_r, sg_r),
+            gamma: (bse.gamma_left, bse.gamma_right),
+            times,
+        }
+    }
+}
+
+/// Phonon GF solver: solves `(ω² − Φ(qz) − Π^R)·D^R = I` per `(qz, ω)`
+/// point with Bose-occupied contacts at the lattice temperature.
+pub struct PhononSolver<'a> {
+    device: &'a DeviceStructure,
+    /// Parameters (public: adjusted between runs by the driver).
+    pub params: PhononParams,
+    mode: CacheMode,
+    qz_values: Vec<f64>,
+    omegas: Vec<f64>,
+    spec_cache: Vec<Option<BlockTriDiag>>, // per qz: Φ
+    bc_cache: Vec<Option<BoundarySelfEnergies>>,
+}
+
+impl<'a> PhononSolver<'a> {
+    /// Creates a solver for the grid `qz_values × omegas` (ω > 0).
+    pub fn new(
+        device: &'a DeviceStructure,
+        params: PhononParams,
+        mode: CacheMode,
+        qz_values: Vec<f64>,
+        omegas: Vec<f64>,
+    ) -> Self {
+        assert!(
+            omegas.iter().all(|&w| w > 0.0),
+            "phonon frequencies must be positive"
+        );
+        let nq = qz_values.len();
+        let nw = omegas.len();
+        PhononSolver {
+            device,
+            params,
+            mode,
+            qz_values,
+            omegas,
+            spec_cache: vec![None; nq],
+            bc_cache: vec![None; nq * nw],
+        }
+    }
+
+    /// Solves point `(iq, iw)` with optional scattering `Π` blocks.
+    pub fn solve(
+        &mut self,
+        iq: usize,
+        iw: usize,
+        pi_r_scatt: Option<&[CMatrix]>,
+        pi_l_scatt: Option<&[CMatrix]>,
+        pi_g_scatt: Option<&[CMatrix]>,
+    ) -> PointSolution {
+        let qz = self.qz_values[iq];
+        let w = self.omegas[iw];
+        let bnum = self.device.bnum();
+        let bs = self.device.block_size_ph();
+        let mut times = PhaseTimes::default();
+
+        let t0 = Instant::now();
+        let use_spec_cache = self.mode == CacheMode::CacheBcSpec;
+        let phi = if use_spec_cache && self.spec_cache[iq].is_some() {
+            self.spec_cache[iq].clone().unwrap()
+        } else {
+            let phi = self.device.dynamical(qz);
+            if use_spec_cache {
+                self.spec_cache[iq] = Some(phi.clone());
+            }
+            phi
+        };
+        times.specialization = t0.elapsed();
+
+        // M = (ω + iη)² I − Φ.
+        let z2 = c64(w, self.params.eta) * c64(w, self.params.eta);
+        let mut m = BlockTriDiag::zeros(bnum, bs);
+        for b in 0..bnum {
+            m.diag[b] = CMatrix::from_diag(&vec![z2; bs]);
+            m.diag[b] -= &phi.diag[b];
+        }
+        for b in 0..bnum - 1 {
+            m.upper[b] = phi.upper[b].scaled(c64(-1.0, 0.0));
+            m.lower[b] = phi.lower[b].scaled(c64(-1.0, 0.0));
+        }
+
+        let t1 = Instant::now();
+        let bc_key = iq * self.omegas.len() + iw;
+        let use_bc_cache = self.mode != CacheMode::NoCache;
+        let bse = if use_bc_cache && self.bc_cache[bc_key].is_some() {
+            self.bc_cache[bc_key].clone().unwrap()
+        } else {
+            let bse = boundary_self_energies(
+                self.params.method,
+                &m.diag[0],
+                &m.upper[0],
+                &m.lower[0],
+                &m.diag[bnum - 1],
+                &m.upper[bnum - 2],
+                &m.lower[bnum - 2],
+                self.params.bc_tol,
+                self.params.bc_max_iter,
+            );
+            if use_bc_cache {
+                self.bc_cache[bc_key] = Some(bse.clone());
+            }
+            bse
+        };
+        times.boundary = t1.elapsed();
+
+        m.diag[0] -= &bse.left;
+        m.diag[bnum - 1] -= &bse.right;
+        if let Some(pr) = pi_r_scatt {
+            for (b, blk) in pr.iter().enumerate() {
+                let neg = blk.scaled(c64(-1.0, 0.0));
+                m.diag[b] += &neg;
+            }
+        }
+
+        // Bose-occupied contacts (both at the same heat-sink temperature).
+        let n = bose(w, self.params.kt);
+        let (pl_l, pg_l) = contact_sigma_lg(&bse.left, n, true);
+        let (pl_r, pg_r) = contact_sigma_lg(&bse.right, n, true);
+
+        let mut pi_l = match pi_l_scatt {
+            Some(s) => s.to_vec(),
+            None => vec![CMatrix::zeros(bs, bs); bnum],
+        };
+        let mut pi_g = match pi_g_scatt {
+            Some(s) => s.to_vec(),
+            None => vec![CMatrix::zeros(bs, bs); bnum],
+        };
+        pi_l[0] += &pl_l;
+        pi_g[0] += &pg_l;
+        pi_l[bnum - 1] += &pl_r;
+        pi_g[bnum - 1] += &pg_r;
+
+        let t2 = Instant::now();
+        let sol = rgf_solve(&RgfInputs {
+            m: &m,
+            sigma_l: &pi_l,
+            sigma_g: &pi_g,
+        });
+        times.rgf = t2.elapsed();
+
+        PointSolution {
+            sol,
+            m,
+            boundary_lg_left: (pl_l, pg_l),
+            boundary_lg_right: (pl_r, pg_r),
+            gamma: (bse.gamma_left, bse.gamma_right),
+            times,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omen_device::DeviceConfig;
+
+    fn device() -> DeviceStructure {
+        DeviceStructure::build(DeviceConfig::tiny())
+    }
+
+    fn grids() -> (Vec<f64>, Vec<f64>) {
+        (vec![0.0, 1.0], vec![-0.5, 0.0, 0.5])
+    }
+
+    #[test]
+    fn electron_point_solves_and_is_physical() {
+        let dev = device();
+        let (ks, es) = grids();
+        let mut solver = ElectronSolver::new(
+            &dev,
+            vec![0.0; dev.num_atoms()],
+            ElectronParams::default(),
+            CacheMode::NoCache,
+            ks,
+            es,
+        );
+        let out = solver.solve(0, 1, None, None, None);
+        assert_eq!(out.sol.gr_diag.len(), dev.bnum());
+        for n in 0..dev.bnum() {
+            assert!(out.sol.gl_diag[n].is_anti_hermitian(1e-8), "G<[{n}]");
+            assert!(out.sol.gg_diag[n].is_anti_hermitian(1e-8), "G>[{n}]");
+        }
+        assert!(out.gamma.0.is_hermitian(1e-8));
+    }
+
+    #[test]
+    fn phonon_point_solves() {
+        let dev = device();
+        let mut solver = PhononSolver::new(
+            &dev,
+            PhononParams::default(),
+            CacheMode::NoCache,
+            vec![0.5],
+            vec![0.005, 0.01],
+        );
+        let out = solver.solve(0, 0, None, None, None);
+        for n in 0..dev.bnum() {
+            assert!(out.sol.gl_diag[n].is_anti_hermitian(1e-8), "D<[{n}]");
+        }
+    }
+
+    #[test]
+    fn cache_modes_agree_bitwise() {
+        let dev = device();
+        let (ks, es) = grids();
+        let pot = dev.linear_potential(0.2, 0.25, 0.75);
+        let mk = |mode| {
+            ElectronSolver::new(
+                &dev,
+                pot.clone(),
+                ElectronParams::default(),
+                mode,
+                ks.clone(),
+                es.clone(),
+            )
+        };
+        let mut s_none = mk(CacheMode::NoCache);
+        let mut s_bc = mk(CacheMode::CacheBc);
+        let mut s_full = mk(CacheMode::CacheBcSpec);
+        for round in 0..2 {
+            for ik in 0..2 {
+                for ie in 0..3 {
+                    let a = s_none.solve(ik, ie, None, None, None);
+                    let b = s_bc.solve(ik, ie, None, None, None);
+                    let c = s_full.solve(ik, ie, None, None, None);
+                    let dev_ab = (&a.sol.gr_diag[0] - &b.sol.gr_diag[0]).max_abs();
+                    let dev_ac = (&a.sol.gr_diag[0] - &c.sol.gr_diag[0]).max_abs();
+                    assert!(dev_ab < 1e-13, "round {round} ({ik},{ie}): {dev_ab}");
+                    assert!(dev_ac < 1e-13, "round {round} ({ik},{ie}): {dev_ac}");
+                }
+            }
+        }
+        // Cache sizes reflect the policy.
+        assert_eq!(s_none.cache_bytes(), 0);
+        assert!(s_bc.cache_bytes() > 0);
+        assert!(s_full.cache_bytes() > s_bc.cache_bytes());
+    }
+
+    #[test]
+    fn scattering_sigma_changes_solution() {
+        let dev = device();
+        let (ks, es) = grids();
+        let bs = dev.block_size_el();
+        let mut solver = ElectronSolver::new(
+            &dev,
+            vec![0.0; dev.num_atoms()],
+            ElectronParams::default(),
+            CacheMode::NoCache,
+            ks,
+            es,
+        );
+        let ballistic = solver.solve(0, 1, None, None, None);
+        // A small anti-Hermitian Σ^R (lifetime broadening).
+        let sr: Vec<CMatrix> = (0..dev.bnum())
+            .map(|_| CMatrix::from_diag(&vec![c64(0.0, -0.01); bs]))
+            .collect();
+        let scattered = solver.solve(0, 1, Some(&sr), None, None);
+        let diff = (&ballistic.sol.gr_diag[2] - &scattered.sol.gr_diag[2]).max_abs();
+        assert!(diff > 1e-6, "Σ^R must affect G^R (diff {diff})");
+    }
+
+    #[test]
+    fn timings_populated() {
+        let dev = device();
+        let (ks, es) = grids();
+        let mut solver = ElectronSolver::new(
+            &dev,
+            vec![0.0; dev.num_atoms()],
+            ElectronParams::default(),
+            CacheMode::CacheBcSpec,
+            ks,
+            es,
+        );
+        let first = solver.solve(1, 0, None, None, None);
+        assert!(first.times.total() > Duration::ZERO);
+        // Second call hits both caches: boundary time collapses.
+        let second = solver.solve(1, 0, None, None, None);
+        assert!(second.times.boundary <= first.times.boundary);
+    }
+}

@@ -1,0 +1,419 @@
+//! The Recursive Green's Function (RGF) algorithm [Svizhenko et al. 2002],
+//! the workhorse of the paper's GF phase.
+//!
+//! Given the block-tridiagonal `M = E·S − H − Σ^R` (boundary self-energies
+//! folded into the end blocks) and block-diagonal `Σ^≷`, RGF computes the
+//! diagonal and first off-diagonal blocks of `G^R` and `G^≷` in
+//! `O(bnum · bs³)` instead of the dense `O((bnum·bs)³)`:
+//!
+//! 1. a forward sweep builds left-connected Green's functions `gL`, `gl`;
+//! 2. a backward sweep assembles the fully-connected blocks.
+//!
+//! Every block this module produces is validated against the dense
+//! reference solver in the test suite.
+
+use crate::dense_ref::DenseSolution;
+use omen_linalg::{
+    gemm, gemm_flops, invert, lu::lu_flops, matmul, matmul3, matmul_op, BlockTriDiag, CMatrix,
+    C64, Op,
+};
+
+/// Inputs of one RGF solve: one energy-momentum point.
+pub struct RgfInputs<'a> {
+    /// `E·S − H − Σ^R` (block-tridiagonal; boundary Σ folded into the
+    /// first and last diagonal blocks).
+    pub m: &'a BlockTriDiag,
+    /// Lesser self-energy, one diagonal block per slab (scattering +
+    /// boundary contributions).
+    pub sigma_l: &'a [CMatrix],
+    /// Greater self-energy blocks.
+    pub sigma_g: &'a [CMatrix],
+}
+
+/// Output blocks of one RGF solve.
+#[derive(Clone, Debug)]
+pub struct RgfSolution {
+    /// `G^R[n][n]`.
+    pub gr_diag: Vec<CMatrix>,
+    /// `G^R[n][n+1]`.
+    pub gr_upper: Vec<CMatrix>,
+    /// `G^R[n+1][n]`.
+    pub gr_lower: Vec<CMatrix>,
+    /// `G^<[n][n]`.
+    pub gl_diag: Vec<CMatrix>,
+    /// `G^>[n][n]`.
+    pub gg_diag: Vec<CMatrix>,
+    /// `G^<[n+1][n]` (needed by the current operator).
+    pub gl_lower: Vec<CMatrix>,
+    /// `G^>[n+1][n]`.
+    pub gg_lower: Vec<CMatrix>,
+    /// Real flops performed (8 per complex MAC convention).
+    pub flops: u64,
+}
+
+/// Solves one energy-momentum point with RGF.
+pub fn rgf_solve(inp: &RgfInputs) -> RgfSolution {
+    let m = inp.m;
+    let nb = m.num_blocks();
+    let bs = m.block_size();
+    assert_eq!(inp.sigma_l.len(), nb, "sigma_l blocks");
+    assert_eq!(inp.sigma_g.len(), nb, "sigma_g blocks");
+    let mut flops: u64 = 0;
+    let g3 = gemm_flops(bs, bs, bs);
+
+    // ---------- forward sweep: left-connected quantities ----------
+    let mut g_left: Vec<CMatrix> = Vec::with_capacity(nb); // gL[n]
+    let mut gl_left: Vec<CMatrix> = Vec::with_capacity(nb); // g<[n] left-connected
+    let mut gg_left: Vec<CMatrix> = Vec::with_capacity(nb);
+
+    for n in 0..nb {
+        let eff = if n == 0 {
+            m.diag[0].clone()
+        } else {
+            // M[n][n] − L[n−1] · gL[n−1] · U[n−1]
+            let t = matmul3(&m.lower[n - 1], &g_left[n - 1], &m.upper[n - 1]);
+            flops += 2 * g3;
+            &m.diag[n] - &t
+        };
+        let g = invert(&eff);
+        flops += lu_flops(bs, bs);
+
+        // Left-connected lesser/greater: g≷ = gL (Σ≷ + L g≷_prev L†) gL†.
+        let make = |sigma: &CMatrix, prev: Option<&CMatrix>, flops: &mut u64| -> CMatrix {
+            let mut s = sigma.clone();
+            if let Some(p) = prev {
+                // L[n−1] · p · L[n−1]†
+                let lp = matmul(&m.lower[n - 1], p);
+                let mut t = CMatrix::zeros(bs, bs);
+                gemm(C64::ONE, &lp, Op::N, &m.lower[n - 1], Op::C, C64::ZERO, &mut t);
+                *flops += 2 * g3;
+                s += &t;
+            }
+            let gs = matmul(&g, &s);
+            let mut out = CMatrix::zeros(bs, bs);
+            gemm(C64::ONE, &gs, Op::N, &g, Op::C, C64::ZERO, &mut out);
+            *flops += 2 * g3;
+            out
+        };
+        let prev_l = if n == 0 { None } else { Some(&gl_left[n - 1]) };
+        let gl = make(&inp.sigma_l[n], prev_l, &mut flops);
+        let prev_g = if n == 0 { None } else { Some(&gg_left[n - 1]) };
+        let gg = make(&inp.sigma_g[n], prev_g, &mut flops);
+
+        g_left.push(g);
+        gl_left.push(gl);
+        gg_left.push(gg);
+    }
+
+    // ---------- backward sweep: fully-connected blocks ----------
+    let mut gr_diag = vec![CMatrix::zeros(bs, bs); nb];
+    let mut gr_upper = vec![CMatrix::zeros(bs, bs); nb.saturating_sub(1)];
+    let mut gr_lower = vec![CMatrix::zeros(bs, bs); nb.saturating_sub(1)];
+    let mut gl_diag = vec![CMatrix::zeros(bs, bs); nb];
+    let mut gg_diag = vec![CMatrix::zeros(bs, bs); nb];
+    let mut gl_lower = vec![CMatrix::zeros(bs, bs); nb.saturating_sub(1)];
+    let mut gg_lower = vec![CMatrix::zeros(bs, bs); nb.saturating_sub(1)];
+
+    gr_diag[nb - 1] = g_left[nb - 1].clone();
+    gl_diag[nb - 1] = gl_left[nb - 1].clone();
+    gg_diag[nb - 1] = gg_left[nb - 1].clone();
+
+    for n in (0..nb.saturating_sub(1)).rev() {
+        let u = &m.upper[n]; // M[n][n+1]
+        let l = &m.lower[n]; // M[n+1][n]
+        let gl_n = &g_left[n];
+
+        // Retarded off-diagonals:
+        // G[n+1][n] = −G[n+1][n+1] · L · gL[n]
+        let grl = matmul3(&gr_diag[n + 1], l, gl_n).scaled(C64::from_re(-1.0));
+        // G[n][n+1] = −gL[n] · U · G[n+1][n+1]
+        let gru = matmul3(gl_n, u, &gr_diag[n + 1]).scaled(C64::from_re(-1.0));
+        flops += 4 * g3;
+
+        // Retarded diagonal: G[n][n] = gL[n] + gL[n]·U·G[n+1][n+1]·L·gL[n]
+        //                            = gL[n] − G[n][n+1]·L·gL[n].
+        let mut grd = gl_n.clone();
+        let corr = matmul3(&gru, l, gl_n);
+        flops += 2 * g3;
+        grd -= &corr;
+
+        // Lesser/greater recursions (identical algebra, different Σ).
+        let step = |g_conn_next: &CMatrix,
+                        g_less_next: &CMatrix,
+                        g_less_left: &CMatrix,
+                        flops: &mut u64|
+         -> (CMatrix, CMatrix) {
+            // T1 = gL·U·G≷[n+1]·U†·gL†
+            let gu = matmul(gl_n, u);
+            let t1a = matmul(&gu, g_less_next);
+            let mut t1b = CMatrix::zeros(bs, bs);
+            gemm(C64::ONE, &t1a, Op::N, u, Op::C, C64::ZERO, &mut t1b);
+            let mut t1 = CMatrix::zeros(bs, bs);
+            gemm(C64::ONE, &t1b, Op::N, gl_n, Op::C, C64::ZERO, &mut t1);
+            // T3 = gL·U·G^R[n+1]·L·g≷_left[n]
+            let t3a = matmul(&gu, g_conn_next);
+            let t3 = matmul3(&t3a, l, g_less_left);
+            *flops += 7 * g3;
+            // T4 = −T3† (keeps the result anti-Hermitian).
+            let t4 = t3.adjoint().scaled(C64::from_re(-1.0));
+
+            let mut diag = g_less_left.clone();
+            diag += &t1;
+            diag += &t3;
+            diag += &t4;
+
+            // Off-diagonal: G≷[n+1][n] = −(G^R[n+1]·L·g≷_left + G≷[n+1]·U†·gL†)
+            let o1 = matmul3(g_conn_next, l, g_less_left);
+            let mut o2a = CMatrix::zeros(bs, bs);
+            gemm(C64::ONE, g_less_next, Op::N, u, Op::C, C64::ZERO, &mut o2a);
+            let mut o2 = CMatrix::zeros(bs, bs);
+            gemm(C64::ONE, &o2a, Op::N, gl_n, Op::C, C64::ZERO, &mut o2);
+            *flops += 4 * g3;
+            let mut lower = o1;
+            lower += &o2;
+            lower.scale_inplace(C64::from_re(-1.0));
+            (diag, lower)
+        };
+
+        let (gld, gll) = step(&gr_diag[n + 1], &gl_diag[n + 1], &gl_left[n], &mut flops);
+        let (ggd, ggl) = step(&gr_diag[n + 1], &gg_diag[n + 1], &gg_left[n], &mut flops);
+
+        gr_diag[n] = grd;
+        gr_upper[n] = gru;
+        gr_lower[n] = grl;
+        gl_diag[n] = gld;
+        gg_diag[n] = ggd;
+        gl_lower[n] = gll;
+        gg_lower[n] = ggl;
+    }
+
+    RgfSolution {
+        gr_diag,
+        gr_upper,
+        gr_lower,
+        gl_diag,
+        gg_diag,
+        gl_lower,
+        gg_lower,
+        flops,
+    }
+}
+
+impl RgfSolution {
+    /// Checks the blocks against a dense solution; returns the largest
+    /// absolute deviation over all compared blocks.
+    pub fn max_deviation_from_dense(&self, dense: &DenseSolution, bs: usize) -> f64 {
+        let nb = self.gr_diag.len();
+        let mut worst = 0.0f64;
+        let mut upd = |got: &CMatrix, want: &CMatrix| {
+            worst = worst.max((got - want).max_abs());
+        };
+        for n in 0..nb {
+            upd(&self.gr_diag[n], &DenseSolution::block(&dense.gr, bs, n, n));
+            upd(&self.gl_diag[n], &DenseSolution::block(&dense.gl, bs, n, n));
+            upd(&self.gg_diag[n], &DenseSolution::block(&dense.gg, bs, n, n));
+        }
+        for n in 0..nb.saturating_sub(1) {
+            upd(&self.gr_upper[n], &DenseSolution::block(&dense.gr, bs, n, n + 1));
+            upd(&self.gr_lower[n], &DenseSolution::block(&dense.gr, bs, n + 1, n));
+            upd(&self.gl_lower[n], &DenseSolution::block(&dense.gl, bs, n + 1, n));
+            upd(&self.gg_lower[n], &DenseSolution::block(&dense.gg, bs, n + 1, n));
+        }
+        worst
+    }
+
+    /// Spectral-function diagonal `A[n] = i(G^R[n][n] − G^A[n][n])`.
+    pub fn spectral_diag(&self) -> Vec<CMatrix> {
+        self.gr_diag
+            .iter()
+            .map(|g| {
+                let mut a = g - &g.adjoint();
+                a.scale_inplace(C64::I);
+                a
+            })
+            .collect()
+    }
+}
+
+/// Measured vs modeled: the paper's RGF flop model per energy-momentum
+/// point, `8·(26·bnum − 25)·bs³` (dense-operation term of §6.1.1).
+pub fn rgf_flops_model(bnum: usize, bs: usize) -> u64 {
+    8 * (26 * bnum as u64 - 25) * (bs as u64).pow(3)
+}
+
+/// Convenience used by tests and benches: `A·B·C` with `C = B†`.
+pub fn sandwich_adjoint(a: &CMatrix, b: &CMatrix) -> CMatrix {
+    let ab = matmul(a, b);
+    matmul_op(&ab, Op::N, b, Op::C)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense_ref::dense_solve;
+    use omen_linalg::c64;
+
+    /// Builds a physically-shaped random test system: Hermitian H-like part
+    /// plus +iη, anti-Hermitian Σ^≷ blocks.
+    fn test_system(
+        nb: usize,
+        bs: usize,
+        seed: f64,
+    ) -> (BlockTriDiag, Vec<CMatrix>, Vec<CMatrix>) {
+        let mut m = BlockTriDiag::zeros(nb, bs);
+        for b in 0..nb {
+            let mut h = CMatrix::from_fn(bs, bs, |i, j| {
+                c64(
+                    ((i * 3 + j * 7 + b) as f64 + seed).sin() * 0.3,
+                    ((i + 2 * j) as f64 - seed).cos() * 0.2,
+                )
+            });
+            h.hermitianize();
+            // M = E − H + iη on the diagonal.
+            m.diag[b] = CMatrix::from_fn(bs, bs, |i, j| {
+                let e = if i == j { c64(1.5, 5e-2) } else { C64::ZERO };
+                e - h[(i, j)]
+            });
+        }
+        for b in 0..nb - 1 {
+            m.upper[b] = CMatrix::from_fn(bs, bs, |i, j| {
+                c64(
+                    -0.6 + 0.05 * ((i + 2 * j + b) as f64 + seed).sin(),
+                    0.04 * ((i * 2 + j) as f64).cos(),
+                )
+            });
+            m.lower[b] = m.upper[b].adjoint();
+        }
+        let mk_sigma = |shift: f64| {
+            (0..nb)
+                .map(|b| {
+                    let mut x = CMatrix::from_fn(bs, bs, |i, j| {
+                        c64(
+                            ((i + 3 * j + 2 * b) as f64 + shift).sin() * 0.15,
+                            ((3 * i + j + b) as f64 - shift).cos() * 0.15,
+                        )
+                    });
+                    x.hermitianize();
+                    x.scaled(C64::I)
+                })
+                .collect::<Vec<_>>()
+        };
+        (m, mk_sigma(seed + 0.4), mk_sigma(seed + 2.9))
+    }
+
+    #[test]
+    fn rgf_matches_dense_small() {
+        for &(nb, bs) in &[(2usize, 2usize), (3, 2), (4, 3), (6, 4), (8, 2)] {
+            let (m, sl, sg) = test_system(nb, bs, 0.37 * nb as f64);
+            let rgf = rgf_solve(&RgfInputs {
+                m: &m,
+                sigma_l: &sl,
+                sigma_g: &sg,
+            });
+            let dense = dense_solve(&m, &sl, &sg);
+            let dev = rgf.max_deviation_from_dense(&dense, bs);
+            assert!(dev < 1e-9, "nb={nb} bs={bs}: deviation {dev}");
+        }
+    }
+
+    #[test]
+    fn single_block_degenerates_to_direct_solve() {
+        let (m, sl, sg) = test_system(1, 4, 0.9);
+        let rgf = rgf_solve(&RgfInputs {
+            m: &m,
+            sigma_l: &sl,
+            sigma_g: &sg,
+        });
+        let dense = dense_solve(&m, &sl, &sg);
+        assert!(rgf.max_deviation_from_dense(&dense, 4) < 1e-10);
+        assert!(rgf.gr_upper.is_empty());
+    }
+
+    #[test]
+    fn lesser_greater_anti_hermitian_diagonals() {
+        let (m, sl, sg) = test_system(5, 3, 1.1);
+        let rgf = rgf_solve(&RgfInputs {
+            m: &m,
+            sigma_l: &sl,
+            sigma_g: &sg,
+        });
+        for n in 0..5 {
+            assert!(rgf.gl_diag[n].is_anti_hermitian(1e-10), "G<[{n}]");
+            assert!(rgf.gg_diag[n].is_anti_hermitian(1e-10), "G>[{n}]");
+        }
+    }
+
+    #[test]
+    fn keldysh_difference_identity() {
+        // G^> − G^< == G^R − G^A when Σ^> − Σ^< == Σ^R − Σ^A == −iΓ_total.
+        // Build Σ^≷ satisfying the identity with the anti-Hermitian part of M.
+        let (mut m, _, _) = test_system(4, 2, 0.0);
+        // Anti-Hermitian part of M's diagonal: M − M† restricted blockwise.
+        // Σ^R − Σ^A = −(M − M†) since M = ES − H − Σ^R and ES−H Hermitian.
+        let nb = 4;
+        let occ = 0.3;
+        let mut sl = Vec::new();
+        let mut sg = Vec::new();
+        for b in 0..nb {
+            let ra = &m.diag[b] - &m.diag[b].adjoint(); // = −(Σ^R − Σ^A)
+            let ra = ra.scaled(c64(-1.0, 0.0));
+            sl.push(ra.scaled(c64(-occ, 0.0)));
+            sg.push(ra.scaled(c64(1.0 - occ, 0.0)));
+        }
+        // Ensure the off-diagonal blocks are exactly Hermitian-conjugate.
+        for b in 0..nb - 1 {
+            m.lower[b] = m.upper[b].adjoint();
+        }
+        let rgf = rgf_solve(&RgfInputs {
+            m: &m,
+            sigma_l: &sl,
+            sigma_g: &sg,
+        });
+        for n in 0..nb {
+            let lhs = &rgf.gg_diag[n] - &rgf.gl_diag[n];
+            let rhs = &rgf.gr_diag[n] - &rgf.gr_diag[n].adjoint();
+            assert!(
+                lhs.approx_eq(&rhs, 1e-9),
+                "block {n}: ‖(G>−G<)−(GR−GA)‖ = {}",
+                (&lhs - &rhs).max_abs()
+            );
+        }
+    }
+
+    #[test]
+    fn flops_counted_and_scale() {
+        let (m, sl, sg) = test_system(6, 3, 0.5);
+        let r1 = rgf_solve(&RgfInputs {
+            m: &m,
+            sigma_l: &sl,
+            sigma_g: &sg,
+        });
+        let (m2, sl2, sg2) = test_system(12, 3, 0.5);
+        let r2 = rgf_solve(&RgfInputs {
+            m: &m2,
+            sigma_l: &sl2,
+            sigma_g: &sg2,
+        });
+        assert!(r1.flops > 0);
+        // Doubling the block count roughly doubles the work.
+        let ratio = r2.flops as f64 / r1.flops as f64;
+        assert!((1.6..2.4).contains(&ratio), "ratio {ratio}");
+        // The paper's model grows the same way.
+        let model_ratio = rgf_flops_model(12, 3) as f64 / rgf_flops_model(6, 3) as f64;
+        assert!((model_ratio - ratio).abs() < 0.6);
+    }
+
+    #[test]
+    fn spectral_diag_hermitian_positive_trace() {
+        let (m, sl, sg) = test_system(4, 3, 2.2);
+        let rgf = rgf_solve(&RgfInputs {
+            m: &m,
+            sigma_l: &sl,
+            sigma_g: &sg,
+        });
+        for a in rgf.spectral_diag() {
+            assert!(a.is_hermitian(1e-10));
+            assert!(a.trace().re > 0.0, "spectral weight must be positive");
+        }
+    }
+}

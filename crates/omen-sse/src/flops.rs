@@ -1,0 +1,105 @@
+//! The paper's analytic SSE flop model (§6.1.1).
+//!
+//! * OMEN: `64 · Na · Nb · N3D · Nkz · Nqz · NE · Nω · Norb³`
+//! * DaCe: the algebraic-regrouping reduction divides by
+//!   `2·Nqz·Nω / (Nqz·Nω + 1)` — "essentially half of the flops for
+//!   practical sizes".
+//!
+//! These are *model* values (no windowing effects); the kernels also count
+//! the flops they actually perform.
+
+/// Parameter set of the flop model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SseFlopParams {
+    /// Number of atoms.
+    pub na: usize,
+    /// Neighbors per atom.
+    pub nb: usize,
+    /// Crystal-vibration degrees of freedom (3).
+    pub n3d: usize,
+    /// Electron momentum points.
+    pub nk: usize,
+    /// Phonon momentum points.
+    pub nq: usize,
+    /// Energy points.
+    pub ne: usize,
+    /// Phonon frequency points.
+    pub nw: usize,
+    /// Orbitals per atom.
+    pub norb: usize,
+}
+
+/// OMEN-schedule SSE flops per iteration.
+pub fn sse_flops_omen(p: &SseFlopParams) -> f64 {
+    64.0 * p.na as f64
+        * p.nb as f64
+        * p.n3d as f64
+        * p.nk as f64
+        * p.nq as f64
+        * p.ne as f64
+        * p.nw as f64
+        * (p.norb as f64).powi(3)
+}
+
+/// DaCe-schedule SSE flops per iteration (after algebraic regrouping).
+pub fn sse_flops_dace(p: &SseFlopParams) -> f64 {
+    let qw = (p.nq * p.nw) as f64;
+    sse_flops_omen(p) * (qw + 1.0) / (2.0 * qw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's "Small" structure at a given Nkz.
+    fn small(nk: usize) -> SseFlopParams {
+        SseFlopParams {
+            na: 4864,
+            nb: 34,
+            n3d: 3,
+            nk,
+            nq: nk,
+            ne: 706,
+            nw: 70,
+            norb: 12,
+        }
+    }
+
+    #[test]
+    fn reproduces_table3_omen_row() {
+        // Table 3, SSE (OMEN) row, in Pflop: 24.41, 67.80, 132.89, 219.67,
+        // 328.15 for Nkz = 3, 5, 7, 9, 11.
+        let expected = [24.41, 67.80, 132.89, 219.67, 328.15];
+        for (i, &nk) in [3usize, 5, 7, 9, 11].iter().enumerate() {
+            let pflop = sse_flops_omen(&small(nk)) / 1e15;
+            let rel = (pflop - expected[i]).abs() / expected[i];
+            assert!(
+                rel < 0.01,
+                "Nkz={nk}: model {pflop:.2} vs paper {} ({rel:.3} rel)",
+                expected[i]
+            );
+        }
+    }
+
+    #[test]
+    fn reproduces_table3_dace_row() {
+        // Table 3, SSE (DaCe) row: 12.38, 34.19, 66.85, 110.36, 164.71.
+        let expected = [12.38, 34.19, 66.85, 110.36, 164.71];
+        for (i, &nk) in [3usize, 5, 7, 9, 11].iter().enumerate() {
+            let pflop = sse_flops_dace(&small(nk)) / 1e15;
+            let rel = (pflop - expected[i]).abs() / expected[i];
+            assert!(
+                rel < 0.02,
+                "Nkz={nk}: model {pflop:.2} vs paper {} ({rel:.3} rel)",
+                expected[i]
+            );
+        }
+    }
+
+    #[test]
+    fn reduction_approaches_half() {
+        let p = small(11);
+        let ratio = sse_flops_dace(&p) / sse_flops_omen(&p);
+        assert!(ratio > 0.5 && ratio < 0.51, "ratio {ratio}");
+    }
+}

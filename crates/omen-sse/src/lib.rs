@@ -1,0 +1,32 @@
+//! # omen-sse
+//!
+//! Scattering self-energy kernels — Eqs. (2)–(3) of the paper, in three
+//! variants:
+//!
+//! * [`reference::sse_reference`] — the OMEN-style loop nest (baseline);
+//! * [`transformed::sse_transformed`] — the DaCe-transformed kernel
+//!   (map fission, data relayout, strided-batched GEMM, fusion; Fig. 6);
+//! * [`mixed::sse_mixed`] — the Tensor-Core-emulating binary16 variant
+//!   with per-tensor normalization (§5.4).
+//!
+//! All variants compute the same physics; the test suite asserts
+//! elementwise agreement (exact for transformed, ~1e-3 relative for f16).
+
+pub mod flops;
+pub mod mixed;
+pub mod point_kernels;
+pub mod problem;
+pub mod reference;
+pub mod tensors;
+pub mod transformed;
+
+#[doc(hidden)]
+pub mod testutil;
+
+pub use flops::{sse_flops_dace, sse_flops_omen, SseFlopParams};
+pub use mixed::{sse_mixed, MixedConfig};
+pub use point_kernels::{pi_round_update, sigma_round_update, sigma_round_update_atoms, DBlocks, GBlocks};
+pub use problem::SseProblem;
+pub use reference::{d_combination, d_combination_from, sse_reference, trace_product, SseOutput};
+pub use tensors::{DLayout, DTensor, GLayout, GTensor, D_BSZ};
+pub use transformed::{build_transients, consume_transients, sse_transformed, Transients};

@@ -1,0 +1,180 @@
+//! Shared problem description for the SSE kernels: grids, couplings, and
+//! the directed-pair topology extracted from the device.
+
+use omen_device::DeviceStructure;
+
+/// One SSE evaluation problem: the energy/momentum/frequency grids, the
+/// physical prefactors, and the neighbor-pair topology.
+///
+/// Grid conventions (matching the paper's stencil, Fig. 5):
+/// * electron momenta `kz` and phonon momenta `qz` discretize the same
+///   Brillouin zone (`Nqz == Nkz` is asserted), wrapping periodically;
+/// * phonon frequencies are commensurate with the energy grid:
+///   `ℏω_m = (m + 1) · dE` for frequency index `m ∈ [0, Nω)`, so the
+///   `E ± ℏω` stencil lands on grid points (radius `Nω`, as in Fig. 6);
+/// * energies outside the grid window are dropped (standard windowing).
+pub struct SseProblem<'a> {
+    /// The device (neighbor pairs, `∇H` table, orbital count).
+    pub device: &'a DeviceStructure,
+    /// Electron momentum points (`Nkz`).
+    pub nk: usize,
+    /// Electron energy points (`NE`).
+    pub ne: usize,
+    /// Phonon momentum points (`Nqz`, equal to `nk`).
+    pub nq: usize,
+    /// Phonon frequency points (`Nω`).
+    pub nw: usize,
+    /// Prefactor applied to `Σ^≷` (coupling² × dω/2π bookkeeping).
+    pub scale_sigma: f64,
+    /// Prefactor applied to `Π^≷`.
+    pub scale_pi: f64,
+    /// Reverse-pair index: `rev_pair[p]` is the index of `(b → a, −m)` for
+    /// pair `p = (a → b, m)`.
+    pub rev_pair: Vec<usize>,
+}
+
+impl<'a> SseProblem<'a> {
+    /// Builds the problem, precomputing the reverse-pair table.
+    pub fn new(
+        device: &'a DeviceStructure,
+        nk: usize,
+        ne: usize,
+        nq: usize,
+        nw: usize,
+        scale_sigma: f64,
+        scale_pi: f64,
+    ) -> Self {
+        assert_eq!(nq, nk, "qz and kz must discretize the same Brillouin zone");
+        assert!(nw >= 1, "need at least one phonon frequency");
+        assert!(ne > nw, "energy window must exceed the stencil radius");
+        let pairs = &device.neighbors.pairs;
+        let rev_pair = pairs
+            .iter()
+            .map(|p| {
+                pairs
+                    .iter()
+                    .position(|q| {
+                        q.from == p.to
+                            && q.to == p.from
+                            && q.z_image == -p.z_image
+                            && (q.delta[0] + p.delta[0]).abs() < 1e-12
+                            && (q.delta[1] + p.delta[1]).abs() < 1e-12
+                            && (q.delta[2] + p.delta[2]).abs() < 1e-12
+                    })
+                    .expect("neighbor list must be symmetric")
+            })
+            .collect();
+        SseProblem {
+            device,
+            nk,
+            ne,
+            nq,
+            nw,
+            scale_sigma,
+            scale_pi,
+            rev_pair,
+        }
+    }
+
+    /// Number of directed pairs.
+    pub fn npairs(&self) -> usize {
+        self.device.neighbors.num_pairs()
+    }
+
+    /// Number of atoms.
+    pub fn na(&self) -> usize {
+        self.device.num_atoms()
+    }
+
+    /// Orbitals per atom.
+    pub fn norb(&self) -> usize {
+        self.device.material.norb
+    }
+
+    /// Electron momentum after emitting phonon momentum `q`:
+    /// `kz − qz` with periodic wrap.
+    #[inline]
+    pub fn k_minus_q(&self, k: usize, q: usize) -> usize {
+        (k + self.nk - q) % self.nk
+    }
+
+    /// Electron momentum after absorbing phonon momentum `q`:
+    /// `kz + qz` with periodic wrap.
+    #[inline]
+    pub fn k_plus_q(&self, k: usize, q: usize) -> usize {
+        (k + q) % self.nk
+    }
+
+    /// The energy-grid offset of frequency index `m`: `ω_m = (m+1)` steps.
+    #[inline]
+    pub fn omega_steps(&self, m: usize) -> usize {
+        m + 1
+    }
+
+    /// The directed pairs of atom `a` as `(pair_index, target_atom)`.
+    pub fn pairs_of(&self, a: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let lo = self.device.neighbors.offsets[a];
+        let hi = self.device.neighbors.offsets[a + 1];
+        (lo..hi).map(move |p| (p, self.device.neighbors.pairs[p].to))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omen_device::{DeviceConfig, DeviceStructure};
+
+    fn problem(dev: &DeviceStructure) -> SseProblem<'_> {
+        SseProblem::new(dev, 3, 8, 3, 2, 1.0, 1.0)
+    }
+
+    #[test]
+    fn reverse_pairs_are_involutive() {
+        let dev = DeviceStructure::build(DeviceConfig::tiny());
+        let prob = problem(&dev);
+        for p in 0..prob.npairs() {
+            let r = prob.rev_pair[p];
+            assert_eq!(prob.rev_pair[r], p, "rev(rev(p)) == p");
+            let pp = &dev.neighbors.pairs[p];
+            let rr = &dev.neighbors.pairs[r];
+            assert_eq!(pp.from, rr.to);
+            assert_eq!(pp.to, rr.from);
+        }
+    }
+
+    #[test]
+    fn momentum_wrapping() {
+        let dev = DeviceStructure::build(DeviceConfig::tiny());
+        let prob = problem(&dev);
+        assert_eq!(prob.k_minus_q(0, 1), 2);
+        assert_eq!(prob.k_minus_q(2, 2), 0);
+        assert_eq!(prob.k_plus_q(2, 2), 1);
+        // Round trip: (k − q) + q == k.
+        for k in 0..3 {
+            for q in 0..3 {
+                assert_eq!(prob.k_plus_q(prob.k_minus_q(k, q), q), k);
+            }
+        }
+    }
+
+    #[test]
+    fn pairs_of_covers_all() {
+        let dev = DeviceStructure::build(DeviceConfig::tiny());
+        let prob = problem(&dev);
+        let total: usize = (0..prob.na()).map(|a| prob.pairs_of(a).count()).sum();
+        assert_eq!(total, prob.npairs());
+        for a in 0..prob.na() {
+            for (p, b) in prob.pairs_of(a) {
+                assert_eq!(dev.neighbors.pairs[p].from, a);
+                assert_eq!(dev.neighbors.pairs[p].to, b);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Brillouin zone")]
+    fn mismatched_momentum_grids_panic() {
+        let dev = DeviceStructure::build(DeviceConfig::tiny());
+        let _ = SseProblem::new(&dev, 3, 8, 2, 2, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,368 @@
+//! The OMEN-style reference SSE kernel — Eqs. (2)–(3) evaluated in the
+//! physics-natural loop order, with one pair of small GEMMs per
+//! `(kz, E, qz, ω, pair, direction)` tuple and no transient reuse.
+//!
+//! This is the baseline whose flop count the paper models as
+//! `64·Na·Nb·N3D·Nkz·Nqz·NE·Nω·Norb³` (§6.1.1). The transformed kernel in
+//! [`crate::transformed`] computes the *same values* with ~half the flops
+//! and strided-batched structure; the test suite asserts elementwise
+//! agreement between the two.
+
+use crate::problem::SseProblem;
+use crate::tensors::{DLayout, DTensor, GLayout, GTensor, D_BSZ};
+use omen_linalg::{small_gemm, BatchDims, C64};
+
+/// Output of one SSE evaluation.
+pub struct SseOutput {
+    /// Electron lesser self-energy `Σ^<` (diagonal atom blocks).
+    pub sigma_l: GTensor,
+    /// Electron greater self-energy `Σ^>`.
+    pub sigma_g: GTensor,
+    /// Phonon lesser self-energy `Π^<` (pair + diagonal entries).
+    pub pi_l: DTensor,
+    /// Phonon greater self-energy `Π^>`.
+    pub pi_g: DTensor,
+    /// Real flops performed.
+    pub flops: u64,
+}
+
+/// The 3×3 phonon-block combination of Eq. (2):
+/// `Dc^{ij} = D^{ij}_ba − D^{ij}_bb − D^{ij}_aa + D^{ij}_ab`.
+#[inline]
+pub fn d_combination(
+    d: &DTensor,
+    q: usize,
+    w: usize,
+    pair: usize,
+    rev: usize,
+    a: usize,
+    b: usize,
+) -> [C64; D_BSZ] {
+    d_combination_from(d, q, w, pair, rev, a, b, d.npairs)
+}
+
+/// Generic variant of [`d_combination`] over any [`DBlocks`] store (used by
+/// the distributed plans, whose `D` blocks live in per-rank hash maps).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn d_combination_from(
+    d: &impl crate::point_kernels::DBlocks,
+    q: usize,
+    w: usize,
+    pair: usize,
+    rev: usize,
+    a: usize,
+    b: usize,
+    npairs: usize,
+) -> [C64; D_BSZ] {
+    let d_ba = d.dblock(q, w, rev);
+    let d_bb = d.dblock(q, w, npairs + b);
+    let d_aa = d.dblock(q, w, npairs + a);
+    let d_ab = d.dblock(q, w, pair);
+    let mut out = [C64::ZERO; D_BSZ];
+    for x in 0..D_BSZ {
+        out[x] = d_ba[x] - d_bb[x] - d_aa[x] + d_ab[x];
+    }
+    out
+}
+
+/// Evaluates `Σ^≷` and `Π^≷` in the OMEN schedule.
+///
+/// Inputs:
+/// * `g_l`, `g_g` — electron `G^≷` diagonal atom blocks, `PairMajor`;
+/// * `d_l`, `d_g` — phonon `D^≷` pair/diagonal blocks, `PointMajor`.
+pub fn sse_reference(
+    prob: &SseProblem,
+    g_l: &GTensor,
+    g_g: &GTensor,
+    d_l: &DTensor,
+    d_g: &DTensor,
+) -> SseOutput {
+    assert_eq!(g_l.layout, GLayout::PairMajor, "reference expects PairMajor G");
+    assert_eq!(d_l.layout, DLayout::PointMajor, "reference expects PointMajor D");
+    let norb = prob.norb();
+    let bsz = norb * norb;
+    let dims = BatchDims::square(norb);
+    let na = prob.na();
+    let mut sigma_l = GTensor::zeros(prob.nk, prob.ne, na, norb, GLayout::PairMajor);
+    let mut sigma_g = GTensor::zeros(prob.nk, prob.ne, na, norb, GLayout::PairMajor);
+    let mut pi_l = DTensor::zeros(prob.nq, prob.nw, prob.npairs(), na, DLayout::PointMajor);
+    let mut pi_g = DTensor::zeros(prob.nq, prob.nw, prob.npairs(), na, DLayout::PointMajor);
+    let mut flops: u64 = 0;
+
+    let grads = &prob.device.gradients;
+    let mut t1 = vec![C64::ZERO; bsz];
+    let mut t2 = vec![C64::ZERO; bsz];
+    let mut cmat = vec![C64::ZERO; bsz];
+
+    // ---------------- Σ^≷ ----------------
+    for a in 0..na {
+        for (pair, b) in prob.pairs_of(a) {
+            let rev = prob.rev_pair[pair];
+            let grad_ab = &grads.grads[pair]; // ∇H_ab
+            let grad_ba = &grads.grads[rev]; // ∇H_ba
+            for q in 0..prob.nq {
+                for m in 0..prob.nw {
+                    let dc_l = d_combination(d_l, q, m, pair, rev, a, b);
+                    let dc_g = d_combination(d_g, q, m, pair, rev, a, b);
+                    let steps = prob.omega_steps(m);
+                    for i in 0..3 {
+                        // C^≷_i = Σ_j Dc^≷[i][j] · ∇H^j_ba (3 scalar-matrix MACs).
+                        let mut c_l = vec![C64::ZERO; bsz];
+                        let mut c_g = vec![C64::ZERO; bsz];
+                        for j in 0..3 {
+                            let wl = dc_l[j * 3 + i];
+                            let wg = dc_g[j * 3 + i];
+                            let gj = grad_ba[j].as_slice();
+                            for x in 0..bsz {
+                                c_l[x] = c_l[x].mul_add(gj[x], wl);
+                                c_g[x] = c_g[x].mul_add(gj[x], wg);
+                            }
+                        }
+                        flops += 2 * 3 * 8 * bsz as u64;
+                        let gi = grad_ab[i].as_slice();
+
+                        for k in 0..prob.nk {
+                            let kk = prob.k_minus_q(k, q);
+                            for e in 0..prob.ne {
+                                // Emission: G^≷(kz−qz, E−ω) pairs with the
+                                // same-component Dc.
+                                if e >= steps {
+                                    let gl_blk = g_l.block(kk, e - steps, b);
+                                    small_gemm(dims, C64::ONE, gi, gl_blk, C64::ZERO, &mut t1);
+                                    small_gemm(dims, C64::ONE, &t1, &c_l, C64::ZERO, &mut t2);
+                                    acc(sigma_l.block_mut(k, e, a), &t2);
+                                    let gg_blk = g_g.block(kk, e - steps, b);
+                                    small_gemm(dims, C64::ONE, gi, gg_blk, C64::ZERO, &mut t1);
+                                    small_gemm(dims, C64::ONE, &t1, &c_g, C64::ZERO, &mut t2);
+                                    acc(sigma_g.block_mut(k, e, a), &t2);
+                                    flops += 4 * dims.flops();
+                                }
+                                // Absorption: G^≷(kz−qz, E+ω) pairs with the
+                                // opposite-component Dc.
+                                if e + steps < prob.ne {
+                                    let gl_blk = g_l.block(kk, e + steps, b);
+                                    small_gemm(dims, C64::ONE, gi, gl_blk, C64::ZERO, &mut t1);
+                                    small_gemm(dims, C64::ONE, &t1, &c_g, C64::ZERO, &mut t2);
+                                    acc(sigma_l.block_mut(k, e, a), &t2);
+                                    let gg_blk = g_g.block(kk, e + steps, b);
+                                    small_gemm(dims, C64::ONE, gi, gg_blk, C64::ZERO, &mut t1);
+                                    small_gemm(dims, C64::ONE, &t1, &c_l, C64::ZERO, &mut t2);
+                                    acc(sigma_g.block_mut(k, e, a), &t2);
+                                    flops += 4 * dims.flops();
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    scale_g(&mut sigma_l, prob.scale_sigma);
+    scale_g(&mut sigma_g, prob.scale_sigma);
+
+    // ---------------- Π^≷ ----------------
+    // For each directed pair p = (a → b):
+    //   C_p^{ij}(q,ω) = Σ_{k,E} tr{ ∇H^i_ba·G^≷_aa(k+q, E+ω) ·
+    //                               ∇H^j_ab·G^≶_bb(k, E) }
+    // contributes to the pair entry Π_ab and the diagonal entry Π_aa.
+    for a in 0..na {
+        for (pair, b) in prob.pairs_of(a) {
+            let rev = prob.rev_pair[pair];
+            let grad_ab = &grads.grads[pair];
+            let grad_ba = &grads.grads[rev];
+            for q in 0..prob.nq {
+                for m in 0..prob.nw {
+                    let steps = prob.omega_steps(m);
+                    let mut c_l = [C64::ZERO; D_BSZ];
+                    let mut c_g = [C64::ZERO; D_BSZ];
+                    for k in 0..prob.nk {
+                        let kq = prob.k_plus_q(k, q);
+                        for e in 0..prob.ne.saturating_sub(steps) {
+                            for i in 0..3 {
+                                // X^i = ∇H^i_ba · G_aa(k+q, E+ω)
+                                for j in 0..3 {
+                                    // Π^<: G^<_aa(E+ω)·G^>_bb(E);
+                                    // Π^>: G^>_aa(E+ω)·G^<_bb(E).
+                                    small_gemm(
+                                        dims,
+                                        C64::ONE,
+                                        grad_ba[i].as_slice(),
+                                        g_l.block(kq, e + steps, a),
+                                        C64::ZERO,
+                                        &mut t1,
+                                    );
+                                    small_gemm(
+                                        dims,
+                                        C64::ONE,
+                                        grad_ab[j].as_slice(),
+                                        g_g.block(k, e, b),
+                                        C64::ZERO,
+                                        &mut t2,
+                                    );
+                                    c_l[j * 3 + i] += trace_product(&t1, &t2, norb);
+                                    small_gemm(
+                                        dims,
+                                        C64::ONE,
+                                        grad_ba[i].as_slice(),
+                                        g_g.block(kq, e + steps, a),
+                                        C64::ZERO,
+                                        &mut t1,
+                                    );
+                                    small_gemm(
+                                        dims,
+                                        C64::ONE,
+                                        grad_ab[j].as_slice(),
+                                        g_l.block(k, e, b),
+                                        C64::ZERO,
+                                        &mut cmat,
+                                    );
+                                    c_g[j * 3 + i] += trace_product(&t1, &cmat, norb);
+                                    flops += 4 * dims.flops() + 2 * 8 * bsz as u64;
+                                }
+                            }
+                        }
+                    }
+                    let pe = pi_l.pair_entry(pair);
+                    let de = pi_l.diag_entry(a);
+                    for x in 0..D_BSZ {
+                        pi_l.block_mut(q, m, pe)[x] += c_l[x];
+                        pi_l.block_mut(q, m, de)[x] += c_l[x];
+                        pi_g.block_mut(q, m, pe)[x] += c_g[x];
+                        pi_g.block_mut(q, m, de)[x] += c_g[x];
+                    }
+                }
+            }
+        }
+    }
+    scale_d(&mut pi_l, prob.scale_pi);
+    scale_d(&mut pi_g, prob.scale_pi);
+
+    SseOutput {
+        sigma_l,
+        sigma_g,
+        pi_l,
+        pi_g,
+        flops,
+    }
+}
+
+#[inline]
+fn acc(dst: &mut [C64], src: &[C64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += *s;
+    }
+}
+
+/// `tr(X · Y)` for column-major `n × n` slices.
+#[inline]
+pub fn trace_product(x: &[C64], y: &[C64], n: usize) -> C64 {
+    let mut acc = C64::ZERO;
+    for r in 0..n {
+        for s in 0..n {
+            // X[r, s] · Y[s, r]
+            acc = acc.mul_add(x[s * n + r], y[r * n + s]);
+        }
+    }
+    acc
+}
+
+fn scale_g(t: &mut GTensor, s: f64) {
+    if s != 1.0 {
+        for v in t.as_mut_slice() {
+            *v = v.scale(s);
+        }
+    }
+}
+
+fn scale_d(t: &mut DTensor, s: f64) {
+    if s != 1.0 {
+        for v in t.as_mut_slice() {
+            *v = v.scale(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{random_inputs, tiny_problem};
+
+    #[test]
+    fn output_shapes() {
+        let dev = crate::testutil::tiny_device();
+        let prob = tiny_problem(&dev);
+        let (gl, gg, dl, dg) = random_inputs(&prob, 7);
+        let out = sse_reference(&prob, &gl, &gg, &dl, &dg);
+        assert_eq!(out.sigma_l.nk, prob.nk);
+        assert_eq!(out.sigma_l.ne, prob.ne);
+        assert_eq!(out.sigma_l.na, prob.na());
+        assert_eq!(out.pi_l.npairs, prob.npairs());
+        assert!(out.flops > 0);
+    }
+
+    #[test]
+    fn zero_d_gives_zero_sigma() {
+        let dev = crate::testutil::tiny_device();
+        let prob = tiny_problem(&dev);
+        let (gl, gg, dl, dg) = random_inputs(&prob, 3);
+        let zero_dl = DTensor::zeros(prob.nq, prob.nw, prob.npairs(), prob.na(), DLayout::PointMajor);
+        let zero_dg = zero_dl.clone();
+        let out = sse_reference(&prob, &gl, &gg, &zero_dl, &zero_dg);
+        assert_eq!(out.sigma_l.max_abs(), 0.0);
+        assert_eq!(out.sigma_g.max_abs(), 0.0);
+        // Π does not involve D: still nonzero.
+        let _ = (dl, dg);
+        assert!(out.pi_l.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn zero_g_gives_zero_everything() {
+        let dev = crate::testutil::tiny_device();
+        let prob = tiny_problem(&dev);
+        let (_, _, dl, dg) = random_inputs(&prob, 3);
+        let zg = GTensor::zeros(prob.nk, prob.ne, prob.na(), prob.norb(), GLayout::PairMajor);
+        let out = sse_reference(&prob, &zg, &zg.clone(), &dl, &dg);
+        assert_eq!(out.sigma_l.max_abs(), 0.0);
+        assert_eq!(out.pi_l.max_abs(), 0.0);
+        assert_eq!(out.pi_g.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn scale_factors_are_linear() {
+        let dev = crate::testutil::tiny_device();
+        let prob1 = tiny_problem(&dev);
+        let mut prob2 = tiny_problem(&dev);
+        prob2.scale_sigma = 2.0 * prob1.scale_sigma;
+        prob2.scale_pi = 3.0 * prob1.scale_pi;
+        let (gl, gg, dl, dg) = random_inputs(&prob1, 11);
+        let o1 = sse_reference(&prob1, &gl, &gg, &dl, &dg);
+        let o2 = sse_reference(&prob2, &gl, &gg, &dl, &dg);
+        // Σ scales by 2, Π by 3.
+        let mut max_s = 0.0f64;
+        for (x, y) in o1.sigma_l.as_slice().iter().zip(o2.sigma_l.as_slice()) {
+            max_s = max_s.max((*y - x.scale(2.0)).abs());
+        }
+        assert!(max_s < 1e-12);
+        let mut max_p = 0.0f64;
+        for (x, y) in o1.pi_g.as_slice().iter().zip(o2.pi_g.as_slice()) {
+            max_p = max_p.max((*y - x.scale(3.0)).abs());
+        }
+        assert!(max_p < 1e-12);
+    }
+
+    #[test]
+    fn energy_windowing_respected() {
+        // Σ at the lowest energy can only receive absorption terms; at the
+        // highest only emission. Check the edge blocks are still populated
+        // (coupling exists) but differ from the bulk.
+        let dev = crate::testutil::tiny_device();
+        let prob = tiny_problem(&dev);
+        let (gl, gg, dl, dg) = random_inputs(&prob, 5);
+        let out = sse_reference(&prob, &gl, &gg, &dl, &dg);
+        let lo = out.sigma_l.block(0, 0, 0);
+        let hi = out.sigma_l.block(0, prob.ne - 1, 0);
+        assert!(lo.iter().any(|z| z.abs() > 0.0));
+        assert!(hi.iter().any(|z| z.abs() > 0.0));
+    }
+}

@@ -1,0 +1,89 @@
+//! Shared test fixtures for the SSE kernels (compiled only for tests and
+//! benches via the `testutil` feature of the crate's dev profile).
+
+use crate::problem::SseProblem;
+use crate::tensors::{DLayout, DTensor, GLayout, GTensor};
+use omen_device::{DeviceConfig, DeviceStructure};
+use omen_linalg::c64;
+
+/// The standard tiny device for kernel tests.
+pub fn tiny_device() -> DeviceStructure {
+    DeviceStructure::build(DeviceConfig::tiny())
+}
+
+/// A small but non-degenerate SSE problem on the tiny device.
+pub fn tiny_problem(device: &DeviceStructure) -> SseProblem<'_> {
+    SseProblem::new(device, 2, 6, 2, 2, 1.0, 1.0)
+}
+
+/// Deterministic pseudo-random value in roughly `[-1, 1]`.
+fn rnd(seed: u64, tag: u64) -> f64 {
+    let mut x = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(tag.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    x ^= x >> 31;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 29;
+    (x as f64 / u64::MAX as f64) * 2.0 - 1.0
+}
+
+/// Generates physically-shaped random inputs:
+/// * `G^≷` atom-diagonal blocks made anti-Hermitian with magnitude ~1e-3
+///   (like real lesser/greater GFs);
+/// * `D^≷` pair/diagonal blocks with magnitude ~1e-5.
+pub fn random_inputs(
+    prob: &SseProblem,
+    seed: u64,
+) -> (GTensor, GTensor, DTensor, DTensor) {
+    let norb = prob.norb();
+    let na = prob.na();
+    let mk_g = |shift: u64| {
+        let mut g = GTensor::zeros(prob.nk, prob.ne, na, norb, GLayout::PairMajor);
+        for k in 0..prob.nk {
+            for e in 0..prob.ne {
+                for a in 0..na {
+                    let blk = g.block_mut(k, e, a);
+                    // Anti-Hermitian: iX with X Hermitian.
+                    for r in 0..norb {
+                        for c in 0..=r {
+                            let tag = ((((k * 131 + e) * 137 + a) * norb + r) * norb + c) as u64;
+                            let re = rnd(seed + shift, tag) * 1e-3;
+                            let im = rnd(seed + shift, tag ^ 0xABCD) * 1e-3;
+                            if r == c {
+                                blk[c * norb + r] = c64(0.0, re);
+                            } else {
+                                blk[c * norb + r] = c64(-im, re);
+                                blk[r * norb + c] = c64(im, re);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        g
+    };
+    let gl = mk_g(0);
+    let gg = mk_g(1_000_000);
+
+    let mk_d = |shift: u64| {
+        let mut d = DTensor::zeros(prob.nq, prob.nw, prob.npairs(), na, DLayout::PointMajor);
+        for q in 0..prob.nq {
+            for w in 0..prob.nw {
+                for en in 0..d.nentries() {
+                    let blk = d.block_mut(q, w, en);
+                    for x in 0..9 {
+                        let tag = (((q * 31 + w) * 37 + en) * 9 + x) as u64;
+                        blk[x] = c64(
+                            rnd(seed + shift + 7, tag) * 1e-5,
+                            rnd(seed + shift + 13, tag ^ 0x5555) * 1e-5,
+                        );
+                    }
+                }
+            }
+        }
+        d
+    };
+    let dl = mk_d(2_000_000);
+    let dg = mk_d(3_000_000);
+    (gl, gg, dl, dg)
+}

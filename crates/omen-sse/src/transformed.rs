@@ -1,0 +1,463 @@
+//! The DaCe-transformed SSE kernel — Fig. 6 of the paper.
+//!
+//! Four transformations are applied to the reference dataflow:
+//!
+//! 1. **Map fission** (❶): the products `∇H·G^≷` and `Σ_j Dc^{ij}·∇H^j`
+//!    are hoisted into transient arrays (`hg`, `hd`), lowering the
+//!    multiplication count — each `∇H·G` block is reused by all
+//!    `Nqz · Nω` consumers instead of being recomputed, the
+//!    `2NqzNω/(NqzNω+1)` flop reduction of §6.1.1.
+//! 2. **Data layout** (❷): `G^≷`/`Σ^≷` are held `AtomMajor` (energy
+//!    innermost) so consecutive batch items sit at constant stride.
+//! 3. **Strided-batched multiplication** (❸): the per-energy small GEMMs
+//!    become one `sbsmm` call per `(pair, i, kz, qz, ω)` tuple with
+//!    `A`-stride `Norb²`, `B`-stride `0`, `C`-stride `Norb²`.
+//! 4. **Map fusion** (❹): the stages share transients and loop structure.
+//!
+//! The kernel produces values elementwise-identical (up to floating-point
+//! reassociation) to [`crate::reference::sse_reference`].
+
+use crate::problem::SseProblem;
+use crate::reference::SseOutput;
+use crate::tensors::{DLayout, DTensor, GLayout, GTensor, D_BSZ};
+use omen_linalg::{sbsmm, small_gemm, BatchDims, Strides, C64};
+use rayon::prelude::*;
+
+/// The transient arrays produced by map fission (step ❶), kept public so
+/// the mixed-precision kernel can reuse stage A/B outputs.
+pub struct Transients {
+    /// `∇H·G^<` blocks: layout `[pair][i][kz][E][Norb²]`.
+    pub hg_l: Vec<C64>,
+    /// `∇H·G^>` blocks.
+    pub hg_g: Vec<C64>,
+    /// `Σ_j Dc^<_{ij}·∇H^j_ba` blocks: layout `[pair][i][qz][ω][Norb²]`.
+    pub hd_l: Vec<C64>,
+    /// Greater-component `∇H·D` blocks.
+    pub hd_g: Vec<C64>,
+    /// Flops spent building the transients (stages A and B).
+    pub flops: u64,
+    nk: usize,
+    ne: usize,
+    nq: usize,
+    nw: usize,
+    bsz: usize,
+}
+
+impl Transients {
+    /// Offset of `hg[pair][i][k][e]`.
+    #[inline]
+    pub fn hg_offset(&self, pair: usize, i: usize, k: usize, e: usize) -> usize {
+        (((pair * 3 + i) * self.nk + k) * self.ne + e) * self.bsz
+    }
+
+    /// Offset of `hd[pair][i][q][m]`.
+    #[inline]
+    pub fn hd_offset(&self, pair: usize, i: usize, q: usize, m: usize) -> usize {
+        (((pair * 3 + i) * self.nq + q) * self.nw + m) * self.bsz
+    }
+}
+
+/// Stage A + B: builds the `∇H·G` and `∇H·D` transients.
+///
+/// `g_l`/`g_g` must be `AtomMajor` (the data-layout transformation);
+/// `d_l`/`d_g` may be in either layout.
+pub fn build_transients(
+    prob: &SseProblem,
+    g_l: &GTensor,
+    g_g: &GTensor,
+    d_l: &DTensor,
+    d_g: &DTensor,
+) -> Transients {
+    assert_eq!(g_l.layout, GLayout::AtomMajor, "transformed kernel expects AtomMajor G");
+    assert_eq!(g_g.layout, GLayout::AtomMajor, "transformed kernel expects AtomMajor G");
+    let norb = prob.norb();
+    let bsz = norb * norb;
+    let dims = BatchDims::square(norb);
+    let npairs = prob.npairs();
+    let (nk, ne, nq, nw) = (prob.nk, prob.ne, prob.nq, prob.nw);
+    let grads = &prob.device.gradients;
+    let pairs = &prob.device.neighbors.pairs;
+
+    // ---- stage A: hg[p][i][k][e] = ∇H^i_p · G_{to(p)}(k, e) ----
+    let hg_len = npairs * 3 * nk * ne * bsz;
+    let mut hg_l = vec![C64::ZERO; hg_len];
+    let mut hg_g = vec![C64::ZERO; hg_len];
+    let chunk = 3 * nk * ne * bsz;
+    let stage_a = |hg: &mut Vec<C64>, g: &GTensor| {
+        hg.par_chunks_mut(chunk).enumerate().for_each(|(p, out)| {
+            let b = pairs[p].to;
+            for i in 0..3 {
+                let grad = grads.grads[p][i].as_slice();
+                for k in 0..nk {
+                    // One strided-batched GEMM over the contiguous energy
+                    // axis: A = ∇H (stride 0), B = G blocks (stride bsz).
+                    let g0 = g.offset(k, 0, b);
+                    let o0 = ((i * nk) + k) * ne * bsz;
+                    sbsmm(
+                        dims,
+                        ne,
+                        C64::ONE,
+                        grad,
+                        &g.as_slice()[g0..g0 + ne * bsz],
+                        C64::ZERO,
+                        &mut out[o0..o0 + ne * bsz],
+                        Strides {
+                            a: 0,
+                            b: bsz,
+                            c: bsz,
+                        },
+                    );
+                }
+            }
+        });
+    };
+    stage_a(&mut hg_l, g_l);
+    stage_a(&mut hg_g, g_g);
+    let flops_a = 2 * (npairs * 3 * nk * ne) as u64 * dims.flops();
+
+    // ---- stage B: hd[p][i][q][m] = Σ_j Dc^{ij}(q,m,p) · ∇H^j_ba ----
+    let hd_len = npairs * 3 * nq * nw * bsz;
+    let mut hd_l = vec![C64::ZERO; hd_len];
+    let mut hd_g = vec![C64::ZERO; hd_len];
+    let chunk_b = 3 * nq * nw * bsz;
+    let stage_b = |hd: &mut Vec<C64>, d: &DTensor| {
+        hd.par_chunks_mut(chunk_b).enumerate().for_each(|(p, out)| {
+            let a = pairs[p].from;
+            let b = pairs[p].to;
+            let rev = prob.rev_pair[p];
+            let grad_ba = &grads.grads[rev];
+            for q in 0..nq {
+                for m in 0..nw {
+                    let dc = crate::reference::d_combination(d, q, m, p, rev, a, b);
+                    for i in 0..3 {
+                        let o = ((i * nq + q) * nw + m) * bsz;
+                        let dst = &mut out[o..o + bsz];
+                        for j in 0..3 {
+                            let w = dc[j * 3 + i];
+                            let gj = grad_ba[j].as_slice();
+                            for x in 0..bsz {
+                                dst[x] = dst[x].mul_add(gj[x], w);
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    };
+    stage_b(&mut hd_l, d_l);
+    stage_b(&mut hd_g, d_g);
+    let flops_b = 2 * (npairs * nq * nw * 3 * 3) as u64 * 8 * bsz as u64;
+
+    Transients {
+        hg_l,
+        hg_g,
+        hd_l,
+        hd_g,
+        flops: flops_a + flops_b,
+        nk,
+        ne,
+        nq,
+        nw,
+        bsz,
+    }
+}
+
+/// Stage C + D: consumes the transients, producing `Σ^≷` (AtomMajor) and
+/// `Π^≷` (PointMajor).
+pub fn sse_transformed(
+    prob: &SseProblem,
+    g_l: &GTensor,
+    g_g: &GTensor,
+    d_l: &DTensor,
+    d_g: &DTensor,
+) -> SseOutput {
+    let tr = build_transients(prob, g_l, g_g, d_l, d_g);
+    consume_transients(prob, &tr)
+}
+
+/// The Σ/Π assembly from prebuilt transients (shared with the
+/// mixed-precision kernel for its stage D).
+pub fn consume_transients(prob: &SseProblem, tr: &Transients) -> SseOutput {
+    let norb = prob.norb();
+    let bsz = norb * norb;
+    let dims = BatchDims::square(norb);
+    let na = prob.na();
+    let (nk, ne, nq, nw) = (prob.nk, prob.ne, prob.nq, prob.nw);
+    let mut sigma_l = GTensor::zeros(nk, ne, na, norb, GLayout::AtomMajor);
+    let mut sigma_g = GTensor::zeros(nk, ne, na, norb, GLayout::AtomMajor);
+
+    // ---- stage C: Σ^≷[a][k][e] via strided-batched GEMMs ----
+    let atom_chunk = nk * ne * bsz;
+    let pair_ranges: Vec<(usize, usize)> = (0..na)
+        .map(|a| {
+            (
+                prob.device.neighbors.offsets[a],
+                prob.device.neighbors.offsets[a + 1],
+            )
+        })
+        .collect();
+
+    let flops_c: u64 = {
+        // Parallel over atoms: each atom owns a contiguous output chunk.
+        let sl = sigma_l.as_mut_slice();
+        let sg = sigma_g.as_mut_slice();
+        sl.par_chunks_mut(atom_chunk)
+            .zip(sg.par_chunks_mut(atom_chunk))
+            .enumerate()
+            .map(|(a, (out_l, out_g))| {
+                let mut flops = 0u64;
+                let strides = Strides {
+                    a: bsz,
+                    b: 0,
+                    c: bsz,
+                };
+                for p in pair_ranges[a].0..pair_ranges[a].1 {
+                    for i in 0..3 {
+                        for q in 0..nq {
+                            for m in 0..nw {
+                                let steps = prob.omega_steps(m);
+                                if steps >= ne {
+                                    continue;
+                                }
+                                let batch = ne - steps;
+                                let hd_l_blk = &tr.hd_l
+                                    [tr.hd_offset(p, i, q, m)..tr.hd_offset(p, i, q, m) + bsz];
+                                let hd_g_blk = &tr.hd_g
+                                    [tr.hd_offset(p, i, q, m)..tr.hd_offset(p, i, q, m) + bsz];
+                                for k in 0..nk {
+                                    let kk = prob.k_minus_q(k, q);
+                                    let out_base = k * ne * bsz;
+                                    // Emission: Σ(e) += hg(e−steps) · hd,
+                                    // batched over e ∈ [steps, ne).
+                                    let a0 = tr.hg_offset(p, i, kk, 0);
+                                    let c0 = out_base + steps * bsz;
+                                    sbsmm(
+                                        dims,
+                                        batch,
+                                        C64::ONE,
+                                        &tr.hg_l[a0..a0 + batch * bsz],
+                                        hd_l_blk,
+                                        C64::ONE,
+                                        &mut out_l[c0..c0 + batch * bsz],
+                                        strides,
+                                    );
+                                    sbsmm(
+                                        dims,
+                                        batch,
+                                        C64::ONE,
+                                        &tr.hg_g[a0..a0 + batch * bsz],
+                                        hd_g_blk,
+                                        C64::ONE,
+                                        &mut out_g[c0..c0 + batch * bsz],
+                                        strides,
+                                    );
+                                    // Absorption: Σ(e) += hg(e+steps) · hd',
+                                    // batched over e ∈ [0, ne−steps).
+                                    let a1 = tr.hg_offset(p, i, kk, steps);
+                                    let c1 = out_base;
+                                    sbsmm(
+                                        dims,
+                                        batch,
+                                        C64::ONE,
+                                        &tr.hg_l[a1..a1 + batch * bsz],
+                                        hd_g_blk,
+                                        C64::ONE,
+                                        &mut out_l[c1..c1 + batch * bsz],
+                                        strides,
+                                    );
+                                    sbsmm(
+                                        dims,
+                                        batch,
+                                        C64::ONE,
+                                        &tr.hg_g[a1..a1 + batch * bsz],
+                                        hd_l_blk,
+                                        C64::ONE,
+                                        &mut out_g[c1..c1 + batch * bsz],
+                                        strides,
+                                    );
+                                    flops += 4 * batch as u64 * dims.flops();
+                                }
+                            }
+                        }
+                    }
+                }
+                flops
+            })
+            .sum()
+    };
+    if prob.scale_sigma != 1.0 {
+        for v in sigma_l.as_mut_slice() {
+            *v = v.scale(prob.scale_sigma);
+        }
+        for v in sigma_g.as_mut_slice() {
+            *v = v.scale(prob.scale_sigma);
+        }
+    }
+
+    // ---- stage D: Π^≷ from transient traces ----
+    let npairs = prob.npairs();
+    let mut pi_l = DTensor::zeros(nq, nw, npairs, na, DLayout::PointMajor);
+    let mut pi_g = DTensor::zeros(nq, nw, npairs, na, DLayout::PointMajor);
+    let mut flops_d = 0u64;
+    let pairs = &prob.device.neighbors.pairs;
+    for p in 0..npairs {
+        let a = pairs[p].from;
+        let rev = prob.rev_pair[p];
+        for q in 0..nq {
+            for m in 0..nw {
+                let steps = prob.omega_steps(m);
+                if steps >= ne {
+                    continue;
+                }
+                let mut c_l = [C64::ZERO; D_BSZ];
+                let mut c_g = [C64::ZERO; D_BSZ];
+                for k in 0..nk {
+                    let kq = prob.k_plus_q(k, q);
+                    for e in 0..ne - steps {
+                        for i in 0..3 {
+                            let x_l = &tr.hg_l[tr.hg_offset(rev, i, kq, e + steps)..];
+                            let x_g = &tr.hg_g[tr.hg_offset(rev, i, kq, e + steps)..];
+                            for j in 0..3 {
+                                let y_g = &tr.hg_g[tr.hg_offset(p, j, k, e)..];
+                                let y_l = &tr.hg_l[tr.hg_offset(p, j, k, e)..];
+                                c_l[j * 3 + i] +=
+                                    crate::reference::trace_product(&x_l[..bsz], &y_g[..bsz], norb);
+                                c_g[j * 3 + i] +=
+                                    crate::reference::trace_product(&x_g[..bsz], &y_l[..bsz], norb);
+                                flops_d += 2 * 8 * bsz as u64;
+                            }
+                        }
+                    }
+                }
+                let pe = pi_l.pair_entry(p);
+                let de = pi_l.diag_entry(a);
+                for x in 0..D_BSZ {
+                    pi_l.block_mut(q, m, pe)[x] += c_l[x].scale(prob.scale_pi);
+                    pi_l.block_mut(q, m, de)[x] += c_l[x].scale(prob.scale_pi);
+                    pi_g.block_mut(q, m, pe)[x] += c_g[x].scale(prob.scale_pi);
+                    pi_g.block_mut(q, m, de)[x] += c_g[x].scale(prob.scale_pi);
+                }
+            }
+        }
+    }
+
+    SseOutput {
+        sigma_l,
+        sigma_g,
+        pi_l,
+        pi_g,
+        flops: tr.flops + flops_c + flops_d,
+    }
+}
+
+/// Sequential single-block helper mirroring the reference arithmetic; used
+/// in unit tests of the transient construction.
+pub fn check_transient_block(
+    prob: &SseProblem,
+    g: &GTensor,
+    pair: usize,
+    i: usize,
+    k: usize,
+    e: usize,
+) -> Vec<C64> {
+    let norb = prob.norb();
+    let dims = BatchDims::square(norb);
+    let b = prob.device.neighbors.pairs[pair].to;
+    let mut out = vec![C64::ZERO; norb * norb];
+    small_gemm(
+        dims,
+        C64::ONE,
+        prob.device.gradients.grads[pair][i].as_slice(),
+        g.block(k, e, b),
+        C64::ZERO,
+        &mut out,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::sse_reference;
+    use crate::testutil::{random_inputs, tiny_device, tiny_problem};
+
+    #[test]
+    fn transformed_matches_reference() {
+        let dev = tiny_device();
+        let prob = tiny_problem(&dev);
+        let (gl, gg, dl, dg) = random_inputs(&prob, 42);
+        let reference = sse_reference(&prob, &gl, &gg, &dl, &dg);
+        let gl_am = gl.to_layout(GLayout::AtomMajor);
+        let gg_am = gg.to_layout(GLayout::AtomMajor);
+        let transformed = sse_transformed(&prob, &gl_am, &gg_am, &dl, &dg);
+
+        let scale = reference.sigma_l.max_abs().max(1e-300);
+        let dev_sl = transformed.sigma_l.max_deviation(&reference.sigma_l) / scale;
+        assert!(dev_sl < 1e-12, "Σ< relative deviation {dev_sl}");
+        let dev_sg = transformed.sigma_g.max_deviation(&reference.sigma_g)
+            / reference.sigma_g.max_abs().max(1e-300);
+        assert!(dev_sg < 1e-12, "Σ> relative deviation {dev_sg}");
+        let dev_pl =
+            transformed.pi_l.max_deviation(&reference.pi_l) / reference.pi_l.max_abs().max(1e-300);
+        assert!(dev_pl < 1e-12, "Π< relative deviation {dev_pl}");
+        let dev_pg =
+            transformed.pi_g.max_deviation(&reference.pi_g) / reference.pi_g.max_abs().max(1e-300);
+        assert!(dev_pg < 1e-12, "Π> relative deviation {dev_pg}");
+    }
+
+    #[test]
+    fn flop_reduction_matches_model() {
+        // The GEMM-dominated part shrinks by ≈ 2NqNω/(NqNω+1) (§6.1.1).
+        let dev = tiny_device();
+        let prob = tiny_problem(&dev);
+        let (gl, gg, dl, dg) = random_inputs(&prob, 1);
+        let reference = sse_reference(&prob, &gl, &gg, &dl, &dg);
+        let gl_am = gl.to_layout(GLayout::AtomMajor);
+        let gg_am = gg.to_layout(GLayout::AtomMajor);
+        let transformed = sse_transformed(&prob, &gl_am, &gg_am, &dl, &dg);
+        assert!(
+            transformed.flops < reference.flops,
+            "transformed must do fewer flops: {} vs {}",
+            transformed.flops,
+            reference.flops
+        );
+        // Windowing and the Π stage blur the exact ratio; require at least
+        // a 25% reduction for this tiny configuration.
+        let ratio = transformed.flops as f64 / reference.flops as f64;
+        assert!(ratio < 0.75, "flop ratio {ratio}");
+    }
+
+    #[test]
+    fn transient_blocks_match_direct_product() {
+        let dev = tiny_device();
+        let prob = tiny_problem(&dev);
+        let (gl, gg, _, _) = random_inputs(&prob, 9);
+        let gl_am = gl.to_layout(GLayout::AtomMajor);
+        let gg_am = gg.to_layout(GLayout::AtomMajor);
+        let (_, _, dl, dg) = random_inputs(&prob, 9);
+        let tr = build_transients(&prob, &gl_am, &gg_am, &dl, &dg);
+        let bsz = prob.norb() * prob.norb();
+        for &(p, i, k, e) in &[(0usize, 0usize, 0usize, 0usize), (3, 2, 1, 4), (7, 1, 1, 2)] {
+            let want = check_transient_block(&prob, &gl_am, p, i, k, e);
+            let got = &tr.hg_l[tr.hg_offset(p, i, k, e)..tr.hg_offset(p, i, k, e) + bsz];
+            let dev: f64 = want
+                .iter()
+                .zip(got)
+                .map(|(w, g)| (*w - *g).abs())
+                .fold(0.0, f64::max);
+            assert!(dev < 1e-13, "transient ({p},{i},{k},{e}) deviates by {dev}");
+        }
+    }
+
+    #[test]
+    fn layout_requirement_enforced() {
+        let dev = tiny_device();
+        let prob = tiny_problem(&dev);
+        let (gl, gg, dl, dg) = random_inputs(&prob, 2);
+        // PairMajor input must panic.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sse_transformed(&prob, &gl, &gg, &dl, &dg)
+        }));
+        assert!(result.is_err(), "PairMajor input must be rejected");
+    }
+}

@@ -1,0 +1,58 @@
+//! Property-based tests on the SSE kernels: schedule equivalence and
+//! linearity must hold for arbitrary grid shapes and random inputs.
+
+use omen_device::{DeviceConfig, DeviceStructure};
+use omen_sse::testutil::random_inputs;
+use omen_sse::{sse_reference, sse_transformed, GLayout, SseProblem};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn transformed_always_matches_reference(
+        nk in 1usize..3,
+        ne in 4usize..8,
+        nw in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(ne > nw);
+        let dev = DeviceStructure::build(DeviceConfig::tiny());
+        let prob = SseProblem::new(&dev, nk, ne, nk, nw, 1.0, 1.0);
+        let (gl, gg, dl, dg) = random_inputs(&prob, seed);
+        let reference = sse_reference(&prob, &gl, &gg, &dl, &dg);
+        let gla = gl.to_layout(GLayout::AtomMajor);
+        let gga = gg.to_layout(GLayout::AtomMajor);
+        let transformed = sse_transformed(&prob, &gla, &gga, &dl, &dg);
+        let scale = reference.sigma_l.max_abs().max(1e-300);
+        prop_assert!(transformed.sigma_l.max_deviation(&reference.sigma_l) / scale < 1e-11);
+        let scale_p = reference.pi_l.max_abs().max(1e-300);
+        prop_assert!(transformed.pi_l.max_deviation(&reference.pi_l) / scale_p < 1e-11);
+        // The transformation must never add flops.
+        prop_assert!(transformed.flops <= reference.flops);
+    }
+
+    #[test]
+    fn sse_linear_in_g(seed in 0u64..1000) {
+        // Σ[α·G] == α·Σ[G] and Π[α·G] == α²·Π[G] (bilinear in G).
+        let dev = DeviceStructure::build(DeviceConfig::tiny());
+        let prob = SseProblem::new(&dev, 2, 6, 2, 2, 1.0, 1.0);
+        let (gl, gg, dl, dg) = random_inputs(&prob, seed);
+        let mut gl2 = gl.clone();
+        let mut gg2 = gg.clone();
+        for v in gl2.as_mut_slice() { *v = v.scale(2.0); }
+        for v in gg2.as_mut_slice() { *v = v.scale(2.0); }
+        let base = sse_reference(&prob, &gl, &gg, &dl, &dg);
+        let scaled = sse_reference(&prob, &gl2, &gg2, &dl, &dg);
+        let mut worst_sigma = 0.0f64;
+        for (x, y) in base.sigma_l.as_slice().iter().zip(scaled.sigma_l.as_slice()) {
+            worst_sigma = worst_sigma.max((y.scale(0.5) - *x).abs());
+        }
+        prop_assert!(worst_sigma / base.sigma_l.max_abs().max(1e-300) < 1e-12);
+        let mut worst_pi = 0.0f64;
+        for (x, y) in base.pi_l.as_slice().iter().zip(scaled.pi_l.as_slice()) {
+            worst_pi = worst_pi.max((y.scale(0.25) - *x).abs());
+        }
+        prop_assert!(worst_pi / base.pi_l.max_abs().max(1e-300) < 1e-12);
+    }
+}

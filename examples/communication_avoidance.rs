@@ -1,0 +1,48 @@
+//! The paper's headline innovation (§5.2): executing the SSE phase under
+//! both domain decompositions on a simulated MPI and measuring the
+//! communication volumes byte-for-byte.
+//!
+//! Run with: `cargo run --release --example communication_avoidance`
+
+use dace_omen::comm::{run_dace_plan, run_omen_plan, DaceTiling, OmenGrid, OpKind};
+use dace_omen::sse::testutil::{random_inputs, tiny_device};
+use dace_omen::sse::{sse_reference, SseProblem};
+
+fn main() {
+    let dev = tiny_device();
+    let prob = SseProblem::new(&dev, 2, 10, 2, 3, 1.0, 1.0);
+    let (gl, gg, dl, dg) = random_inputs(&prob, 5);
+    println!(
+        "SSE problem: {} atoms, {} pairs, Nkz={} NE={} Nω={} on 6 simulated ranks\n",
+        prob.na(), prob.npairs(), prob.nk, prob.ne, prob.nw
+    );
+
+    let reference = sse_reference(&prob, &gl, &gg, &dl, &dg);
+    let grid = OmenGrid::new(2, 3, prob.nk, prob.ne);
+    let tiling = DaceTiling::new(3, 2, prob.na(), prob.ne);
+
+    let (res_o, lo) = run_omen_plan(&prob, &gl, &gg, &dl, &dg, &grid);
+    let (res_d, ld) = run_dace_plan(&prob, &gl, &gg, &dl, &dg, &grid, &tiling);
+
+    let dev_o = res_o.sigma_l.max_deviation(&reference.sigma_l) / reference.sigma_l.max_abs();
+    let dev_d = res_d.sigma_l.max_deviation(&reference.sigma_l) / reference.sigma_l.max_abs();
+    println!("correctness vs single-node reference:");
+    println!("  OMEN plan Σ< deviation: {dev_o:.2e}");
+    println!("  DaCe plan Σ< deviation: {dev_d:.2e}\n");
+
+    println!("measured traffic (exact byte counts):");
+    println!(
+        "  OMEN: {:>10} B total = bcast {} + p2p {} + reduce {}  in {} MPI calls",
+        lo.total_bytes(), lo.bytes(OpKind::Bcast), lo.bytes(OpKind::PointToPoint),
+        lo.bytes(OpKind::Reduce), lo.total_calls()
+    );
+    println!(
+        "  DaCe: {:>10} B total, all in {} Alltoallv calls",
+        ld.total_bytes(), ld.calls(OpKind::Alltoall)
+    );
+    println!(
+        "\nvolume reduction {:.1}x, invocation reduction {:.0}x — same physics, different schedule",
+        lo.total_bytes() as f64 / ld.total_bytes() as f64,
+        lo.total_calls() as f64 / ld.total_calls() as f64
+    );
+}

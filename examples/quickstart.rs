@@ -1,0 +1,41 @@
+//! Quickstart: build a synthetic FinFET slice, run the self-consistent
+//! dissipative quantum transport simulation, and print the headline
+//! observables.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dace_omen::core::{electro_thermal_report, Simulation, SimulationConfig};
+
+fn main() {
+    // A laptop-scale configuration: 16-atom device, 2 momentum points,
+    // 24 energies, 2 phonon frequencies.
+    let cfg = SimulationConfig::tiny();
+    println!(
+        "device: {} atoms, {} slabs, Norb = {}",
+        cfg.device.num_atoms(),
+        cfg.device.nx / cfg.device.cols_per_slab,
+        cfg.device.norb
+    );
+    let mut sim = Simulation::new(cfg);
+    let result = sim.run();
+
+    println!("\nBorn iterations: {}", result.records.len());
+    for r in &result.records {
+        println!(
+            "  iter {:>2}: I = {:.6e}  (rel change {:.2e})",
+            r.iteration, r.current, r.rel_change
+        );
+    }
+    println!("\nconverged current: {:.6e}", result.current());
+    println!(
+        "current conservation (profile spread): {:.2e}",
+        result.current_nonuniformity()
+    );
+
+    let report = electro_thermal_report(&sim, &result);
+    println!(
+        "lattice temperature: contact {:.1} K, peak {:.1} K",
+        report.contact_temperature,
+        report.t_max()
+    );
+}

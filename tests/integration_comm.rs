@@ -1,0 +1,88 @@
+//! Cross-crate communication validation: the simulated-MPI plans, the
+//! analytic volume model, and the SDFG-derived expressions must agree.
+
+use dace_omen::comm::{run_dace_plan, run_omen_plan, DaceTiling, OmenGrid, OpKind};
+use dace_omen::dataflow::{bindings, dace_volume_expr, omen_volume_expr};
+use dace_omen::perf::{dace_volume_with, omen_volume, SimParams};
+use dace_omen::sse::testutil::{random_inputs, tiny_device};
+use dace_omen::sse::{sse_reference, SseProblem};
+
+#[test]
+fn plans_agree_with_reference_and_each_other() {
+    let dev = tiny_device();
+    let prob = SseProblem::new(&dev, 2, 8, 2, 2, 1.0, 1.0);
+    let (gl, gg, dl, dg) = random_inputs(&prob, 99);
+    let reference = sse_reference(&prob, &gl, &gg, &dl, &dg);
+    let grid = OmenGrid::new(2, 2, prob.nk, prob.ne);
+    let tiling = DaceTiling::new(2, 2, prob.na(), prob.ne);
+    let (ro, lo) = run_omen_plan(&prob, &gl, &gg, &dl, &dg, &grid);
+    let (rd, ld) = run_dace_plan(&prob, &gl, &gg, &dl, &dg, &grid, &tiling);
+    let scale = reference.sigma_l.max_abs();
+    assert!(ro.sigma_l.max_deviation(&reference.sigma_l) / scale < 1e-10);
+    assert!(rd.sigma_l.max_deviation(&reference.sigma_l) / scale < 1e-10);
+    assert!(rd.pi_g.max_deviation(&ro.pi_g) / ro.pi_g.max_abs() < 1e-10);
+    // Structure: DaCe = 4 alltoalls; OMEN = per-round collectives.
+    assert_eq!(ld.calls(OpKind::Alltoall), 4);
+    assert_eq!(lo.calls(OpKind::Bcast), 2 * (prob.nq * prob.nw) as u64);
+}
+
+#[test]
+fn sdfg_expressions_match_perf_model() {
+    // The memlet-derived Fig. 5 expressions and the §6.1.2 closed forms
+    // must produce identical numbers for the G-replication and alltoall
+    // volumes.
+    let p = SimParams::small(7);
+    let procs = 1792usize;
+    let (ta, te) = (448usize, 4usize);
+    let b = bindings(&[
+        ("Nkz", 7.0), ("Nqz", 7.0), ("NE", 706.0), ("Nw", 70.0),
+        ("Na", 4864.0), ("Nb", 34.0), ("Norb", 12.0), ("N3D", 3.0),
+        ("tE", 706.0 / (procs as f64 / 7.0)), ("Ta", ta as f64), ("TE", te as f64),
+    ]);
+    let sdfg_dace = dace_volume_expr().eval(&b);
+    let model_dace = dace_volume_with(&p, ta, te);
+    assert!(
+        ((sdfg_dace - model_dace) / model_dace).abs() < 1e-12,
+        "DaCe volumes diverge: SDFG {sdfg_dace:e} vs model {model_dace:e}"
+    );
+    // The OMEN SDFG expression counts the per-point G+D traffic; the
+    // closed form adds the P-fold D broadcast. They agree on the
+    // G-dominated order of magnitude.
+    let sdfg_omen = omen_volume_expr().eval(&b);
+    let model_omen = omen_volume(&p, procs);
+    let ratio = sdfg_omen / model_omen;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "OMEN volumes diverge: SDFG {sdfg_omen:e} vs model {model_omen:e}"
+    );
+}
+
+#[test]
+fn measured_dace_volume_bounded_by_model() {
+    // The analytic model over-approximates the halo (c ≈ Nb); the
+    // measured executor must stay at or below it (after matching units).
+    let dev = tiny_device();
+    let prob = SseProblem::new(&dev, 2, 10, 2, 3, 1.0, 1.0);
+    let (gl, gg, dl, dg) = random_inputs(&prob, 11);
+    let grid = OmenGrid::new(2, 3, prob.nk, prob.ne);
+    let tiling = DaceTiling::new(3, 2, prob.na(), prob.ne);
+    let (_, ledger) = run_dace_plan(&prob, &gl, &gg, &dl, &dg, &grid, &tiling);
+    let p = SimParams {
+        na: prob.na(),
+        nb: dev.max_neighbors(),
+        norb: prob.norb(),
+        n3d: 3,
+        nk: prob.nk,
+        nq: prob.nq,
+        ne: prob.ne,
+        nw: prob.nw,
+        bnum: dev.bnum(),
+        bc_block_ops: 1.0,
+    };
+    let model = dace_volume_with(&p, 3, 2);
+    let measured = ledger.total_bytes() as f64;
+    assert!(
+        measured < 1.5 * model,
+        "measured {measured:.0} B should not exceed the conservative model {model:.0} B by much"
+    );
+}
