@@ -9,10 +9,19 @@ fn main() {
     let w = [10, 18, 18, 16];
     header(&["Kernel", "OI [flop/byte]", "Attainable", "Regime"], &w);
     for k in &ks {
-        row(&[k.name.into(),
-            format!("{:.2}", k.intensity),
-            format!("{:.2} Tflop/s", attainable(&V100, k, true) / 1e12),
-            if is_compute_bound(&V100, k, true) { "compute-bound".into() } else { "memory-bound".into() }], &w);
+        row(
+            &[
+                k.name.into(),
+                format!("{:.2}", k.intensity),
+                format!("{:.2} Tflop/s", attainable(&V100, k, true) / 1e12),
+                if is_compute_bound(&V100, k, true) {
+                    "compute-bound".into()
+                } else {
+                    "memory-bound".into()
+                },
+            ],
+            &w,
+        );
     }
     println!("\npaper: RGF on the DP compute ceiling; SSE-64 on the L2 bandwidth slope;");
     println!("       SSE-16 gains from 4x smaller elements but stays bandwidth-limited");

@@ -8,33 +8,56 @@ fn main() {
     cfg.coupling = 0.01;
     cfg.mu_source = 0.4;
     cfg.max_iterations = 10;
-    let mut sim = Simulation::new(cfg);
+    let mut sim = Simulation::new(cfg).expect("valid config");
     let result = sim.run();
     let report = electro_thermal_report(&sim, &result);
 
-    println!("converged current: {:.6e} (profile spread {:.1e}) after {} iterations\n",
-        result.current(), result.current_nonuniformity(), result.records.len());
+    println!(
+        "converged current: {:.6e} (profile spread {:.1e}) after {} iterations\n",
+        result.current(),
+        result.current_nonuniformity(),
+        result.records.len()
+    );
 
     println!("x [nm]   I(x)        J_E^el       J_E^ph       J_E^total    T_slab [K]");
     for n in 0..report.x.len() {
-        println!("{:6.2}  {:+.4e}  {:+.4e}  {:+.4e}  {:+.4e}   {:6.1}",
-            report.x[n], report.current_profile[n],
-            report.electron_energy_current[n], report.phonon_energy_current[n],
-            report.total_energy_current[n], report.temperature_profile[n]);
+        println!(
+            "{:6.2}  {:+.4e}  {:+.4e}  {:+.4e}  {:+.4e}   {:6.1}",
+            report.x[n],
+            report.current_profile[n],
+            report.electron_energy_current[n],
+            report.phonon_energy_current[n],
+            report.total_energy_current[n],
+            report.temperature_profile[n]
+        );
     }
-    println!("\ncontact T = {:.1} K, peak lattice T = {:.1} K (self-heating ΔT = {:.2} K)",
-        report.contact_temperature, report.t_max(),
-        report.t_max() - report.contact_temperature);
-    println!("energy-conservation error (total flatness): {:.2e}", report.energy_conservation_error());
+    println!(
+        "\ncontact T = {:.1} K, peak lattice T = {:.1} K (self-heating ΔT = {:.2} K)",
+        report.contact_temperature,
+        report.t_max(),
+        report.t_max() - report.contact_temperature
+    );
+    println!(
+        "energy-conservation error (total flatness): {:.2e}",
+        report.energy_conservation_error()
+    );
 
     // Spectral current map: coarse ASCII of j(E, x).
     println!("\nspectral current map (rows: E; cols: interface; '#' strong, '.' weak):");
-    let maxj = report.spectral_current.iter().flatten().cloned().fold(0.0f64, |a, b| a.max(b.abs()));
+    let maxj = report
+        .spectral_current
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(0.0f64, |a, b| a.max(b.abs()));
     for (ie, rowv) in report.spectral_current.iter().enumerate().step_by(4) {
-        let line: String = rowv.iter().map(|&j| {
-            let r = (j.abs() / maxj.max(1e-300) * 4.0) as usize;
-            [' ', '.', ':', '+', '#'][r.min(4)]
-        }).collect();
+        let line: String = rowv
+            .iter()
+            .map(|&j| {
+                let r = (j.abs() / maxj.max(1e-300) * 4.0) as usize;
+                [' ', '.', ':', '+', '#'][r.min(4)]
+            })
+            .collect();
         println!("  E[{ie:>3}] |{line}|");
     }
     println!("\npaper: heat generated near the channel end propagates to both contacts;");

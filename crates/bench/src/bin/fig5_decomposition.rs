@@ -16,16 +16,29 @@ fn main() {
     let procs = 1792.0;
     let (ta, te) = omen_perf::dace_best_tiling(&p, 1792);
     let b = bindings(&[
-        ("Nkz", 7.0), ("Nqz", 7.0), ("NE", 706.0), ("Nw", 70.0),
-        ("Na", 4864.0), ("Nb", 34.0), ("Norb", 12.0), ("N3D", 3.0),
-        ("tE", 706.0 / (procs / 7.0)), ("Ta", ta as f64), ("TE", te as f64),
+        ("Nkz", 7.0),
+        ("Nqz", 7.0),
+        ("NE", 706.0),
+        ("Nw", 70.0),
+        ("Na", 4864.0),
+        ("Nb", 34.0),
+        ("Norb", 12.0),
+        ("N3D", 3.0),
+        ("tE", 706.0 / (procs / 7.0)),
+        ("Ta", ta as f64),
+        ("TE", te as f64),
     ]);
     let tib = (1u64 << 40) as f64;
     println!("evaluated at Small/Nkz=7/P=1792 (Ta={ta}, TE={te}):");
     println!("  SDFG OMEN G-volume:  {:.1} TiB", omen_expr.eval(&b) / tib);
     println!("  SDFG DaCe volume:    {:.2} TiB", dace_expr.eval(&b) / tib);
-    println!("  analytic model:      {:.1} / {:.2} TiB (omen-perf)",
-        omen_perf::omen_volume(&p, 1792) / tib, omen_perf::dace_volume(&p, 1792) / tib);
-    println!("  MPI invocations:     OMEN O(9 Nw Nqz NE/tE) = {:.0}; DaCe = 4 (constant)",
-        omen_perf::omen_invocations(&p, (706.0 / (procs / 7.0)) as usize));
+    println!(
+        "  analytic model:      {:.1} / {:.2} TiB (omen-perf)",
+        omen_perf::omen_volume(&p, 1792) / tib,
+        omen_perf::dace_volume(&p, 1792) / tib
+    );
+    println!(
+        "  MPI invocations:     OMEN O(9 Nw Nqz NE/tE) = {:.0}; DaCe = 4 (constant)",
+        omen_perf::omen_invocations(&p, (706.0 / (procs / 7.0)) as usize)
+    );
 }

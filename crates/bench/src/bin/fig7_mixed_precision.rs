@@ -12,17 +12,28 @@ fn main() {
     cfg.tolerance = 1e-9;
 
     // (a) output value distribution of Σ< (real/imaginary planes).
-    let mut sim = Simulation::new(cfg.clone());
+    let sim = Simulation::new(cfg.clone()).expect("valid config");
     let (gl, gg, dl, dg, _, _) = sim.gf_phase();
     let out = sim.sse_phase(&gl, &gg, &dl, &dg);
     let sl = out.sigma_l.to_layout(omen_sse::GLayout::PairMajor);
     for (plane, vals) in [
-        ("Sigma< (real)", omen_linalg::norms::real_plane(sl.as_slice())),
-        ("Sigma< (imaginary)", omen_linalg::norms::imag_plane(sl.as_slice())),
+        (
+            "Sigma< (real)",
+            omen_linalg::norms::real_plane(sl.as_slice()),
+        ),
+        (
+            "Sigma< (imaginary)",
+            omen_linalg::norms::imag_plane(sl.as_slice()),
+        ),
     ] {
         let d = magnitude_distribution(&vals);
-        println!("(a) {plane}: {} nonzero values spanning 1e{} .. 1e{} ({} decades)",
-            d.nonzeros, d.decade_lo, d.decade_lo + d.counts.len() as i32 - 1, d.counts.len());
+        println!(
+            "(a) {plane}: {} nonzero values spanning 1e{} .. 1e{} ({} decades)",
+            d.nonzeros,
+            d.decade_lo,
+            d.decade_lo + d.counts.len() as i32 - 1,
+            d.counts.len()
+        );
     }
     println!("    paper: values span ~1e-21 .. 1e-1 — far beyond binary16's 12-decade range\n");
 
@@ -30,21 +41,31 @@ fn main() {
     let run = |kernel: KernelVariant| -> Vec<f64> {
         let mut c = cfg.clone();
         c.kernel = kernel;
-        Simulation::new(c).run().current_history()
+        Simulation::new(c)
+            .expect("valid config")
+            .run()
+            .current_history()
     };
     let h64 = run(KernelVariant::Transformed);
     let h16 = run(KernelVariant::Mixed(Normalization::PerTensor));
     let h16raw = run(KernelVariant::Mixed(Normalization::None));
     println!("(b) iteration, I(64-bit), I(16-bit norm), I(16-bit raw), relerr(norm), relerr(raw)");
     for i in 0..h64.len().min(h16.len()).min(h16raw.len()) {
-        println!("  {:>2}  {:.8e}  {:.8e}  {:.8e}   {:.2e}   {:.2e}",
-            i + 1, h64[i], h16[i], h16raw[i],
+        println!(
+            "  {:>2}  {:.8e}  {:.8e}  {:.8e}   {:.2e}   {:.2e}",
+            i + 1,
+            h64[i],
+            h16[i],
+            h16raw[i],
             ((h16[i] - h64[i]) / h64[i]).abs(),
-            ((h16raw[i] - h64[i]) / h64[i]).abs());
+            ((h16raw[i] - h64[i]) / h64[i]).abs()
+        );
     }
     let last = h64.len() - 1;
-    println!("\nconverged relative difference: normalized {:.2e}, unnormalized {:.2e}",
-        ((h16[h16.len()-1] - h64[last]) / h64[last]).abs(),
-        ((h16raw[h16raw.len()-1] - h64[last]) / h64[last]).abs());
+    println!(
+        "\nconverged relative difference: normalized {:.2e}, unnormalized {:.2e}",
+        ((h16[h16.len() - 1] - h64[last]) / h64[last]).abs(),
+        ((h16raw[h16raw.len() - 1] - h64[last]) / h64[last]).abs()
+    );
     println!("paper: 1.2e-6 with normalization, 3e-3 without");
 }

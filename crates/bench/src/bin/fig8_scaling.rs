@@ -11,26 +11,83 @@ fn main() {
     println!("Fig. 8: DaCe OMEN simulation scalability (model)\n");
     let w = [8, 6, 14, 14, 14, 14, 10, 10];
     for (machine, strong_gpus, weak_pts) in [
-        (MachineSpec::piz_daint(), vec![112usize, 300, 1000, 2000, 5300],
-         vec![(3usize, 384usize), (5, 640), (7, 896), (9, 1152), (11, 1408)]),
-        (MachineSpec::summit(), vec![114, 342, 684, 1368],
-         vec![(3, 396), (5, 660), (7, 924), (9, 1188), (11, 1452)]),
+        (
+            MachineSpec::piz_daint(),
+            vec![112usize, 300, 1000, 2000, 5300],
+            vec![
+                (3usize, 384usize),
+                (5, 640),
+                (7, 896),
+                (9, 1152),
+                (11, 1408),
+            ],
+        ),
+        (
+            MachineSpec::summit(),
+            vec![114, 342, 684, 1368],
+            vec![(3, 396), (5, 660), (7, 924), (9, 1188), (11, 1452)],
+        ),
     ] {
         println!("== {} strong scaling (Small, Nkz=7) ==", machine.name);
-        header(&["GPUs", "Nkz", "OMEN comp", "OMEN comm", "DaCe comp", "DaCe comm", "speedup", "comm x"], &w);
+        header(
+            &[
+                "GPUs",
+                "Nkz",
+                "OMEN comp",
+                "OMEN comm",
+                "DaCe comp",
+                "DaCe comm",
+                "speedup",
+                "comm x",
+            ],
+            &w,
+        );
         for p in fig8_strong(&machine, &strong_gpus) {
-            row(&[p.gpus.to_string(), p.nk.to_string(),
-                format!("{:.0}", p.omen_comp), format!("{:.0}", p.omen_comm),
-                format!("{:.1}", p.dace_comp), format!("{:.2}", p.dace_comm),
-                format!("{:.0}x", p.speedup()), format!("{:.0}x", p.comm_improvement())], &w);
+            row(
+                &[
+                    p.gpus.to_string(),
+                    p.nk.to_string(),
+                    format!("{:.0}", p.omen_comp),
+                    format!("{:.0}", p.omen_comm),
+                    format!("{:.1}", p.dace_comp),
+                    format!("{:.2}", p.dace_comm),
+                    format!("{:.0}x", p.speedup()),
+                    format!("{:.0}x", p.comm_improvement()),
+                ],
+                &w,
+            );
         }
-        println!("\n== {} weak scaling (Nkz grows with machine) ==", machine.name);
-        header(&["GPUs", "Nkz", "OMEN comp", "OMEN comm", "DaCe comp", "DaCe comm", "speedup", "comm x"], &w);
+        println!(
+            "\n== {} weak scaling (Nkz grows with machine) ==",
+            machine.name
+        );
+        header(
+            &[
+                "GPUs",
+                "Nkz",
+                "OMEN comp",
+                "OMEN comm",
+                "DaCe comp",
+                "DaCe comm",
+                "speedup",
+                "comm x",
+            ],
+            &w,
+        );
         for p in fig8_weak(&machine, &weak_pts) {
-            row(&[p.gpus.to_string(), p.nk.to_string(),
-                format!("{:.0}", p.omen_comp), format!("{:.0}", p.omen_comm),
-                format!("{:.1}", p.dace_comp), format!("{:.2}", p.dace_comm),
-                format!("{:.0}x", p.speedup()), format!("{:.0}x", p.comm_improvement())], &w);
+            row(
+                &[
+                    p.gpus.to_string(),
+                    p.nk.to_string(),
+                    format!("{:.0}", p.omen_comp),
+                    format!("{:.0}", p.omen_comm),
+                    format!("{:.1}", p.dace_comp),
+                    format!("{:.2}", p.dace_comm),
+                    format!("{:.0}x", p.speedup()),
+                    format!("{:.0}x", p.comm_improvement()),
+                ],
+                &w,
+            );
         }
         println!();
     }
@@ -45,9 +102,19 @@ fn main() {
     let tiling = DaceTiling::new(3, 2, prob.na(), prob.ne);
     let (_, lo) = run_omen_plan(&prob, &gl, &gg, &dl, &dg, &grid);
     let (_, ld) = run_dace_plan(&prob, &gl, &gg, &dl, &dg, &grid, &tiling);
-    println!("  OMEN: {} bytes in {} MPI calls", lo.total_bytes(), lo.total_calls());
-    println!("  DaCe: {} bytes in {} MPI calls (4 Alltoallv)", ld.total_bytes(), ld.total_calls());
-    println!("  measured reduction: {:.1}x volume, {:.0}x calls",
+    println!(
+        "  OMEN: {} bytes in {} MPI calls",
+        lo.total_bytes(),
+        lo.total_calls()
+    );
+    println!(
+        "  DaCe: {} bytes in {} MPI calls (4 Alltoallv)",
+        ld.total_bytes(),
+        ld.total_calls()
+    );
+    println!(
+        "  measured reduction: {:.1}x volume, {:.0}x calls",
         lo.total_bytes() as f64 / ld.total_bytes() as f64,
-        lo.total_calls() as f64 / ld.total_calls() as f64);
+        lo.total_calls() as f64 / ld.total_calls() as f64
+    );
 }

@@ -4,15 +4,32 @@ use omen_bench::{header, row};
 fn main() {
     println!("Fig. 9: Strong scaling on Summit, Large structure (model)\n");
     let w = [8, 12, 12, 14, 12, 10];
-    header(&["GPUs", "NoCache", "Cache BC", "Cache BC+Spec", "Mixed", "% HPL"], &w);
+    header(
+        &[
+            "GPUs",
+            "NoCache",
+            "Cache BC",
+            "Cache BC+Spec",
+            "Mixed",
+            "% HPL",
+        ],
+        &w,
+    );
     for p in omen_perf::fig9(&[3_420, 6_840, 13_680, 27_360]) {
-        row(&[p.gpus.to_string(),
-            format!("{:.2}", p.pflops_nocache),
-            format!("{:.2}", p.pflops_cache_bc),
-            format!("{:.2}", p.pflops_cache_all),
-            format!("{:.2}", p.pflops_mixed),
-            format!("{:.0}%", p.hpl_fraction * 100.0)], &w);
+        row(
+            &[
+                p.gpus.to_string(),
+                format!("{:.2}", p.pflops_nocache),
+                format!("{:.2}", p.pflops_cache_bc),
+                format!("{:.2}", p.pflops_cache_all),
+                format!("{:.2}", p.pflops_mixed),
+                format!("{:.0}%", p.hpl_fraction * 100.0),
+            ],
+            &w,
+        );
     }
     println!("\n(all columns in Pflop/s, double precision except Mixed)");
-    println!("paper: 11.53 [63%], 28.23 [77%], 47.31 [64%], 86.26 [59%]; mixed 91.68 at full scale");
+    println!(
+        "paper: 11.53 [63%], 28.23 [77%], 47.31 [64%], 86.26 [59%]; mixed 91.68 at full scale"
+    );
 }

@@ -2,18 +2,47 @@
 use omen_bench::{header, row};
 
 fn main() {
-    println!("Table 11: Full-Scale 10,240 Atom Run Breakdown (model, 27,360 GPUs, 50 iterations)\n");
+    println!(
+        "Table 11: Full-Scale 10,240 Atom Run Breakdown (model, 27,360 GPUs, 50 iterations)\n"
+    );
     let m = omen_perf::table11(27_360, 50);
     let w = [30, 12];
     header(&["Phase", "Time [s]"], &w);
-    row(&["Data Ingestion (one-time)".into(), format!("{:.2}", m.ingestion)], &w);
-    row(&["Boundary Conditions (one-time)".into(), format!("{:.2}", m.bc)], &w);
+    row(
+        &[
+            "Data Ingestion (one-time)".into(),
+            format!("{:.2}", m.ingestion),
+        ],
+        &w,
+    );
+    row(
+        &[
+            "Boundary Conditions (one-time)".into(),
+            format!("{:.2}", m.bc),
+        ],
+        &w,
+    );
     row(&["GF".into(), format!("{:.2}", m.gf)], &w);
     row(&["SSE (double)".into(), format!("{:.2}", m.sse_double)], &w);
     row(&["SSE (mixed)".into(), format!("{:.2}", m.sse_mixed)], &w);
     row(&["Communication".into(), format!("{:.2}", m.comm)], &w);
-    row(&["Total (double, per iter)".into(), format!("{:.2}", m.total_double)], &w);
-    row(&["Total incl. I/O+BC amortized".into(), format!("{:.2}", m.total_with_io)], &w);
-    println!("\nsustained: {:.2} Pflop/s double, {:.2} Pflop/s mixed", m.pflops_double, m.pflops_mixed);
+    row(
+        &[
+            "Total (double, per iter)".into(),
+            format!("{:.2}", m.total_double),
+        ],
+        &w,
+    );
+    row(
+        &[
+            "Total incl. I/O+BC amortized".into(),
+            format!("{:.2}", m.total_with_io),
+        ],
+        &w,
+    );
+    println!(
+        "\nsustained: {:.2} Pflop/s double, {:.2} Pflop/s mixed",
+        m.pflops_double, m.pflops_mixed
+    );
     println!("paper: BC 30.51, GF 41.36, SSE 41.91/36.16, comm 11.50, total 94.77/96.00 s; 86.26/85.45 Pflop/s");
 }

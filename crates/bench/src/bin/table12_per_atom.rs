@@ -5,10 +5,29 @@ fn main() {
     println!("Table 12: Per-Atom Performance (model, 6,840 GPUs, Nkz=21, NE=1,220)\n");
     let m = omen_perf::table12();
     let w = [10, 8, 12, 16, 10];
-    header(&["Variant", "Na", "Time [s]", "Time/Atom [s]", "Speedup"], &w);
-    row(&["OMEN".into(), m.omen_na.to_string(), format!("{:.2}", m.omen_time),
-         format!("{:.4}", m.omen_time_per_atom()), "1.0x".into()], &w);
-    row(&["DaCe".into(), m.dace_na.to_string(), format!("{:.2}", m.dace_time),
-         format!("{:.4}", m.dace_time_per_atom()), format!("{:.1}x", m.speedup())], &w);
+    header(
+        &["Variant", "Na", "Time [s]", "Time/Atom [s]", "Speedup"],
+        &w,
+    );
+    row(
+        &[
+            "OMEN".into(),
+            m.omen_na.to_string(),
+            format!("{:.2}", m.omen_time),
+            format!("{:.4}", m.omen_time_per_atom()),
+            "1.0x".into(),
+        ],
+        &w,
+    );
+    row(
+        &[
+            "DaCe".into(),
+            m.dace_na.to_string(),
+            format!("{:.2}", m.dace_time),
+            format!("{:.4}", m.dace_time_per_atom()),
+            format!("{:.1}x", m.speedup()),
+        ],
+        &w,
+    );
     println!("\npaper: OMEN 1,064 atoms 4,695.70 s (4.413 s/atom); DaCe 10,240 atoms 333.36 s (0.033 s/atom) = 140.9x");
 }

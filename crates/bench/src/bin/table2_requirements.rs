@@ -6,6 +6,9 @@ fn main() {
     let w = [10, 52, 10];
     header(&["Variable", "Description", "Value"], &w);
     for r in omen_perf::table2_requirements() {
-        row(&[r.variable.into(), r.description.into(), r.value.into()], &w);
+        row(
+            &[r.variable.into(), r.description.into(), r.value.into()],
+            &w,
+        );
     }
 }

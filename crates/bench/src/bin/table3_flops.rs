@@ -8,16 +8,22 @@ use omen_sse::{sse_reference, sse_transformed, GLayout, SseProblem};
 fn main() {
     println!("Table 3: Single Iteration Computational Load (Pflop), Small structure\n");
     let w = [6, 12, 12, 14, 14, 12];
-    header(&["Nkz", "BC", "RGF", "SSE(OMEN)", "SSE(DaCe)", "DaCe/OMEN"], &w);
+    header(
+        &["Nkz", "BC", "RGF", "SSE(OMEN)", "SSE(DaCe)", "DaCe/OMEN"],
+        &w,
+    );
     for r in omen_perf::table3(&[3, 5, 7, 9, 11]) {
-        row(&[
-            r.nk.to_string(),
-            format!("{:.2}", r.bc / 1e15),
-            format!("{:.2}", r.rgf / 1e15),
-            format!("{:.2}", r.sse_omen / 1e15),
-            format!("{:.2}", r.sse_dace / 1e15),
-            format!("{:.3}", r.sse_dace / r.sse_omen),
-        ], &w);
+        row(
+            &[
+                r.nk.to_string(),
+                format!("{:.2}", r.bc / 1e15),
+                format!("{:.2}", r.rgf / 1e15),
+                format!("{:.2}", r.sse_omen / 1e15),
+                format!("{:.2}", r.sse_dace / 1e15),
+                format!("{:.3}", r.sse_dace / r.sse_omen),
+            ],
+            &w,
+        );
     }
     println!("\npaper:  Nkz=3: 8.45 / 52.95 / 24.41 / 12.38 … Nkz=11: 31.06 / 194.15 / 328.15 / 164.71\n");
 

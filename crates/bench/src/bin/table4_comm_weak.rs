@@ -6,13 +6,16 @@ fn main() {
     let w = [6, 10, 12, 12, 12];
     header(&["Nkz", "Procs", "OMEN", "DaCe", "Reduction"], &w);
     for r in omen_perf::table4() {
-        row(&[
-            r.nk.to_string(),
-            r.nprocs.to_string(),
-            tib(r.omen),
-            tib(r.dace),
-            format!("{:.0}x", r.reduction()),
-        ], &w);
+        row(
+            &[
+                r.nk.to_string(),
+                r.nprocs.to_string(),
+                tib(r.omen),
+                tib(r.dace),
+                format!("{:.0}x", r.reduction()),
+            ],
+            &w,
+        );
     }
     println!("\npaper OMEN: 32.11 / 89.18 / 174.80 / 288.95 / 431.65");
     println!("paper DaCe: 0.54 [59x] / 1.22 [73x] / 2.17 [81x] / 3.38 [85x] / 4.86 [89x]");

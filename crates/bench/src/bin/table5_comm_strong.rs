@@ -6,12 +6,15 @@ fn main() {
     let w = [10, 12, 12, 12];
     header(&["Procs", "OMEN", "DaCe", "Reduction"], &w);
     for r in omen_perf::table5() {
-        row(&[
-            r.nprocs.to_string(),
-            tib(r.omen),
-            tib(r.dace),
-            format!("{:.0}x", r.reduction()),
-        ], &w);
+        row(
+            &[
+                r.nprocs.to_string(),
+                tib(r.omen),
+                tib(r.dace),
+                format!("{:.0}x", r.reduction()),
+            ],
+            &w,
+        );
     }
     println!("\npaper OMEN: 108.24 / 117.75 / 136.76 / 174.80 / 212.84");
     println!("paper DaCe: 0.95 [114x] / 1.13 [104x] / 1.48 [92x] / 2.17 [80x] / 2.87 [74x]");

@@ -11,7 +11,9 @@ fn main() {
     let nk = 2usize;
     let ne = 24usize;
     let kzs: Vec<f64> = (0..nk).map(|i| i as f64).collect();
-    let es: Vec<f64> = (0..ne).map(|i| -0.8 + 1.6 * i as f64 / (ne - 1) as f64).collect();
+    let es: Vec<f64> = (0..ne)
+        .map(|i| -0.8 + 1.6 * i as f64 / (ne - 1) as f64)
+        .collect();
     let run_with = |threads: usize| -> f64 {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
@@ -35,17 +37,26 @@ fn main() {
             })
         })
     };
-    let auto = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+    let auto = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
     let w = [12, 12, 10];
     header(&["Streams", "Time [s]", "Speedup"], &w);
     let base = run_with(1);
     for &t in &[1usize, 2, 4, 16, auto] {
         let time = if t == 1 { base } else { run_with(t) };
-        row(&[
-            if t == auto { format!("auto ({t})") } else { t.to_string() },
-            format!("{time:.3}"),
-            format!("{:.2}x", base / time),
-        ], &w);
+        row(
+            &[
+                if t == auto {
+                    format!("auto ({t})")
+                } else {
+                    t.to_string()
+                },
+                format!("{time:.3}"),
+                format!("{:.2}x", base / time),
+            ],
+            &w,
+        );
     }
     println!("\npaper (Summit): 10.07 / 9.94 / 9.86 / 9.61 / 9.32 s for 1/2/4/16/auto(32)");
 }

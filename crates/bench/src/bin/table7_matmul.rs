@@ -11,7 +11,10 @@ fn main() {
     let (sp, dn) = rgf_like_blocks(n, density, 7);
     let csr = CsrMatrix::from_dense(&sp, 0.0);
     let csc = CscMatrix::from_dense(&sp, 0.0);
-    println!("block {n}x{n}, sparse density {:.1}%\n", csr.density() * 100.0);
+    println!(
+        "block {n}x{n}, sparse density {:.1}%\n",
+        csr.density() * 100.0
+    );
     let mut c = CMatrix::zeros(n, n);
     let reps = 5;
     let w = [10, 12, 12, 12, 12];
@@ -27,16 +30,49 @@ fn main() {
             gemm_times.push(format!("{:.3}", t * 1e3));
         }
     }
-    row(&["GEMM".into(), gemm_times[0].clone(), gemm_times[1].clone(), gemm_times[2].clone(), gemm_times[3].clone()], &w);
+    row(
+        &[
+            "GEMM".into(),
+            gemm_times[0].clone(),
+            gemm_times[1].clone(),
+            gemm_times[2].clone(),
+            gemm_times[3].clone(),
+        ],
+        &w,
+    );
 
     // CSRMM2 supports NN, NT (sparse op), TN — mirror the library matrix.
-    let t_nn = timed_min(reps, || csrmm(C64::ONE, &csr, Op::N, &dn, C64::ZERO, &mut c));
-    let t_tn = timed_min(reps, || csrmm(C64::ONE, &csr, Op::T, &dn, C64::ZERO, &mut c));
-    row(&["CSRMM2".into(), format!("{:.3}", t_nn * 1e3), format!("{:.3}", t_nn * 1e3), format!("{:.3}", t_tn * 1e3), "—".into()], &w);
+    let t_nn = timed_min(reps, || {
+        csrmm(C64::ONE, &csr, Op::N, &dn, C64::ZERO, &mut c)
+    });
+    let t_tn = timed_min(reps, || {
+        csrmm(C64::ONE, &csr, Op::T, &dn, C64::ZERO, &mut c)
+    });
+    row(
+        &[
+            "CSRMM2".into(),
+            format!("{:.3}", t_nn * 1e3),
+            format!("{:.3}", t_nn * 1e3),
+            format!("{:.3}", t_tn * 1e3),
+            "—".into(),
+        ],
+        &w,
+    );
 
     let t_gi = timed_min(reps, || gemmi(C64::ONE, &dn, &csc, C64::ZERO, &mut c));
-    row(&["GEMMI".into(), format!("{:.3}", t_gi * 1e3), "—".into(), "—".into(), "—".into()], &w);
+    row(
+        &[
+            "GEMMI".into(),
+            format!("{:.3}", t_gi * 1e3),
+            "—".into(),
+            "—".into(),
+            "—".into(),
+        ],
+        &w,
+    );
 
     println!("\npaper (V100): GEMM 58.4 ms everywhere; CSRMM2 8.2/6.1/52.7 ms; GEMMI 15.2 ms");
-    println!("shape target: CSRMM2 NN/NT beat dense GEMM by ~7-10x; TN much slower; GEMMI in between");
+    println!(
+        "shape target: CSRMM2 NN/NT beat dense GEMM by ~7-10x; TN much slower; GEMMI in between"
+    );
 }

@@ -12,7 +12,12 @@ fn main() {
     let batch = 4096;
     let mk = |seed: usize| -> Vec<C64> {
         (0..batch * s.a)
-            .map(|i| omen_linalg::c64(((i * 7 + seed) as f64).sin() * 1e-3, ((i * 3) as f64).cos() * 1e-3))
+            .map(|i| {
+                omen_linalg::c64(
+                    ((i * 7 + seed) as f64).sin() * 1e-3,
+                    ((i * 3) as f64).cos() * 1e-3,
+                )
+            })
             .collect()
     };
     let a = mk(1);
@@ -37,10 +42,39 @@ fn main() {
     let w = [24, 12, 16, 14];
     header(&["Kernel", "Time [ms]", "Useful Gflop/s", "vs padded"], &w);
     let performed_pad = omen_linalg::batched::padded_flops(16, batch) as f64;
-    row(&["padded batched (cuBLAS-like)".into(), format!("{:.3}", t_pad * 1e3), format!("{:.2}", useful / t_pad / 1e9), "1.00x".into()], &w);
-    row(&["SBSMM (specialized)".into(), format!("{:.3}", t_spec * 1e3), format!("{:.2}", useful / t_spec / 1e9), format!("{:.2}x", t_pad / t_spec)], &w);
-    row(&["SBSMM-16 (split-complex)".into(), format!("{:.3}", t_f16 * 1e3), format!("{:.2}", useful / t_f16 / 1e9), format!("{:.2}x", t_pad / t_f16)], &w);
-    println!("\nuseful fraction of the padded kernel: {:.1}% (paper: ~6-7% useful on cuBLAS)", useful / performed_pad * 100.0);
-    println!("paper (V100): cuBLAS 4.62 ms vs SBSMM 0.70 ms (5.76x); Tensor-Core f16 0.13 ms (31x)");
+    row(
+        &[
+            "padded batched (cuBLAS-like)".into(),
+            format!("{:.3}", t_pad * 1e3),
+            format!("{:.2}", useful / t_pad / 1e9),
+            "1.00x".into(),
+        ],
+        &w,
+    );
+    row(
+        &[
+            "SBSMM (specialized)".into(),
+            format!("{:.3}", t_spec * 1e3),
+            format!("{:.2}", useful / t_spec / 1e9),
+            format!("{:.2}x", t_pad / t_spec),
+        ],
+        &w,
+    );
+    row(
+        &[
+            "SBSMM-16 (split-complex)".into(),
+            format!("{:.3}", t_f16 * 1e3),
+            format!("{:.2}", useful / t_f16 / 1e9),
+            format!("{:.2}x", t_pad / t_f16),
+        ],
+        &w,
+    );
+    println!(
+        "\nuseful fraction of the padded kernel: {:.1}% (paper: ~6-7% useful on cuBLAS)",
+        useful / performed_pad * 100.0
+    );
+    println!(
+        "paper (V100): cuBLAS 4.62 ms vs SBSMM 0.70 ms (5.76x); Tensor-Core f16 0.13 ms (31x)"
+    );
     println!("shape target: specialized beats padded by the padding ratio; f16 emulation trades storage, not speed, on CPU");
 }

@@ -18,7 +18,10 @@ pub fn row(cells: &[String], widths: &[usize]) {
 
 /// Prints a header row plus separator.
 pub fn header(cells: &[&str], widths: &[usize]) {
-    row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    row(
+        &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
     let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
     println!("{}", "-".repeat(total));
 }
@@ -90,15 +93,19 @@ pub fn sse_eager(
                             let kk = prob.k_minus_q(k, q);
                             for e in 0..prob.ne {
                                 if e >= steps {
-                                    let t = mul(&mul(&gi, &to_mat(g_l.block(kk, e - steps, b))), &c_l);
+                                    let t =
+                                        mul(&mul(&gi, &to_mat(g_l.block(kk, e - steps, b))), &c_l);
                                     accum(sigma_l.block_mut(k, e, a), &t);
-                                    let t = mul(&mul(&gi, &to_mat(g_g.block(kk, e - steps, b))), &c_g);
+                                    let t =
+                                        mul(&mul(&gi, &to_mat(g_g.block(kk, e - steps, b))), &c_g);
                                     accum(sigma_g.block_mut(k, e, a), &t);
                                 }
                                 if e + steps < prob.ne {
-                                    let t = mul(&mul(&gi, &to_mat(g_l.block(kk, e + steps, b))), &c_g);
+                                    let t =
+                                        mul(&mul(&gi, &to_mat(g_l.block(kk, e + steps, b))), &c_g);
                                     accum(sigma_l.block_mut(k, e, a), &t);
-                                    let t = mul(&mul(&gi, &to_mat(g_g.block(kk, e + steps, b))), &c_l);
+                                    let t =
+                                        mul(&mul(&gi, &to_mat(g_g.block(kk, e + steps, b))), &c_l);
                                     accum(sigma_g.block_mut(k, e, a), &t);
                                 }
                             }
@@ -144,8 +151,8 @@ pub fn rgf_like_blocks(n: usize, density: f64, seed: u64) -> (CMatrix, CMatrix) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use omen_sse::testutil::{random_inputs, tiny_device, tiny_problem};
     use omen_sse::sse_reference;
+    use omen_sse::testutil::{random_inputs, tiny_device, tiny_problem};
 
     #[test]
     fn eager_matches_reference() {
@@ -167,7 +174,9 @@ mod tests {
         assert_eq!(s.shape(), (8, 8));
         assert!(s.as_slice().iter().filter(|z| z.abs() > 0.0).count() < 40);
         assert!(d.max_abs() > 0.0);
-        let t = timed_min(2, || { std::hint::black_box(1 + 1); });
+        let t = timed_min(2, || {
+            std::hint::black_box(1 + 1);
+        });
         assert!(t >= 0.0);
     }
 }

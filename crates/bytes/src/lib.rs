@@ -1,0 +1,224 @@
+//! A minimal, dependency-free stand-in for the `bytes` crate.
+//!
+//! The workspace builds without crates.io access, so this crate vendors
+//! the subset the material-file format (`omen-device::ingest`) uses:
+//! [`BytesMut`] with little-endian `put_*` writers, [`Bytes`] as a frozen
+//! read-only buffer, and the [`Buf`] reader trait for `&[u8]` with
+//! advancing `get_*` accessors. Byte layouts match the real crate exactly
+//! (little-endian, no padding), so files serialized here parse with the
+//! real `bytes` and vice versa.
+
+use std::ops::Deref;
+
+/// A frozen, read-only byte buffer (shim: an owned `Vec<u8>`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+
+    /// Byte length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data }
+    }
+}
+
+/// A growable byte buffer with little-endian writers.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Byte length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Writer trait: appends fixed-width values (shim of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends one signed byte.
+    fn put_i8(&mut self, v: i8) {
+        self.put_slice(&[v as u8]);
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Reader trait: consumes fixed-width values from the front (shim of
+/// `bytes::Buf`).
+///
+/// # Panics
+///
+/// Like the real crate, `get_*` panics when fewer bytes remain than the
+/// value needs — callers bounds-check with [`Buf::remaining`] first.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Consumes `n` bytes, returning them.
+    fn take_bytes(&mut self, n: usize) -> &[u8];
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_bytes(1)[0]
+    }
+
+    /// Reads one signed byte.
+    fn get_i8(&mut self) -> i8 {
+        self.take_bytes(1)[0] as i8
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_bytes(8).try_into().unwrap())
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take_bytes(8).try_into().unwrap())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_bytes(&mut self, n: usize) -> &[u8] {
+        let (head, tail) = self.split_at(n);
+        *self = tail;
+        head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_le_values() {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(0x0123_4567_89AB_CDEF);
+        buf.put_f64_le(-3.5);
+        buf.put_i8(-7);
+        let frozen = buf.freeze();
+        assert_eq!(frozen.len(), 17);
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_f64_le(), -3.5);
+        assert_eq!(r.get_i8(), -7);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn layout_is_little_endian() {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(1);
+        assert_eq!(&buf[..], &[1, 0, 0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn reader_advances() {
+        let mut r: &[u8] = &[1, 0, 2, 0];
+        assert_eq!(r.get_u8(), 1);
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(r.get_u8(), 0);
+        assert_eq!(r.get_u8(), 2);
+        assert_eq!(r.remaining(), 1);
+    }
+}

@@ -1,0 +1,15 @@
+//! A minimal, dependency-free stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel::unbounded` MPSC subset used by the simulated MPI
+//! runtime is provided, backed by `std::sync::mpsc` (whose unbounded
+//! channel has the same send/recv semantics for this use).
+
+/// Unbounded channels (shim of `crossbeam::channel`).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}

@@ -326,7 +326,7 @@ pub fn run_dace_plan(
             }
             assert_eq!(off, buf.len(), "Π unpack mismatch from rank {s}");
         }
-        let pi_out: Vec<((usize, usize), Vec<C64>, Vec<C64>)> = my_phonon_points
+        let pi_out: crate::plan_common::RankRows = my_phonon_points
             .iter()
             .map(|&(q, m)| {
                 let row_l: Vec<C64> = (0..nentries)
@@ -356,8 +356,8 @@ mod tests {
     use super::*;
     use crate::omen_plan::run_omen_plan;
     use crate::volume::OpKind;
-    use omen_sse::testutil::{random_inputs, tiny_device};
     use omen_sse::sse_reference;
+    use omen_sse::testutil::{random_inputs, tiny_device};
 
     #[test]
     fn dace_plan_matches_reference() {
@@ -375,11 +375,9 @@ mod tests {
         let dsg = result.sigma_g.max_deviation(&reference.sigma_g)
             / reference.sigma_g.max_abs().max(1e-300);
         assert!(dsg < 1e-10, "Σ> deviation {dsg}");
-        let dp =
-            result.pi_l.max_deviation(&reference.pi_l) / reference.pi_l.max_abs().max(1e-300);
+        let dp = result.pi_l.max_deviation(&reference.pi_l) / reference.pi_l.max_abs().max(1e-300);
         assert!(dp < 1e-10, "Π< deviation {dp}");
-        let dpg =
-            result.pi_g.max_deviation(&reference.pi_g) / reference.pi_g.max_abs().max(1e-300);
+        let dpg = result.pi_g.max_deviation(&reference.pi_g) / reference.pi_g.max_abs().max(1e-300);
         assert!(dpg < 1e-10, "Π> deviation {dpg}");
 
         // Exactly four Alltoallv collectives, nothing else.
@@ -401,8 +399,8 @@ mod tests {
         let (res_o, ledger_o) = run_omen_plan(&prob, &gl, &gg, &dl, &dg, &grid);
         let (res_d, ledger_d) = run_dace_plan(&prob, &gl, &gg, &dl, &dg, &grid, &tiling);
         // Same answer…
-        let dev_sig = res_d.sigma_l.max_deviation(&res_o.sigma_l)
-            / res_o.sigma_l.max_abs().max(1e-300);
+        let dev_sig =
+            res_d.sigma_l.max_deviation(&res_o.sigma_l) / res_o.sigma_l.max_abs().max(1e-300);
         assert!(dev_sig < 1e-10);
         // …at a fraction of the traffic.
         let vo = ledger_o.total_bytes();

@@ -90,7 +90,8 @@ impl Comm {
 
     /// Barrier: gather-to-0 then release (payload-free).
     pub fn barrier(&self, tag: u64) {
-        self.ledger.record(OpKind::Barrier, self.rank, 0, self.rank == 0);
+        self.ledger
+            .record(OpKind::Barrier, self.rank, 0, self.rank == 0);
         if self.rank == 0 {
             for r in 1..self.size {
                 let _ = self.recv(r, tag);
@@ -110,7 +111,13 @@ impl Comm {
         if self.rank == root {
             for r in 0..self.size {
                 if r != root {
-                    self.send_kind(r, tag, data.clone(), OpKind::Bcast, r == (root + 1) % self.size);
+                    self.send_kind(
+                        r,
+                        tag,
+                        data.clone(),
+                        OpKind::Bcast,
+                        r == (root + 1) % self.size,
+                    );
                 }
             }
         } else {
@@ -120,7 +127,7 @@ impl Comm {
 
     /// Sum-reduction to `root` (each non-root sends its buffer: volume
     /// `(P−1)·n`).
-    pub fn reduce_sum(&self, root: usize, tag: u64, data: &mut Vec<C64>) {
+    pub fn reduce_sum(&self, root: usize, tag: u64, data: &mut [C64]) {
         if self.rank == root {
             for r in 0..self.size {
                 if r != root {
@@ -132,7 +139,13 @@ impl Comm {
                 }
             }
         } else {
-            self.send_kind(root, tag, data.clone(), OpKind::Reduce, self.rank == (root + 1) % self.size);
+            self.send_kind(
+                root,
+                tag,
+                data.to_vec(),
+                OpKind::Reduce,
+                self.rank == (root + 1) % self.size,
+            );
         }
     }
 
@@ -145,12 +158,18 @@ impl Comm {
             if r == self.rank {
                 out[r] = buf;
             } else {
-                self.send_kind(r, tag, buf, OpKind::Alltoall, self.rank == 0 && r == (self.rank + 1) % self.size);
+                self.send_kind(
+                    r,
+                    tag,
+                    buf,
+                    OpKind::Alltoall,
+                    self.rank == 0 && r == (self.rank + 1) % self.size,
+                );
             }
         }
-        for r in 0..self.size {
+        for (r, slot) in out.iter_mut().enumerate() {
             if r != self.rank {
-                out[r] = self.recv(r, tag);
+                *slot = self.recv(r, tag);
             }
         }
         out

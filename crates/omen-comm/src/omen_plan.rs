@@ -75,7 +75,7 @@ pub fn run_omen_plan(
             .map(|&p| (p, (vec![C64::ZERO; na * bsz], vec![C64::ZERO; na * bsz])))
             .collect();
         // Π results for owned phonon points.
-        let mut pi_out: Vec<((usize, usize), Vec<C64>, Vec<C64>)> = Vec::new();
+        let mut pi_out: crate::plan_common::RankRows = Vec::new();
 
         for q in 0..prob.nq {
             for m in 0..prob.nw {
@@ -135,7 +135,10 @@ pub fn run_omen_plan(
                 let mut extra_g = LocalG::new(na, bsz);
                 let mut by_owner: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
                 for &(k, e) in &myneed {
-                    by_owner.entry(grid.owner_pair(k, e)).or_default().push((k, e));
+                    by_owner
+                        .entry(grid.owner_pair(k, e))
+                        .or_default()
+                        .push((k, e));
                 }
                 for (s, points) in &by_owner {
                     let buf = comm.recv(*s, base_tag + 2);
@@ -220,18 +223,19 @@ mod tests {
         let dsg = result.sigma_g.max_deviation(&reference.sigma_g)
             / reference.sigma_g.max_abs().max(1e-300);
         assert!(dsg < 1e-10, "Σ> deviation {dsg}");
-        let dp =
-            result.pi_l.max_deviation(&reference.pi_l) / reference.pi_l.max_abs().max(1e-300);
+        let dp = result.pi_l.max_deviation(&reference.pi_l) / reference.pi_l.max_abs().max(1e-300);
         assert!(dp < 1e-10, "Π< deviation {dp}");
-        let dpg =
-            result.pi_g.max_deviation(&reference.pi_g) / reference.pi_g.max_abs().max(1e-300);
+        let dpg = result.pi_g.max_deviation(&reference.pi_g) / reference.pi_g.max_abs().max(1e-300);
         assert!(dpg < 1e-10, "Π> deviation {dpg}");
 
         // Collective structure: 2 broadcasts + 2 reductions per round.
         let rounds = (prob.nq * prob.nw) as u64;
         assert_eq!(ledger.calls(OpKind::Bcast), 2 * rounds);
         assert_eq!(ledger.calls(OpKind::Reduce), 2 * rounds);
-        assert!(ledger.bytes(OpKind::PointToPoint) > 0, "G replication traffic");
+        assert!(
+            ledger.bytes(OpKind::PointToPoint) > 0,
+            "G replication traffic"
+        );
     }
 
     #[test]

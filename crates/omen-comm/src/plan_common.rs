@@ -6,12 +6,16 @@ use crate::topology::OmenGrid;
 use omen_linalg::C64;
 use omen_sse::{DLayout, DTensor, GBlocks, GLayout, GTensor, SseProblem};
 
+/// Per-point lesser/greater row pair keyed by its grid point: one rank's
+/// share of a tensor, as `((i, j), row_l, row_g)` triples.
+pub type RankRows = Vec<((usize, usize), Vec<C64>, Vec<C64>)>;
+
 /// Per-rank SSE results handed back by a plan's rank closure.
 pub struct RankSse {
     /// Owned `Σ^≷(k, e)` rows (full `na · bsz`, unscaled).
-    pub sigma: Vec<((usize, usize), Vec<C64>, Vec<C64>)>,
+    pub sigma: RankRows,
     /// Owned `Π^≷(q, m)` rows (full `nentries · 9`, unscaled).
-    pub pi: Vec<((usize, usize), Vec<C64>, Vec<C64>)>,
+    pub pi: RankRows,
 }
 
 /// Assembled plan output (scaled; comparable to

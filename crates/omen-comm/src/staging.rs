@@ -91,7 +91,12 @@ pub fn unpack_bytes(payload: &[C64], len: usize) -> Vec<u8> {
 
 /// Executable staging: `root` holds the serialized material file; all
 /// ranks return the full byte vector after a chunked broadcast.
-pub fn stage_material(comm: &Comm, root: usize, data: Option<&[u8]>, chunk_elems: usize) -> Vec<u8> {
+pub fn stage_material(
+    comm: &Comm,
+    root: usize,
+    data: Option<&[u8]>,
+    chunk_elems: usize,
+) -> Vec<u8> {
     assert!(chunk_elems > 0);
     // First broadcast the length.
     let mut header = if comm.rank() == root {
@@ -148,7 +153,11 @@ mod tests {
         let p = 5;
         let ledger = VolumeLedger::new(p);
         let results = run_world(p, ledger.clone(), |comm| {
-            let data = if comm.rank() == 1 { Some(&bytes[..]) } else { None };
+            let data = if comm.rank() == 1 {
+                Some(&bytes[..])
+            } else {
+                None
+            };
             stage_material(&comm, 1, data, 64)
         });
         for r in &results {
@@ -174,7 +183,10 @@ mod tests {
         );
         let ranks_5300 = 5300 * model.network.ranks_per_node;
         let t_full = model.naive_load_time(file, ranks_5300);
-        assert!(t_full > 30.0 * 60.0, "full-scale naive load {t_full:.0} s > 30 min");
+        assert!(
+            t_full > 30.0 * 60.0,
+            "full-scale naive load {t_full:.0} s > 30 min"
+        );
     }
 
     #[test]

@@ -159,7 +159,7 @@ mod tests {
     fn omen_grid_partitions_all_pairs() {
         let g = OmenGrid::new(3, 4, 3, 10);
         assert_eq!(g.nranks(), 12);
-        let mut seen = vec![false; 3 * 10];
+        let mut seen = [false; 3 * 10];
         for r in 0..g.nranks() {
             for (k, e) in g.owned_pairs(r) {
                 assert!(!seen[k * 10 + e], "pair ({k},{e}) owned twice");

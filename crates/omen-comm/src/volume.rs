@@ -110,7 +110,13 @@ impl VolumeLedger {
 
     /// Largest per-rank injected volume.
     pub fn max_rank_bytes(&self) -> u64 {
-        self.inner.lock().per_rank_sent.iter().copied().max().unwrap_or(0)
+        self.inner
+            .lock()
+            .per_rank_sent
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// Resets all counters.

@@ -1,0 +1,612 @@
+//! The self-consistent GF ↔ SSE driver (Fig. 2 / Fig. 4 of the paper).
+//!
+//! Each Born iteration solves every electron `(kz, E)` and phonon
+//! `(qz, ω)` point with RGF under the current scattering self-energies,
+//! evaluates the coupled self-energies with the configured [`SseKernel`],
+//! mixes, and repeats until the electrical current converges (the paper:
+//! 20–100 Born iterations).
+//!
+//! The driver is an execution engine, not a loop nest: point sweeps are
+//! pure per-point solves (side-effect-free workers returning
+//! contributions) folded into [`Observables`] accumulators by a pluggable
+//! [`PointExecutor`] — see [`crate::executor`] for the serial,
+//! thread-parallel, and rank-partitioned engines.
+
+use crate::builder::{ConfigError, SimulationConfig};
+use crate::executor::{
+    grid_points, ExecutorKind, PartitionedExecutor, PointExecutor, RayonExecutor, SerialExecutor,
+};
+use crate::grids::{EnergyGrid, FrequencyGrid, MomentumGrid};
+use crate::observables::{
+    ElectronContribution, ElectronObservables, PhononContribution, PhononObservables,
+};
+use crate::state::{pi_blocks_for_point, sigma_blocks_for_point, zero_tensors};
+use omen_device::DeviceStructure;
+use omen_rgf::{ElectronParams, ElectronSolver, GfSolver, PhaseTimes, PhononParams, PhononSolver};
+use omen_sse::{DTensor, GLayout, GTensor, SseKernel, SseProblem};
+use std::time::Instant;
+
+/// Accumulated per-iteration observables.
+#[derive(Clone, Debug)]
+pub struct IterationRecord {
+    /// Iteration index (0 = ballistic).
+    pub iteration: usize,
+    /// Electrical current at the mid-device interface (e/ℏ·eV units).
+    pub current: f64,
+    /// Current per interface (conservation diagnostic).
+    pub current_profile: Vec<f64>,
+    /// Relative change of the current w.r.t. the previous iteration.
+    pub rel_change: f64,
+    /// GF-phase wall-clock breakdown.
+    pub gf_times: PhaseTimes,
+    /// SSE wall-clock (s).
+    pub sse_seconds: f64,
+    /// SSE flops this iteration.
+    pub sse_flops: u64,
+}
+
+/// Energy/space-resolved outputs of the GF phase of the last iteration.
+#[derive(Clone, Debug)]
+pub struct SpectralData {
+    /// Electron current spectrum `j(E, interface)` (momentum-averaged).
+    pub el_current_spectrum: Vec<Vec<f64>>,
+    /// Electron charge current per interface.
+    pub el_current: Vec<f64>,
+    /// Electron *energy* current per interface (weighted by `E`).
+    pub el_energy_current: Vec<f64>,
+    /// Phonon energy current per interface (weighted by `ω`).
+    pub ph_energy_current: Vec<f64>,
+    /// Per-atom phonon energy density (for the temperature map).
+    pub ph_energy_density: Vec<f64>,
+    /// Per-atom phonon density of states, resolved per frequency:
+    /// `dos[m][a]`.
+    pub ph_dos: Vec<Vec<f64>>,
+    /// Per-atom electron occupation.
+    pub el_density: Vec<f64>,
+    /// Meir-Wingreen contact currents (left, right).
+    pub contact_currents: (f64, f64),
+}
+
+/// The simulation driver.
+pub struct Simulation {
+    /// Configuration (private: the builder validated it, and keeping it
+    /// immutable is what makes that validation a guarantee).
+    config: SimulationConfig,
+    /// The synthetic device.
+    pub device: DeviceStructure,
+    /// Energy grid.
+    pub egrid: EnergyGrid,
+    /// Momentum grid.
+    pub kgrid: MomentumGrid,
+    /// Frequency grid.
+    pub fgrid: FrequencyGrid,
+    /// Per-atom electrostatic potential.
+    pub potential: Vec<f64>,
+    kernel: Box<dyn SseKernel>,
+    sigma_l: GTensor,
+    sigma_g: GTensor,
+    pi_l: DTensor,
+    pi_g: DTensor,
+    iteration: usize,
+    last_current: Option<f64>,
+    last_spectral: Option<SpectralData>,
+}
+
+impl Simulation {
+    /// Builds the simulation (device assembly included), validating the
+    /// configuration first — the only way to construct a driver, so no
+    /// invalid configuration reaches solver code.
+    pub fn new(config: SimulationConfig) -> Result<Simulation, ConfigError> {
+        config.validate()?;
+        let device = DeviceStructure::build(config.device.clone());
+        let egrid = EnergyGrid::new(config.e_min, config.e_max, config.ne);
+        let kgrid = MomentumGrid::new(config.nk);
+        let fgrid = FrequencyGrid::new(egrid.de, config.nw);
+        let vds = config.mu_source - config.mu_drain;
+        let potential = device.linear_potential(vds, config.ramp.0, config.ramp.1);
+        let (sigma_l, sigma_g, pi_l, pi_g) =
+            zero_tensors(&device, config.nk, config.ne, config.nk, config.nw);
+        let kernel = config.kernel.to_kernel();
+        Ok(Simulation {
+            config,
+            device,
+            egrid,
+            kgrid,
+            fgrid,
+            potential,
+            kernel,
+            sigma_l,
+            sigma_g,
+            pi_l,
+            pi_g,
+            iteration: 0,
+            last_current: None,
+            last_spectral: None,
+        })
+    }
+
+    /// The validated configuration (read-only: mutating grid sizes or
+    /// executor settings after construction would desynchronize the
+    /// grids and tensors sized from them).
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// Replaces the SSE kernel with a custom [`SseKernel`] implementation
+    /// (the enum on the config covers the built-in three).
+    pub fn set_kernel(&mut self, kernel: Box<dyn SseKernel>) {
+        self.kernel = kernel;
+    }
+
+    /// The active SSE kernel.
+    pub fn kernel(&self) -> &dyn SseKernel {
+        &*self.kernel
+    }
+
+    /// Born iterations completed so far (the driver owns the counter).
+    pub fn iterations_done(&self) -> usize {
+        self.iteration
+    }
+
+    /// The SSE problem bound to this simulation's grids and couplings.
+    pub fn sse_problem(&self) -> SseProblem<'_> {
+        let scale_sigma =
+            self.config.coupling * self.config.coupling * self.fgrid.weight() * self.kgrid.weight();
+        let scale_pi =
+            self.config.coupling * self.config.coupling * self.egrid.weight() * self.kgrid.weight();
+        SseProblem::new(
+            &self.device,
+            self.config.nk,
+            self.config.ne,
+            self.config.nk,
+            self.config.nw,
+            scale_sigma,
+            scale_pi,
+        )
+    }
+
+    fn electron_params(&self) -> ElectronParams {
+        ElectronParams {
+            eta: self.config.eta,
+            mu_source: self.config.mu_source,
+            mu_drain: self.config.mu_drain,
+            kt: self.config.kt,
+            ..ElectronParams::default()
+        }
+    }
+
+    fn phonon_params(&self) -> PhononParams {
+        PhononParams {
+            eta: self.config.eta_ph,
+            kt: self.config.kt,
+            ..PhononParams::default()
+        }
+    }
+
+    /// Runs the GF phase with the configured executor: every `(kz, E)` and
+    /// `(qz, ω)` point, returning the SSE input tensors plus the spectral
+    /// observables.
+    pub fn gf_phase(&self) -> (GTensor, GTensor, DTensor, DTensor, SpectralData, PhaseTimes) {
+        match self.config.executor {
+            ExecutorKind::Serial => self.gf_phase_with(&SerialExecutor),
+            ExecutorKind::Rayon { threads } => self.gf_phase_with(&RayonExecutor::new(threads)),
+            ExecutorKind::Partitioned { ranks } => {
+                self.gf_phase_with(&PartitionedExecutor::new(ranks))
+            }
+        }
+    }
+
+    /// Runs the GF phase through an explicit [`PointExecutor`].
+    pub fn gf_phase_with<E: PointExecutor>(
+        &self,
+        exec: &E,
+    ) -> (GTensor, GTensor, DTensor, DTensor, SpectralData, PhaseTimes) {
+        let dev = &self.device;
+        let cfg = &self.config;
+        let have_sigma = self.iteration > 0;
+        let w_e = self.egrid.weight() * self.kgrid.weight();
+        let w_ph = self.fgrid.weight() * self.kgrid.weight();
+
+        // --- electrons: pure per-point solves, executor-accumulated ---
+        let eacc =
+            ElectronObservables::new(dev, cfg.nk, self.egrid.values(), self.kgrid.weight(), w_e);
+        let eparams = self.electron_params();
+        let (sigma_l, sigma_g) = (&self.sigma_l, &self.sigma_g);
+        let make_eworker = || {
+            let mut solver = ElectronSolver::new(
+                dev,
+                self.potential.clone(),
+                eparams,
+                cfg.cache_mode,
+                self.kgrid.values(),
+                self.egrid.values(),
+            );
+            move |(ik, ie): (usize, usize)| {
+                let out = if have_sigma {
+                    let (sr, sl, sg) = sigma_blocks_for_point(dev, sigma_l, sigma_g, ik, ie);
+                    solver.solve_point(ik, ie, Some(&sr), Some(&sl), Some(&sg))
+                } else {
+                    solver.solve_point(ik, ie, None, None, None)
+                };
+                ElectronContribution::from_solution(dev, ik, ie, &out)
+            }
+        };
+        let eobs = exec.run(&grid_points(cfg.nk, cfg.ne), make_eworker, eacc);
+
+        // --- phonons ---
+        let pacc =
+            PhononObservables::new(dev, cfg.nk, self.fgrid.values(), self.kgrid.weight(), w_ph);
+        let pparams = self.phonon_params();
+        let (pi_l, pi_g) = (&self.pi_l, &self.pi_g);
+        let make_pworker = || {
+            let mut solver = PhononSolver::new(
+                dev,
+                pparams,
+                cfg.cache_mode,
+                self.kgrid.values(),
+                self.fgrid.values(),
+            );
+            move |(iq, iw): (usize, usize)| {
+                let out = if have_sigma {
+                    let (pr, pl, pg) = pi_blocks_for_point(dev, pi_l, pi_g, iq, iw);
+                    solver.solve_point(iq, iw, Some(&pr), Some(&pl), Some(&pg))
+                } else {
+                    solver.solve_point(iq, iw, None, None, None)
+                };
+                PhononContribution::from_solution(dev, iq, iw, &out)
+            }
+        };
+        let pobs = exec.run(&grid_points(cfg.nk, cfg.nw), make_pworker, pacc);
+
+        let mut times = eobs.times;
+        times.accumulate(&pobs.times);
+        let spectral = SpectralData {
+            el_current_spectrum: eobs.el_current_spectrum,
+            el_current: eobs.el_current,
+            el_energy_current: eobs.el_energy_current,
+            ph_energy_current: pobs.ph_energy_current,
+            ph_energy_density: pobs.ph_energy_density,
+            ph_dos: pobs.ph_dos,
+            el_density: eobs.el_density,
+            contact_currents: eobs.contacts,
+        };
+        (eobs.g_l, eobs.g_g, pobs.d_l, pobs.d_g, spectral, times)
+    }
+
+    /// Runs the configured SSE kernel on GF outputs.
+    pub fn sse_phase(
+        &self,
+        g_l: &GTensor,
+        g_g: &GTensor,
+        d_l: &DTensor,
+        d_g: &DTensor,
+    ) -> omen_sse::SseOutput {
+        let prob = self.sse_problem();
+        self.kernel.run(&prob, g_l, g_g, d_l, d_g)
+    }
+
+    /// One Born iteration with the configured executor; returns the record
+    /// and the spectral data. The driver owns the iteration counter and
+    /// the convergence baseline.
+    pub fn iterate(&mut self) -> (IterationRecord, SpectralData) {
+        match self.config.executor {
+            ExecutorKind::Serial => self.iterate_with(&SerialExecutor),
+            ExecutorKind::Rayon { threads } => self.iterate_with(&RayonExecutor::new(threads)),
+            ExecutorKind::Partitioned { ranks } => {
+                self.iterate_with(&PartitionedExecutor::new(ranks))
+            }
+        }
+    }
+
+    /// One Born iteration through an explicit executor.
+    pub fn iterate_with<E: PointExecutor>(&mut self, exec: &E) -> (IterationRecord, SpectralData) {
+        let (g_l, g_g, d_l, d_g, spectral, gf_times) = self.gf_phase_with(exec);
+
+        let t0 = Instant::now();
+        let sse = self.sse_phase(&g_l, &g_g, &d_l, &d_g);
+        let sse_seconds = t0.elapsed().as_secs_f64();
+
+        // Mix the self-energies (layout-normalize first).
+        let mix = self.config.mixing;
+        let new_sl = sse.sigma_l.to_layout(GLayout::PairMajor);
+        let new_sg = sse.sigma_g.to_layout(GLayout::PairMajor);
+        mix_g(&mut self.sigma_l, &new_sl, mix);
+        mix_g(&mut self.sigma_g, &new_sg, mix);
+        mix_d(&mut self.pi_l, &sse.pi_l, mix);
+        mix_d(&mut self.pi_g, &sse.pi_g, mix);
+
+        let mid = spectral.el_current.len() / 2;
+        let current = spectral.el_current[mid];
+        let rel_change = match self.last_current {
+            Some(prev) if prev.abs() > 1e-300 => ((current - prev) / prev).abs(),
+            _ => f64::INFINITY,
+        };
+        let record = IterationRecord {
+            iteration: self.iteration,
+            current,
+            current_profile: spectral.el_current.clone(),
+            rel_change,
+            gf_times,
+            sse_seconds,
+            sse_flops: sse.flops,
+        };
+        self.iteration += 1;
+        self.last_current = Some(current);
+        // Cached so an exhausted `run` stays total from every entry point
+        // (run, iterate, or iterate_with). The clone is microseconds
+        // against the RGF sweep that produced it.
+        self.last_spectral = Some(spectral.clone());
+        (record, spectral)
+    }
+
+    /// Runs the full self-consistent loop with the configured executor.
+    pub fn run(&mut self) -> SimulationResult {
+        match self.config.executor {
+            ExecutorKind::Serial => self.run_with(&SerialExecutor),
+            ExecutorKind::Rayon { threads } => self.run_with(&RayonExecutor::new(threads)),
+            ExecutorKind::Partitioned { ranks } => self.run_with(&PartitionedExecutor::new(ranks)),
+        }
+    }
+
+    /// Runs the full self-consistent loop through an explicit executor.
+    ///
+    /// The driver owns the iteration counter, so `run` continues where a
+    /// previous `run`/[`Simulation::iterate`] left off. Once the cap is
+    /// reached, further calls perform no work and return the last
+    /// iteration's spectral data with an empty record list.
+    pub fn run_with<E: PointExecutor>(&mut self, exec: &E) -> SimulationResult {
+        let mut records: Vec<IterationRecord> = Vec::new();
+        let mut spectral = None;
+        while self.iteration < self.config.max_iterations {
+            let (rec, spec) = self.iterate_with(exec);
+            let converged = rec.rel_change < self.config.tolerance;
+            let it = rec.iteration;
+            records.push(rec);
+            spectral = Some(spec);
+            if converged && it > 0 {
+                break;
+            }
+        }
+        let spectral = spectral
+            .or_else(|| self.last_spectral.clone())
+            .expect("max_iterations >= 1 is validated, so at least one iteration has run");
+        SimulationResult { records, spectral }
+    }
+}
+
+fn mix_g(state: &mut GTensor, new: &GTensor, mix: f64) {
+    for (s, n) in state.as_mut_slice().iter_mut().zip(new.as_slice()) {
+        *s = s.scale(1.0 - mix) + n.scale(mix);
+    }
+}
+
+fn mix_d(state: &mut DTensor, new: &DTensor, mix: f64) {
+    for (s, n) in state.as_mut_slice().iter_mut().zip(new.as_slice()) {
+        *s = s.scale(1.0 - mix) + n.scale(mix);
+    }
+}
+
+/// Final output of [`Simulation::run`].
+pub struct SimulationResult {
+    /// One record per Born iteration.
+    pub records: Vec<IterationRecord>,
+    /// Spectral data of the final iteration.
+    pub spectral: SpectralData,
+}
+
+impl SimulationResult {
+    /// The converged electrical current. When this run performed no
+    /// iterations (a `run` after the cap), the value is read from the
+    /// carried-over spectral data so it stays consistent with
+    /// [`SimulationResult::spectral`].
+    pub fn current(&self) -> f64 {
+        self.records.last().map(|r| r.current).unwrap_or_else(|| {
+            let prof = &self.spectral.el_current;
+            if prof.is_empty() {
+                0.0
+            } else {
+                prof[prof.len() / 2]
+            }
+        })
+    }
+
+    /// Convergence history of the current (Fig. 7b's x-axis).
+    pub fn current_history(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.current).collect()
+    }
+
+    /// `true` if the final relative change *of this run* met the
+    /// tolerance (`false` when the run performed no iterations).
+    pub fn converged(&self, tolerance: f64) -> bool {
+        self.records
+            .last()
+            .map(|r| r.rel_change < tolerance)
+            .unwrap_or(false)
+    }
+
+    /// Max relative spread of the current profile (conservation check).
+    /// Zero when no iterations ran (e.g. a `run` after the cap).
+    pub fn current_nonuniformity(&self) -> f64 {
+        let Some(last) = self.records.last() else {
+            return 0.0;
+        };
+        let prof = &last.current_profile;
+        let mean = prof.iter().sum::<f64>() / prof.len() as f64;
+        if mean.abs() < 1e-300 {
+            return 0.0;
+        }
+        prof.iter().map(|j| (j - mean).abs()).fold(0.0, f64::max) / mean.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelVariant;
+    use omen_linalg::Normalization;
+
+    fn sim(cfg: SimulationConfig) -> Simulation {
+        Simulation::new(cfg).expect("valid test config")
+    }
+
+    #[test]
+    fn ballistic_iteration_conserves_current() {
+        let mut cfg = SimulationConfig::tiny();
+        cfg.coupling = 0.0; // ballistic: Σ stays zero
+        cfg.max_iterations = 1;
+        let result = sim(cfg).run();
+        assert!(result.current() > 0.0, "forward bias must drive current");
+        assert!(
+            result.current_nonuniformity() < 1e-3,
+            "ballistic current must be conserved: {}",
+            result.current_nonuniformity()
+        );
+        // Contact currents: left injects what right absorbs.
+        let (il, ir) = result.spectral.contact_currents;
+        assert!(il > 0.0);
+        assert!(
+            (il + ir).abs() < 1e-3 * il.abs(),
+            "i_L = −i_R: {il} vs {ir}"
+        );
+    }
+
+    #[test]
+    fn scattering_changes_current_and_converges() {
+        let mut cfg = SimulationConfig::tiny();
+        cfg.max_iterations = 14;
+        let result = sim(cfg.clone()).run();
+        assert!(result.records.len() >= 2);
+        // The self-consistent loop converges geometrically.
+        let last = result.records.last().unwrap();
+        assert!(
+            last.rel_change < 1e-3,
+            "Born loop drifting: rel change {}",
+            last.rel_change
+        );
+        // Scattering current differs from ballistic.
+        let mut cfg_b = cfg;
+        cfg_b.coupling = 0.0;
+        cfg_b.max_iterations = 1;
+        let ballistic = sim(cfg_b).run();
+        // Scattering suppresses the ballistic current measurably.
+        assert!(
+            ballistic.current() - result.current() > 1e-3 * ballistic.current(),
+            "SSE must suppress the current: {} vs ballistic {}",
+            result.current(),
+            ballistic.current()
+        );
+        // Current stays conserved within SCBA tolerance.
+        assert!(
+            result.current_nonuniformity() < 5e-3,
+            "current profile spread {}",
+            result.current_nonuniformity()
+        );
+    }
+
+    #[test]
+    fn kernel_variants_agree() {
+        let mut cfg = SimulationConfig::tiny();
+        cfg.max_iterations = 2;
+        let run = |kernel| {
+            let mut c = cfg.clone();
+            c.kernel = kernel;
+            sim(c).run().current()
+        };
+        let reference = run(KernelVariant::Reference);
+        let transformed = run(KernelVariant::Transformed);
+        let mixed = run(KernelVariant::Mixed(Normalization::PerTensor));
+        assert!(
+            ((transformed - reference) / reference).abs() < 1e-10,
+            "transformed {transformed} vs reference {reference}"
+        );
+        assert!(
+            ((mixed - reference) / reference).abs() < 1e-3,
+            "mixed {mixed} vs reference {reference}"
+        );
+    }
+
+    #[test]
+    fn zero_bias_zero_current() {
+        let mut cfg = SimulationConfig::tiny();
+        cfg.mu_drain = cfg.mu_source;
+        cfg.max_iterations = 2;
+        let result = sim(cfg).run();
+        let scale = result
+            .spectral
+            .el_current_spectrum
+            .iter()
+            .flat_map(|v| v.iter())
+            .map(|j| j.abs())
+            .fold(0.0, f64::max)
+            .max(1e-12);
+        assert!(
+            result.current().abs() < 1e-6 * scale.max(1.0),
+            "zero bias current {}",
+            result.current()
+        );
+    }
+
+    #[test]
+    fn phonon_energy_density_positive() {
+        let mut cfg = SimulationConfig::tiny();
+        cfg.max_iterations = 2;
+        let result = sim(cfg).run();
+        // Thermal occupation of phonon modes is non-negative everywhere.
+        for (a, &u) in result.spectral.ph_energy_density.iter().enumerate() {
+            assert!(u >= -1e-9, "atom {a}: phonon energy density {u}");
+        }
+        // DOS rows populated.
+        assert!(result
+            .spectral
+            .ph_dos
+            .iter()
+            .all(|row| row.iter().any(|&d| d > 0.0)));
+    }
+
+    #[test]
+    fn driver_owns_iteration_counter() {
+        let mut cfg = SimulationConfig::tiny();
+        cfg.max_iterations = 3;
+        let mut s = sim(cfg);
+        assert_eq!(s.iterations_done(), 0);
+        let (r0, _) = s.iterate();
+        assert_eq!(r0.iteration, 0);
+        assert!(r0.rel_change.is_infinite(), "no baseline on iteration 0");
+        let (r1, _) = s.iterate();
+        assert_eq!(r1.iteration, 1);
+        assert!(r1.rel_change.is_finite());
+        assert_eq!(s.iterations_done(), 2);
+        // `run` continues from the counter — records pick up at 2.
+        let result = s.run();
+        assert_eq!(result.records.first().unwrap().iteration, 2);
+    }
+
+    #[test]
+    fn custom_kernel_plugs_in() {
+        // A pass-through wrapper counting invocations via its name.
+        struct Tagged(omen_sse::TransformedKernel);
+        impl omen_sse::SseKernel for Tagged {
+            fn name(&self) -> &'static str {
+                "tagged"
+            }
+            fn run(
+                &self,
+                prob: &omen_sse::SseProblem,
+                g_l: &GTensor,
+                g_g: &GTensor,
+                d_l: &DTensor,
+                d_g: &DTensor,
+            ) -> omen_sse::SseOutput {
+                self.0.run(prob, g_l, g_g, d_l, d_g)
+            }
+        }
+        let mut cfg = SimulationConfig::tiny();
+        cfg.max_iterations = 2;
+        let baseline = sim(cfg.clone()).run().current();
+        let mut s = sim(cfg);
+        s.set_kernel(Box::new(Tagged(omen_sse::TransformedKernel)));
+        assert_eq!(s.kernel().name(), "tagged");
+        let current = s.run().current();
+        assert_eq!(current, baseline, "pass-through kernel is transparent");
+    }
+}

@@ -1,0 +1,362 @@
+//! Pluggable execution engines for the GF phase's point sweeps.
+//!
+//! The paper's central observation (§4, Fig. 5) is that the GF phase is a
+//! pure map over independent `(kz, E)` / `(qz, ω)` points; everything else
+//! is reduction. A [`PointExecutor`] owns *how* that map runs:
+//!
+//! * [`SerialExecutor`] — one worker, global point order (the seed
+//!   driver's behavior);
+//! * [`RayonExecutor`] — rayon-style work-stealing over scoped worker
+//!   threads; contributions are re-ordered to global point order before
+//!   accumulation, so results are **bit-identical** to serial;
+//! * [`PartitionedExecutor`] — splits the point set into contiguous
+//!   per-rank partitions with `omen-comm`'s balanced-range machinery, runs
+//!   each rank's partition on its own worker, and merges per-rank
+//!   observables in rank order — the in-process analogue of the paper's
+//!   rank decomposition (equal to serial up to floating-point
+//!   reassociation in the merge tree).
+//!
+//! Workers are created per-thread from a factory closure: GF solvers carry
+//! mutable caches, so each worker gets its own cheap solver instance
+//! instead of sharing one behind a lock.
+
+use crate::observables::Observables;
+use omen_comm::split_range;
+
+/// One `(i, j)` grid point of a sweep: `(ik, ie)` for electrons,
+/// `(iq, iw)` for phonons.
+pub type GridPoint = (usize, usize);
+
+/// An execution engine for embarrassingly-parallel point sweeps.
+///
+/// `make_worker` is called once per worker thread; the returned closure
+/// solves single points. The executor feeds every point exactly once and
+/// returns the accumulator after folding all contributions in.
+pub trait PointExecutor {
+    /// Short identifier for logs and benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Runs the sweep, returning the filled accumulator.
+    fn run<O, W, F>(&self, points: &[GridPoint], make_worker: F, acc: O) -> O
+    where
+        O: Observables,
+        W: FnMut(GridPoint) -> O::Contribution + Send,
+        F: Fn() -> W + Sync;
+}
+
+/// Single-worker executor: solves points in order on the calling thread.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SerialExecutor;
+
+impl PointExecutor for SerialExecutor {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn run<O, W, F>(&self, points: &[GridPoint], make_worker: F, mut acc: O) -> O
+    where
+        O: Observables,
+        W: FnMut(GridPoint) -> O::Contribution + Send,
+        F: Fn() -> W + Sync,
+    {
+        let mut worker = make_worker();
+        for &p in points {
+            let c = worker(p);
+            acc.accumulate(&c);
+        }
+        acc
+    }
+}
+
+/// Thread-parallel executor with work stealing.
+///
+/// Points are claimed dynamically from a shared counter (uniform-cost
+/// points balance statically, but boundary-condition convergence varies
+/// per point, so stealing wins at the margins). Contributions are indexed
+/// by point position and accumulated in global point order afterwards,
+/// making the result bit-identical to [`SerialExecutor`] regardless of
+/// the thread count.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RayonExecutor {
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+}
+
+impl RayonExecutor {
+    /// An executor over `threads` workers (0 = auto).
+    pub fn new(threads: usize) -> Self {
+        RayonExecutor { threads }
+    }
+
+    /// The effective worker count: the explicit setting, else rayon's
+    /// ambient thread count (which honors `ThreadPool::install` bounds).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            rayon::current_num_threads()
+        }
+    }
+}
+
+impl PointExecutor for RayonExecutor {
+    fn name(&self) -> &'static str {
+        "rayon"
+    }
+
+    fn run<O, W, F>(&self, points: &[GridPoint], make_worker: F, mut acc: O) -> O
+    where
+        O: Observables,
+        W: FnMut(GridPoint) -> O::Contribution + Send,
+        F: Fn() -> W + Sync,
+    {
+        let nthreads = self.effective_threads().min(points.len()).max(1);
+        if nthreads <= 1 {
+            return SerialExecutor.run(points, make_worker, acc);
+        }
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<O::Contribution>> = Vec::with_capacity(points.len());
+        slots.resize_with(points.len(), || None);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..nthreads)
+                .map(|_| {
+                    let next = &next;
+                    let make_worker = &make_worker;
+                    s.spawn(move || {
+                        let mut worker = make_worker();
+                        let mut local: Vec<(usize, O::Contribution)> = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= points.len() {
+                                break;
+                            }
+                            local.push((idx, worker(points[idx])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (idx, c) in h.join().expect("worker thread panicked") {
+                    slots[idx] = Some(c);
+                }
+            }
+        });
+        // Deterministic fold in global point order.
+        for c in slots.into_iter().flatten() {
+            acc.accumulate(&c);
+        }
+        acc
+    }
+}
+
+/// Rank-decomposed executor: the in-process analogue of distributing
+/// points over MPI ranks.
+///
+/// The point set is split into `ranks` contiguous balanced partitions
+/// (via [`omen_comm::split_range`], the same machinery the communication
+/// plans use); each "rank" accumulates its partition into its own
+/// [`Observables`], and the per-rank observables are merged in rank order
+/// — exercising the same merge path a distributed reduction would.
+///
+/// Like a real rank decomposition, every rank owns a full-size
+/// accumulator (memory scales with `ranks`); this engine is for
+/// exercising the partition/merge path at laptop rank counts, not for
+/// saving memory.
+#[derive(Clone, Copy, Debug)]
+pub struct PartitionedExecutor {
+    /// Simulated rank count.
+    pub ranks: usize,
+}
+
+impl PartitionedExecutor {
+    /// An executor over `ranks` partitions. `ranks = 0` is clamped to one
+    /// partition at run time (constructors never panic; the builder
+    /// rejects `ranks = 0` with [`crate::builder::ConfigError::NoRanks`]).
+    pub fn new(ranks: usize) -> Self {
+        PartitionedExecutor { ranks }
+    }
+}
+
+impl PointExecutor for PartitionedExecutor {
+    fn name(&self) -> &'static str {
+        "partitioned"
+    }
+
+    fn run<O, W, F>(&self, points: &[GridPoint], make_worker: F, mut acc: O) -> O
+    where
+        O: Observables,
+        W: FnMut(GridPoint) -> O::Contribution + Send,
+        F: Fn() -> W + Sync,
+    {
+        let ranks = self.ranks.min(points.len()).max(1);
+        if ranks <= 1 {
+            return SerialExecutor.run(points, make_worker, acc);
+        }
+        let mut partials: Vec<O> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..ranks)
+                .map(|rank| {
+                    let (lo, hi) = split_range(points.len(), ranks, rank);
+                    let make_worker = &make_worker;
+                    let local = acc.fresh();
+                    s.spawn(move || {
+                        let mut worker = make_worker();
+                        let mut local = local;
+                        for &p in &points[lo..hi] {
+                            let c = worker(p);
+                            local.accumulate(&c);
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
+        });
+        // Merge in rank order (deterministic reduction tree).
+        for partial in partials.drain(..) {
+            acc.merge(partial);
+        }
+        acc
+    }
+}
+
+/// Executor selection for [`crate::builder::SimulationConfig`] — the
+/// enum-shaped convenience over the trait (custom executors plug in via
+/// [`crate::driver::Simulation::run_with`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// [`SerialExecutor`].
+    Serial,
+    /// [`RayonExecutor`] with the given thread count (0 = auto).
+    Rayon {
+        /// Worker threads (0 = all available cores).
+        threads: usize,
+    },
+    /// [`PartitionedExecutor`] with the given rank count.
+    Partitioned {
+        /// Simulated rank count.
+        ranks: usize,
+    },
+}
+
+impl Default for ExecutorKind {
+    fn default() -> Self {
+        ExecutorKind::Rayon { threads: 0 }
+    }
+}
+
+impl ExecutorKind {
+    /// Short identifier for logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecutorKind::Serial => "serial",
+            ExecutorKind::Rayon { .. } => "rayon",
+            ExecutorKind::Partitioned { .. } => "partitioned",
+        }
+    }
+}
+
+/// The full `(0..n0) × (0..n1)` point grid in sweep order.
+pub fn grid_points(n0: usize, n1: usize) -> Vec<GridPoint> {
+    let mut out = Vec::with_capacity(n0 * n1);
+    for i in 0..n0 {
+        for j in 0..n1 {
+            out.push((i, j));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observables::Observables;
+
+    /// A toy accumulator: ordered list of visited points + a weighted sum.
+    struct Trace {
+        visited: Vec<GridPoint>,
+        sum: f64,
+    }
+
+    impl Observables for Trace {
+        type Contribution = (GridPoint, f64);
+
+        fn fresh(&self) -> Self {
+            Trace {
+                visited: Vec::new(),
+                sum: 0.0,
+            }
+        }
+
+        fn accumulate(&mut self, c: &Self::Contribution) {
+            self.visited.push(c.0);
+            self.sum += c.1;
+        }
+
+        fn merge(&mut self, other: Self) {
+            self.visited.extend(other.visited);
+            self.sum += other.sum;
+        }
+    }
+
+    fn run_with<E: PointExecutor>(exec: &E, points: &[GridPoint]) -> Trace {
+        exec.run(
+            points,
+            || |p: GridPoint| (p, (p.0 * 31 + p.1) as f64 * 0.125),
+            Trace {
+                visited: Vec::new(),
+                sum: 0.0,
+            },
+        )
+    }
+
+    #[test]
+    fn all_executors_visit_every_point_once() {
+        let points = grid_points(3, 17);
+        for visited in [
+            run_with(&SerialExecutor, &points).visited,
+            run_with(&RayonExecutor::new(4), &points).visited,
+            run_with(&PartitionedExecutor::new(5), &points).visited,
+        ] {
+            let mut sorted = visited.clone();
+            sorted.sort_unstable();
+            let mut want = points.clone();
+            want.sort_unstable();
+            assert_eq!(sorted, want, "every point exactly once");
+        }
+    }
+
+    #[test]
+    fn rayon_order_is_bitwise_serial() {
+        let points = grid_points(4, 9);
+        let serial = run_with(&SerialExecutor, &points);
+        let rayon = run_with(&RayonExecutor::new(3), &points);
+        // Not just the same set: the same order, hence bit-equal sums.
+        assert_eq!(serial.visited, rayon.visited);
+        assert_eq!(serial.sum.to_bits(), rayon.sum.to_bits());
+    }
+
+    #[test]
+    fn partitioned_preserves_partition_order() {
+        let points = grid_points(2, 10);
+        let part = run_with(&PartitionedExecutor::new(4), &points);
+        // Contiguous partitions merged in rank order reproduce the global
+        // order exactly.
+        assert_eq!(part.visited, points);
+        // Exact sum here (dyadic values), same as serial.
+        let serial = run_with(&SerialExecutor, &points);
+        assert_eq!(serial.sum, part.sum);
+    }
+
+    #[test]
+    fn degenerate_sizes_handled() {
+        let empty: Vec<GridPoint> = Vec::new();
+        assert_eq!(run_with(&RayonExecutor::new(8), &empty).visited.len(), 0);
+        let one = grid_points(1, 1);
+        assert_eq!(run_with(&PartitionedExecutor::new(7), &one).visited, one);
+    }
+}

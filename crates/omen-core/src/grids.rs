@@ -131,7 +131,9 @@ mod tests {
         let g = MomentumGrid::new(4);
         let v = g.values();
         assert!((v[0] + std::f64::consts::PI).abs() < 1e-15);
-        assert!(v.iter().all(|&k| (-std::f64::consts::PI..std::f64::consts::PI).contains(&k)));
+        assert!(v
+            .iter()
+            .all(|&k| (-std::f64::consts::PI..std::f64::consts::PI).contains(&k)));
         // Uniform spacing.
         for w in v.windows(2) {
             assert!((w[1] - w[0] - std::f64::consts::PI / 2.0).abs() < 1e-14);

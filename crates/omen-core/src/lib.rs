@@ -3,22 +3,45 @@
 //! The application layer of the reproduction: grids, the self-consistent
 //! Born loop coupling the GF and SSE phases, and the electro-thermal
 //! observables of Figs. 1(d) and 11.
+//!
+//! The driver is organized as an execution engine:
+//!
+//! * [`builder`] — validated configuration ([`SimulationBuilder`],
+//!   [`ConfigError`]) with the [`SimulationConfig::tiny`] /
+//!   [`SimulationConfig::demo`] presets;
+//! * [`executor`] — pluggable [`PointExecutor`] engines for the
+//!   embarrassingly-parallel point sweeps (serial, thread-parallel,
+//!   rank-partitioned);
+//! * [`observables`] — per-point contributions folded into mergeable
+//!   [`Observables`] accumulators;
+//! * [`driver`] — the [`Simulation`] Born loop dispatching through the
+//!   [`omen_sse::SseKernel`] trait.
 
+pub mod builder;
+pub mod driver;
+pub mod executor;
 pub mod grids;
-pub mod simulation;
+pub mod observables;
 pub mod state;
 pub mod thermal;
 
 pub use omen_linalg::Normalization;
-pub use grids::{EnergyGrid, FrequencyGrid, MomentumGrid};
-pub use simulation::{
-    IterationRecord, KernelVariant, Simulation, SimulationConfig, SimulationResult, SpectralData,
+pub use omen_sse::{MixedKernel, ReferenceKernel, SseKernel, TransformedKernel};
+
+pub use builder::{ConfigError, KernelVariant, SimulationBuilder, SimulationConfig};
+pub use driver::{IterationRecord, Simulation, SimulationResult, SpectralData};
+pub use executor::{
+    grid_points, ExecutorKind, GridPoint, PartitionedExecutor, PointExecutor, RayonExecutor,
+    SerialExecutor,
 };
-pub use thermal::{
-    electro_thermal_report, equilibrium_energy, fit_temperature, ElectroThermalReport,
-    KB_EV_PER_K,
+pub use grids::{EnergyGrid, FrequencyGrid, MomentumGrid};
+pub use observables::{
+    ElectronContribution, ElectronObservables, Observables, PhononContribution, PhononObservables,
 };
 pub use state::{
     extract_electron_blocks, extract_phonon_blocks, pi_blocks_for_point, sigma_blocks_for_point,
     zero_tensors,
+};
+pub use thermal::{
+    electro_thermal_report, equilibrium_energy, fit_temperature, ElectroThermalReport, KB_EV_PER_K,
 };

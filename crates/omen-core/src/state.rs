@@ -25,8 +25,20 @@ pub fn extract_electron_blocks(
     let norb = dev.material.norb;
     for (a, atom) in dev.lattice.atoms.iter().enumerate() {
         let r0 = atom.slab_offset * norb;
-        copy_subblock(&sol.gl_diag[atom.slab], r0, r0, norb, g_l.block_mut(ik, ie, a));
-        copy_subblock(&sol.gg_diag[atom.slab], r0, r0, norb, g_g.block_mut(ik, ie, a));
+        copy_subblock(
+            &sol.gl_diag[atom.slab],
+            r0,
+            r0,
+            norb,
+            g_l.block_mut(ik, ie, a),
+        );
+        copy_subblock(
+            &sol.gg_diag[atom.slab],
+            r0,
+            r0,
+            norb,
+            g_g.block_mut(ik, ie, a),
+        );
     }
 }
 
@@ -51,8 +63,20 @@ pub fn extract_phonon_blocks(
     for (a, atom) in dev.lattice.atoms.iter().enumerate() {
         let r0 = atom.slab_offset * n3d;
         let en = d_l.diag_entry(a);
-        copy_subblock(&sol.gl_diag[atom.slab], r0, r0, n3d, d_l.block_mut(iq, iw, en));
-        copy_subblock(&sol.gg_diag[atom.slab], r0, r0, n3d, d_g.block_mut(iq, iw, en));
+        copy_subblock(
+            &sol.gl_diag[atom.slab],
+            r0,
+            r0,
+            n3d,
+            d_l.block_mut(iq, iw, en),
+        );
+        copy_subblock(
+            &sol.gg_diag[atom.slab],
+            r0,
+            r0,
+            n3d,
+            d_g.block_mut(iq, iw, en),
+        );
     }
     // Pair entries.
     for (p, pair) in dev.neighbors.pairs.iter().enumerate() {
@@ -63,8 +87,20 @@ pub fn extract_phonon_blocks(
         let en = d_l.pair_entry(p);
         match ta.slab as i64 - fa.slab as i64 {
             0 => {
-                copy_subblock(&sol.gl_diag[fa.slab], r0, c0, n3d, d_l.block_mut(iq, iw, en));
-                copy_subblock(&sol.gg_diag[fa.slab], r0, c0, n3d, d_g.block_mut(iq, iw, en));
+                copy_subblock(
+                    &sol.gl_diag[fa.slab],
+                    r0,
+                    c0,
+                    n3d,
+                    d_l.block_mut(iq, iw, en),
+                );
+                copy_subblock(
+                    &sol.gg_diag[fa.slab],
+                    r0,
+                    c0,
+                    n3d,
+                    d_g.block_mut(iq, iw, en),
+                );
             }
             1 => {
                 // D[s][s+1] = −(D[s+1][s])† for lesser/greater functions.
@@ -84,8 +120,20 @@ pub fn extract_phonon_blocks(
                 );
             }
             -1 => {
-                copy_subblock(&sol.gl_lower[ta.slab], r0, c0, n3d, d_l.block_mut(iq, iw, en));
-                copy_subblock(&sol.gg_lower[ta.slab], r0, c0, n3d, d_g.block_mut(iq, iw, en));
+                copy_subblock(
+                    &sol.gl_lower[ta.slab],
+                    r0,
+                    c0,
+                    n3d,
+                    d_l.block_mut(iq, iw, en),
+                );
+                copy_subblock(
+                    &sol.gg_lower[ta.slab],
+                    r0,
+                    c0,
+                    n3d,
+                    d_g.block_mut(iq, iw, en),
+                );
             }
             _ => unreachable!("neighbor list spans non-adjacent slabs"),
         }
@@ -326,9 +374,13 @@ mod tests {
                 .neighbors
                 .pairs
                 .iter()
-                .position(|q| q.from == pair.to && q.to == pair.from && q.z_image == 0
-                    && (q.delta[0] + pair.delta[0]).abs() < 1e-12
-                    && (q.delta[1] + pair.delta[1]).abs() < 1e-12)
+                .position(|q| {
+                    q.from == pair.to
+                        && q.to == pair.from
+                        && q.z_image == 0
+                        && (q.delta[0] + pair.delta[0]).abs() < 1e-12
+                        && (q.delta[1] + pair.delta[1]).abs() < 1e-12
+                })
                 .unwrap();
             let ab = dl.block(0, 0, dl.pair_entry(p));
             let ba = dl.block(0, 0, dl.pair_entry(rev));

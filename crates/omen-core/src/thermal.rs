@@ -8,7 +8,7 @@
 //! bisection. In equilibrium this returns the contact temperature exactly;
 //! under bias, Joule heating raises it in the channel.
 
-use crate::simulation::{Simulation, SimulationResult, SpectralData};
+use crate::driver::{Simulation, SimulationResult, SpectralData};
 use omen_rgf::bose;
 
 /// Boltzmann constant in eV/K.
@@ -99,15 +99,12 @@ impl ElectroThermalReport {
 }
 
 /// Builds the electro-thermal report from a finished simulation.
-pub fn electro_thermal_report(
-    sim: &Simulation,
-    result: &SimulationResult,
-) -> ElectroThermalReport {
+pub fn electro_thermal_report(sim: &Simulation, result: &SimulationResult) -> ElectroThermalReport {
     let spec: &SpectralData = &result.spectral;
     let dev = &sim.device;
     let omegas = sim.fgrid.values();
     let fw = sim.fgrid.weight();
-    let kt0 = sim.config.kt;
+    let kt0 = sim.config().kt;
 
     // Per-atom temperatures by Bose matching.
     let na = dev.num_atoms();
@@ -162,7 +159,7 @@ pub fn electro_thermal_report(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::simulation::SimulationConfig;
+    use crate::builder::SimulationConfig;
 
     #[test]
     fn bisection_recovers_bose_temperature() {
@@ -196,7 +193,7 @@ mod tests {
         cfg.mu_drain = cfg.mu_source; // zero bias
         cfg.coupling = 0.0;
         cfg.max_iterations = 1;
-        let mut sim = Simulation::new(cfg);
+        let mut sim = Simulation::new(cfg).expect("valid test config");
         let result = sim.run();
         let report = electro_thermal_report(&sim, &result);
         let t0 = report.contact_temperature;
@@ -216,7 +213,7 @@ mod tests {
         cfg.coupling = 0.01;
         cfg.mu_source = 0.4;
         cfg.max_iterations = 8;
-        let mut sim = Simulation::new(cfg);
+        let mut sim = Simulation::new(cfg).expect("valid test config");
         let result = sim.run();
         let report = electro_thermal_report(&sim, &result);
         assert!(
@@ -230,5 +227,5 @@ mod tests {
         assert_eq!(report.temperature_profile.len(), sim.device.bnum());
     }
 
-    use crate::simulation::Simulation;
+    use crate::driver::Simulation;
 }

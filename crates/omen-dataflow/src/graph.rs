@@ -88,9 +88,9 @@ impl State {
 
     /// The map node marked `distributed`, if any.
     pub fn distributed_map(&self) -> Option<usize> {
-        self.nodes.iter().position(
-            |n| matches!(n, Node::Map { distributed, .. } if *distributed),
-        )
+        self.nodes
+            .iter()
+            .position(|n| matches!(n, Node::Map { distributed, .. } if *distributed))
     }
 
     /// Iteration-space size of map `idx` (product of its range sizes).
@@ -169,9 +169,7 @@ impl State {
                         return Err(format!("map {idx} contains itself"));
                     }
                     if let Some(prev) = owner.insert(child, idx) {
-                        return Err(format!(
-                            "node {child} owned by maps {prev} and {idx}"
-                        ));
+                        return Err(format!("node {child} owned by maps {prev} and {idx}"));
                     }
                 }
             }
@@ -393,7 +391,11 @@ mod tests {
     #[test]
     fn tiling_preserves_total_movement() {
         let mut s = simple_state();
-        let m = s.nodes.iter().position(|n| matches!(n, Node::Map { .. })).unwrap();
+        let m = s
+            .nodes
+            .iter()
+            .position(|n| matches!(n, Node::Map { .. }))
+            .unwrap();
         map_tiling(&mut s, m, &[("i", p("T"))]).unwrap();
         s.validate().unwrap();
         let b = bindings(&[("N", 100.0), ("T", 4.0)]);

@@ -140,13 +140,8 @@ pub fn apply_dace_decomposition(state: &mut State) -> (Expr, Expr) {
         * halo_atoms.clone()
         * p("Norb")
         * p("Norb");
-    let d_bytes = c(64.0)
-        * p("Nqz")
-        * p("Nw")
-        * halo_atoms
-        * (p("Nb") + c(1.0))
-        * p("N3D")
-        * p("N3D");
+    let d_bytes =
+        c(64.0) * p("Nqz") * p("Nw") * halo_atoms * (p("Nb") + c(1.0)) * p("N3D") * p("N3D");
     (residual, procs * (g_bytes + d_bytes))
 }
 
@@ -168,7 +163,12 @@ mod tests {
     use super::*;
     use crate::symbolic::bindings;
 
-    fn small_bindings(nk: f64, procs: f64, ta: f64, te: f64) -> std::collections::HashMap<String, f64> {
+    fn small_bindings(
+        nk: f64,
+        procs: f64,
+        ta: f64,
+        te: f64,
+    ) -> std::collections::HashMap<String, f64> {
         bindings(&[
             ("Nkz", nk),
             ("Nqz", nk),

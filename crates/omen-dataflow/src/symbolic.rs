@@ -127,10 +127,7 @@ impl fmt::Display for Expr {
 
 /// Convenience: builds a binding map from `(name, value)` pairs.
 pub fn bindings(pairs: &[(&str, f64)]) -> HashMap<String, f64> {
-    pairs
-        .iter()
-        .map(|(k, v)| (k.to_string(), *v))
-        .collect()
+    pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
 }
 
 #[cfg(test)]

@@ -72,11 +72,14 @@ mod tests {
         assert!(!g.is_empty());
         assert_eq!(g.num_elements(), nl.num_pairs() * 3 * 9);
         for (p, n) in g.grads.iter().zip(nl.pairs.iter()) {
-            for d in 0..3 {
-                assert_eq!(p[d].shape(), (3, 3));
+            for (pd, &nd) in p.iter().zip(n.delta.iter()) {
+                assert_eq!(pd.shape(), (3, 3));
                 // Gradient magnitude should scale with |delta_i|.
-                if n.delta[d].abs() < 1e-12 {
-                    assert!(p[d].max_abs() < 1e-10, "zero-displacement direction must have zero gradient");
+                if nd.abs() < 1e-12 {
+                    assert!(
+                        pd.max_abs() < 1e-10,
+                        "zero-displacement direction must have zero gradient"
+                    );
                 }
             }
         }
@@ -105,7 +108,9 @@ mod tests {
                 })
                 .expect("reverse pair exists");
             for d in 0..3 {
-                let want = g.grads[pi][d].transpose().scaled(omen_linalg::c64(-1.0, 0.0));
+                let want = g.grads[pi][d]
+                    .transpose()
+                    .scaled(omen_linalg::c64(-1.0, 0.0));
                 assert!(g.grads[qi][d].approx_eq(&want, 1e-13));
             }
         }

@@ -9,7 +9,7 @@
 use crate::lattice::Lattice;
 use crate::material::Material;
 use crate::neighbors::NeighborList;
-use omen_linalg::{c64, BlockTriDiag, C64, CMatrix};
+use omen_linalg::{c64, BlockTriDiag, CMatrix, C64};
 
 /// Assembles `H(kz)` with an optional per-atom electrostatic potential
 /// (eV) added to the on-site blocks. `potential` must be empty or
@@ -180,7 +180,10 @@ mod tests {
                 .collect();
             let f = d.matvec(&u);
             let maxf = f.iter().map(|z| z.abs()).fold(0.0, f64::max);
-            assert!(maxf < 1e-12, "translation mode (dir {dir}) not free: {maxf}");
+            assert!(
+                maxf < 1e-12,
+                "translation mode (dir {dir}) not free: {maxf}"
+            );
         }
     }
 

@@ -189,7 +189,10 @@ mod tests {
     fn bad_magic_rejected() {
         let mut data = serialize_structure(&DeviceStructure::build(DeviceConfig::tiny())).to_vec();
         data[0] ^= 0xFF;
-        assert_eq!(deserialize_structure(&data).unwrap_err(), IngestError::BadMagic);
+        assert_eq!(
+            deserialize_structure(&data).unwrap_err(),
+            IngestError::BadMagic
+        );
     }
 
     #[test]

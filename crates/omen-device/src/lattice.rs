@@ -47,10 +47,17 @@ impl Lattice {
     ///
     /// # Panics
     /// Panics if `nx` is not divisible by `cols_per_slab`.
-    pub fn rectangular(nx: usize, ny: usize, cols_per_slab: usize, ax: f64, ay: f64, az: f64) -> Self {
+    pub fn rectangular(
+        nx: usize,
+        ny: usize,
+        cols_per_slab: usize,
+        ax: f64,
+        ay: f64,
+        az: f64,
+    ) -> Self {
         assert!(nx > 0 && ny > 0 && cols_per_slab > 0);
         assert!(
-            nx % cols_per_slab == 0,
+            nx.is_multiple_of(cols_per_slab),
             "nx = {nx} must be divisible by cols_per_slab = {cols_per_slab}"
         );
         let num_slabs = nx / cols_per_slab;

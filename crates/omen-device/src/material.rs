@@ -111,14 +111,16 @@ impl Material {
     pub fn hopping_block(&self, delta: [f64; 3]) -> CMatrix {
         let r = norm3(delta);
         let unit = [delta[0] / r, delta[1] / r, delta[2] / r];
-        self.orbital_pattern(unit).scaled(C64::from_re(self.hopping(r)))
+        self.orbital_pattern(unit)
+            .scaled(C64::from_re(self.hopping(r)))
     }
 
     /// Full `norb × norb` overlap block for displacement `delta`.
     pub fn overlap_block(&self, delta: [f64; 3]) -> CMatrix {
         let r = norm3(delta);
         let unit = [delta[0] / r, delta[1] / r, delta[2] / r];
-        self.orbital_pattern(unit).scaled(C64::from_re(self.overlap(r)))
+        self.orbital_pattern(unit)
+            .scaled(C64::from_re(self.overlap(r)))
     }
 
     /// `∇H` blocks: the three `norb × norb` derivative matrices

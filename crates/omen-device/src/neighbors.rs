@@ -174,7 +174,10 @@ mod tests {
         let l = Lattice::rectangular(6, 3, 2, 0.25, 0.25, 1.0);
         let nl = NeighborList::build(&l, 0.3);
         for p in &nl.pairs {
-            assert_eq!(p.z_image, 0, "no z image should be within 0.3 of 1.0 period");
+            assert_eq!(
+                p.z_image, 0,
+                "no z image should be within 0.3 of 1.0 period"
+            );
         }
     }
 

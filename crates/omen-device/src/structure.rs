@@ -158,7 +158,13 @@ impl DeviceStructure {
 
     /// Assembles `H(kz)` with the per-atom electrostatic `potential` (eV).
     pub fn hamiltonian_with_potential(&self, kz: f64, potential: &[f64]) -> BlockTriDiag {
-        assemble_hamiltonian(&self.lattice, &self.neighbors, &self.material, kz, potential)
+        assemble_hamiltonian(
+            &self.lattice,
+            &self.neighbors,
+            &self.material,
+            kz,
+            potential,
+        )
     }
 
     /// Assembles `S(kz)`.
@@ -231,7 +237,12 @@ mod tests {
         let u = d.linear_potential(0.6, 0.25, 0.75);
         assert_eq!(u.len(), d.num_atoms());
         // First slab at 0, last at -0.6.
-        let first = d.lattice.atoms.iter().position(|a| a.pos[0] == 0.0).unwrap();
+        let first = d
+            .lattice
+            .atoms
+            .iter()
+            .position(|a| a.pos[0] == 0.0)
+            .unwrap();
         assert_eq!(u[first], 0.0);
         let len = d.lattice.length();
         let last = d

@@ -5,8 +5,8 @@ use omen_device::{DeviceConfig, DeviceStructure};
 use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = DeviceConfig> {
-    (2usize..7, 1usize..4, 1usize..4, 0.2f64..0.35)
-        .prop_map(|(nx_slabs, ny, norb, ax)| DeviceConfig {
+    (2usize..7, 1usize..4, 1usize..4, 0.2f64..0.35).prop_map(|(nx_slabs, ny, norb, ax)| {
+        DeviceConfig {
             nx: nx_slabs,
             ny,
             cols_per_slab: 1,
@@ -16,7 +16,8 @@ fn arb_config() -> impl Strategy<Value = DeviceConfig> {
             az: ax,
             cutoff: ax * 1.05,
             seed: 0xABCD,
-        })
+        }
+    })
 }
 
 proptest! {

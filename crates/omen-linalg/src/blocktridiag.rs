@@ -49,7 +49,13 @@ impl BlockTriDiag {
         for u in upper.iter().chain(lower.iter()) {
             assert_eq!(u.shape(), (bs, bs), "inconsistent off-diagonal block shape");
         }
-        BlockTriDiag { nb, bs, diag, upper, lower }
+        BlockTriDiag {
+            nb,
+            bs,
+            diag,
+            upper,
+            lower,
+        }
     }
 
     /// Number of diagonal blocks.

@@ -186,7 +186,11 @@ impl Div for C64 {
     type Output = C64;
     #[inline]
     fn div(self, o: C64) -> C64 {
-        self * o.recip()
+        // Division by reciprocal multiplication (one recip, two muls).
+        #[allow(clippy::suspicious_arithmetic_impl)]
+        {
+            self * o.recip()
+        }
     }
 }
 
@@ -349,12 +353,21 @@ mod tests {
         assert!((z.re - 0.3f64.exp()).abs() < 1e-14);
         assert!(z.im.abs() < 1e-14);
         // e^{iπ} = -1
-        assert!(close(c64(0.0, std::f64::consts::PI).exp(), c64(-1.0, 0.0), 1e-14));
+        assert!(close(
+            c64(0.0, std::f64::consts::PI).exp(),
+            c64(-1.0, 0.0),
+            1e-14
+        ));
     }
 
     #[test]
     fn sqrt_squares_back() {
-        for &z in &[c64(2.0, 3.0), c64(-1.0, 0.5), c64(0.0, -4.0), c64(-2.0, -0.1)] {
+        for &z in &[
+            c64(2.0, 3.0),
+            c64(-1.0, 0.5),
+            c64(0.0, -4.0),
+            c64(-2.0, -0.1),
+        ] {
             let r = z.sqrt();
             assert!(close(r * r, z, 1e-12), "sqrt({z:?})^2 = {:?}", r * r);
         }
@@ -362,7 +375,7 @@ mod tests {
 
     #[test]
     fn sum_iterator() {
-        let v = vec![c64(1.0, 1.0); 10];
+        let v = [c64(1.0, 1.0); 10];
         let s: C64 = v.iter().sum();
         assert_eq!(s, c64(10.0, 10.0));
     }

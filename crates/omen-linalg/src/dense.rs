@@ -115,7 +115,10 @@ impl CMatrix {
     /// Unchecked-ish linear index of `(i, j)`.
     #[inline(always)]
     fn idx(&self, i: usize, j: usize) -> usize {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         j * self.rows + i
     }
 
@@ -146,7 +149,7 @@ impl CMatrix {
     /// Scales all elements by a complex factor, in place.
     pub fn scale_inplace(&mut self, s: C64) {
         for v in self.data.iter_mut() {
-            *v = *v * s;
+            *v *= s;
         }
     }
 
@@ -230,7 +233,10 @@ impl CMatrix {
 
     /// Extracts the `br × bc` sub-matrix whose top-left corner is `(r0, c0)`.
     pub fn block(&self, r0: usize, c0: usize, br: usize, bc: usize) -> CMatrix {
-        assert!(r0 + br <= self.rows && c0 + bc <= self.cols, "block out of range");
+        assert!(
+            r0 + br <= self.rows && c0 + bc <= self.cols,
+            "block out of range"
+        );
         CMatrix::from_fn(br, bc, |i, j| self[(r0 + i, c0 + j)])
     }
 

@@ -6,6 +6,9 @@
 //! here are cache-aware but deliberately simple: column-major AXPY/dot
 //! formulations that keep the innermost loop contiguous.
 
+// Kernel helpers mirror BLAS gemm parameter lists.
+#![allow(clippy::too_many_arguments)]
+
 use crate::complex::C64;
 use crate::dense::CMatrix;
 

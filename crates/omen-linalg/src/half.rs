@@ -78,7 +78,11 @@ pub fn f32_to_f16_bits(value: f32) -> u16 {
 
     if exp == 0xFF {
         // Inf or NaN; preserve NaN-ness with a quiet payload bit.
-        return if mant == 0 { sign | 0x7C00 } else { sign | 0x7E00 };
+        return if mant == 0 {
+            sign | 0x7C00
+        } else {
+            sign | 0x7E00
+        };
     }
 
     // Unbiased exponent.

@@ -87,7 +87,11 @@ impl Lu {
             }
         }
 
-        Ok(Lu { lu, perm, perm_sign })
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+        })
     }
 
     /// Dimension of the factored matrix.
@@ -96,6 +100,8 @@ impl Lu {
     }
 
     /// Solves `A x = b` for a single right-hand side, in place.
+    // Triangular-solve index loops mirror the textbook formulation.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve_vec_inplace(&self, b: &mut [C64]) {
         let n = self.n();
         assert_eq!(b.len(), n, "rhs length mismatch");
@@ -109,7 +115,7 @@ impl Lu {
         for i in 1..n {
             let mut acc = b[i];
             for j in 0..i {
-                acc = acc - self.lu[(i, j)] * b[j];
+                acc -= self.lu[(i, j)] * b[j];
             }
             b[i] = acc;
         }
@@ -117,7 +123,7 @@ impl Lu {
         for i in (0..n).rev() {
             let mut acc = b[i];
             for j in (i + 1)..n {
-                acc = acc - self.lu[(i, j)] * b[j];
+                acc -= self.lu[(i, j)] * b[j];
             }
             b[i] = acc * self.lu[(i, i)].recip();
         }
@@ -256,11 +262,7 @@ mod tests {
 
     #[test]
     fn determinant_sign_flips_with_row_swap() {
-        let a = CMatrix::from_vec(
-            2,
-            2,
-            vec![C64::ZERO, C64::ONE, C64::ONE, C64::ZERO],
-        );
+        let a = CMatrix::from_vec(2, 2, vec![C64::ZERO, C64::ONE, C64::ONE, C64::ZERO]);
         let d = Lu::new(&a).unwrap().det();
         assert!((d - c64(-1.0, 0.0)).abs() < 1e-14);
     }

@@ -46,7 +46,10 @@ impl SplitF16Batch {
     pub fn from_c64(data: &[C64], normalization: Normalization) -> Self {
         let factor = match normalization {
             Normalization::PerTensor => {
-                let max = data.iter().map(|z| z.re.abs().max(z.im.abs())).fold(0.0, f64::max);
+                let max = data
+                    .iter()
+                    .map(|z| z.re.abs().max(z.im.abs()))
+                    .fold(0.0, f64::max);
                 if max > 0.0 {
                     NORMALIZATION_TARGET / max
                 } else {
@@ -121,11 +124,20 @@ pub fn sbsmm_f16_raw(
     strides: Strides,
 ) {
     let BatchDims { m, n, k } = dims;
-    assert!(batch == 0 || (batch - 1) * strides.a + m * k <= a_re.len(), "A too short");
+    assert!(
+        batch == 0 || (batch - 1) * strides.a + m * k <= a_re.len(),
+        "A too short"
+    );
     assert_eq!(a_re.len(), a_im.len(), "A planes mismatch");
-    assert!(batch == 0 || (batch - 1) * strides.b + k * n <= b_re.len(), "B too short");
+    assert!(
+        batch == 0 || (batch - 1) * strides.b + k * n <= b_re.len(),
+        "B too short"
+    );
     assert_eq!(b_re.len(), b_im.len(), "B planes mismatch");
-    assert!(batch == 0 || (batch - 1) * strides.c + m * n <= c.len(), "C too short");
+    assert!(
+        batch == 0 || (batch - 1) * strides.c + m * n <= c.len(),
+        "C too short"
+    );
 
     for idx in 0..batch {
         let a0 = idx * strides.a;
@@ -220,7 +232,10 @@ mod tests {
         let b_raw = SplitF16Batch::from_c64(&b, Normalization::None);
         let mut c_raw = vec![C64::ZERO; s.c];
         sbsmm_f16(dims, 1, &a_raw, &b_raw, &mut c_raw, s);
-        assert!(c_raw.iter().all(|z| z.abs() == 0.0), "raw f16 must flush to zero");
+        assert!(
+            c_raw.iter().all(|z| z.abs() == 0.0),
+            "raw f16 must flush to zero"
+        );
 
         // Normalized conversion of the same data preserves the product.
         let a_n = SplitF16Batch::from_c64(&a, Normalization::PerTensor);

@@ -207,14 +207,7 @@ impl CscMatrix {
 /// Supported `op`: `N`, `T`, `C` on the sparse operand (the paper's NT/TN
 /// timings refer to the dense operand's layout; transposing the *dense*
 /// operand is handled by the caller staging `B` appropriately).
-pub fn csrmm(
-    alpha: C64,
-    a: &CsrMatrix,
-    op_a: Op,
-    b: &CMatrix,
-    beta: C64,
-    c: &mut CMatrix,
-) {
+pub fn csrmm(alpha: C64, a: &CsrMatrix, op_a: Op, b: &CMatrix, beta: C64, c: &mut CMatrix) {
     let (m, k) = match op_a {
         Op::N => (a.rows, a.cols),
         Op::T | Op::C => (a.cols, a.rows),
@@ -306,7 +299,7 @@ mod tests {
 
     fn sparse_test_dense(r: usize, c: usize, keep_every: usize) -> CMatrix {
         CMatrix::from_fn(r, c, |i, j| {
-            if (i * c + j) % keep_every == 0 {
+            if (i * c + j).is_multiple_of(keep_every) {
                 c64((i + 1) as f64 * 0.3, (j as f64) - 1.5)
             } else {
                 C64::ZERO
@@ -319,7 +312,10 @@ mod tests {
         let d = sparse_test_dense(7, 5, 3);
         let s = CsrMatrix::from_dense(&d, 0.0);
         assert!(s.to_dense().approx_eq(&d, 0.0));
-        assert_eq!(s.nnz(), d.as_slice().iter().filter(|z| z.abs() > 0.0).count());
+        assert_eq!(
+            s.nnz(),
+            d.as_slice().iter().filter(|z| z.abs() > 0.0).count()
+        );
     }
 
     #[test]

@@ -7,8 +7,10 @@
 //!   `2 · Nqz·Nω · P · (2·Na·(Nb+1)·N3D²·16)` bytes.
 //!
 //! DaCe scheme: four all-to-alls; per process
+//!
 //! * `64·Nkz·(NE/TE + 2Nω)·(Na/Ta + Nb)·Norb²` bytes for `G^≷`+`Σ^≷`,
 //! * `64·Nqz·Nω·(Na/Ta + Nb)·(Nb+1)·N3D²` bytes for `D^≷`+`Π^≷`,
+//!
 //! with `P = Ta·TE` (the halo over-approximation `c ≈ Nb` is the paper's).
 
 use crate::params::SimParams;
@@ -64,7 +66,7 @@ pub fn dace_best_tiling(p: &SimParams, nprocs: usize) -> (usize, usize) {
     let mut best = (nprocs, 1);
     let mut best_vol = f64::INFINITY;
     for ta in 1..=nprocs {
-        if nprocs % ta != 0 {
+        if !nprocs.is_multiple_of(ta) {
             continue;
         }
         let te = nprocs / ta;
@@ -109,18 +111,24 @@ impl VolumeRow {
 /// Table 4: weak scaling of the Small structure,
 /// `(Nkz, P) ∈ {(3,768), (5,1280), (7,1792), (9,2304), (11,2816)}`.
 pub fn table4() -> Vec<VolumeRow> {
-    [(3usize, 768usize), (5, 1280), (7, 1792), (9, 2304), (11, 2816)]
-        .iter()
-        .map(|&(nk, procs)| {
-            let p = SimParams::small(nk);
-            VolumeRow {
-                nk,
-                nprocs: procs,
-                omen: omen_volume(&p, procs),
-                dace: dace_volume(&p, procs),
-            }
-        })
-        .collect()
+    [
+        (3usize, 768usize),
+        (5, 1280),
+        (7, 1792),
+        (9, 2304),
+        (11, 2816),
+    ]
+    .iter()
+    .map(|&(nk, procs)| {
+        let p = SimParams::small(nk);
+        VolumeRow {
+            nk,
+            nprocs: procs,
+            omen: omen_volume(&p, procs),
+            dace: dace_volume(&p, procs),
+        }
+    })
+    .collect()
 }
 
 /// Table 5: strong scaling of the Small structure at `Nkz = 7`.

@@ -141,7 +141,10 @@ mod tests {
         let cached = large_iteration_flops(&p, true) / 1e18;
         assert!((cached - 8.17).abs() / 8.17 < 0.02, "cached {cached:.2}");
         let uncached = large_iteration_flops(&p, false) / 1e18;
-        assert!((uncached - 9.41).abs() / 9.41 < 0.02, "uncached {uncached:.2}");
+        assert!(
+            (uncached - 9.41).abs() / 9.41 < 0.02,
+            "uncached {uncached:.2}"
+        );
     }
 
     #[test]

@@ -14,12 +14,12 @@ pub mod roofline;
 pub mod scaling;
 
 pub use commvolume::{
-    dace_best_tiling, dace_volume, dace_volume_with, omen_invocations, omen_volume, table4,
-    table5, VolumeRow, TIB,
+    dace_best_tiling, dace_volume, dace_volume_with, omen_invocations, omen_volume, table4, table5,
+    VolumeRow, TIB,
 };
 pub use flops::{
-    bc_flops_total, large_iteration_flops, rgf_flops_total, sse_flops_dace, sse_flops_omen,
-    table3, Table3Row,
+    bc_flops_total, large_iteration_flops, rgf_flops_total, sse_flops_dace, sse_flops_omen, table3,
+    Table3Row,
 };
 pub use machines::{Gpu, MachineSpec, P100, V100};
 pub use params::{table2_requirements, Requirement, SimParams};

@@ -284,15 +284,27 @@ mod tests {
         let t: f64 = 1.0;
         let want_im = -(4.0 * t * t - x * x).sqrt() / (2.0 * t * t);
         let want_re = x / (2.0 * t * t);
-        assert!((s.g[(0, 0)].im - want_im).abs() < 1e-6, "im {}", s.g[(0, 0)].im);
-        assert!((s.g[(0, 0)].re - want_re).abs() < 1e-6, "re {}", s.g[(0, 0)].re);
+        assert!(
+            (s.g[(0, 0)].im - want_im).abs() < 1e-6,
+            "im {}",
+            s.g[(0, 0)].im
+        );
+        assert!(
+            (s.g[(0, 0)].re - want_re).abs() < 1e-6,
+            "re {}",
+            s.g[(0, 0)].re
+        );
     }
 
     #[test]
     fn decimation_converges_fast() {
         let (d, a, b) = chain_blocks(0.5, 1e-6, 0.0, 1.0, 3);
         let s = surface_gf(BoundaryMethod::SanchoRubio, &d, &a, &b, 1e-12, 200);
-        assert!(s.iterations < 60, "decimation took {} iterations", s.iterations);
+        assert!(
+            s.iterations < 60,
+            "decimation took {} iterations",
+            s.iterations
+        );
         assert!(s.residual < 1e-8, "residual {}", s.residual);
     }
 
@@ -308,7 +320,10 @@ mod tests {
             s1.g[(0, 0)],
             s2.g[(0, 0)]
         );
-        assert!(s2.iterations > s1.iterations, "fixed point should be slower");
+        assert!(
+            s2.iterations > s1.iterations,
+            "fixed point should be slower"
+        );
     }
 
     #[test]
@@ -324,7 +339,11 @@ mod tests {
         let (d, a, b) = chain_blocks(0.1, 1e-6, 0.0, 1.0, 3);
         let s = surface_gf(BoundaryMethod::SanchoRubio, &d, &a, &b, 1e-13, 200);
         for i in 0..3 {
-            assert!(s.g[(i, i)].im <= 1e-10, "Im g[{i},{i}] = {}", s.g[(i, i)].im);
+            assert!(
+                s.g[(i, i)].im <= 1e-10,
+                "Im g[{i},{i}] = {}",
+                s.g[(i, i)].im
+            );
         }
     }
 

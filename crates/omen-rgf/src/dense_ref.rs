@@ -109,8 +109,14 @@ mod tests {
     fn lesser_greater_anti_hermitian() {
         let (m, sl, sg) = test_system(3, 2);
         let sol = dense_solve(&m, &sl, &sg);
-        assert!(sol.gl.is_anti_hermitian(1e-10), "G^< must be anti-Hermitian");
-        assert!(sol.gg.is_anti_hermitian(1e-10), "G^> must be anti-Hermitian");
+        assert!(
+            sol.gl.is_anti_hermitian(1e-10),
+            "G^< must be anti-Hermitian"
+        );
+        assert!(
+            sol.gg.is_anti_hermitian(1e-10),
+            "G^> must be anti-Hermitian"
+        );
     }
 
     #[test]

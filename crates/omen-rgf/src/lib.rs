@@ -12,13 +12,13 @@ pub use boundary::{
     bose, boundary_self_energies, contact_sigma_lg, fermi, surface_gf, BoundaryMethod,
     BoundarySelfEnergies, SurfaceGf,
 };
+pub use dense_ref::{dense_solve, DenseSolution};
 pub use observables::{
     block_ldos, block_occupation, caroli_transmission, contact_current, current_profile,
     interface_current, orbital_occupation,
 };
-pub use dense_ref::{dense_solve, DenseSolution};
 pub use points::{
-    CacheMode, ElectronParams, ElectronSolver, PhaseTimes, PhononParams, PhononSolver,
+    CacheMode, ElectronParams, ElectronSolver, GfSolver, PhaseTimes, PhononParams, PhononSolver,
     PointSolution,
 };
 pub use rgf::{rgf_flops_model, rgf_solve, RgfInputs, RgfSolution};

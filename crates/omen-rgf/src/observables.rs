@@ -27,7 +27,12 @@ pub fn interface_current(u: &CMatrix, gl_lower: &CMatrix) -> f64 {
 /// lead into the device. For a two-terminal device in steady state,
 /// `i_L(E)` integrates to the same current as [`interface_current`] at any
 /// interface.
-pub fn contact_current(sigma_l_boundary: &CMatrix, sigma_g_boundary: &CMatrix, gl0: &CMatrix, gg0: &CMatrix) -> f64 {
+pub fn contact_current(
+    sigma_l_boundary: &CMatrix,
+    sigma_g_boundary: &CMatrix,
+    gl0: &CMatrix,
+    gg0: &CMatrix,
+) -> f64 {
     let t1 = matmul(sigma_l_boundary, gg0).trace();
     let t2 = matmul(sigma_g_boundary, gl0).trace();
     (t1 - t2).re
@@ -37,11 +42,7 @@ pub fn contact_current(sigma_l_boundary: &CMatrix, sigma_g_boundary: &CMatrix, g
 /// and validation use):
 ///
 /// `T(E) = Tr[ Γ_L · G^R[0][N−1] · Γ_R · (G^R[0][N−1])† ]`.
-pub fn caroli_transmission(
-    m: &BlockTriDiag,
-    gamma_left: &CMatrix,
-    gamma_right: &CMatrix,
-) -> f64 {
+pub fn caroli_transmission(m: &BlockTriDiag, gamma_left: &CMatrix, gamma_right: &CMatrix) -> f64 {
     let bs = m.block_size();
     let nb = m.num_blocks();
     let gr = invert(&m.to_dense());
@@ -191,10 +192,7 @@ mod tests {
             .map(|n| interface_current(&m.upper[n], &sol.gl_lower[n]))
             .collect();
         for (n, jn) in j.iter().enumerate() {
-            assert!(
-                (jn - t).abs() < 1e-4,
-                "interface {n}: j = {jn}, T = {t}"
-            );
+            assert!((jn - t).abs() < 1e-4, "interface {n}: j = {jn}, T = {t}");
         }
         // Contact current agrees.
         let (sl_b, sg_b) = contact_sigma_lg(&sbl, 1.0, false);
@@ -242,7 +240,10 @@ mod tests {
         for n in 0..6 {
             let occ = block_occupation(&sol.gl_diag[n]);
             let ldos = block_ldos(&sol.gr_diag[n]) * 2.0 * std::f64::consts::PI;
-            assert!((occ - ldos).abs() < 1e-4, "block {n}: occ {occ} vs A {ldos}");
+            assert!(
+                (occ - ldos).abs() < 1e-4,
+                "block {n}: occ {occ} vs A {ldos}"
+            );
             assert!(occ > 0.0);
         }
         let (m0, sl0, sg0, _, _, _, _) = ballistic_chain(6, 1.7, 0.0, 0.0);

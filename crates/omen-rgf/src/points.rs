@@ -117,6 +117,36 @@ impl Default for PhononParams {
     }
 }
 
+/// One Green's-function solver over a 2-D grid of points — the common
+/// interface of [`ElectronSolver`] (`(kz, E)` points) and
+/// [`PhononSolver`] (`(qz, ω)` points).
+///
+/// The trait is what the driver's execution engine programs against: a
+/// point sweep is `solve_point` over every `(i, j)` of the grid, with the
+/// optional scattering self-energy blocks of the current Born iteration.
+/// Construction stays on the concrete types (their parameter sets differ);
+/// construction is cheap — caches start empty — so parallel executors
+/// build one solver per worker.
+pub trait GfSolver {
+    /// Solves grid point `(i, j)` given optional retarded/lesser/greater
+    /// scattering self-energy blocks (`None` on the ballistic first
+    /// iteration).
+    fn solve_point(
+        &mut self,
+        i: usize,
+        j: usize,
+        sigma_r: Option<&[CMatrix]>,
+        sigma_l: Option<&[CMatrix]>,
+        sigma_g: Option<&[CMatrix]>,
+    ) -> PointSolution;
+
+    /// The carrier this solver models (diagnostics/logging).
+    fn carrier(&self) -> &'static str;
+
+    /// Approximate resident bytes of the solver's caches.
+    fn cache_bytes(&self) -> usize;
+}
+
 /// Output of one GF point solve.
 pub struct PointSolution {
     /// The RGF blocks.
@@ -216,9 +246,7 @@ impl<'a> ElectronSolver<'a> {
         let (h, s) = if use_spec_cache && self.spec_cache[ik].is_some() {
             self.spec_cache[ik].clone().unwrap()
         } else {
-            let h = self
-                .device
-                .hamiltonian_with_potential(kz, &self.potential);
+            let h = self.device.hamiltonian_with_potential(kz, &self.potential);
             let s = self.device.overlap(kz);
             if use_spec_cache {
                 self.spec_cache[ik] = Some((h.clone(), s.clone()));
@@ -303,6 +331,27 @@ impl<'a> ElectronSolver<'a> {
             gamma: (bse.gamma_left, bse.gamma_right),
             times,
         }
+    }
+}
+
+impl GfSolver for ElectronSolver<'_> {
+    fn solve_point(
+        &mut self,
+        i: usize,
+        j: usize,
+        sigma_r: Option<&[CMatrix]>,
+        sigma_l: Option<&[CMatrix]>,
+        sigma_g: Option<&[CMatrix]>,
+    ) -> PointSolution {
+        self.solve(i, j, sigma_r, sigma_l, sigma_g)
+    }
+
+    fn carrier(&self) -> &'static str {
+        "electron"
+    }
+
+    fn cache_bytes(&self) -> usize {
+        ElectronSolver::cache_bytes(self)
     }
 }
 
@@ -452,6 +501,39 @@ impl<'a> PhononSolver<'a> {
             gamma: (bse.gamma_left, bse.gamma_right),
             times,
         }
+    }
+}
+
+impl PhononSolver<'_> {
+    /// Approximate resident bytes of the caches (mirrors
+    /// [`ElectronSolver::cache_bytes`]).
+    pub fn cache_bytes(&self) -> usize {
+        let bs = self.device.block_size_ph();
+        let bnum = self.device.bnum();
+        let spec = self.spec_cache.iter().flatten().count() * (bnum * 3) * bs * bs * 16;
+        let bc = self.bc_cache.iter().flatten().count() * 4 * bs * bs * 16;
+        spec + bc
+    }
+}
+
+impl GfSolver for PhononSolver<'_> {
+    fn solve_point(
+        &mut self,
+        i: usize,
+        j: usize,
+        sigma_r: Option<&[CMatrix]>,
+        sigma_l: Option<&[CMatrix]>,
+        sigma_g: Option<&[CMatrix]>,
+    ) -> PointSolution {
+        self.solve(i, j, sigma_r, sigma_l, sigma_g)
+    }
+
+    fn carrier(&self) -> &'static str {
+        "phonon"
+    }
+
+    fn cache_bytes(&self) -> usize {
+        PhononSolver::cache_bytes(self)
     }
 }
 

@@ -14,8 +14,8 @@
 
 use crate::dense_ref::DenseSolution;
 use omen_linalg::{
-    gemm, gemm_flops, invert, lu::lu_flops, matmul, matmul3, matmul_op, BlockTriDiag, CMatrix,
-    C64, Op,
+    gemm, gemm_flops, invert, lu::lu_flops, matmul, matmul3, matmul_op, BlockTriDiag, CMatrix, Op,
+    C64,
 };
 
 /// Inputs of one RGF solve: one energy-momentum point.
@@ -85,7 +85,15 @@ pub fn rgf_solve(inp: &RgfInputs) -> RgfSolution {
                 // L[n−1] · p · L[n−1]†
                 let lp = matmul(&m.lower[n - 1], p);
                 let mut t = CMatrix::zeros(bs, bs);
-                gemm(C64::ONE, &lp, Op::N, &m.lower[n - 1], Op::C, C64::ZERO, &mut t);
+                gemm(
+                    C64::ONE,
+                    &lp,
+                    Op::N,
+                    &m.lower[n - 1],
+                    Op::C,
+                    C64::ZERO,
+                    &mut t,
+                );
                 *flops += 2 * g3;
                 s += &t;
             }
@@ -139,9 +147,9 @@ pub fn rgf_solve(inp: &RgfInputs) -> RgfSolution {
 
         // Lesser/greater recursions (identical algebra, different Σ).
         let step = |g_conn_next: &CMatrix,
-                        g_less_next: &CMatrix,
-                        g_less_left: &CMatrix,
-                        flops: &mut u64|
+                    g_less_next: &CMatrix,
+                    g_less_left: &CMatrix,
+                    flops: &mut u64|
          -> (CMatrix, CMatrix) {
             // T1 = gL·U·G≷[n+1]·U†·gL†
             let gu = matmul(gl_n, u);
@@ -214,10 +222,22 @@ impl RgfSolution {
             upd(&self.gg_diag[n], &DenseSolution::block(&dense.gg, bs, n, n));
         }
         for n in 0..nb.saturating_sub(1) {
-            upd(&self.gr_upper[n], &DenseSolution::block(&dense.gr, bs, n, n + 1));
-            upd(&self.gr_lower[n], &DenseSolution::block(&dense.gr, bs, n + 1, n));
-            upd(&self.gl_lower[n], &DenseSolution::block(&dense.gl, bs, n + 1, n));
-            upd(&self.gg_lower[n], &DenseSolution::block(&dense.gg, bs, n + 1, n));
+            upd(
+                &self.gr_upper[n],
+                &DenseSolution::block(&dense.gr, bs, n, n + 1),
+            );
+            upd(
+                &self.gr_lower[n],
+                &DenseSolution::block(&dense.gr, bs, n + 1, n),
+            );
+            upd(
+                &self.gl_lower[n],
+                &DenseSolution::block(&dense.gl, bs, n + 1, n),
+            );
+            upd(
+                &self.gg_lower[n],
+                &DenseSolution::block(&dense.gg, bs, n + 1, n),
+            );
         }
         worst
     }
@@ -255,11 +275,7 @@ mod tests {
 
     /// Builds a physically-shaped random test system: Hermitian H-like part
     /// plus +iη, anti-Hermitian Σ^≷ blocks.
-    fn test_system(
-        nb: usize,
-        bs: usize,
-        seed: f64,
-    ) -> (BlockTriDiag, Vec<CMatrix>, Vec<CMatrix>) {
+    fn test_system(nb: usize, bs: usize, seed: f64) -> (BlockTriDiag, Vec<CMatrix>, Vec<CMatrix>) {
         let mut m = BlockTriDiag::zeros(nb, bs);
         for b in 0..nb {
             let mut h = CMatrix::from_fn(bs, bs, |i, j| {

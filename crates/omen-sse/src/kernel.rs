@@ -1,0 +1,182 @@
+//! The [`SseKernel`] trait: SSE evaluation as a pluggable strategy.
+//!
+//! The three kernel variants of the paper (§5.3–5.4) share one signature —
+//! Green's function tensors in, self-energy tensors out — so the driver
+//! dispatches through a trait object instead of matching on an enum. Each
+//! implementation owns its layout requirements: callers hand over tensors
+//! in any layout and the kernel converts when needed (conversion is
+//! skipped when the input already matches, so a driver that caches the
+//! preferred layout pays nothing).
+
+use crate::mixed::{sse_mixed, MixedConfig};
+use crate::problem::SseProblem;
+use crate::reference::{sse_reference, SseOutput};
+use crate::tensors::{DLayout, DTensor, GLayout, GTensor};
+use crate::transformed::sse_transformed;
+
+/// One scattering-self-energy evaluation strategy.
+///
+/// Implementations must be pure: the same inputs produce the same outputs,
+/// and no state is carried between calls (the driver may call `run`
+/// concurrently from different simulations).
+pub trait SseKernel: Send + Sync {
+    /// Short identifier for logs and benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Evaluates `Σ^≷` and `Π^≷` from the Green's function tensors.
+    fn run(
+        &self,
+        prob: &SseProblem,
+        g_l: &GTensor,
+        g_g: &GTensor,
+        d_l: &DTensor,
+        d_g: &DTensor,
+    ) -> SseOutput;
+}
+
+/// Borrows `g` when it is already in `want` layout, converting otherwise.
+fn in_layout(g: &GTensor, want: GLayout) -> std::borrow::Cow<'_, GTensor> {
+    if g.layout == want {
+        std::borrow::Cow::Borrowed(g)
+    } else {
+        std::borrow::Cow::Owned(g.to_layout(want))
+    }
+}
+
+/// Borrows `d` when it is already in `want` layout, converting otherwise.
+fn in_layout_d(d: &DTensor, want: DLayout) -> std::borrow::Cow<'_, DTensor> {
+    if d.layout == want {
+        std::borrow::Cow::Borrowed(d)
+    } else {
+        std::borrow::Cow::Owned(d.to_layout(want))
+    }
+}
+
+/// The OMEN-style reference loop nest (baseline; §5.3, Table 10).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReferenceKernel;
+
+impl SseKernel for ReferenceKernel {
+    fn name(&self) -> &'static str {
+        "reference"
+    }
+
+    fn run(
+        &self,
+        prob: &SseProblem,
+        g_l: &GTensor,
+        g_g: &GTensor,
+        d_l: &DTensor,
+        d_g: &DTensor,
+    ) -> SseOutput {
+        let gl = in_layout(g_l, GLayout::PairMajor);
+        let gg = in_layout(g_g, GLayout::PairMajor);
+        let dl = in_layout_d(d_l, DLayout::PointMajor);
+        let dg = in_layout_d(d_g, DLayout::PointMajor);
+        sse_reference(prob, &gl, &gg, &dl, &dg)
+    }
+}
+
+/// The DaCe-transformed kernel (map fission, relayout, strided-batched
+/// GEMM, fusion; Fig. 6).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TransformedKernel;
+
+impl SseKernel for TransformedKernel {
+    fn name(&self) -> &'static str {
+        "transformed"
+    }
+
+    fn run(
+        &self,
+        prob: &SseProblem,
+        g_l: &GTensor,
+        g_g: &GTensor,
+        d_l: &DTensor,
+        d_g: &DTensor,
+    ) -> SseOutput {
+        let gl = in_layout(g_l, GLayout::AtomMajor);
+        let gg = in_layout(g_g, GLayout::AtomMajor);
+        let dl = in_layout_d(d_l, DLayout::PointMajor);
+        let dg = in_layout_d(d_g, DLayout::PointMajor);
+        sse_transformed(prob, &gl, &gg, &dl, &dg)
+    }
+}
+
+/// The Tensor-Core-emulating binary16 kernel (§5.4).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MixedKernel {
+    /// Normalization policy of the f16 conversion.
+    pub config: MixedConfig,
+}
+
+impl MixedKernel {
+    /// A mixed-precision kernel with the given configuration.
+    pub fn new(config: MixedConfig) -> Self {
+        MixedKernel { config }
+    }
+}
+
+impl SseKernel for MixedKernel {
+    fn name(&self) -> &'static str {
+        "mixed-f16"
+    }
+
+    fn run(
+        &self,
+        prob: &SseProblem,
+        g_l: &GTensor,
+        g_g: &GTensor,
+        d_l: &DTensor,
+        d_g: &DTensor,
+    ) -> SseOutput {
+        let gl = in_layout(g_l, GLayout::AtomMajor);
+        let gg = in_layout(g_g, GLayout::AtomMajor);
+        let dl = in_layout_d(d_l, DLayout::PointMajor);
+        let dg = in_layout_d(d_g, DLayout::PointMajor);
+        sse_mixed(prob, &gl, &gg, &dl, &dg, self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{random_inputs, tiny_device, tiny_problem};
+
+    #[test]
+    fn trait_dispatch_matches_direct_calls() {
+        let dev = tiny_device();
+        let prob = tiny_problem(&dev);
+        let (gl, gg, dl, dg) = random_inputs(&prob, 7);
+        let direct = sse_reference(&prob, &gl, &gg, &dl, &dg);
+        let kernels: Vec<Box<dyn SseKernel>> = vec![
+            Box::new(ReferenceKernel),
+            Box::new(TransformedKernel),
+            Box::new(MixedKernel::default()),
+        ];
+        for k in &kernels {
+            let out = k.run(&prob, &gl, &gg, &dl, &dg);
+            let scale = direct.sigma_l.max_abs().max(1e-300);
+            let tol = if k.name() == "mixed-f16" { 1e-2 } else { 1e-10 };
+            assert!(
+                out.sigma_l.max_deviation(&direct.sigma_l) / scale < tol,
+                "{} deviates from reference",
+                k.name()
+            );
+        }
+    }
+
+    #[test]
+    fn layout_conversion_is_transparent() {
+        let dev = tiny_device();
+        let prob = tiny_problem(&dev);
+        let (gl, gg, dl, dg) = random_inputs(&prob, 13);
+        let gla = gl.to_layout(GLayout::AtomMajor);
+        let gga = gg.to_layout(GLayout::AtomMajor);
+        // Same kernel, both input layouts: identical results.
+        let a = TransformedKernel.run(&prob, &gl, &gg, &dl, &dg);
+        let b = TransformedKernel.run(&prob, &gla, &gga, &dl, &dg);
+        assert_eq!(a.sigma_l.max_deviation(&b.sigma_l), 0.0);
+        assert_eq!(a.flops, b.flops);
+    }
+}

@@ -13,6 +13,7 @@
 //! elementwise agreement (exact for transformed, ~1e-3 relative for f16).
 
 pub mod flops;
+pub mod kernel;
 pub mod mixed;
 pub mod point_kernels;
 pub mod problem;
@@ -24,8 +25,11 @@ pub mod transformed;
 pub mod testutil;
 
 pub use flops::{sse_flops_dace, sse_flops_omen, SseFlopParams};
+pub use kernel::{MixedKernel, ReferenceKernel, SseKernel, TransformedKernel};
 pub use mixed::{sse_mixed, MixedConfig};
-pub use point_kernels::{pi_round_update, sigma_round_update, sigma_round_update_atoms, DBlocks, GBlocks};
+pub use point_kernels::{
+    pi_round_update, sigma_round_update, sigma_round_update_atoms, DBlocks, GBlocks,
+};
 pub use problem::SseProblem;
 pub use reference::{d_combination, d_combination_from, sse_reference, trace_product, SseOutput};
 pub use tensors::{DLayout, DTensor, GLayout, GTensor, D_BSZ};

@@ -201,6 +201,9 @@ fn pi_stage_f64(prob: &SseProblem, tr: &Transients) -> (DTensor, DTensor, u64) {
     let mut pi_g = DTensor::zeros(nq, nw, npairs, na, DLayout::PointMajor);
     let mut flops = 0u64;
     let pairs = &prob.device.neighbors.pairs;
+    // `p` indexes `pairs` and `rev_pair` in lockstep; an iterator zip
+    // would obscure the pair/reverse-pair relationship.
+    #[allow(clippy::needless_range_loop)]
     for p in 0..npairs {
         let a = pairs[p].from;
         let rev = prob.rev_pair[p];

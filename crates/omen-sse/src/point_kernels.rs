@@ -117,14 +117,28 @@ pub fn sigma_round_update_atoms(
                 let gi = grad_ab[i].as_slice();
                 let out_l_blk = &mut out_l[ax * bsz..(ax + 1) * bsz];
                 if emission {
-                    small_gemm(dims, C64::ONE, gi, g_l.gblock(kk, e - steps, b), C64::ZERO, &mut t1);
+                    small_gemm(
+                        dims,
+                        C64::ONE,
+                        gi,
+                        g_l.gblock(kk, e - steps, b),
+                        C64::ZERO,
+                        &mut t1,
+                    );
                     small_gemm(dims, C64::ONE, &t1, &c_l, C64::ZERO, &mut t2);
                     for (o, v) in out_l_blk.iter_mut().zip(&t2) {
                         *o += *v;
                     }
                 }
                 if absorption {
-                    small_gemm(dims, C64::ONE, gi, g_l.gblock(kk, e + steps, b), C64::ZERO, &mut t1);
+                    small_gemm(
+                        dims,
+                        C64::ONE,
+                        gi,
+                        g_l.gblock(kk, e + steps, b),
+                        C64::ZERO,
+                        &mut t1,
+                    );
                     small_gemm(dims, C64::ONE, &t1, &c_g, C64::ZERO, &mut t2);
                     for (o, v) in out_l_blk.iter_mut().zip(&t2) {
                         *o += *v;
@@ -132,14 +146,28 @@ pub fn sigma_round_update_atoms(
                 }
                 let out_g_blk = &mut out_g[ax * bsz..(ax + 1) * bsz];
                 if emission {
-                    small_gemm(dims, C64::ONE, gi, g_g.gblock(kk, e - steps, b), C64::ZERO, &mut t1);
+                    small_gemm(
+                        dims,
+                        C64::ONE,
+                        gi,
+                        g_g.gblock(kk, e - steps, b),
+                        C64::ZERO,
+                        &mut t1,
+                    );
                     small_gemm(dims, C64::ONE, &t1, &c_g, C64::ZERO, &mut t2);
                     for (o, v) in out_g_blk.iter_mut().zip(&t2) {
                         *o += *v;
                     }
                 }
                 if absorption {
-                    small_gemm(dims, C64::ONE, gi, g_g.gblock(kk, e + steps, b), C64::ZERO, &mut t1);
+                    small_gemm(
+                        dims,
+                        C64::ONE,
+                        gi,
+                        g_g.gblock(kk, e + steps, b),
+                        C64::ZERO,
+                        &mut t1,
+                    );
                     small_gemm(dims, C64::ONE, &t1, &c_l, C64::ZERO, &mut t2);
                     for (o, v) in out_g_blk.iter_mut().zip(&t2) {
                         *o += *v;
@@ -189,11 +217,39 @@ pub fn pi_round_update(
         let mut c_g = [C64::ZERO; D_BSZ];
         for i in 0..3 {
             for j in 0..3 {
-                small_gemm(dims, C64::ONE, grad_ba[i].as_slice(), g_l.gblock(kq, e + steps, a), C64::ZERO, &mut t1);
-                small_gemm(dims, C64::ONE, grad_ab[j].as_slice(), g_g.gblock(k, e, b), C64::ZERO, &mut t2);
+                small_gemm(
+                    dims,
+                    C64::ONE,
+                    grad_ba[i].as_slice(),
+                    g_l.gblock(kq, e + steps, a),
+                    C64::ZERO,
+                    &mut t1,
+                );
+                small_gemm(
+                    dims,
+                    C64::ONE,
+                    grad_ab[j].as_slice(),
+                    g_g.gblock(k, e, b),
+                    C64::ZERO,
+                    &mut t2,
+                );
                 c_l[j * 3 + i] += trace_product(&t1, &t2, norb);
-                small_gemm(dims, C64::ONE, grad_ba[i].as_slice(), g_g.gblock(kq, e + steps, a), C64::ZERO, &mut t1);
-                small_gemm(dims, C64::ONE, grad_ab[j].as_slice(), g_l.gblock(k, e, b), C64::ZERO, &mut t2);
+                small_gemm(
+                    dims,
+                    C64::ONE,
+                    grad_ba[i].as_slice(),
+                    g_g.gblock(kq, e + steps, a),
+                    C64::ZERO,
+                    &mut t1,
+                );
+                small_gemm(
+                    dims,
+                    C64::ONE,
+                    grad_ab[j].as_slice(),
+                    g_l.gblock(k, e, b),
+                    C64::ZERO,
+                    &mut t2,
+                );
                 c_g[j * 3 + i] += trace_product(&t1, &t2, norb);
             }
         }
@@ -285,7 +341,9 @@ mod tests {
         // Σ at e=ne−1 has emission only; accumulator changes.
         let mut acc_l = vec![C64::ZERO; na * bsz];
         let mut acc_g = vec![C64::ZERO; na * bsz];
-        sigma_round_update(&prob, 0, 0, 0, e, &gl, &gg, &dl, &dg, &mut acc_l, &mut acc_g);
+        sigma_round_update(
+            &prob, 0, 0, 0, e, &gl, &gg, &dl, &dg, &mut acc_l, &mut acc_g,
+        );
         assert!(acc_l.iter().any(|z| z.abs() > 0.0));
         let _ = (dl, dg);
     }

@@ -78,8 +78,16 @@ pub fn sse_reference(
     d_l: &DTensor,
     d_g: &DTensor,
 ) -> SseOutput {
-    assert_eq!(g_l.layout, GLayout::PairMajor, "reference expects PairMajor G");
-    assert_eq!(d_l.layout, DLayout::PointMajor, "reference expects PointMajor D");
+    assert_eq!(
+        g_l.layout,
+        GLayout::PairMajor,
+        "reference expects PairMajor G"
+    );
+    assert_eq!(
+        d_l.layout,
+        DLayout::PointMajor,
+        "reference expects PointMajor D"
+    );
     let norb = prob.norb();
     let bsz = norb * norb;
     let dims = BatchDims::square(norb);
@@ -306,7 +314,13 @@ mod tests {
         let dev = crate::testutil::tiny_device();
         let prob = tiny_problem(&dev);
         let (gl, gg, dl, dg) = random_inputs(&prob, 3);
-        let zero_dl = DTensor::zeros(prob.nq, prob.nw, prob.npairs(), prob.na(), DLayout::PointMajor);
+        let zero_dl = DTensor::zeros(
+            prob.nq,
+            prob.nw,
+            prob.npairs(),
+            prob.na(),
+            DLayout::PointMajor,
+        );
         let zero_dg = zero_dl.clone();
         let out = sse_reference(&prob, &gl, &gg, &zero_dl, &zero_dg);
         assert_eq!(out.sigma_l.max_abs(), 0.0);

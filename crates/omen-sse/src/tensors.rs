@@ -92,6 +92,11 @@ impl GTensor {
         &mut self.data
     }
 
+    /// Consumes the tensor, returning its backing buffer (layout-ordered).
+    pub fn into_vec(self) -> Vec<C64> {
+        self.data
+    }
+
     /// Returns a copy converted to `layout` (no-op copy if identical).
     pub fn to_layout(&self, layout: GLayout) -> GTensor {
         if layout == self.layout {
@@ -239,6 +244,11 @@ impl DTensor {
     /// Full mutable data slice.
     pub fn as_mut_slice(&mut self) -> &mut [C64] {
         &mut self.data
+    }
+
+    /// Consumes the tensor, returning its backing buffer (layout-ordered).
+    pub fn into_vec(self) -> Vec<C64> {
+        self.data
     }
 
     /// Returns a copy converted to `layout`.

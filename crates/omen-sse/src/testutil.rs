@@ -31,10 +31,7 @@ fn rnd(seed: u64, tag: u64) -> f64 {
 /// * `G^≷` atom-diagonal blocks made anti-Hermitian with magnitude ~1e-3
 ///   (like real lesser/greater GFs);
 /// * `D^≷` pair/diagonal blocks with magnitude ~1e-5.
-pub fn random_inputs(
-    prob: &SseProblem,
-    seed: u64,
-) -> (GTensor, GTensor, DTensor, DTensor) {
+pub fn random_inputs(prob: &SseProblem, seed: u64) -> (GTensor, GTensor, DTensor, DTensor) {
     let norb = prob.norb();
     let na = prob.na();
     let mk_g = |shift: u64| {
@@ -71,9 +68,9 @@ pub fn random_inputs(
             for w in 0..prob.nw {
                 for en in 0..d.nentries() {
                     let blk = d.block_mut(q, w, en);
-                    for x in 0..9 {
+                    for (x, v) in blk.iter_mut().enumerate() {
                         let tag = (((q * 31 + w) * 37 + en) * 9 + x) as u64;
-                        blk[x] = c64(
+                        *v = c64(
                             rnd(seed + shift + 7, tag) * 1e-5,
                             rnd(seed + shift + 13, tag ^ 0x5555) * 1e-5,
                         );

@@ -68,8 +68,16 @@ pub fn build_transients(
     d_l: &DTensor,
     d_g: &DTensor,
 ) -> Transients {
-    assert_eq!(g_l.layout, GLayout::AtomMajor, "transformed kernel expects AtomMajor G");
-    assert_eq!(g_g.layout, GLayout::AtomMajor, "transformed kernel expects AtomMajor G");
+    assert_eq!(
+        g_l.layout,
+        GLayout::AtomMajor,
+        "transformed kernel expects AtomMajor G"
+    );
+    assert_eq!(
+        g_g.layout,
+        GLayout::AtomMajor,
+        "transformed kernel expects AtomMajor G"
+    );
     let norb = prob.norb();
     let bsz = norb * norb;
     let dims = BatchDims::square(norb);
@@ -300,6 +308,9 @@ pub fn consume_transients(prob: &SseProblem, tr: &Transients) -> SseOutput {
     let mut pi_g = DTensor::zeros(nq, nw, npairs, na, DLayout::PointMajor);
     let mut flops_d = 0u64;
     let pairs = &prob.device.neighbors.pairs;
+    // `p` indexes `pairs` and `rev_pair` in lockstep; an iterator zip
+    // would obscure the pair/reverse-pair relationship.
+    #[allow(clippy::needless_range_loop)]
     for p in 0..npairs {
         let a = pairs[p].from;
         let rev = prob.rev_pair[p];

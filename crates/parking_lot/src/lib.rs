@@ -1,0 +1,29 @@
+//! A minimal, dependency-free stand-in for the `parking_lot` crate.
+//!
+//! Provides `Mutex` with parking_lot's non-poisoning `lock()` signature
+//! over `std::sync::Mutex` (a poisoned lock propagates the panic, which
+//! matches parking_lot's effective behavior for this workspace).
+
+/// A mutual-exclusion lock with infallible `lock()`.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+/// Guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, panicking if a previous holder panicked.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().expect("mutex poisoned")
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().expect("mutex poisoned")
+    }
+}

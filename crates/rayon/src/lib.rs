@@ -1,0 +1,418 @@
+//! A minimal, dependency-free stand-in for the `rayon` crate.
+//!
+//! The workspace builds in environments without crates.io access, so this
+//! crate vendors the small subset of rayon's API the codebase uses:
+//!
+//! * [`ParallelSliceMut::par_chunks_mut`] with `take` / `enumerate` /
+//!   `zip` / `map` / `sum` / `for_each` adapters;
+//! * [`IntoParallelIterator`] for `Range<usize>`;
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] for bounded worker
+//!   counts.
+//!
+//! Semantics match rayon where it matters for this workspace:
+//!
+//! * adapters are *order-preserving*: `map(...).sum()` reduces bucket
+//!   results in item order, so floating-point reductions are deterministic
+//!   and independent of the worker count;
+//! * `install` bounds the parallelism of everything run inside it;
+//! * items are distributed over `std::thread::scope` workers in contiguous
+//!   balanced buckets (uniform-cost items — the workloads here — balance
+//!   perfectly).
+//!
+//! To use the real rayon, delete `crates/rayon` and point the workspace
+//! `rayon` dependency at crates.io; no call sites change.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The worker count used by parallel drivers on this thread: the installed
+/// pool's size if inside [`ThreadPool::install`], else the machine's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    let installed = POOL_THREADS.with(|t| t.get());
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Balanced contiguous split of `n` items into `parts`; part `i` gets
+/// `[lo, hi)`.
+fn split_range(n: usize, parts: usize, i: usize) -> (usize, usize) {
+    let base = n / parts;
+    let rem = n % parts;
+    let lo = i * base + i.min(rem);
+    (lo, lo + base + usize::from(i < rem))
+}
+
+/// Runs `f` over every item on up to [`current_num_threads`] scoped
+/// threads.
+fn drive<I, F>(items: Vec<I>, f: &F)
+where
+    I: Send,
+    F: Fn(I) + Sync,
+{
+    drive_map(items, &|item| f(item));
+}
+
+/// Runs `f` over every item, returning results *in item order*.
+fn drive_map<I, R, F>(items: Vec<I>, f: &F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let n = items.len();
+    let nthreads = current_num_threads().min(n).max(1);
+    if nthreads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let bounds: Vec<(usize, usize)> = (0..nthreads).map(|t| split_range(n, nthreads, t)).collect();
+    let mut buckets: Vec<Vec<I>> = Vec::with_capacity(nthreads);
+    let mut rest = items;
+    for t in (1..nthreads).rev() {
+        buckets.push(rest.split_off(bounds[t].0));
+    }
+    buckets.push(rest);
+    buckets.reverse(); // now bucket t holds items [bounds[t].0, bounds[t].1)
+    let mut out: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| s.spawn(move || bucket.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut flat = Vec::with_capacity(n);
+    for b in out.iter_mut() {
+        flat.append(b);
+    }
+    flat
+}
+
+/// An eager "parallel iterator": the item list is materialized up front
+/// and the terminal operation distributes it over worker threads.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Materializes the items (cheap: slices/indices, not the work).
+    fn into_items(self) -> Vec<Self::Item>;
+
+    /// Runs `f` on every item across worker threads.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        drive(self.into_items(), &f);
+    }
+
+    /// Keeps the first `n` items.
+    fn take(self, n: usize) -> Take<Self> {
+        Take { inner: self, n }
+    }
+
+    /// Pairs every item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+
+    /// Zips with another parallel iterator (truncating to the shorter).
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Maps items through `f`; the map runs on the worker threads of the
+    /// terminal operation.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// See [`ParallelIterator::take`].
+pub struct Take<I> {
+    inner: I,
+    n: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Take<I> {
+    type Item = I::Item;
+
+    fn into_items(self) -> Vec<Self::Item> {
+        let mut items = self.inner.into_items();
+        items.truncate(self.n);
+        items
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    inner: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn into_items(self) -> Vec<Self::Item> {
+        self.inner.into_items().into_iter().enumerate().collect()
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn into_items(self) -> Vec<Self::Item> {
+        self.a
+            .into_items()
+            .into_iter()
+            .zip(self.b.into_items())
+            .collect()
+    }
+}
+
+/// See [`ParallelIterator::map`]. Terminal operations (`for_each`, `sum`)
+/// run the mapping closure on the worker threads.
+pub struct Map<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, R, F> Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    /// Parallel map + order-preserving sum (deterministic reduction).
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R>,
+    {
+        drive_map(self.inner.into_items(), &self.f)
+            .into_iter()
+            .sum()
+    }
+
+    /// Runs the mapping closure for its side effects.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(R) + Sync,
+        Self: Sized,
+    {
+        let f = self.f;
+        drive(self.inner.into_items(), &move |item| g(f(item)));
+    }
+}
+
+/// Mutable-slice chunking, mirroring `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into `size`-element chunks (last may be short),
+    /// processed in parallel by the terminal operation.
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ChunksMut {
+            chunks: self.chunks_mut(size).collect(),
+        }
+    }
+}
+
+/// See [`ParallelSliceMut::par_chunks_mut`].
+pub struct ChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn into_items(self) -> Vec<Self::Item> {
+        self.chunks
+    }
+}
+
+/// Conversion into a parallel iterator, mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct RangeIter {
+    range: std::ops::Range<usize>,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn into_items(self) -> Vec<usize> {
+        self.range.collect()
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { range: self }
+    }
+}
+
+/// Builder for a bounded-parallelism [`ThreadPool`], mirroring rayon's.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (the shim cannot fail).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with automatic thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bounds the pool to `n` workers (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A bounded worker pool. The shim carries only the worker count; workers
+/// are scoped threads spawned per terminal operation.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's parallelism bound installed. The
+    /// previous bound is restored even if `op` panics (a leaked override
+    /// would silently cap later parallel work on this thread).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|t| t.set(self.0));
+            }
+        }
+        let _restore = Restore(POOL_THREADS.with(|t| t.replace(self.num_threads)));
+        op()
+    }
+
+    /// The configured worker count (0 = automatic).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            current_num_threads()
+        }
+    }
+}
+
+/// The glob-importable API surface, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn chunks_cover_slice_in_order() {
+        let mut v: Vec<usize> = vec![0; 1003];
+        v.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = i;
+            }
+        });
+        for (j, &x) in v.iter().enumerate() {
+            assert_eq!(x, j / 10);
+        }
+    }
+
+    #[test]
+    fn take_zip_map_sum_is_ordered() {
+        let mut a = vec![1u64; 100];
+        let mut b = vec![2u64; 100];
+        let s: u64 = a
+            .par_chunks_mut(7)
+            .zip(b.par_chunks_mut(7))
+            .take(10)
+            .enumerate()
+            .map(|(i, (ca, cb))| i as u64 + ca.len() as u64 + cb.len() as u64)
+            .sum();
+        // 10 chunks of 7 items each, indices 0..10.
+        assert_eq!(s, 45 + 2 * 70);
+    }
+
+    #[test]
+    fn range_for_each_visits_all() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        (0..1000usize).into_par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn pool_install_bounds_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn pool_install_restores_after_panic() {
+        let before = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let caught = std::panic::catch_unwind(|| pool.install(|| panic!("boom")));
+        assert!(caught.is_err());
+        assert_eq!(current_num_threads(), before, "override must not leak");
+    }
+}

@@ -14,7 +14,11 @@ fn main() {
     let (gl, gg, dl, dg) = random_inputs(&prob, 5);
     println!(
         "SSE problem: {} atoms, {} pairs, Nkz={} NE={} Nω={} on 6 simulated ranks\n",
-        prob.na(), prob.npairs(), prob.nk, prob.ne, prob.nw
+        prob.na(),
+        prob.npairs(),
+        prob.nk,
+        prob.ne,
+        prob.nw
     );
 
     let reference = sse_reference(&prob, &gl, &gg, &dl, &dg);
@@ -33,12 +37,16 @@ fn main() {
     println!("measured traffic (exact byte counts):");
     println!(
         "  OMEN: {:>10} B total = bcast {} + p2p {} + reduce {}  in {} MPI calls",
-        lo.total_bytes(), lo.bytes(OpKind::Bcast), lo.bytes(OpKind::PointToPoint),
-        lo.bytes(OpKind::Reduce), lo.total_calls()
+        lo.total_bytes(),
+        lo.bytes(OpKind::Bcast),
+        lo.bytes(OpKind::PointToPoint),
+        lo.bytes(OpKind::Reduce),
+        lo.total_calls()
     );
     println!(
         "  DaCe: {:>10} B total, all in {} Alltoallv calls",
-        ld.total_bytes(), ld.calls(OpKind::Alltoall)
+        ld.total_bytes(),
+        ld.calls(OpKind::Alltoall)
     );
     println!(
         "\nvolume reduction {:.1}x, invocation reduction {:.0}x — same physics, different schedule",

@@ -11,7 +11,12 @@ use dace_omen::dataflow::{
 fn main() {
     let sdfg = simulation_sdfg();
     sdfg.validate().expect("valid SDFG");
-    println!("simulation SDFG '{}': {} states, {} nodes\n", sdfg.name, sdfg.states.len(), sdfg.node_count());
+    println!(
+        "simulation SDFG '{}': {} states, {} nodes\n",
+        sdfg.name,
+        sdfg.states.len(),
+        sdfg.node_count()
+    );
 
     let mut omen = sse_state();
     let omen_vol = apply_omen_decomposition(&mut omen);
@@ -25,12 +30,26 @@ fn main() {
 
     // Evaluate both at the paper's Small/Nkz=7/P=1792 configuration.
     let b = bindings(&[
-        ("Nkz", 7.0), ("Nqz", 7.0), ("NE", 706.0), ("Nw", 70.0),
-        ("Na", 4864.0), ("Nb", 34.0), ("Norb", 12.0), ("N3D", 3.0),
-        ("tE", 706.0 / 256.0), ("Ta", 448.0), ("TE", 4.0),
+        ("Nkz", 7.0),
+        ("Nqz", 7.0),
+        ("NE", 706.0),
+        ("Nw", 70.0),
+        ("Na", 4864.0),
+        ("Nb", 34.0),
+        ("Norb", 12.0),
+        ("N3D", 3.0),
+        ("tE", 706.0 / 256.0),
+        ("Ta", 448.0),
+        ("TE", 4.0),
     ]);
     let tib = (1u64 << 40) as f64;
     println!("evaluated at Small, Nkz = 7, P = 1,792:");
-    println!("  OMEN: {:.1} TiB   (paper Table 5: 174.80 TiB)", omen_vol.eval(&b) / tib);
-    println!("  DaCe: {:.2} TiB   (paper Table 5: 2.17 TiB)", dace_vol.eval(&b) / tib);
+    println!(
+        "  OMEN: {:.1} TiB   (paper Table 5: 174.80 TiB)",
+        omen_vol.eval(&b) / tib
+    );
+    println!(
+        "  DaCe: {:.2} TiB   (paper Table 5: 2.17 TiB)",
+        dace_vol.eval(&b) / tib
+    );
 }

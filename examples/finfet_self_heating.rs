@@ -3,25 +3,31 @@
 //!
 //! Run with: `cargo run --release --example finfet_self_heating`
 
-use dace_omen::core::{electro_thermal_report, Simulation, SimulationConfig};
+use dace_omen::core::{electro_thermal_report, SimulationConfig};
 
 fn main() {
-    let mut cfg = SimulationConfig::demo();
-    cfg.coupling = 0.01; // electron-phonon coupling strength
-    cfg.mu_source = 0.4; // Vds = 0.4 V
-    cfg.max_iterations = 10;
+    let cfg = SimulationConfig::demo()
+        .into_builder()
+        .coupling(0.01) // electron-phonon coupling strength
+        .bias(0.4, 0.0) // Vds = 0.4 V
+        .max_iterations(10)
+        .config()
+        .clone();
     println!(
         "simulating {}-atom device under Vds = {:.2} V, {} Born iterations max…",
         cfg.device.num_atoms(),
         cfg.mu_source - cfg.mu_drain,
         cfg.max_iterations
     );
-    let mut sim = Simulation::new(cfg);
+    let mut sim = cfg.into_builder().build().expect("valid configuration");
     let result = sim.run();
     let report = electro_thermal_report(&sim, &result);
 
     println!("\n=== energy currents along transport (Fig. 11 left) ===");
-    println!("{:>7} {:>13} {:>13} {:>13}", "x [nm]", "electron", "phonon", "total");
+    println!(
+        "{:>7} {:>13} {:>13} {:>13}",
+        "x [nm]", "electron", "phonon", "total"
+    );
     for n in 0..report.x.len() {
         println!(
             "{:7.2} {:+13.4e} {:+13.4e} {:+13.4e}",

@@ -4,18 +4,21 @@
 //!
 //! Run with: `cargo run --release --example mixed_precision_sse`
 
-use dace_omen::core::{KernelVariant, Normalization, Simulation, SimulationConfig};
+use dace_omen::core::{KernelVariant, Normalization, SimulationConfig};
 
 fn main() {
-    let mut cfg = SimulationConfig::tiny();
-    cfg.coupling = 0.01;
-    cfg.max_iterations = 8;
-    cfg.tolerance = 1e-9;
+    let base = SimulationConfig::builder()
+        .coupling(0.01)
+        .max_iterations(8)
+        .tolerance(1e-9);
 
     let run = |kernel| {
-        let mut c = cfg.clone();
-        c.kernel = kernel;
-        Simulation::new(c).run().current_history()
+        let mut sim = base
+            .clone()
+            .kernel(kernel)
+            .build()
+            .expect("valid configuration");
+        sim.run().current_history()
     };
     let h64 = run(KernelVariant::Transformed);
     let h_norm = run(KernelVariant::Mixed(Normalization::PerTensor));
@@ -25,7 +28,10 @@ fn main() {
     for i in 0..h64.len() {
         println!(
             "{:>6}      {:.8e}  {:.8e}  {:.8e}",
-            i + 1, h64[i], h_norm[i], h_raw[i]
+            i + 1,
+            h64[i],
+            h_norm[i],
+            h_raw[i]
         );
     }
     let last = h64.len() - 1;

@@ -4,19 +4,28 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use dace_omen::core::{electro_thermal_report, Simulation, SimulationConfig};
+use dace_omen::core::{electro_thermal_report, ExecutorKind, KernelVariant, SimulationConfig};
 
 fn main() {
     // A laptop-scale configuration: 16-atom device, 2 momentum points,
-    // 24 energies, 2 phonon frequencies.
-    let cfg = SimulationConfig::tiny();
+    // 24 energies, 2 phonon frequencies. The builder validates every
+    // field — invalid configurations return a ConfigError instead of
+    // panicking inside the solvers.
+    let mut sim = SimulationConfig::builder()
+        .nk(2)
+        .ne(24)
+        .nw(2)
+        .bias(0.3, 0.0) // Vds = 0.3 V
+        .kernel(KernelVariant::Transformed)
+        .executor(ExecutorKind::Rayon { threads: 0 }) // all cores
+        .build()
+        .expect("valid configuration");
     println!(
         "device: {} atoms, {} slabs, Norb = {}",
-        cfg.device.num_atoms(),
-        cfg.device.nx / cfg.device.cols_per_slab,
-        cfg.device.norb
+        sim.config().device.num_atoms(),
+        sim.config().device.nx / sim.config().device.cols_per_slab,
+        sim.config().device.norb
     );
-    let mut sim = Simulation::new(cfg);
     let result = sim.run();
 
     println!("\nBorn iterations: {}", result.records.len());

@@ -35,9 +35,17 @@ fn sdfg_expressions_match_perf_model() {
     let procs = 1792usize;
     let (ta, te) = (448usize, 4usize);
     let b = bindings(&[
-        ("Nkz", 7.0), ("Nqz", 7.0), ("NE", 706.0), ("Nw", 70.0),
-        ("Na", 4864.0), ("Nb", 34.0), ("Norb", 12.0), ("N3D", 3.0),
-        ("tE", 706.0 / (procs as f64 / 7.0)), ("Ta", ta as f64), ("TE", te as f64),
+        ("Nkz", 7.0),
+        ("Nqz", 7.0),
+        ("NE", 706.0),
+        ("Nw", 70.0),
+        ("Na", 4864.0),
+        ("Nb", 34.0),
+        ("Norb", 12.0),
+        ("N3D", 3.0),
+        ("tE", 706.0 / (procs as f64 / 7.0)),
+        ("Ta", ta as f64),
+        ("TE", te as f64),
     ]);
     let sdfg_dace = dace_volume_expr().eval(&b);
     let model_dace = dace_volume_with(&p, ta, te);

@@ -1,0 +1,124 @@
+//! Executor equivalence: the three `PointExecutor` engines must produce
+//! the same physics. The thread-parallel engine re-orders contributions
+//! back to global point order, so it is *bit-identical* to serial; the
+//! rank-partitioned engine reduces per-rank partials in rank order, which
+//! reassociates floating-point sums — identical to near machine precision.
+
+use dace_omen::core::{
+    ExecutorKind, PartitionedExecutor, RayonExecutor, SerialExecutor, Simulation, SimulationConfig,
+    SimulationResult,
+};
+
+fn run_with_kind(kind: ExecutorKind) -> SimulationResult {
+    let mut cfg = SimulationConfig::tiny();
+    cfg.max_iterations = 6;
+    cfg.executor = kind;
+    Simulation::new(cfg).expect("valid config").run()
+}
+
+#[test]
+fn rayon_is_bitwise_identical_to_serial() {
+    let serial = run_with_kind(ExecutorKind::Serial);
+    let rayon = run_with_kind(ExecutorKind::Rayon { threads: 4 });
+    assert_eq!(serial.records.len(), rayon.records.len());
+    for (s, r) in serial.records.iter().zip(&rayon.records) {
+        assert_eq!(
+            s.current.to_bits(),
+            r.current.to_bits(),
+            "iteration {}: serial {} vs rayon {}",
+            s.iteration,
+            s.current,
+            r.current
+        );
+    }
+    // Full spectral observables, not just the headline current.
+    for (a, (s, r)) in serial
+        .spectral
+        .el_density
+        .iter()
+        .zip(&rayon.spectral.el_density)
+        .enumerate()
+    {
+        assert_eq!(s.to_bits(), r.to_bits(), "el_density[{a}]");
+    }
+    for (a, (s, r)) in serial
+        .spectral
+        .ph_energy_density
+        .iter()
+        .zip(&rayon.spectral.ph_energy_density)
+        .enumerate()
+    {
+        assert_eq!(s.to_bits(), r.to_bits(), "ph_energy_density[{a}]");
+    }
+}
+
+#[test]
+fn partitioned_matches_serial_to_machine_precision() {
+    let serial = run_with_kind(ExecutorKind::Serial);
+    let part = run_with_kind(ExecutorKind::Partitioned { ranks: 3 });
+    assert_eq!(serial.records.len(), part.records.len());
+    let s = serial.current();
+    let p = part.current();
+    assert!(
+        ((s - p) / s).abs() < 1e-9,
+        "partitioned current {p} vs serial {s}"
+    );
+    for (n, (a, b)) in serial
+        .spectral
+        .el_current
+        .iter()
+        .zip(&part.spectral.el_current)
+        .enumerate()
+    {
+        assert!(
+            (a - b).abs() <= 1e-9 * a.abs().max(1e-300),
+            "interface {n}: {a} vs {b}"
+        );
+    }
+}
+
+#[test]
+fn explicit_executors_match_config_dispatch() {
+    let mut cfg = SimulationConfig::tiny();
+    cfg.max_iterations = 3;
+    cfg.executor = ExecutorKind::Serial;
+    let via_config = Simulation::new(cfg.clone()).expect("valid config").run();
+
+    // The trait-level entry point accepts any PointExecutor directly.
+    let serial = Simulation::new(cfg.clone())
+        .expect("valid config")
+        .run_with(&SerialExecutor);
+    let rayon = Simulation::new(cfg.clone())
+        .expect("valid config")
+        .run_with(&RayonExecutor::new(2));
+    let part = Simulation::new(cfg)
+        .expect("valid config")
+        .run_with(&PartitionedExecutor::new(2));
+
+    assert_eq!(via_config.current().to_bits(), serial.current().to_bits());
+    assert_eq!(serial.current().to_bits(), rayon.current().to_bits());
+    let (s, p) = (serial.current(), part.current());
+    assert!(((s - p) / s).abs() < 1e-9, "partitioned {p} vs serial {s}");
+}
+
+#[test]
+fn thread_and_rank_counts_do_not_change_results() {
+    let base = run_with_kind(ExecutorKind::Rayon { threads: 1 });
+    for threads in [2, 3, 8] {
+        let r = run_with_kind(ExecutorKind::Rayon { threads });
+        assert_eq!(
+            base.current().to_bits(),
+            r.current().to_bits(),
+            "rayon threads = {threads}"
+        );
+    }
+    let serial = run_with_kind(ExecutorKind::Serial);
+    for ranks in [1, 2, 5, 16] {
+        let r = run_with_kind(ExecutorKind::Partitioned { ranks });
+        let (s, p) = (serial.current(), r.current());
+        assert!(
+            ((s - p) / s).abs() < 1e-9,
+            "partitioned ranks = {ranks}: {p} vs {s}"
+        );
+    }
+}

@@ -5,8 +5,7 @@
 use dace_omen::device::{DeviceConfig, DeviceStructure};
 use dace_omen::linalg::c64;
 use dace_omen::rgf::{
-    caroli_transmission, dense_solve, interface_current, CacheMode, ElectronParams,
-    ElectronSolver,
+    caroli_transmission, dense_solve, interface_current, CacheMode, ElectronParams, ElectronSolver,
 };
 
 #[test]

@@ -11,11 +11,17 @@ use dace_omen::device::{deserialize_structure, serialize_structure, DeviceStruct
 fn self_consistent_loop_converges_and_conserves() {
     let mut cfg = SimulationConfig::tiny();
     cfg.max_iterations = 12;
-    let mut sim = Simulation::new(cfg);
+    let mut sim = Simulation::new(cfg).expect("valid config");
     let result = sim.run();
-    assert!(result.records.last().unwrap().rel_change < 1e-3, "not converging");
+    assert!(
+        result.records.last().unwrap().rel_change < 1e-3,
+        "not converging"
+    );
     assert!(result.current() > 0.0);
-    assert!(result.current_nonuniformity() < 5e-3, "current not conserved");
+    assert!(
+        result.current_nonuniformity() < 5e-3,
+        "current not conserved"
+    );
 }
 
 #[test]
@@ -25,7 +31,7 @@ fn mixed_precision_converges_to_f64_answer() {
     let run = |kernel| {
         let mut c = cfg.clone();
         c.kernel = kernel;
-        Simulation::new(c).run().current()
+        Simulation::new(c).expect("valid config").run().current()
     };
     let f64v = run(KernelVariant::Transformed);
     let f16v = run(KernelVariant::Mixed(Normalization::PerTensor));
@@ -41,10 +47,13 @@ fn self_heating_appears_under_bias() {
     cfg.coupling = 0.01;
     cfg.mu_source = 0.4;
     cfg.max_iterations = 8;
-    let mut sim = Simulation::new(cfg);
+    let mut sim = Simulation::new(cfg).expect("valid config");
     let result = sim.run();
     let report = electro_thermal_report(&sim, &result);
-    assert!(report.t_max() > report.contact_temperature, "no Joule heating");
+    assert!(
+        report.t_max() > report.contact_temperature,
+        "no Joule heating"
+    );
 }
 
 #[test]
@@ -55,7 +64,11 @@ fn staged_ingestion_round_trips_device() {
     let bytes = serialize_structure(&dev).to_vec();
     let ledger = VolumeLedger::new(4);
     let devices = run_world(4, ledger, |comm| {
-        let data = if comm.rank() == 0 { Some(&bytes[..]) } else { None };
+        let data = if comm.rank() == 0 {
+            Some(&bytes[..])
+        } else {
+            None
+        };
         let received = stage_material(&comm, 0, data, 128);
         deserialize_structure(&received).expect("valid device")
     });
