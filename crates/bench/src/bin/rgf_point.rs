@@ -1,0 +1,86 @@
+//! One-point RGF solve throughput: the warm-workspace allocation-free
+//! path (`rgf_solve_into`) vs the cold allocating wrapper (`rgf_solve`).
+//!
+//! This is the per-`(kz, E)` unit of work the GF phase repeats thousands
+//! of times per Born iteration; the warm/cold gap is what the `Workspace`
+//! arena buys. `--json` records both into `BENCH_kernels.json`;
+//! `--quick` shrinks the system for the CI smoke run.
+use omen_bench::{
+    header, json_flag, quick_flag, row, timed_median, write_bench_json, BenchRecord,
+    BENCH_JSON_PATH,
+};
+use omen_linalg::Workspace;
+use omen_rgf::testutil::test_system;
+use omen_rgf::{rgf_solve, rgf_solve_into, RgfInputs, RgfSolution};
+
+fn main() {
+    let quick = quick_flag();
+    // Two regimes: small blocks where per-solve allocation is a visible
+    // fraction of the work, and GEMM-bound blocks at executable scale.
+    let configs: &[(&str, usize, usize, usize)] = if quick {
+        &[("small", 24, 12, 5), ("large", 8, 24, 3)]
+    } else {
+        &[("small", 64, 12, 15), ("large", 24, 48, 7)]
+    };
+    let mut records = Vec::new();
+    for &(tag, nb, bs, reps) in configs {
+        println!("RGF per-point solve [{tag}] (nb = {nb} blocks of {bs}x{bs})\n");
+
+        let (m, sl, sg) = test_system(nb, bs, 0.11);
+        let inputs = RgfInputs {
+            m: &m,
+            sigma_l: &sl,
+            sigma_g: &sg,
+        };
+
+        // Warm path: workspace + output buffers reused across solves.
+        let mut ws = Workspace::new();
+        let mut sol = RgfSolution::empty();
+        rgf_solve_into(&inputs, &mut ws, &mut sol); // warmup
+        let flops = sol.flops as f64;
+        let t_warm = timed_median(reps, || {
+            rgf_solve_into(&inputs, &mut ws, &mut sol);
+        });
+
+        // Cold path: every solve allocates scratch and output from scratch.
+        let t_cold = timed_median(reps, || {
+            std::hint::black_box(rgf_solve(&inputs));
+        });
+
+        let w = [22, 14, 12, 10];
+        header(&["Path", "Time [ms]", "GFLOP/s", "vs cold"], &w);
+        for (name, t) in [
+            ("rgf_solve_into (warm)", t_warm),
+            ("rgf_solve (cold)", t_cold),
+        ] {
+            row(
+                &[
+                    name.into(),
+                    format!("{:.3}", t * 1e3),
+                    format!("{:.2}", flops / t / 1e9),
+                    format!("{:.2}x", t_cold / t),
+                ],
+                &w,
+            );
+        }
+        println!();
+        records.push(BenchRecord {
+            name: format!("rgf_point_warm_{tag}_nb{nb}_bs{bs}"),
+            n: bs,
+            median_ns: t_warm * 1e9,
+            gflops: flops / t_warm / 1e9,
+        });
+        records.push(BenchRecord {
+            name: format!("rgf_point_cold_{tag}_nb{nb}_bs{bs}"),
+            n: bs,
+            median_ns: t_cold * 1e9,
+            gflops: flops / t_cold / 1e9,
+        });
+    }
+    println!("warm path is allocation-free (see tests/integration_alloc.rs)");
+
+    if json_flag() {
+        write_bench_json(BENCH_JSON_PATH, &records).expect("write BENCH_kernels.json");
+        println!("wrote {} records to {BENCH_JSON_PATH}", records.len());
+    }
+}

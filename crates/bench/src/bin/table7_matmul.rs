@@ -1,12 +1,80 @@
-//! Table 7: matrix multiplication strategies on RGF blocks — dense GEMM
-//! vs sparse-left CSRMM2 vs dense×CSC GEMMI (operation-support matrix
-//! matches the cuBLAS/cuSPARSE one).
-use omen_bench::{header, rgf_like_blocks, row, timed_min};
-use omen_linalg::{csrmm, gemm, gemmi, CMatrix, CscMatrix, CsrMatrix, Op, C64};
+//! Table 7: matrix multiplication strategies on RGF blocks — the packed
+//! cache-blocked GEMM vs the seed's naive kernel (the data-centric claim:
+//! restructuring data layout, not the math, is what buys speed), plus the
+//! sparse-left CSRMM2 / dense×CSC GEMMI operation-support matrix of
+//! cuBLAS/cuSPARSE.
+//!
+//! `--json` appends machine-readable records to `BENCH_kernels.json` so
+//! the perf trajectory is diffable across PRs; `--quick` shrinks sizes
+//! and reps for the CI smoke run.
+use omen_bench::{
+    header, json_flag, quick_flag, rgf_like_blocks, row, timed_median, timed_min, write_bench_json,
+    BenchRecord, BENCH_JSON_PATH,
+};
+use omen_linalg::{
+    csrmm, gemm, gemm_flops, gemm_naive, gemmi, CMatrix, CscMatrix, CsrMatrix, Op, C64,
+};
 
 fn main() {
-    println!("Table 7: Matrix Multiplication Performance (RGF-like blocks)\n");
-    let n = 384; // block size of an RGF slab at executable scale
+    let quick = quick_flag();
+    let mut records = Vec::new();
+
+    // ---- packed/blocked GEMM vs the retained seed (naive) kernel ----
+    println!("Table 7a: packed cache-blocked GEMM vs seed naive kernel\n");
+    let sizes: &[usize] = if quick {
+        &[64, 128]
+    } else {
+        &[64, 128, 256, 384]
+    };
+    let w = [8, 14, 14, 10];
+    header(&["n", "packed GF/s", "naive GF/s", "speedup"], &w);
+    for &n in sizes {
+        let (_, a) = rgf_like_blocks(n, 0.06, 3);
+        let (_, b) = rgf_like_blocks(n, 0.06, 5);
+        let mut c = CMatrix::zeros(n, n);
+        let reps = if quick {
+            3
+        } else if n <= 128 {
+            15
+        } else {
+            7
+        };
+        let flops = gemm_flops(n, n, n) as f64;
+        let t_packed = timed_median(reps, || {
+            gemm(C64::ONE, &a, Op::N, &b, Op::N, C64::ZERO, &mut c);
+        });
+        let t_naive = timed_median(reps, || {
+            gemm_naive(C64::ONE, &a, Op::N, &b, Op::N, C64::ZERO, &mut c);
+        });
+        let gf_packed = flops / t_packed / 1e9;
+        let gf_naive = flops / t_naive / 1e9;
+        row(
+            &[
+                format!("{n}"),
+                format!("{gf_packed:.2}"),
+                format!("{gf_naive:.2}"),
+                format!("{:.2}x", t_naive / t_packed),
+            ],
+            &w,
+        );
+        records.push(BenchRecord {
+            name: format!("gemm_packed_nn_{n}{}", if quick { "_quick" } else { "" }),
+            n,
+            median_ns: t_packed * 1e9,
+            gflops: gf_packed,
+        });
+        records.push(BenchRecord {
+            name: format!("gemm_naive_nn_{n}{}", if quick { "_quick" } else { "" }),
+            n,
+            median_ns: t_naive * 1e9,
+            gflops: gf_naive,
+        });
+    }
+    println!("\ntarget: packed >= 2x naive GFLOP/s for n >= 128\n");
+
+    // ---- sparse-operand strategies (cuBLAS/cuSPARSE support matrix) ----
+    println!("Table 7b: Matrix Multiplication Performance (RGF-like blocks)\n");
+    let n = if quick { 192 } else { 384 }; // block size of an RGF slab at executable scale
     let density = 0.06;
     let (sp, dn) = rgf_like_blocks(n, density, 7);
     let csr = CsrMatrix::from_dense(&sp, 0.0);
@@ -16,7 +84,7 @@ fn main() {
         csr.density() * 100.0
     );
     let mut c = CMatrix::zeros(n, n);
-    let reps = 5;
+    let reps = if quick { 2 } else { 5 };
     let w = [10, 12, 12, 12, 12];
     header(&["Method", "NN [ms]", "NT [ms]", "TN [ms]", "TT [ms]"], &w);
 
@@ -75,4 +143,9 @@ fn main() {
     println!(
         "shape target: CSRMM2 NN/NT beat dense GEMM by ~7-10x; TN much slower; GEMMI in between"
     );
+
+    if json_flag() {
+        write_bench_json(BENCH_JSON_PATH, &records).expect("write BENCH_kernels.json");
+        println!("\nwrote {} records to {BENCH_JSON_PATH}", records.len());
+    }
 }

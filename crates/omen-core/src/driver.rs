@@ -22,6 +22,7 @@ use crate::observables::{
 };
 use crate::state::{pi_blocks_for_point, sigma_blocks_for_point, zero_tensors};
 use omen_device::DeviceStructure;
+use omen_linalg::WorkspacePool;
 use omen_rgf::{ElectronParams, ElectronSolver, GfSolver, PhaseTimes, PhononParams, PhononSolver};
 use omen_sse::{DTensor, GLayout, GTensor, SseKernel, SseProblem};
 use std::time::Instant;
@@ -83,6 +84,11 @@ pub struct Simulation {
     /// Per-atom electrostatic potential.
     pub potential: Vec<f64>,
     kernel: Box<dyn SseKernel>,
+    /// Warm per-worker scratch arenas. Each GF worker leases one for its
+    /// sweep and returns it on drop, so every later sweep — including the
+    /// next Born iteration — reuses the buffers: the self-consistent loop
+    /// allocates hot-path scratch only during warmup.
+    ws_pool: WorkspacePool,
     sigma_l: GTensor,
     sigma_g: GTensor,
     pi_l: DTensor,
@@ -115,6 +121,7 @@ impl Simulation {
             fgrid,
             potential,
             kernel,
+            ws_pool: WorkspacePool::new(),
             sigma_l,
             sigma_g,
             pi_l,
@@ -220,7 +227,8 @@ impl Simulation {
                 cfg.cache_mode,
                 self.kgrid.values(),
                 self.egrid.values(),
-            );
+            )
+            .with_workspace_pool(&self.ws_pool);
             move |(ik, ie): (usize, usize)| {
                 let out = if have_sigma {
                     let (sr, sl, sg) = sigma_blocks_for_point(dev, sigma_l, sigma_g, ik, ie);
@@ -245,7 +253,8 @@ impl Simulation {
                 cfg.cache_mode,
                 self.kgrid.values(),
                 self.fgrid.values(),
-            );
+            )
+            .with_workspace_pool(&self.ws_pool);
             move |(iq, iw): (usize, usize)| {
                 let out = if have_sigma {
                     let (pr, pl, pg) = pi_blocks_for_point(dev, pi_l, pi_g, iq, iw);

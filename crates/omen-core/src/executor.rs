@@ -19,6 +19,14 @@
 //! Workers are created per-thread from a factory closure: GF solvers carry
 //! mutable caches, so each worker gets its own cheap solver instance
 //! instead of sharing one behind a lock.
+//!
+//! **Workspace discipline**: each worker owns a per-thread
+//! [`omen_linalg::Workspace`] scratch arena for the duration of a sweep —
+//! the driver's factories lease one from the simulation's
+//! [`omen_linalg::WorkspacePool`] and it returns to the pool when the
+//! worker drops. Leases outlive individual points and sweeps outnumber
+//! workspaces only during warmup, so across energy points *and* Born
+//! iterations the hot path runs allocation-free on warm buffers.
 
 use crate::observables::Observables;
 use omen_comm::split_range;

@@ -127,6 +127,61 @@ impl CMatrix {
         self.data.fill(C64::ZERO);
     }
 
+    /// Element capacity of the backing buffer (what [`CMatrix::resize`]
+    /// can reach without reallocating).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Reshapes to `rows × cols`, reusing the backing buffer. Contents are
+    /// zeroed. Allocates only when the buffer must grow beyond its
+    /// capacity — the workspace reuse path never does after warmup.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, C64::ZERO);
+    }
+
+    /// Reshapes like [`CMatrix::resize`] but without zeroing surviving
+    /// contents — for outputs that are fully overwritten immediately
+    /// (e.g. `gemm` with `beta == 0`, which zero-fills itself).
+    pub fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, C64::ZERO);
+    }
+
+    /// Becomes an elementwise copy of `src`, reusing the backing buffer.
+    pub fn copy_from(&mut self, src: &CMatrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Overwrites with the identity (must already be square).
+    pub fn set_identity(&mut self) {
+        assert!(self.is_square(), "set_identity on non-square matrix");
+        self.data.fill(C64::ZERO);
+        for i in 0..self.rows {
+            let k = i * self.rows + i;
+            self.data[k] = C64::ONE;
+        }
+    }
+
+    /// Writes the conjugate transpose of `self` into `out` (buffer reused).
+    pub fn adjoint_into(&self, out: &mut CMatrix) {
+        out.resize(self.cols, self.rows);
+        for j in 0..self.cols {
+            let src = self.col(j);
+            for (i, &v) in src.iter().enumerate() {
+                out.data[i * self.cols + j] = v.conj();
+            }
+        }
+    }
+
     /// Transpose (no conjugation).
     pub fn transpose(&self) -> CMatrix {
         CMatrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])

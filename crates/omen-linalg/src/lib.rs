@@ -22,14 +22,19 @@ pub mod lu;
 pub mod mixed;
 pub mod norms;
 pub mod sparse;
+pub mod workspace;
 
 pub use batched::{sbsmm, sbsmm_padded, sbsmm_par, small_gemm, BatchDims, Strides};
 pub use blocktridiag::BlockTriDiag;
 pub use complex::{c64, C64};
 pub use dense::CMatrix;
-pub use gemm::{gemm, gemm_flops, matmul, matmul3, matmul_op, Op};
+pub use gemm::{
+    gemm, gemm_flops, gemm_naive, matmul, matmul3, matmul3_into, matmul_into, matmul_op,
+    matmul_op_into, Op,
+};
 pub use half::{F16, F16_MAX, F16_MIN_POSITIVE, F16_MIN_SUBNORMAL};
-pub use lu::{invert, solve, Lu, SingularMatrix};
+pub use lu::{invert, solve, Lu, LuFactors, SingularMatrix};
 pub use mixed::{sbsmm_f16, Normalization, SplitF16Batch, NORMALIZATION_TARGET};
 pub use norms::{magnitude_distribution, max_abs, rel_err_fro, rel_err_max, MagnitudeDistribution};
 pub use sparse::{csrmm, gemmi, CscMatrix, CsrMatrix};
+pub use workspace::{Workspace, WorkspaceLease, WorkspacePool};

@@ -11,6 +11,13 @@ use crate::dense::CMatrix;
 
 /// An LU factorization `P A = L U` of a square complex matrix.
 pub struct Lu {
+    f: LuFactors,
+}
+
+/// Reusable LU storage: the packed factors and pivot vector live across
+/// factorizations, so the RGF recursion (one diagonal-block inversion per
+/// slab per point) allocates nothing after the first solve.
+pub struct LuFactors {
     /// Packed factors: unit-lower `L` below the diagonal, `U` on and above.
     lu: CMatrix,
     /// Row permutation: `perm[k]` is the pivot row chosen at step `k`.
@@ -19,29 +26,32 @@ pub struct Lu {
     perm_sign: f64,
 }
 
-/// Error returned when a matrix is numerically singular.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct SingularMatrix {
-    /// The elimination step at which no usable pivot was found.
-    pub step: usize,
-}
-
-impl std::fmt::Display for SingularMatrix {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "matrix is singular at elimination step {}", self.step)
+impl Default for LuFactors {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
-impl std::error::Error for SingularMatrix {}
+impl LuFactors {
+    /// Empty storage; holds no factorization until [`LuFactors::factorize`].
+    pub fn new() -> Self {
+        LuFactors {
+            lu: CMatrix::zeros(0, 0),
+            perm: Vec::new(),
+            perm_sign: 1.0,
+        }
+    }
 
-impl Lu {
-    /// Factorizes `a`. Returns an error if a zero pivot column is found.
-    pub fn new(a: &CMatrix) -> Result<Lu, SingularMatrix> {
+    /// Factorizes `a` into this storage (buffers reused). Returns an error
+    /// if a zero pivot column is found; the stored factors are then
+    /// unspecified.
+    pub fn factorize(&mut self, a: &CMatrix) -> Result<(), SingularMatrix> {
         assert!(a.is_square(), "LU requires a square matrix");
         let n = a.rows();
-        let mut lu = a.clone();
-        let mut perm = Vec::with_capacity(n);
-        let mut perm_sign = 1.0;
+        self.lu.copy_from(a);
+        self.perm.clear();
+        self.perm_sign = 1.0;
+        let lu = &mut self.lu;
 
         for k in 0..n {
             // Partial pivoting: largest magnitude in column k at/below row k.
@@ -57,9 +67,9 @@ impl Lu {
             if pmax == 0.0 {
                 return Err(SingularMatrix { step: k });
             }
-            perm.push(p);
+            self.perm.push(p);
             if p != k {
-                perm_sign = -perm_sign;
+                self.perm_sign = -self.perm_sign;
                 for j in 0..n {
                     let t = lu[(k, j)];
                     lu[(k, j)] = lu[(p, j)];
@@ -86,12 +96,7 @@ impl Lu {
                 }
             }
         }
-
-        Ok(Lu {
-            lu,
-            perm,
-            perm_sign,
-        })
+        Ok(())
     }
 
     /// Dimension of the factored matrix.
@@ -137,18 +142,11 @@ impl Lu {
         }
     }
 
-    /// Returns `A⁻¹ B`.
-    pub fn solve(&self, b: &CMatrix) -> CMatrix {
-        let mut x = b.clone();
-        self.solve_inplace(&mut x);
-        x
-    }
-
-    /// Returns `A⁻¹`.
-    pub fn inverse(&self) -> CMatrix {
-        let mut inv = CMatrix::identity(self.n());
-        self.solve_inplace(&mut inv);
-        inv
+    /// Writes `A⁻¹` into `out` (buffer reused; resized to `n × n`).
+    pub fn invert_into(&self, out: &mut CMatrix) {
+        out.resize_for_overwrite(self.n(), self.n());
+        out.set_identity();
+        self.solve_inplace(out);
     }
 
     /// Determinant (product of `U` diagonal times the permutation sign).
@@ -158,6 +156,64 @@ impl Lu {
             d *= self.lu[(i, i)];
         }
         d
+    }
+}
+
+/// Error returned when a matrix is numerically singular.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrix {
+    /// The elimination step at which no usable pivot was found.
+    pub step: usize,
+}
+
+impl std::fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular at elimination step {}", self.step)
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+impl Lu {
+    /// Factorizes `a`. Returns an error if a zero pivot column is found.
+    pub fn new(a: &CMatrix) -> Result<Lu, SingularMatrix> {
+        let mut f = LuFactors::new();
+        f.factorize(a)?;
+        Ok(Lu { f })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn n(&self) -> usize {
+        self.f.n()
+    }
+
+    /// Solves `A x = b` for a single right-hand side, in place.
+    pub fn solve_vec_inplace(&self, b: &mut [C64]) {
+        self.f.solve_vec_inplace(b);
+    }
+
+    /// Solves `A X = B` for a multi-column right-hand side, in place.
+    pub fn solve_inplace(&self, b: &mut CMatrix) {
+        self.f.solve_inplace(b);
+    }
+
+    /// Returns `A⁻¹ B`.
+    pub fn solve(&self, b: &CMatrix) -> CMatrix {
+        let mut x = b.clone();
+        self.solve_inplace(&mut x);
+        x
+    }
+
+    /// Returns `A⁻¹`.
+    pub fn inverse(&self) -> CMatrix {
+        let mut inv = CMatrix::zeros(0, 0);
+        self.f.invert_into(&mut inv);
+        inv
+    }
+
+    /// Determinant (product of `U` diagonal times the permutation sign).
+    pub fn det(&self) -> C64 {
+        self.f.det()
     }
 }
 

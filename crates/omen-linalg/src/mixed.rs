@@ -41,10 +41,28 @@ pub struct SplitF16Batch {
 }
 
 impl SplitF16Batch {
+    /// An empty batch, the reusable slot for
+    /// [`SplitF16Batch::convert_from`]. Performs no allocation.
+    pub fn empty() -> Self {
+        SplitF16Batch {
+            re: Vec::new(),
+            im: Vec::new(),
+            factor: 1.0,
+        }
+    }
+
     /// Converts a `C64` slice, choosing the factor from the slice's max
     /// magnitude when `normalization == PerTensor`.
     pub fn from_c64(data: &[C64], normalization: Normalization) -> Self {
-        let factor = match normalization {
+        let mut out = SplitF16Batch::empty();
+        out.convert_from(data, normalization);
+        out
+    }
+
+    /// Re-converts into this batch's storage, reusing the plane buffers
+    /// (allocation-free once they are large enough).
+    pub fn convert_from(&mut self, data: &[C64], normalization: Normalization) {
+        self.factor = match normalization {
             Normalization::PerTensor => {
                 let max = data
                     .iter()
@@ -58,13 +76,17 @@ impl SplitF16Batch {
             }
             Normalization::None => 1.0,
         };
-        let mut re = Vec::with_capacity(data.len());
-        let mut im = Vec::with_capacity(data.len());
-        for z in data {
-            re.push(F16::from_f64(clamp_to_f16_range(z.re * factor)));
-            im.push(F16::from_f64(clamp_to_f16_range(z.im * factor)));
-        }
-        SplitF16Batch { re, im, factor }
+        let factor = self.factor;
+        self.re.clear();
+        self.im.clear();
+        self.re.extend(
+            data.iter()
+                .map(|z| F16::from_f64(clamp_to_f16_range(z.re * factor))),
+        );
+        self.im.extend(
+            data.iter()
+                .map(|z| F16::from_f64(clamp_to_f16_range(z.im * factor))),
+        );
     }
 
     /// Number of stored complex elements.

@@ -77,6 +77,66 @@ proptest! {
     }
 
     #[test]
+    fn packed_gemm_matches_naive_all_ops(
+        m in 1usize..48,
+        n in 1usize..48,
+        k in 1usize..48,
+        ops in (0usize..3, 0usize..3),
+        coeffs in (arb_c64(), arb_c64()),
+        seed in 0u64..1_000_000,
+    ) {
+        // The packed cache-blocked kernel must reproduce the retained naive
+        // reference for every Op combination, non-square shapes, and
+        // alpha/beta away from {0, 1}. Sizes straddle SMALL_DIM so both the
+        // direct and the packed path are exercised.
+        let to_op = |x: usize| [Op::N, Op::T, Op::C][x];
+        let (op_a, op_b) = (to_op(ops.0), to_op(ops.1));
+        let (alpha, beta) = coeffs;
+        let fill = |r: usize, c: usize, s: u64| {
+            CMatrix::from_fn(r, c, |i, j| {
+                let t = (i * 31 + j * 17) as f64 + s as f64 * 1e-5;
+                c64((t * 0.7).sin(), (t * 1.3).cos())
+            })
+        };
+        let a = match op_a { Op::N => fill(m, k, seed), _ => fill(k, m, seed) };
+        let b = match op_b { Op::N => fill(k, n, seed + 1), _ => fill(n, k, seed + 1) };
+        let c0 = fill(m, n, seed + 2);
+        let mut got = c0.clone();
+        gemm(alpha, &a, op_a, &b, op_b, beta, &mut got);
+        let mut want = c0.clone();
+        gemm_naive(alpha, &a, op_a, &b, op_b, beta, &mut want);
+        // Tile reassociation vs. the naive order: bounded by a few ulps of
+        // the accumulated magnitude (|alpha|·k·max|a|·max|b| + |beta·c|).
+        let scale = alpha.abs() * k as f64 * a.max_abs() * b.max_abs()
+            + beta.abs() * c0.max_abs();
+        let tol = 4.0 * f64::EPSILON * scale.max(1.0);
+        let dev = (&got - &want).max_abs();
+        prop_assert!(dev <= tol, "({op_a:?},{op_b:?}) {m}x{n}x{k}: dev {dev:e} > tol {tol:e}");
+    }
+
+    #[test]
+    fn into_variants_are_consistent(a in arb_matrix(20), b in arb_matrix(20), c in arb_matrix(20)) {
+        prop_assume!(a.cols() == b.rows() && b.cols() == c.rows());
+        let mut out = CMatrix::zeros(0, 0);
+        matmul_into(&a, &b, &mut out);
+        prop_assert!(out.approx_eq(&matmul(&a, &b), 0.0));
+        let mut scratch = CMatrix::zeros(0, 0);
+        matmul3_into(&a, &b, &c, &mut scratch, &mut out);
+        prop_assert!(out.approx_eq(&matmul3(&a, &b, &c), 0.0));
+        matmul_op_into(&b, Op::C, &a, Op::C, &mut out);
+        prop_assert!(out.approx_eq(&matmul_op(&b, Op::C, &a, Op::C), 0.0));
+    }
+
+    #[test]
+    fn workspace_invert_matches_lu(a in arb_invertible(10)) {
+        let mut ws = Workspace::new();
+        let mut inv = ws.take(a.rows(), a.rows());
+        ws.invert_into(&a, &mut inv);
+        prop_assert!(inv.approx_eq(&invert(&a), 1e-12));
+        ws.give(inv);
+    }
+
+    #[test]
     fn lu_inverse_round_trip(a in arb_invertible(8)) {
         let inv = invert(&a);
         let eye = matmul(&a, &inv);

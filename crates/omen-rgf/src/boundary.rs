@@ -18,7 +18,7 @@
 //! electrons, `Π^<_B = n_B·(Π^R_B − Π^A_B)` with the Bose factor for
 //! phonons.
 
-use omen_linalg::{invert, matmul, matmul3, CMatrix, C64};
+use omen_linalg::{matmul, matmul3, matmul3_into, CMatrix, Workspace, C64};
 
 /// Surface Green's function algorithm.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -61,17 +61,49 @@ pub fn surface_gf(
     tol: f64,
     max_iter: usize,
 ) -> SurfaceGf {
+    let mut ws = Workspace::new();
+    surface_gf_ws(method, d, alpha, beta, tol, max_iter, &mut ws)
+}
+
+/// [`surface_gf`] with caller-supplied scratch: every iteration temporary
+/// comes from `ws`, so repeated boundary solves with a warm workspace
+/// allocate only the returned surface GF.
+pub fn surface_gf_ws(
+    method: BoundaryMethod,
+    d: &CMatrix,
+    alpha: &CMatrix,
+    beta: &CMatrix,
+    tol: f64,
+    max_iter: usize,
+    ws: &mut Workspace,
+) -> SurfaceGf {
     match method {
-        BoundaryMethod::SanchoRubio => sancho_rubio(d, alpha, beta, tol, max_iter),
-        BoundaryMethod::FixedPoint => fixed_point(d, alpha, beta, tol, max_iter),
+        BoundaryMethod::SanchoRubio => sancho_rubio(d, alpha, beta, tol, max_iter, ws),
+        BoundaryMethod::FixedPoint => fixed_point(d, alpha, beta, tol, max_iter, ws),
     }
 }
 
-fn residual_of(g: &CMatrix, d: &CMatrix, alpha: &CMatrix, beta: &CMatrix) -> f64 {
+fn residual_of(
+    g: &CMatrix,
+    d: &CMatrix,
+    alpha: &CMatrix,
+    beta: &CMatrix,
+    ws: &mut Workspace,
+) -> f64 {
     // ‖g − (D − α g β)⁻¹‖.
-    let agb = matmul3(alpha, g, beta);
-    let refreshed = invert(&(d - &agb));
-    (&refreshed - g).max_abs()
+    let mut agb = ws.take(d.rows(), d.cols());
+    let mut t = ws.take(d.rows(), d.cols());
+    let mut refreshed = ws.take(d.rows(), d.cols());
+    matmul3_into(alpha, g, beta, &mut t, &mut agb);
+    t.copy_from(d);
+    t -= &agb;
+    ws.invert_into(&t, &mut refreshed);
+    refreshed -= g;
+    let res = refreshed.max_abs();
+    ws.give(agb);
+    ws.give(t);
+    ws.give(refreshed);
+    res
 }
 
 fn sancho_rubio(
@@ -80,28 +112,46 @@ fn sancho_rubio(
     beta0: &CMatrix,
     tol: f64,
     max_iter: usize,
+    ws: &mut Workspace,
 ) -> SurfaceGf {
-    let mut es = d.clone(); // surface effective block
-    let mut eb = d.clone(); // bulk effective block
-    let mut a = alpha0.clone();
-    let mut b = beta0.clone();
+    let n = d.rows();
+    let mut es = ws.take(n, n); // surface effective block
+    let mut eb = ws.take(n, n); // bulk effective block
+    let mut a = ws.take(n, n);
+    let mut b = ws.take(n, n);
+    let mut g0 = ws.take(n, n);
+    let mut agb = ws.take(n, n);
+    let mut bga = ws.take(n, n);
+    let mut t = ws.take(n, n);
+    let mut next = ws.take(n, n);
+    es.copy_from(d);
+    eb.copy_from(d);
+    a.copy_from(alpha0);
+    b.copy_from(beta0);
     let mut iterations = 0;
     while iterations < max_iter {
         iterations += 1;
-        let g = invert(&eb);
-        let agb = matmul3(&a, &g, &b);
-        let bga = matmul3(&b, &g, &a);
+        ws.invert_into(&eb, &mut g0);
+        matmul3_into(&a, &g0, &b, &mut t, &mut agb);
+        matmul3_into(&b, &g0, &a, &mut t, &mut bga);
         es -= &agb;
         eb -= &agb;
         eb -= &bga;
-        a = matmul3(&a, &g, &a);
-        b = matmul3(&b, &g, &b);
+        // a ← a·g·a, b ← b·g·b (via `next` so the operands stay intact).
+        matmul3_into(&a, &g0, &a, &mut t, &mut next);
+        std::mem::swap(&mut a, &mut next);
+        matmul3_into(&b, &g0, &b, &mut t, &mut next);
+        std::mem::swap(&mut b, &mut next);
         if a.max_abs().max(b.max_abs()) < tol {
             break;
         }
     }
-    let g = invert(&es);
-    let residual = residual_of(&g, d, alpha0, beta0);
+    let mut g = CMatrix::zeros(n, n);
+    ws.invert_into(&es, &mut g);
+    for sc in [es, eb, a, b, g0, agb, bga, t, next] {
+        ws.give(sc);
+    }
+    let residual = residual_of(&g, d, alpha0, beta0, ws);
     SurfaceGf {
         g,
         iterations,
@@ -115,25 +165,37 @@ fn fixed_point(
     beta: &CMatrix,
     tol: f64,
     max_iter: usize,
+    ws: &mut Workspace,
 ) -> SurfaceGf {
-    let mut g = invert(d);
+    let n = d.rows();
+    let mut g = CMatrix::zeros(n, n);
+    ws.invert_into(d, &mut g);
+    let mut agb = ws.take(n, n);
+    let mut t = ws.take(n, n);
+    let mut next = ws.take(n, n);
     let mut iterations = 0;
     #[allow(unused_assignments)]
     let mut res = f64::INFINITY;
     while iterations < max_iter {
         iterations += 1;
-        let agb = matmul3(alpha, &g, beta);
-        let next = invert(&(d - &agb));
-        res = (&next - &g).max_abs();
-        // Damped update stabilizes the linear iteration near band edges.
-        let mut blended = next.scaled(C64::from_re(0.5));
-        blended += &g.scaled(C64::from_re(0.5));
-        g = blended;
+        matmul3_into(alpha, &g, beta, &mut t, &mut agb);
+        t.copy_from(d);
+        t -= &agb;
+        ws.invert_into(&t, &mut next);
+        next -= &g;
+        res = next.max_abs();
+        // Damped update stabilizes the linear iteration near band edges:
+        // g ← (g + next)/2, where `next` currently holds `next − g`.
+        next.scale_inplace(C64::from_re(0.5));
+        g += &next;
         if res < tol {
             break;
         }
     }
-    let residual = residual_of(&g, d, alpha, beta);
+    for sc in [agb, t, next] {
+        ws.give(sc);
+    }
+    let residual = residual_of(&g, d, alpha, beta, ws);
     SurfaceGf {
         g,
         iterations,
@@ -175,16 +237,51 @@ pub fn boundary_self_energies(
     tol: f64,
     max_iter: usize,
 ) -> BoundarySelfEnergies {
+    let mut ws = Workspace::new();
+    boundary_self_energies_ws(
+        method,
+        d_first,
+        upper_first,
+        lower_first,
+        d_last,
+        upper_last,
+        lower_last,
+        tol,
+        max_iter,
+        &mut ws,
+    )
+}
+
+/// [`boundary_self_energies`] with caller-supplied scratch (the per-point
+/// GF solvers thread their per-worker workspace through here).
+#[allow(clippy::too_many_arguments)]
+pub fn boundary_self_energies_ws(
+    method: BoundaryMethod,
+    d_first: &CMatrix,
+    upper_first: &CMatrix,
+    lower_first: &CMatrix,
+    d_last: &CMatrix,
+    upper_last: &CMatrix,
+    lower_last: &CMatrix,
+    tol: f64,
+    max_iter: usize,
+    ws: &mut Workspace,
+) -> BoundarySelfEnergies {
+    let n = d_first.rows();
+    let mut t = ws.take(n, n);
     // Left lead extends to −∞. Surface cell couples deeper via
     // M[-1,-2] = lower, back via M[-2,-1] = upper.
-    let left_surface = surface_gf(method, d_first, lower_first, upper_first, tol, max_iter);
+    let left_surface = surface_gf_ws(method, d_first, lower_first, upper_first, tol, max_iter, ws);
     // Σ_L = M[0,-1] g_s M[-1,0] = lower · g_s · upper.
-    let left = matmul3(lower_first, &left_surface.g, upper_first);
+    let mut left = CMatrix::zeros(n, n);
+    matmul3_into(lower_first, &left_surface.g, upper_first, &mut t, &mut left);
 
     // Right lead extends to +∞: surface couples deeper via upper, back via
     // lower; Σ_R = upper · g_s · lower.
-    let right_surface = surface_gf(method, d_last, upper_last, lower_last, tol, max_iter);
-    let right = matmul3(upper_last, &right_surface.g, lower_last);
+    let right_surface = surface_gf_ws(method, d_last, upper_last, lower_last, tol, max_iter, ws);
+    let mut right = CMatrix::zeros(n, n);
+    matmul3_into(upper_last, &right_surface.g, lower_last, &mut t, &mut right);
+    ws.give(t);
 
     let gamma = |sig: &CMatrix| {
         let mut g = sig - &sig.adjoint();

@@ -7,10 +7,11 @@ pub mod dense_ref;
 pub mod observables;
 pub mod points;
 pub mod rgf;
+pub mod testutil;
 
 pub use boundary::{
-    bose, boundary_self_energies, contact_sigma_lg, fermi, surface_gf, BoundaryMethod,
-    BoundarySelfEnergies, SurfaceGf,
+    bose, boundary_self_energies, boundary_self_energies_ws, contact_sigma_lg, fermi, surface_gf,
+    surface_gf_ws, BoundaryMethod, BoundarySelfEnergies, SurfaceGf,
 };
 pub use dense_ref::{dense_solve, DenseSolution};
 pub use observables::{
@@ -21,4 +22,4 @@ pub use points::{
     CacheMode, ElectronParams, ElectronSolver, GfSolver, PhaseTimes, PhononParams, PhononSolver,
     PointSolution,
 };
-pub use rgf::{rgf_flops_model, rgf_solve, RgfInputs, RgfSolution};
+pub use rgf::{rgf_flops_model, rgf_solve, rgf_solve_into, RgfInputs, RgfSolution};

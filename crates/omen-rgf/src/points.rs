@@ -14,11 +14,11 @@
 //! device). [`CacheMode`] selects the compute-memory tradeoff.
 
 use crate::boundary::{
-    bose, boundary_self_energies, contact_sigma_lg, fermi, BoundaryMethod, BoundarySelfEnergies,
+    bose, boundary_self_energies_ws, contact_sigma_lg, fermi, BoundaryMethod, BoundarySelfEnergies,
 };
-use crate::rgf::{rgf_solve, RgfInputs, RgfSolution};
+use crate::rgf::{rgf_solve_into, RgfInputs, RgfSolution};
 use omen_device::DeviceStructure;
-use omen_linalg::{c64, BlockTriDiag, CMatrix};
+use omen_linalg::{c64, BlockTriDiag, CMatrix, WorkspaceLease, WorkspacePool};
 use std::time::{Duration, Instant};
 
 /// Compute/memory tradeoff of the GF phase (§7.1.2, Fig. 9).
@@ -176,6 +176,10 @@ pub struct ElectronSolver<'a> {
     energies: Vec<f64>,
     spec_cache: Vec<Option<(BlockTriDiag, BlockTriDiag)>>, // per kz: (H, S)
     bc_cache: Vec<Option<BoundarySelfEnergies>>,           // per (ik, ie)
+    /// Scratch arena threaded through the boundary and RGF solves; a
+    /// pool-backed lease when the solver was built with
+    /// [`ElectronSolver::with_workspace_pool`].
+    ws: WorkspaceLease<'a>,
 }
 
 impl<'a> ElectronSolver<'a> {
@@ -199,7 +203,16 @@ impl<'a> ElectronSolver<'a> {
             energies,
             spec_cache: vec![None; nk],
             bc_cache: vec![None; nk * ne],
+            ws: WorkspaceLease::detached(),
         }
+    }
+
+    /// Swaps the solver's scratch arena for a lease on `pool`, so the
+    /// buffers warmed by this solver's points survive the solver and warm
+    /// the next sweep (and the next Born iteration).
+    pub fn with_workspace_pool(mut self, pool: &'a WorkspacePool) -> Self {
+        self.ws = pool.lease();
+        self
     }
 
     /// The cache policy in force.
@@ -243,30 +256,56 @@ impl<'a> ElectronSolver<'a> {
         // --- (a) specialization ---
         let t0 = Instant::now();
         let use_spec_cache = self.mode == CacheMode::CacheBcSpec;
-        let (h, s) = if use_spec_cache && self.spec_cache[ik].is_some() {
-            self.spec_cache[ik].clone().unwrap()
-        } else {
-            let h = self.device.hamiltonian_with_potential(kz, &self.potential);
-            let s = self.device.overlap(kz);
-            if use_spec_cache {
-                self.spec_cache[ik] = Some((h.clone(), s.clone()));
+        // Fill the cache on a miss, then borrow from it — the operator
+        // pair is large (2·bnum·3 blocks), so no per-point clones.
+        let local_spec;
+        let (h, s) = if use_spec_cache {
+            if self.spec_cache[ik].is_none() {
+                let h = self.device.hamiltonian_with_potential(kz, &self.potential);
+                let s = self.device.overlap(kz);
+                self.spec_cache[ik] = Some((h, s));
             }
+            let (h, s) = self.spec_cache[ik].as_ref().unwrap();
             (h, s)
+        } else {
+            local_spec = (
+                self.device.hamiltonian_with_potential(kz, &self.potential),
+                self.device.overlap(kz),
+            );
+            (&local_spec.0, &local_spec.1)
         };
         times.specialization = t0.elapsed();
 
         // M = (E + iη)·S − H.
         let zc = c64(e, self.params.eta);
-        let mut m = s.linear_comb(zc, &h, c64(-1.0, 0.0));
+        let mut m = s.linear_comb(zc, h, c64(-1.0, 0.0));
 
         // --- (b) boundary conditions (ballistic lead blocks) ---
         let t1 = Instant::now();
         let bc_key = ik * self.energies.len() + ie;
         let use_bc_cache = self.mode != CacheMode::NoCache;
-        let bse = if use_bc_cache && self.bc_cache[bc_key].is_some() {
-            self.bc_cache[bc_key].clone().unwrap()
+        // Same cache-or-local discipline as the specialization: reads go
+        // through a borrow; only the two Γ blocks handed to the caller
+        // are cloned (on both paths — the cache must keep its copy).
+        let local_bse;
+        let bse = if use_bc_cache {
+            if self.bc_cache[bc_key].is_none() {
+                self.bc_cache[bc_key] = Some(boundary_self_energies_ws(
+                    self.params.method,
+                    &m.diag[0],
+                    &m.upper[0],
+                    &m.lower[0],
+                    &m.diag[bnum - 1],
+                    &m.upper[bnum - 2],
+                    &m.lower[bnum - 2],
+                    self.params.bc_tol,
+                    self.params.bc_max_iter,
+                    &mut self.ws,
+                ));
+            }
+            self.bc_cache[bc_key].as_ref().unwrap()
         } else {
-            let bse = boundary_self_energies(
+            local_bse = boundary_self_energies_ws(
                 self.params.method,
                 &m.diag[0],
                 &m.upper[0],
@@ -276,11 +315,9 @@ impl<'a> ElectronSolver<'a> {
                 &m.lower[bnum - 2],
                 self.params.bc_tol,
                 self.params.bc_max_iter,
+                &mut self.ws,
             );
-            if use_bc_cache {
-                self.bc_cache[bc_key] = Some(bse.clone());
-            }
-            bse
+            &local_bse
         };
         times.boundary = t1.elapsed();
 
@@ -316,11 +353,16 @@ impl<'a> ElectronSolver<'a> {
 
         // --- (c) RGF ---
         let t2 = Instant::now();
-        let sol = rgf_solve(&RgfInputs {
-            m: &m,
-            sigma_l: &sigma_l,
-            sigma_g: &sigma_g,
-        });
+        let mut sol = RgfSolution::empty();
+        rgf_solve_into(
+            &RgfInputs {
+                m: &m,
+                sigma_l: &sigma_l,
+                sigma_g: &sigma_g,
+            },
+            &mut self.ws,
+            &mut sol,
+        );
         times.rgf = t2.elapsed();
 
         PointSolution {
@@ -328,7 +370,7 @@ impl<'a> ElectronSolver<'a> {
             m,
             boundary_lg_left: (sl_l, sg_l),
             boundary_lg_right: (sl_r, sg_r),
-            gamma: (bse.gamma_left, bse.gamma_right),
+            gamma: (bse.gamma_left.clone(), bse.gamma_right.clone()),
             times,
         }
     }
@@ -366,6 +408,8 @@ pub struct PhononSolver<'a> {
     omegas: Vec<f64>,
     spec_cache: Vec<Option<BlockTriDiag>>, // per qz: Φ
     bc_cache: Vec<Option<BoundarySelfEnergies>>,
+    /// Scratch arena threaded through the boundary and RGF solves.
+    ws: WorkspaceLease<'a>,
 }
 
 impl<'a> PhononSolver<'a> {
@@ -391,7 +435,15 @@ impl<'a> PhononSolver<'a> {
             omegas,
             spec_cache: vec![None; nq],
             bc_cache: vec![None; nq * nw],
+            ws: WorkspaceLease::detached(),
         }
+    }
+
+    /// Swaps the solver's scratch arena for a lease on `pool` (see
+    /// [`ElectronSolver::with_workspace_pool`]).
+    pub fn with_workspace_pool(mut self, pool: &'a WorkspacePool) -> Self {
+        self.ws = pool.lease();
+        self
     }
 
     /// Solves point `(iq, iw)` with optional scattering `Π` blocks.
@@ -411,14 +463,16 @@ impl<'a> PhononSolver<'a> {
 
         let t0 = Instant::now();
         let use_spec_cache = self.mode == CacheMode::CacheBcSpec;
-        let phi = if use_spec_cache && self.spec_cache[iq].is_some() {
-            self.spec_cache[iq].clone().unwrap()
-        } else {
-            let phi = self.device.dynamical(qz);
-            if use_spec_cache {
-                self.spec_cache[iq] = Some(phi.clone());
+        // Cache-or-local borrow: no per-point clone of Φ (bnum·3 blocks).
+        let local_phi;
+        let phi = if use_spec_cache {
+            if self.spec_cache[iq].is_none() {
+                self.spec_cache[iq] = Some(self.device.dynamical(qz));
             }
-            phi
+            self.spec_cache[iq].as_ref().unwrap()
+        } else {
+            local_phi = self.device.dynamical(qz);
+            &local_phi
         };
         times.specialization = t0.elapsed();
 
@@ -437,10 +491,26 @@ impl<'a> PhononSolver<'a> {
         let t1 = Instant::now();
         let bc_key = iq * self.omegas.len() + iw;
         let use_bc_cache = self.mode != CacheMode::NoCache;
-        let bse = if use_bc_cache && self.bc_cache[bc_key].is_some() {
-            self.bc_cache[bc_key].clone().unwrap()
+        // Cache-or-local borrow, mirroring the electron solver.
+        let local_bse;
+        let bse = if use_bc_cache {
+            if self.bc_cache[bc_key].is_none() {
+                self.bc_cache[bc_key] = Some(boundary_self_energies_ws(
+                    self.params.method,
+                    &m.diag[0],
+                    &m.upper[0],
+                    &m.lower[0],
+                    &m.diag[bnum - 1],
+                    &m.upper[bnum - 2],
+                    &m.lower[bnum - 2],
+                    self.params.bc_tol,
+                    self.params.bc_max_iter,
+                    &mut self.ws,
+                ));
+            }
+            self.bc_cache[bc_key].as_ref().unwrap()
         } else {
-            let bse = boundary_self_energies(
+            local_bse = boundary_self_energies_ws(
                 self.params.method,
                 &m.diag[0],
                 &m.upper[0],
@@ -450,11 +520,9 @@ impl<'a> PhononSolver<'a> {
                 &m.lower[bnum - 2],
                 self.params.bc_tol,
                 self.params.bc_max_iter,
+                &mut self.ws,
             );
-            if use_bc_cache {
-                self.bc_cache[bc_key] = Some(bse.clone());
-            }
-            bse
+            &local_bse
         };
         times.boundary = t1.elapsed();
 
@@ -486,11 +554,16 @@ impl<'a> PhononSolver<'a> {
         pi_g[bnum - 1] += &pg_r;
 
         let t2 = Instant::now();
-        let sol = rgf_solve(&RgfInputs {
-            m: &m,
-            sigma_l: &pi_l,
-            sigma_g: &pi_g,
-        });
+        let mut sol = RgfSolution::empty();
+        rgf_solve_into(
+            &RgfInputs {
+                m: &m,
+                sigma_l: &pi_l,
+                sigma_g: &pi_g,
+            },
+            &mut self.ws,
+            &mut sol,
+        );
         times.rgf = t2.elapsed();
 
         PointSolution {
@@ -498,7 +571,7 @@ impl<'a> PhononSolver<'a> {
             m,
             boundary_lg_left: (pl_l, pg_l),
             boundary_lg_right: (pl_r, pg_r),
-            gamma: (bse.gamma_left, bse.gamma_right),
+            gamma: (bse.gamma_left.clone(), bse.gamma_right.clone()),
             times,
         }
     }

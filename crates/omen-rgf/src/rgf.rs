@@ -14,8 +14,8 @@
 
 use crate::dense_ref::DenseSolution;
 use omen_linalg::{
-    gemm, gemm_flops, invert, lu::lu_flops, matmul, matmul3, matmul_op, BlockTriDiag, CMatrix, Op,
-    C64,
+    gemm, gemm_flops, lu::lu_flops, matmul, matmul3_into, matmul_into, matmul_op, BlockTriDiag,
+    CMatrix, Op, Workspace, C64,
 };
 
 /// Inputs of one RGF solve: one energy-momentum point.
@@ -51,8 +51,108 @@ pub struct RgfSolution {
     pub flops: u64,
 }
 
-/// Solves one energy-momentum point with RGF.
+/// Solves one energy-momentum point with RGF, allocating fresh output and
+/// scratch storage. Hot paths should hold a [`Workspace`] and a reusable
+/// [`RgfSolution`] and call [`rgf_solve_into`] instead.
 pub fn rgf_solve(inp: &RgfInputs) -> RgfSolution {
+    let mut ws = Workspace::new();
+    let mut out = RgfSolution::empty();
+    rgf_solve_into(inp, &mut ws, &mut out);
+    out
+}
+
+/// Resizes `v` to `n` blocks of `bs × bs`, reusing existing buffers.
+fn ensure_blocks(v: &mut Vec<CMatrix>, n: usize, bs: usize) {
+    v.truncate(n);
+    for m in v.iter_mut() {
+        m.resize(bs, bs);
+    }
+    while v.len() < n {
+        v.push(CMatrix::zeros(bs, bs));
+    }
+}
+
+/// Left-connected lesser/greater block:
+/// `out = gL (Σ≷ + L g≷_prev L†) gL†` (the `prev` term only for `n > 0`).
+#[allow(clippy::too_many_arguments)]
+fn left_connected_lg(
+    sigma: &CMatrix,
+    prev: Option<(&CMatrix, &CMatrix)>, // (L[n−1], g≷_left[n−1])
+    g: &CMatrix,
+    s: &mut CMatrix,
+    t1: &mut CMatrix,
+    t2: &mut CMatrix,
+    out: &mut CMatrix,
+    flops: &mut u64,
+    g3: u64,
+) {
+    s.copy_from(sigma);
+    if let Some((l, p)) = prev {
+        // L[n−1] · p · L[n−1]†
+        matmul_into(l, p, t1);
+        gemm(C64::ONE, t1, Op::N, l, Op::C, C64::ZERO, t2);
+        *flops += 2 * g3;
+        *s += &*t2;
+    }
+    matmul_into(g, s, t1);
+    gemm(C64::ONE, t1, Op::N, g, Op::C, C64::ZERO, out);
+    *flops += 2 * g3;
+}
+
+/// One lesser/greater backward-recursion step (identical algebra for `<`
+/// and `>`, different Σ). `gu = gL[n]·U` is hoisted by the caller and
+/// shared between both applications.
+#[allow(clippy::too_many_arguments)]
+fn backward_lg_step(
+    gu: &CMatrix,
+    gl_n: &CMatrix,
+    u: &CMatrix,
+    l: &CMatrix,
+    g_conn_next: &CMatrix, // G^R[n+1][n+1]
+    g_less_next: &CMatrix, // G≷[n+1][n+1]
+    g_less_left: &CMatrix, // g≷_left[n]
+    t1: &mut CMatrix,
+    t2: &mut CMatrix,
+    t3: &mut CMatrix,
+    t4: &mut CMatrix,
+    diag_out: &mut CMatrix,
+    lower_out: &mut CMatrix,
+    flops: &mut u64,
+    g3: u64,
+) {
+    // T1 = gL·U·G≷[n+1]·U†·gL†  (gu = gL·U precomputed)
+    matmul_into(gu, g_less_next, t1);
+    gemm(C64::ONE, t1, Op::N, u, Op::C, C64::ZERO, t2);
+    gemm(C64::ONE, t2, Op::N, gl_n, Op::C, C64::ZERO, t1); // t1 = T1
+                                                           // T3 = gL·U·G^R[n+1]·L·g≷_left[n]
+    matmul_into(gu, g_conn_next, t2);
+    matmul3_into(t2, l, g_less_left, t4, t3); // t3 = T3
+    *flops += 6 * g3;
+
+    // diag = g≷_left + T1 + T3 − T3† (the adjoint keeps it anti-Hermitian).
+    diag_out.copy_from(g_less_left);
+    *diag_out += &*t1;
+    *diag_out += &*t3;
+    t3.adjoint_into(t4);
+    *diag_out -= &*t4;
+
+    // Off-diagonal: G≷[n+1][n] = −(G^R[n+1]·L·g≷_left + G≷[n+1]·U†·gL†).
+    matmul3_into(g_conn_next, l, g_less_left, t1, lower_out);
+    gemm(C64::ONE, g_less_next, Op::N, u, Op::C, C64::ZERO, t1);
+    gemm(C64::ONE, t1, Op::N, gl_n, Op::C, C64::ONE, lower_out);
+    *flops += 4 * g3;
+    lower_out.scale_inplace(C64::from_re(-1.0));
+}
+
+/// Solves one energy-momentum point with RGF into a reusable solution.
+///
+/// All temporaries come from `ws` and every output block reuses `out`'s
+/// buffers, so a warm `(ws, out)` pair makes the solve **allocation-free**
+/// — the property the `integration_alloc` regression test pins down. The
+/// forward/backward sweeps share the workspace's block buffers; values are
+/// identical to the seed implementation up to floating-point
+/// reassociation inside GEMM tiles.
+pub fn rgf_solve_into(inp: &RgfInputs, ws: &mut Workspace, out: &mut RgfSolution) {
     let m = inp.m;
     let nb = m.num_blocks();
     let bs = m.block_size();
@@ -61,52 +161,71 @@ pub fn rgf_solve(inp: &RgfInputs) -> RgfSolution {
     let mut flops: u64 = 0;
     let g3 = gemm_flops(bs, bs, bs);
 
+    ensure_blocks(&mut out.gr_diag, nb, bs);
+    ensure_blocks(&mut out.gl_diag, nb, bs);
+    ensure_blocks(&mut out.gg_diag, nb, bs);
+    ensure_blocks(&mut out.gr_upper, nb.saturating_sub(1), bs);
+    ensure_blocks(&mut out.gr_lower, nb.saturating_sub(1), bs);
+    ensure_blocks(&mut out.gl_lower, nb.saturating_sub(1), bs);
+    ensure_blocks(&mut out.gg_lower, nb.saturating_sub(1), bs);
+
+    // Scratch blocks (returned to the workspace at the end).
+    let mut t1 = ws.take(bs, bs);
+    let mut t2 = ws.take(bs, bs);
+    let mut t3 = ws.take(bs, bs);
+    let mut t4 = ws.take(bs, bs);
+    let mut s = ws.take(bs, bs);
+    let mut eff = ws.take(bs, bs);
+    let mut gu = ws.take(bs, bs);
+    let mut grd_s = ws.take(bs, bs);
+    let mut dl_s = ws.take(bs, bs);
+    let mut dg_s = ws.take(bs, bs);
+
     // ---------- forward sweep: left-connected quantities ----------
-    let mut g_left: Vec<CMatrix> = Vec::with_capacity(nb); // gL[n]
-    let mut gl_left: Vec<CMatrix> = Vec::with_capacity(nb); // g<[n] left-connected
-    let mut gg_left: Vec<CMatrix> = Vec::with_capacity(nb);
+    let mut g_left = ws.take_vec(); // gL[n]
+    let mut gl_left = ws.take_vec(); // g<[n] left-connected
+    let mut gg_left = ws.take_vec();
 
     for n in 0..nb {
-        let eff = if n == 0 {
-            m.diag[0].clone()
-        } else {
+        eff.copy_from(&m.diag[n]);
+        if n > 0 {
             // M[n][n] − L[n−1] · gL[n−1] · U[n−1]
-            let t = matmul3(&m.lower[n - 1], &g_left[n - 1], &m.upper[n - 1]);
+            matmul_into(&m.lower[n - 1], &g_left[n - 1], &mut t1);
+            matmul_into(&t1, &m.upper[n - 1], &mut t2);
             flops += 2 * g3;
-            &m.diag[n] - &t
-        };
-        let g = invert(&eff);
+            eff -= &t2;
+        }
+        let mut g = ws.take(bs, bs);
+        ws.invert_into(&eff, &mut g);
         flops += lu_flops(bs, bs);
 
         // Left-connected lesser/greater: g≷ = gL (Σ≷ + L g≷_prev L†) gL†.
-        let make = |sigma: &CMatrix, prev: Option<&CMatrix>, flops: &mut u64| -> CMatrix {
-            let mut s = sigma.clone();
-            if let Some(p) = prev {
-                // L[n−1] · p · L[n−1]†
-                let lp = matmul(&m.lower[n - 1], p);
-                let mut t = CMatrix::zeros(bs, bs);
-                gemm(
-                    C64::ONE,
-                    &lp,
-                    Op::N,
-                    &m.lower[n - 1],
-                    Op::C,
-                    C64::ZERO,
-                    &mut t,
-                );
-                *flops += 2 * g3;
-                s += &t;
-            }
-            let gs = matmul(&g, &s);
-            let mut out = CMatrix::zeros(bs, bs);
-            gemm(C64::ONE, &gs, Op::N, &g, Op::C, C64::ZERO, &mut out);
-            *flops += 2 * g3;
-            out
-        };
-        let prev_l = if n == 0 { None } else { Some(&gl_left[n - 1]) };
-        let gl = make(&inp.sigma_l[n], prev_l, &mut flops);
-        let prev_g = if n == 0 { None } else { Some(&gg_left[n - 1]) };
-        let gg = make(&inp.sigma_g[n], prev_g, &mut flops);
+        let mut gl = ws.take(bs, bs);
+        let prev_l = (n > 0).then(|| (&m.lower[n - 1], &gl_left[n - 1]));
+        left_connected_lg(
+            &inp.sigma_l[n],
+            prev_l,
+            &g,
+            &mut s,
+            &mut t1,
+            &mut t2,
+            &mut gl,
+            &mut flops,
+            g3,
+        );
+        let mut gg = ws.take(bs, bs);
+        let prev_g = (n > 0).then(|| (&m.lower[n - 1], &gg_left[n - 1]));
+        left_connected_lg(
+            &inp.sigma_g[n],
+            prev_g,
+            &g,
+            &mut s,
+            &mut t1,
+            &mut t2,
+            &mut gg,
+            &mut flops,
+            g3,
+        );
 
         g_left.push(g);
         gl_left.push(gl);
@@ -114,17 +233,9 @@ pub fn rgf_solve(inp: &RgfInputs) -> RgfSolution {
     }
 
     // ---------- backward sweep: fully-connected blocks ----------
-    let mut gr_diag = vec![CMatrix::zeros(bs, bs); nb];
-    let mut gr_upper = vec![CMatrix::zeros(bs, bs); nb.saturating_sub(1)];
-    let mut gr_lower = vec![CMatrix::zeros(bs, bs); nb.saturating_sub(1)];
-    let mut gl_diag = vec![CMatrix::zeros(bs, bs); nb];
-    let mut gg_diag = vec![CMatrix::zeros(bs, bs); nb];
-    let mut gl_lower = vec![CMatrix::zeros(bs, bs); nb.saturating_sub(1)];
-    let mut gg_lower = vec![CMatrix::zeros(bs, bs); nb.saturating_sub(1)];
-
-    gr_diag[nb - 1] = g_left[nb - 1].clone();
-    gl_diag[nb - 1] = gl_left[nb - 1].clone();
-    gg_diag[nb - 1] = gg_left[nb - 1].clone();
+    out.gr_diag[nb - 1].copy_from(&g_left[nb - 1]);
+    out.gl_diag[nb - 1].copy_from(&gl_left[nb - 1]);
+    out.gg_diag[nb - 1].copy_from(&gg_left[nb - 1]);
 
     for n in (0..nb.saturating_sub(1)).rev() {
         let u = &m.upper[n]; // M[n][n+1]
@@ -133,81 +244,91 @@ pub fn rgf_solve(inp: &RgfInputs) -> RgfSolution {
 
         // Retarded off-diagonals:
         // G[n+1][n] = −G[n+1][n+1] · L · gL[n]
-        let grl = matmul3(&gr_diag[n + 1], l, gl_n).scaled(C64::from_re(-1.0));
+        matmul3_into(&out.gr_diag[n + 1], l, gl_n, &mut t1, &mut out.gr_lower[n]);
+        out.gr_lower[n].scale_inplace(C64::from_re(-1.0));
         // G[n][n+1] = −gL[n] · U · G[n+1][n+1]
-        let gru = matmul3(gl_n, u, &gr_diag[n + 1]).scaled(C64::from_re(-1.0));
+        matmul3_into(gl_n, u, &out.gr_diag[n + 1], &mut t1, &mut out.gr_upper[n]);
+        out.gr_upper[n].scale_inplace(C64::from_re(-1.0));
         flops += 4 * g3;
 
         // Retarded diagonal: G[n][n] = gL[n] + gL[n]·U·G[n+1][n+1]·L·gL[n]
         //                            = gL[n] − G[n][n+1]·L·gL[n].
-        let mut grd = gl_n.clone();
-        let corr = matmul3(&gru, l, gl_n);
+        grd_s.copy_from(gl_n);
+        matmul3_into(&out.gr_upper[n], l, gl_n, &mut t1, &mut t2);
         flops += 2 * g3;
-        grd -= &corr;
+        grd_s -= &t2;
 
-        // Lesser/greater recursions (identical algebra, different Σ).
-        let step = |g_conn_next: &CMatrix,
-                    g_less_next: &CMatrix,
-                    g_less_left: &CMatrix,
-                    flops: &mut u64|
-         -> (CMatrix, CMatrix) {
-            // T1 = gL·U·G≷[n+1]·U†·gL†
-            let gu = matmul(gl_n, u);
-            let t1a = matmul(&gu, g_less_next);
-            let mut t1b = CMatrix::zeros(bs, bs);
-            gemm(C64::ONE, &t1a, Op::N, u, Op::C, C64::ZERO, &mut t1b);
-            let mut t1 = CMatrix::zeros(bs, bs);
-            gemm(C64::ONE, &t1b, Op::N, gl_n, Op::C, C64::ZERO, &mut t1);
-            // T3 = gL·U·G^R[n+1]·L·g≷_left[n]
-            let t3a = matmul(&gu, g_conn_next);
-            let t3 = matmul3(&t3a, l, g_less_left);
-            *flops += 7 * g3;
-            // T4 = −T3† (keeps the result anti-Hermitian).
-            let t4 = t3.adjoint().scaled(C64::from_re(-1.0));
+        // gu = gL[n]·U, shared by the lesser and greater steps below.
+        matmul_into(gl_n, u, &mut gu);
+        flops += g3;
 
-            let mut diag = g_less_left.clone();
-            diag += &t1;
-            diag += &t3;
-            diag += &t4;
+        backward_lg_step(
+            &gu,
+            gl_n,
+            u,
+            l,
+            &out.gr_diag[n + 1],
+            &out.gl_diag[n + 1],
+            &gl_left[n],
+            &mut t1,
+            &mut t2,
+            &mut t3,
+            &mut t4,
+            &mut dl_s,
+            &mut out.gl_lower[n],
+            &mut flops,
+            g3,
+        );
+        backward_lg_step(
+            &gu,
+            gl_n,
+            u,
+            l,
+            &out.gr_diag[n + 1],
+            &out.gg_diag[n + 1],
+            &gg_left[n],
+            &mut t1,
+            &mut t2,
+            &mut t3,
+            &mut t4,
+            &mut dg_s,
+            &mut out.gg_lower[n],
+            &mut flops,
+            g3,
+        );
 
-            // Off-diagonal: G≷[n+1][n] = −(G^R[n+1]·L·g≷_left + G≷[n+1]·U†·gL†)
-            let o1 = matmul3(g_conn_next, l, g_less_left);
-            let mut o2a = CMatrix::zeros(bs, bs);
-            gemm(C64::ONE, g_less_next, Op::N, u, Op::C, C64::ZERO, &mut o2a);
-            let mut o2 = CMatrix::zeros(bs, bs);
-            gemm(C64::ONE, &o2a, Op::N, gl_n, Op::C, C64::ZERO, &mut o2);
-            *flops += 4 * g3;
-            let mut lower = o1;
-            lower += &o2;
-            lower.scale_inplace(C64::from_re(-1.0));
-            (diag, lower)
-        };
-
-        let (gld, gll) = step(&gr_diag[n + 1], &gl_diag[n + 1], &gl_left[n], &mut flops);
-        let (ggd, ggl) = step(&gr_diag[n + 1], &gg_diag[n + 1], &gg_left[n], &mut flops);
-
-        gr_diag[n] = grd;
-        gr_upper[n] = gru;
-        gr_lower[n] = grl;
-        gl_diag[n] = gld;
-        gg_diag[n] = ggd;
-        gl_lower[n] = gll;
-        gg_lower[n] = ggl;
+        // Diagonal writes happen last: the steps above still read the
+        // `n + 1` diagonals of the same vectors.
+        out.gr_diag[n].copy_from(&grd_s);
+        out.gl_diag[n].copy_from(&dl_s);
+        out.gg_diag[n].copy_from(&dg_s);
     }
 
-    RgfSolution {
-        gr_diag,
-        gr_upper,
-        gr_lower,
-        gl_diag,
-        gg_diag,
-        gl_lower,
-        gg_lower,
-        flops,
+    ws.give_vec(g_left);
+    ws.give_vec(gl_left);
+    ws.give_vec(gg_left);
+    for sc in [t1, t2, t3, t4, s, eff, gu, grd_s, dl_s, dg_s] {
+        ws.give(sc);
     }
+    out.flops = flops;
 }
 
 impl RgfSolution {
+    /// A zero-block solution, the reusable output slot for
+    /// [`rgf_solve_into`]. Performs no allocation.
+    pub fn empty() -> Self {
+        RgfSolution {
+            gr_diag: Vec::new(),
+            gr_upper: Vec::new(),
+            gr_lower: Vec::new(),
+            gl_diag: Vec::new(),
+            gg_diag: Vec::new(),
+            gl_lower: Vec::new(),
+            gg_lower: Vec::new(),
+            flops: 0,
+        }
+    }
+
     /// Checks the blocks against a dense solution; returns the largest
     /// absolute deviation over all compared blocks.
     pub fn max_deviation_from_dense(&self, dense: &DenseSolution, bs: usize) -> f64 {
@@ -273,49 +394,7 @@ mod tests {
     use crate::dense_ref::dense_solve;
     use omen_linalg::c64;
 
-    /// Builds a physically-shaped random test system: Hermitian H-like part
-    /// plus +iη, anti-Hermitian Σ^≷ blocks.
-    fn test_system(nb: usize, bs: usize, seed: f64) -> (BlockTriDiag, Vec<CMatrix>, Vec<CMatrix>) {
-        let mut m = BlockTriDiag::zeros(nb, bs);
-        for b in 0..nb {
-            let mut h = CMatrix::from_fn(bs, bs, |i, j| {
-                c64(
-                    ((i * 3 + j * 7 + b) as f64 + seed).sin() * 0.3,
-                    ((i + 2 * j) as f64 - seed).cos() * 0.2,
-                )
-            });
-            h.hermitianize();
-            // M = E − H + iη on the diagonal.
-            m.diag[b] = CMatrix::from_fn(bs, bs, |i, j| {
-                let e = if i == j { c64(1.5, 5e-2) } else { C64::ZERO };
-                e - h[(i, j)]
-            });
-        }
-        for b in 0..nb - 1 {
-            m.upper[b] = CMatrix::from_fn(bs, bs, |i, j| {
-                c64(
-                    -0.6 + 0.05 * ((i + 2 * j + b) as f64 + seed).sin(),
-                    0.04 * ((i * 2 + j) as f64).cos(),
-                )
-            });
-            m.lower[b] = m.upper[b].adjoint();
-        }
-        let mk_sigma = |shift: f64| {
-            (0..nb)
-                .map(|b| {
-                    let mut x = CMatrix::from_fn(bs, bs, |i, j| {
-                        c64(
-                            ((i + 3 * j + 2 * b) as f64 + shift).sin() * 0.15,
-                            ((3 * i + j + b) as f64 - shift).cos() * 0.15,
-                        )
-                    });
-                    x.hermitianize();
-                    x.scaled(C64::I)
-                })
-                .collect::<Vec<_>>()
-        };
-        (m, mk_sigma(seed + 0.4), mk_sigma(seed + 2.9))
-    }
+    use crate::testutil::test_system;
 
     #[test]
     fn rgf_matches_dense_small() {

@@ -26,11 +26,17 @@ pub mod testutil;
 
 pub use flops::{sse_flops_dace, sse_flops_omen, SseFlopParams};
 pub use kernel::{MixedKernel, ReferenceKernel, SseKernel, TransformedKernel};
-pub use mixed::{sse_mixed, MixedConfig};
+pub use mixed::{sse_mixed, sse_mixed_into, MixedConfig, MixedScratch};
 pub use point_kernels::{
-    pi_round_update, sigma_round_update, sigma_round_update_atoms, DBlocks, GBlocks,
+    pi_round_update, pi_round_update_into, sigma_round_update, sigma_round_update_atoms,
+    sigma_round_update_atoms_ws, sigma_round_update_ws, DBlocks, GBlocks,
 };
 pub use problem::SseProblem;
-pub use reference::{d_combination, d_combination_from, sse_reference, trace_product, SseOutput};
+pub use reference::{
+    d_combination, d_combination_from, sse_reference, sse_reference_into, trace_product, SseOutput,
+};
 pub use tensors::{DLayout, DTensor, GLayout, GTensor, D_BSZ};
-pub use transformed::{build_transients, consume_transients, sse_transformed, Transients};
+pub use transformed::{
+    build_transients, build_transients_into, consume_transients, consume_transients_into,
+    sse_transformed, sse_transformed_into, Transients,
+};

@@ -15,7 +15,7 @@
 use crate::problem::SseProblem;
 use crate::reference::SseOutput;
 use crate::tensors::{DLayout, DTensor, GLayout, GTensor, D_BSZ};
-use crate::transformed::{build_transients, Transients};
+use crate::transformed::{build_transients_into, Transients};
 use omen_linalg::mixed::sbsmm_f16_raw;
 use omen_linalg::{BatchDims, Normalization, SplitF16Batch, Strides, C64};
 use rayon::prelude::*;
@@ -36,6 +36,36 @@ impl Default for MixedConfig {
     }
 }
 
+/// Reusable storage of the mixed-precision kernel: the double-precision
+/// transients plus their four split-complex f16 conversions.
+pub struct MixedScratch {
+    /// Stage A/B transients (double precision).
+    pub tr: Transients,
+    hg_l16: SplitF16Batch,
+    hg_g16: SplitF16Batch,
+    hd_l16: SplitF16Batch,
+    hd_g16: SplitF16Batch,
+}
+
+impl MixedScratch {
+    /// Empty scratch; buffers materialize on first use.
+    pub fn empty() -> Self {
+        MixedScratch {
+            tr: Transients::empty(),
+            hg_l16: SplitF16Batch::empty(),
+            hg_g16: SplitF16Batch::empty(),
+            hd_l16: SplitF16Batch::empty(),
+            hd_g16: SplitF16Batch::empty(),
+        }
+    }
+}
+
+impl Default for MixedScratch {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
 /// Evaluates `Σ^≷`/`Π^≷` with the stage-C multiplications in emulated
 /// Tensor-Core binary16. Inputs as in
 /// [`crate::transformed::sse_transformed`] (AtomMajor `G`).
@@ -47,32 +77,48 @@ pub fn sse_mixed(
     d_g: &DTensor,
     cfg: MixedConfig,
 ) -> SseOutput {
-    let tr = build_transients(prob, g_l, g_g, d_l, d_g);
+    let mut scratch = MixedScratch::empty();
+    let mut out = SseOutput::empty();
+    sse_mixed_into(prob, g_l, g_g, d_l, d_g, cfg, &mut scratch, &mut out);
+    out
+}
+
+/// [`sse_mixed`] with reusable transient/conversion/output storage.
+#[allow(clippy::too_many_arguments)]
+pub fn sse_mixed_into(
+    prob: &SseProblem,
+    g_l: &GTensor,
+    g_g: &GTensor,
+    d_l: &DTensor,
+    d_g: &DTensor,
+    cfg: MixedConfig,
+    scratch: &mut MixedScratch,
+    out: &mut SseOutput,
+) {
+    build_transients_into(prob, g_l, g_g, d_l, d_g, &mut scratch.tr);
+    let tr = &scratch.tr;
 
     // Convert the transients to split-complex f16 (the paper's
     // "split-complex format": contiguous real plane then imaginary plane).
-    let hg_l16 = SplitF16Batch::from_c64(&tr.hg_l, cfg.normalization);
-    let hg_g16 = SplitF16Batch::from_c64(&tr.hg_g, cfg.normalization);
-    let hd_l16 = SplitF16Batch::from_c64(&tr.hd_l, cfg.normalization);
-    let hd_g16 = SplitF16Batch::from_c64(&tr.hd_g, cfg.normalization);
+    scratch.hg_l16.convert_from(&tr.hg_l, cfg.normalization);
+    scratch.hg_g16.convert_from(&tr.hg_g, cfg.normalization);
+    scratch.hd_l16.convert_from(&tr.hd_l, cfg.normalization);
+    scratch.hd_g16.convert_from(&tr.hd_g, cfg.normalization);
+    let (hg_l16, hg_g16) = (&scratch.hg_l16, &scratch.hg_g16);
+    let (hd_l16, hd_g16) = (&scratch.hd_l16, &scratch.hd_g16);
 
     let norb = prob.norb();
     let bsz = norb * norb;
     let dims = BatchDims::square(norb);
     let na = prob.na();
     let (nk, ne, nq, nw) = (prob.nk, prob.ne, prob.nq, prob.nw);
-    let mut sigma_l = GTensor::zeros(nk, ne, na, norb, GLayout::AtomMajor);
-    let mut sigma_g = GTensor::zeros(nk, ne, na, norb, GLayout::AtomMajor);
+    out.sigma_l.reset(nk, ne, na, norb, GLayout::AtomMajor);
+    out.sigma_g.reset(nk, ne, na, norb, GLayout::AtomMajor);
+    let sigma_l = &mut out.sigma_l;
+    let sigma_g = &mut out.sigma_g;
 
     let atom_chunk = nk * ne * bsz;
-    let pair_ranges: Vec<(usize, usize)> = (0..na)
-        .map(|a| {
-            (
-                prob.device.neighbors.offsets[a],
-                prob.device.neighbors.offsets[a + 1],
-            )
-        })
-        .collect();
+    let offsets = &prob.device.neighbors.offsets;
     let strides = Strides {
         a: bsz,
         b: 0,
@@ -91,7 +137,7 @@ pub fn sse_mixed(
             .enumerate()
             .map(|(a, (out_l, out_g))| {
                 let mut flops = 0u64;
-                for p in pair_ranges[a].0..pair_ranges[a].1 {
+                for p in offsets[a]..offsets[a + 1] {
                     for i in 0..3 {
                         for q in 0..nq {
                             for m in 0..nw {
@@ -179,26 +225,21 @@ pub fn sse_mixed(
     }
 
     // Π stays double-precision: reuse stage D of the transformed kernel.
-    let (pi_l, pi_g, flops_d) = pi_stage_f64(prob, &tr);
+    let flops_d = pi_stage_f64(prob, tr, &mut out.pi_l, &mut out.pi_g);
 
-    SseOutput {
-        sigma_l,
-        sigma_g,
-        pi_l,
-        pi_g,
-        flops: tr.flops + flops_c + flops_d,
-    }
+    out.flops = tr.flops + flops_c + flops_d;
 }
 
-/// The double-precision Π stage shared with the transformed kernel.
-fn pi_stage_f64(prob: &SseProblem, tr: &Transients) -> (DTensor, DTensor, u64) {
+/// The double-precision Π stage shared with the transformed kernel,
+/// writing into reusable output tensors.
+fn pi_stage_f64(prob: &SseProblem, tr: &Transients, pi_l: &mut DTensor, pi_g: &mut DTensor) -> u64 {
     let norb = prob.norb();
     let bsz = norb * norb;
     let na = prob.na();
     let (nk, ne, nq, nw) = (prob.nk, prob.ne, prob.nq, prob.nw);
     let npairs = prob.npairs();
-    let mut pi_l = DTensor::zeros(nq, nw, npairs, na, DLayout::PointMajor);
-    let mut pi_g = DTensor::zeros(nq, nw, npairs, na, DLayout::PointMajor);
+    pi_l.reset(nq, nw, npairs, na, DLayout::PointMajor);
+    pi_g.reset(nq, nw, npairs, na, DLayout::PointMajor);
     let mut flops = 0u64;
     let pairs = &prob.device.neighbors.pairs;
     // `p` indexes `pairs` and `rev_pair` in lockstep; an iterator zip
@@ -244,7 +285,7 @@ fn pi_stage_f64(prob: &SseProblem, tr: &Transients) -> (DTensor, DTensor, u64) {
             }
         }
     }
-    (pi_l, pi_g, flops)
+    flops
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 use crate::problem::SseProblem;
 use crate::reference::{d_combination_from, trace_product};
 use crate::tensors::{DTensor, GTensor, D_BSZ};
-use omen_linalg::{small_gemm, BatchDims, C64};
+use omen_linalg::{small_gemm, BatchDims, Workspace, C64};
 
 /// Abstract access to `G^≷` atom-diagonal blocks.
 pub trait GBlocks {
@@ -56,8 +56,44 @@ pub fn sigma_round_update(
     out_l: &mut [C64],
     out_g: &mut [C64],
 ) {
-    let atoms: Vec<usize> = (0..prob.na()).collect();
-    sigma_round_update_atoms(prob, q, m, k, e, g_l, g_g, d_l, d_g, &atoms, out_l, out_g);
+    let mut ws = Workspace::new();
+    sigma_round_update_ws(prob, q, m, k, e, g_l, g_g, d_l, d_g, out_l, out_g, &mut ws);
+}
+
+/// [`sigma_round_update`] with workspace-held scratch (allocation-free
+/// once `ws` is warm).
+#[allow(clippy::too_many_arguments)]
+pub fn sigma_round_update_ws(
+    prob: &SseProblem,
+    q: usize,
+    m: usize,
+    k: usize,
+    e: usize,
+    g_l: &impl GBlocks,
+    g_g: &impl GBlocks,
+    d_l: &impl DBlocks,
+    d_g: &impl DBlocks,
+    out_l: &mut [C64],
+    out_g: &mut [C64],
+    ws: &mut Workspace,
+) {
+    let na = prob.na();
+    sigma_round_core(
+        prob,
+        q,
+        m,
+        k,
+        e,
+        g_l,
+        g_g,
+        d_l,
+        d_g,
+        (0..na).map(|a| (a, a)),
+        na,
+        out_l,
+        out_g,
+        ws,
+    );
 }
 
 /// Subset variant of [`sigma_round_update`]: only the atoms in `atoms`
@@ -79,11 +115,72 @@ pub fn sigma_round_update_atoms(
     out_l: &mut [C64],
     out_g: &mut [C64],
 ) {
+    let mut ws = Workspace::new();
+    sigma_round_update_atoms_ws(
+        prob, q, m, k, e, g_l, g_g, d_l, d_g, atoms, out_l, out_g, &mut ws,
+    );
+}
+
+/// [`sigma_round_update_atoms`] with workspace-held scratch.
+#[allow(clippy::too_many_arguments)]
+pub fn sigma_round_update_atoms_ws(
+    prob: &SseProblem,
+    q: usize,
+    m: usize,
+    k: usize,
+    e: usize,
+    g_l: &impl GBlocks,
+    g_g: &impl GBlocks,
+    d_l: &impl DBlocks,
+    d_g: &impl DBlocks,
+    atoms: &[usize],
+    out_l: &mut [C64],
+    out_g: &mut [C64],
+    ws: &mut Workspace,
+) {
+    sigma_round_core(
+        prob,
+        q,
+        m,
+        k,
+        e,
+        g_l,
+        g_g,
+        d_l,
+        d_g,
+        atoms.iter().copied().enumerate(),
+        atoms.len(),
+        out_l,
+        out_g,
+        ws,
+    );
+}
+
+/// Shared implementation over an `(output block, atom)` iteration. The
+/// arithmetic is identical to the corresponding slice of
+/// [`crate::reference::sse_reference`].
+#[allow(clippy::too_many_arguments)]
+fn sigma_round_core(
+    prob: &SseProblem,
+    q: usize,
+    m: usize,
+    k: usize,
+    e: usize,
+    g_l: &impl GBlocks,
+    g_g: &impl GBlocks,
+    d_l: &impl DBlocks,
+    d_g: &impl DBlocks,
+    atoms: impl Iterator<Item = (usize, usize)>,
+    natoms: usize,
+    out_l: &mut [C64],
+    out_g: &mut [C64],
+    ws: &mut Workspace,
+) {
     let norb = prob.norb();
     let bsz = norb * norb;
     let dims = BatchDims::square(norb);
-    assert_eq!(out_l.len(), atoms.len() * bsz, "Σ< accumulator length");
-    assert_eq!(out_g.len(), atoms.len() * bsz, "Σ> accumulator length");
+    assert_eq!(out_l.len(), natoms * bsz, "Σ< accumulator length");
+    assert_eq!(out_g.len(), natoms * bsz, "Σ> accumulator length");
     let grads = &prob.device.gradients;
     let steps = prob.omega_steps(m);
     let kk = prob.k_minus_q(k, q);
@@ -92,10 +189,12 @@ pub fn sigma_round_update_atoms(
     if !emission && !absorption {
         return;
     }
-    let mut t1 = vec![C64::ZERO; bsz];
-    let mut t2 = vec![C64::ZERO; bsz];
+    let mut t1 = ws.take_buf(bsz);
+    let mut t2 = ws.take_buf(bsz);
+    let mut c_l = ws.take_buf(bsz);
+    let mut c_g = ws.take_buf(bsz);
 
-    for (ax, &a) in atoms.iter().enumerate() {
+    for (ax, a) in atoms {
         for (pair, b) in prob.pairs_of(a) {
             let rev = prob.rev_pair[pair];
             let dc_l = d_combination_from(d_l, q, m, pair, rev, a, b, prob.npairs());
@@ -103,8 +202,8 @@ pub fn sigma_round_update_atoms(
             let grad_ab = &grads.grads[pair];
             let grad_ba = &grads.grads[rev];
             for i in 0..3 {
-                let mut c_l = vec![C64::ZERO; bsz];
-                let mut c_g = vec![C64::ZERO; bsz];
+                c_l.fill(C64::ZERO);
+                c_g.fill(C64::ZERO);
                 for j in 0..3 {
                     let wl = dc_l[j * 3 + i];
                     let wg = dc_g[j * 3 + i];
@@ -176,6 +275,9 @@ pub fn sigma_round_update_atoms(
             }
         }
     }
+    for buf in [t1, t2, c_l, c_g] {
+        ws.give_buf(buf);
+    }
 }
 
 /// The `(q, m)` round's `Π^≷` contribution from summation point `(k, e)`,
@@ -194,19 +296,41 @@ pub fn pi_round_update(
     g_g: &impl GBlocks,
     pair_subset: &[usize],
 ) -> Vec<(usize, [C64; D_BSZ], [C64; D_BSZ])> {
+    let mut ws = Workspace::new();
+    let mut out = Vec::new();
+    pi_round_update_into(prob, q, m, k, e, g_l, g_g, pair_subset, &mut ws, &mut out);
+    out
+}
+
+/// [`pi_round_update`] into a reusable vector with workspace-held scratch
+/// (allocation-free once `ws` and `out` are warm).
+#[allow(clippy::too_many_arguments)]
+pub fn pi_round_update_into(
+    prob: &SseProblem,
+    q: usize,
+    m: usize,
+    k: usize,
+    e: usize,
+    g_l: &impl GBlocks,
+    g_g: &impl GBlocks,
+    pair_subset: &[usize],
+    ws: &mut Workspace,
+    out: &mut Vec<(usize, [C64; D_BSZ], [C64; D_BSZ])>,
+) {
+    out.clear();
     let norb = prob.norb();
     let bsz = norb * norb;
     let dims = BatchDims::square(norb);
     let steps = prob.omega_steps(m);
     if e + steps >= prob.ne {
-        return Vec::new();
+        return;
     }
     let kq = prob.k_plus_q(k, q);
     let grads = &prob.device.gradients;
     let pairs = &prob.device.neighbors.pairs;
-    let mut t1 = vec![C64::ZERO; bsz];
-    let mut t2 = vec![C64::ZERO; bsz];
-    let mut out = Vec::with_capacity(pair_subset.len());
+    let mut t1 = ws.take_buf(bsz);
+    let mut t2 = ws.take_buf(bsz);
+    out.reserve(pair_subset.len());
     for &p in pair_subset {
         let a = pairs[p].from;
         let b = pairs[p].to;
@@ -255,7 +379,8 @@ pub fn pi_round_update(
         }
         out.push((p, c_l, c_g));
     }
-    out
+    ws.give_buf(t1);
+    ws.give_buf(t2);
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 
 use crate::problem::SseProblem;
 use crate::tensors::{DLayout, DTensor, GLayout, GTensor, D_BSZ};
-use omen_linalg::{small_gemm, BatchDims, C64};
+use omen_linalg::{small_gemm, BatchDims, Workspace, C64};
 
 /// Output of one SSE evaluation.
 pub struct SseOutput {
@@ -24,6 +24,20 @@ pub struct SseOutput {
     pub pi_g: DTensor,
     /// Real flops performed.
     pub flops: u64,
+}
+
+impl SseOutput {
+    /// A zero-size output, the reusable slot for the `_into` kernel
+    /// variants. Performs no allocation.
+    pub fn empty() -> Self {
+        SseOutput {
+            sigma_l: GTensor::zeros(0, 0, 0, 0, GLayout::PairMajor),
+            sigma_g: GTensor::zeros(0, 0, 0, 0, GLayout::PairMajor),
+            pi_l: DTensor::zeros(0, 0, 0, 0, DLayout::PointMajor),
+            pi_g: DTensor::zeros(0, 0, 0, 0, DLayout::PointMajor),
+            flops: 0,
+        }
+    }
 }
 
 /// The 3×3 phonon-block combination of Eq. (2):
@@ -78,6 +92,24 @@ pub fn sse_reference(
     d_l: &DTensor,
     d_g: &DTensor,
 ) -> SseOutput {
+    let mut ws = Workspace::new();
+    let mut out = SseOutput::empty();
+    sse_reference_into(prob, g_l, g_g, d_l, d_g, &mut ws, &mut out);
+    out
+}
+
+/// [`sse_reference`] into a reusable output with workspace-held scratch:
+/// a warm `(ws, out)` pair makes the evaluation **allocation-free**
+/// (asserted by the `integration_alloc` regression test).
+pub fn sse_reference_into(
+    prob: &SseProblem,
+    g_l: &GTensor,
+    g_g: &GTensor,
+    d_l: &DTensor,
+    d_g: &DTensor,
+    ws: &mut Workspace,
+    out: &mut SseOutput,
+) {
     assert_eq!(
         g_l.layout,
         GLayout::PairMajor,
@@ -92,16 +124,26 @@ pub fn sse_reference(
     let bsz = norb * norb;
     let dims = BatchDims::square(norb);
     let na = prob.na();
-    let mut sigma_l = GTensor::zeros(prob.nk, prob.ne, na, norb, GLayout::PairMajor);
-    let mut sigma_g = GTensor::zeros(prob.nk, prob.ne, na, norb, GLayout::PairMajor);
-    let mut pi_l = DTensor::zeros(prob.nq, prob.nw, prob.npairs(), na, DLayout::PointMajor);
-    let mut pi_g = DTensor::zeros(prob.nq, prob.nw, prob.npairs(), na, DLayout::PointMajor);
+    out.sigma_l
+        .reset(prob.nk, prob.ne, na, norb, GLayout::PairMajor);
+    out.sigma_g
+        .reset(prob.nk, prob.ne, na, norb, GLayout::PairMajor);
+    out.pi_l
+        .reset(prob.nq, prob.nw, prob.npairs(), na, DLayout::PointMajor);
+    out.pi_g
+        .reset(prob.nq, prob.nw, prob.npairs(), na, DLayout::PointMajor);
+    let sigma_l = &mut out.sigma_l;
+    let sigma_g = &mut out.sigma_g;
+    let pi_l = &mut out.pi_l;
+    let pi_g = &mut out.pi_g;
     let mut flops: u64 = 0;
 
     let grads = &prob.device.gradients;
-    let mut t1 = vec![C64::ZERO; bsz];
-    let mut t2 = vec![C64::ZERO; bsz];
-    let mut cmat = vec![C64::ZERO; bsz];
+    let mut t1 = ws.take_buf(bsz);
+    let mut t2 = ws.take_buf(bsz);
+    let mut cmat = ws.take_buf(bsz);
+    let mut c_l = ws.take_buf(bsz);
+    let mut c_g = ws.take_buf(bsz);
 
     // ---------------- Σ^≷ ----------------
     for a in 0..na {
@@ -116,8 +158,8 @@ pub fn sse_reference(
                     let steps = prob.omega_steps(m);
                     for i in 0..3 {
                         // C^≷_i = Σ_j Dc^≷[i][j] · ∇H^j_ba (3 scalar-matrix MACs).
-                        let mut c_l = vec![C64::ZERO; bsz];
-                        let mut c_g = vec![C64::ZERO; bsz];
+                        c_l.fill(C64::ZERO);
+                        c_g.fill(C64::ZERO);
                         for j in 0..3 {
                             let wl = dc_l[j * 3 + i];
                             let wg = dc_g[j * 3 + i];
@@ -166,8 +208,8 @@ pub fn sse_reference(
             }
         }
     }
-    scale_g(&mut sigma_l, prob.scale_sigma);
-    scale_g(&mut sigma_g, prob.scale_sigma);
+    scale_g(sigma_l, prob.scale_sigma);
+    scale_g(sigma_g, prob.scale_sigma);
 
     // ---------------- Π^≷ ----------------
     // For each directed pair p = (a → b):
@@ -182,8 +224,8 @@ pub fn sse_reference(
             for q in 0..prob.nq {
                 for m in 0..prob.nw {
                     let steps = prob.omega_steps(m);
-                    let mut c_l = [C64::ZERO; D_BSZ];
-                    let mut c_g = [C64::ZERO; D_BSZ];
+                    let mut cp_l = [C64::ZERO; D_BSZ];
+                    let mut cp_g = [C64::ZERO; D_BSZ];
                     for k in 0..prob.nk {
                         let kq = prob.k_plus_q(k, q);
                         for e in 0..prob.ne.saturating_sub(steps) {
@@ -208,7 +250,7 @@ pub fn sse_reference(
                                         C64::ZERO,
                                         &mut t2,
                                     );
-                                    c_l[j * 3 + i] += trace_product(&t1, &t2, norb);
+                                    cp_l[j * 3 + i] += trace_product(&t1, &t2, norb);
                                     small_gemm(
                                         dims,
                                         C64::ONE,
@@ -225,7 +267,7 @@ pub fn sse_reference(
                                         C64::ZERO,
                                         &mut cmat,
                                     );
-                                    c_g[j * 3 + i] += trace_product(&t1, &cmat, norb);
+                                    cp_g[j * 3 + i] += trace_product(&t1, &cmat, norb);
                                     flops += 4 * dims.flops() + 2 * 8 * bsz as u64;
                                 }
                             }
@@ -234,25 +276,22 @@ pub fn sse_reference(
                     let pe = pi_l.pair_entry(pair);
                     let de = pi_l.diag_entry(a);
                     for x in 0..D_BSZ {
-                        pi_l.block_mut(q, m, pe)[x] += c_l[x];
-                        pi_l.block_mut(q, m, de)[x] += c_l[x];
-                        pi_g.block_mut(q, m, pe)[x] += c_g[x];
-                        pi_g.block_mut(q, m, de)[x] += c_g[x];
+                        pi_l.block_mut(q, m, pe)[x] += cp_l[x];
+                        pi_l.block_mut(q, m, de)[x] += cp_l[x];
+                        pi_g.block_mut(q, m, pe)[x] += cp_g[x];
+                        pi_g.block_mut(q, m, de)[x] += cp_g[x];
                     }
                 }
             }
         }
     }
-    scale_d(&mut pi_l, prob.scale_pi);
-    scale_d(&mut pi_g, prob.scale_pi);
-
-    SseOutput {
-        sigma_l,
-        sigma_g,
-        pi_l,
-        pi_g,
-        flops,
+    scale_d(pi_l, prob.scale_pi);
+    scale_d(pi_g, prob.scale_pi);
+    for buf in [t1, t2, cmat, c_l, c_g] {
+        ws.give_buf(buf);
     }
+
+    out.flops = flops;
 }
 
 #[inline]
@@ -336,7 +375,7 @@ mod tests {
         let prob = tiny_problem(&dev);
         let (_, _, dl, dg) = random_inputs(&prob, 3);
         let zg = GTensor::zeros(prob.nk, prob.ne, prob.na(), prob.norb(), GLayout::PairMajor);
-        let out = sse_reference(&prob, &zg, &zg.clone(), &dl, &dg);
+        let out = sse_reference(&prob, &zg, &zg, &dl, &dg);
         assert_eq!(out.sigma_l.max_abs(), 0.0);
         assert_eq!(out.pi_l.max_abs(), 0.0);
         assert_eq!(out.pi_g.max_abs(), 0.0);

@@ -50,6 +50,19 @@ impl GTensor {
         }
     }
 
+    /// Reshapes to the given dimensions and layout with zeroed contents,
+    /// reusing the backing buffer (allocation-free once the buffer is
+    /// large enough — the reusable-output path of the SSE kernels).
+    pub fn reset(&mut self, nk: usize, ne: usize, na: usize, norb: usize, layout: GLayout) {
+        self.nk = nk;
+        self.ne = ne;
+        self.na = na;
+        self.norb = norb;
+        self.layout = layout;
+        self.data.clear();
+        self.data.resize(nk * ne * na * norb * norb, C64::ZERO);
+    }
+
     /// Block size in elements (`Norb²`).
     #[inline]
     pub fn bsz(&self) -> usize {
@@ -189,6 +202,18 @@ impl DTensor {
             layout,
             data: vec![C64::ZERO; nq * nw * (npairs + na) * D_BSZ],
         }
+    }
+
+    /// Reshapes to the given dimensions and layout with zeroed contents,
+    /// reusing the backing buffer (see [`GTensor::reset`]).
+    pub fn reset(&mut self, nq: usize, nw: usize, npairs: usize, na: usize, layout: DLayout) {
+        self.nq = nq;
+        self.nw = nw;
+        self.npairs = npairs;
+        self.na = na;
+        self.layout = layout;
+        self.data.clear();
+        self.data.resize(nq * nw * (npairs + na) * D_BSZ, C64::ZERO);
     }
 
     /// Total entries per `(q, ω)` point.

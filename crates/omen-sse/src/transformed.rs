@@ -44,6 +44,23 @@ pub struct Transients {
 }
 
 impl Transients {
+    /// Empty transients, the reusable slot for [`build_transients_into`].
+    /// Performs no allocation.
+    pub fn empty() -> Self {
+        Transients {
+            hg_l: Vec::new(),
+            hg_g: Vec::new(),
+            hd_l: Vec::new(),
+            hd_g: Vec::new(),
+            flops: 0,
+            nk: 0,
+            ne: 0,
+            nq: 0,
+            nw: 0,
+            bsz: 0,
+        }
+    }
+
     /// Offset of `hg[pair][i][k][e]`.
     #[inline]
     pub fn hg_offset(&self, pair: usize, i: usize, k: usize, e: usize) -> usize {
@@ -68,6 +85,22 @@ pub fn build_transients(
     d_l: &DTensor,
     d_g: &DTensor,
 ) -> Transients {
+    let mut tr = Transients::empty();
+    build_transients_into(prob, g_l, g_g, d_l, d_g, &mut tr);
+    tr
+}
+
+/// [`build_transients`] into reusable storage: the four transient tensors
+/// keep their buffers across calls, so a warm `Transients` makes the
+/// stage-A/B rebuild allocation-free.
+pub fn build_transients_into(
+    prob: &SseProblem,
+    g_l: &GTensor,
+    g_g: &GTensor,
+    d_l: &DTensor,
+    d_g: &DTensor,
+    tr: &mut Transients,
+) {
     assert_eq!(
         g_l.layout,
         GLayout::AtomMajor,
@@ -88,10 +121,14 @@ pub fn build_transients(
 
     // ---- stage A: hg[p][i][k][e] = ∇H^i_p · G_{to(p)}(k, e) ----
     let hg_len = npairs * 3 * nk * ne * bsz;
-    let mut hg_l = vec![C64::ZERO; hg_len];
-    let mut hg_g = vec![C64::ZERO; hg_len];
+    tr.hg_l.clear();
+    tr.hg_l.resize(hg_len, C64::ZERO);
+    tr.hg_g.clear();
+    tr.hg_g.resize(hg_len, C64::ZERO);
+    let hg_l = &mut tr.hg_l;
+    let hg_g = &mut tr.hg_g;
     let chunk = 3 * nk * ne * bsz;
-    let stage_a = |hg: &mut Vec<C64>, g: &GTensor| {
+    let stage_a = |hg: &mut [C64], g: &GTensor| {
         hg.par_chunks_mut(chunk).enumerate().for_each(|(p, out)| {
             let b = pairs[p].to;
             for i in 0..3 {
@@ -119,16 +156,20 @@ pub fn build_transients(
             }
         });
     };
-    stage_a(&mut hg_l, g_l);
-    stage_a(&mut hg_g, g_g);
+    stage_a(hg_l, g_l);
+    stage_a(hg_g, g_g);
     let flops_a = 2 * (npairs * 3 * nk * ne) as u64 * dims.flops();
 
     // ---- stage B: hd[p][i][q][m] = Σ_j Dc^{ij}(q,m,p) · ∇H^j_ba ----
     let hd_len = npairs * 3 * nq * nw * bsz;
-    let mut hd_l = vec![C64::ZERO; hd_len];
-    let mut hd_g = vec![C64::ZERO; hd_len];
+    tr.hd_l.clear();
+    tr.hd_l.resize(hd_len, C64::ZERO);
+    tr.hd_g.clear();
+    tr.hd_g.resize(hd_len, C64::ZERO);
+    let hd_l = &mut tr.hd_l;
+    let hd_g = &mut tr.hd_g;
     let chunk_b = 3 * nq * nw * bsz;
-    let stage_b = |hd: &mut Vec<C64>, d: &DTensor| {
+    let stage_b = |hd: &mut [C64], d: &DTensor| {
         hd.par_chunks_mut(chunk_b).enumerate().for_each(|(p, out)| {
             let a = pairs[p].from;
             let b = pairs[p].to;
@@ -152,22 +193,16 @@ pub fn build_transients(
             }
         });
     };
-    stage_b(&mut hd_l, d_l);
-    stage_b(&mut hd_g, d_g);
+    stage_b(hd_l, d_l);
+    stage_b(hd_g, d_g);
     let flops_b = 2 * (npairs * nq * nw * 3 * 3) as u64 * 8 * bsz as u64;
 
-    Transients {
-        hg_l,
-        hg_g,
-        hd_l,
-        hd_g,
-        flops: flops_a + flops_b,
-        nk,
-        ne,
-        nq,
-        nw,
-        bsz,
-    }
+    tr.flops = flops_a + flops_b;
+    tr.nk = nk;
+    tr.ne = ne;
+    tr.nq = nq;
+    tr.nw = nw;
+    tr.bsz = bsz;
 }
 
 /// Stage C + D: consumes the transients, producing `Σ^≷` (AtomMajor) and
@@ -179,31 +214,51 @@ pub fn sse_transformed(
     d_l: &DTensor,
     d_g: &DTensor,
 ) -> SseOutput {
-    let tr = build_transients(prob, g_l, g_g, d_l, d_g);
-    consume_transients(prob, &tr)
+    let mut tr = Transients::empty();
+    let mut out = SseOutput::empty();
+    sse_transformed_into(prob, g_l, g_g, d_l, d_g, &mut tr, &mut out);
+    out
+}
+
+/// [`sse_transformed`] with reusable transient and output storage: a warm
+/// `(tr, out)` pair re-runs stages A–D without reallocating any of the
+/// large intermediate tensors.
+pub fn sse_transformed_into(
+    prob: &SseProblem,
+    g_l: &GTensor,
+    g_g: &GTensor,
+    d_l: &DTensor,
+    d_g: &DTensor,
+    tr: &mut Transients,
+    out: &mut SseOutput,
+) {
+    build_transients_into(prob, g_l, g_g, d_l, d_g, tr);
+    consume_transients_into(prob, tr, out);
 }
 
 /// The Σ/Π assembly from prebuilt transients (shared with the
 /// mixed-precision kernel for its stage D).
 pub fn consume_transients(prob: &SseProblem, tr: &Transients) -> SseOutput {
+    let mut out = SseOutput::empty();
+    consume_transients_into(prob, tr, &mut out);
+    out
+}
+
+/// [`consume_transients`] into reusable output storage.
+pub fn consume_transients_into(prob: &SseProblem, tr: &Transients, out: &mut SseOutput) {
     let norb = prob.norb();
     let bsz = norb * norb;
     let dims = BatchDims::square(norb);
     let na = prob.na();
     let (nk, ne, nq, nw) = (prob.nk, prob.ne, prob.nq, prob.nw);
-    let mut sigma_l = GTensor::zeros(nk, ne, na, norb, GLayout::AtomMajor);
-    let mut sigma_g = GTensor::zeros(nk, ne, na, norb, GLayout::AtomMajor);
+    out.sigma_l.reset(nk, ne, na, norb, GLayout::AtomMajor);
+    out.sigma_g.reset(nk, ne, na, norb, GLayout::AtomMajor);
+    let sigma_l = &mut out.sigma_l;
+    let sigma_g = &mut out.sigma_g;
 
     // ---- stage C: Σ^≷[a][k][e] via strided-batched GEMMs ----
     let atom_chunk = nk * ne * bsz;
-    let pair_ranges: Vec<(usize, usize)> = (0..na)
-        .map(|a| {
-            (
-                prob.device.neighbors.offsets[a],
-                prob.device.neighbors.offsets[a + 1],
-            )
-        })
-        .collect();
+    let offsets = &prob.device.neighbors.offsets;
 
     let flops_c: u64 = {
         // Parallel over atoms: each atom owns a contiguous output chunk.
@@ -219,7 +274,7 @@ pub fn consume_transients(prob: &SseProblem, tr: &Transients) -> SseOutput {
                     b: 0,
                     c: bsz,
                 };
-                for p in pair_ranges[a].0..pair_ranges[a].1 {
+                for p in offsets[a]..offsets[a + 1] {
                     for i in 0..3 {
                         for q in 0..nq {
                             for m in 0..nw {
@@ -304,8 +359,10 @@ pub fn consume_transients(prob: &SseProblem, tr: &Transients) -> SseOutput {
 
     // ---- stage D: Π^≷ from transient traces ----
     let npairs = prob.npairs();
-    let mut pi_l = DTensor::zeros(nq, nw, npairs, na, DLayout::PointMajor);
-    let mut pi_g = DTensor::zeros(nq, nw, npairs, na, DLayout::PointMajor);
+    out.pi_l.reset(nq, nw, npairs, na, DLayout::PointMajor);
+    out.pi_g.reset(nq, nw, npairs, na, DLayout::PointMajor);
+    let pi_l = &mut out.pi_l;
+    let pi_g = &mut out.pi_g;
     let mut flops_d = 0u64;
     let pairs = &prob.device.neighbors.pairs;
     // `p` indexes `pairs` and `rev_pair` in lockstep; an iterator zip
@@ -352,13 +409,7 @@ pub fn consume_transients(prob: &SseProblem, tr: &Transients) -> SseOutput {
         }
     }
 
-    SseOutput {
-        sigma_l,
-        sigma_g,
-        pi_l,
-        pi_g,
-        flops: tr.flops + flops_c + flops_d,
-    }
+    out.flops = tr.flops + flops_c + flops_d;
 }
 
 /// Sequential single-block helper mirroring the reference arithmetic; used

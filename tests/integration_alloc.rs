@@ -1,0 +1,131 @@
+//! Allocation-regression test: the per-point hot path must be
+//! allocation-free in steady state.
+//!
+//! A counting global allocator wraps `System`; after one warmup call to
+//! populate the [`Workspace`] arena and the reusable outputs, a second
+//! `rgf_solve_into` and a second `sse_reference_into` must perform **zero**
+//! heap allocations. This pins the tentpole property of the
+//! packed-GEMM/workspace redesign — a future `CMatrix::zeros`, `clone()`,
+//! or allocating `matmul` sneaking back into the hot path fails this test.
+//!
+//! The whole check lives in a single `#[test]` so no concurrent test can
+//! pollute the counters (integration-test files build into their own
+//! binary, and this one contains nothing else).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use dace_omen::linalg::Workspace;
+use dace_omen::rgf::testutil::test_system;
+use dace_omen::rgf::{rgf_solve_into, RgfInputs, RgfSolution};
+use dace_omen::sse::testutil::{random_inputs, tiny_device, tiny_problem};
+use dace_omen::sse::{sse_reference_into, SseOutput};
+
+// Per-thread counters so the libtest harness's own threads (timers,
+// output capture) can't pollute the measurement. `const`-initialized TLS
+// of a `Cell<u64>` has no lazy initializer and no destructor, so reading
+// it inside the allocator cannot recurse or allocate.
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Forwards to `System`, counting this thread's allocation events while
+/// counting is on (deallocations are free — dropping into a pool is fine).
+struct CountingAllocator;
+
+#[inline]
+fn record() {
+    COUNTING.with(|on| {
+        if on.get() {
+            ALLOCATIONS.with(|n| n.set(n.get() + 1));
+        }
+    });
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        record();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        record();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        record();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Counts this thread's allocation events during `f`.
+fn count_allocations(f: impl FnOnce()) -> u64 {
+    ALLOCATIONS.with(|n| n.set(0));
+    COUNTING.with(|on| on.set(true));
+    f();
+    COUNTING.with(|on| on.set(false));
+    ALLOCATIONS.with(|n| n.get())
+}
+
+#[test]
+fn steady_state_hot_path_is_allocation_free() {
+    // ---- RGF: one energy-momentum point. bs > SMALL_DIM routes through
+    // the packed GEMM path, so its thread-local pack buffers are covered
+    // by the assertion too. ----
+    let (m, sl, sg) = test_system(6, 24, 0.13);
+    let inputs = RgfInputs {
+        m: &m,
+        sigma_l: &sl,
+        sigma_g: &sg,
+    };
+    let mut ws = Workspace::new();
+    let mut sol = RgfSolution::empty();
+    // Warmup: populates the workspace arena, the reusable output blocks,
+    // and the GEMM thread-local pack buffers.
+    rgf_solve_into(&inputs, &mut ws, &mut sol);
+    let baseline_gr = sol.gr_diag[0].clone();
+
+    let rgf_allocs = count_allocations(|| {
+        rgf_solve_into(&inputs, &mut ws, &mut sol);
+    });
+    assert_eq!(
+        rgf_allocs, 0,
+        "rgf_solve_into allocated {rgf_allocs} times on a warm workspace"
+    );
+    // The warm re-solve still computes the same answer.
+    assert!(
+        sol.gr_diag[0].approx_eq(&baseline_gr, 0.0),
+        "warm solve must be bit-identical to the warmup solve"
+    );
+
+    // ---- SSE: one full reference-kernel application ----
+    let dev = tiny_device();
+    let prob = tiny_problem(&dev);
+    let (gl, gg, dl, dg) = random_inputs(&prob, 17);
+    let mut sse_ws = Workspace::new();
+    let mut sse_out = SseOutput::empty();
+    sse_reference_into(&prob, &gl, &gg, &dl, &dg, &mut sse_ws, &mut sse_out);
+    let baseline_sigma = sse_out.sigma_l.as_slice().to_vec();
+
+    let sse_allocs = count_allocations(|| {
+        sse_reference_into(&prob, &gl, &gg, &dl, &dg, &mut sse_ws, &mut sse_out);
+    });
+    assert_eq!(
+        sse_allocs, 0,
+        "sse_reference_into allocated {sse_allocs} times on a warm workspace"
+    );
+    assert_eq!(
+        sse_out.sigma_l.as_slice(),
+        &baseline_sigma[..],
+        "warm SSE apply must be bit-identical to the warmup apply"
+    );
+}
