@@ -1,0 +1,150 @@
+//! CI perf-regression gate for the packed kernels.
+//!
+//! Two checks, both against `--json --quick` smoke output; either failing
+//! exits 1:
+//!
+//! 1. **Baseline comparison** — every packed-kernel `_quick` record in the
+//!    fresh `BENCH_kernels.json` is compared against the committed
+//!    baseline copy and must not regress by more than the noise tolerance
+//!    (default 2×, wide because hosted-runner generations differ).
+//! 2. **Within-run speedup floor** — machine-independent backstop for the
+//!    cross-machine variance of (1): in the *same* fresh file, the packed
+//!    batched kernel must beat the scalar loop by at least
+//!    `--min-speedup` (default 1.2×) on the stage-C shape.
+//!
+//! Only records whose name contains `packed` and carries the `_quick`
+//! suffix are gated — full-mode records are committed for the README
+//! table but re-measured rarely.
+//!
+//! ```text
+//! perf_check --baseline <committed.json> --fresh <new.json>
+//!            [--tolerance 2.0] [--min-speedup 1.2]
+//! ```
+
+use omen_bench::{parse_bench_json, BenchRecord};
+use std::process::ExitCode;
+
+fn load(path: &str) -> Vec<BenchRecord> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => parse_bench_json(&text),
+        Err(e) => {
+            eprintln!("perf_check: cannot read {path}: {e}");
+            Vec::new()
+        }
+    }
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// `true` for records the gate covers: packed-kernel quick-mode entries.
+fn gated(name: &str) -> bool {
+    name.contains("packed") && name.ends_with("_quick")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline_path = arg_value(&args, "--baseline").unwrap_or_else(|| {
+        eprintln!("perf_check: --baseline <path> is required");
+        std::process::exit(2);
+    });
+    let fresh_path = arg_value(&args, "--fresh").unwrap_or_else(|| {
+        eprintln!("perf_check: --fresh <path> is required");
+        std::process::exit(2);
+    });
+    let tolerance: f64 = arg_value(&args, "--tolerance")
+        .map(|t| t.parse().expect("--tolerance must be a number"))
+        .unwrap_or(2.0);
+    let min_speedup: f64 = arg_value(&args, "--min-speedup")
+        .map(|t| t.parse().expect("--min-speedup must be a number"))
+        .unwrap_or(1.2);
+
+    let baseline = load(&baseline_path);
+    let fresh = load(&fresh_path);
+
+    let mut compared = 0usize;
+    let mut regressed = 0usize;
+    println!("perf_check: packed-kernel quick records, tolerance {tolerance:.2}x\n");
+    println!(
+        "{:<36} {:>14} {:>14} {:>8}",
+        "name", "baseline [us]", "fresh [us]", "ratio"
+    );
+    for f in fresh.iter().filter(|r| gated(&r.name)) {
+        let Some(b) = baseline.iter().find(|r| r.name == f.name) else {
+            println!(
+                "{:<36} {:>14} {:>14.1} {:>8}",
+                f.name,
+                "(new)",
+                f.median_ns / 1e3,
+                "-"
+            );
+            continue;
+        };
+        compared += 1;
+        let ratio = f.median_ns / b.median_ns;
+        let verdict = if ratio > tolerance {
+            regressed += 1;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<36} {:>14.1} {:>14.1} {:>7.2}x {verdict}",
+            f.name,
+            b.median_ns / 1e3,
+            f.median_ns / 1e3,
+            ratio
+        );
+    }
+
+    if compared == 0 {
+        eprintln!(
+            "\nperf_check: no packed-kernel quick records matched between {baseline_path} and \
+             {fresh_path} — the gate would be vacuous; failing"
+        );
+        return ExitCode::FAILURE;
+    }
+    if regressed > 0 {
+        eprintln!(
+            "\nperf_check: {regressed}/{compared} packed records regressed beyond {tolerance:.2}x"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("\nperf_check: {compared} packed records within tolerance");
+
+    // Within-run floor: both records come from the same fresh run on the
+    // same machine, so this ratio is immune to runner-class variance.
+    let pair = |prefix: &str| {
+        fresh
+            .iter()
+            .find(|r| r.name.starts_with(prefix) && r.name.ends_with("_quick"))
+    };
+    match (pair("sbsmm_packed_sseC"), pair("sbsmm_scalar_sseC")) {
+        (Some(packed), Some(scalar)) => {
+            let speedup = scalar.median_ns / packed.median_ns;
+            println!(
+                "within-run: {} vs {}: {speedup:.2}x (floor {min_speedup:.2}x)",
+                packed.name, scalar.name
+            );
+            if speedup < min_speedup {
+                eprintln!(
+                    "\nperf_check: packed sbsmm speedup {speedup:.2}x fell below the \
+                     {min_speedup:.2}x floor"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        _ => {
+            eprintln!(
+                "\nperf_check: fresh {fresh_path} lacks the sbsmm packed/scalar quick pair — \
+                 the within-run floor would be vacuous; failing"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

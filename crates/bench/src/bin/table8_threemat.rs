@@ -1,4 +1,4 @@
-//! Table 8: the RGF three-matrix product F[n] @ gR[n+1] @ E[n+1] computed
+//! Table 8: the RGF three-matrix product `F[n] @ gR[n+1] @ E[n+1]` computed
 //! three ways (dense/dense, CSRMM2+GEMMI, CSRMM2+CSRMM2).
 use omen_bench::{header, rgf_like_blocks, row, timed_min};
 use omen_linalg::{csrmm, gemm, gemmi, CMatrix, CscMatrix, CsrMatrix, Op, C64};

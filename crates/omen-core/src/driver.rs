@@ -8,7 +8,7 @@
 //!
 //! The driver is an execution engine, not a loop nest: point sweeps are
 //! pure per-point solves (side-effect-free workers returning
-//! contributions) folded into [`Observables`] accumulators by a pluggable
+//! contributions) folded into [`crate::observables::Observables`] accumulators by a pluggable
 //! [`PointExecutor`] — see [`crate::executor`] for the serial,
 //! thread-parallel, and rank-partitioned engines.
 

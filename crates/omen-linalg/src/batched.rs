@@ -6,18 +6,47 @@
 //! ~6% *useful* flops, Table 9); the paper's custom DaCe tasklet (SBSMM)
 //! avoids padding and is 5.76× faster. We reproduce both strategies:
 //!
-//! * [`sbsmm`] — the specialized no-padding kernel (DaCe analogue);
+//! * [`sbsmm`] / [`sbsmm_par`] — the specialized no-padding kernel (DaCe
+//!   analogue), routed through the **packed split-complex micro-kernel**;
 //! * [`sbsmm_padded`] — a vendor-library stand-in that rounds every operand
 //!   up to a tuning size (default 16) and performs the full padded product,
 //!   wasting the same ratio of flops cuBLAS does on 12×12 inputs.
+//!
+//! # Batch-level packing
+//!
+//! The production batched path reuses the register-tiled `MR × NR` FMA
+//! micro-kernel built for the dense [`mod@crate::gemm`] (runtime AVX2+FMA
+//! dispatch, portable fallback, `OMEN_FORCE_SCALAR` override). Operands are
+//! packed once into *split-complex* micro-panels — separate real and
+//! imaginary `f64` planes, `MR`-row panels for `A` and `NR`-column panels
+//! for `B`, k-major within a panel — and the kernel sweeps the panels over
+//! all batch items. Packing is amortized at the batch level:
+//!
+//! * a **stride-0 operand** (the transformed SSE kernel's shapes: the
+//!   gradient `∇H` shared as `A` in stage A, the `∇H·D` block shared as
+//!   `B` in stage C) is packed exactly once per call;
+//! * a caller can go further and pack a shared `B` once into a [`PackedB`]
+//!   and sweep it across *many* calls via [`sbsmm_pb`] / [`small_gemm_pb`]
+//!   (stage C packs each `∇H·D` block once per `(pair, i, qz, ω)` tuple
+//!   and reuses it across the whole `kz` loop);
+//! * pack buffers live in a [`BatchArena`] — thread-local by default, or
+//!   drawn from a [`crate::workspace::Workspace`] via
+//!   [`crate::workspace::Workspace::batch_arena`] — so the warm batched
+//!   path performs **zero heap allocations** (asserted by the
+//!   `integration_alloc` regression test).
+//!
+//! Items too small to amortize packing (see [`use_packed_kernel`]) run the
+//! retained scalar loop [`sbsmm_scalar`] / [`small_gemm`], which also
+//! serves as the correctness oracle for the property tests.
 
 // The batched entry points mirror BLAS `gemmStridedBatched` signatures.
 #![allow(clippy::too_many_arguments)]
 
-use crate::complex::C64;
+use crate::complex::{c64, C64};
 use crate::dense::CMatrix;
-use crate::gemm::{gemm, Op};
+use crate::gemm::{fma_available, gemm, run_micro_kernel, Op, MR, NR};
 use rayon::prelude::*;
+use std::cell::RefCell;
 
 /// Dimensions of one batch item: `C (m×n) = A (m×k) · B (k×n)`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,11 +95,288 @@ impl Strides {
     }
 }
 
+/// Typed error of [`sbsmm_par`]: the `C` stride is smaller than one output
+/// item, so parallel batch items would alias the same output elements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StrideOverlap {
+    /// The offending `C` stride.
+    pub stride_c: usize,
+    /// The output item size `m * n` it must be at least.
+    pub item_len: usize,
+}
+
+impl std::fmt::Display for StrideOverlap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sbsmm_par requires non-overlapping C items: stride {} < item size {}",
+            self.stride_c, self.item_len
+        )
+    }
+}
+
+impl std::error::Error for StrideOverlap {}
+
+// ---------------------------------------------------------------------------
+// Split-complex micro-panel packing.
+// ---------------------------------------------------------------------------
+
+/// A `k × n` matrix packed once into split-complex `NR`-column micro-panels,
+/// ready to be swept by the micro-kernel against many `A` operands
+/// ([`sbsmm_pb`], [`small_gemm_pb`]). Reusing a `PackedB` across calls
+/// amortizes the packing of a shared right-hand operand (the transformed
+/// SSE kernel's stage C reuses each `∇H·D` block across the whole `kz`
+/// loop and all four Σ updates).
+#[derive(Default)]
+pub struct PackedB {
+    pub(crate) re: Vec<f64>,
+    pub(crate) im: Vec<f64>,
+    pub(crate) k: usize,
+    pub(crate) n: usize,
+}
+
+impl PackedB {
+    /// An empty pack; buffers materialize on first [`PackedB::pack`].
+    pub fn empty() -> Self {
+        PackedB::default()
+    }
+
+    /// Packs the column-major `k × n` matrix `b` into split-complex
+    /// `NR`-panels, reusing this pack's buffers (allocation-free once they
+    /// are large enough).
+    pub fn pack(&mut self, k: usize, n: usize, b: &[C64]) {
+        assert!(b.len() >= k * n, "PackedB::pack: operand too short");
+        self.k = k;
+        self.n = n;
+        let np = n.div_ceil(NR);
+        let len = np * NR * k;
+        self.re.resize(len, 0.0);
+        self.im.resize(len, 0.0);
+        pack_b_panels(b, k, n, &mut self.re, &mut self.im);
+    }
+
+    /// Logical shape `(k, n)` of the packed operand.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.k, self.n)
+    }
+}
+
+/// Packs column-major `m × k` `a` into split-complex `MR`-row panels
+/// (k-major within a panel), zero-padding tail rows. `out_*` must hold
+/// `ceil(m/MR) * MR * k` elements.
+pub(crate) fn pack_a_panels(a: &[C64], m: usize, k: usize, out_re: &mut [f64], out_im: &mut [f64]) {
+    let mp = m.div_ceil(MR);
+    debug_assert!(out_re.len() >= mp * MR * k && out_im.len() >= mp * MR * k);
+    for ip in 0..mp {
+        let ir = ip * MR;
+        let rows = MR.min(m - ir);
+        let base = ip * k * MR;
+        for p in 0..k {
+            let col = &a[p * m..p * m + m];
+            let o = base + p * MR;
+            for i in 0..rows {
+                let z = col[ir + i];
+                out_re[o + i] = z.re;
+                out_im[o + i] = z.im;
+            }
+            for i in rows..MR {
+                out_re[o + i] = 0.0;
+                out_im[o + i] = 0.0;
+            }
+        }
+    }
+}
+
+/// Packs column-major `k × n` `b` into split-complex `NR`-column panels
+/// (k-major within a panel), zero-padding tail columns. `out_*` must hold
+/// `ceil(n/NR) * NR * k` elements.
+pub(crate) fn pack_b_panels(b: &[C64], k: usize, n: usize, out_re: &mut [f64], out_im: &mut [f64]) {
+    let np = n.div_ceil(NR);
+    debug_assert!(out_re.len() >= np * NR * k && out_im.len() >= np * NR * k);
+    for jp in 0..np {
+        let jr = jp * NR;
+        let cols = NR.min(n - jr);
+        let base = jp * k * NR;
+        for p in 0..k {
+            let o = base + p * NR;
+            for j in 0..cols {
+                let z = b[(jr + j) * k + p];
+                out_re[o + j] = z.re;
+                out_im[o + j] = z.im;
+            }
+            for j in cols..NR {
+                out_re[o + j] = 0.0;
+                out_im[o + j] = 0.0;
+            }
+        }
+    }
+}
+
+/// Sweeps the register-tiled micro-kernel over pre-packed split-complex
+/// panels of one item: `C += alpha · A · B` with `C` column-major `m × n`.
+/// `a_*` hold `ceil(m/MR)` panels of `k × MR`, `b_*` hold `ceil(n/NR)`
+/// panels of `k × NR` (zero-padded edges).
+pub(crate) fn sweep_tiles(
+    fma: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: C64,
+    a_re: &[f64],
+    a_im: &[f64],
+    b_re: &[f64],
+    b_im: &[f64],
+    c: &mut [C64],
+) {
+    let mp = m.div_ceil(MR);
+    let np = n.div_ceil(NR);
+    let plain = alpha == C64::ONE;
+    for jp in 0..np {
+        let jr = jp * NR;
+        let nr_eff = NR.min(n - jr);
+        let bo = jp * k * NR;
+        let br = &b_re[bo..bo + k * NR];
+        let bi = &b_im[bo..bo + k * NR];
+        for ip in 0..mp {
+            let ir = ip * MR;
+            let mr_eff = MR.min(m - ir);
+            let ao = ip * k * MR;
+            let ar = &a_re[ao..ao + k * MR];
+            let ai = &a_im[ao..ao + k * MR];
+            let mut acc_re = [0.0f64; MR * NR];
+            let mut acc_im = [0.0f64; MR * NR];
+            run_micro_kernel(fma, ar, ai, br, bi, &mut acc_re, &mut acc_im);
+            for j in 0..nr_eff {
+                let cj = &mut c[(jr + j) * m..(jr + j) * m + m];
+                for i in 0..mr_eff {
+                    let t = j * MR + i;
+                    if plain {
+                        cj[ir + i] += c64(acc_re[t], acc_im[t]);
+                    } else {
+                        cj[ir + i] += alpha * c64(acc_re[t], acc_im[t]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Applies the `beta` prescale of one output item (`fill` / scale / no-op).
+#[inline]
+fn scale_c(beta: C64, c: &mut [C64]) {
+    if beta == C64::ZERO {
+        c.fill(C64::ZERO);
+    } else if beta != C64::ONE {
+        for v in c.iter_mut() {
+            *v *= beta;
+        }
+    }
+}
+
+/// `true` when the packed micro-kernel path pays off for this item shape:
+/// the item must be large enough to amortize packing, and the `MR × NR`
+/// zero-padding must not inflate the tile work beyond 2× the useful flops
+/// (a `12 × 1` sliver would spend 4× the flops on padded lanes).
+pub fn use_packed_kernel(dims: BatchDims) -> bool {
+    let BatchDims { m, n, k } = dims;
+    if m == 0 || n == 0 || k == 0 {
+        return false;
+    }
+    let useful = m * n * k;
+    let padded = m.div_ceil(MR) * MR * n.div_ceil(NR) * NR * k;
+    useful >= 192 && padded <= 2 * useful
+}
+
+// ---------------------------------------------------------------------------
+// Pack arenas.
+// ---------------------------------------------------------------------------
+
+/// Reusable pack/staging buffers of the batched path: split-complex `A`
+/// panels, a per-item `B` pack, and a shared-operand `B` pack. The first
+/// batched call through an arena sizes the buffers; every later call with
+/// shapes no larger is allocation-free.
+///
+/// The default entry points ([`sbsmm`], [`sbsmm_pb`], …) use a
+/// thread-local arena; holders of a [`crate::workspace::Workspace`] can
+/// route through its arena instead
+/// ([`crate::workspace::Workspace::batch_arena`] + [`sbsmm_with`]).
+#[derive(Default)]
+pub struct BatchArena {
+    pub(crate) a_re: Vec<f64>,
+    pub(crate) a_im: Vec<f64>,
+    pub(crate) item_b: PackedB,
+    pub(crate) shared_b: PackedB,
+}
+
+impl BatchArena {
+    /// An empty arena. Performs no allocation; buffers materialize on
+    /// first use.
+    pub fn new() -> Self {
+        BatchArena::default()
+    }
+
+    /// Drops every buffer, returning the arena to its freshly constructed
+    /// state.
+    pub fn reset(&mut self) {
+        *self = BatchArena::default();
+    }
+
+    /// Approximate bytes held by the arena's pack buffers.
+    pub fn pooled_bytes(&self) -> usize {
+        8 * (self.a_re.capacity()
+            + self.a_im.capacity()
+            + self.item_b.re.capacity()
+            + self.item_b.im.capacity()
+            + self.shared_b.re.capacity()
+            + self.shared_b.im.capacity())
+    }
+
+    /// Resizes the `A`-panel staging for an `m × k` item.
+    fn ensure_a(&mut self, m: usize, k: usize) {
+        let len = m.div_ceil(MR) * MR * k;
+        self.a_re.resize(len, 0.0);
+        self.a_im.resize(len, 0.0);
+    }
+}
+
+thread_local! {
+    /// Per-thread arena of the convenience entry points. Rayon workers
+    /// each warm their own; steady-state batched calls are allocation-free.
+    static BATCH_ARENA: RefCell<BatchArena> = RefCell::new(BatchArena::default());
+
+    /// Per-thread free list of [`PackedB`] packs for callers that hoist
+    /// shared-operand packing across calls inside parallel regions (where
+    /// no [`crate::workspace::Workspace`] is at hand).
+    static PACKED_B_POOL: RefCell<Vec<PackedB>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with this thread's [`BatchArena`].
+pub fn with_batch_arena<R>(f: impl FnOnce(&mut BatchArena) -> R) -> R {
+    BATCH_ARENA.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+/// Checks a warm [`PackedB`] out of this thread's pool (allocation-free
+/// once the pool has been populated by [`give_tls_packed_b`]).
+pub fn take_tls_packed_b() -> PackedB {
+    PACKED_B_POOL.with(|cell| cell.borrow_mut().pop().unwrap_or_default())
+}
+
+/// Returns a [`PackedB`] to this thread's pool for reuse.
+pub fn give_tls_packed_b(pb: PackedB) {
+    PACKED_B_POOL.with(|cell| cell.borrow_mut().push(pb));
+}
+
+// ---------------------------------------------------------------------------
+// Batched entry points.
+// ---------------------------------------------------------------------------
+
 /// The specialized strided-batched small-matrix multiply:
 /// `C[b] = alpha · A[b] · B[b] + beta · C[b]` for `b < batch`.
 ///
-/// No padding is performed; the kernel maximizes locality by keeping the
-/// innermost loop contiguous down columns (column-major operands).
+/// Runs the packed split-complex micro-kernel when the item shape
+/// amortizes packing ([`use_packed_kernel`]); stride-0 operands are packed
+/// once for the whole batch. Tiny items fall back to the scalar loop.
+/// Pack buffers come from this thread's [`BatchArena`].
 pub fn sbsmm(
     dims: BatchDims,
     batch: usize,
@@ -81,19 +387,14 @@ pub fn sbsmm(
     c: &mut [C64],
     strides: Strides,
 ) {
-    check_bounds(dims, batch, a.len(), b.len(), c.len(), strides);
-    for idx in 0..batch {
-        let av = &a[idx * strides.a..idx * strides.a + dims.m * dims.k];
-        let bv = &b[idx * strides.b..idx * strides.b + dims.k * dims.n];
-        let cv = &mut c[idx * strides.c..idx * strides.c + dims.m * dims.n];
-        small_gemm(dims, alpha, av, bv, beta, cv);
-    }
+    with_batch_arena(|arena| sbsmm_with(arena, dims, batch, alpha, a, b, beta, c, strides));
 }
 
-/// Rayon-parallel version of [`sbsmm`]; batch items are independent so they
-/// partition perfectly across worker threads (the GPU analogy: one thread
-/// block per batch item).
-pub fn sbsmm_par(
+/// [`sbsmm`] drawing pack buffers from a caller-supplied arena (e.g.
+/// [`crate::workspace::Workspace::batch_arena`]) instead of the
+/// thread-local one.
+pub fn sbsmm_with(
+    arena: &mut BatchArena,
     dims: BatchDims,
     batch: usize,
     alpha: C64,
@@ -104,23 +405,274 @@ pub fn sbsmm_par(
     strides: Strides,
 ) {
     check_bounds(dims, batch, a.len(), b.len(), c.len(), strides);
-    // Only safe to parallelize when output items do not alias.
-    assert!(
-        strides.c >= dims.m * dims.n,
-        "sbsmm_par requires non-overlapping C items"
-    );
-    c.par_chunks_mut(strides.c)
-        .take(batch)
-        .enumerate()
-        .for_each(|(idx, cv)| {
-            let av = &a[idx * strides.a..idx * strides.a + dims.m * dims.k];
-            let bv = &b[idx * strides.b..idx * strides.b + dims.k * dims.n];
-            small_gemm(dims, alpha, av, bv, beta, &mut cv[..dims.m * dims.n]);
+    if batch == 0 {
+        return;
+    }
+    if alpha == C64::ZERO || !use_packed_kernel(dims) {
+        sbsmm_scalar_unchecked(dims, batch, alpha, a, b, beta, c, strides);
+        return;
+    }
+    sbsmm_packed(arena, dims, batch, alpha, a, b, beta, c, strides);
+}
+
+/// The packed batch engine (bounds already checked, shape known
+/// worthwhile): packs stride-0 operands once, per-item operands per item,
+/// and sweeps the micro-kernel.
+fn sbsmm_packed(
+    arena: &mut BatchArena,
+    dims: BatchDims,
+    batch: usize,
+    alpha: C64,
+    a: &[C64],
+    b: &[C64],
+    beta: C64,
+    c: &mut [C64],
+    strides: Strides,
+) {
+    let BatchDims { m, n, k } = dims;
+    let fma = fma_available();
+    arena.ensure_a(m, k);
+    let BatchArena {
+        a_re,
+        a_im,
+        item_b,
+        shared_b,
+    } = arena;
+    if strides.b == 0 {
+        shared_b.pack(k, n, &b[..k * n]);
+    }
+    for idx in 0..batch {
+        let cv = &mut c[idx * strides.c..idx * strides.c + m * n];
+        scale_c(beta, cv);
+        if strides.a != 0 || idx == 0 {
+            let av = &a[idx * strides.a..idx * strides.a + m * k];
+            pack_a_panels(av, m, k, a_re, a_im);
+        }
+        let pb: &PackedB = if strides.b == 0 {
+            shared_b
+        } else {
+            let bv = &b[idx * strides.b..idx * strides.b + k * n];
+            item_b.pack(k, n, bv);
+            item_b
+        };
+        sweep_tiles(fma, m, n, k, alpha, a_re, a_im, &pb.re, &pb.im, cv);
+    }
+}
+
+/// Rayon-parallel version of [`sbsmm`]; batch items are independent so they
+/// partition perfectly across worker threads (the GPU analogy: one thread
+/// block per batch item). Shared (stride-0) operands are packed once on
+/// the calling thread; each worker packs per-item operands into its own
+/// thread-local arena.
+///
+/// # Errors
+/// Returns [`StrideOverlap`] when `strides.c < m * n`, i.e. when parallel
+/// output items would alias.
+pub fn sbsmm_par(
+    dims: BatchDims,
+    batch: usize,
+    alpha: C64,
+    a: &[C64],
+    b: &[C64],
+    beta: C64,
+    c: &mut [C64],
+    strides: Strides,
+) -> Result<(), StrideOverlap> {
+    let item_len = dims.m * dims.n;
+    if batch > 1 && strides.c < item_len {
+        return Err(StrideOverlap {
+            stride_c: strides.c,
+            item_len,
         });
+    }
+    check_bounds(dims, batch, a.len(), b.len(), c.len(), strides);
+    if batch == 0 || item_len == 0 {
+        return Ok(());
+    }
+    let BatchDims { m, n, k } = dims;
+    // For batch == 1 the stride is unused; clamp the chunk size so a
+    // stride-0 descriptor still yields a full output item.
+    let chunk = strides.c.max(item_len);
+    if alpha == C64::ZERO || !use_packed_kernel(dims) {
+        c.par_chunks_mut(chunk)
+            .take(batch)
+            .enumerate()
+            .for_each(|(idx, cv)| {
+                let av = &a[idx * strides.a..idx * strides.a + m * k];
+                let bv = &b[idx * strides.b..idx * strides.b + k * n];
+                small_gemm(dims, alpha, av, bv, beta, &mut cv[..item_len]);
+            });
+        return Ok(());
+    }
+    let fma = fma_available();
+    // Pre-pack shared operands on the calling thread, in buffers taken
+    // *out* of the TLS pool so the calling thread can still act as a rayon
+    // worker (workers borrow their own arena per item).
+    let mut shared_a = take_tls_packed_b(); // reuse the pack storage as raw planes
+    let mut shared_b = take_tls_packed_b();
+    if strides.a == 0 {
+        let len = m.div_ceil(MR) * MR * k;
+        shared_a.re.resize(len, 0.0);
+        shared_a.im.resize(len, 0.0);
+        pack_a_panels(&a[..m * k], m, k, &mut shared_a.re, &mut shared_a.im);
+    }
+    if strides.b == 0 {
+        shared_b.pack(k, n, &b[..k * n]);
+    }
+    {
+        let (shared_a, shared_b) = (&shared_a, &shared_b);
+        c.par_chunks_mut(chunk)
+            .take(batch)
+            .enumerate()
+            .for_each(|(idx, cv)| {
+                with_batch_arena(|arena| {
+                    arena.ensure_a(m, k);
+                    let BatchArena {
+                        a_re,
+                        a_im,
+                        item_b,
+                        shared_b: _,
+                    } = arena;
+                    let cv = &mut cv[..item_len];
+                    scale_c(beta, cv);
+                    let (pa_re, pa_im): (&[f64], &[f64]) = if strides.a == 0 {
+                        (&shared_a.re, &shared_a.im)
+                    } else {
+                        let av = &a[idx * strides.a..idx * strides.a + m * k];
+                        pack_a_panels(av, m, k, a_re, a_im);
+                        (a_re, a_im)
+                    };
+                    let pb: &PackedB = if strides.b == 0 {
+                        shared_b
+                    } else {
+                        let bv = &b[idx * strides.b..idx * strides.b + k * n];
+                        item_b.pack(k, n, bv);
+                        item_b
+                    };
+                    sweep_tiles(fma, m, n, k, alpha, pa_re, pa_im, &pb.re, &pb.im, cv);
+                });
+            });
+    }
+    give_tls_packed_b(shared_a);
+    give_tls_packed_b(shared_b);
+    Ok(())
+}
+
+/// Strided-batched multiply against a pre-packed `B`:
+/// `C[i] = alpha · A[i] · B + beta · C[i]`. The caller amortizes
+/// [`PackedB::pack`] across as many calls as it likes (the transformed SSE
+/// stage C packs each `∇H·D` block once and sweeps it over the whole `kz`
+/// loop and all four Σ^≷ updates). A-stride `0` packs `A` once too.
+/// Always runs the packed micro-kernel (callers opt in per shape with
+/// [`use_packed_kernel`]).
+pub fn sbsmm_pb(
+    dims: BatchDims,
+    batch: usize,
+    alpha: C64,
+    a: &[C64],
+    stride_a: usize,
+    pb: &PackedB,
+    beta: C64,
+    c: &mut [C64],
+    stride_c: usize,
+) {
+    let BatchDims { m, n, k } = dims;
+    assert_eq!((pb.k, pb.n), (k, n), "sbsmm_pb: PackedB shape mismatch");
+    if batch == 0 {
+        return;
+    }
+    assert!(
+        (batch - 1) * stride_a + m * k <= a.len(),
+        "A slice too short for batch"
+    );
+    assert!(
+        (batch - 1) * stride_c + m * n <= c.len(),
+        "C slice too short for batch"
+    );
+    if alpha == C64::ZERO {
+        for idx in 0..batch {
+            scale_c(beta, &mut c[idx * stride_c..idx * stride_c + m * n]);
+        }
+        return;
+    }
+    let fma = fma_available();
+    with_batch_arena(|arena| {
+        arena.ensure_a(m, k);
+        let BatchArena { a_re, a_im, .. } = arena;
+        for idx in 0..batch {
+            let cv = &mut c[idx * stride_c..idx * stride_c + m * n];
+            scale_c(beta, cv);
+            if stride_a != 0 || idx == 0 {
+                let av = &a[idx * stride_a..idx * stride_a + m * k];
+                pack_a_panels(av, m, k, a_re, a_im);
+            }
+            sweep_tiles(fma, m, n, k, alpha, a_re, a_im, &pb.re, &pb.im, cv);
+        }
+    });
+}
+
+/// Single-item convenience over [`sbsmm_pb`]: one small GEMM against a
+/// pre-packed `B` (the per-point SSE kernels pack each `G` block once and
+/// reuse it across the three gradient directions).
+pub fn small_gemm_pb(
+    dims: BatchDims,
+    alpha: C64,
+    a: &[C64],
+    pb: &PackedB,
+    beta: C64,
+    c: &mut [C64],
+) {
+    sbsmm_pb(
+        dims,
+        1,
+        alpha,
+        a,
+        dims.m * dims.k,
+        pb,
+        beta,
+        c,
+        dims.m * dims.n,
+    );
+}
+
+/// The retained scalar batched loop (the seed's formulation): the
+/// correctness oracle the property tests pin the packed path against, and
+/// the baseline `table9_sbsmm` measures speedups from.
+pub fn sbsmm_scalar(
+    dims: BatchDims,
+    batch: usize,
+    alpha: C64,
+    a: &[C64],
+    b: &[C64],
+    beta: C64,
+    c: &mut [C64],
+    strides: Strides,
+) {
+    check_bounds(dims, batch, a.len(), b.len(), c.len(), strides);
+    sbsmm_scalar_unchecked(dims, batch, alpha, a, b, beta, c, strides);
+}
+
+fn sbsmm_scalar_unchecked(
+    dims: BatchDims,
+    batch: usize,
+    alpha: C64,
+    a: &[C64],
+    b: &[C64],
+    beta: C64,
+    c: &mut [C64],
+    strides: Strides,
+) {
+    for idx in 0..batch {
+        let av = &a[idx * strides.a..idx * strides.a + dims.m * dims.k];
+        let bv = &b[idx * strides.b..idx * strides.b + dims.k * dims.n];
+        let cv = &mut c[idx * strides.c..idx * strides.c + dims.m * dims.n];
+        small_gemm(dims, alpha, av, bv, beta, cv);
+    }
 }
 
 /// One small column-major GEMM on raw slices (no `CMatrix` wrapper, no
-/// allocation). Kept `#[inline]` so the batch loop fuses.
+/// allocation): the scalar interleaved-complex reference kernel. Kept
+/// `#[inline]` so the batch loop fuses.
 #[inline]
 pub fn small_gemm(dims: BatchDims, alpha: C64, a: &[C64], b: &[C64], beta: C64, c: &mut [C64]) {
     let BatchDims { m, n, k } = dims;
@@ -232,7 +784,6 @@ fn check_bounds(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::complex::c64;
     use crate::gemm::matmul;
 
     fn fill(n: usize, seed: u64) -> Vec<C64> {
@@ -289,6 +840,72 @@ mod tests {
     }
 
     #[test]
+    fn packed_matches_scalar_shared_b() {
+        // The transformed-kernel stage-C shape: A strided, B shared
+        // (stride 0), accumulating into C (beta = 1).
+        let dims = BatchDims::square(12);
+        let batch = 9;
+        let s = Strides {
+            a: dims.m * dims.k,
+            b: 0,
+            c: dims.m * dims.n,
+        };
+        let a = fill(batch * s.a, 5);
+        let b = fill(dims.k * dims.n, 6);
+        let c0 = fill(batch * s.c, 7);
+        let mut c1 = c0.clone();
+        let mut c2 = c0.clone();
+        sbsmm(dims, batch, C64::ONE, &a, &b, C64::ONE, &mut c1, s);
+        sbsmm_scalar(dims, batch, C64::ONE, &a, &b, C64::ONE, &mut c2, s);
+        assert!(max_err(&c1, &c2) < 1e-12);
+    }
+
+    #[test]
+    fn packed_matches_scalar_shared_a() {
+        // The stage-A shape: A shared (stride 0), B strided.
+        let dims = BatchDims { m: 12, n: 8, k: 12 };
+        let batch = 7;
+        let s = Strides {
+            a: 0,
+            b: dims.k * dims.n,
+            c: dims.m * dims.n,
+        };
+        let a = fill(dims.m * dims.k, 8);
+        let b = fill(batch * s.b, 9);
+        let mut c1 = vec![C64::ZERO; batch * s.c];
+        let mut c2 = vec![C64::ZERO; batch * s.c];
+        sbsmm(dims, batch, C64::ONE, &a, &b, C64::ZERO, &mut c1, s);
+        sbsmm_scalar(dims, batch, C64::ONE, &a, &b, C64::ZERO, &mut c2, s);
+        assert!(max_err(&c1, &c2) < 1e-12);
+    }
+
+    #[test]
+    fn sbsmm_pb_matches_scalar() {
+        let dims = BatchDims::square(12);
+        let batch = 5;
+        let s = Strides {
+            a: dims.m * dims.k,
+            b: 0,
+            c: dims.m * dims.n,
+        };
+        let a = fill(batch * s.a, 11);
+        let b = fill(dims.k * dims.n, 12);
+        let c0 = fill(batch * s.c, 13);
+        let mut pb = PackedB::empty();
+        pb.pack(dims.k, dims.n, &b);
+        assert_eq!(pb.shape(), (12, 12));
+        let mut c1 = c0.clone();
+        sbsmm_pb(dims, batch, C64::ONE, &a, s.a, &pb, C64::ONE, &mut c1, s.c);
+        let mut c2 = c0.clone();
+        sbsmm_scalar(dims, batch, C64::ONE, &a, &b, C64::ONE, &mut c2, s);
+        assert!(max_err(&c1, &c2) < 1e-12);
+        // Single-item wrapper agrees too.
+        let mut c3 = c0[..s.c].to_vec();
+        small_gemm_pb(dims, C64::ONE, &a[..s.a], &pb, C64::ONE, &mut c3);
+        assert!(max_err(&c3, &c1[..s.c]) < 1e-12);
+    }
+
+    #[test]
     fn sbsmm_par_matches_serial() {
         let dims = BatchDims { m: 8, n: 5, k: 9 };
         let s = Strides::packed(dims);
@@ -298,8 +915,30 @@ mod tests {
         let mut c1 = vec![C64::ZERO; batch * s.c];
         let mut c2 = vec![C64::ZERO; batch * s.c];
         sbsmm(dims, batch, C64::ONE, &a, &b, C64::ZERO, &mut c1, s);
-        sbsmm_par(dims, batch, C64::ONE, &a, &b, C64::ZERO, &mut c2, s);
+        sbsmm_par(dims, batch, C64::ONE, &a, &b, C64::ZERO, &mut c2, s).unwrap();
         assert!(max_err(&c1, &c2) == 0.0, "parallel must be bit-identical");
+    }
+
+    #[test]
+    fn sbsmm_par_overlap_is_typed_error() {
+        let dims = BatchDims::square(4);
+        let s = Strides {
+            a: 16,
+            b: 16,
+            c: 8, // < m*n: items alias
+        };
+        let a = fill(64, 1);
+        let b = fill(64, 2);
+        let mut c = vec![C64::ZERO; 64];
+        let err = sbsmm_par(dims, 4, C64::ONE, &a, &b, C64::ZERO, &mut c, s).unwrap_err();
+        assert_eq!(
+            err,
+            StrideOverlap {
+                stride_c: 8,
+                item_len: 16
+            }
+        );
+        assert!(err.to_string().contains("non-overlapping"));
     }
 
     #[test]
@@ -337,6 +976,23 @@ mod tests {
     }
 
     #[test]
+    fn alpha_beta_away_from_unit() {
+        let dims = BatchDims { m: 12, n: 9, k: 14 };
+        let s = Strides::packed(dims);
+        let batch = 4;
+        let alpha = c64(0.7, -1.3);
+        let beta = c64(-0.4, 2.1);
+        let a = fill(batch * s.a, 21);
+        let b = fill(batch * s.b, 22);
+        let c0 = fill(batch * s.c, 23);
+        let mut c1 = c0.clone();
+        let mut c2 = c0.clone();
+        sbsmm(dims, batch, alpha, &a, &b, beta, &mut c1, s);
+        sbsmm_scalar(dims, batch, alpha, &a, &b, beta, &mut c2, s);
+        assert!(max_err(&c1, &c2) < 1e-11);
+    }
+
+    #[test]
     fn interleaved_strides() {
         // Items spaced twice as far apart as their size: gaps are untouched.
         let dims = BatchDims::square(4);
@@ -356,6 +1012,17 @@ mod tests {
         // First item correct:
         let want = reference(dims, 1, &a[..base.a], &b[..base.b], base);
         assert!(max_err(&c[..base.c], &want[..base.c]) < 1e-12);
+    }
+
+    #[test]
+    fn packed_dispatch_heuristic() {
+        // 12×12×12 routes through the packed kernel; slivers and tiny
+        // items stay scalar.
+        assert!(use_packed_kernel(BatchDims::square(12)));
+        assert!(use_packed_kernel(BatchDims::square(8)));
+        assert!(!use_packed_kernel(BatchDims::square(4)));
+        assert!(!use_packed_kernel(BatchDims { m: 12, n: 1, k: 12 }));
+        assert!(!use_packed_kernel(BatchDims { m: 0, n: 4, k: 4 }));
     }
 
     #[test]

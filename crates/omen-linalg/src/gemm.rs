@@ -59,10 +59,11 @@ impl Op {
     }
 }
 
-/// Micro-kernel tile rows (C update granularity down a column).
-const MR: usize = 4;
+/// Micro-kernel tile rows (C update granularity down a column). Shared
+/// with the batched SBSMM pack pass in [`crate::batched`].
+pub(crate) const MR: usize = 4;
 /// Micro-kernel tile columns.
-const NR: usize = 4;
+pub(crate) const NR: usize = 4;
 /// Cache-block rows of `op(A)` packed at once (`MC × KC` panel).
 const MC: usize = 64;
 /// Cache-block depth shared by both packed panels.
@@ -213,18 +214,51 @@ fn gemm_small(
 // Packed cache-blocked path.
 // ---------------------------------------------------------------------------
 
-/// `true` when the FMA/AVX2 micro-kernel can run (checked once).
+/// `true` when the environment forces the portable (non-AVX2) micro-kernel
+/// instantiation. CI runs a dedicated job leg with `OMEN_FORCE_SCALAR=1`
+/// so the fallback path cannot rot on AVX2-only runners.
+fn scalar_forced() -> bool {
+    std::env::var_os("OMEN_FORCE_SCALAR").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// `true` when the FMA/AVX2 micro-kernel can run (checked once; the
+/// `OMEN_FORCE_SCALAR` environment override pins it to `false`).
 #[cfg(target_arch = "x86_64")]
-fn fma_available() -> bool {
+pub(crate) fn fma_available() -> bool {
     static FMA: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     *FMA.get_or_init(|| {
-        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        !scalar_forced()
+            && std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma")
     })
 }
 
 #[cfg(not(target_arch = "x86_64"))]
-fn fma_available() -> bool {
+pub(crate) fn fma_available() -> bool {
+    // Evaluated for the side effect of keeping the override linked on
+    // non-x86 targets too (the portable kernel is already the only path).
+    let _ = scalar_forced();
     false
+}
+
+/// Dispatches one register-tile accumulation to the AVX2+FMA or portable
+/// micro-kernel instantiation. `fma` must come from [`fma_available`].
+#[inline]
+pub(crate) fn run_micro_kernel(
+    fma: bool,
+    a_re: &[f64],
+    a_im: &[f64],
+    b_re: &[f64],
+    b_im: &[f64],
+    acc_re: &mut [f64; MR * NR],
+    acc_im: &mut [f64; MR * NR],
+) {
+    if fma {
+        // SAFETY: `fma` is true only when the CPU reports AVX2 + FMA.
+        unsafe { micro_kernel_fma(a_re, a_im, b_re, b_im, acc_re, acc_im) }
+    } else {
+        micro_kernel_portable(a_re, a_im, b_re, b_im, acc_re, acc_im);
+    }
 }
 
 /// Blocked loop nest: for each `KC × NC` panel of `op(B)` and `MC × KC`
@@ -274,29 +308,7 @@ fn gemm_packed(
                             let a_im = &p.a_im[ao..ao + kc * MR];
                             let mut acc_re = [0.0f64; MR * NR];
                             let mut acc_im = [0.0f64; MR * NR];
-                            if fma {
-                                // SAFETY: `fma` is true only when the CPU
-                                // reports AVX2 + FMA support.
-                                unsafe {
-                                    micro_kernel_fma(
-                                        a_re,
-                                        a_im,
-                                        b_re,
-                                        b_im,
-                                        &mut acc_re,
-                                        &mut acc_im,
-                                    );
-                                }
-                            } else {
-                                micro_kernel_portable(
-                                    a_re,
-                                    a_im,
-                                    b_re,
-                                    b_im,
-                                    &mut acc_re,
-                                    &mut acc_im,
-                                );
-                            }
+                            run_micro_kernel(fma, a_re, a_im, b_re, b_im, &mut acc_re, &mut acc_im);
                             // Writeback: C += alpha * acc (valid lanes only;
                             // padded lanes hold zeros and are skipped).
                             for j in 0..nr_eff {

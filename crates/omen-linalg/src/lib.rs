@@ -7,6 +7,12 @@
 //! containers, the specialized strided-batched small-matrix multiply (SBSMM)
 //! of the paper's §5.3, and the mixed-precision split-complex path of §5.4.
 //!
+//! Both the dense GEMM ([`gemm()`]) and the batched SBSMM ([`sbsmm`]) run the
+//! same split-complex register-tiled FMA micro-kernel over packed
+//! micro-panels (see [`batched`] for the batch-level pack design and
+//! [`mixed`] for the fused f16 pack-and-convert); `OMEN_FORCE_SCALAR=1`
+//! pins the runtime dispatch to the portable instantiation.
+//!
 //! Everything is implemented from scratch over `std` (plus `rayon` for the
 //! batch-parallel kernels) so the repository carries no linear-algebra
 //! dependencies, mirroring the paper's "one external HPC library (BLAS)"
@@ -24,7 +30,11 @@ pub mod norms;
 pub mod sparse;
 pub mod workspace;
 
-pub use batched::{sbsmm, sbsmm_padded, sbsmm_par, small_gemm, BatchDims, Strides};
+pub use batched::{
+    give_tls_packed_b, sbsmm, sbsmm_padded, sbsmm_par, sbsmm_pb, sbsmm_scalar, sbsmm_with,
+    small_gemm, small_gemm_pb, take_tls_packed_b, use_packed_kernel, BatchArena, BatchDims,
+    PackedB, StrideOverlap, Strides,
+};
 pub use blocktridiag::BlockTriDiag;
 pub use complex::{c64, C64};
 pub use dense::CMatrix;
@@ -34,7 +44,10 @@ pub use gemm::{
 };
 pub use half::{F16, F16_MAX, F16_MIN_POSITIVE, F16_MIN_SUBNORMAL};
 pub use lu::{invert, solve, Lu, LuFactors, SingularMatrix};
-pub use mixed::{sbsmm_f16, Normalization, SplitF16Batch, NORMALIZATION_TARGET};
+pub use mixed::{
+    sbsmm_f16, sbsmm_f16_packed, F16APanels, F16BPanels, Normalization, SplitF16Batch,
+    NORMALIZATION_TARGET,
+};
 pub use norms::{magnitude_distribution, max_abs, rel_err_fro, rel_err_max, MagnitudeDistribution};
 pub use sparse::{csrmm, gemmi, CscMatrix, CsrMatrix};
 pub use workspace::{Workspace, WorkspaceLease, WorkspacePool};

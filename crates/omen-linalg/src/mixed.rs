@@ -8,9 +8,28 @@
 //! by the inverse factors. Without the normalization step, the tensor values
 //! (spanning ~1e-21..1e-1, Fig. 7a) underflow binary16 and the converged
 //! current is wrong by ~3e-3 relative; with it, the error drops to ~1e-6.
+//!
+//! # Fused pack-and-convert
+//!
+//! Two storage strategies coexist:
+//!
+//! * [`SplitF16Batch`] + [`sbsmm_f16`] / [`sbsmm_f16_raw`] — plain
+//!   split-complex planes swept by a scalar loop. Retained as the
+//!   correctness reference.
+//! * [`F16APanels`] / [`F16BPanels`] + [`sbsmm_f16_packed`] — the
+//!   production path: normalization, clamping, f16 rounding **and**
+//!   micro-panel packing happen in one pass over the `C64` source
+//!   (`pack_from_c64`), so the transients are materialized exactly once,
+//!   in half the bytes of the f64 pack buffers. At sweep time each panel
+//!   is widened to `f64` staging (cache-resident, amortized across the
+//!   register tiles that consume it) and accumulated by the same
+//!   split-complex FMA micro-kernel as the f64 batched path — f16
+//!   storage, f64 accumulation, exactly the paper's Tensor-Core
+//!   configuration.
 
-use crate::batched::{BatchDims, Strides};
+use crate::batched::{sweep_tiles, with_batch_arena, BatchDims, Strides};
 use crate::complex::{c64, C64};
+use crate::gemm::{fma_available, MR, NR};
 use crate::half::{clamp_to_f16_range, F16};
 
 /// Normalization policy for the f16 conversion.
@@ -62,20 +81,7 @@ impl SplitF16Batch {
     /// Re-converts into this batch's storage, reusing the plane buffers
     /// (allocation-free once they are large enough).
     pub fn convert_from(&mut self, data: &[C64], normalization: Normalization) {
-        self.factor = match normalization {
-            Normalization::PerTensor => {
-                let max = data
-                    .iter()
-                    .map(|z| z.re.abs().max(z.im.abs()))
-                    .fold(0.0, f64::max);
-                if max > 0.0 {
-                    NORMALIZATION_TARGET / max
-                } else {
-                    1.0
-                }
-            }
-            Normalization::None => 1.0,
-        };
+        self.factor = norm_factor(data, normalization);
         let factor = self.factor;
         self.re.clear();
         self.im.clear();
@@ -111,12 +117,293 @@ impl SplitF16Batch {
     }
 }
 
+/// The normalization factor for a `C64` slice: `target / max|x|` under
+/// `PerTensor`, `1.0` otherwise (or for an all-zero tensor).
+fn norm_factor(data: &[C64], normalization: Normalization) -> f64 {
+    match normalization {
+        Normalization::PerTensor => {
+            let max = data
+                .iter()
+                .map(|z| z.re.abs().max(z.im.abs()))
+                .fold(0.0, f64::max);
+            if max > 0.0 {
+                NORMALIZATION_TARGET / max
+            } else {
+                1.0
+            }
+        }
+        Normalization::None => 1.0,
+    }
+}
+
+#[inline]
+fn to_f16(x: f64, factor: f64) -> F16 {
+    F16::from_f64(clamp_to_f16_range(x * factor))
+}
+
+/// A batch of `m × k` matrices stored as split-complex binary16
+/// **`MR`-row micro-panels** with a common normalization factor — the
+/// left-operand half of the fused pack-and-convert path (see the module
+/// docs). Produced in one pass over the `C64` source by
+/// [`F16APanels::pack_from_c64`]; consumed by [`sbsmm_f16_packed`].
+#[derive(Clone, Debug, Default)]
+pub struct F16APanels {
+    re: Vec<F16>,
+    im: Vec<F16>,
+    m: usize,
+    k: usize,
+    items: usize,
+    /// The multiplicative factor applied before rounding; stored value =
+    /// `round_f16(x * factor)`. `1.0` when unnormalized.
+    pub factor: f64,
+}
+
+impl F16APanels {
+    /// Empty panels, the reusable slot for [`F16APanels::pack_from_c64`].
+    /// Performs no allocation.
+    pub fn empty() -> Self {
+        F16APanels {
+            factor: 1.0,
+            ..Default::default()
+        }
+    }
+
+    /// Packed elements of one item: `ceil(m/MR) * MR * k`.
+    #[inline]
+    pub fn item_len(&self) -> usize {
+        self.m.div_ceil(MR) * MR * self.k
+    }
+
+    /// Number of packed items.
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// Fused pack-and-convert: normalizes (factor chosen from the max
+    /// magnitude of the **whole** `data` slice, matching
+    /// [`SplitF16Batch::convert_from`]), clamps, rounds to binary16, and
+    /// lays the result out as split-complex `MR`-row panels — one pass,
+    /// reusing this batch's buffers (allocation-free once warm). Item `i`
+    /// is the column-major `m × k` matrix at `data[i * stride..]`.
+    pub fn pack_from_c64(
+        &mut self,
+        data: &[C64],
+        m: usize,
+        k: usize,
+        items: usize,
+        stride: usize,
+        normalization: Normalization,
+    ) {
+        assert!(
+            items == 0 || (items - 1) * stride + m * k <= data.len(),
+            "F16APanels: data too short"
+        );
+        self.m = m;
+        self.k = k;
+        self.items = items;
+        self.factor = norm_factor(data, normalization);
+        let factor = self.factor;
+        let ilen = self.item_len();
+        self.re.resize(items * ilen, F16::ZERO);
+        self.im.resize(items * ilen, F16::ZERO);
+        let mp = m.div_ceil(MR);
+        for it in 0..items {
+            let src = &data[it * stride..it * stride + m * k];
+            let dst_re = &mut self.re[it * ilen..(it + 1) * ilen];
+            let dst_im = &mut self.im[it * ilen..(it + 1) * ilen];
+            for ip in 0..mp {
+                let ir = ip * MR;
+                let rows = MR.min(m - ir);
+                let base = ip * k * MR;
+                for p in 0..k {
+                    let col = &src[p * m..p * m + m];
+                    let o = base + p * MR;
+                    for i in 0..rows {
+                        let z = col[ir + i];
+                        dst_re[o + i] = to_f16(z.re, factor);
+                        dst_im[o + i] = to_f16(z.im, factor);
+                    }
+                    for i in rows..MR {
+                        dst_re[o + i] = F16::ZERO;
+                        dst_im[o + i] = F16::ZERO;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The right-operand counterpart of [`F16APanels`]: a batch of `k × n`
+/// matrices as split-complex binary16 **`NR`-column micro-panels**.
+#[derive(Clone, Debug, Default)]
+pub struct F16BPanels {
+    re: Vec<F16>,
+    im: Vec<F16>,
+    k: usize,
+    n: usize,
+    items: usize,
+    /// Normalization factor, as in [`F16APanels::factor`].
+    pub factor: f64,
+}
+
+impl F16BPanels {
+    /// Empty panels; buffers materialize on first pack.
+    pub fn empty() -> Self {
+        F16BPanels {
+            factor: 1.0,
+            ..Default::default()
+        }
+    }
+
+    /// Packed elements of one item: `ceil(n/NR) * NR * k`.
+    #[inline]
+    pub fn item_len(&self) -> usize {
+        self.n.div_ceil(NR) * NR * self.k
+    }
+
+    /// Number of packed items.
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// Fused pack-and-convert of `items` column-major `k × n` matrices;
+    /// see [`F16APanels::pack_from_c64`].
+    pub fn pack_from_c64(
+        &mut self,
+        data: &[C64],
+        k: usize,
+        n: usize,
+        items: usize,
+        stride: usize,
+        normalization: Normalization,
+    ) {
+        assert!(
+            items == 0 || (items - 1) * stride + k * n <= data.len(),
+            "F16BPanels: data too short"
+        );
+        self.k = k;
+        self.n = n;
+        self.items = items;
+        self.factor = norm_factor(data, normalization);
+        let factor = self.factor;
+        let ilen = self.item_len();
+        self.re.resize(items * ilen, F16::ZERO);
+        self.im.resize(items * ilen, F16::ZERO);
+        let np = n.div_ceil(NR);
+        for it in 0..items {
+            let src = &data[it * stride..it * stride + k * n];
+            let dst_re = &mut self.re[it * ilen..(it + 1) * ilen];
+            let dst_im = &mut self.im[it * ilen..(it + 1) * ilen];
+            for jp in 0..np {
+                let jr = jp * NR;
+                let cols = NR.min(n - jr);
+                let base = jp * k * NR;
+                for p in 0..k {
+                    let o = base + p * NR;
+                    for j in 0..cols {
+                        let z = src[(jr + j) * k + p];
+                        dst_re[o + j] = to_f16(z.re, factor);
+                        dst_im[o + j] = to_f16(z.im, factor);
+                    }
+                    for j in cols..NR {
+                        dst_re[o + j] = F16::ZERO;
+                        dst_im[o + j] = F16::ZERO;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Widens f16 panel planes into `f64` staging (exact; every binary16 value
+/// is representable).
+fn widen(re: &[F16], im: &[F16], out_re: &mut Vec<f64>, out_im: &mut Vec<f64>) {
+    out_re.resize(re.len(), 0.0);
+    out_im.resize(im.len(), 0.0);
+    for (d, s) in out_re.iter_mut().zip(re) {
+        *d = s.to_f64();
+    }
+    for (d, s) in out_im.iter_mut().zip(im) {
+        *d = s.to_f64();
+    }
+}
+
+/// The packed mixed-precision batched multiply:
+/// `C[i] += denorm · A[a_item0 + i] · B[b_item]` for `i < batch`, where the
+/// operands are pre-packed f16 micro-panels and the accumulation runs in
+/// `f64` through the split-complex FMA micro-kernel.
+///
+/// `B` is a single shared item (the transformed SSE stage-C shape, B-stride
+/// 0); its panels are widened once per call, `A` items once each, both into
+/// thread-local staging — zero steady-state allocations. `denorm` is
+/// typically `1 / (a.factor * b.factor)`.
+#[allow(clippy::too_many_arguments)]
+pub fn sbsmm_f16_packed(
+    dims: BatchDims,
+    batch: usize,
+    a: &F16APanels,
+    a_item0: usize,
+    b: &F16BPanels,
+    b_item: usize,
+    denorm: f64,
+    c: &mut [C64],
+    stride_c: usize,
+) {
+    let BatchDims { m, n, k } = dims;
+    assert_eq!((a.m, a.k), (m, k), "A panel shape mismatch");
+    assert_eq!((b.k, b.n), (k, n), "B panel shape mismatch");
+    if batch == 0 {
+        return;
+    }
+    assert!(a_item0 + batch <= a.items, "A panel batch out of range");
+    assert!(b_item < b.items, "B panel item out of range");
+    assert!(
+        (batch - 1) * stride_c + m * n <= c.len(),
+        "C slice too short for batch"
+    );
+    let fma = fma_available();
+    let alen = a.item_len();
+    let blen = b.item_len();
+    let alpha = c64(denorm, 0.0);
+    with_batch_arena(|arena| {
+        let bb = &mut arena.item_b;
+        widen(
+            &b.re[b_item * blen..(b_item + 1) * blen],
+            &b.im[b_item * blen..(b_item + 1) * blen],
+            &mut bb.re,
+            &mut bb.im,
+        );
+        for idx in 0..batch {
+            let it = a_item0 + idx;
+            widen(
+                &a.re[it * alen..(it + 1) * alen],
+                &a.im[it * alen..(it + 1) * alen],
+                &mut arena.a_re,
+                &mut arena.a_im,
+            );
+            let cv = &mut c[idx * stride_c..idx * stride_c + m * n];
+            sweep_tiles(
+                fma,
+                m,
+                n,
+                k,
+                alpha,
+                &arena.a_re,
+                &arena.a_im,
+                &arena.item_b.re,
+                &arena.item_b.im,
+                cv,
+            );
+        }
+    });
+}
+
 /// Strided-batched multiply in emulated Tensor-Core arithmetic:
 /// `C[b] += A[b] · B[b]` where `A`, `B` are f16 split-complex batches.
 ///
 /// Products are formed in `f32` (each factor is an exact f16 value) and
 /// accumulated in `f64`, exactly the paper's configuration ("the difference
-/// over accumulation [is] done in double-precision"). The output is
+/// over accumulation \[is\] done in double-precision"). The output is
 /// denormalized by `1/(factor_A · factor_B)` and accumulated into `c`.
 pub fn sbsmm_f16(
     dims: BatchDims,

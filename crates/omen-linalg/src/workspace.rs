@@ -14,6 +14,7 @@
 //! and returns it on drop, so the whole self-consistent loop allocates
 //! only during warmup.
 
+use crate::batched::{BatchArena, PackedB};
 use crate::complex::C64;
 use crate::dense::CMatrix;
 use crate::lu::{LuFactors, SingularMatrix};
@@ -34,6 +35,10 @@ pub struct Workspace {
     free_vecs: Vec<Vec<CMatrix>>,
     /// Free raw element buffers, checked out best-fit by capacity.
     free_bufs: Vec<Vec<C64>>,
+    /// Free pre-packed-operand packs for the batched kernels.
+    free_packed_b: Vec<PackedB>,
+    /// Split-complex pack arena of the batched SBSMM path.
+    batch: BatchArena,
     /// LU storage shared by [`Workspace::invert_into`].
     lu: LuFactors,
 }
@@ -111,6 +116,25 @@ impl Workspace {
         self.free_bufs.push(b);
     }
 
+    /// Checks out a [`PackedB`] pack (warm when one was given back). The
+    /// per-point SSE kernels pack each shared `G` block once per pair and
+    /// sweep it across the three gradient directions.
+    pub fn take_packed_b(&mut self) -> PackedB {
+        self.free_packed_b.pop().unwrap_or_default()
+    }
+
+    /// Returns a [`PackedB`] to the pool for reuse.
+    pub fn give_packed_b(&mut self, pb: PackedB) {
+        self.free_packed_b.push(pb);
+    }
+
+    /// The workspace's split-complex pack arena, for routing batched
+    /// multiplications ([`crate::batched::sbsmm_with`]) through
+    /// workspace-held buffers instead of the thread-local arena.
+    pub fn batch_arena(&mut self) -> &mut BatchArena {
+        &mut self.batch
+    }
+
     /// Writes `a⁻¹` into `out` using the workspace's LU storage. Like
     /// [`crate::lu::invert`], panics on a singular matrix (RGF diagonal
     /// blocks of a well-posed NEGF system are always invertible).
@@ -145,6 +169,8 @@ impl Workspace {
         self.free.clear();
         self.free_vecs.clear();
         self.free_bufs.clear();
+        self.free_packed_b.clear();
+        self.batch.reset();
         self.lu = LuFactors::new();
     }
 

@@ -202,6 +202,167 @@ proptest! {
     }
 
     #[test]
+    fn packed_sbsmm_matches_scalar(
+        m in 1usize..20,
+        n in 1usize..20,
+        k in 1usize..20,
+        batch in 0usize..6,
+        gaps in (0usize..3, 0usize..3, 0usize..3),
+        shared in 0usize..3,
+        coeffs in (arb_c64(), arb_c64()),
+        seed in 0u64..1_000_000,
+    ) {
+        // The packed micro-kernel batch path must reproduce the retained
+        // scalar loop for non-square dims, padded strides, any batch size,
+        // and alpha/beta away from {0, 1}. `shared` optionally pins the A
+        // or B stride to 0 (the transformed-kernel shapes).
+        let dims = BatchDims { m, n, k };
+        let (alpha, beta) = coeffs;
+        let mut s = Strides {
+            a: m * k + gaps.0,
+            b: k * n + gaps.1,
+            c: m * n + gaps.2,
+        };
+        if shared == 1 { s.a = 0; }
+        if shared == 2 { s.b = 0; }
+        let fill = |len: usize, tag: u64| -> Vec<C64> {
+            (0..len)
+                .map(|i| {
+                    let t = i as f64 * 0.61 + (seed + tag) as f64 * 1e-4;
+                    c64((t * 1.1).sin(), (t * 0.7).cos())
+                })
+                .collect()
+        };
+        let alen = if s.a == 0 { m * k } else { batch.max(1) * s.a };
+        let blen = if s.b == 0 { k * n } else { batch.max(1) * s.b };
+        let a = fill(alen, 1);
+        let b = fill(blen, 2);
+        let c0 = fill(batch.max(1) * s.c, 3);
+        let mut got = c0.clone();
+        let mut want = c0.clone();
+        sbsmm(dims, batch, alpha, &a, &b, beta, &mut got, s);
+        sbsmm_scalar(dims, batch, alpha, &a, &b, beta, &mut want, s);
+        // Tile reassociation vs. the scalar order: a few ulps of the
+        // accumulated magnitude.
+        let amax = a.iter().map(|z| z.abs()).fold(0.0, f64::max);
+        let bmax = b.iter().map(|z| z.abs()).fold(0.0, f64::max);
+        let cmax = c0.iter().map(|z| z.abs()).fold(0.0, f64::max);
+        let scale = alpha.abs() * k as f64 * amax * bmax + beta.abs() * cmax;
+        let tol = 8.0 * f64::EPSILON * scale.max(1.0);
+        let dev = got
+            .iter()
+            .zip(&want)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max);
+        prop_assert!(dev <= tol, "{m}x{n}x{k} b{batch}: dev {dev:e} > tol {tol:e}");
+    }
+
+    #[test]
+    fn sbsmm_par_matches_serial_packed(
+        m in 1usize..16,
+        n in 1usize..16,
+        k in 1usize..16,
+        batch in 1usize..8,
+        coeffs in (arb_c64(), arb_c64()),
+    ) {
+        let dims = BatchDims { m, n, k };
+        let s = Strides::packed(dims);
+        let (alpha, beta) = coeffs;
+        let mk = |len: usize, tag: usize| -> Vec<C64> {
+            (0..len)
+                .map(|i| c64(((i * 7 + tag) as f64).sin(), ((i * 3 + tag) as f64).cos()))
+                .collect()
+        };
+        let a = mk(batch * s.a, 1);
+        let b = mk(batch * s.b, 2);
+        let c0 = mk(batch * s.c, 3);
+        let mut c1 = c0.clone();
+        let mut c2 = c0.clone();
+        sbsmm(dims, batch, alpha, &a, &b, beta, &mut c1, s);
+        sbsmm_par(dims, batch, alpha, &a, &b, beta, &mut c2, s).unwrap();
+        let dev = c1.iter().zip(&c2).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max);
+        prop_assert!(dev == 0.0, "parallel must be bit-identical, dev {dev:e}");
+    }
+
+    #[test]
+    fn sbsmm_par_rejects_overlapping_strides(
+        n in 1usize..8,
+        deficit in 1usize..8,
+        batch in 2usize..5,
+    ) {
+        // Any C stride short of one item is a typed error, not a panic.
+        let dims = BatchDims::square(n);
+        let item = n * n;
+        prop_assume!(deficit <= item);
+        let s = Strides { a: item, b: item, c: item - deficit };
+        let a = vec![C64::ZERO; batch * item];
+        let b = vec![C64::ZERO; batch * item];
+        let mut c = vec![C64::ZERO; batch * item];
+        let err = sbsmm_par(dims, batch, C64::ONE, &a, &b, C64::ZERO, &mut c, s);
+        prop_assert_eq!(
+            err,
+            Err(StrideOverlap { stride_c: item - deficit, item_len: item })
+        );
+    }
+
+    #[test]
+    fn f16_packed_matches_scalar_f16(
+        m in 1usize..14,
+        n in 1usize..14,
+        k in 1usize..14,
+        batch in 1usize..5,
+        mag in -6.0f64..0.0,
+    ) {
+        // The fused f16 panel path (f16 storage, f64 accumulation through
+        // the micro-kernel) must agree with the scalar split-plane
+        // reference to f32-accumulation tolerance: both quantize
+        // identically, only the accumulation arithmetic differs.
+        let dims = BatchDims { m, n, k };
+        let magnitude = 10f64.powf(mag);
+        let mk = |len: usize, tag: usize| -> Vec<C64> {
+            (0..len)
+                .map(|i| {
+                    c64(
+                        ((i * 37 + tag) as f64).sin() * magnitude,
+                        ((i * 17 + tag) as f64).cos() * magnitude,
+                    )
+                })
+                .collect()
+        };
+        let a = mk(batch * m * k, 1);
+        let b = mk(k * n, 2); // shared B (stage-C shape)
+        let s = Strides { a: m * k, b: 0, c: m * n };
+        let a16 = SplitF16Batch::from_c64(&a, Normalization::PerTensor);
+        let b16 = SplitF16Batch::from_c64(&b, Normalization::PerTensor);
+        let mut c_ref = vec![C64::ZERO; batch * m * n];
+        mixed::sbsmm_f16_raw(
+            dims, batch, &a16.re, &a16.im, &b16.re, &b16.im,
+            1.0 / (a16.factor * b16.factor), &mut c_ref, s,
+        );
+        let mut ap = F16APanels::empty();
+        ap.pack_from_c64(&a, m, k, batch, m * k, Normalization::PerTensor);
+        let mut bp = F16BPanels::empty();
+        bp.pack_from_c64(&b, k, n, 1, k * n, Normalization::PerTensor);
+        prop_assert_eq!(ap.items(), batch);
+        let denorm = 1.0 / (ap.factor * bp.factor);
+        let mut c_got = vec![C64::ZERO; batch * m * n];
+        sbsmm_f16_packed(dims, batch, &ap, 0, &bp, 0, denorm, &mut c_got, m * n);
+        // Identical quantization => identical factors.
+        prop_assert_eq!(ap.factor, a16.factor);
+        prop_assert_eq!(bp.factor, b16.factor);
+        let scale = c_ref.iter().map(|z| z.abs()).fold(1e-300, f64::max);
+        let dev = c_got
+            .iter()
+            .zip(&c_ref)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max);
+        // f32 product-difference rounding in the scalar path vs exact f64
+        // FMA in the packed path: bounded by k ulps of f32.
+        let tol = 4.0 * k as f64 * (f32::EPSILON as f64) * scale;
+        prop_assert!(dev <= tol, "{m}x{n}x{k}: dev {dev:e} > tol {tol:e}");
+    }
+
+    #[test]
     fn sbsmm_matches_gemm(batch in 1usize..5, n in 1usize..8) {
         let dims = BatchDims::square(n);
         let s = Strides::packed(dims);

@@ -8,6 +8,15 @@
 //! by the inverse factors. Π^≷ stays in double precision (its cost is a
 //! factor `Norb` smaller).
 //!
+//! The conversion is the **fused pack-and-convert** pass of
+//! `omen_linalg::mixed`: each transient tensor is normalized, rounded to
+//! binary16 and laid out as split-complex micro-panels in a single sweep
+//! ([`omen_linalg::F16APanels`] / [`omen_linalg::F16BPanels`]), so the f16
+//! batch and the micro-kernel pack buffers — previously two separate
+//! materializations of the same data — are one array at half the bytes.
+//! Stage C then runs the packed FMA micro-kernel with f64 accumulation
+//! ([`omen_linalg::sbsmm_f16_packed`]).
+//!
 //! Disabling normalization reproduces the divergence of Fig. 7b: SSE
 //! inputs span ~20 decades and the small magnitudes flush to zero in raw
 //! binary16.
@@ -16,8 +25,7 @@ use crate::problem::SseProblem;
 use crate::reference::SseOutput;
 use crate::tensors::{DLayout, DTensor, GLayout, GTensor, D_BSZ};
 use crate::transformed::{build_transients_into, Transients};
-use omen_linalg::mixed::sbsmm_f16_raw;
-use omen_linalg::{BatchDims, Normalization, SplitF16Batch, Strides, C64};
+use omen_linalg::{sbsmm_f16_packed, BatchDims, F16APanels, F16BPanels, Normalization, C64};
 use rayon::prelude::*;
 
 /// Configuration of the mixed-precision kernel.
@@ -37,14 +45,16 @@ impl Default for MixedConfig {
 }
 
 /// Reusable storage of the mixed-precision kernel: the double-precision
-/// transients plus their four split-complex f16 conversions.
+/// transients plus their four fused f16 micro-panel conversions (the `hg`
+/// tensors as left-operand panels, the `hd` tensors as right-operand
+/// panels).
 pub struct MixedScratch {
     /// Stage A/B transients (double precision).
     pub tr: Transients,
-    hg_l16: SplitF16Batch,
-    hg_g16: SplitF16Batch,
-    hd_l16: SplitF16Batch,
-    hd_g16: SplitF16Batch,
+    hg_l16: F16APanels,
+    hg_g16: F16APanels,
+    hd_l16: F16BPanels,
+    hd_g16: F16BPanels,
 }
 
 impl MixedScratch {
@@ -52,10 +62,10 @@ impl MixedScratch {
     pub fn empty() -> Self {
         MixedScratch {
             tr: Transients::empty(),
-            hg_l16: SplitF16Batch::empty(),
-            hg_g16: SplitF16Batch::empty(),
-            hd_l16: SplitF16Batch::empty(),
-            hd_g16: SplitF16Batch::empty(),
+            hg_l16: F16APanels::empty(),
+            hg_g16: F16APanels::empty(),
+            hd_l16: F16BPanels::empty(),
+            hd_g16: F16BPanels::empty(),
         }
     }
 }
@@ -98,18 +108,30 @@ pub fn sse_mixed_into(
     build_transients_into(prob, g_l, g_g, d_l, d_g, &mut scratch.tr);
     let tr = &scratch.tr;
 
-    // Convert the transients to split-complex f16 (the paper's
-    // "split-complex format": contiguous real plane then imaginary plane).
-    scratch.hg_l16.convert_from(&tr.hg_l, cfg.normalization);
-    scratch.hg_g16.convert_from(&tr.hg_g, cfg.normalization);
-    scratch.hd_l16.convert_from(&tr.hd_l, cfg.normalization);
-    scratch.hd_g16.convert_from(&tr.hd_g, cfg.normalization);
-    let (hg_l16, hg_g16) = (&scratch.hg_l16, &scratch.hg_g16);
-    let (hd_l16, hd_g16) = (&scratch.hd_l16, &scratch.hd_g16);
-
     let norb = prob.norb();
     let bsz = norb * norb;
     let dims = BatchDims::square(norb);
+
+    // Fused pack-and-convert: normalize, clamp, round to binary16 and lay
+    // out as split-complex micro-panels in one pass over each transient
+    // (the paper's "split-complex format", here already in the shape the
+    // packed micro-kernel sweeps).
+    let n_hg = tr.hg_l.len() / bsz;
+    let n_hd = tr.hd_l.len() / bsz;
+    scratch
+        .hg_l16
+        .pack_from_c64(&tr.hg_l, norb, norb, n_hg, bsz, cfg.normalization);
+    scratch
+        .hg_g16
+        .pack_from_c64(&tr.hg_g, norb, norb, n_hg, bsz, cfg.normalization);
+    scratch
+        .hd_l16
+        .pack_from_c64(&tr.hd_l, norb, norb, n_hd, bsz, cfg.normalization);
+    scratch
+        .hd_g16
+        .pack_from_c64(&tr.hd_g, norb, norb, n_hd, bsz, cfg.normalization);
+    let (hg_l16, hg_g16) = (&scratch.hg_l16, &scratch.hg_g16);
+    let (hd_l16, hd_g16) = (&scratch.hd_l16, &scratch.hd_g16);
     let na = prob.na();
     let (nk, ne, nq, nw) = (prob.nk, prob.ne, prob.nq, prob.nw);
     out.sigma_l.reset(nk, ne, na, norb, GLayout::AtomMajor);
@@ -119,11 +141,6 @@ pub fn sse_mixed_into(
 
     let atom_chunk = nk * ne * bsz;
     let offsets = &prob.device.neighbors.offsets;
-    let strides = Strides {
-        a: bsz,
-        b: 0,
-        c: bsz,
-    };
     let denorm_ll = 1.0 / (hg_l16.factor * hd_l16.factor);
     let denorm_lg = 1.0 / (hg_l16.factor * hd_g16.factor);
     let denorm_gg = 1.0 / (hg_g16.factor * hd_g16.factor);
@@ -146,64 +163,63 @@ pub fn sse_mixed_into(
                                     continue;
                                 }
                                 let batch = ne - steps;
-                                let hd_off = tr.hd_offset(p, i, q, m);
-                                let hdl_re = &hd_l16.re[hd_off..hd_off + bsz];
-                                let hdl_im = &hd_l16.im[hd_off..hd_off + bsz];
-                                let hdg_re = &hd_g16.re[hd_off..hd_off + bsz];
-                                let hdg_im = &hd_g16.im[hd_off..hd_off + bsz];
+                                // Panel item of the shared ∇H·D block.
+                                let hd_item = tr.hd_offset(p, i, q, m) / bsz;
                                 for k in 0..nk {
                                     let kk = prob.k_minus_q(k, q);
                                     let out_base = k * ne * bsz;
-                                    let a0 = tr.hg_offset(p, i, kk, 0);
-                                    let a1 = tr.hg_offset(p, i, kk, steps);
+                                    // Panel items of the hg(e=0) / hg(e=steps)
+                                    // batches (hg items are e-contiguous).
+                                    let a0 = tr.hg_offset(p, i, kk, 0) / bsz;
+                                    let a1 = tr.hg_offset(p, i, kk, steps) / bsz;
                                     let c0 = out_base + steps * bsz;
                                     let c1 = out_base;
                                     let n_el = batch * bsz;
                                     // Emission.
-                                    sbsmm_f16_raw(
+                                    sbsmm_f16_packed(
                                         dims,
                                         batch,
-                                        &hg_l16.re[a0..a0 + n_el],
-                                        &hg_l16.im[a0..a0 + n_el],
-                                        hdl_re,
-                                        hdl_im,
+                                        hg_l16,
+                                        a0,
+                                        hd_l16,
+                                        hd_item,
                                         denorm_ll,
                                         &mut out_l[c0..c0 + n_el],
-                                        strides,
+                                        bsz,
                                     );
-                                    sbsmm_f16_raw(
+                                    sbsmm_f16_packed(
                                         dims,
                                         batch,
-                                        &hg_g16.re[a0..a0 + n_el],
-                                        &hg_g16.im[a0..a0 + n_el],
-                                        hdg_re,
-                                        hdg_im,
+                                        hg_g16,
+                                        a0,
+                                        hd_g16,
+                                        hd_item,
                                         denorm_gg,
                                         &mut out_g[c0..c0 + n_el],
-                                        strides,
+                                        bsz,
                                     );
                                     // Absorption.
-                                    sbsmm_f16_raw(
+                                    sbsmm_f16_packed(
                                         dims,
                                         batch,
-                                        &hg_l16.re[a1..a1 + n_el],
-                                        &hg_l16.im[a1..a1 + n_el],
-                                        hdg_re,
-                                        hdg_im,
+                                        hg_l16,
+                                        a1,
+                                        hd_g16,
+                                        hd_item,
                                         denorm_lg,
                                         &mut out_l[c1..c1 + n_el],
-                                        strides,
+                                        bsz,
                                     );
-                                    sbsmm_f16_raw(
+                                    sbsmm_f16_packed(
                                         dims,
                                         batch,
-                                        &hg_g16.re[a1..a1 + n_el],
-                                        &hg_g16.im[a1..a1 + n_el],
-                                        hdl_re,
-                                        hdl_im,
+                                        hg_g16,
+                                        a1,
+                                        hd_l16,
+                                        hd_item,
                                         denorm_gl,
                                         &mut out_g[c1..c1 + n_el],
-                                        strides,
+                                        bsz,
                                     );
                                     flops += 4 * batch as u64 * dims.flops();
                                 }

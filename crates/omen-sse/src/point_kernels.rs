@@ -10,7 +10,7 @@
 use crate::problem::SseProblem;
 use crate::reference::{d_combination_from, trace_product};
 use crate::tensors::{DTensor, GTensor, D_BSZ};
-use omen_linalg::{small_gemm, BatchDims, Workspace, C64};
+use omen_linalg::{small_gemm, small_gemm_pb, use_packed_kernel, BatchDims, Workspace, C64};
 
 /// Abstract access to `G^≷` atom-diagonal blocks.
 pub trait GBlocks {
@@ -193,6 +193,14 @@ fn sigma_round_core(
     let mut t2 = ws.take_buf(bsz);
     let mut c_l = ws.take_buf(bsz);
     let mut c_g = ws.take_buf(bsz);
+    // When the block shape amortizes packing, each G block is packed once
+    // per pair into split-complex micro-panels (workspace-pooled, warm in
+    // steady state) and reused across the three gradient directions.
+    let packed = use_packed_kernel(dims);
+    let mut pb_em_l = ws.take_packed_b();
+    let mut pb_em_g = ws.take_packed_b();
+    let mut pb_ab_l = ws.take_packed_b();
+    let mut pb_ab_g = ws.take_packed_b();
 
     for (ax, a) in atoms {
         for (pair, b) in prob.pairs_of(a) {
@@ -201,6 +209,16 @@ fn sigma_round_core(
             let dc_g = d_combination_from(d_g, q, m, pair, rev, a, b, prob.npairs());
             let grad_ab = &grads.grads[pair];
             let grad_ba = &grads.grads[rev];
+            if packed {
+                if emission {
+                    pb_em_l.pack(norb, norb, g_l.gblock(kk, e - steps, b));
+                    pb_em_g.pack(norb, norb, g_g.gblock(kk, e - steps, b));
+                }
+                if absorption {
+                    pb_ab_l.pack(norb, norb, g_l.gblock(kk, e + steps, b));
+                    pb_ab_g.pack(norb, norb, g_g.gblock(kk, e + steps, b));
+                }
+            }
             for i in 0..3 {
                 c_l.fill(C64::ZERO);
                 c_g.fill(C64::ZERO);
@@ -216,28 +234,36 @@ fn sigma_round_core(
                 let gi = grad_ab[i].as_slice();
                 let out_l_blk = &mut out_l[ax * bsz..(ax + 1) * bsz];
                 if emission {
-                    small_gemm(
-                        dims,
-                        C64::ONE,
-                        gi,
-                        g_l.gblock(kk, e - steps, b),
-                        C64::ZERO,
-                        &mut t1,
-                    );
+                    if packed {
+                        small_gemm_pb(dims, C64::ONE, gi, &pb_em_l, C64::ZERO, &mut t1);
+                    } else {
+                        small_gemm(
+                            dims,
+                            C64::ONE,
+                            gi,
+                            g_l.gblock(kk, e - steps, b),
+                            C64::ZERO,
+                            &mut t1,
+                        );
+                    }
                     small_gemm(dims, C64::ONE, &t1, &c_l, C64::ZERO, &mut t2);
                     for (o, v) in out_l_blk.iter_mut().zip(&t2) {
                         *o += *v;
                     }
                 }
                 if absorption {
-                    small_gemm(
-                        dims,
-                        C64::ONE,
-                        gi,
-                        g_l.gblock(kk, e + steps, b),
-                        C64::ZERO,
-                        &mut t1,
-                    );
+                    if packed {
+                        small_gemm_pb(dims, C64::ONE, gi, &pb_ab_l, C64::ZERO, &mut t1);
+                    } else {
+                        small_gemm(
+                            dims,
+                            C64::ONE,
+                            gi,
+                            g_l.gblock(kk, e + steps, b),
+                            C64::ZERO,
+                            &mut t1,
+                        );
+                    }
                     small_gemm(dims, C64::ONE, &t1, &c_g, C64::ZERO, &mut t2);
                     for (o, v) in out_l_blk.iter_mut().zip(&t2) {
                         *o += *v;
@@ -245,28 +271,36 @@ fn sigma_round_core(
                 }
                 let out_g_blk = &mut out_g[ax * bsz..(ax + 1) * bsz];
                 if emission {
-                    small_gemm(
-                        dims,
-                        C64::ONE,
-                        gi,
-                        g_g.gblock(kk, e - steps, b),
-                        C64::ZERO,
-                        &mut t1,
-                    );
+                    if packed {
+                        small_gemm_pb(dims, C64::ONE, gi, &pb_em_g, C64::ZERO, &mut t1);
+                    } else {
+                        small_gemm(
+                            dims,
+                            C64::ONE,
+                            gi,
+                            g_g.gblock(kk, e - steps, b),
+                            C64::ZERO,
+                            &mut t1,
+                        );
+                    }
                     small_gemm(dims, C64::ONE, &t1, &c_g, C64::ZERO, &mut t2);
                     for (o, v) in out_g_blk.iter_mut().zip(&t2) {
                         *o += *v;
                     }
                 }
                 if absorption {
-                    small_gemm(
-                        dims,
-                        C64::ONE,
-                        gi,
-                        g_g.gblock(kk, e + steps, b),
-                        C64::ZERO,
-                        &mut t1,
-                    );
+                    if packed {
+                        small_gemm_pb(dims, C64::ONE, gi, &pb_ab_g, C64::ZERO, &mut t1);
+                    } else {
+                        small_gemm(
+                            dims,
+                            C64::ONE,
+                            gi,
+                            g_g.gblock(kk, e + steps, b),
+                            C64::ZERO,
+                            &mut t1,
+                        );
+                    }
                     small_gemm(dims, C64::ONE, &t1, &c_l, C64::ZERO, &mut t2);
                     for (o, v) in out_g_blk.iter_mut().zip(&t2) {
                         *o += *v;
@@ -277,6 +311,9 @@ fn sigma_round_core(
     }
     for buf in [t1, t2, c_l, c_g] {
         ws.give_buf(buf);
+    }
+    for pb in [pb_em_l, pb_em_g, pb_ab_l, pb_ab_g] {
+        ws.give_packed_b(pb);
     }
 }
 
@@ -330,6 +367,13 @@ pub fn pi_round_update_into(
     let pairs = &prob.device.neighbors.pairs;
     let mut t1 = ws.take_buf(bsz);
     let mut t2 = ws.take_buf(bsz);
+    // Pack the four G blocks of each pair once and sweep them across the
+    // 3×3 gradient-direction loop (see `sigma_round_core`).
+    let packed = use_packed_kernel(dims);
+    let mut pb_l_a = ws.take_packed_b();
+    let mut pb_g_a = ws.take_packed_b();
+    let mut pb_l_b = ws.take_packed_b();
+    let mut pb_g_b = ws.take_packed_b();
     out.reserve(pair_subset.len());
     for &p in pair_subset {
         let a = pairs[p].from;
@@ -337,43 +381,87 @@ pub fn pi_round_update_into(
         let rev = prob.rev_pair[p];
         let grad_ab = &grads.grads[p];
         let grad_ba = &grads.grads[rev];
+        if packed {
+            pb_l_a.pack(norb, norb, g_l.gblock(kq, e + steps, a));
+            pb_g_a.pack(norb, norb, g_g.gblock(kq, e + steps, a));
+            pb_g_b.pack(norb, norb, g_g.gblock(k, e, b));
+            pb_l_b.pack(norb, norb, g_l.gblock(k, e, b));
+        }
         let mut c_l = [C64::ZERO; D_BSZ];
         let mut c_g = [C64::ZERO; D_BSZ];
         for i in 0..3 {
             for j in 0..3 {
-                small_gemm(
-                    dims,
-                    C64::ONE,
-                    grad_ba[i].as_slice(),
-                    g_l.gblock(kq, e + steps, a),
-                    C64::ZERO,
-                    &mut t1,
-                );
-                small_gemm(
-                    dims,
-                    C64::ONE,
-                    grad_ab[j].as_slice(),
-                    g_g.gblock(k, e, b),
-                    C64::ZERO,
-                    &mut t2,
-                );
+                if packed {
+                    small_gemm_pb(
+                        dims,
+                        C64::ONE,
+                        grad_ba[i].as_slice(),
+                        &pb_l_a,
+                        C64::ZERO,
+                        &mut t1,
+                    );
+                    small_gemm_pb(
+                        dims,
+                        C64::ONE,
+                        grad_ab[j].as_slice(),
+                        &pb_g_b,
+                        C64::ZERO,
+                        &mut t2,
+                    );
+                } else {
+                    small_gemm(
+                        dims,
+                        C64::ONE,
+                        grad_ba[i].as_slice(),
+                        g_l.gblock(kq, e + steps, a),
+                        C64::ZERO,
+                        &mut t1,
+                    );
+                    small_gemm(
+                        dims,
+                        C64::ONE,
+                        grad_ab[j].as_slice(),
+                        g_g.gblock(k, e, b),
+                        C64::ZERO,
+                        &mut t2,
+                    );
+                }
                 c_l[j * 3 + i] += trace_product(&t1, &t2, norb);
-                small_gemm(
-                    dims,
-                    C64::ONE,
-                    grad_ba[i].as_slice(),
-                    g_g.gblock(kq, e + steps, a),
-                    C64::ZERO,
-                    &mut t1,
-                );
-                small_gemm(
-                    dims,
-                    C64::ONE,
-                    grad_ab[j].as_slice(),
-                    g_l.gblock(k, e, b),
-                    C64::ZERO,
-                    &mut t2,
-                );
+                if packed {
+                    small_gemm_pb(
+                        dims,
+                        C64::ONE,
+                        grad_ba[i].as_slice(),
+                        &pb_g_a,
+                        C64::ZERO,
+                        &mut t1,
+                    );
+                    small_gemm_pb(
+                        dims,
+                        C64::ONE,
+                        grad_ab[j].as_slice(),
+                        &pb_l_b,
+                        C64::ZERO,
+                        &mut t2,
+                    );
+                } else {
+                    small_gemm(
+                        dims,
+                        C64::ONE,
+                        grad_ba[i].as_slice(),
+                        g_g.gblock(kq, e + steps, a),
+                        C64::ZERO,
+                        &mut t1,
+                    );
+                    small_gemm(
+                        dims,
+                        C64::ONE,
+                        grad_ab[j].as_slice(),
+                        g_l.gblock(k, e, b),
+                        C64::ZERO,
+                        &mut t2,
+                    );
+                }
                 c_g[j * 3 + i] += trace_product(&t1, &t2, norb);
             }
         }
@@ -381,6 +469,9 @@ pub fn pi_round_update_into(
     }
     ws.give_buf(t1);
     ws.give_buf(t2);
+    for pb in [pb_l_a, pb_g_a, pb_l_b, pb_g_b] {
+        ws.give_packed_b(pb);
+    }
 }
 
 #[cfg(test)]

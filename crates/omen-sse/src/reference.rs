@@ -55,7 +55,7 @@ pub fn d_combination(
     d_combination_from(d, q, w, pair, rev, a, b, d.npairs)
 }
 
-/// Generic variant of [`d_combination`] over any [`DBlocks`] store (used by
+/// Generic variant of [`d_combination`] over any [`crate::point_kernels::DBlocks`] store (used by
 /// the distributed plans, whose `D` blocks live in per-rank hash maps).
 #[inline]
 #[allow(clippy::too_many_arguments)]

@@ -20,7 +20,10 @@
 use crate::problem::SseProblem;
 use crate::reference::SseOutput;
 use crate::tensors::{DLayout, DTensor, GLayout, GTensor, D_BSZ};
-use omen_linalg::{sbsmm, small_gemm, BatchDims, Strides, C64};
+use omen_linalg::{
+    give_tls_packed_b, sbsmm, sbsmm_pb, small_gemm, take_tls_packed_b, use_packed_kernel,
+    BatchDims, Strides, C64,
+};
 use rayon::prelude::*;
 
 /// The transient arrays produced by map fission (step ❶), kept public so
@@ -262,6 +265,12 @@ pub fn consume_transients_into(prob: &SseProblem, tr: &Transients, out: &mut Sse
 
     let flops_c: u64 = {
         // Parallel over atoms: each atom owns a contiguous output chunk.
+        // When the block shape amortizes packing, each ∇H·D block is packed
+        // once per (pair, i, qz, ω) into split-complex micro-panels
+        // (thread-local `PackedB`s, warm after the first atom) and swept by
+        // the FMA micro-kernel across the whole kz loop and all four Σ^≷
+        // updates; tiny blocks keep the scalar batched loop.
+        let packed = use_packed_kernel(dims);
         let sl = sigma_l.as_mut_slice();
         let sg = sigma_g.as_mut_slice();
         sl.par_chunks_mut(atom_chunk)
@@ -274,6 +283,8 @@ pub fn consume_transients_into(prob: &SseProblem, tr: &Transients, out: &mut Sse
                     b: 0,
                     c: bsz,
                 };
+                let mut pb_l = take_tls_packed_b();
+                let mut pb_g = take_tls_packed_b();
                 for p in offsets[a]..offsets[a + 1] {
                     for i in 0..3 {
                         for q in 0..nq {
@@ -287,63 +298,73 @@ pub fn consume_transients_into(prob: &SseProblem, tr: &Transients, out: &mut Sse
                                     [tr.hd_offset(p, i, q, m)..tr.hd_offset(p, i, q, m) + bsz];
                                 let hd_g_blk = &tr.hd_g
                                     [tr.hd_offset(p, i, q, m)..tr.hd_offset(p, i, q, m) + bsz];
+                                if packed {
+                                    pb_l.pack(norb, norb, hd_l_blk);
+                                    pb_g.pack(norb, norb, hd_g_blk);
+                                }
                                 for k in 0..nk {
                                     let kk = prob.k_minus_q(k, q);
                                     let out_base = k * ne * bsz;
                                     // Emission: Σ(e) += hg(e−steps) · hd,
-                                    // batched over e ∈ [steps, ne).
+                                    // batched over e ∈ [steps, ne);
+                                    // absorption: Σ(e) += hg(e+steps) · hd',
+                                    // batched over e ∈ [0, ne−steps).
                                     let a0 = tr.hg_offset(p, i, kk, 0);
                                     let c0 = out_base + steps * bsz;
-                                    sbsmm(
-                                        dims,
-                                        batch,
-                                        C64::ONE,
-                                        &tr.hg_l[a0..a0 + batch * bsz],
-                                        hd_l_blk,
-                                        C64::ONE,
-                                        &mut out_l[c0..c0 + batch * bsz],
-                                        strides,
-                                    );
-                                    sbsmm(
-                                        dims,
-                                        batch,
-                                        C64::ONE,
-                                        &tr.hg_g[a0..a0 + batch * bsz],
-                                        hd_g_blk,
-                                        C64::ONE,
-                                        &mut out_g[c0..c0 + batch * bsz],
-                                        strides,
-                                    );
-                                    // Absorption: Σ(e) += hg(e+steps) · hd',
-                                    // batched over e ∈ [0, ne−steps).
                                     let a1 = tr.hg_offset(p, i, kk, steps);
                                     let c1 = out_base;
-                                    sbsmm(
-                                        dims,
-                                        batch,
-                                        C64::ONE,
-                                        &tr.hg_l[a1..a1 + batch * bsz],
-                                        hd_g_blk,
-                                        C64::ONE,
-                                        &mut out_l[c1..c1 + batch * bsz],
-                                        strides,
-                                    );
-                                    sbsmm(
-                                        dims,
-                                        batch,
-                                        C64::ONE,
-                                        &tr.hg_g[a1..a1 + batch * bsz],
-                                        hd_l_blk,
-                                        C64::ONE,
-                                        &mut out_g[c1..c1 + batch * bsz],
-                                        strides,
-                                    );
+                                    if packed {
+                                        let mul = |hg: &[C64],
+                                                       ax: usize,
+                                                       pb: &omen_linalg::PackedB,
+                                                       out: &mut [C64],
+                                                       cx: usize| {
+                                            sbsmm_pb(
+                                                dims,
+                                                batch,
+                                                C64::ONE,
+                                                &hg[ax..ax + batch * bsz],
+                                                bsz,
+                                                pb,
+                                                C64::ONE,
+                                                &mut out[cx..cx + batch * bsz],
+                                                bsz,
+                                            );
+                                        };
+                                        mul(&tr.hg_l, a0, &pb_l, out_l, c0);
+                                        mul(&tr.hg_g, a0, &pb_g, out_g, c0);
+                                        mul(&tr.hg_l, a1, &pb_g, out_l, c1);
+                                        mul(&tr.hg_g, a1, &pb_l, out_g, c1);
+                                    } else {
+                                        let mul = |hg: &[C64],
+                                                       ax: usize,
+                                                       hd: &[C64],
+                                                       out: &mut [C64],
+                                                       cx: usize| {
+                                            sbsmm(
+                                                dims,
+                                                batch,
+                                                C64::ONE,
+                                                &hg[ax..ax + batch * bsz],
+                                                hd,
+                                                C64::ONE,
+                                                &mut out[cx..cx + batch * bsz],
+                                                strides,
+                                            );
+                                        };
+                                        mul(&tr.hg_l, a0, hd_l_blk, out_l, c0);
+                                        mul(&tr.hg_g, a0, hd_g_blk, out_g, c0);
+                                        mul(&tr.hg_l, a1, hd_g_blk, out_l, c1);
+                                        mul(&tr.hg_g, a1, hd_l_blk, out_g, c1);
+                                    }
                                     flops += 4 * batch as u64 * dims.flops();
                                 }
                             }
                         }
                     }
                 }
+                give_tls_packed_b(pb_l);
+                give_tls_packed_b(pb_g);
                 flops
             })
             .sum()
