@@ -12,7 +12,7 @@ fn main() {
     cfg.tolerance = 1e-9;
 
     // (a) output value distribution of Σ< (real/imaginary planes).
-    let sim = Simulation::new(cfg.clone()).expect("valid config");
+    let mut sim = Simulation::new(cfg.clone()).expect("valid config");
     let (gl, gg, dl, dg, _, _) = sim.gf_phase();
     let out = sim.sse_phase(&gl, &gg, &dl, &dg);
     let sl = out.sigma_l.to_layout(omen_sse::GLayout::PairMajor);

@@ -1,80 +1,114 @@
-//! CI perf-regression gate for the packed kernels.
+//! CI perf-regression gate over the committed bench trajectory files.
 //!
-//! Two checks, both against `--json --quick` smoke output; either failing
+//! Accepts repeated `--baseline <committed.json> --fresh <new.json>`
+//! pairs (matched positionally) and runs two checks per pair; any failure
 //! exits 1:
 //!
-//! 1. **Baseline comparison** — every packed-kernel `_quick` record in the
-//!    fresh `BENCH_kernels.json` is compared against the committed
-//!    baseline copy and must not regress by more than the noise tolerance
-//!    (default 2×, wide because hosted-runner generations differ).
-//! 2. **Within-run speedup floor** — machine-independent backstop for the
-//!    cross-machine variance of (1): in the *same* fresh file, the packed
-//!    batched kernel must beat the scalar loop by at least
-//!    `--min-speedup` (default 1.2×) on the stage-C shape.
+//! 1. **Baseline comparison** — every gated `_quick` record in the fresh
+//!    file is compared against the committed baseline copy and must not
+//!    regress by more than the noise tolerance (default 2×, wide because
+//!    hosted-runner generations differ). A baseline *file* that does not
+//!    exist yet (a bench family added in the current PR) is reported
+//!    per-file and its records count as new — it does not trip the
+//!    vacuous-gate failure, which now only fires when *no pair at all*
+//!    produced a comparison or a new record.
+//! 2. **Within-run floors** — machine-independent backstops computed
+//!    inside a single fresh file, applied only when that family's records
+//!    are present: the packed batched kernel must beat the scalar loop by
+//!    `--min-speedup` (default 1.2×) on the stage-C shape, and the
+//!    warm-started sweep must save Born iterations (strict, deterministic)
+//!    while keeping at least `--min-sweep-speedup` (default 0.9×) of the
+//!    cold sweep's points/second. The iteration count is the real warm-
+//!    start gate — it is exact on every machine; the quick sweep's wall
+//!    clock is noise-dominated on small runners (only ~10 % of its
+//!    iterations are saved), so its throughput floor is a gross-regression
+//!    backstop, not a speedup assertion. The full-mode records committed
+//!    in `BENCH_sweeps.json` carry the measured speedup.
 //!
-//! Only records whose name contains `packed` and carries the `_quick`
-//! suffix are gated — full-mode records are committed for the README
-//! table but re-measured rarely.
+//! Gated records: names containing `packed`, or starting with `sweep_`,
+//! with the `_quick` suffix — full-mode records are committed for the
+//! README table but re-measured rarely.
 //!
 //! ```text
-//! perf_check --baseline <committed.json> --fresh <new.json>
-//!            [--tolerance 2.0] [--min-speedup 1.2]
+//! perf_check --baseline BENCH_kernels.json --fresh fresh_kernels.json \
+//!            --baseline BENCH_sweeps.json  --fresh fresh_sweeps.json \
+//!            [--tolerance 2.0] [--min-speedup 1.2] [--min-sweep-speedup 0.9]
 //! ```
 
 use omen_bench::{parse_bench_json, BenchRecord};
 use std::process::ExitCode;
 
-fn load(path: &str) -> Vec<BenchRecord> {
-    match std::fs::read_to_string(path) {
-        Ok(text) => parse_bench_json(&text),
-        Err(e) => {
-            eprintln!("perf_check: cannot read {path}: {e}");
-            Vec::new()
-        }
-    }
+fn arg_values(args: &[String], flag: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == flag)
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect()
 }
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+    arg_values(args, flag).pop()
 }
 
-/// `true` for records the gate covers: packed-kernel quick-mode entries.
+/// `true` for records the gate covers: packed-kernel and sweep-service
+/// quick-mode entries.
 fn gated(name: &str) -> bool {
-    name.contains("packed") && name.ends_with("_quick")
+    (name.contains("packed") || name.starts_with("sweep_")) && name.ends_with("_quick")
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let baseline_path = arg_value(&args, "--baseline").unwrap_or_else(|| {
-        eprintln!("perf_check: --baseline <path> is required");
-        std::process::exit(2);
-    });
-    let fresh_path = arg_value(&args, "--fresh").unwrap_or_else(|| {
-        eprintln!("perf_check: --fresh <path> is required");
-        std::process::exit(2);
-    });
-    let tolerance: f64 = arg_value(&args, "--tolerance")
-        .map(|t| t.parse().expect("--tolerance must be a number"))
-        .unwrap_or(2.0);
-    let min_speedup: f64 = arg_value(&args, "--min-speedup")
-        .map(|t| t.parse().expect("--min-speedup must be a number"))
-        .unwrap_or(1.2);
+/// Outcome of one baseline/fresh pair.
+struct PairOutcome {
+    compared: usize,
+    new_records: usize,
+    regressed: usize,
+    failed_floors: usize,
+}
 
-    let baseline = load(&baseline_path);
-    let fresh = load(&fresh_path);
+fn check_pair(
+    baseline_path: &str,
+    fresh_path: &str,
+    tolerance: f64,
+    min_speedup: f64,
+    min_sweep_speedup: f64,
+) -> PairOutcome {
+    let mut out = PairOutcome {
+        compared: 0,
+        new_records: 0,
+        regressed: 0,
+        failed_floors: 0,
+    };
+    let fresh = match std::fs::read_to_string(fresh_path) {
+        Ok(text) => parse_bench_json(&text),
+        Err(e) => {
+            // A missing *fresh* file means the smoke run did not happen —
+            // that is a hard failure, not a skip.
+            eprintln!("perf_check: cannot read fresh {fresh_path}: {e}");
+            out.failed_floors += 1;
+            return out;
+        }
+    };
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => Some(parse_bench_json(&text)),
+        Err(_) => {
+            // Per-file report: a bench family introduced in this PR has no
+            // committed baseline yet. Its records are new, not vacuous.
+            println!(
+                "{baseline_path}: no committed baseline — reporting {fresh_path} records as new"
+            );
+            None
+        }
+    };
 
-    let mut compared = 0usize;
-    let mut regressed = 0usize;
-    println!("perf_check: packed-kernel quick records, tolerance {tolerance:.2}x\n");
     println!(
-        "{:<36} {:>14} {:>14} {:>8}",
+        "\n{fresh_path} vs {baseline_path} (tolerance {tolerance:.2}x)\n{:<36} {:>14} {:>14} {:>8}",
         "name", "baseline [us]", "fresh [us]", "ratio"
     );
     for f in fresh.iter().filter(|r| gated(&r.name)) {
-        let Some(b) = baseline.iter().find(|r| r.name == f.name) else {
+        let b = baseline
+            .as_ref()
+            .and_then(|b| b.iter().find(|r| r.name == f.name));
+        let Some(b) = b else {
+            out.new_records += 1;
             println!(
                 "{:<36} {:>14} {:>14.1} {:>8}",
                 f.name,
@@ -84,10 +118,10 @@ fn main() -> ExitCode {
             );
             continue;
         };
-        compared += 1;
+        out.compared += 1;
         let ratio = f.median_ns / b.median_ns;
         let verdict = if ratio > tolerance {
-            regressed += 1;
+            out.regressed += 1;
             "FAIL"
         } else {
             "ok"
@@ -101,50 +135,137 @@ fn main() -> ExitCode {
         );
     }
 
-    if compared == 0 {
-        eprintln!(
-            "\nperf_check: no packed-kernel quick records matched between {baseline_path} and \
-             {fresh_path} — the gate would be vacuous; failing"
-        );
-        return ExitCode::FAILURE;
-    }
-    if regressed > 0 {
-        eprintln!(
-            "\nperf_check: {regressed}/{compared} packed records regressed beyond {tolerance:.2}x"
-        );
-        return ExitCode::FAILURE;
-    }
-    println!("\nperf_check: {compared} packed records within tolerance");
-
-    // Within-run floor: both records come from the same fresh run on the
-    // same machine, so this ratio is immune to runner-class variance.
-    let pair = |prefix: &str| {
+    // Within-run floors, applied per family present in this fresh file.
+    // Both sides of a floor come from the same run on the same machine,
+    // so the ratios are immune to runner-class variance.
+    let find = |prefix: &str| {
         fresh
             .iter()
             .find(|r| r.name.starts_with(prefix) && r.name.ends_with("_quick"))
     };
-    match (pair("sbsmm_packed_sseC"), pair("sbsmm_scalar_sseC")) {
-        (Some(packed), Some(scalar)) => {
-            let speedup = scalar.median_ns / packed.median_ns;
-            println!(
-                "within-run: {} vs {}: {speedup:.2}x (floor {min_speedup:.2}x)",
-                packed.name, scalar.name
-            );
-            if speedup < min_speedup {
-                eprintln!(
-                    "\nperf_check: packed sbsmm speedup {speedup:.2}x fell below the \
-                     {min_speedup:.2}x floor"
+    if fresh.iter().any(|r| r.name.starts_with("sbsmm_")) {
+        match (find("sbsmm_packed_sseC"), find("sbsmm_scalar_sseC")) {
+            (Some(packed), Some(scalar)) => {
+                let speedup = scalar.median_ns / packed.median_ns;
+                println!(
+                    "within-run: {} vs {}: {speedup:.2}x (floor {min_speedup:.2}x)",
+                    packed.name, scalar.name
                 );
-                return ExitCode::FAILURE;
+                if speedup < min_speedup {
+                    eprintln!(
+                        "perf_check: packed sbsmm speedup {speedup:.2}x fell below the \
+                         {min_speedup:.2}x floor"
+                    );
+                    out.failed_floors += 1;
+                }
+            }
+            _ => {
+                eprintln!(
+                    "perf_check: {fresh_path} has sbsmm records but lacks the packed/scalar \
+                     quick pair — the floor would be vacuous; failing"
+                );
+                out.failed_floors += 1;
             }
         }
-        _ => {
-            eprintln!(
-                "\nperf_check: fresh {fresh_path} lacks the sbsmm packed/scalar quick pair — \
-                 the within-run floor would be vacuous; failing"
-            );
-            return ExitCode::FAILURE;
+    }
+    if fresh.iter().any(|r| r.name.starts_with("sweep_")) {
+        match (find("sweep_warm"), find("sweep_cold")) {
+            (Some(warm), Some(cold)) => {
+                let speedup = warm.gflops / cold.gflops;
+                println!(
+                    "within-run: {} vs {}: {speedup:.2}x points/s (floor \
+                     {min_sweep_speedup:.2}x), Born iterations {} vs {}",
+                    warm.name, cold.name, warm.n, cold.n
+                );
+                if speedup < min_sweep_speedup {
+                    eprintln!(
+                        "perf_check: warm sweep throughput {speedup:.2}x fell below the \
+                         {min_sweep_speedup:.2}x floor"
+                    );
+                    out.failed_floors += 1;
+                }
+                if warm.n >= cold.n {
+                    eprintln!(
+                        "perf_check: warm sweep saved no Born iterations ({} vs {})",
+                        warm.n, cold.n
+                    );
+                    out.failed_floors += 1;
+                }
+            }
+            _ => {
+                eprintln!(
+                    "perf_check: {fresh_path} has sweep records but lacks the warm/cold quick \
+                     pair — the floor would be vacuous; failing"
+                );
+                out.failed_floors += 1;
+            }
         }
     }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baselines = arg_values(&args, "--baseline");
+    let freshes = arg_values(&args, "--fresh");
+    if baselines.is_empty() || baselines.len() != freshes.len() {
+        eprintln!(
+            "perf_check: need matched --baseline/--fresh pairs (got {} baselines, {} fresh)",
+            baselines.len(),
+            freshes.len()
+        );
+        return ExitCode::from(2);
+    }
+    let tolerance: f64 = arg_value(&args, "--tolerance")
+        .map(|t| t.parse().expect("--tolerance must be a number"))
+        .unwrap_or(2.0);
+    let min_speedup: f64 = arg_value(&args, "--min-speedup")
+        .map(|t| t.parse().expect("--min-speedup must be a number"))
+        .unwrap_or(1.2);
+    let min_sweep_speedup: f64 = arg_value(&args, "--min-sweep-speedup")
+        .map(|t| t.parse().expect("--min-sweep-speedup must be a number"))
+        .unwrap_or(0.9);
+
+    let mut compared = 0usize;
+    let mut new_records = 0usize;
+    let mut regressed = 0usize;
+    let mut failed_floors = 0usize;
+    for (baseline_path, fresh_path) in baselines.iter().zip(&freshes) {
+        let outcome = check_pair(
+            baseline_path,
+            fresh_path,
+            tolerance,
+            min_speedup,
+            min_sweep_speedup,
+        );
+        compared += outcome.compared;
+        new_records += outcome.new_records;
+        regressed += outcome.regressed;
+        failed_floors += outcome.failed_floors;
+    }
+
+    if compared == 0 && new_records == 0 {
+        eprintln!(
+            "\nperf_check: no gated quick records matched in any baseline/fresh pair — the gate \
+             would be vacuous; failing"
+        );
+        return ExitCode::FAILURE;
+    }
+    if regressed > 0 {
+        eprintln!("\nperf_check: {regressed}/{compared} records regressed beyond {tolerance:.2}x");
+        return ExitCode::FAILURE;
+    }
+    if failed_floors > 0 {
+        eprintln!("\nperf_check: {failed_floors} within-run floor check(s) failed");
+        return ExitCode::FAILURE;
+    }
+    println!("\nperf_check: {compared} compared ({new_records} new) — all within tolerance");
     ExitCode::SUCCESS
+}
+
+// `BenchRecord` is only named in type position above; keep a use so the
+// import list stays honest if the gate grows.
+#[allow(dead_code)]
+fn _record_type_anchor(r: &BenchRecord) -> &str {
+    &r.name
 }

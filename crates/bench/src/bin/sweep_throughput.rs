@@ -1,0 +1,118 @@
+//! Sweep-service throughput: cold independent solves vs the warm-started
+//! sweep through `omen-serve`.
+//!
+//! Runs the same FinFET bias sweep twice — once as isolated cold
+//! simulations, once as a server job whose points warm-start from their
+//! neighbors — and reports sweep-points/second plus the measured Born
+//! iteration counts. `--json` merges the records into
+//! `BENCH_sweeps.json`; `--quick` shrinks the sweep for CI smoke runs.
+//!
+//! Record encoding: `n` carries the *total Born iterations* of the sweep
+//! (the physical work), `median_ns` the wall time per point, and `gflops`
+//! the sweep throughput in points/second.
+
+use omen_bench::{
+    header, json_flag, quick_flag, row, write_bench_json, BenchRecord, BENCH_SWEEPS_JSON_PATH,
+};
+use omen_core::Simulation;
+use omen_serve::{CacheConfig, ServerConfig, SweepServer, SweepSpec};
+use std::time::Instant;
+
+fn main() {
+    let quick = quick_flag();
+    let points = if quick { 4 } else { 8 };
+    let suffix = if quick { "_quick" } else { "" };
+    let spec = SweepSpec::finfet_bias(points);
+    println!(
+        "sweep_throughput: {points}-point FinFET bias sweep ({:.2} .. {:.2} eV)\n",
+        spec.values[0],
+        spec.values[points - 1]
+    );
+
+    // --- cold: every point an independent simulation ---
+    let t0 = Instant::now();
+    let mut cold_iters = 0u32;
+    let mut cold_currents = Vec::with_capacity(points);
+    for i in 0..points {
+        let run = Simulation::new(spec.config_for(i))
+            .expect("valid sweep point")
+            .run();
+        cold_iters += run.records.len() as u32;
+        cold_currents.push(run.current());
+    }
+    let cold_secs = t0.elapsed().as_secs_f64();
+
+    // --- warm: the same sweep as one server job ---
+    let server = SweepServer::start(ServerConfig {
+        workers: 1,
+        cache: CacheConfig::default(),
+    });
+    let t0 = Instant::now();
+    let result = server
+        .submit(spec)
+        .expect("valid sweep")
+        .wait()
+        .expect("sweep completes");
+    let warm_secs = t0.elapsed().as_secs_f64();
+    let m = result.metrics;
+
+    let widths = [10usize, 12, 12, 14, 12];
+    header(
+        &["variant", "points/s", "secs", "born iters", "warm pts"],
+        &widths,
+    );
+    row(
+        &[
+            "cold".into(),
+            format!("{:.3}", points as f64 / cold_secs),
+            format!("{cold_secs:.2}"),
+            format!("{cold_iters}"),
+            "0".into(),
+        ],
+        &widths,
+    );
+    row(
+        &[
+            "warm".into(),
+            format!("{:.3}", points as f64 / warm_secs),
+            format!("{warm_secs:.2}"),
+            format!("{}", m.born_iterations),
+            format!("{}", m.warm_points),
+        ],
+        &widths,
+    );
+    println!(
+        "\nwarm start: {:.2}x points/s, {} Born iterations saved, cache hit rate {:.0}%",
+        cold_secs / warm_secs,
+        m.iterations_saved,
+        100.0 * m.cache_hit_rate()
+    );
+    for (p, cold) in result.points.iter().zip(&cold_currents) {
+        let rel = ((p.current - cold) / cold).abs();
+        assert!(
+            rel < 1e-2,
+            "warm observable drifted from cold at {}: rel {rel}",
+            p.value
+        );
+    }
+
+    if json_flag() {
+        let per_point = |secs: f64| secs * 1e9 / points as f64;
+        let records = [
+            BenchRecord {
+                name: format!("sweep_cold{suffix}"),
+                n: cold_iters as usize,
+                median_ns: per_point(cold_secs),
+                gflops: points as f64 / cold_secs,
+            },
+            BenchRecord {
+                name: format!("sweep_warm{suffix}"),
+                n: m.born_iterations as usize,
+                median_ns: per_point(warm_secs),
+                gflops: points as f64 / warm_secs,
+            },
+        ];
+        write_bench_json(BENCH_SWEEPS_JSON_PATH, &records).expect("write BENCH_sweeps.json");
+        println!("wrote {BENCH_SWEEPS_JSON_PATH}");
+    }
+}

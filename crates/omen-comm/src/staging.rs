@@ -89,6 +89,32 @@ pub fn unpack_bytes(payload: &[C64], len: usize) -> Vec<u8> {
     out
 }
 
+/// Encodes a tagged byte message as a self-describing `C64` frame for
+/// transport through the simulated MPI (or any `C64` channel): one
+/// header element carrying `(kind, len)` followed by the packed payload.
+///
+/// This is the wire format of `omen-serve`'s job/result messages — the
+/// same bit-preserving packing the staged material broadcast uses.
+pub fn encode_frame(kind: u32, payload: &[u8]) -> Vec<C64> {
+    let mut frame = Vec::with_capacity(1 + payload.len().div_ceil(16));
+    frame.push(c64(kind as f64, payload.len() as f64));
+    frame.extend_from_slice(&pack_bytes(payload));
+    frame
+}
+
+/// Decodes a frame produced by [`encode_frame`], returning the message
+/// kind and payload bytes. `None` when the frame is empty or its header
+/// disagrees with its body length.
+pub fn decode_frame(frame: &[C64]) -> Option<(u32, Vec<u8>)> {
+    let header = frame.first()?;
+    let kind = header.re as u32;
+    let len = header.im as usize;
+    if frame.len() != 1 + len.div_ceil(16) {
+        return None;
+    }
+    Some((kind, unpack_bytes(&frame[1..], len)))
+}
+
 /// Executable staging: `root` holds the serialized material file; all
 /// ranks return the full byte vector after a chunked broadcast.
 pub fn stage_material(
@@ -144,6 +170,20 @@ mod tests {
         // Non-multiple-of-16 lengths round-trip too.
         let data2 = &data[..999];
         assert_eq!(unpack_bytes(&pack_bytes(data2), 999), data2);
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let payload: Vec<u8> = (0..333).map(|i| (i * 31 % 253) as u8).collect();
+        let frame = encode_frame(7, &payload);
+        let (kind, back) = decode_frame(&frame).expect("valid frame");
+        assert_eq!(kind, 7);
+        assert_eq!(back, payload);
+        // Empty payloads are a bare header.
+        assert_eq!(decode_frame(&encode_frame(2, &[])), Some((2, Vec::new())));
+        // Truncated or empty frames are rejected, not mis-read.
+        assert_eq!(decode_frame(&frame[..frame.len() - 1]), None);
+        assert_eq!(decode_frame(&[]), None);
     }
 
     #[test]

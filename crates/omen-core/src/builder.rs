@@ -35,8 +35,8 @@ impl KernelVariant {
     /// Constructs the trait-object kernel this variant names.
     pub fn to_kernel(self) -> Box<dyn SseKernel> {
         match self {
-            KernelVariant::Reference => Box::new(ReferenceKernel),
-            KernelVariant::Transformed => Box::new(TransformedKernel),
+            KernelVariant::Reference => Box::new(ReferenceKernel::new()),
+            KernelVariant::Transformed => Box::new(TransformedKernel::new()),
             KernelVariant::Mixed(normalization) => {
                 Box::new(MixedKernel::new(MixedConfig { normalization }))
             }

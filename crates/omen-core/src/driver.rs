@@ -23,8 +23,12 @@ use crate::observables::{
 use crate::state::{pi_blocks_for_point, sigma_blocks_for_point, zero_tensors};
 use omen_device::DeviceStructure;
 use omen_linalg::WorkspacePool;
-use omen_rgf::{ElectronParams, ElectronSolver, GfSolver, PhaseTimes, PhononParams, PhononSolver};
+use omen_rgf::{
+    BoundaryCache, BoundaryCacheStats, CacheMode, ElectronParams, ElectronSolver, GfSolver,
+    PhaseTimes, PhononParams, PhononSolver,
+};
 use omen_sse::{DTensor, GLayout, GTensor, SseKernel, SseProblem};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Accumulated per-iteration observables.
@@ -44,6 +48,10 @@ pub struct IterationRecord {
     pub sse_seconds: f64,
     /// SSE flops this iteration.
     pub sse_flops: u64,
+    /// Relative `Σ^<` change against the previous iteration's kernel
+    /// output (`None` on the first application) — a convergence
+    /// diagnostic read off the kernel's double buffer for free.
+    pub sigma_rel_change: Option<f64>,
 }
 
 /// Energy/space-resolved outputs of the GF phase of the last iteration.
@@ -93,10 +101,89 @@ pub struct Simulation {
     sigma_g: GTensor,
     pi_l: DTensor,
     pi_g: DTensor,
+    /// Reusable layout-normalization buffers for the mixing step (the
+    /// transformed/mixed kernels emit atom-major Σ; the driver state is
+    /// pair-major). Empty until first needed; never reallocated after.
+    conv_sl: GTensor,
+    conv_sg: GTensor,
+    /// Boundary-condition caches shared across workers and Born
+    /// iterations (`None` under [`CacheMode::NoCache`]). The boundary
+    /// self-energies never depend on the scattering self-energies, so
+    /// these stay valid for the whole run — and they are the carrier of
+    /// cross-sweep-point warm starts (see [`Simulation::warm_start_from`]).
+    el_bc: Option<Arc<BoundaryCache>>,
+    ph_bc: Option<Arc<BoundaryCache>>,
+    /// True when state tensors were seeded from a neighboring sweep
+    /// point: the first GF phase then folds the seeded Σ/Π in instead of
+    /// starting ballistic.
+    seeded: bool,
+    /// Reverse-pair table of the device, computed once so per-iteration
+    /// [`SseProblem`] construction is allocation-free.
+    rev_pair: Vec<usize>,
     iteration: usize,
     last_current: Option<f64>,
     last_spectral: Option<SpectralData>,
 }
+
+/// Σ/Π state and boundary caches exported from a (converged) simulation,
+/// ready to seed a neighboring sweep point (see
+/// [`Simulation::warm_start_from`]).
+#[derive(Clone)]
+pub struct WarmStartData {
+    /// Converged electron scattering self-energies (pair-major).
+    pub sigma_l: GTensor,
+    /// Greater component.
+    pub sigma_g: GTensor,
+    /// Converged phonon scattering self-energies (point-major).
+    pub pi_l: DTensor,
+    /// Greater component.
+    pub pi_g: DTensor,
+    /// Electron boundary cache (shared handle; cloned on import).
+    pub el_bc: Option<Arc<BoundaryCache>>,
+    /// Phonon boundary cache.
+    pub ph_bc: Option<Arc<BoundaryCache>>,
+}
+
+impl WarmStartData {
+    /// Approximate resident bytes (sweep-cache memory accounting).
+    pub fn bytes(&self) -> usize {
+        self.sigma_l.bytes()
+            + self.sigma_g.bytes()
+            + self.pi_l.bytes()
+            + self.pi_g.bytes()
+            + self.el_bc.as_ref().map_or(0, |c| c.bytes())
+            + self.ph_bc.as_ref().map_or(0, |c| c.bytes())
+    }
+}
+
+/// Why a [`Simulation::warm_start_from`] import was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WarmStartError {
+    /// The donor's tensors were sized for different grids or a different
+    /// device.
+    ShapeMismatch(&'static str),
+    /// The simulation already ran iterations; seeding would silently
+    /// discard its own state.
+    AlreadyRunning,
+}
+
+impl std::fmt::Display for WarmStartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WarmStartError::ShapeMismatch(what) => {
+                write!(
+                    f,
+                    "warm-start data incompatible with this simulation: {what}"
+                )
+            }
+            WarmStartError::AlreadyRunning => {
+                write!(f, "cannot warm-start a simulation that already iterated")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WarmStartError {}
 
 impl Simulation {
     /// Builds the simulation (device assembly included), validating the
@@ -113,6 +200,10 @@ impl Simulation {
         let (sigma_l, sigma_g, pi_l, pi_g) =
             zero_tensors(&device, config.nk, config.ne, config.nk, config.nw);
         let kernel = config.kernel.to_kernel();
+        let caching = config.cache_mode != CacheMode::NoCache;
+        let el_bc = caching.then(|| Arc::new(BoundaryCache::new(config.nk * config.ne)));
+        let ph_bc = caching.then(|| Arc::new(BoundaryCache::new(config.nk * config.nw)));
+        let rev_pair = omen_sse::compute_rev_pair(&device);
         Ok(Simulation {
             config,
             device,
@@ -126,6 +217,12 @@ impl Simulation {
             sigma_g,
             pi_l,
             pi_g,
+            conv_sl: GTensor::default(),
+            conv_sg: GTensor::default(),
+            el_bc,
+            ph_bc,
+            seeded: false,
+            rev_pair,
             iteration: 0,
             last_current: None,
             last_spectral: None,
@@ -155,13 +252,128 @@ impl Simulation {
         self.iteration
     }
 
+    /// Usage counters of the shared boundary caches `(electron, phonon)`,
+    /// or `None` under [`CacheMode::NoCache`].
+    pub fn boundary_stats(&self) -> Option<(BoundaryCacheStats, BoundaryCacheStats)> {
+        match (&self.el_bc, &self.ph_bc) {
+            (Some(e), Some(p)) => Some((e.stats(), p.stats())),
+            _ => None,
+        }
+    }
+
+    /// Exports this simulation's converged Σ/Π state and boundary caches
+    /// as a warm start for a neighboring sweep point.
+    pub fn warm_start_data(&self) -> WarmStartData {
+        WarmStartData {
+            sigma_l: self.sigma_l.clone(),
+            sigma_g: self.sigma_g.clone(),
+            pi_l: self.pi_l.clone(),
+            pi_g: self.pi_g.clone(),
+            el_bc: self.el_bc.clone(),
+            ph_bc: self.ph_bc.clone(),
+        }
+    }
+
+    /// Seeds this (fresh) simulation from a neighboring sweep point's
+    /// converged state:
+    ///
+    /// * the donor's Σ^≷/Π^≷ become the initial scattering self-energies,
+    ///   so the first GF phase starts dressed instead of ballistic and the
+    ///   Born loop converges in fewer iterations;
+    /// * the donor's boundary caches carry over — intact when
+    ///   `boundary_changed` is `false` (temperature/coupling sweeps never
+    ///   enter the ballistic operator `M`), demoted to surface-GF seeds
+    ///   when `true` (bias sweeps shift the potential in the lead blocks;
+    ///   seeds are refined to this point's own equations, so warm results
+    ///   stay exact).
+    ///
+    /// Convergence is still judged by this simulation's own tolerance
+    /// against its own current history: seeding changes the starting
+    /// point, not the fixed point.
+    pub fn warm_start_from(&mut self, data: &WarmStartData) -> Result<(), WarmStartError> {
+        self.warm_start_with(data, true)
+    }
+
+    /// [`Simulation::warm_start_from`] with an explicit flag for whether
+    /// the sweep axis changed the ballistic boundary operators (`true` is
+    /// always safe; `false` skips even the seed refinement).
+    pub fn warm_start_with(
+        &mut self,
+        data: &WarmStartData,
+        boundary_changed: bool,
+    ) -> Result<(), WarmStartError> {
+        if self.iteration > 0 {
+            return Err(WarmStartError::AlreadyRunning);
+        }
+        let g = &self.sigma_l;
+        let d = &data.sigma_l;
+        if (g.nk, g.ne, g.na, g.norb, g.layout) != (d.nk, d.ne, d.na, d.norb, d.layout) {
+            return Err(WarmStartError::ShapeMismatch("electron Σ tensors"));
+        }
+        let p = &self.pi_l;
+        let q = &data.pi_l;
+        if (p.nq, p.nw, p.npairs, p.na, p.layout) != (q.nq, q.nw, q.npairs, q.na, q.layout) {
+            return Err(WarmStartError::ShapeMismatch("phonon Π tensors"));
+        }
+        if let (Some(own), Some(donor)) = (&self.el_bc, &data.el_bc) {
+            if own.len() != donor.len() {
+                return Err(WarmStartError::ShapeMismatch("electron boundary cache"));
+            }
+        }
+        if let (Some(own), Some(donor)) = (&self.ph_bc, &data.ph_bc) {
+            if own.len() != donor.len() {
+                return Err(WarmStartError::ShapeMismatch("phonon boundary cache"));
+            }
+        }
+        self.sigma_l
+            .as_mut_slice()
+            .copy_from_slice(data.sigma_l.as_slice());
+        self.sigma_g
+            .as_mut_slice()
+            .copy_from_slice(data.sigma_g.as_slice());
+        self.pi_l
+            .as_mut_slice()
+            .copy_from_slice(data.pi_l.as_slice());
+        self.pi_g
+            .as_mut_slice()
+            .copy_from_slice(data.pi_g.as_slice());
+        if self.el_bc.is_some() {
+            if let Some(donor) = &data.el_bc {
+                // The electron ballistic operator contains the
+                // electrostatic potential: a bias step invalidates the
+                // cached self-energies but their surface GFs remain
+                // excellent iteration seeds.
+                self.el_bc = Some(Arc::new(if boundary_changed {
+                    donor.seed_clone()
+                } else {
+                    donor.fresh_clone()
+                }));
+            }
+        }
+        if self.ph_bc.is_some() {
+            if let Some(donor) = &data.ph_bc {
+                // The dynamical matrix never sees bias, temperature, or
+                // coupling: phonon boundaries carry over exactly.
+                self.ph_bc = Some(Arc::new(donor.fresh_clone()));
+            }
+        }
+        self.seeded = true;
+        Ok(())
+    }
+
+    /// True when this simulation was seeded via
+    /// [`Simulation::warm_start_from`].
+    pub fn is_seeded(&self) -> bool {
+        self.seeded
+    }
+
     /// The SSE problem bound to this simulation's grids and couplings.
     pub fn sse_problem(&self) -> SseProblem<'_> {
         let scale_sigma =
             self.config.coupling * self.config.coupling * self.fgrid.weight() * self.kgrid.weight();
         let scale_pi =
             self.config.coupling * self.config.coupling * self.egrid.weight() * self.kgrid.weight();
-        SseProblem::new(
+        SseProblem::with_rev_pair(
             &self.device,
             self.config.nk,
             self.config.ne,
@@ -169,6 +381,7 @@ impl Simulation {
             self.config.nw,
             scale_sigma,
             scale_pi,
+            &self.rev_pair,
         )
     }
 
@@ -210,25 +423,38 @@ impl Simulation {
     ) -> (GTensor, GTensor, DTensor, DTensor, SpectralData, PhaseTimes) {
         let dev = &self.device;
         let cfg = &self.config;
-        let have_sigma = self.iteration > 0;
+        // Borrow the fields the worker factories need as locals: the
+        // closures must not capture `self` (the kernel field is only
+        // `Send`, and the factories have to be `Sync`).
+        let potential = &self.potential;
+        let kvals = self.kgrid.values();
+        let evals = self.egrid.values();
+        let fvals = self.fgrid.values();
+        let ws_pool = &self.ws_pool;
+        // Seeded simulations start dressed: the imported Σ/Π enter the
+        // very first GF phase instead of a ballistic pass.
+        let have_sigma = self.iteration > 0 || self.seeded;
         let w_e = self.egrid.weight() * self.kgrid.weight();
         let w_ph = self.fgrid.weight() * self.kgrid.weight();
 
         // --- electrons: pure per-point solves, executor-accumulated ---
-        let eacc =
-            ElectronObservables::new(dev, cfg.nk, self.egrid.values(), self.kgrid.weight(), w_e);
+        let eacc = ElectronObservables::new(dev, cfg.nk, evals.clone(), self.kgrid.weight(), w_e);
         let eparams = self.electron_params();
         let (sigma_l, sigma_g) = (&self.sigma_l, &self.sigma_g);
+        let el_bc = &self.el_bc;
         let make_eworker = || {
             let mut solver = ElectronSolver::new(
                 dev,
-                self.potential.clone(),
+                potential.clone(),
                 eparams,
                 cfg.cache_mode,
-                self.kgrid.values(),
-                self.egrid.values(),
+                kvals.clone(),
+                evals.clone(),
             )
-            .with_workspace_pool(&self.ws_pool);
+            .with_workspace_pool(ws_pool);
+            if let Some(cache) = el_bc {
+                solver = solver.with_shared_boundary(Arc::clone(cache));
+            }
             move |(ik, ie): (usize, usize)| {
                 let out = if have_sigma {
                     let (sr, sl, sg) = sigma_blocks_for_point(dev, sigma_l, sigma_g, ik, ie);
@@ -242,19 +468,17 @@ impl Simulation {
         let eobs = exec.run(&grid_points(cfg.nk, cfg.ne), make_eworker, eacc);
 
         // --- phonons ---
-        let pacc =
-            PhononObservables::new(dev, cfg.nk, self.fgrid.values(), self.kgrid.weight(), w_ph);
+        let pacc = PhononObservables::new(dev, cfg.nk, fvals.clone(), self.kgrid.weight(), w_ph);
         let pparams = self.phonon_params();
         let (pi_l, pi_g) = (&self.pi_l, &self.pi_g);
+        let ph_bc = &self.ph_bc;
         let make_pworker = || {
-            let mut solver = PhononSolver::new(
-                dev,
-                pparams,
-                cfg.cache_mode,
-                self.kgrid.values(),
-                self.fgrid.values(),
-            )
-            .with_workspace_pool(&self.ws_pool);
+            let mut solver =
+                PhononSolver::new(dev, pparams, cfg.cache_mode, kvals.clone(), fvals.clone())
+                    .with_workspace_pool(ws_pool);
+            if let Some(cache) = ph_bc {
+                solver = solver.with_shared_boundary(Arc::clone(cache));
+            }
             move |(iq, iw): (usize, usize)| {
                 let out = if have_sigma {
                     let (pr, pl, pg) = pi_blocks_for_point(dev, pi_l, pi_g, iq, iw);
@@ -282,15 +506,31 @@ impl Simulation {
         (eobs.g_l, eobs.g_g, pobs.d_l, pobs.d_g, spectral, times)
     }
 
-    /// Runs the configured SSE kernel on GF outputs.
+    /// Runs the configured SSE kernel on GF outputs. The output lives in
+    /// the kernel's double buffer; it stays valid until the next call.
     pub fn sse_phase(
-        &self,
+        &mut self,
         g_l: &GTensor,
         g_g: &GTensor,
         d_l: &DTensor,
         d_g: &DTensor,
-    ) -> omen_sse::SseOutput {
-        let prob = self.sse_problem();
+    ) -> &omen_sse::SseOutput {
+        // Built inline from fields: a `self.sse_problem()` call would
+        // borrow all of `self` and conflict with `&mut self.kernel`.
+        let scale_sigma =
+            self.config.coupling * self.config.coupling * self.fgrid.weight() * self.kgrid.weight();
+        let scale_pi =
+            self.config.coupling * self.config.coupling * self.egrid.weight() * self.kgrid.weight();
+        let prob = SseProblem::with_rev_pair(
+            &self.device,
+            self.config.nk,
+            self.config.ne,
+            self.config.nk,
+            self.config.nw,
+            scale_sigma,
+            scale_pi,
+            &self.rev_pair,
+        );
         self.kernel.run(&prob, g_l, g_g, d_l, d_g)
     }
 
@@ -312,17 +552,44 @@ impl Simulation {
         let (g_l, g_g, d_l, d_g, spectral, gf_times) = self.gf_phase_with(exec);
 
         let t0 = Instant::now();
-        let sse = self.sse_phase(&g_l, &g_g, &d_l, &d_g);
+        // Inlined `sse_phase`: the kernel output borrows `self.kernel`,
+        // and mixing below needs the sibling fields at the same time.
+        let scale_sigma =
+            self.config.coupling * self.config.coupling * self.fgrid.weight() * self.kgrid.weight();
+        let scale_pi =
+            self.config.coupling * self.config.coupling * self.egrid.weight() * self.kgrid.weight();
+        let prob = SseProblem::with_rev_pair(
+            &self.device,
+            self.config.nk,
+            self.config.ne,
+            self.config.nk,
+            self.config.nw,
+            scale_sigma,
+            scale_pi,
+            &self.rev_pair,
+        );
+        let sse = self.kernel.run(&prob, &g_l, &g_g, &d_l, &d_g);
         let sse_seconds = t0.elapsed().as_secs_f64();
+        let sse_flops = sse.flops;
 
-        // Mix the self-energies (layout-normalize first).
+        // Mix the self-energies (layout-normalize first, allocation-free).
         let mix = self.config.mixing;
-        let new_sl = sse.sigma_l.to_layout(GLayout::PairMajor);
-        let new_sg = sse.sigma_g.to_layout(GLayout::PairMajor);
-        mix_g(&mut self.sigma_l, &new_sl, mix);
-        mix_g(&mut self.sigma_g, &new_sg, mix);
+        if sse.sigma_l.layout == GLayout::PairMajor {
+            mix_g(&mut self.sigma_l, &sse.sigma_l, mix);
+            mix_g(&mut self.sigma_g, &sse.sigma_g, mix);
+        } else {
+            sse.sigma_l
+                .to_layout_into(GLayout::PairMajor, &mut self.conv_sl);
+            sse.sigma_g
+                .to_layout_into(GLayout::PairMajor, &mut self.conv_sg);
+            mix_g(&mut self.sigma_l, &self.conv_sl, mix);
+            mix_g(&mut self.sigma_g, &self.conv_sg, mix);
+        }
         mix_d(&mut self.pi_l, &sse.pi_l, mix);
         mix_d(&mut self.pi_g, &sse.pi_g, mix);
+        // Relative Σ^< change between consecutive kernel outputs — free
+        // thanks to the kernel's double buffer.
+        let sigma_rel_change = self.kernel.output_delta();
 
         let mid = spectral.el_current.len() / 2;
         let current = spectral.el_current[mid];
@@ -337,7 +604,8 @@ impl Simulation {
             rel_change,
             gf_times,
             sse_seconds,
-            sse_flops: sse.flops,
+            sse_flops,
+            sigma_rel_change,
         };
         self.iteration += 1;
         self.last_current = Some(current);
@@ -592,30 +860,137 @@ mod tests {
 
     #[test]
     fn custom_kernel_plugs_in() {
-        // A pass-through wrapper counting invocations via its name.
+        // A pass-through wrapper renaming the inner kernel.
         struct Tagged(omen_sse::TransformedKernel);
         impl omen_sse::SseKernel for Tagged {
             fn name(&self) -> &'static str {
                 "tagged"
             }
             fn run(
-                &self,
+                &mut self,
                 prob: &omen_sse::SseProblem,
                 g_l: &GTensor,
                 g_g: &GTensor,
                 d_l: &DTensor,
                 d_g: &DTensor,
-            ) -> omen_sse::SseOutput {
+            ) -> &omen_sse::SseOutput {
                 self.0.run(prob, g_l, g_g, d_l, d_g)
+            }
+            fn state(&self) -> &omen_sse::KernelState {
+                self.0.state()
+            }
+            fn state_mut(&mut self) -> &mut omen_sse::KernelState {
+                self.0.state_mut()
             }
         }
         let mut cfg = SimulationConfig::tiny();
         cfg.max_iterations = 2;
         let baseline = sim(cfg.clone()).run().current();
         let mut s = sim(cfg);
-        s.set_kernel(Box::new(Tagged(omen_sse::TransformedKernel)));
+        s.set_kernel(Box::new(Tagged(omen_sse::TransformedKernel::new())));
         assert_eq!(s.kernel().name(), "tagged");
         let current = s.run().current();
         assert_eq!(current, baseline, "pass-through kernel is transparent");
+    }
+
+    #[test]
+    fn warm_start_matches_cold_with_fewer_iterations() {
+        let cfg = SimulationConfig::tiny();
+        let mut cold = sim(cfg.clone());
+        let cold_result = cold.run();
+        let cold_iters = cold_result.records.len();
+        assert!(cold_iters >= 3, "cold run must do real work");
+        let data = cold.warm_start_data();
+        assert!(data.bytes() > 0);
+
+        let mut warm = sim(cfg);
+        assert!(!warm.is_seeded());
+        warm.warm_start_from(&data).expect("shapes match");
+        assert!(warm.is_seeded());
+        let warm_result = warm.run();
+        let warm_iters = warm_result.records.len();
+        assert!(
+            warm_iters < cold_iters,
+            "warm start must save Born iterations: {warm_iters} vs {cold_iters}"
+        );
+        let rel = ((warm_result.current() - cold_result.current()) / cold_result.current()).abs();
+        assert!(
+            rel < 5.0 * cfg_tolerance(),
+            "warm current must match cold: rel diff {rel}"
+        );
+        // The kernel double buffer reports Σ^< deltas from the second
+        // kernel invocation on.
+        if warm_result.records.len() >= 2 {
+            assert!(warm_result.records[1].sigma_rel_change.is_some());
+        }
+    }
+
+    fn cfg_tolerance() -> f64 {
+        SimulationConfig::tiny().tolerance
+    }
+
+    #[test]
+    fn warm_start_rejects_mismatched_shapes_and_running_sims() {
+        let mut donor = sim(SimulationConfig::tiny());
+        donor.run();
+        let data = donor.warm_start_data();
+
+        // A different energy grid cannot absorb the donor's tensors.
+        let mut other_cfg = SimulationConfig::tiny();
+        other_cfg.ne += 2;
+        let mut other = sim(other_cfg);
+        assert!(matches!(
+            other.warm_start_from(&data),
+            Err(WarmStartError::ShapeMismatch(_))
+        ));
+
+        // A simulation that already iterated refuses the seed.
+        let mut running = sim(SimulationConfig::tiny());
+        running.iterate();
+        assert!(matches!(
+            running.warm_start_from(&data),
+            Err(WarmStartError::AlreadyRunning)
+        ));
+    }
+
+    #[test]
+    fn shared_boundary_cache_hits_after_first_iteration() {
+        let cfg = SimulationConfig::tiny();
+        let nbc_el = cfg.nk * cfg.ne;
+        let nbc_ph = cfg.nk * cfg.nw;
+        let mut s = sim(cfg);
+        s.iterate();
+        let (el0, ph0) = s.boundary_stats().expect("caching config");
+        assert_eq!(el0.misses, nbc_el as u64);
+        assert_eq!(ph0.misses, nbc_ph as u64);
+        s.iterate();
+        let (el1, ph1) = s.boundary_stats().expect("caching config");
+        // Second Born iteration re-reads every boundary from the cache.
+        assert_eq!(el1.hits, nbc_el as u64);
+        assert_eq!(ph1.hits, nbc_ph as u64);
+        assert_eq!(el1.misses, nbc_el as u64, "no recomputation");
+    }
+
+    #[test]
+    fn warm_start_after_bias_step_refines_boundaries() {
+        let mut donor = sim(SimulationConfig::tiny());
+        donor.run();
+        let data = donor.warm_start_data();
+
+        // Small bias step: same scenario shape, shifted drain potential.
+        let mut cfg = SimulationConfig::tiny();
+        cfg.mu_drain += 0.01;
+        let mut warm = sim(cfg);
+        warm.warm_start_with(&data, true).expect("shapes match");
+        warm.iterate();
+        let (el, ph) = warm.boundary_stats().expect("caching config");
+        // Electron boundaries re-refine from the donor's surface GFs …
+        assert!(
+            el.refined + el.fallbacks > 0,
+            "electron leads must consume the seeds"
+        );
+        // … while phonon boundaries carry over exactly (pure hits).
+        assert_eq!(ph.misses, 0, "phonon boundaries never recompute");
+        assert!(ph.hits > 0);
     }
 }

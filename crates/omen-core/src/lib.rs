@@ -26,10 +26,12 @@ pub mod state;
 pub mod thermal;
 
 pub use omen_linalg::Normalization;
-pub use omen_sse::{MixedKernel, ReferenceKernel, SseKernel, TransformedKernel};
+pub use omen_sse::{KernelState, MixedKernel, ReferenceKernel, SseKernel, TransformedKernel};
 
 pub use builder::{ConfigError, KernelVariant, SimulationBuilder, SimulationConfig};
-pub use driver::{IterationRecord, Simulation, SimulationResult, SpectralData};
+pub use driver::{
+    IterationRecord, Simulation, SimulationResult, SpectralData, WarmStartData, WarmStartError,
+};
 pub use executor::{
     grid_points, ExecutorKind, GridPoint, PartitionedExecutor, PointExecutor, RayonExecutor,
     SerialExecutor,
@@ -38,6 +40,7 @@ pub use grids::{EnergyGrid, FrequencyGrid, MomentumGrid};
 pub use observables::{
     ElectronContribution, ElectronObservables, Observables, PhononContribution, PhononObservables,
 };
+pub use omen_rgf::BoundaryCacheStats;
 pub use state::{
     extract_electron_blocks, extract_phonon_blocks, pi_blocks_for_point, sigma_blocks_for_point,
     zero_tensors,

@@ -1,0 +1,397 @@
+//! Shared cross-iteration (and cross-sweep-point) boundary-condition
+//! cache.
+//!
+//! The per-solver caches of [`crate::points`] live only as long as their
+//! solver — and parallel executors build one solver per worker per Born
+//! iteration, so those caches never survive an iteration. The boundary
+//! self-energies, however, depend only on the ballistic operator `M` of
+//! each `(kz, E)` / `(qz, ω)` point, never on the scattering self-energies
+//! of the Born loop: computing them once per run is exact. A
+//! [`BoundaryCache`] is shared by every worker of every iteration (the
+//! driver holds it in an `Arc`), turning the per-iteration boundary cost
+//! into a one-time cost.
+//!
+//! The same structure carries warm starts *between* sweep points in
+//! `omen-serve`: a completed point's cache is cloned for its neighbor —
+//! [`BoundaryCache::fresh_clone`] when the sweep axis leaves the boundary
+//! operators untouched (temperature or coupling sweeps: occupations and
+//! scattering strength don't enter `M`), or demoted to surface-GF *seeds*
+//! via [`BoundaryCache::seed_clone`] when it does (bias sweeps shift the
+//! electrostatic potential in the lead blocks). Seeds are refined to the
+//! new point's own fixed-point equation by
+//! [`crate::boundary::surface_gf_seeded`], with a Sancho-Rubio fallback,
+//! so a warm boundary is always as exact as a cold one.
+
+use crate::boundary::{
+    boundary_self_energies_seeded_ws, boundary_self_energies_ws, BoundaryMethod,
+    BoundarySelfEnergies, SeedOutcome,
+};
+use omen_linalg::{CMatrix, Workspace};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One cached point: nothing, a warm-start seed, or a finished result.
+enum BcSlot {
+    /// Nothing known about this point yet (cold compute).
+    Empty,
+    /// Surface GFs of a neighboring sweep point, to be refined.
+    Seed { g_left: CMatrix, g_right: CMatrix },
+    /// Boundary self-energies valid for this exact point.
+    Fresh(Box<BoundarySelfEnergies>),
+}
+
+/// Counters describing how a [`BoundaryCache`] earned its keep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BoundaryCacheStats {
+    /// Lookups served from a `Fresh` slot (no boundary solve at all).
+    pub hits: u64,
+    /// Lookups that had to solve (cold or seeded).
+    pub misses: u64,
+    /// Lead solves warm-started from a seed that converged by refinement.
+    pub refined: u64,
+    /// Seeded lead solves that fell back to Sancho-Rubio decimation.
+    pub fallbacks: u64,
+    /// Total surface-GF iterations actually spent through this cache.
+    pub iterations: u64,
+}
+
+/// A thread-safe boundary-condition store over a flat point grid
+/// (key = `ik * ne + ie`, matching the per-solver caches).
+pub struct BoundaryCache {
+    slots: Vec<Mutex<BcSlot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    refined: AtomicU64,
+    fallbacks: AtomicU64,
+    iterations: AtomicU64,
+}
+
+impl BoundaryCache {
+    /// An empty cache over `npoints` grid points.
+    pub fn new(npoints: usize) -> Self {
+        BoundaryCache {
+            slots: (0..npoints).map(|_| Mutex::new(BcSlot::Empty)).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            refined: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+            iterations: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of grid points covered.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the cache covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Returns the point's boundary self-energies: from the cache when
+    /// `Fresh`, otherwise computed — refined from a `Seed` when one is
+    /// present, cold otherwise — and published for every later iteration.
+    ///
+    /// Values are deterministic regardless of which worker resolves a
+    /// point first (seeds are fixed before a run starts), preserving the
+    /// serial/parallel bitwise-equivalence invariant of the executors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn resolve(
+        &self,
+        idx: usize,
+        method: BoundaryMethod,
+        d_first: &CMatrix,
+        upper_first: &CMatrix,
+        lower_first: &CMatrix,
+        d_last: &CMatrix,
+        upper_last: &CMatrix,
+        lower_last: &CMatrix,
+        tol: f64,
+        max_iter: usize,
+        ws: &mut Workspace,
+    ) -> BoundarySelfEnergies {
+        let seed = {
+            let slot = self.slots[idx].lock().expect("boundary cache poisoned");
+            match &*slot {
+                BcSlot::Fresh(bse) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return (**bse).clone();
+                }
+                BcSlot::Seed { g_left, g_right } => Some((g_left.clone(), g_right.clone())),
+                BcSlot::Empty => None,
+            }
+        };
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let bse = match seed {
+            Some((g_left, g_right)) => {
+                let (bse, left_outcome, right_outcome) = boundary_self_energies_seeded_ws(
+                    g_left,
+                    g_right,
+                    d_first,
+                    upper_first,
+                    lower_first,
+                    d_last,
+                    upper_last,
+                    lower_last,
+                    tol,
+                    max_iter,
+                    max_iter,
+                    ws,
+                );
+                for outcome in [left_outcome, right_outcome] {
+                    match outcome {
+                        SeedOutcome::Refined => self.refined.fetch_add(1, Ordering::Relaxed),
+                        SeedOutcome::Fallback => self.fallbacks.fetch_add(1, Ordering::Relaxed),
+                    };
+                }
+                bse
+            }
+            None => boundary_self_energies_ws(
+                method,
+                d_first,
+                upper_first,
+                lower_first,
+                d_last,
+                upper_last,
+                lower_last,
+                tol,
+                max_iter,
+                ws,
+            ),
+        };
+        self.iterations
+            .fetch_add(bse.iterations as u64, Ordering::Relaxed);
+        *self.slots[idx].lock().expect("boundary cache poisoned") =
+            BcSlot::Fresh(Box::new(bse.clone()));
+        bse
+    }
+
+    /// A full clone: every `Fresh` result stays `Fresh`. Correct only when
+    /// the recipient's boundary operators are identical (temperature,
+    /// coupling, or any sweep axis that never enters `M`).
+    pub fn fresh_clone(&self) -> BoundaryCache {
+        let slots = self
+            .slots
+            .iter()
+            .map(|s| {
+                let slot = s.lock().expect("boundary cache poisoned");
+                Mutex::new(match &*slot {
+                    BcSlot::Empty => BcSlot::Empty,
+                    BcSlot::Seed { g_left, g_right } => BcSlot::Seed {
+                        g_left: g_left.clone(),
+                        g_right: g_right.clone(),
+                    },
+                    BcSlot::Fresh(bse) => BcSlot::Fresh(bse.clone()),
+                })
+            })
+            .collect();
+        BoundaryCache {
+            slots,
+            ..BoundaryCache::new(0)
+        }
+    }
+
+    /// A demoted clone: every `Fresh` result becomes a surface-GF `Seed`
+    /// for the recipient to refine. Correct for any neighboring sweep
+    /// point (bias sweeps included) — the seeds only steer the iteration,
+    /// the recipient solves its own equations.
+    pub fn seed_clone(&self) -> BoundaryCache {
+        let slots = self
+            .slots
+            .iter()
+            .map(|s| {
+                let slot = s.lock().expect("boundary cache poisoned");
+                Mutex::new(match &*slot {
+                    BcSlot::Empty => BcSlot::Empty,
+                    BcSlot::Seed { g_left, g_right } => BcSlot::Seed {
+                        g_left: g_left.clone(),
+                        g_right: g_right.clone(),
+                    },
+                    BcSlot::Fresh(bse) => BcSlot::Seed {
+                        g_left: bse.g_left.clone(),
+                        g_right: bse.g_right.clone(),
+                    },
+                })
+            })
+            .collect();
+        BoundaryCache {
+            slots,
+            ..BoundaryCache::new(0)
+        }
+    }
+
+    /// Usage counters since construction.
+    pub fn stats(&self) -> BoundaryCacheStats {
+        BoundaryCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            refined: self.refined.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            iterations: self.iterations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Approximate resident bytes across all slots.
+    pub fn bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| {
+                let slot = s.lock().expect("boundary cache poisoned");
+                match &*slot {
+                    BcSlot::Empty => 0,
+                    BcSlot::Seed { g_left, g_right } => {
+                        (g_left.rows() * g_left.cols() + g_right.rows() * g_right.cols()) * 16
+                    }
+                    BcSlot::Fresh(bse) => {
+                        let n = bse.left.rows();
+                        6 * n * n * 16
+                    }
+                }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omen_linalg::c64;
+
+    fn chain(e: f64, n: usize) -> (CMatrix, CMatrix, CMatrix) {
+        let d = CMatrix::from_fn(n, n, |i, j| if i == j { c64(e, 1e-4) } else { C64_ZERO });
+        let hop = CMatrix::from_fn(n, n, |i, j| if i == j { c64(-1.0, 0.0) } else { C64_ZERO });
+        (d, hop.clone(), hop)
+    }
+
+    const C64_ZERO: omen_linalg::C64 = omen_linalg::C64::ZERO;
+
+    #[test]
+    fn resolve_hits_after_first_compute() {
+        let cache = BoundaryCache::new(2);
+        let (d, a, b) = chain(3.0, 2);
+        let mut ws = Workspace::new();
+        let first = cache.resolve(
+            0,
+            BoundaryMethod::SanchoRubio,
+            &d,
+            &a,
+            &b,
+            &d,
+            &a,
+            &b,
+            1e-12,
+            300,
+            &mut ws,
+        );
+        let again = cache.resolve(
+            0,
+            BoundaryMethod::SanchoRubio,
+            &d,
+            &a,
+            &b,
+            &d,
+            &a,
+            &b,
+            1e-12,
+            300,
+            &mut ws,
+        );
+        assert!(first.left.approx_eq(&again.left, 0.0), "hit must be exact");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!(cache.bytes() > 0);
+    }
+
+    #[test]
+    fn seed_clone_refines_cheaper_than_cold() {
+        let cache = BoundaryCache::new(1);
+        let (d, a, b) = chain(3.0, 2);
+        let mut ws = Workspace::new();
+        cache.resolve(
+            0,
+            BoundaryMethod::SanchoRubio,
+            &d,
+            &a,
+            &b,
+            &d,
+            &a,
+            &b,
+            1e-12,
+            300,
+            &mut ws,
+        );
+        // A nearby "bias point": seeds refine instead of decimating, and
+        // the result matches a cold solve.
+        let warm = cache.seed_clone();
+        let (d2, a2, b2) = chain(3.01, 2);
+        let from_seed = warm.resolve(
+            0,
+            BoundaryMethod::SanchoRubio,
+            &d2,
+            &a2,
+            &b2,
+            &d2,
+            &a2,
+            &b2,
+            1e-12,
+            300,
+            &mut ws,
+        );
+        let cold = boundary_self_energies_ws(
+            BoundaryMethod::SanchoRubio,
+            &d2,
+            &a2,
+            &b2,
+            &d2,
+            &a2,
+            &b2,
+            1e-12,
+            300,
+            &mut ws,
+        );
+        assert!(
+            from_seed.left.approx_eq(&cold.left, 1e-8),
+            "seeded boundary deviates from cold"
+        );
+        let stats = warm.stats();
+        assert_eq!(stats.refined, 2, "both leads should refine");
+        assert_eq!(stats.fallbacks, 0);
+    }
+
+    #[test]
+    fn fresh_clone_carries_results_over() {
+        let cache = BoundaryCache::new(1);
+        let (d, a, b) = chain(3.0, 2);
+        let mut ws = Workspace::new();
+        cache.resolve(
+            0,
+            BoundaryMethod::SanchoRubio,
+            &d,
+            &a,
+            &b,
+            &d,
+            &a,
+            &b,
+            1e-12,
+            300,
+            &mut ws,
+        );
+        let carried = cache.fresh_clone();
+        carried.resolve(
+            0,
+            BoundaryMethod::SanchoRubio,
+            &d,
+            &a,
+            &b,
+            &d,
+            &a,
+            &b,
+            1e-12,
+            300,
+            &mut ws,
+        );
+        let stats = carried.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 0), "carried slot is Fresh");
+    }
+}

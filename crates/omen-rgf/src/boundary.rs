@@ -170,6 +170,22 @@ fn fixed_point(
     let n = d.rows();
     let mut g = CMatrix::zeros(n, n);
     ws.invert_into(d, &mut g);
+    fixed_point_from(g, d, alpha, beta, tol, max_iter, ws)
+}
+
+/// The damped fixed-point iteration starting from an explicit initial
+/// guess `g` (the cold start uses `g = D⁻¹`; warm starts hand over a
+/// neighboring sweep point's converged surface GF).
+fn fixed_point_from(
+    mut g: CMatrix,
+    d: &CMatrix,
+    alpha: &CMatrix,
+    beta: &CMatrix,
+    tol: f64,
+    max_iter: usize,
+    ws: &mut Workspace,
+) -> SurfaceGf {
+    let n = d.rows();
     let mut agb = ws.take(n, n);
     let mut t = ws.take(n, n);
     let mut next = ws.take(n, n);
@@ -203,6 +219,47 @@ fn fixed_point(
     }
 }
 
+/// Outcome of a seeded (warm-started) surface-GF refinement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeedOutcome {
+    /// The damped fixed-point refinement of the seed converged.
+    Refined,
+    /// The refinement stalled; the solve fell back to Sancho-Rubio.
+    Fallback,
+}
+
+/// Refines a warm-start `seed` surface GF (e.g. a neighboring sweep
+/// point's converged `g_s`) by damped fixed-point iteration (at most
+/// `refine_iter` steps), falling back to a cold Sancho-Rubio decimation
+/// (at most `max_iter` steps) when the seed is too far from the new fixed
+/// point to converge.
+///
+/// The result always satisfies the *new* point's fixed-point equation to
+/// `tol` (checked via [`SurfaceGf::residual`]): seeding changes the
+/// iteration path, never the equation being solved, so a warm boundary is
+/// as exact as a cold one.
+#[allow(clippy::too_many_arguments)]
+pub fn surface_gf_seeded(
+    seed: CMatrix,
+    d: &CMatrix,
+    alpha: &CMatrix,
+    beta: &CMatrix,
+    tol: f64,
+    refine_iter: usize,
+    max_iter: usize,
+    ws: &mut Workspace,
+) -> (SurfaceGf, SeedOutcome) {
+    let refined = fixed_point_from(seed, d, alpha, beta, tol, refine_iter, ws);
+    // Accept only a genuinely converged refinement; a seed from a distant
+    // bias point can stall the linear iteration.
+    if refined.residual <= tol * 10.0 {
+        return (refined, SeedOutcome::Refined);
+    }
+    let mut cold = sancho_rubio(d, alpha, beta, tol, max_iter, ws);
+    cold.iterations += refined.iterations;
+    (cold, SeedOutcome::Fallback)
+}
+
 /// Both boundary self-energies of a homogeneous block-tridiagonal system.
 #[derive(Clone, Debug)]
 pub struct BoundarySelfEnergies {
@@ -214,6 +271,11 @@ pub struct BoundarySelfEnergies {
     pub gamma_left: CMatrix,
     /// Right broadening `Γ_R`.
     pub gamma_right: CMatrix,
+    /// Left lead surface Green's function (kept as the warm-start seed
+    /// for adjacent sweep points).
+    pub g_left: CMatrix,
+    /// Right lead surface Green's function.
+    pub g_right: CMatrix,
     /// Decimation iterations spent (left + right).
     pub iterations: usize,
 }
@@ -267,18 +329,88 @@ pub fn boundary_self_energies_ws(
     max_iter: usize,
     ws: &mut Workspace,
 ) -> BoundarySelfEnergies {
-    let n = d_first.rows();
-    let mut t = ws.take(n, n);
     // Left lead extends to −∞. Surface cell couples deeper via
     // M[-1,-2] = lower, back via M[-2,-1] = upper.
     let left_surface = surface_gf_ws(method, d_first, lower_first, upper_first, tol, max_iter, ws);
-    // Σ_L = M[0,-1] g_s M[-1,0] = lower · g_s · upper.
+    // Right lead extends to +∞: surface couples deeper via upper, back via
+    // lower.
+    let right_surface = surface_gf_ws(method, d_last, upper_last, lower_last, tol, max_iter, ws);
+    fold_boundaries(
+        left_surface,
+        right_surface,
+        upper_first,
+        lower_first,
+        upper_last,
+        lower_last,
+        ws,
+    )
+}
+
+/// [`boundary_self_energies_ws`] warm-started from a neighboring sweep
+/// point's surface GFs (see [`surface_gf_seeded`]). Returns the seed
+/// outcome of each lead alongside the (exact) self-energies.
+#[allow(clippy::too_many_arguments)]
+pub fn boundary_self_energies_seeded_ws(
+    seed_left: CMatrix,
+    seed_right: CMatrix,
+    d_first: &CMatrix,
+    upper_first: &CMatrix,
+    lower_first: &CMatrix,
+    d_last: &CMatrix,
+    upper_last: &CMatrix,
+    lower_last: &CMatrix,
+    tol: f64,
+    refine_iter: usize,
+    max_iter: usize,
+    ws: &mut Workspace,
+) -> (BoundarySelfEnergies, SeedOutcome, SeedOutcome) {
+    let (left_surface, left_outcome) = surface_gf_seeded(
+        seed_left,
+        d_first,
+        lower_first,
+        upper_first,
+        tol,
+        refine_iter,
+        max_iter,
+        ws,
+    );
+    let (right_surface, right_outcome) = surface_gf_seeded(
+        seed_right,
+        d_last,
+        upper_last,
+        lower_last,
+        tol,
+        refine_iter,
+        max_iter,
+        ws,
+    );
+    let bse = fold_boundaries(
+        left_surface,
+        right_surface,
+        upper_first,
+        lower_first,
+        upper_last,
+        lower_last,
+        ws,
+    );
+    (bse, left_outcome, right_outcome)
+}
+
+/// Folds the two lead surface GFs into boundary self-energies:
+/// `Σ_L = lower · g_s · upper` and `Σ_R = upper · g_s · lower`.
+fn fold_boundaries(
+    left_surface: SurfaceGf,
+    right_surface: SurfaceGf,
+    upper_first: &CMatrix,
+    lower_first: &CMatrix,
+    upper_last: &CMatrix,
+    lower_last: &CMatrix,
+    ws: &mut Workspace,
+) -> BoundarySelfEnergies {
+    let n = left_surface.g.rows();
+    let mut t = ws.take(n, n);
     let mut left = CMatrix::zeros(n, n);
     matmul3_into(lower_first, &left_surface.g, upper_first, &mut t, &mut left);
-
-    // Right lead extends to +∞: surface couples deeper via upper, back via
-    // lower; Σ_R = upper · g_s · lower.
-    let right_surface = surface_gf_ws(method, d_last, upper_last, lower_last, tol, max_iter, ws);
     let mut right = CMatrix::zeros(n, n);
     matmul3_into(upper_last, &right_surface.g, lower_last, &mut t, &mut right);
     ws.give(t);
@@ -293,6 +425,8 @@ pub fn boundary_self_energies_ws(
         gamma_right: gamma(&right),
         left,
         right,
+        g_left: left_surface.g,
+        g_right: right_surface.g,
         iterations: left_surface.iterations + right_surface.iterations,
     }
 }
@@ -473,6 +607,32 @@ mod tests {
         // Bose diverges at ω -> 0+ and decays at large ω.
         assert!(bose(1e-4, 0.025) > 100.0);
         assert!(bose(2.0, 0.025) < 1e-12);
+    }
+
+    #[test]
+    fn seeded_refinement_is_exact() {
+        // Solve at E, then warm-start a nearby energy E+δ from it: the
+        // refinement must converge and agree with a cold decimation solve.
+        let (d, a, b) = chain_blocks(3.0, 1e-4, 0.0, 1.0, 2);
+        let cold = surface_gf(BoundaryMethod::SanchoRubio, &d, &a, &b, 1e-12, 300);
+        let (d2, a2, b2) = chain_blocks(3.02, 1e-4, 0.0, 1.0, 2);
+        let cold2 = surface_gf(BoundaryMethod::SanchoRubio, &d2, &a2, &b2, 1e-12, 300);
+        let mut ws = Workspace::new();
+        let (warm, outcome) =
+            surface_gf_seeded(cold.g.clone(), &d2, &a2, &b2, 1e-12, 5000, 300, &mut ws);
+        assert_eq!(outcome, SeedOutcome::Refined);
+        assert!(warm.residual < 1e-11, "residual {}", warm.residual);
+        assert!(
+            warm.g.approx_eq(&cold2.g, 1e-8),
+            "warm and cold surface GFs disagree"
+        );
+
+        // A hopeless seed with a tiny refinement budget must fall back to
+        // decimation and still land on the exact answer.
+        let garbage = CMatrix::identity(2).scaled(c64(1e6, -1e6));
+        let (fb, fb_outcome) = surface_gf_seeded(garbage, &d2, &a2, &b2, 1e-12, 10, 300, &mut ws);
+        assert_eq!(fb_outcome, SeedOutcome::Fallback);
+        assert!(fb.g.approx_eq(&cold2.g, 1e-8));
     }
 
     #[test]

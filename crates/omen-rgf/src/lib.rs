@@ -2,6 +2,7 @@
 //!
 //! Recursive Green's Function solvers — the paper's GF phase (§4 Eq. 1).
 
+pub mod bccache;
 pub mod boundary;
 pub mod dense_ref;
 pub mod observables;
@@ -9,9 +10,11 @@ pub mod points;
 pub mod rgf;
 pub mod testutil;
 
+pub use bccache::{BoundaryCache, BoundaryCacheStats};
 pub use boundary::{
-    bose, boundary_self_energies, boundary_self_energies_ws, contact_sigma_lg, fermi, surface_gf,
-    surface_gf_ws, BoundaryMethod, BoundarySelfEnergies, SurfaceGf,
+    bose, boundary_self_energies, boundary_self_energies_seeded_ws, boundary_self_energies_ws,
+    contact_sigma_lg, fermi, surface_gf, surface_gf_seeded, surface_gf_ws, BoundaryMethod,
+    BoundarySelfEnergies, SeedOutcome, SurfaceGf,
 };
 pub use dense_ref::{dense_solve, DenseSolution};
 pub use observables::{

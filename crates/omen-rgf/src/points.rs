@@ -13,12 +13,14 @@
 //! steep memory cost (the paper: 3 GB + 1 GB per point for the "Large"
 //! device). [`CacheMode`] selects the compute-memory tradeoff.
 
+use crate::bccache::BoundaryCache;
 use crate::boundary::{
     bose, boundary_self_energies_ws, contact_sigma_lg, fermi, BoundaryMethod, BoundarySelfEnergies,
 };
 use crate::rgf::{rgf_solve_into, RgfInputs, RgfSolution};
 use omen_device::DeviceStructure;
 use omen_linalg::{c64, BlockTriDiag, CMatrix, WorkspaceLease, WorkspacePool};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Compute/memory tradeoff of the GF phase (§7.1.2, Fig. 9).
@@ -176,6 +178,7 @@ pub struct ElectronSolver<'a> {
     energies: Vec<f64>,
     spec_cache: Vec<Option<(BlockTriDiag, BlockTriDiag)>>, // per kz: (H, S)
     bc_cache: Vec<Option<BoundarySelfEnergies>>,           // per (ik, ie)
+    shared_bc: Option<Arc<BoundaryCache>>,
     /// Scratch arena threaded through the boundary and RGF solves; a
     /// pool-backed lease when the solver was built with
     /// [`ElectronSolver::with_workspace_pool`].
@@ -203,6 +206,7 @@ impl<'a> ElectronSolver<'a> {
             energies,
             spec_cache: vec![None; nk],
             bc_cache: vec![None; nk * ne],
+            shared_bc: None,
             ws: WorkspaceLease::detached(),
         }
     }
@@ -212,6 +216,19 @@ impl<'a> ElectronSolver<'a> {
     /// the next sweep (and the next Born iteration).
     pub fn with_workspace_pool(mut self, pool: &'a WorkspacePool) -> Self {
         self.ws = pool.lease();
+        self
+    }
+
+    /// Routes boundary-condition lookups through a cache shared across
+    /// workers and Born iterations (and, via seeding, across sweep
+    /// points); takes precedence over the solver-local cache.
+    pub fn with_shared_boundary(mut self, cache: Arc<BoundaryCache>) -> Self {
+        assert_eq!(
+            cache.len(),
+            self.kz_values.len() * self.energies.len(),
+            "shared boundary cache sized for a different grid"
+        );
+        self.shared_bc = Some(cache);
         self
     }
 
@@ -287,8 +304,25 @@ impl<'a> ElectronSolver<'a> {
         // Same cache-or-local discipline as the specialization: reads go
         // through a borrow; only the two Γ blocks handed to the caller
         // are cloned (on both paths — the cache must keep its copy).
+        // A shared cache (cross-worker, cross-iteration) takes precedence
+        // over the solver-local one.
         let local_bse;
-        let bse = if use_bc_cache {
+        let bse = if let Some(shared) = &self.shared_bc {
+            local_bse = shared.resolve(
+                bc_key,
+                self.params.method,
+                &m.diag[0],
+                &m.upper[0],
+                &m.lower[0],
+                &m.diag[bnum - 1],
+                &m.upper[bnum - 2],
+                &m.lower[bnum - 2],
+                self.params.bc_tol,
+                self.params.bc_max_iter,
+                &mut self.ws,
+            );
+            &local_bse
+        } else if use_bc_cache {
             if self.bc_cache[bc_key].is_none() {
                 self.bc_cache[bc_key] = Some(boundary_self_energies_ws(
                     self.params.method,
@@ -408,6 +442,7 @@ pub struct PhononSolver<'a> {
     omegas: Vec<f64>,
     spec_cache: Vec<Option<BlockTriDiag>>, // per qz: Φ
     bc_cache: Vec<Option<BoundarySelfEnergies>>,
+    shared_bc: Option<Arc<BoundaryCache>>,
     /// Scratch arena threaded through the boundary and RGF solves.
     ws: WorkspaceLease<'a>,
 }
@@ -435,6 +470,7 @@ impl<'a> PhononSolver<'a> {
             omegas,
             spec_cache: vec![None; nq],
             bc_cache: vec![None; nq * nw],
+            shared_bc: None,
             ws: WorkspaceLease::detached(),
         }
     }
@@ -443,6 +479,18 @@ impl<'a> PhononSolver<'a> {
     /// [`ElectronSolver::with_workspace_pool`]).
     pub fn with_workspace_pool(mut self, pool: &'a WorkspacePool) -> Self {
         self.ws = pool.lease();
+        self
+    }
+
+    /// Routes boundary-condition lookups through a shared cache (see
+    /// [`ElectronSolver::with_shared_boundary`]).
+    pub fn with_shared_boundary(mut self, cache: Arc<BoundaryCache>) -> Self {
+        assert_eq!(
+            cache.len(),
+            self.qz_values.len() * self.omegas.len(),
+            "shared boundary cache sized for a different grid"
+        );
+        self.shared_bc = Some(cache);
         self
     }
 
@@ -493,7 +541,22 @@ impl<'a> PhononSolver<'a> {
         let use_bc_cache = self.mode != CacheMode::NoCache;
         // Cache-or-local borrow, mirroring the electron solver.
         let local_bse;
-        let bse = if use_bc_cache {
+        let bse = if let Some(shared) = &self.shared_bc {
+            local_bse = shared.resolve(
+                bc_key,
+                self.params.method,
+                &m.diag[0],
+                &m.upper[0],
+                &m.lower[0],
+                &m.diag[bnum - 1],
+                &m.upper[bnum - 2],
+                &m.lower[bnum - 2],
+                self.params.bc_tol,
+                self.params.bc_max_iter,
+                &mut self.ws,
+            );
+            &local_bse
+        } else if use_bc_cache {
             if self.bc_cache[bc_key].is_none() {
                 self.bc_cache[bc_key] = Some(boundary_self_energies_ws(
                     self.params.method,

@@ -1,0 +1,259 @@
+//! The cross-point warm-start cache.
+//!
+//! Every completed sweep point deposits its converged state
+//! ([`omen_core::WarmStartData`]: Σ^≷/Π^≷ plus the boundary caches) keyed
+//! by scenario fingerprint, sweep axis, and swept value. A new point asks
+//! for the *nearest* completed neighbor on its axis and warm-starts from
+//! it, cutting Born iterations. Entries are evicted least-recently-used
+//! under a byte budget, with per-entry memory accounting.
+
+use crate::sweep::SweepAxis;
+use omen_core::WarmStartData;
+
+/// Cache sizing knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Total byte budget across all entries (tensor + boundary bytes).
+    pub max_bytes: usize,
+    /// Entry-count cap, independent of size.
+    pub max_entries: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            max_bytes: 256 << 20,
+            max_entries: 64,
+        }
+    }
+}
+
+/// Usage counters of a [`SweepCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a same-scenario donor.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries deposited (including same-key replacements).
+    pub insertions: u64,
+    /// Entries removed to satisfy the budget.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when none ran).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct CacheEntry {
+    scenario: u64,
+    axis: SweepAxis,
+    value: f64,
+    bytes: usize,
+    last_used: u64,
+    data: WarmStartData,
+}
+
+/// LRU warm-start cache with a byte budget.
+pub struct SweepCache {
+    entries: Vec<CacheEntry>,
+    config: CacheConfig,
+    bytes: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl SweepCache {
+    /// Creates an empty cache under `config`'s budget.
+    pub fn new(config: CacheConfig) -> SweepCache {
+        SweepCache {
+            entries: Vec::new(),
+            config,
+            bytes: 0,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Accounted bytes across all entries.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Usage counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drops every entry (counters survive).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.bytes = 0;
+    }
+
+    /// Deposits `data` for `(scenario, axis, value)`, replacing an entry
+    /// for the exact same point, then evicts least-recently-used entries
+    /// until the budget holds again. The newest entry is never evicted:
+    /// a single oversized scenario still warm-starts its own sweep.
+    pub fn insert(&mut self, scenario: u64, axis: SweepAxis, value: f64, data: WarmStartData) {
+        self.tick += 1;
+        let bytes = data.bytes();
+        if let Some(old) = self.entries.iter().position(|e| {
+            e.scenario == scenario && e.axis == axis && e.value.to_bits() == value.to_bits()
+        }) {
+            self.bytes -= self.entries[old].bytes;
+            self.entries.swap_remove(old);
+        }
+        self.entries.push(CacheEntry {
+            scenario,
+            axis,
+            value,
+            bytes,
+            last_used: self.tick,
+            data,
+        });
+        self.bytes += bytes;
+        self.stats.insertions += 1;
+        while self.entries.len() > 1
+            && (self.bytes > self.config.max_bytes || self.entries.len() > self.config.max_entries)
+        {
+            let oldest = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.bytes -= self.entries[oldest].bytes;
+            self.entries.swap_remove(oldest);
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// The donor nearest to `value` among same-scenario, same-axis
+    /// entries: `(donor value, warm-start data)`. Counts a hit/miss and
+    /// refreshes the donor's LRU stamp.
+    pub fn nearest(
+        &mut self,
+        scenario: u64,
+        axis: SweepAxis,
+        value: f64,
+    ) -> Option<(f64, WarmStartData)> {
+        self.tick += 1;
+        let best = self
+            .entries
+            .iter_mut()
+            .filter(|e| e.scenario == scenario && e.axis == axis)
+            .min_by(|a, b| {
+                let da = (a.value - value).abs();
+                let db = (b.value - value).abs();
+                da.partial_cmp(&db).expect("finite sweep values")
+            });
+        match best {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.stats.hits += 1;
+                Some((entry.value, entry.data.clone()))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omen_core::{Simulation, SimulationConfig};
+
+    fn donor_data() -> WarmStartData {
+        let mut sim = Simulation::new(SimulationConfig::tiny()).expect("valid config");
+        sim.iterate();
+        sim.warm_start_data()
+    }
+
+    #[test]
+    fn nearest_prefers_closest_value_per_scenario() {
+        let data = donor_data();
+        let mut cache = SweepCache::new(CacheConfig::default());
+        cache.insert(1, SweepAxis::Bias, 0.20, data.clone());
+        cache.insert(1, SweepAxis::Bias, 0.30, data.clone());
+        cache.insert(2, SweepAxis::Bias, 0.26, data.clone());
+        cache.insert(1, SweepAxis::Temperature, 0.025, data);
+
+        let (donor, _) = cache.nearest(1, SweepAxis::Bias, 0.27).expect("hit");
+        assert_eq!(donor, 0.30, "0.30 is nearer 0.27 than 0.20");
+        // Scenario and axis partition the entries.
+        assert!(cache.nearest(3, SweepAxis::Bias, 0.27).is_none());
+        assert!(cache.nearest(2, SweepAxis::Temperature, 0.025).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        assert!(stats.hit_rate() > 0.3 && stats.hit_rate() < 0.34);
+    }
+
+    #[test]
+    fn lru_eviction_respects_byte_budget() {
+        let data = donor_data();
+        let per_entry = data.bytes();
+        assert!(per_entry > 0);
+        // Budget for exactly two entries.
+        let mut cache = SweepCache::new(CacheConfig {
+            max_bytes: 2 * per_entry,
+            max_entries: 64,
+        });
+        cache.insert(1, SweepAxis::Bias, 0.1, data.clone());
+        cache.insert(1, SweepAxis::Bias, 0.2, data.clone());
+        // Touch 0.1 so 0.2 is the LRU victim.
+        cache.nearest(1, SweepAxis::Bias, 0.1).expect("hit");
+        cache.insert(1, SweepAxis::Bias, 0.3, data.clone());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.bytes() <= 2 * per_entry);
+        assert_eq!(cache.stats().evictions, 1);
+        // 0.19 would pick 0.2 if it survived; with 0.2 evicted the
+        // nearest is the recently-touched 0.1.
+        let (donor, _) = cache.nearest(1, SweepAxis::Bias, 0.19).expect("hit");
+        assert_eq!(donor, 0.1, "recently-used entry survived eviction");
+
+        // Same-point re-insertion replaces instead of duplicating.
+        cache.insert(1, SweepAxis::Bias, 0.3, data);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn entry_cap_and_oversized_singleton() {
+        let data = donor_data();
+        // A budget below one entry still retains the newest deposit.
+        let mut cache = SweepCache::new(CacheConfig {
+            max_bytes: 1,
+            max_entries: 4,
+        });
+        cache.insert(7, SweepAxis::Coupling, 0.01, data.clone());
+        assert_eq!(cache.len(), 1);
+        cache.insert(7, SweepAxis::Coupling, 0.02, data);
+        assert_eq!(cache.len(), 1, "over-budget cache holds only the newest");
+        assert_eq!(
+            cache.nearest(7, SweepAxis::Coupling, 0.0).expect("hit").0,
+            0.02
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Job lifecycle types: states, per-point observables, per-job metrics.
+
+/// Where a submitted sweep job is in its lifecycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is sweeping: `completed` of `total` points done.
+    Running {
+        /// Points finished so far.
+        completed: usize,
+        /// Total points in the sweep.
+        total: usize,
+    },
+    /// Every point finished; the result is available.
+    Completed,
+    /// Cancelled by the client; partial results are available.
+    Cancelled,
+    /// A point's configuration was rejected; the message explains why.
+    Failed(String),
+}
+
+impl JobState {
+    /// True once the job can no longer make progress.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Cancelled | JobState::Failed(_)
+        )
+    }
+}
+
+/// Converged observables of one sweep point.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PointObservables {
+    /// The swept value this point ran at.
+    pub value: f64,
+    /// Converged electrical current (mid-device).
+    pub current: f64,
+    /// Born iterations this point needed.
+    pub iterations: u32,
+    /// True when the point warm-started from a cached neighbor.
+    pub warm: bool,
+    /// The donor's swept value, when warm.
+    pub donor: Option<f64>,
+}
+
+/// Aggregate metrics of one sweep job.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JobMetrics {
+    /// Points computed.
+    pub points: u32,
+    /// Points that warm-started from the cache.
+    pub warm_points: u32,
+    /// Total Born iterations across all points.
+    pub born_iterations: u32,
+    /// Iterations saved by warm starts, against the job's worst cold
+    /// point as the per-point baseline.
+    pub iterations_saved: u32,
+    /// Warm-start cache hits attributable to this job.
+    pub cache_hits: u64,
+    /// Warm-start cache misses attributable to this job.
+    pub cache_misses: u64,
+    /// Wall-clock seconds the sweep took.
+    pub seconds: f64,
+}
+
+impl JobMetrics {
+    /// Fraction of this job's cache lookups that hit (0 when none ran).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Final (or partial, when cancelled) output of a sweep job.
+#[derive(Clone, Debug, Default)]
+pub struct JobResult {
+    /// One entry per completed point, in sweep order.
+    pub points: Vec<PointObservables>,
+    /// Aggregate metrics.
+    pub metrics: JobMetrics,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_states() {
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Running {
+            completed: 1,
+            total: 3
+        }
+        .is_terminal());
+        assert!(JobState::Completed.is_terminal());
+        assert!(JobState::Cancelled.is_terminal());
+        assert!(JobState::Failed("bad".into()).is_terminal());
+    }
+
+    #[test]
+    fn hit_rate_is_guarded() {
+        assert_eq!(JobMetrics::default().cache_hit_rate(), 0.0);
+        let m = JobMetrics {
+            cache_hits: 3,
+            cache_misses: 1,
+            ..JobMetrics::default()
+        };
+        assert_eq!(m.cache_hit_rate(), 0.75);
+    }
+}

@@ -1,0 +1,533 @@
+//! The sweep service: a hand-rolled thread-pool + channel runtime over
+//! the vendored `crossbeam`/`parking_lot` shims.
+//!
+//! [`SweepServer::start`] spawns worker threads that block on a shared
+//! job channel. [`SweepClient::submit`] validates a [`SweepSpec`],
+//! registers the job, and enqueues its id; the returned [`JobHandle`]
+//! polls state, cancels, or blocks until the result is ready. A worker
+//! owns a job end-to-end — points run *sequentially within* a job so each
+//! point can warm-start from its immediate neighbor, while distinct jobs
+//! run concurrently across workers against the shared [`SweepCache`].
+
+use crate::cache::{CacheConfig, CacheStats, SweepCache};
+use crate::job::{JobMetrics, JobResult, JobState, PointObservables};
+use crate::sweep::SweepSpec;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use omen_core::{ConfigError, Simulation};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Reserved queue id that tells a worker to exit.
+const SHUTDOWN: u64 = u64::MAX;
+
+/// Server sizing knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads (jobs in flight concurrently); min 1.
+    pub workers: usize,
+    /// Warm-start cache budget.
+    pub cache: CacheConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+struct JobEntry {
+    spec: SweepSpec,
+    state: JobState,
+    cancel: Arc<AtomicBool>,
+    result: Option<JobResult>,
+}
+
+struct Inner {
+    jobs: Mutex<HashMap<u64, JobEntry>>,
+    /// Notified on every job state change.
+    changed: Condvar,
+    cache: Mutex<SweepCache>,
+    /// Workers take turns blocking on the shared receiver.
+    queue: Mutex<Receiver<u64>>,
+}
+
+/// A rejected submission.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SubmitError {
+    /// A sweep point's configuration failed validation.
+    Invalid(ConfigError),
+    /// The sweep has no points.
+    EmptySweep,
+    /// The server has shut down.
+    Shutdown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Invalid(err) => write!(f, "invalid sweep point: {err}"),
+            SubmitError::EmptySweep => write!(f, "sweep has no points"),
+            SubmitError::Shutdown => write!(f, "server has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why a job produced no complete result.
+#[derive(Clone, Debug)]
+pub enum JobError {
+    /// Cancelled; carries the partial result (completed points).
+    Cancelled(JobResult),
+    /// A point failed mid-run.
+    Failed(String),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Cancelled(partial) => {
+                write!(f, "job cancelled after {} points", partial.points.len())
+            }
+            JobError::Failed(msg) => write!(f, "job failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Submission endpoint; cheap to clone and hand to other threads.
+#[derive(Clone)]
+pub struct SweepClient {
+    inner: Arc<Inner>,
+    tx: Sender<u64>,
+    next_id: Arc<AtomicU64>,
+}
+
+impl SweepClient {
+    /// Validates and enqueues `spec`, returning a handle to await it.
+    pub fn submit(&self, spec: SweepSpec) -> Result<JobHandle, SubmitError> {
+        if spec.is_empty() {
+            return Err(SubmitError::EmptySweep);
+        }
+        spec.validate().map_err(SubmitError::Invalid)?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.inner.jobs.lock().insert(
+            id,
+            JobEntry {
+                spec,
+                state: JobState::Queued,
+                cancel: Arc::new(AtomicBool::new(false)),
+                result: None,
+            },
+        );
+        if self.tx.send(id).is_err() {
+            self.inner.jobs.lock().remove(&id);
+            return Err(SubmitError::Shutdown);
+        }
+        Ok(JobHandle {
+            id,
+            inner: Arc::clone(&self.inner),
+        })
+    }
+}
+
+/// A submitted job: poll, cancel, or block for the result.
+pub struct JobHandle {
+    id: u64,
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle").field("id", &self.id).finish()
+    }
+}
+
+impl JobHandle {
+    /// Server-assigned job id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> JobState {
+        self.inner.jobs.lock()[&self.id].state.clone()
+    }
+
+    /// Requests cancellation. A queued job cancels immediately; a running
+    /// job stops after the point in flight. Completed points stay
+    /// available as the partial result.
+    pub fn cancel(&self) {
+        let mut jobs = self.inner.jobs.lock();
+        if let Some(entry) = jobs.get_mut(&self.id) {
+            entry.cancel.store(true, Ordering::Relaxed);
+            if entry.state == JobState::Queued {
+                entry.state = JobState::Cancelled;
+                entry.result = Some(JobResult::default());
+            }
+        }
+        drop(jobs);
+        self.inner.changed.notify_all();
+    }
+
+    /// Blocks until the job reaches a terminal state.
+    pub fn wait(&self) -> Result<JobResult, JobError> {
+        let mut jobs = self.inner.jobs.lock();
+        loop {
+            let entry = &jobs[&self.id];
+            match &entry.state {
+                JobState::Completed => {
+                    return Ok(entry.result.clone().unwrap_or_default());
+                }
+                JobState::Cancelled => {
+                    return Err(JobError::Cancelled(
+                        entry.result.clone().unwrap_or_default(),
+                    ));
+                }
+                JobState::Failed(msg) => return Err(JobError::Failed(msg.clone())),
+                JobState::Queued | JobState::Running { .. } => {}
+            }
+            jobs = self.inner.changed.wait(jobs);
+        }
+    }
+
+    /// Blocks until done and returns the per-point observables.
+    pub fn await_observables(&self) -> Result<Vec<PointObservables>, JobError> {
+        self.wait().map(|result| result.points)
+    }
+}
+
+/// The service: owns the workers and the warm-start cache.
+pub struct SweepServer {
+    inner: Arc<Inner>,
+    client: SweepClient,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SweepServer {
+    /// Starts the worker pool.
+    pub fn start(config: ServerConfig) -> SweepServer {
+        let (tx, rx) = unbounded();
+        let inner = Arc::new(Inner {
+            jobs: Mutex::new(HashMap::new()),
+            changed: Condvar::new(),
+            cache: Mutex::new(SweepCache::new(config.cache)),
+            queue: Mutex::new(rx),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("omen-serve-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn sweep worker")
+            })
+            .collect();
+        let client = SweepClient {
+            inner: Arc::clone(&inner),
+            tx,
+            next_id: Arc::new(AtomicU64::new(0)),
+        };
+        SweepServer {
+            inner,
+            client,
+            workers,
+        }
+    }
+
+    /// A submission endpoint (cloneable, usable from any thread).
+    pub fn client(&self) -> SweepClient {
+        self.client.clone()
+    }
+
+    /// Submits directly through the server's own client.
+    pub fn submit(&self, spec: SweepSpec) -> Result<JobHandle, SubmitError> {
+        self.client.submit(spec)
+    }
+
+    /// Warm-start cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.lock().stats()
+    }
+
+    /// Bytes currently held by the warm-start cache.
+    pub fn cache_bytes(&self) -> usize {
+        self.inner.cache.lock().bytes()
+    }
+}
+
+impl Drop for SweepServer {
+    /// Sends one shutdown sentinel per worker and joins them. In-flight
+    /// jobs finish; queued jobs behind the sentinels never start.
+    fn drop(&mut self) {
+        for _ in &self.workers {
+            let _ = self.client.tx.send(SHUTDOWN);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let id = {
+            let rx = inner.queue.lock();
+            match rx.recv() {
+                Ok(id) => id,
+                Err(_) => return,
+            }
+        };
+        if id == SHUTDOWN {
+            return;
+        }
+        run_job(inner, id);
+    }
+}
+
+/// Runs one sweep job to a terminal state. Points run in sweep order so
+/// every point after the first finds a same-sweep donor in the cache.
+fn run_job(inner: &Inner, id: u64) {
+    let (spec, cancel) = {
+        let mut jobs = inner.jobs.lock();
+        let Some(entry) = jobs.get_mut(&id) else {
+            return;
+        };
+        if entry.state.is_terminal() {
+            return; // cancelled while queued
+        }
+        entry.state = JobState::Running {
+            completed: 0,
+            total: entry.spec.len(),
+        };
+        (entry.spec.clone(), Arc::clone(&entry.cancel))
+    };
+    inner.changed.notify_all();
+
+    let scenario = spec.scenario_hash();
+    let total = spec.len();
+    let t0 = Instant::now();
+    let mut result = JobResult {
+        points: Vec::with_capacity(total),
+        metrics: JobMetrics::default(),
+    };
+    // Baseline for "iterations saved": the job's worst cold point.
+    let mut cold_baseline: u32 = 0;
+    for (i, &value) in spec.values.iter().enumerate() {
+        if cancel.load(Ordering::Relaxed) {
+            finish(inner, id, JobState::Cancelled, result, t0);
+            return;
+        }
+        let mut sim = match Simulation::new(spec.config_for(i)) {
+            Ok(sim) => sim,
+            Err(err) => {
+                finish(inner, id, JobState::Failed(err.to_string()), result, t0);
+                return;
+            }
+        };
+        let donor = inner.cache.lock().nearest(scenario, spec.axis, value);
+        let mut warm = false;
+        let mut donor_value = None;
+        match donor {
+            Some((dv, data)) => {
+                result.metrics.cache_hits += 1;
+                if sim
+                    .warm_start_with(&data, spec.axis.changes_boundaries())
+                    .is_ok()
+                {
+                    warm = true;
+                    donor_value = Some(dv);
+                }
+            }
+            None => result.metrics.cache_misses += 1,
+        }
+        let run = sim.run();
+        let iterations = run.records.len() as u32;
+        result.metrics.points += 1;
+        result.metrics.born_iterations += iterations;
+        if warm {
+            result.metrics.warm_points += 1;
+            result.metrics.iterations_saved += cold_baseline.saturating_sub(iterations);
+        } else {
+            cold_baseline = cold_baseline.max(iterations);
+        }
+        result.points.push(PointObservables {
+            value,
+            current: run.current(),
+            iterations,
+            warm,
+            donor: donor_value,
+        });
+        inner
+            .cache
+            .lock()
+            .insert(scenario, spec.axis, value, sim.warm_start_data());
+        {
+            let mut jobs = inner.jobs.lock();
+            if let Some(entry) = jobs.get_mut(&id) {
+                entry.state = JobState::Running {
+                    completed: i + 1,
+                    total,
+                };
+            }
+        }
+        inner.changed.notify_all();
+    }
+    finish(inner, id, JobState::Completed, result, t0);
+}
+
+fn finish(inner: &Inner, id: u64, state: JobState, mut result: JobResult, t0: Instant) {
+    result.metrics.seconds = t0.elapsed().as_secs_f64();
+    {
+        let mut jobs = inner.jobs.lock();
+        if let Some(entry) = jobs.get_mut(&id) {
+            entry.result = Some(result);
+            entry.state = state;
+        }
+    }
+    inner.changed.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepSpec;
+    use omen_core::{Simulation, SimulationConfig};
+
+    fn one_worker() -> SweepServer {
+        SweepServer::start(ServerConfig {
+            workers: 1,
+            cache: CacheConfig::default(),
+        })
+    }
+
+    #[test]
+    fn e2e_job_lifecycle() {
+        let server = one_worker();
+        let handle = server
+            .submit(SweepSpec::finfet_bias_quick())
+            .expect("valid sweep");
+        let result = handle.wait().expect("job completes");
+        assert_eq!(handle.state(), JobState::Completed);
+        assert_eq!(result.points.len(), 4);
+        assert!(result.points.iter().all(|p| p.current > 0.0));
+        // First point is cold, the rest warm-start off their neighbor.
+        assert!(!result.points[0].warm);
+        assert!(result.points[1..].iter().all(|p| p.warm));
+        assert_eq!(result.points[1].donor, Some(result.points[0].value));
+        let m = result.metrics;
+        assert_eq!((m.points, m.warm_points), (4, 3));
+        assert_eq!((m.cache_hits, m.cache_misses), (3, 1));
+        assert!((m.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert!(server.cache_bytes() > 0);
+    }
+
+    #[test]
+    fn warm_sweep_matches_cold_and_saves_iterations() {
+        // Cold reference: each point as an independent simulation.
+        let spec = SweepSpec::finfet_bias_quick();
+        let tolerance = spec.base.tolerance;
+        let mut cold_currents = Vec::new();
+        let mut cold_iterations = 0u32;
+        for i in 0..spec.len() {
+            let run = Simulation::new(spec.config_for(i))
+                .expect("valid config")
+                .run();
+            cold_currents.push(run.current());
+            cold_iterations += run.records.len() as u32;
+        }
+
+        let server = one_worker();
+        let result = server
+            .submit(spec)
+            .expect("valid sweep")
+            .wait()
+            .expect("job completes");
+
+        // Observables match the cold references at tight tolerance: both
+        // converged the same fixed-point equation to `tolerance`.
+        for (point, cold) in result.points.iter().zip(&cold_currents) {
+            let rel = ((point.current - cold) / cold).abs();
+            assert!(
+                rel < 10.0 * tolerance,
+                "warm current {} vs cold {} at {} (rel {rel})",
+                point.current,
+                cold,
+                point.value
+            );
+        }
+        // Warm starts strictly reduce the total Born iteration count.
+        assert!(
+            result.metrics.born_iterations < cold_iterations,
+            "warm sweep must save iterations: {} vs cold {}",
+            result.metrics.born_iterations,
+            cold_iterations
+        );
+        assert!(result.metrics.iterations_saved > 0);
+    }
+
+    #[test]
+    fn cancellation_of_queued_job_is_immediate() {
+        let server = one_worker();
+        // Occupy the single worker …
+        let busy = server
+            .submit(SweepSpec::finfet_bias_quick())
+            .expect("valid sweep");
+        // … then cancel a job that is still queued behind it.
+        let queued = server
+            .submit(SweepSpec::finfet_bias(6))
+            .expect("valid sweep");
+        queued.cancel();
+        match queued.wait() {
+            Err(JobError::Cancelled(partial)) => assert!(partial.points.is_empty()),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        assert_eq!(queued.state(), JobState::Cancelled);
+        // The busy job is unaffected.
+        assert_eq!(busy.wait().expect("completes").points.len(), 4);
+    }
+
+    #[test]
+    fn submit_rejects_bad_sweeps() {
+        let server = one_worker();
+        let empty = SweepSpec::new(SimulationConfig::tiny(), crate::SweepAxis::Bias, vec![]);
+        assert_eq!(server.submit(empty).unwrap_err(), SubmitError::EmptySweep);
+        let invalid = SweepSpec::new(
+            SimulationConfig::tiny(),
+            crate::SweepAxis::Temperature,
+            vec![0.025, -1.0],
+        );
+        assert!(matches!(
+            server.submit(invalid).unwrap_err(),
+            SubmitError::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn second_job_reuses_the_shared_cache_across_jobs() {
+        let server = one_worker();
+        let spec = SweepSpec::finfet_bias_quick();
+        let first = server
+            .submit(spec.clone())
+            .expect("valid sweep")
+            .wait()
+            .expect("completes");
+        // Resubmitting the same sweep finds donors for *every* point.
+        let second = server
+            .submit(spec)
+            .expect("valid sweep")
+            .wait()
+            .expect("completes");
+        assert_eq!(second.metrics.cache_misses, 0);
+        assert_eq!(second.metrics.warm_points, 4);
+        assert!(second.metrics.born_iterations <= first.metrics.born_iterations);
+    }
+}

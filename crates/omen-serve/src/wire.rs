@@ -1,0 +1,267 @@
+//! Wire encoding of sweep jobs and results.
+//!
+//! Messages ride the workspace's `C64` transport: the payload is a
+//! little-endian byte string framed by [`omen_comm::encode_frame`] — the
+//! same bit-preserving packing the staged material broadcast uses — so a
+//! remote rank can submit sweeps and read observables through the
+//! simulated MPI (or any other `C64` channel).
+
+use crate::job::{JobMetrics, JobResult, PointObservables};
+use crate::sweep::{SweepAxis, SweepSpec};
+use omen_comm::{decode_frame, encode_frame};
+use omen_core::SimulationConfig;
+use omen_linalg::C64;
+
+/// Frame kind of a job request.
+pub const FRAME_JOB: u32 = 0x4a4f_4201; // "JOB\x01"
+/// Frame kind of a job result.
+pub const FRAME_RESULT: u32 = 0x5245_5301; // "RES\x01"
+
+/// A sweep job as it travels the wire: a named base-scenario preset plus
+/// the axis and values. Presets keep the payload small — the full
+/// `SimulationConfig` stays server-side, resolved by name.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobRequest {
+    /// Base-scenario preset name (see [`resolve_preset`]).
+    pub preset: String,
+    /// The swept knob.
+    pub axis: SweepAxis,
+    /// Swept values, in sweep order.
+    pub values: Vec<f64>,
+}
+
+impl JobRequest {
+    /// Resolves the preset and assembles the executable sweep spec.
+    pub fn to_spec(&self) -> Option<SweepSpec> {
+        let base = resolve_preset(&self.preset)?;
+        Some(SweepSpec::new(base, self.axis, self.values.clone()))
+    }
+}
+
+/// Maps a wire preset name to a base scenario.
+pub fn resolve_preset(name: &str) -> Option<SimulationConfig> {
+    match name {
+        "tiny" => Some(SimulationConfig::tiny()),
+        "demo" => Some(SimulationConfig::demo()),
+        _ => None,
+    }
+}
+
+/// Encodes a job request as a `C64` frame of kind [`FRAME_JOB`].
+pub fn encode_job(request: &JobRequest) -> Vec<C64> {
+    let mut bytes = Vec::new();
+    bytes.push(request.axis.tag());
+    let name = request.preset.as_bytes();
+    put_u32(&mut bytes, name.len() as u32);
+    bytes.extend_from_slice(name);
+    put_u32(&mut bytes, request.values.len() as u32);
+    for &v in &request.values {
+        put_f64(&mut bytes, v);
+    }
+    encode_frame(FRAME_JOB, &bytes)
+}
+
+/// Decodes a [`FRAME_JOB`] frame back into a request.
+pub fn decode_job(frame: &[C64]) -> Option<JobRequest> {
+    let (kind, bytes) = decode_frame(frame)?;
+    if kind != FRAME_JOB {
+        return None;
+    }
+    let mut cur = Cursor::new(&bytes);
+    let axis = SweepAxis::from_tag(cur.u8()?)?;
+    let name_len = cur.u32()? as usize;
+    let preset = String::from_utf8(cur.take(name_len)?.to_vec()).ok()?;
+    let n = cur.u32()? as usize;
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        values.push(cur.f64()?);
+    }
+    cur.done()?;
+    Some(JobRequest {
+        preset,
+        axis,
+        values,
+    })
+}
+
+/// Encodes a job result as a `C64` frame of kind [`FRAME_RESULT`].
+pub fn encode_result(result: &JobResult) -> Vec<C64> {
+    let mut bytes = Vec::new();
+    put_u32(&mut bytes, result.points.len() as u32);
+    for p in &result.points {
+        put_f64(&mut bytes, p.value);
+        put_f64(&mut bytes, p.current);
+        put_u32(&mut bytes, p.iterations);
+        bytes.push(p.warm as u8);
+        bytes.push(p.donor.is_some() as u8);
+        put_f64(&mut bytes, p.donor.unwrap_or(0.0));
+    }
+    let m = &result.metrics;
+    put_u32(&mut bytes, m.points);
+    put_u32(&mut bytes, m.warm_points);
+    put_u32(&mut bytes, m.born_iterations);
+    put_u32(&mut bytes, m.iterations_saved);
+    put_u64(&mut bytes, m.cache_hits);
+    put_u64(&mut bytes, m.cache_misses);
+    put_f64(&mut bytes, m.seconds);
+    encode_frame(FRAME_RESULT, &bytes)
+}
+
+/// Decodes a [`FRAME_RESULT`] frame back into a result.
+pub fn decode_result(frame: &[C64]) -> Option<JobResult> {
+    let (kind, bytes) = decode_frame(frame)?;
+    if kind != FRAME_RESULT {
+        return None;
+    }
+    let mut cur = Cursor::new(&bytes);
+    let n = cur.u32()? as usize;
+    let mut points = Vec::with_capacity(n);
+    for _ in 0..n {
+        let value = cur.f64()?;
+        let current = cur.f64()?;
+        let iterations = cur.u32()?;
+        let warm = cur.u8()? != 0;
+        let has_donor = cur.u8()? != 0;
+        let donor_value = cur.f64()?;
+        points.push(PointObservables {
+            value,
+            current,
+            iterations,
+            warm,
+            donor: has_donor.then_some(donor_value),
+        });
+    }
+    let metrics = JobMetrics {
+        points: cur.u32()?,
+        warm_points: cur.u32()?,
+        born_iterations: cur.u32()?,
+        iterations_saved: cur.u32()?,
+        cache_hits: cur.u64()?,
+        cache_misses: cur.u64()?,
+        seconds: cur.f64()?,
+    };
+    cur.done()?;
+    Some(JobResult { points, metrics })
+}
+
+fn put_u32(bytes: &mut Vec<u8>, v: u32) {
+    bytes.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(bytes: &mut Vec<u8>, v: u64) {
+    bytes.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(bytes: &mut Vec<u8>, v: f64) {
+    bytes.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Bounds-checked little-endian reader.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Cursor<'a> {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let slice = self.bytes.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    /// `Some(())` only when every byte was consumed.
+    fn done(&self) -> Option<()> {
+        (self.pos == self.bytes.len()).then_some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_request_round_trip() {
+        let request = JobRequest {
+            preset: "tiny".into(),
+            axis: SweepAxis::Bias,
+            values: vec![0.2, 0.25, 0.3],
+        };
+        let frame = encode_job(&request);
+        assert_eq!(decode_job(&frame), Some(request.clone()));
+        let spec = request.to_spec().expect("known preset");
+        assert_eq!(spec.len(), 3);
+        spec.validate().expect("valid points");
+
+        // Unknown presets resolve to nothing; wrong kinds decode to none.
+        assert!(JobRequest {
+            preset: "planetary".into(),
+            ..request
+        }
+        .to_spec()
+        .is_none());
+        assert_eq!(decode_result(&frame).map(|_| ()), None);
+    }
+
+    #[test]
+    fn job_result_round_trip() {
+        let result = JobResult {
+            points: vec![
+                PointObservables {
+                    value: 0.2,
+                    current: 1.5e-6,
+                    iterations: 6,
+                    warm: false,
+                    donor: None,
+                },
+                PointObservables {
+                    value: 0.25,
+                    current: 1.9e-6,
+                    iterations: 3,
+                    warm: true,
+                    donor: Some(0.2),
+                },
+            ],
+            metrics: JobMetrics {
+                points: 2,
+                warm_points: 1,
+                born_iterations: 9,
+                iterations_saved: 3,
+                cache_hits: 1,
+                cache_misses: 1,
+                seconds: 0.42,
+            },
+        };
+        let frame = encode_result(&result);
+        let back = decode_result(&frame).expect("valid frame");
+        assert_eq!(back.points.len(), 2);
+        assert_eq!(back.points[1].donor, Some(0.2));
+        assert_eq!(back.points[1].iterations, 3);
+        assert!(back.points[1].warm && !back.points[0].warm);
+        assert_eq!(back.metrics.iterations_saved, 3);
+        assert_eq!(back.metrics.seconds, 0.42);
+
+        // Truncated frames are rejected.
+        assert!(decode_result(&frame[..frame.len() - 1]).is_none());
+        assert!(decode_job(&frame).is_none());
+    }
+}

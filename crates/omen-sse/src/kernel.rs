@@ -7,54 +7,162 @@
 //! in any layout and the kernel converts when needed (conversion is
 //! skipped when the input already matches, so a driver that caches the
 //! preferred layout pays nothing).
+//!
+//! Kernels are *stateful*: `run` takes `&mut self` and writes into
+//! double-buffered output tensors owned by the kernel (see
+//! [`KernelState`]), so a warm Born loop re-applies the kernel without
+//! touching the heap. The previous iteration's output stays readable in
+//! the other buffer, which is what makes [`SseKernel::output_delta`] — the
+//! relative Σ change between consecutive Born iterations — free to
+//! compute.
 
-use crate::mixed::{sse_mixed, MixedConfig};
+use crate::mixed::{sse_mixed_into, MixedConfig, MixedScratch};
 use crate::problem::SseProblem;
-use crate::reference::{sse_reference, SseOutput};
+use crate::reference::{sse_reference_into, SseOutput};
 use crate::tensors::{DLayout, DTensor, GLayout, GTensor};
-use crate::transformed::sse_transformed;
+use crate::transformed::{sse_transformed_into, Transients};
+use omen_linalg::Workspace;
+
+/// Reusable state shared by every kernel implementation: layout-conversion
+/// staging tensors and the double-buffered outputs.
+///
+/// All buffers start empty and materialize on first use; from the second
+/// `run` on the same problem shape onward the kernel performs zero heap
+/// allocations (pinned by `tests/integration_alloc.rs`).
+#[derive(Default)]
+pub struct KernelState {
+    gl_conv: GTensor,
+    gg_conv: GTensor,
+    dl_conv: DTensor,
+    dg_conv: DTensor,
+    out: [SseOutput; 2],
+    cur: usize,
+    ran: [bool; 2],
+}
+
+impl KernelState {
+    /// Fresh state; performs no allocation.
+    pub fn new() -> Self {
+        KernelState {
+            gl_conv: GTensor::zeros(0, 0, 0, 0, GLayout::PairMajor),
+            gg_conv: GTensor::zeros(0, 0, 0, 0, GLayout::PairMajor),
+            dl_conv: DTensor::zeros(0, 0, 0, 0, DLayout::PointMajor),
+            dg_conv: DTensor::zeros(0, 0, 0, 0, DLayout::PointMajor),
+            out: [SseOutput::empty(), SseOutput::empty()],
+            cur: 0,
+            ran: [false, false],
+        }
+    }
+
+    /// Advances to the other output buffer and returns its index.
+    fn flip(&mut self) -> usize {
+        if self.ran[self.cur] {
+            self.cur = 1 - self.cur;
+        }
+        self.cur
+    }
+
+    /// The most recently produced output.
+    pub fn output(&self) -> &SseOutput {
+        &self.out[self.cur]
+    }
+
+    /// Relative max-norm change of `Σ^<` between the two most recent
+    /// applications, or `None` before two runs have completed (or after
+    /// [`reset_history`](Self::reset_history)). A cheap convergence
+    /// diagnostic for the Born loop that costs no extra storage thanks to
+    /// the double buffer.
+    pub fn output_delta(&self) -> Option<f64> {
+        let prev = 1 - self.cur;
+        if !(self.ran[self.cur] && self.ran[prev]) {
+            return None;
+        }
+        let a = &self.out[self.cur].sigma_l;
+        let b = &self.out[prev].sigma_l;
+        if (a.nk, a.ne, a.na, a.norb) != (b.nk, b.ne, b.na, b.norb) {
+            return None;
+        }
+        let scale = a.max_abs().max(1e-300);
+        Some(a.max_deviation(b) / scale)
+    }
+
+    /// Forgets run history (e.g. when the same kernel instance is reused
+    /// for a different sweep point) while keeping the allocated buffers.
+    pub fn reset_history(&mut self) {
+        self.ran = [false, false];
+    }
+}
 
 /// One scattering-self-energy evaluation strategy.
 ///
-/// Implementations must be pure: the same inputs produce the same outputs,
-/// and no state is carried between calls (the driver may call `run`
-/// concurrently from different simulations).
-pub trait SseKernel: Send + Sync {
+/// Implementations must be deterministic — the same inputs produce the
+/// same output values — but are stateful for reuse: `run` borrows the
+/// kernel mutably and the returned output lives inside the kernel's
+/// double buffer. A driver owns one kernel per simulation; concurrent
+/// simulations each own their own instance (the trait is `Send` so whole
+/// simulations migrate between worker threads, as in `omen-serve`).
+pub trait SseKernel: Send {
     /// Short identifier for logs and benchmark tables.
     fn name(&self) -> &'static str;
 
-    /// Evaluates `Σ^≷` and `Π^≷` from the Green's function tensors.
+    /// Evaluates `Σ^≷` and `Π^≷` from the Green's function tensors into
+    /// the kernel's current output buffer.
     fn run(
-        &self,
+        &mut self,
         prob: &SseProblem,
         g_l: &GTensor,
         g_g: &GTensor,
         d_l: &DTensor,
         d_g: &DTensor,
-    ) -> SseOutput;
-}
+    ) -> &SseOutput;
 
-/// Borrows `g` when it is already in `want` layout, converting otherwise.
-fn in_layout(g: &GTensor, want: GLayout) -> std::borrow::Cow<'_, GTensor> {
-    if g.layout == want {
-        std::borrow::Cow::Borrowed(g)
-    } else {
-        std::borrow::Cow::Owned(g.to_layout(want))
+    /// The shared reusable state (double buffer + staging tensors).
+    fn state(&self) -> &KernelState;
+
+    /// Mutable access to the shared state.
+    fn state_mut(&mut self) -> &mut KernelState;
+
+    /// Relative `Σ^<` change between the last two applications (see
+    /// [`KernelState::output_delta`]).
+    fn output_delta(&self) -> Option<f64> {
+        self.state().output_delta()
     }
 }
 
-/// Borrows `d` when it is already in `want` layout, converting otherwise.
-fn in_layout_d(d: &DTensor, want: DLayout) -> std::borrow::Cow<'_, DTensor> {
-    if d.layout == want {
-        std::borrow::Cow::Borrowed(d)
+/// Stages `g` in `want` layout: pass-through when it already matches,
+/// otherwise an allocation-free conversion into `buf`.
+fn staged_g<'a>(g: &'a GTensor, want: GLayout, buf: &'a mut GTensor) -> &'a GTensor {
+    if g.layout == want {
+        g
     } else {
-        std::borrow::Cow::Owned(d.to_layout(want))
+        g.to_layout_into(want, buf);
+        buf
+    }
+}
+
+/// Stages `d` in `want` layout (see [`staged_g`]).
+fn staged_d<'a>(d: &'a DTensor, want: DLayout, buf: &'a mut DTensor) -> &'a DTensor {
+    if d.layout == want {
+        d
+    } else {
+        d.to_layout_into(want, buf);
+        buf
     }
 }
 
 /// The OMEN-style reference loop nest (baseline; §5.3, Table 10).
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ReferenceKernel;
+#[derive(Default)]
+pub struct ReferenceKernel {
+    state: KernelState,
+    ws: Workspace,
+}
+
+impl ReferenceKernel {
+    /// A fresh reference kernel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 impl SseKernel for ReferenceKernel {
     fn name(&self) -> &'static str {
@@ -62,25 +170,46 @@ impl SseKernel for ReferenceKernel {
     }
 
     fn run(
-        &self,
+        &mut self,
         prob: &SseProblem,
         g_l: &GTensor,
         g_g: &GTensor,
         d_l: &DTensor,
         d_g: &DTensor,
-    ) -> SseOutput {
-        let gl = in_layout(g_l, GLayout::PairMajor);
-        let gg = in_layout(g_g, GLayout::PairMajor);
-        let dl = in_layout_d(d_l, DLayout::PointMajor);
-        let dg = in_layout_d(d_g, DLayout::PointMajor);
-        sse_reference(prob, &gl, &gg, &dl, &dg)
+    ) -> &SseOutput {
+        let cur = self.state.flip();
+        let gl = staged_g(g_l, GLayout::PairMajor, &mut self.state.gl_conv);
+        let gg = staged_g(g_g, GLayout::PairMajor, &mut self.state.gg_conv);
+        let dl = staged_d(d_l, DLayout::PointMajor, &mut self.state.dl_conv);
+        let dg = staged_d(d_g, DLayout::PointMajor, &mut self.state.dg_conv);
+        sse_reference_into(prob, gl, gg, dl, dg, &mut self.ws, &mut self.state.out[cur]);
+        self.state.ran[cur] = true;
+        &self.state.out[cur]
+    }
+
+    fn state(&self) -> &KernelState {
+        &self.state
+    }
+
+    fn state_mut(&mut self) -> &mut KernelState {
+        &mut self.state
     }
 }
 
 /// The DaCe-transformed kernel (map fission, relayout, strided-batched
 /// GEMM, fusion; Fig. 6).
-#[derive(Clone, Copy, Debug, Default)]
-pub struct TransformedKernel;
+#[derive(Default)]
+pub struct TransformedKernel {
+    state: KernelState,
+    tr: Transients,
+}
+
+impl TransformedKernel {
+    /// A fresh transformed kernel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 impl SseKernel for TransformedKernel {
     fn name(&self) -> &'static str {
@@ -88,32 +217,49 @@ impl SseKernel for TransformedKernel {
     }
 
     fn run(
-        &self,
+        &mut self,
         prob: &SseProblem,
         g_l: &GTensor,
         g_g: &GTensor,
         d_l: &DTensor,
         d_g: &DTensor,
-    ) -> SseOutput {
-        let gl = in_layout(g_l, GLayout::AtomMajor);
-        let gg = in_layout(g_g, GLayout::AtomMajor);
-        let dl = in_layout_d(d_l, DLayout::PointMajor);
-        let dg = in_layout_d(d_g, DLayout::PointMajor);
-        sse_transformed(prob, &gl, &gg, &dl, &dg)
+    ) -> &SseOutput {
+        let cur = self.state.flip();
+        let gl = staged_g(g_l, GLayout::AtomMajor, &mut self.state.gl_conv);
+        let gg = staged_g(g_g, GLayout::AtomMajor, &mut self.state.gg_conv);
+        let dl = staged_d(d_l, DLayout::PointMajor, &mut self.state.dl_conv);
+        let dg = staged_d(d_g, DLayout::PointMajor, &mut self.state.dg_conv);
+        sse_transformed_into(prob, gl, gg, dl, dg, &mut self.tr, &mut self.state.out[cur]);
+        self.state.ran[cur] = true;
+        &self.state.out[cur]
+    }
+
+    fn state(&self) -> &KernelState {
+        &self.state
+    }
+
+    fn state_mut(&mut self) -> &mut KernelState {
+        &mut self.state
     }
 }
 
 /// The Tensor-Core-emulating binary16 kernel (§5.4).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Default)]
 pub struct MixedKernel {
     /// Normalization policy of the f16 conversion.
     pub config: MixedConfig,
+    state: KernelState,
+    scratch: MixedScratch,
 }
 
 impl MixedKernel {
     /// A mixed-precision kernel with the given configuration.
     pub fn new(config: MixedConfig) -> Self {
-        MixedKernel { config }
+        MixedKernel {
+            config,
+            state: KernelState::new(),
+            scratch: MixedScratch::empty(),
+        }
     }
 }
 
@@ -123,24 +269,45 @@ impl SseKernel for MixedKernel {
     }
 
     fn run(
-        &self,
+        &mut self,
         prob: &SseProblem,
         g_l: &GTensor,
         g_g: &GTensor,
         d_l: &DTensor,
         d_g: &DTensor,
-    ) -> SseOutput {
-        let gl = in_layout(g_l, GLayout::AtomMajor);
-        let gg = in_layout(g_g, GLayout::AtomMajor);
-        let dl = in_layout_d(d_l, DLayout::PointMajor);
-        let dg = in_layout_d(d_g, DLayout::PointMajor);
-        sse_mixed(prob, &gl, &gg, &dl, &dg, self.config)
+    ) -> &SseOutput {
+        let cur = self.state.flip();
+        let gl = staged_g(g_l, GLayout::AtomMajor, &mut self.state.gl_conv);
+        let gg = staged_g(g_g, GLayout::AtomMajor, &mut self.state.gg_conv);
+        let dl = staged_d(d_l, DLayout::PointMajor, &mut self.state.dl_conv);
+        let dg = staged_d(d_g, DLayout::PointMajor, &mut self.state.dg_conv);
+        sse_mixed_into(
+            prob,
+            gl,
+            gg,
+            dl,
+            dg,
+            self.config,
+            &mut self.scratch,
+            &mut self.state.out[cur],
+        );
+        self.state.ran[cur] = true;
+        &self.state.out[cur]
+    }
+
+    fn state(&self) -> &KernelState {
+        &self.state
+    }
+
+    fn state_mut(&mut self) -> &mut KernelState {
+        &mut self.state
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::sse_reference;
     use crate::testutil::{random_inputs, tiny_device, tiny_problem};
 
     #[test]
@@ -149,19 +316,19 @@ mod tests {
         let prob = tiny_problem(&dev);
         let (gl, gg, dl, dg) = random_inputs(&prob, 7);
         let direct = sse_reference(&prob, &gl, &gg, &dl, &dg);
-        let kernels: Vec<Box<dyn SseKernel>> = vec![
-            Box::new(ReferenceKernel),
-            Box::new(TransformedKernel),
+        let mut kernels: Vec<Box<dyn SseKernel>> = vec![
+            Box::new(ReferenceKernel::new()),
+            Box::new(TransformedKernel::new()),
             Box::new(MixedKernel::default()),
         ];
-        for k in &kernels {
+        for k in &mut kernels {
+            let name = k.name();
             let out = k.run(&prob, &gl, &gg, &dl, &dg);
             let scale = direct.sigma_l.max_abs().max(1e-300);
-            let tol = if k.name() == "mixed-f16" { 1e-2 } else { 1e-10 };
+            let tol = if name == "mixed-f16" { 1e-2 } else { 1e-10 };
             assert!(
                 out.sigma_l.max_deviation(&direct.sigma_l) / scale < tol,
-                "{} deviates from reference",
-                k.name()
+                "{name} deviates from reference"
             );
         }
     }
@@ -174,9 +341,34 @@ mod tests {
         let gla = gl.to_layout(GLayout::AtomMajor);
         let gga = gg.to_layout(GLayout::AtomMajor);
         // Same kernel, both input layouts: identical results.
-        let a = TransformedKernel.run(&prob, &gl, &gg, &dl, &dg);
-        let b = TransformedKernel.run(&prob, &gla, &gga, &dl, &dg);
+        let a = TransformedKernel::new()
+            .run(&prob, &gl, &gg, &dl, &dg)
+            .clone();
+        let b = TransformedKernel::new()
+            .run(&prob, &gla, &gga, &dl, &dg)
+            .clone();
         assert_eq!(a.sigma_l.max_deviation(&b.sigma_l), 0.0);
         assert_eq!(a.flops, b.flops);
+    }
+
+    #[test]
+    fn double_buffer_tracks_delta() {
+        let dev = tiny_device();
+        let prob = tiny_problem(&dev);
+        let (gl, gg, dl, dg) = random_inputs(&prob, 19);
+        let mut k = ReferenceKernel::new();
+        assert!(k.output_delta().is_none(), "no delta before any run");
+        k.run(&prob, &gl, &gg, &dl, &dg);
+        assert!(k.output_delta().is_none(), "no delta after a single run");
+        k.run(&prob, &gl, &gg, &dl, &dg);
+        // Identical inputs: the two buffers must agree exactly.
+        assert_eq!(k.output_delta(), Some(0.0));
+        // Different inputs: delta becomes nonzero, and the previous
+        // output is still intact in the other buffer.
+        let (gl2, gg2, ..) = random_inputs(&prob, 23);
+        k.run(&prob, &gl2, &gg2, &dl, &dg);
+        assert!(k.output_delta().unwrap() > 0.0);
+        k.state_mut().reset_history();
+        assert!(k.output_delta().is_none(), "history reset clears delta");
     }
 }

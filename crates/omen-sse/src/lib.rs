@@ -25,13 +25,13 @@ pub mod transformed;
 pub mod testutil;
 
 pub use flops::{sse_flops_dace, sse_flops_omen, SseFlopParams};
-pub use kernel::{MixedKernel, ReferenceKernel, SseKernel, TransformedKernel};
+pub use kernel::{KernelState, MixedKernel, ReferenceKernel, SseKernel, TransformedKernel};
 pub use mixed::{sse_mixed, sse_mixed_into, MixedConfig, MixedScratch};
 pub use point_kernels::{
     pi_round_update, pi_round_update_into, sigma_round_update, sigma_round_update_atoms,
     sigma_round_update_atoms_ws, sigma_round_update_ws, DBlocks, GBlocks,
 };
-pub use problem::SseProblem;
+pub use problem::{compute_rev_pair, SseProblem};
 pub use reference::{
     d_combination, d_combination_from, sse_reference, sse_reference_into, trace_product, SseOutput,
 };

@@ -2,6 +2,7 @@
 //! the directed-pair topology extracted from the device.
 
 use omen_device::DeviceStructure;
+use std::borrow::Cow;
 
 /// One SSE evaluation problem: the energy/momentum/frequency grids, the
 /// physical prefactors, and the neighbor-pair topology.
@@ -29,8 +30,34 @@ pub struct SseProblem<'a> {
     /// Prefactor applied to `Π^≷`.
     pub scale_pi: f64,
     /// Reverse-pair index: `rev_pair[p]` is the index of `(b → a, −m)` for
-    /// pair `p = (a → b, m)`.
-    pub rev_pair: Vec<usize>,
+    /// pair `p = (a → b, m)`. Borrowed when the caller caches the table
+    /// across problem constructions (the Born loop rebuilds the problem
+    /// every iteration and must stay allocation-free).
+    pub rev_pair: Cow<'a, [usize]>,
+}
+
+/// The reverse-pair table of `device`: entry `p` is the index of the
+/// opposite directed pair. Depends only on the neighbor list, so callers
+/// that rebuild [`SseProblem`]s for a fixed device can compute it once
+/// and pass it to [`SseProblem::with_rev_pair`].
+pub fn compute_rev_pair(device: &DeviceStructure) -> Vec<usize> {
+    let pairs = &device.neighbors.pairs;
+    pairs
+        .iter()
+        .map(|p| {
+            pairs
+                .iter()
+                .position(|q| {
+                    q.from == p.to
+                        && q.to == p.from
+                        && q.z_image == -p.z_image
+                        && (q.delta[0] + p.delta[0]).abs() < 1e-12
+                        && (q.delta[1] + p.delta[1]).abs() < 1e-12
+                        && (q.delta[2] + p.delta[2]).abs() < 1e-12
+                })
+                .expect("neighbor list must be symmetric")
+        })
+        .collect()
 }
 
 impl<'a> SseProblem<'a> {
@@ -44,26 +71,63 @@ impl<'a> SseProblem<'a> {
         scale_sigma: f64,
         scale_pi: f64,
     ) -> Self {
+        let rev_pair = compute_rev_pair(device);
+        Self::build(
+            device,
+            nk,
+            ne,
+            nq,
+            nw,
+            scale_sigma,
+            scale_pi,
+            Cow::Owned(rev_pair),
+        )
+    }
+
+    /// [`SseProblem::new`] with a precomputed reverse-pair table (from
+    /// [`compute_rev_pair`] on the same device): no allocation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_rev_pair(
+        device: &'a DeviceStructure,
+        nk: usize,
+        ne: usize,
+        nq: usize,
+        nw: usize,
+        scale_sigma: f64,
+        scale_pi: f64,
+        rev_pair: &'a [usize],
+    ) -> Self {
+        Self::build(
+            device,
+            nk,
+            ne,
+            nq,
+            nw,
+            scale_sigma,
+            scale_pi,
+            Cow::Borrowed(rev_pair),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        device: &'a DeviceStructure,
+        nk: usize,
+        ne: usize,
+        nq: usize,
+        nw: usize,
+        scale_sigma: f64,
+        scale_pi: f64,
+        rev_pair: Cow<'a, [usize]>,
+    ) -> Self {
         assert_eq!(nq, nk, "qz and kz must discretize the same Brillouin zone");
         assert!(nw >= 1, "need at least one phonon frequency");
         assert!(ne > nw, "energy window must exceed the stencil radius");
-        let pairs = &device.neighbors.pairs;
-        let rev_pair = pairs
-            .iter()
-            .map(|p| {
-                pairs
-                    .iter()
-                    .position(|q| {
-                        q.from == p.to
-                            && q.to == p.from
-                            && q.z_image == -p.z_image
-                            && (q.delta[0] + p.delta[0]).abs() < 1e-12
-                            && (q.delta[1] + p.delta[1]).abs() < 1e-12
-                            && (q.delta[2] + p.delta[2]).abs() < 1e-12
-                    })
-                    .expect("neighbor list must be symmetric")
-            })
-            .collect();
+        assert_eq!(
+            rev_pair.len(),
+            device.neighbors.num_pairs(),
+            "reverse-pair table must cover every directed pair"
+        );
         SseProblem {
             device,
             nk,
@@ -169,6 +233,23 @@ mod tests {
                 assert_eq!(dev.neighbors.pairs[p].to, b);
             }
         }
+    }
+
+    #[test]
+    fn precomputed_rev_pair_matches_owned() {
+        let dev = DeviceStructure::build(DeviceConfig::tiny());
+        let table = compute_rev_pair(&dev);
+        let owned = problem(&dev);
+        let borrowed = SseProblem::with_rev_pair(&dev, 3, 8, 3, 2, 1.0, 1.0, &table);
+        assert_eq!(&*owned.rev_pair, &*borrowed.rev_pair);
+        assert!(matches!(borrowed.rev_pair, Cow::Borrowed(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every directed pair")]
+    fn short_rev_pair_table_panics() {
+        let dev = DeviceStructure::build(DeviceConfig::tiny());
+        let _ = SseProblem::with_rev_pair(&dev, 3, 8, 3, 2, 1.0, 1.0, &[0, 1]);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::tensors::{DLayout, DTensor, GLayout, GTensor, D_BSZ};
 use omen_linalg::{small_gemm, BatchDims, Workspace, C64};
 
 /// Output of one SSE evaluation.
+#[derive(Clone)]
 pub struct SseOutput {
     /// Electron lesser self-energy `Σ^<` (diagonal atom blocks).
     pub sigma_l: GTensor,
@@ -37,6 +38,12 @@ impl SseOutput {
             pi_g: DTensor::zeros(0, 0, 0, 0, DLayout::PointMajor),
             flops: 0,
         }
+    }
+}
+
+impl Default for SseOutput {
+    fn default() -> Self {
+        SseOutput::empty()
     }
 }
 

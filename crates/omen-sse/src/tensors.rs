@@ -115,16 +115,27 @@ impl GTensor {
         if layout == self.layout {
             return self.clone();
         }
-        let mut out = GTensor::zeros(self.nk, self.ne, self.na, self.norb, layout);
+        let mut out = GTensor::zeros(0, 0, 0, 0, layout);
+        self.to_layout_into(layout, &mut out);
+        out
+    }
+
+    /// Converts into a reusable destination tensor (any current shape);
+    /// allocation-free once `out`'s backing buffer is large enough — the
+    /// layout-normalization path of the stateful SSE kernels and the
+    /// driver's mixing step.
+    pub fn to_layout_into(&self, layout: GLayout, out: &mut GTensor) {
+        out.reset(self.nk, self.ne, self.na, self.norb, layout);
+        let bsz = self.bsz();
         for k in 0..self.nk {
             for e in 0..self.ne {
                 for a in 0..self.na {
-                    let src = self.block(k, e, a).to_vec();
-                    out.block_mut(k, e, a).copy_from_slice(&src);
+                    let src = self.offset(k, e, a);
+                    let dst = out.offset(k, e, a);
+                    out.data[dst..dst + bsz].copy_from_slice(&self.data[src..src + bsz]);
                 }
             }
         }
-        out
     }
 
     /// Max elementwise deviation against another tensor (any layouts).
@@ -186,6 +197,20 @@ pub struct DTensor {
     /// Current layout.
     pub layout: DLayout,
     data: Vec<C64>,
+}
+
+impl Default for GTensor {
+    /// A zero-size pair-major tensor; performs no allocation.
+    fn default() -> Self {
+        GTensor::zeros(0, 0, 0, 0, GLayout::PairMajor)
+    }
+}
+
+impl Default for DTensor {
+    /// A zero-size point-major tensor; performs no allocation.
+    fn default() -> Self {
+        DTensor::zeros(0, 0, 0, 0, DLayout::PointMajor)
+    }
 }
 
 /// Block size of phonon entries: `3 × 3`.
@@ -281,16 +306,25 @@ impl DTensor {
         if layout == self.layout {
             return self.clone();
         }
-        let mut out = DTensor::zeros(self.nq, self.nw, self.npairs, self.na, layout);
+        let mut out = DTensor::zeros(0, 0, 0, 0, layout);
+        self.to_layout_into(layout, &mut out);
+        out
+    }
+
+    /// Converts into a reusable destination tensor (see
+    /// [`GTensor::to_layout_into`]); allocation-free once `out`'s backing
+    /// buffer is large enough.
+    pub fn to_layout_into(&self, layout: DLayout, out: &mut DTensor) {
+        out.reset(self.nq, self.nw, self.npairs, self.na, layout);
         for q in 0..self.nq {
             for w in 0..self.nw {
                 for en in 0..self.nentries() {
-                    let src = self.block(q, w, en).to_vec();
-                    out.block_mut(q, w, en).copy_from_slice(&src);
+                    let src = self.offset(q, w, en);
+                    let dst = out.offset(q, w, en);
+                    out.data[dst..dst + D_BSZ].copy_from_slice(&self.data[src..src + D_BSZ]);
                 }
             }
         }
-        out
     }
 
     /// Max elementwise deviation against another tensor.

@@ -26,6 +26,28 @@ use omen_linalg::{
 };
 use rayon::prelude::*;
 
+/// Below this many complex elements in a stage's output, the per-call
+/// heap cost of parallel dispatch (job buffers, scoped threads) outweighs
+/// the speedup; the serial loop is both faster and allocation-free, which
+/// keeps warm Born iterations on test-sized devices off the heap
+/// entirely (pinned by `tests/integration_alloc.rs`).
+const PAR_MIN_ELEMS: usize = 1 << 16;
+
+/// Runs `f` over `chunk`-sized pieces of `buf` — in parallel when the
+/// buffer is large enough to amortize dispatch, serially otherwise.
+fn for_each_chunk<F>(buf: &mut [C64], chunk: usize, f: F)
+where
+    F: Fn(usize, &mut [C64]) + Sync + Send,
+{
+    if buf.len() >= PAR_MIN_ELEMS {
+        buf.par_chunks_mut(chunk)
+            .enumerate()
+            .for_each(|(i, c)| f(i, c));
+    } else {
+        buf.chunks_mut(chunk).enumerate().for_each(|(i, c)| f(i, c));
+    }
+}
+
 /// The transient arrays produced by map fission (step ❶), kept public so
 /// the mixed-precision kernel can reuse stage A/B outputs.
 pub struct Transients {
@@ -74,6 +96,12 @@ impl Transients {
     #[inline]
     pub fn hd_offset(&self, pair: usize, i: usize, q: usize, m: usize) -> usize {
         (((pair * 3 + i) * self.nq + q) * self.nw + m) * self.bsz
+    }
+}
+
+impl Default for Transients {
+    fn default() -> Self {
+        Transients::empty()
     }
 }
 
@@ -132,7 +160,7 @@ pub fn build_transients_into(
     let hg_g = &mut tr.hg_g;
     let chunk = 3 * nk * ne * bsz;
     let stage_a = |hg: &mut [C64], g: &GTensor| {
-        hg.par_chunks_mut(chunk).enumerate().for_each(|(p, out)| {
+        for_each_chunk(hg, chunk, |p, out| {
             let b = pairs[p].to;
             for i in 0..3 {
                 let grad = grads.grads[p][i].as_slice();
@@ -173,7 +201,7 @@ pub fn build_transients_into(
     let hd_g = &mut tr.hd_g;
     let chunk_b = 3 * nq * nw * bsz;
     let stage_b = |hd: &mut [C64], d: &DTensor| {
-        hd.par_chunks_mut(chunk_b).enumerate().for_each(|(p, out)| {
+        for_each_chunk(hd, chunk_b, |p, out| {
             let a = pairs[p].from;
             let b = pairs[p].to;
             let rev = prob.rev_pair[p];
@@ -264,8 +292,9 @@ pub fn consume_transients_into(prob: &SseProblem, tr: &Transients, out: &mut Sse
     let offsets = &prob.device.neighbors.offsets;
 
     let flops_c: u64 = {
-        // Parallel over atoms: each atom owns a contiguous output chunk.
-        // When the block shape amortizes packing, each ∇H·D block is packed
+        // Each atom owns a contiguous output chunk; atoms run in parallel
+        // when the Σ tensors are large enough to amortize dispatch. When
+        // the block shape amortizes packing, each ∇H·D block is packed
         // once per (pair, i, qz, ω) into split-complex micro-panels
         // (thread-local `PackedB`s, warm after the first atom) and swept by
         // the FMA micro-kernel across the whole kz loop and all four Σ^≷
@@ -273,10 +302,9 @@ pub fn consume_transients_into(prob: &SseProblem, tr: &Transients, out: &mut Sse
         let packed = use_packed_kernel(dims);
         let sl = sigma_l.as_mut_slice();
         let sg = sigma_g.as_mut_slice();
-        sl.par_chunks_mut(atom_chunk)
-            .zip(sg.par_chunks_mut(atom_chunk))
-            .enumerate()
-            .map(|(a, (out_l, out_g))| {
+        let par = sl.len() >= PAR_MIN_ELEMS;
+        let atom_body = |a: usize, out_l: &mut [C64], out_g: &mut [C64]| -> u64 {
+            {
                 let mut flops = 0u64;
                 let strides = Strides {
                     a: bsz,
@@ -366,8 +394,21 @@ pub fn consume_transients_into(prob: &SseProblem, tr: &Transients, out: &mut Sse
                 give_tls_packed_b(pb_l);
                 give_tls_packed_b(pb_g);
                 flops
-            })
-            .sum()
+            }
+        };
+        if par {
+            sl.par_chunks_mut(atom_chunk)
+                .zip(sg.par_chunks_mut(atom_chunk))
+                .enumerate()
+                .map(|(a, (out_l, out_g))| atom_body(a, out_l, out_g))
+                .sum()
+        } else {
+            sl.chunks_mut(atom_chunk)
+                .zip(sg.chunks_mut(atom_chunk))
+                .enumerate()
+                .map(|(a, (out_l, out_g))| atom_body(a, out_l, out_g))
+                .sum()
+        }
     };
     if prob.scale_sigma != 1.0 {
         for v in sigma_l.as_mut_slice() {

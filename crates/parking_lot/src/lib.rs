@@ -27,3 +27,81 @@ impl<T> Mutex<T> {
         self.0.into_inner().expect("mutex poisoned")
     }
 }
+
+/// A condition variable pairing with [`Mutex`].
+///
+/// Since [`MutexGuard`] is the std guard type, this wraps
+/// `std::sync::Condvar` directly. `wait` keeps std's consuming signature
+/// (take the guard, return it re-acquired) rather than parking_lot's
+/// `&mut` one — the borrow checker cannot move a guard out of `&mut`
+/// without unsafe, and callers in this workspace use the returned guard.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Blocks until notified, releasing the guard while parked.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).expect("mutex poisoned")
+    }
+
+    /// Blocks until notified or `timeout` elapses; the boolean is `true`
+    /// when the wait timed out.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let (guard, res) = self.0.wait_timeout(guard, timeout).expect("mutex poisoned");
+        (guard, res.timed_out())
+    }
+
+    /// Wakes one parked waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one()
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let handle = std::thread::spawn(move || {
+            let (lock, cvar) = &*pair2;
+            let mut ready = lock.lock();
+            while !*ready {
+                ready = cvar.wait(ready);
+            }
+            true
+        });
+        {
+            let (lock, cvar) = &*pair;
+            *lock.lock() = true;
+            cvar.notify_one();
+        }
+        assert!(handle.join().unwrap());
+    }
+
+    #[test]
+    fn condvar_wait_timeout_reports_timeout() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let guard = m.lock();
+        let (_guard, timed_out) = cv.wait_timeout(guard, std::time::Duration::from_millis(5));
+        assert!(timed_out);
+    }
+}

@@ -3,6 +3,10 @@
 //! observables.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! One simulation is one sweep point. To run a whole bias/temperature
+//! sweep with cross-point warm starts, see `examples/sweep_service.rs`
+//! (`cargo run --release --example sweep_service`).
 
 use dace_omen::core::{electro_thermal_report, ExecutorKind, KernelVariant, SimulationConfig};
 

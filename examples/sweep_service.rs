@@ -1,0 +1,73 @@
+//! Sweep service: submit a FinFET bias sweep to the `omen-serve` job
+//! server and watch warm starts cut the Born iteration count.
+//!
+//! Each completed point deposits its converged self-energies and
+//! boundary caches into the server's warm-start cache; the next point
+//! seeds from its nearest completed neighbor instead of starting
+//! ballistic. The example runs the same sweep cold (independent
+//! simulations) for comparison.
+//!
+//! Run with: `cargo run --release --example sweep_service`
+
+use dace_omen::core::Simulation;
+use dace_omen::serve::{JobState, ServerConfig, SweepServer, SweepSpec};
+
+fn main() {
+    let points = 6;
+    let spec = SweepSpec::finfet_bias(points);
+    println!(
+        "bias sweep: {points} points, Vds = {:.2} .. {:.2} V\n",
+        spec.values[0],
+        spec.values[points - 1]
+    );
+
+    // Cold reference: every point an independent simulation.
+    let mut cold_iters = 0;
+    let mut cold_currents = Vec::with_capacity(points);
+    for i in 0..points {
+        let run = Simulation::new(spec.config_for(i))
+            .expect("valid sweep point")
+            .run();
+        cold_iters += run.records.len();
+        cold_currents.push(run.current());
+    }
+
+    // Warm: the same sweep as one server job. A single worker keeps the
+    // point order deterministic so every point after the first finds a
+    // converged neighbor in the cache.
+    let server = SweepServer::start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let handle = server.submit(spec).expect("valid sweep");
+    println!("submitted job {} ({:?})", handle.id(), handle.state());
+    let result = handle.wait().expect("sweep completes");
+    assert!(matches!(handle.state(), JobState::Completed));
+
+    println!(
+        "\n{:>8} {:>14} {:>12} {:>6} {:>8}",
+        "Vds", "I (warm)", "I (cold)", "iters", "donor"
+    );
+    for (p, cold) in result.points.iter().zip(&cold_currents) {
+        println!(
+            "{:>8.3} {:>14.6e} {:>12.4e} {:>6} {:>8}",
+            p.value,
+            p.current,
+            cold,
+            p.iterations,
+            p.donor.map_or("cold".into(), |d| format!("{d:.3}")),
+        );
+    }
+
+    let m = &result.metrics;
+    println!(
+        "\nwarm points: {}/{}  Born iterations: {} (cold reference: {cold_iters})",
+        m.warm_points, m.points, m.born_iterations
+    );
+    println!(
+        "iterations saved: {}  cache hit rate: {:.0}%  wall: {:.2}s",
+        m.iterations_saved,
+        100.0 * m.cache_hit_rate(),
+        m.seconds
+    );
+}

@@ -15,7 +15,9 @@
 //! * [`comm`] — simulated MPI, the two SSE communication plans, staging;
 //! * [`perf`] — analytic performance/communication/scaling models;
 //! * [`core`] — the self-consistent simulation and electro-thermal
-//!   observables.
+//!   observables;
+//! * [`serve`] — async sweep job service with cross-point warm-start
+//!   caching.
 //!
 //! See `README.md` for a guided tour, `DESIGN.md` for the system
 //! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -27,4 +29,5 @@ pub use omen_device as device;
 pub use omen_linalg as linalg;
 pub use omen_perf as perf;
 pub use omen_rgf as rgf;
+pub use omen_serve as serve;
 pub use omen_sse as sse;

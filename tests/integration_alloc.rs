@@ -15,6 +15,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
+use dace_omen::core::{Simulation, SimulationConfig};
 use dace_omen::linalg::{
     c64, sbsmm, sbsmm_f16_packed, sbsmm_pb, BatchDims, F16APanels, F16BPanels, Normalization,
     PackedB, Strides, Workspace, C64,
@@ -172,5 +173,25 @@ fn steady_state_hot_path_is_allocation_free() {
     assert_eq!(
         batched_allocs, 0,
         "warm batched sbsmm path allocated {batched_allocs} times"
+    );
+
+    // ---- Warm driver SSE path: the sweep service reapplies the SSE
+    // kernel on every Born iteration of every warm-started point, so the
+    // kernel's double-buffered outputs and internal workspace must absorb
+    // repeat calls without touching the heap. Two warmup calls fill both
+    // halves of the double buffer; the third call must allocate nothing.
+    // (The GF phase is excluded by design: its per-point observable
+    // accumulators are built per phase, not per kernel application.) ----
+    let mut sim = Simulation::new(SimulationConfig::tiny()).expect("valid config");
+    let (g_l, g_g, d_l, d_g, _spectral, _times) = sim.gf_phase();
+    sim.sse_phase(&g_l, &g_g, &d_l, &d_g);
+    sim.sse_phase(&g_l, &g_g, &d_l, &d_g);
+
+    let driver_sse_allocs = count_allocations(|| {
+        sim.sse_phase(&g_l, &g_g, &d_l, &d_g);
+    });
+    assert_eq!(
+        driver_sse_allocs, 0,
+        "warm driver sse_phase allocated {driver_sse_allocs} times"
     );
 }
