@@ -9,7 +9,7 @@ fn main() {
     cfg.mu_source = 0.4;
     cfg.max_iterations = 10;
     let mut sim = Simulation::new(cfg).expect("valid config");
-    let result = sim.run();
+    let result = sim.run().expect("demo run converges");
     let report = electro_thermal_report(&sim, &result);
 
     println!(

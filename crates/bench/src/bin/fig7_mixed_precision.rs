@@ -44,6 +44,7 @@ fn main() {
         Simulation::new(c)
             .expect("valid config")
             .run()
+            .expect("reference run converges")
             .current_history()
     };
     let h64 = run(KernelVariant::Transformed);

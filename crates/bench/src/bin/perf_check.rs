@@ -29,10 +29,18 @@
 //! with the `_quick` suffix — full-mode records are committed for the
 //! README table but re-measured rarely.
 //!
+//! A third within-run floor bounds the fault-injection machinery: the
+//! measured `should_inject` probe (`sweep_fault_probe_quick`) times a
+//! generous 64-calls-per-point budget must stay under
+//! `--max-fault-overhead` (default 2 %) of a warm point's wall time, and
+//! a fault-free run must report zero retries/fallbacks/quarantines in
+//! `sweep_fault_retries_quick`.
+//!
 //! ```text
 //! perf_check --baseline BENCH_kernels.json --fresh fresh_kernels.json \
 //!            --baseline BENCH_sweeps.json  --fresh fresh_sweeps.json \
-//!            [--tolerance 2.0] [--min-speedup 1.2] [--min-sweep-speedup 0.9]
+//!            [--tolerance 2.0] [--min-speedup 1.2] [--min-sweep-speedup 0.9] \
+//!            [--max-fault-overhead 0.02]
 //! ```
 
 use omen_bench::{parse_bench_json, BenchRecord};
@@ -51,9 +59,14 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
 }
 
 /// `true` for records the gate covers: packed-kernel and sweep-service
-/// quick-mode entries.
+/// quick-mode entries. The `sweep_fault_*` records are excluded from the
+/// cross-run ratio table — one is a raw counter triple and the other a
+/// nanosecond-scale probe too noisy for a 2x machine-to-machine gate —
+/// and are instead consumed by the within-run fault-overhead floor.
 fn gated(name: &str) -> bool {
-    (name.contains("packed") || name.starts_with("sweep_")) && name.ends_with("_quick")
+    (name.contains("packed") || name.starts_with("sweep_"))
+        && name.ends_with("_quick")
+        && !name.contains("fault")
 }
 
 /// Outcome of one baseline/fresh pair.
@@ -70,6 +83,7 @@ fn check_pair(
     tolerance: f64,
     min_speedup: f64,
     min_sweep_speedup: f64,
+    max_fault_overhead: f64,
 ) -> PairOutcome {
     let mut out = PairOutcome {
         compared: 0,
@@ -200,6 +214,44 @@ fn check_pair(
                 out.failed_floors += 1;
             }
         }
+        // Fault-machinery floor: the injection hooks on the worker hot
+        // path must be invisible when no plan is armed. A point makes at
+        // most a handful of `should_inject` calls per attempt (panic,
+        // donor, NaN, journal sites) times the retry cap; 64 calls is a
+        // generous bound. `probe.gflops` records whether a fault plan
+        // was armed during the bench (1.0 = armed).
+        if let (Some(probe), Some(warm)) = (find("sweep_fault_probe"), find("sweep_warm")) {
+            let overhead = 64.0 * probe.median_ns / warm.median_ns;
+            println!(
+                "within-run: fault hooks {:.1} ns/call -> {:.4}% of a warm point (cap {:.1}%)",
+                probe.median_ns,
+                100.0 * overhead,
+                100.0 * max_fault_overhead
+            );
+            // NaN (e.g. a zeroed warm record) must fail, not pass.
+            if overhead.is_nan() || overhead > max_fault_overhead {
+                eprintln!(
+                    "perf_check: fault machinery costs {:.4}% of a warm point, above the \
+                     {:.1}% cap",
+                    100.0 * overhead,
+                    100.0 * max_fault_overhead
+                );
+                out.failed_floors += 1;
+            }
+            if probe.gflops == 0.0 {
+                // No plan armed: the sweep must not have retried at all.
+                if let Some(counters) = find("sweep_fault_retries") {
+                    if counters.n != 0 || counters.median_ns != 0.0 || counters.gflops != 0.0 {
+                        eprintln!(
+                            "perf_check: fault-free sweep reported recovery activity \
+                             (retries {}, cold fallbacks {}, quarantined {})",
+                            counters.n, counters.median_ns, counters.gflops
+                        );
+                        out.failed_floors += 1;
+                    }
+                }
+            }
+        }
     }
     out
 }
@@ -225,6 +277,9 @@ fn main() -> ExitCode {
     let min_sweep_speedup: f64 = arg_value(&args, "--min-sweep-speedup")
         .map(|t| t.parse().expect("--min-sweep-speedup must be a number"))
         .unwrap_or(0.9);
+    let max_fault_overhead: f64 = arg_value(&args, "--max-fault-overhead")
+        .map(|t| t.parse().expect("--max-fault-overhead must be a number"))
+        .unwrap_or(0.02);
 
     let mut compared = 0usize;
     let mut new_records = 0usize;
@@ -237,6 +292,7 @@ fn main() -> ExitCode {
             tolerance,
             min_speedup,
             min_sweep_speedup,
+            max_fault_overhead,
         );
         compared += outcome.compared;
         new_records += outcome.new_records;

@@ -10,6 +10,14 @@
 //! Record encoding: `n` carries the *total Born iterations* of the sweep
 //! (the physical work), `median_ns` the wall time per point, and `gflops`
 //! the sweep throughput in points/second.
+//!
+//! Two fault-machinery records ride along. `sweep_fault_probe*` measures
+//! one `omen_fault::should_inject` call (`median_ns` = ns/call, `n` =
+//! probe iterations, `gflops` = 1 when a fault plan was armed) so
+//! `perf_check` can bound the per-point cost of the injection hooks.
+//! `sweep_fault_retries*` repurposes the fields as raw counters: `n` =
+//! retries, `median_ns` = cold fallbacks, `gflops` = quarantined donors
+//! — all exactly zero in a fault-free run.
 
 use omen_bench::{
     header, json_flag, quick_flag, row, write_bench_json, BenchRecord, BENCH_SWEEPS_JSON_PATH,
@@ -36,7 +44,8 @@ fn main() {
     for i in 0..points {
         let run = Simulation::new(spec.config_for(i))
             .expect("valid sweep point")
-            .run();
+            .run()
+            .expect("cold sweep point converges");
         cold_iters += run.records.len() as u32;
         cold_currents.push(run.current());
     }
@@ -46,6 +55,7 @@ fn main() {
     let server = SweepServer::start(ServerConfig {
         workers: 1,
         cache: CacheConfig::default(),
+        ..ServerConfig::default()
     });
     let t0 = Instant::now();
     let result = server
@@ -87,6 +97,31 @@ fn main() {
         m.iterations_saved,
         100.0 * m.cache_hit_rate()
     );
+    println!(
+        "fault machinery: {} retries, {} cold fallbacks, {} quarantined (plan {})",
+        m.retries,
+        m.cold_fallbacks,
+        m.quarantined,
+        if omen_fault::active() {
+            "armed"
+        } else {
+            "disabled"
+        }
+    );
+
+    // --- fault-hook overhead probe: one should_inject call, measured
+    // through the same global entry point the worker hot path uses ---
+    let probe_iters = 100_000u64;
+    let t0 = Instant::now();
+    let mut fired = 0u64;
+    for i in 0..probe_iters {
+        if omen_fault::should_inject(omen_fault::FaultSite::NanPoison, i) {
+            fired += 1;
+        }
+    }
+    let probe_ns = t0.elapsed().as_nanos() as f64 / probe_iters as f64;
+    std::hint::black_box(fired);
+    println!("fault probe: {probe_ns:.1} ns per should_inject call");
     for (p, cold) in result.points.iter().zip(&cold_currents) {
         let rel = ((p.current - cold) / cold).abs();
         assert!(
@@ -110,6 +145,20 @@ fn main() {
                 n: m.born_iterations as usize,
                 median_ns: per_point(warm_secs),
                 gflops: points as f64 / warm_secs,
+            },
+            BenchRecord {
+                name: format!("sweep_fault_probe{suffix}"),
+                n: probe_iters as usize,
+                median_ns: probe_ns,
+                // Records whether a fault plan was armed during the
+                // bench; perf_check only asserts zero retries when not.
+                gflops: if omen_fault::active() { 1.0 } else { 0.0 },
+            },
+            BenchRecord {
+                name: format!("sweep_fault_retries{suffix}"),
+                n: m.retries as usize,
+                median_ns: m.cold_fallbacks as f64,
+                gflops: m.quarantined as f64,
             },
         ];
         write_bench_json(BENCH_SWEEPS_JSON_PATH, &records).expect("write BENCH_sweeps.json");

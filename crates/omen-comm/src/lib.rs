@@ -23,7 +23,7 @@ pub use omen_plan::run_omen_plan;
 pub use plan_common::{CombinedG, PlanResult, RankSse};
 pub use sse_state::{LocalD, LocalG};
 pub use staging::{
-    decode_frame, encode_frame, pack_bytes, stage_material, unpack_bytes, StagingModel,
+    decode_frame, encode_frame, pack_bytes, stage_material, unpack_bytes, FrameError, StagingModel,
 };
 pub use topology::{split_range, DaceTiling, OmenGrid};
 pub use volume::{OpKind, VolumeLedger};

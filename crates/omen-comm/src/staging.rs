@@ -89,30 +89,103 @@ pub fn unpack_bytes(payload: &[C64], len: usize) -> Vec<u8> {
     out
 }
 
+/// Frame decoding failure, distinguishing *how* a frame is bad so the
+/// journal/transport layers can react differently (a truncated tail is
+/// an interrupted write and expected on crash recovery; a corrupt
+/// checksum is data damage worth reporting).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The frame ends before the header or the payload the header
+    /// promises — an interrupted or partial write.
+    Truncated,
+    /// The frame carries *more* elements than the header's length field
+    /// accounts for — framing desynchronization.
+    LengthMismatch,
+    /// Header and body lengths agree but the checksum does not — bytes
+    /// were damaged in flight or at rest.
+    Corrupt,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame truncated before its declared length"),
+            FrameError::LengthMismatch => {
+                write!(f, "frame length disagrees with its header")
+            }
+            FrameError::Corrupt => write!(f, "frame checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// FNV-1a over the frame's semantic content: kind, declared length, and
+/// payload bytes. Covers the header fields, so a bit-flip that changes
+/// the decoded kind or length is caught even when the element counts
+/// still line up.
+fn frame_checksum(kind: u32, len: u64, payload: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    for b in kind.to_le_bytes() {
+        eat(b);
+    }
+    for b in len.to_le_bytes() {
+        eat(b);
+    }
+    for &b in payload {
+        eat(b);
+    }
+    h
+}
+
 /// Encodes a tagged byte message as a self-describing `C64` frame for
-/// transport through the simulated MPI (or any `C64` channel): one
-/// header element carrying `(kind, len)` followed by the packed payload.
+/// transport through the simulated MPI (or any `C64` channel): a
+/// `(kind, len)` header element, a checksum element, then the packed
+/// payload. The 64-bit FNV-1a checksum is split into two u32 halves,
+/// each stored exactly as an f64, so the frame stays bit-preserving
+/// through any `C64` channel.
 ///
-/// This is the wire format of `omen-serve`'s job/result messages — the
-/// same bit-preserving packing the staged material broadcast uses.
+/// This is the wire format of `omen-serve`'s job/result messages and
+/// checkpoint journal — the same bit-preserving packing the staged
+/// material broadcast uses.
 pub fn encode_frame(kind: u32, payload: &[u8]) -> Vec<C64> {
-    let mut frame = Vec::with_capacity(1 + payload.len().div_ceil(16));
+    let sum = frame_checksum(kind, payload.len() as u64, payload);
+    let mut frame = Vec::with_capacity(2 + payload.len().div_ceil(16));
     frame.push(c64(kind as f64, payload.len() as f64));
+    frame.push(c64((sum >> 32) as u32 as f64, sum as u32 as f64));
     frame.extend_from_slice(&pack_bytes(payload));
     frame
 }
 
 /// Decodes a frame produced by [`encode_frame`], returning the message
-/// kind and payload bytes. `None` when the frame is empty or its header
-/// disagrees with its body length.
-pub fn decode_frame(frame: &[C64]) -> Option<(u32, Vec<u8>)> {
-    let header = frame.first()?;
+/// kind and payload bytes, or a [`FrameError`] naming what is wrong:
+/// [`FrameError::Truncated`] when elements are missing,
+/// [`FrameError::LengthMismatch`] when there are too many, and
+/// [`FrameError::Corrupt`] when the checksum disagrees with the content.
+pub fn decode_frame(frame: &[C64]) -> Result<(u32, Vec<u8>), FrameError> {
+    if frame.len() < 2 {
+        return Err(FrameError::Truncated);
+    }
+    let header = frame[0];
     let kind = header.re as u32;
     let len = header.im as usize;
-    if frame.len() != 1 + len.div_ceil(16) {
-        return None;
+    let expected = 2 + len.div_ceil(16);
+    if frame.len() < expected {
+        return Err(FrameError::Truncated);
     }
-    Some((kind, unpack_bytes(&frame[1..], len)))
+    if frame.len() > expected {
+        return Err(FrameError::LengthMismatch);
+    }
+    let stored = ((frame[1].re as u32 as u64) << 32) | frame[1].im as u32 as u64;
+    let payload = unpack_bytes(&frame[2..], len);
+    if frame_checksum(kind, len as u64, &payload) != stored {
+        return Err(FrameError::Corrupt);
+    }
+    Ok((kind, payload))
 }
 
 /// Executable staging: `root` holds the serialized material file; all
@@ -179,11 +252,37 @@ mod tests {
         let (kind, back) = decode_frame(&frame).expect("valid frame");
         assert_eq!(kind, 7);
         assert_eq!(back, payload);
-        // Empty payloads are a bare header.
-        assert_eq!(decode_frame(&encode_frame(2, &[])), Some((2, Vec::new())));
+        // Empty payloads are header + checksum only.
+        assert_eq!(decode_frame(&encode_frame(2, &[])), Ok((2, Vec::new())));
         // Truncated or empty frames are rejected, not mis-read.
-        assert_eq!(decode_frame(&frame[..frame.len() - 1]), None);
-        assert_eq!(decode_frame(&[]), None);
+        assert_eq!(
+            decode_frame(&frame[..frame.len() - 1]),
+            Err(FrameError::Truncated)
+        );
+        assert_eq!(decode_frame(&[]), Err(FrameError::Truncated));
+        // Extra trailing elements are a length mismatch.
+        let mut long = frame.clone();
+        long.push(c64(0.0, 0.0));
+        assert_eq!(decode_frame(&long), Err(FrameError::LengthMismatch));
+    }
+
+    #[test]
+    fn frame_checksum_catches_payload_damage() {
+        let payload: Vec<u8> = (0..96).map(|i| i as u8).collect();
+        let mut frame = encode_frame(9, &payload);
+        // Flip one payload byte (element 2 is the first payload element).
+        let mut bytes = frame[2].re.to_le_bytes();
+        bytes[3] ^= 0x10;
+        frame[2].re = f64::from_le_bytes(bytes);
+        assert_eq!(decode_frame(&frame), Err(FrameError::Corrupt));
+        // Damaging the stored checksum itself is also caught.
+        let mut frame2 = encode_frame(9, &payload);
+        frame2[1].im += 1.0;
+        assert_eq!(decode_frame(&frame2), Err(FrameError::Corrupt));
+        // Damaging the kind is caught because the checksum covers it.
+        let mut frame3 = encode_frame(9, &payload);
+        frame3[0].re += 1.0;
+        assert_eq!(decode_frame(&frame3), Err(FrameError::Corrupt));
     }
 
     #[test]

@@ -85,6 +85,26 @@ pub struct SimulationConfig {
     pub eta_ph: f64,
     /// Potential ramp `(x_on, x_off)` as fractions of the device length.
     pub ramp: (f64, f64),
+    /// When `true`, [`Simulation::run`] returns
+    /// [`DriverError::Unconverged`] if the iteration cap is reached
+    /// before the tolerance is met (the default `false` keeps the
+    /// legacy best-effort behavior: the cap is a budget, not a promise).
+    ///
+    /// [`Simulation::run`]: crate::driver::Simulation::run
+    /// [`DriverError::Unconverged`]: crate::driver::DriverError::Unconverged
+    pub require_convergence: bool,
+    /// Warm-start divergence watchdog: after this many Born iterations a
+    /// *seeded* run whose relative current change still exceeds
+    /// [`SimulationConfig::warm_divergence_threshold`] fails with
+    /// [`DriverError::WarmDiverged`], so the caller can quarantine the
+    /// donor and restart cold. `0` disables the check (the default).
+    ///
+    /// [`DriverError::WarmDiverged`]: crate::driver::DriverError::WarmDiverged
+    pub warm_divergence_after: usize,
+    /// Relative-change bound the watchdog compares against. A healthy
+    /// warm start contracts geometrically from the first iteration; a
+    /// poisoned donor keeps the current swinging by O(1) factors.
+    pub warm_divergence_threshold: f64,
 }
 
 impl SimulationConfig {
@@ -110,6 +130,9 @@ impl SimulationConfig {
             eta: 1e-5,
             eta_ph: 2e-5,
             ramp: (0.3, 0.7),
+            require_convergence: false,
+            warm_divergence_after: 0,
+            warm_divergence_threshold: 10.0,
         }
     }
 
@@ -209,6 +232,11 @@ impl SimulationConfig {
         if let ExecutorKind::Partitioned { ranks: 0 } = self.executor {
             return Err(ConfigError::NoRanks);
         }
+        if !(self.warm_divergence_threshold > 0.0) || !self.warm_divergence_threshold.is_finite() {
+            return Err(ConfigError::InvalidDivergenceBound {
+                threshold: self.warm_divergence_threshold,
+            });
+        }
         Ok(())
     }
 }
@@ -289,6 +317,11 @@ pub enum ConfigError {
     },
     /// Partitioned executor with zero ranks.
     NoRanks,
+    /// Warm-divergence threshold not a positive finite number.
+    InvalidDivergenceBound {
+        /// Offending value.
+        threshold: f64,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -334,6 +367,10 @@ impl std::fmt::Display for ConfigError {
                 "potential ramp must satisfy 0 ≤ on < off ≤ 1, got ({on}, {off})"
             ),
             ConfigError::NoRanks => write!(f, "partitioned executor needs ≥ 1 rank"),
+            ConfigError::InvalidDivergenceBound { threshold } => write!(
+                f,
+                "warm-divergence threshold must be positive and finite, got {threshold}"
+            ),
         }
     }
 }
@@ -433,6 +470,22 @@ impl SimulationBuilder {
         /// Sets the phonon broadening (energy units).
         eta_ph: f64
     );
+    setter!(
+        /// Makes [`crate::driver::Simulation::run`] fail with a typed
+        /// error when the iteration cap is hit before convergence.
+        require_convergence: bool
+    );
+
+    /// Arms the warm-start divergence watchdog: a seeded run whose
+    /// relative current change still exceeds `threshold` after `after`
+    /// Born iterations fails with
+    /// [`crate::driver::DriverError::WarmDiverged`]. `after = 0`
+    /// disables the check.
+    pub fn warm_divergence(mut self, after: usize, threshold: f64) -> Self {
+        self.config.warm_divergence_after = after;
+        self.config.warm_divergence_threshold = threshold;
+        self
+    }
 
     /// Sets the energy window `[e_min, e_max]` (eV).
     pub fn energy_window(mut self, e_min: f64, e_max: f64) -> Self {
@@ -563,6 +616,12 @@ mod tests {
             &|c| c.executor = ExecutorKind::Partitioned { ranks: 0 },
             |e| matches!(e, ConfigError::NoRanks),
         );
+        check(&|c| c.warm_divergence_threshold = f64::NAN, |e| {
+            matches!(e, ConfigError::InvalidDivergenceBound { .. })
+        });
+        check(&|c| c.warm_divergence_threshold = 0.0, |e| {
+            matches!(e, ConfigError::InvalidDivergenceBound { .. })
+        });
     }
 
     #[test]

@@ -28,8 +28,111 @@ use omen_rgf::{
     PhaseTimes, PhononParams, PhononSolver,
 };
 use omen_sse::{DTensor, GLayout, GTensor, SseKernel, SseProblem};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Cooperative cancellation handle for a running Born loop.
+///
+/// Clones share one flag. The driver checks the token between Born
+/// iterations, so [`CancelToken::cancel`] interrupts a *running*
+/// [`Simulation::run`] at the next iteration boundary — the caller gets
+/// [`DriverError::Cancelled`] instead of waiting out the iteration cap.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; every clone observes it.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// True once any clone called [`CancelToken::cancel`].
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Why a [`Simulation::run`] ended without a usable result.
+///
+/// Every variant is a *recoverable* verdict for a supervisor: retry the
+/// point (possibly cold), quarantine its warm-start donor, or drop it —
+/// nothing here aborts the process.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DriverError {
+    /// The current observable became NaN/Inf — the solve is poisoned and
+    /// its state must not be deposited into any warm-start cache.
+    NonFinite {
+        /// Born iteration that produced the non-finite observable.
+        iteration: usize,
+    },
+    /// The iteration cap was reached before the tolerance was met.
+    /// Only raised when [`SimulationConfig::require_convergence`] is set.
+    Unconverged {
+        /// Total Born iterations performed.
+        iterations: usize,
+        /// Final relative current change.
+        rel_change: f64,
+    },
+    /// A warm-started run was still changing by more than the configured
+    /// bound after the watchdog window — the donor state is pulling the
+    /// fixed-point iteration away instead of toward convergence. Restart
+    /// cold and quarantine the donor.
+    WarmDiverged {
+        /// Born iteration at which the watchdog fired.
+        iteration: usize,
+        /// Observed relative current change.
+        rel_change: f64,
+    },
+    /// A [`CancelToken`] was triggered between Born iterations.
+    Cancelled {
+        /// Born iteration at which cancellation was observed.
+        iteration: usize,
+    },
+    /// The per-run deadline passed between Born iterations.
+    DeadlineExceeded {
+        /// Born iteration at which the deadline was observed.
+        iteration: usize,
+    },
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::NonFinite { iteration } => {
+                write!(f, "non-finite observable at Born iteration {iteration}")
+            }
+            DriverError::Unconverged {
+                iterations,
+                rel_change,
+            } => write!(
+                f,
+                "not converged after {iterations} Born iterations (rel change {rel_change:.3e})"
+            ),
+            DriverError::WarmDiverged {
+                iteration,
+                rel_change,
+            } => write!(
+                f,
+                "warm-started run diverging at Born iteration {iteration} \
+                 (rel change {rel_change:.3e})"
+            ),
+            DriverError::Cancelled { iteration } => {
+                write!(f, "cancelled at Born iteration {iteration}")
+            }
+            DriverError::DeadlineExceeded { iteration } => {
+                write!(f, "deadline exceeded at Born iteration {iteration}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
 
 /// Accumulated per-iteration observables.
 #[derive(Clone, Debug)]
@@ -123,6 +226,15 @@ pub struct Simulation {
     iteration: usize,
     last_current: Option<f64>,
     last_spectral: Option<SpectralData>,
+    /// Cooperative cancellation, checked between Born iterations.
+    cancel: Option<CancelToken>,
+    /// Wall-clock deadline, checked between Born iterations.
+    deadline: Option<Instant>,
+    /// Supervised fault-injection key (set by the sweep service per
+    /// point attempt). `None` — the default — keeps every injection
+    /// site in this driver inert, so chaos runs never poison
+    /// simulations whose callers are not prepared to catch failures.
+    fault_key: Option<u64>,
 }
 
 /// Σ/Π state and boundary caches exported from a (converged) simulation,
@@ -226,7 +338,32 @@ impl Simulation {
             iteration: 0,
             last_current: None,
             last_spectral: None,
+            cancel: None,
+            deadline: None,
+            fault_key: None,
         })
+    }
+
+    /// Attaches a cooperative [`CancelToken`]: [`Simulation::run`]
+    /// checks it between Born iterations and returns
+    /// [`DriverError::Cancelled`] once it fires.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Sets a wall-clock deadline: [`Simulation::run`] returns
+    /// [`DriverError::DeadlineExceeded`] at the first iteration boundary
+    /// past it.
+    pub fn set_deadline(&mut self, deadline: Instant) {
+        self.deadline = Some(deadline);
+    }
+
+    /// Arms the supervised NaN-poisoning fault site for this run with a
+    /// caller-chosen key (see `omen-fault`). Only supervisors that
+    /// handle [`DriverError::NonFinite`] — i.e. the sweep service's
+    /// retry loop — should set this.
+    pub fn set_fault_key(&mut self, key: u64) {
+        self.fault_key = Some(key);
     }
 
     /// The validated configuration (read-only: mutating grid sizes or
@@ -617,7 +754,7 @@ impl Simulation {
     }
 
     /// Runs the full self-consistent loop with the configured executor.
-    pub fn run(&mut self) -> SimulationResult {
+    pub fn run(&mut self) -> Result<SimulationResult, DriverError> {
         match self.config.executor {
             ExecutorKind::Serial => self.run_with(&SerialExecutor),
             ExecutorKind::Rayon { threads } => self.run_with(&RayonExecutor::new(threads)),
@@ -631,23 +768,93 @@ impl Simulation {
     /// previous `run`/[`Simulation::iterate`] left off. Once the cap is
     /// reached, further calls perform no work and return the last
     /// iteration's spectral data with an empty record list.
-    pub fn run_with<E: PointExecutor>(&mut self, exec: &E) -> SimulationResult {
+    ///
+    /// Failure paths, all typed (no panics on the run path):
+    /// [`DriverError::NonFinite`] when the current observable leaves the
+    /// reals, [`DriverError::Cancelled`] / [`DriverError::DeadlineExceeded`]
+    /// at iteration boundaries, [`DriverError::WarmDiverged`] when the
+    /// seeded-run watchdog fires, and [`DriverError::Unconverged`] when
+    /// the cap is hit under `require_convergence`.
+    pub fn run_with<E: PointExecutor>(
+        &mut self,
+        exec: &E,
+    ) -> Result<SimulationResult, DriverError> {
         let mut records: Vec<IterationRecord> = Vec::new();
         let mut spectral = None;
+        // Supervised NaN-poisoning fault site: one deterministic decision
+        // per (point, attempt) key, armed only by `set_fault_key`.
+        let inject_nan = self
+            .fault_key
+            .map(|k| omen_fault::should_inject(omen_fault::FaultSite::NanPoison, k))
+            .unwrap_or(false);
+        let mut converged = false;
         while self.iteration < self.config.max_iterations {
-            let (rec, spec) = self.iterate_with(exec);
-            let converged = rec.rel_change < self.config.tolerance;
+            if let Some(token) = &self.cancel {
+                if token.is_cancelled() {
+                    return Err(DriverError::Cancelled {
+                        iteration: self.iteration,
+                    });
+                }
+            }
+            if let Some(deadline) = self.deadline {
+                if Instant::now() >= deadline {
+                    return Err(DriverError::DeadlineExceeded {
+                        iteration: self.iteration,
+                    });
+                }
+            }
+            let (mut rec, spec) = self.iterate_with(exec);
+            if inject_nan && records.is_empty() {
+                rec.current = f64::NAN;
+                self.last_current = Some(f64::NAN);
+            }
+            if !rec.current.is_finite() {
+                return Err(DriverError::NonFinite {
+                    iteration: rec.iteration,
+                });
+            }
+            let done = rec.rel_change < self.config.tolerance && rec.iteration > 0;
             let it = rec.iteration;
+            let rel = rec.rel_change;
             records.push(rec);
             spectral = Some(spec);
-            if converged && it > 0 {
+            if self.seeded
+                && self.config.warm_divergence_after > 0
+                && records.len() >= self.config.warm_divergence_after
+                && rel.is_finite()
+                && rel > self.config.warm_divergence_threshold
+            {
+                return Err(DriverError::WarmDiverged {
+                    iteration: it,
+                    rel_change: rel,
+                });
+            }
+            if done {
+                converged = true;
                 break;
             }
         }
-        let spectral = spectral
-            .or_else(|| self.last_spectral.clone())
-            .expect("max_iterations >= 1 is validated, so at least one iteration has run");
-        SimulationResult { records, spectral }
+        if self.config.require_convergence && !converged {
+            if let Some(last) = records.last() {
+                return Err(DriverError::Unconverged {
+                    iterations: self.iteration,
+                    rel_change: last.rel_change,
+                });
+            }
+        }
+        // `max_iterations >= 1` is validated, so either this call or a
+        // previous one has iterated; both leave `last_spectral` set. The
+        // guard stays typed regardless — the run path does not panic.
+        let spectral = match spectral.or_else(|| self.last_spectral.clone()) {
+            Some(s) => s,
+            None => {
+                return Err(DriverError::Unconverged {
+                    iterations: 0,
+                    rel_change: f64::INFINITY,
+                })
+            }
+        };
+        Ok(SimulationResult { records, spectral })
     }
 }
 
@@ -664,6 +871,7 @@ fn mix_d(state: &mut DTensor, new: &DTensor, mix: f64) {
 }
 
 /// Final output of [`Simulation::run`].
+#[derive(Clone, Debug)]
 pub struct SimulationResult {
     /// One record per Born iteration.
     pub records: Vec<IterationRecord>,
@@ -731,7 +939,7 @@ mod tests {
         let mut cfg = SimulationConfig::tiny();
         cfg.coupling = 0.0; // ballistic: Σ stays zero
         cfg.max_iterations = 1;
-        let result = sim(cfg).run();
+        let result = sim(cfg).run().expect("run succeeds");
         assert!(result.current() > 0.0, "forward bias must drive current");
         assert!(
             result.current_nonuniformity() < 1e-3,
@@ -751,7 +959,7 @@ mod tests {
     fn scattering_changes_current_and_converges() {
         let mut cfg = SimulationConfig::tiny();
         cfg.max_iterations = 14;
-        let result = sim(cfg.clone()).run();
+        let result = sim(cfg.clone()).run().expect("run succeeds");
         assert!(result.records.len() >= 2);
         // The self-consistent loop converges geometrically.
         let last = result.records.last().unwrap();
@@ -764,7 +972,7 @@ mod tests {
         let mut cfg_b = cfg;
         cfg_b.coupling = 0.0;
         cfg_b.max_iterations = 1;
-        let ballistic = sim(cfg_b).run();
+        let ballistic = sim(cfg_b).run().expect("run succeeds");
         // Scattering suppresses the ballistic current measurably.
         assert!(
             ballistic.current() - result.current() > 1e-3 * ballistic.current(),
@@ -787,7 +995,7 @@ mod tests {
         let run = |kernel| {
             let mut c = cfg.clone();
             c.kernel = kernel;
-            sim(c).run().current()
+            sim(c).run().expect("run succeeds").current()
         };
         let reference = run(KernelVariant::Reference);
         let transformed = run(KernelVariant::Transformed);
@@ -807,7 +1015,7 @@ mod tests {
         let mut cfg = SimulationConfig::tiny();
         cfg.mu_drain = cfg.mu_source;
         cfg.max_iterations = 2;
-        let result = sim(cfg).run();
+        let result = sim(cfg).run().expect("run succeeds");
         let scale = result
             .spectral
             .el_current_spectrum
@@ -827,7 +1035,7 @@ mod tests {
     fn phonon_energy_density_positive() {
         let mut cfg = SimulationConfig::tiny();
         cfg.max_iterations = 2;
-        let result = sim(cfg).run();
+        let result = sim(cfg).run().expect("run succeeds");
         // Thermal occupation of phonon modes is non-negative everywhere.
         for (a, &u) in result.spectral.ph_energy_density.iter().enumerate() {
             assert!(u >= -1e-9, "atom {a}: phonon energy density {u}");
@@ -854,7 +1062,7 @@ mod tests {
         assert!(r1.rel_change.is_finite());
         assert_eq!(s.iterations_done(), 2);
         // `run` continues from the counter — records pick up at 2.
-        let result = s.run();
+        let result = s.run().expect("run succeeds");
         assert_eq!(result.records.first().unwrap().iteration, 2);
     }
 
@@ -885,11 +1093,11 @@ mod tests {
         }
         let mut cfg = SimulationConfig::tiny();
         cfg.max_iterations = 2;
-        let baseline = sim(cfg.clone()).run().current();
+        let baseline = sim(cfg.clone()).run().expect("run succeeds").current();
         let mut s = sim(cfg);
         s.set_kernel(Box::new(Tagged(omen_sse::TransformedKernel::new())));
         assert_eq!(s.kernel().name(), "tagged");
-        let current = s.run().current();
+        let current = s.run().expect("run succeeds").current();
         assert_eq!(current, baseline, "pass-through kernel is transparent");
     }
 
@@ -897,7 +1105,7 @@ mod tests {
     fn warm_start_matches_cold_with_fewer_iterations() {
         let cfg = SimulationConfig::tiny();
         let mut cold = sim(cfg.clone());
-        let cold_result = cold.run();
+        let cold_result = cold.run().expect("run succeeds");
         let cold_iters = cold_result.records.len();
         assert!(cold_iters >= 3, "cold run must do real work");
         let data = cold.warm_start_data();
@@ -907,7 +1115,7 @@ mod tests {
         assert!(!warm.is_seeded());
         warm.warm_start_from(&data).expect("shapes match");
         assert!(warm.is_seeded());
-        let warm_result = warm.run();
+        let warm_result = warm.run().expect("run succeeds");
         let warm_iters = warm_result.records.len();
         assert!(
             warm_iters < cold_iters,
@@ -930,9 +1138,89 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_token_interrupts_run_before_work() {
+        let mut s = sim(SimulationConfig::tiny());
+        let token = CancelToken::new();
+        s.set_cancel_token(token.clone());
+        assert!(!token.is_cancelled());
+        token.cancel();
+        assert_eq!(s.run().err(), Some(DriverError::Cancelled { iteration: 0 }));
+        assert_eq!(s.iterations_done(), 0, "no iteration may start");
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_run() {
+        let mut s = sim(SimulationConfig::tiny());
+        s.set_deadline(Instant::now());
+        assert_eq!(
+            s.run().err(),
+            Some(DriverError::DeadlineExceeded { iteration: 0 })
+        );
+    }
+
+    #[test]
+    fn require_convergence_turns_cap_into_typed_error() {
+        let mut cfg = SimulationConfig::tiny();
+        cfg.max_iterations = 2;
+        cfg.tolerance = 1e-14; // unreachable in 2 iterations
+        cfg.require_convergence = true;
+        match sim(cfg).run() {
+            Err(DriverError::Unconverged {
+                iterations,
+                rel_change,
+            }) => {
+                assert_eq!(iterations, 2);
+                assert!(rel_change > 1e-14);
+            }
+            other => panic!("expected Unconverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_donor_yields_nonfinite_error_not_panic() {
+        let mut donor = sim(SimulationConfig::tiny());
+        donor.run().expect("run succeeds");
+        let mut data = donor.warm_start_data();
+        // Corrupt the donor the way a bad deposit would: poison Σ^<.
+        data.sigma_l.as_mut_slice()[0] = omen_linalg::c64(f64::NAN, 0.0);
+        let mut warm = sim(SimulationConfig::tiny());
+        warm.warm_start_from(&data).expect("shapes match");
+        match warm.run() {
+            Err(DriverError::NonFinite { .. }) => {}
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_divergence_watchdog_fires_on_seeded_runs_only() {
+        let mut donor = sim(SimulationConfig::tiny());
+        donor.run().expect("run succeeds");
+        let data = donor.warm_start_data();
+
+        // An absurdly tight bound makes any still-converging seeded run
+        // trip the watchdog — the mechanism under test, not the donor.
+        let mut cfg = SimulationConfig::tiny();
+        cfg.mu_drain += 0.05; // move the fixed point so iteration continues
+        cfg.warm_divergence_after = 2;
+        cfg.warm_divergence_threshold = 1e-12;
+        let mut warm = sim(cfg.clone());
+        warm.warm_start_from(&data).expect("shapes match");
+        match warm.run() {
+            Err(DriverError::WarmDiverged { iteration, .. }) => {
+                assert!(iteration >= 1);
+            }
+            other => panic!("expected WarmDiverged, got {other:?}"),
+        }
+
+        // The same config unseeded never raises WarmDiverged.
+        let mut cold = sim(cfg);
+        assert!(cold.run().is_ok());
+    }
+
+    #[test]
     fn warm_start_rejects_mismatched_shapes_and_running_sims() {
         let mut donor = sim(SimulationConfig::tiny());
-        donor.run();
+        donor.run().expect("run succeeds");
         let data = donor.warm_start_data();
 
         // A different energy grid cannot absorb the donor's tensors.
@@ -974,7 +1262,7 @@ mod tests {
     #[test]
     fn warm_start_after_bias_step_refines_boundaries() {
         let mut donor = sim(SimulationConfig::tiny());
-        donor.run();
+        donor.run().expect("run succeeds");
         let data = donor.warm_start_data();
 
         // Small bias step: same scenario shape, shifted drain potential.

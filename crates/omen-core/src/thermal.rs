@@ -194,7 +194,7 @@ mod tests {
         cfg.coupling = 0.0;
         cfg.max_iterations = 1;
         let mut sim = Simulation::new(cfg).expect("valid test config");
-        let result = sim.run();
+        let result = sim.run().expect("run succeeds");
         let report = electro_thermal_report(&sim, &result);
         let t0 = report.contact_temperature;
         for (a, &t) in report.temperature_per_atom.iter().enumerate() {
@@ -214,7 +214,7 @@ mod tests {
         cfg.mu_source = 0.4;
         cfg.max_iterations = 8;
         let mut sim = Simulation::new(cfg).expect("valid test config");
-        let result = sim.run();
+        let result = sim.run().expect("run succeeds");
         let report = electro_thermal_report(&sim, &result);
         assert!(
             report.t_max() > report.contact_temperature * 1.005,

@@ -39,6 +39,8 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Entries removed to satisfy the budget.
     pub evictions: u64,
+    /// Entries removed because a point they seeded failed.
+    pub quarantined: u64,
 }
 
 impl CacheStats {
@@ -148,6 +150,25 @@ impl SweepCache {
         }
     }
 
+    /// Removes the entry for exactly `(scenario, axis, value)`, if any.
+    ///
+    /// Called when a warm-started point fails: the donor that seeded it
+    /// is suspect (its tensors may be damaged or far from any fixed
+    /// point), so it is taken out of circulation before the retry. This
+    /// is a removal, not a denylist — if the donor point later
+    /// re-converges, its fresh deposit is welcome again.
+    pub fn quarantine(&mut self, scenario: u64, axis: SweepAxis, value: f64) -> bool {
+        let Some(idx) = self.entries.iter().position(|e| {
+            e.scenario == scenario && e.axis == axis && e.value.to_bits() == value.to_bits()
+        }) else {
+            return false;
+        };
+        self.bytes -= self.entries[idx].bytes;
+        self.entries.swap_remove(idx);
+        self.stats.quarantined += 1;
+        true
+    }
+
     /// The donor nearest to `value` among same-scenario, same-axis
     /// entries: `(donor value, warm-start data)`. Counts a hit/miss and
     /// refreshes the donor's LRU stamp.
@@ -237,6 +258,35 @@ mod tests {
         // Same-point re-insertion replaces instead of duplicating.
         cache.insert(1, SweepAxis::Bias, 0.3, data);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn quarantine_removes_only_the_exact_donor() {
+        let data = donor_data();
+        let mut cache = SweepCache::new(CacheConfig::default());
+        cache.insert(1, SweepAxis::Bias, 0.20, data.clone());
+        cache.insert(1, SweepAxis::Bias, 0.30, data.clone());
+        let bytes_before = cache.bytes();
+
+        assert!(cache.quarantine(1, SweepAxis::Bias, 0.20));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.bytes() < bytes_before);
+        assert_eq!(cache.stats().quarantined, 1);
+        // The survivor still serves; the quarantined point is gone.
+        let (donor, _) = cache.nearest(1, SweepAxis::Bias, 0.21).expect("hit");
+        assert_eq!(donor, 0.30);
+        // Unknown keys are a no-op.
+        assert!(!cache.quarantine(1, SweepAxis::Bias, 0.20));
+        assert!(!cache.quarantine(9, SweepAxis::Bias, 0.30));
+        assert_eq!(cache.stats().quarantined, 1);
+
+        // Quarantine is not a denylist: a fresh deposit for the same
+        // point is accepted and served again.
+        cache.insert(1, SweepAxis::Bias, 0.20, data);
+        assert_eq!(
+            cache.nearest(1, SweepAxis::Bias, 0.19).expect("hit").0,
+            0.20
+        );
     }
 
     #[test]

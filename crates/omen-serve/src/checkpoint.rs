@@ -1,0 +1,245 @@
+//! Job checkpoint journal: completed sweep points survive a crash.
+//!
+//! Every point a worker finishes is appended to an on-disk journal as a
+//! length-prefixed, checksummed `C64` frame ([`crate::wire::encode_point`]
+//! over [`omen_comm::encode_frame`]). When a job starts and a journal
+//! exists for its scenario, points whose swept value already has an
+//! intact record are restored instead of recomputed — a resubmitted or
+//! resumed job re-runs only what was lost.
+//!
+//! ## On-disk format
+//!
+//! A journal is a flat sequence of records, each:
+//!
+//! ```text
+//! [u64 LE: frame length in C64 elements][elements × 16 bytes: re LE, im LE]
+//! ```
+//!
+//! The format is crash-tolerant by construction:
+//!
+//! * a **torn tail** (the process died mid-append) is detected by the
+//!   length prefix pointing past end-of-file; [`CheckpointJournal::load`]
+//!   drops it and [`CheckpointJournal::repair`] truncates it away so
+//!   later appends never land behind garbage;
+//! * a **damaged record** (bit rot, or an injected
+//!   [`omen_fault::FaultSite::FrameCorrupt`] fault) fails the frame
+//!   checksum and is skipped — the point is simply recomputed;
+//! * records never depend on each other, so any prefix of intact records
+//!   is a valid journal.
+
+use crate::job::PointObservables;
+use crate::wire::{decode_point, encode_point};
+use omen_fault::FaultSite;
+use omen_linalg::C64;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// An append-only journal of completed sweep points.
+#[derive(Clone, Debug)]
+pub struct CheckpointJournal {
+    path: PathBuf,
+}
+
+impl CheckpointJournal {
+    /// A journal at an explicit path (the file need not exist yet).
+    pub fn at(path: impl Into<PathBuf>) -> CheckpointJournal {
+        CheckpointJournal { path: path.into() }
+    }
+
+    /// The canonical journal for `scenario` inside `dir`: one file per
+    /// scenario fingerprint, shared by every sweep over that scenario.
+    pub fn for_scenario(dir: &Path, scenario: u64) -> CheckpointJournal {
+        CheckpointJournal::at(dir.join(format!("sweep-{scenario:016x}.ckpt")))
+    }
+
+    /// Where the journal lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one completed point. The record is assembled in memory
+    /// and written with a single `write_all` so concurrent appenders
+    /// (the file is opened in append mode) never interleave partial
+    /// records under POSIX semantics.
+    pub fn append(&self, scenario: u64, point: &PointObservables) -> std::io::Result<()> {
+        let frame = encode_point(scenario, point);
+        let mut bytes = Vec::with_capacity(8 + frame.len() * 16);
+        bytes.extend_from_slice(&(frame.len() as u64).to_le_bytes());
+        for c in &frame {
+            bytes.extend_from_slice(&c.re.to_le_bytes());
+            bytes.extend_from_slice(&c.im.to_le_bytes());
+        }
+        // Injected storage fault: flip one bit of the record body (never
+        // the length prefix, which models sector-level framing) so the
+        // loader exercises its skip-damaged-record path.
+        let key = omen_fault::mix(scenario ^ point.value.to_bits(), frame.len() as u64);
+        if omen_fault::should_inject(FaultSite::FrameCorrupt, key) {
+            omen_fault::corrupt_bytes(&mut bytes[8..], key);
+        }
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        file.write_all(&bytes)
+    }
+
+    /// Every intact record, in append order. Damaged records are
+    /// skipped; a torn tail is dropped. A missing or unreadable file is
+    /// an empty journal.
+    pub fn load(&self) -> Vec<(u64, PointObservables)> {
+        self.scan().0
+    }
+
+    /// Truncates a torn tail (an interrupted final append) so the next
+    /// append starts on a record boundary. Complete-but-damaged records
+    /// are left in place — they are skipped at load time. Returns the
+    /// number of bytes kept.
+    pub fn repair(&self) -> std::io::Result<u64> {
+        let (_, valid) = self.scan();
+        let file = OpenOptions::new().write(true).open(&self.path)?;
+        file.set_len(valid)?;
+        Ok(valid)
+    }
+
+    /// Parses the journal: `(intact records, bytes of complete records)`.
+    fn scan(&self) -> (Vec<(u64, PointObservables)>, u64) {
+        let Ok(raw) = std::fs::read(&self.path) else {
+            return (Vec::new(), 0);
+        };
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while let Some(prefix) = raw.get(pos..pos + 8) {
+            let nelems = u64::from_le_bytes(prefix.try_into().expect("8-byte slice")) as usize;
+            let Some(end) = nelems
+                .checked_mul(16)
+                .and_then(|body| body.checked_add(pos + 8))
+            else {
+                break; // implausible length: treat as torn
+            };
+            if end > raw.len() {
+                break; // torn tail
+            }
+            let frame: Vec<C64> = (0..nelems)
+                .map(|i| {
+                    let off = pos + 8 + i * 16;
+                    let re = f64::from_le_bytes(raw[off..off + 8].try_into().expect("8 bytes"));
+                    let im =
+                        f64::from_le_bytes(raw[off + 8..off + 16].try_into().expect("8 bytes"));
+                    omen_linalg::c64(re, im)
+                })
+                .collect();
+            pos = end;
+            if let Some(record) = decode_point(&frame) {
+                out.push(record);
+            }
+        }
+        (out, pos as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_journal(tag: &str) -> CheckpointJournal {
+        let path =
+            std::env::temp_dir().join(format!("omen-serve-ckpt-{}-{tag}.ckpt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        CheckpointJournal::at(path)
+    }
+
+    fn point(value: f64, current: f64) -> PointObservables {
+        PointObservables {
+            value,
+            current,
+            iterations: 5,
+            warm: false,
+            donor: None,
+        }
+    }
+
+    #[test]
+    fn append_load_round_trip_across_scenarios() {
+        let journal = temp_journal("roundtrip");
+        journal.append(1, &point(0.2, 1e-6)).expect("append");
+        journal.append(2, &point(0.3, 2e-6)).expect("append");
+        journal.append(1, &point(0.4, 3e-6)).expect("append");
+        let records = journal.load();
+        // Under an armed chaos plan an append may be deliberately
+        // damaged; fault-free, all three must survive bit-exactly.
+        if !omen_fault::active() {
+            assert_eq!(records.len(), 3);
+            assert_eq!(records[0].0, 1);
+            assert_eq!(records[1].0, 2);
+            assert_eq!(records[2].1.value.to_bits(), 0.4f64.to_bits());
+            assert_eq!(records[2].1.current.to_bits(), 3e-6f64.to_bits());
+        }
+        assert!(records.len() <= 3);
+        let _ = std::fs::remove_file(journal.path());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_repaired() {
+        let journal = temp_journal("torn");
+        journal.append(7, &point(0.2, 1e-6)).expect("append");
+        let whole = std::fs::metadata(journal.path()).expect("exists").len();
+        journal.append(7, &point(0.3, 2e-6)).expect("append");
+        // Crash simulation: the second append only half-landed.
+        let full = std::fs::metadata(journal.path()).expect("exists").len();
+        let torn = whole + (full - whole) / 2;
+        OpenOptions::new()
+            .write(true)
+            .open(journal.path())
+            .expect("open")
+            .set_len(torn)
+            .expect("truncate");
+
+        let records = journal.load();
+        if !omen_fault::active() {
+            assert_eq!(records.len(), 1, "torn record must be dropped");
+            assert_eq!(records[0].1.value, 0.2);
+        }
+        // Repair trims the tail; a fresh append is then recoverable.
+        assert_eq!(journal.repair().expect("repair"), whole);
+        journal.append(7, &point(0.5, 5e-6)).expect("append");
+        let records = journal.load();
+        if !omen_fault::active() {
+            assert_eq!(records.len(), 2);
+            assert_eq!(records[1].1.value, 0.5);
+        }
+        let _ = std::fs::remove_file(journal.path());
+    }
+
+    #[test]
+    fn damaged_record_is_skipped_not_fatal() {
+        let journal = temp_journal("damaged");
+        journal.append(9, &point(0.2, 1e-6)).expect("append");
+        let first = std::fs::metadata(journal.path()).expect("exists").len();
+        journal.append(9, &point(0.3, 2e-6)).expect("append");
+        // Flip a payload byte of the *first* record: 8 bytes of length
+        // prefix, 32 bytes of frame header, then packed payload.
+        let mut raw = std::fs::read(journal.path()).expect("read");
+        raw[8 + 32 + 3] ^= 0x10;
+        std::fs::write(journal.path(), &raw).expect("write");
+
+        let records = journal.load();
+        if !omen_fault::active() {
+            assert_eq!(records.len(), 1, "damaged record skipped, rest intact");
+            assert_eq!(records[0].1.value, 0.3);
+        }
+        // The damaged record is complete, so repair keeps every byte.
+        assert_eq!(
+            journal.repair().expect("repair"),
+            std::fs::metadata(journal.path()).expect("exists").len()
+        );
+        assert!(first > 0);
+        let _ = std::fs::remove_file(journal.path());
+    }
+
+    #[test]
+    fn missing_journal_is_empty() {
+        let journal = temp_journal("missing");
+        assert!(journal.load().is_empty());
+    }
+}

@@ -61,6 +61,16 @@ pub struct JobMetrics {
     pub cache_hits: u64,
     /// Warm-start cache misses attributable to this job.
     pub cache_misses: u64,
+    /// Point attempts beyond each point's first (every retry, whatever
+    /// triggered it: a panic, a typed driver error, or a deadline).
+    pub retries: u32,
+    /// Warm attempts that failed and were restarted cold.
+    pub cold_fallbacks: u32,
+    /// Donors quarantined (removed from the shared cache) after the
+    /// point they seeded failed.
+    pub quarantined: u32,
+    /// Points restored from a checkpoint journal instead of recomputed.
+    pub resumed_points: u32,
     /// Wall-clock seconds the sweep took.
     pub seconds: f64,
 }

@@ -25,7 +25,14 @@
 //!   from the nearest completed neighbor, cutting Born iterations while
 //!   converging to the same fixed point (same per-point tolerance);
 //! * **wire** — job requests and results serialize to `C64` frames
-//!   ([`wire`]) reusing the staged-broadcast packing of [`omen_comm`].
+//!   ([`wire`]) reusing the staged-broadcast packing of [`omen_comm`];
+//! * **fault tolerance** — each point attempt is panic-isolated and
+//!   retried with capped exponential backoff; a failed warm start
+//!   quarantines its cache donor and restarts cold; completed points are
+//!   journaled to disk ([`CheckpointJournal`]) so an interrupted job
+//!   resumes instead of recomputing (see the [`server`] module docs for
+//!   the failure model and [`omen_fault`] for deterministic chaos
+//!   injection).
 //!
 //! ## Example
 //!
@@ -38,7 +45,9 @@
 //!     .expect("valid sweep");
 //! let points = job.await_observables().expect("sweep completes");
 //! assert_eq!(points.len(), 4);
-//! assert!(points[1].warm, "second point warm-starts from the first");
+//! // Fault-free, every later point warm-starts from its neighbor; under
+//! // an armed chaos plan a retried point may legitimately run cold.
+//! assert!(points[1].warm || omen_fault::active());
 //! ```
 //!
 //! ## Cache tuning
@@ -50,13 +59,17 @@
 //! [`CacheConfig::max_entries`] caps entry count independently.
 
 pub mod cache;
+pub mod checkpoint;
 pub mod job;
 pub mod server;
 pub mod sweep;
 pub mod wire;
 
 pub use cache::{CacheConfig, CacheStats, SweepCache};
+pub use checkpoint::CheckpointJournal;
 pub use job::{JobMetrics, JobResult, JobState, PointObservables};
 pub use server::{JobError, JobHandle, ServerConfig, SubmitError, SweepClient, SweepServer};
 pub use sweep::{linspace, SweepAxis, SweepSpec};
-pub use wire::{decode_job, decode_result, encode_job, encode_result, JobRequest};
+pub use wire::{
+    decode_job, decode_point, decode_result, encode_job, encode_point, encode_result, JobRequest,
+};

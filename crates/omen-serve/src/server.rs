@@ -8,29 +8,64 @@
 //! owns a job end-to-end — points run *sequentially within* a job so each
 //! point can warm-start from its immediate neighbor, while distinct jobs
 //! run concurrently across workers against the shared [`SweepCache`].
+//!
+//! ## Failure model
+//!
+//! A point solve can fail four ways: a panic somewhere under
+//! [`Simulation::run`], a typed [`DriverError`] (non-finite observables,
+//! warm-start divergence, iteration-cap exhaustion), a per-point
+//! deadline, or cooperative cancellation. The worker isolates each point
+//! attempt behind [`std::panic::catch_unwind`] and retries with capped
+//! exponential backoff ([`ServerConfig::max_attempts`]). When the failed
+//! attempt was warm-started, the donor entry is quarantined — removed
+//! from the shared cache — and the retry restarts cold, so one bad
+//! deposit can never wedge a whole sweep. Every decision is surfaced in
+//! [`JobMetrics`] (`retries`, `cold_fallbacks`, `quarantined`).
 
 use crate::cache::{CacheConfig, CacheStats, SweepCache};
+use crate::checkpoint::CheckpointJournal;
 use crate::job::{JobMetrics, JobResult, JobState, PointObservables};
 use crate::sweep::SweepSpec;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use omen_core::{ConfigError, Simulation};
+use omen_core::{
+    CancelToken, ConfigError, DriverError, Simulation, SimulationResult, WarmStartData,
+};
+use omen_fault::FaultSite;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Reserved queue id that tells a worker to exit.
 const SHUTDOWN: u64 = u64::MAX;
 
 /// Server sizing knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Worker threads (jobs in flight concurrently); min 1.
     pub workers: usize,
     /// Warm-start cache budget.
     pub cache: CacheConfig,
+    /// Solve attempts per point before the whole job fails; min 1.
+    pub max_attempts: u32,
+    /// Delay before the first retry of a point; doubles per further
+    /// retry up to [`ServerConfig::backoff_cap`].
+    pub backoff_base: Duration,
+    /// Upper bound on the between-retry delay.
+    pub backoff_cap: Duration,
+    /// Wall-clock budget per point *attempt*; `None` leaves solves
+    /// unbounded. An expired budget surfaces as
+    /// [`DriverError::DeadlineExceeded`] and counts as a failed attempt.
+    pub point_deadline: Option<Duration>,
+    /// Directory for per-scenario checkpoint journals. When set, every
+    /// completed point is journaled ([`CheckpointJournal`]) and a new
+    /// job restores journaled points instead of recomputing them.
+    /// `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -38,14 +73,28 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 2,
             cache: CacheConfig::default(),
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(100),
+            point_deadline: None,
+            checkpoint_dir: None,
         }
     }
+}
+
+/// The per-point retry knobs, copied out of [`ServerConfig`] at start.
+#[derive(Clone, Copy, Debug)]
+struct RetryPolicy {
+    max_attempts: u32,
+    backoff_base: Duration,
+    backoff_cap: Duration,
+    point_deadline: Option<Duration>,
 }
 
 struct JobEntry {
     spec: SweepSpec,
     state: JobState,
-    cancel: Arc<AtomicBool>,
+    cancel: CancelToken,
     result: Option<JobResult>,
 }
 
@@ -56,6 +105,8 @@ struct Inner {
     cache: Mutex<SweepCache>,
     /// Workers take turns blocking on the shared receiver.
     queue: Mutex<Receiver<u64>>,
+    retry: RetryPolicy,
+    checkpoint_dir: Option<PathBuf>,
 }
 
 /// A rejected submission.
@@ -124,7 +175,7 @@ impl SweepClient {
             JobEntry {
                 spec,
                 state: JobState::Queued,
-                cancel: Arc::new(AtomicBool::new(false)),
+                cancel: CancelToken::new(),
                 result: None,
             },
         );
@@ -163,12 +214,13 @@ impl JobHandle {
     }
 
     /// Requests cancellation. A queued job cancels immediately; a running
-    /// job stops after the point in flight. Completed points stay
-    /// available as the partial result.
+    /// job's in-flight point observes the token *between Born iterations*
+    /// and aborts, so cancellation lands in bounded time even mid-solve.
+    /// Completed points stay available as the partial result.
     pub fn cancel(&self) {
         let mut jobs = self.inner.jobs.lock();
         if let Some(entry) = jobs.get_mut(&self.id) {
-            entry.cancel.store(true, Ordering::Relaxed);
+            entry.cancel.cancel();
             if entry.state == JobState::Queued {
                 entry.state = JobState::Cancelled;
                 entry.result = Some(JobResult::default());
@@ -221,6 +273,13 @@ impl SweepServer {
             changed: Condvar::new(),
             cache: Mutex::new(SweepCache::new(config.cache)),
             queue: Mutex::new(rx),
+            retry: RetryPolicy {
+                max_attempts: config.max_attempts.max(1),
+                backoff_base: config.backoff_base,
+                backoff_cap: config.backoff_cap,
+                point_deadline: config.point_deadline,
+            },
+            checkpoint_dir: config.checkpoint_dir,
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -293,6 +352,22 @@ fn worker_loop(inner: &Inner) {
     }
 }
 
+/// What one sweep point produced after the retry loop succeeded.
+struct PointSuccess {
+    run: SimulationResult,
+    data: WarmStartData,
+    warm: bool,
+    donor_value: Option<f64>,
+}
+
+/// Why one sweep point never produced a result.
+enum PointFailure {
+    /// The job's cancel token fired (before or during an attempt).
+    Cancelled,
+    /// Every allowed attempt failed; the message names the last error.
+    Exhausted(String),
+}
+
 /// Runs one sweep job to a terminal state. Points run in sweep order so
 /// every point after the first finds a same-sweep donor in the cache.
 fn run_job(inner: &Inner, id: u64) {
@@ -308,7 +383,7 @@ fn run_job(inner: &Inner, id: u64) {
             completed: 0,
             total: entry.spec.len(),
         };
-        (entry.spec.clone(), Arc::clone(&entry.cancel))
+        (entry.spec.clone(), entry.cancel.clone())
     };
     inner.changed.notify_all();
 
@@ -319,57 +394,100 @@ fn run_job(inner: &Inner, id: u64) {
         points: Vec::with_capacity(total),
         metrics: JobMetrics::default(),
     };
+    // Checkpoint resume: restore journaled points of this scenario so
+    // only the remaining values are recomputed. The journal is repaired
+    // first so a torn tail from a crashed run never blocks appends.
+    let journal = inner.checkpoint_dir.as_deref().map(|dir| {
+        let _ = std::fs::create_dir_all(dir);
+        let journal = CheckpointJournal::for_scenario(dir, scenario);
+        let _ = journal.repair();
+        journal
+    });
+    let mut restored: HashMap<u64, PointObservables> = HashMap::new();
+    if let Some(journal) = &journal {
+        for (sc, point) in journal.load() {
+            if sc == scenario {
+                restored.insert(point.value.to_bits(), point);
+            }
+        }
+    }
     // Baseline for "iterations saved": the job's worst cold point.
     let mut cold_baseline: u32 = 0;
     for (i, &value) in spec.values.iter().enumerate() {
-        if cancel.load(Ordering::Relaxed) {
+        if cancel.is_cancelled() {
             finish(inner, id, JobState::Cancelled, result, t0);
             return;
         }
-        let mut sim = match Simulation::new(spec.config_for(i)) {
-            Ok(sim) => sim,
-            Err(err) => {
-                finish(inner, id, JobState::Failed(err.to_string()), result, t0);
-                return;
+        if let Some(point) = restored.get(&value.to_bits()) {
+            // Already solved by an earlier (possibly crashed) job over
+            // this scenario: restore the observables verbatim. Born
+            // iteration counters track work done *by this job*, so a
+            // restored point contributes none.
+            result.metrics.points += 1;
+            result.metrics.resumed_points += 1;
+            result.points.push(*point);
+            let mut jobs = inner.jobs.lock();
+            if let Some(entry) = jobs.get_mut(&id) {
+                entry.state = JobState::Running {
+                    completed: i + 1,
+                    total,
+                };
             }
-        };
-        let donor = inner.cache.lock().nearest(scenario, spec.axis, value);
-        let mut warm = false;
-        let mut donor_value = None;
-        match donor {
-            Some((dv, data)) => {
-                result.metrics.cache_hits += 1;
-                if sim
-                    .warm_start_with(&data, spec.axis.changes_boundaries())
-                    .is_ok()
-                {
-                    warm = true;
-                    donor_value = Some(dv);
+            drop(jobs);
+            inner.changed.notify_all();
+            continue;
+        }
+        // Deterministic fault-injection key: a function of the scenario,
+        // the swept value, and the point index — never of wall time — so
+        // a seeded chaos run replays the exact same fault schedule.
+        let point_key = omen_fault::mix(scenario ^ value.to_bits(), i as u64);
+        match run_point(
+            inner,
+            &spec,
+            i,
+            scenario,
+            point_key,
+            &cancel,
+            &mut result.metrics,
+        ) {
+            Ok(point) => {
+                let iterations = point.run.records.len() as u32;
+                result.metrics.points += 1;
+                result.metrics.born_iterations += iterations;
+                if point.warm {
+                    result.metrics.warm_points += 1;
+                    result.metrics.iterations_saved += cold_baseline.saturating_sub(iterations);
+                } else {
+                    cold_baseline = cold_baseline.max(iterations);
+                }
+                let observables = PointObservables {
+                    value,
+                    current: point.run.current(),
+                    iterations,
+                    warm: point.warm,
+                    donor: point.donor_value,
+                };
+                result.points.push(observables);
+                inner
+                    .cache
+                    .lock()
+                    .insert(scenario, spec.axis, value, point.data);
+                if let Some(journal) = &journal {
+                    // Best effort: a failed journal write costs at most
+                    // a recomputation on the next resume.
+                    let _ = journal.append(scenario, &observables);
                 }
             }
-            None => result.metrics.cache_misses += 1,
+            Err(PointFailure::Cancelled) => {
+                finish(inner, id, JobState::Cancelled, result, t0);
+                return;
+            }
+            Err(PointFailure::Exhausted(msg)) => {
+                let state = JobState::Failed(format!("point {i} (value {value}): {msg}"));
+                finish(inner, id, state, result, t0);
+                return;
+            }
         }
-        let run = sim.run();
-        let iterations = run.records.len() as u32;
-        result.metrics.points += 1;
-        result.metrics.born_iterations += iterations;
-        if warm {
-            result.metrics.warm_points += 1;
-            result.metrics.iterations_saved += cold_baseline.saturating_sub(iterations);
-        } else {
-            cold_baseline = cold_baseline.max(iterations);
-        }
-        result.points.push(PointObservables {
-            value,
-            current: run.current(),
-            iterations,
-            warm,
-            donor: donor_value,
-        });
-        inner
-            .cache
-            .lock()
-            .insert(scenario, spec.axis, value, sim.warm_start_data());
         {
             let mut jobs = inner.jobs.lock();
             if let Some(entry) = jobs.get_mut(&id) {
@@ -382,6 +500,127 @@ fn run_job(inner: &Inner, id: u64) {
         inner.changed.notify_all();
     }
     finish(inner, id, JobState::Completed, result, t0);
+}
+
+/// Solves one sweep point, retrying with capped exponential backoff.
+///
+/// The first attempt warm-starts when the cache holds a same-scenario
+/// donor. A failed warm attempt quarantines that donor and every later
+/// attempt restarts cold. Panics under the solve are caught
+/// ([`catch_unwind`]) and count as one failed attempt like any typed
+/// [`DriverError`]; only [`DriverError::Cancelled`] short-circuits.
+fn run_point(
+    inner: &Inner,
+    spec: &SweepSpec,
+    idx: usize,
+    scenario: u64,
+    point_key: u64,
+    cancel: &CancelToken,
+    metrics: &mut JobMetrics,
+) -> Result<PointSuccess, PointFailure> {
+    let policy = inner.retry;
+    let value = spec.values[idx];
+    let mut try_warm = true;
+    let mut last_error = String::new();
+    for attempt in 1..=policy.max_attempts {
+        if cancel.is_cancelled() {
+            return Err(PointFailure::Cancelled);
+        }
+        if attempt > 1 {
+            metrics.retries += 1;
+            let doublings = (attempt - 2).min(16);
+            let delay = policy
+                .backoff_base
+                .saturating_mul(1u32 << doublings)
+                .min(policy.backoff_cap);
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+        }
+        let attempt_key = omen_fault::mix(point_key, attempt as u64);
+        let mut sim = match Simulation::new(spec.config_for(idx)) {
+            Ok(sim) => sim,
+            // A rejected configuration can never heal by retrying.
+            Err(err) => return Err(PointFailure::Exhausted(err.to_string())),
+        };
+        sim.set_cancel_token(cancel.clone());
+        sim.set_fault_key(attempt_key);
+        if let Some(budget) = policy.point_deadline {
+            sim.set_deadline(Instant::now() + budget);
+        }
+        let mut warm = false;
+        let mut donor_value = None;
+        if try_warm {
+            let donor = inner.cache.lock().nearest(scenario, spec.axis, value);
+            match donor {
+                Some((dv, mut data)) => {
+                    metrics.cache_hits += 1;
+                    if omen_fault::should_inject(FaultSite::DonorCorrupt, attempt_key) {
+                        // Damage the donor the way a torn deposit would:
+                        // one poisoned self-energy entry. The solve must
+                        // fail typed (never hang or panic) and the
+                        // quarantine path must retire this donor.
+                        if let Some(slot) = data.sigma_l.as_mut_slice().first_mut() {
+                            *slot = omen_linalg::c64(f64::NAN, 0.0);
+                        }
+                    }
+                    if sim
+                        .warm_start_with(&data, spec.axis.changes_boundaries())
+                        .is_ok()
+                    {
+                        warm = true;
+                        donor_value = Some(dv);
+                    }
+                }
+                None => metrics.cache_misses += 1,
+            }
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if omen_fault::should_inject(FaultSite::WorkerPanic, attempt_key) {
+                panic!("injected worker panic");
+            }
+            sim.run()
+        }));
+        match outcome {
+            Ok(Ok(run)) => {
+                return Ok(PointSuccess {
+                    run,
+                    data: sim.warm_start_data(),
+                    warm,
+                    donor_value,
+                });
+            }
+            Ok(Err(DriverError::Cancelled { .. })) => return Err(PointFailure::Cancelled),
+            Ok(Err(err)) => last_error = err.to_string(),
+            Err(payload) => last_error = panic_message(payload.as_ref()),
+        }
+        if warm {
+            // The donor seeded a failing solve: pull it out of
+            // circulation and restart this point cold.
+            if let Some(dv) = donor_value {
+                if inner.cache.lock().quarantine(scenario, spec.axis, dv) {
+                    metrics.quarantined += 1;
+                }
+            }
+            metrics.cold_fallbacks += 1;
+            try_warm = false;
+        }
+    }
+    Err(PointFailure::Exhausted(format!(
+        "{} attempts failed; last error: {last_error}",
+        policy.max_attempts
+    )))
+}
+
+/// Renders a caught panic payload for the job's failure message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(msg) = payload.downcast_ref::<&str>() {
+        format!("panic: {msg}")
+    } else if let Some(msg) = payload.downcast_ref::<String>() {
+        format!("panic: {msg}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
 }
 
 fn finish(inner: &Inner, id: u64, state: JobState, mut result: JobResult, t0: Instant) {
@@ -405,7 +644,7 @@ mod tests {
     fn one_worker() -> SweepServer {
         SweepServer::start(ServerConfig {
             workers: 1,
-            cache: CacheConfig::default(),
+            ..ServerConfig::default()
         })
     }
 
@@ -419,15 +658,22 @@ mod tests {
         assert_eq!(handle.state(), JobState::Completed);
         assert_eq!(result.points.len(), 4);
         assert!(result.points.iter().all(|p| p.current > 0.0));
-        // First point is cold, the rest warm-start off their neighbor.
-        assert!(!result.points[0].warm);
-        assert!(result.points[1..].iter().all(|p| p.warm));
-        assert_eq!(result.points[1].donor, Some(result.points[0].value));
         let m = result.metrics;
-        assert_eq!((m.points, m.warm_points), (4, 3));
-        assert_eq!((m.cache_hits, m.cache_misses), (3, 1));
-        assert!((m.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(m.points, 4);
         assert!(server.cache_bytes() > 0);
+        // Under a chaos run (OMEN_FAULT_SEED) retries and quarantines
+        // legitimately perturb the warm/hit bookkeeping; the exact-count
+        // assertions describe the fault-free schedule only.
+        if !omen_fault::active() {
+            // First point is cold, the rest warm-start off their neighbor.
+            assert!(!result.points[0].warm);
+            assert!(result.points[1..].iter().all(|p| p.warm));
+            assert_eq!(result.points[1].donor, Some(result.points[0].value));
+            assert_eq!((m.points, m.warm_points), (4, 3));
+            assert_eq!((m.cache_hits, m.cache_misses), (3, 1));
+            assert!((m.cache_hit_rate() - 0.75).abs() < 1e-12);
+            assert_eq!((m.retries, m.cold_fallbacks, m.quarantined), (0, 0, 0));
+        }
     }
 
     #[test]
@@ -440,7 +686,8 @@ mod tests {
         for i in 0..spec.len() {
             let run = Simulation::new(spec.config_for(i))
                 .expect("valid config")
-                .run();
+                .run()
+                .expect("cold point converges");
             cold_currents.push(run.current());
             cold_iterations += run.records.len() as u32;
         }
@@ -464,14 +711,17 @@ mod tests {
                 point.value
             );
         }
-        // Warm starts strictly reduce the total Born iteration count.
-        assert!(
-            result.metrics.born_iterations < cold_iterations,
-            "warm sweep must save iterations: {} vs cold {}",
-            result.metrics.born_iterations,
-            cold_iterations
-        );
-        assert!(result.metrics.iterations_saved > 0);
+        // Warm starts strictly reduce the total Born iteration count
+        // (when no injected faults force retried points).
+        if !omen_fault::active() {
+            assert!(
+                result.metrics.born_iterations < cold_iterations,
+                "warm sweep must save iterations: {} vs cold {}",
+                result.metrics.born_iterations,
+                cold_iterations
+            );
+            assert!(result.metrics.iterations_saved > 0);
+        }
     }
 
     #[test]
@@ -526,8 +776,90 @@ mod tests {
             .expect("valid sweep")
             .wait()
             .expect("completes");
-        assert_eq!(second.metrics.cache_misses, 0);
-        assert_eq!(second.metrics.warm_points, 4);
-        assert!(second.metrics.born_iterations <= first.metrics.born_iterations);
+        if !omen_fault::active() {
+            assert_eq!(second.metrics.cache_misses, 0);
+            assert_eq!(second.metrics.warm_points, 4);
+            assert!(second.metrics.born_iterations <= first.metrics.born_iterations);
+        }
+    }
+
+    #[test]
+    fn checkpoint_journal_resumes_completed_points() {
+        let dir = std::env::temp_dir().join(format!("omen-serve-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let start = |dir: &std::path::Path| {
+            SweepServer::start(ServerConfig {
+                workers: 1,
+                checkpoint_dir: Some(dir.to_path_buf()),
+                ..ServerConfig::default()
+            })
+        };
+        // First job: the sweep endpoints only.
+        let server = start(&dir);
+        let first = server
+            .submit(SweepSpec::finfet_bias(2))
+            .expect("valid sweep")
+            .wait()
+            .expect("completes");
+        drop(server);
+
+        // Second job, fresh server, same journal directory: a denser
+        // sweep over the same scenario. Its endpoints match the first
+        // sweep's bitwise (same linspace arithmetic), so they restore
+        // from the journal and only the interior points solve.
+        let server = start(&dir);
+        let second = server
+            .submit(SweepSpec::finfet_bias_quick())
+            .expect("valid sweep")
+            .wait()
+            .expect("completes");
+        assert_eq!(second.points.len(), 4);
+        assert!(second.metrics.resumed_points <= 2);
+        if !omen_fault::active() {
+            assert_eq!(second.metrics.resumed_points, 2);
+            assert_eq!(second.metrics.points, 4);
+            assert_eq!(
+                second.points[0].current.to_bits(),
+                first.points[0].current.to_bits(),
+                "restored observables are bit-identical"
+            );
+            assert_eq!(
+                second.points[3].current.to_bits(),
+                first.points[1].current.to_bits()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn impossible_point_deadline_exhausts_retries_and_fails_typed() {
+        // A zero per-point budget makes every attempt fail with
+        // DeadlineExceeded: the retry loop must run its allotted
+        // attempts, then fail the job with a typed message — no panic,
+        // no hang, no partial-state corruption.
+        let server = SweepServer::start(ServerConfig {
+            workers: 1,
+            max_attempts: 2,
+            backoff_base: Duration::ZERO,
+            point_deadline: Some(Duration::ZERO),
+            ..ServerConfig::default()
+        });
+        let handle = server
+            .submit(SweepSpec::finfet_bias_quick())
+            .expect("valid sweep");
+        match handle.wait() {
+            Err(JobError::Failed(msg)) => {
+                assert!(msg.contains("deadline exceeded"), "unexpected: {msg}");
+                assert!(msg.contains("2 attempts failed"), "unexpected: {msg}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert!(matches!(handle.state(), JobState::Failed(_)));
+        // The worker survives the failure: a further submission still
+        // reaches a terminal state instead of hanging in the queue.
+        let next = server
+            .submit(SweepSpec::finfet_bias(2))
+            .expect("valid sweep");
+        assert!(matches!(next.wait(), Err(JobError::Failed(_))));
     }
 }

@@ -16,6 +16,8 @@ use omen_linalg::C64;
 pub const FRAME_JOB: u32 = 0x4a4f_4201; // "JOB\x01"
 /// Frame kind of a job result.
 pub const FRAME_RESULT: u32 = 0x5245_5301; // "RES\x01"
+/// Frame kind of one checkpointed sweep point.
+pub const FRAME_POINT: u32 = 0x504f_4901; // "POI\x01"
 
 /// A sweep job as it travels the wire: a named base-scenario preset plus
 /// the axis and values. Presets keep the payload small — the full
@@ -63,7 +65,7 @@ pub fn encode_job(request: &JobRequest) -> Vec<C64> {
 
 /// Decodes a [`FRAME_JOB`] frame back into a request.
 pub fn decode_job(frame: &[C64]) -> Option<JobRequest> {
-    let (kind, bytes) = decode_frame(frame)?;
+    let (kind, bytes) = decode_frame(frame).ok()?;
     if kind != FRAME_JOB {
         return None;
     }
@@ -103,13 +105,17 @@ pub fn encode_result(result: &JobResult) -> Vec<C64> {
     put_u32(&mut bytes, m.iterations_saved);
     put_u64(&mut bytes, m.cache_hits);
     put_u64(&mut bytes, m.cache_misses);
+    put_u32(&mut bytes, m.retries);
+    put_u32(&mut bytes, m.cold_fallbacks);
+    put_u32(&mut bytes, m.quarantined);
+    put_u32(&mut bytes, m.resumed_points);
     put_f64(&mut bytes, m.seconds);
     encode_frame(FRAME_RESULT, &bytes)
 }
 
 /// Decodes a [`FRAME_RESULT`] frame back into a result.
 pub fn decode_result(frame: &[C64]) -> Option<JobResult> {
-    let (kind, bytes) = decode_frame(frame)?;
+    let (kind, bytes) = decode_frame(frame).ok()?;
     if kind != FRAME_RESULT {
         return None;
     }
@@ -138,10 +144,55 @@ pub fn decode_result(frame: &[C64]) -> Option<JobResult> {
         iterations_saved: cur.u32()?,
         cache_hits: cur.u64()?,
         cache_misses: cur.u64()?,
+        retries: cur.u32()?,
+        cold_fallbacks: cur.u32()?,
+        quarantined: cur.u32()?,
+        resumed_points: cur.u32()?,
         seconds: cur.f64()?,
     };
     cur.done()?;
     Some(JobResult { points, metrics })
+}
+
+/// Encodes one completed sweep point (plus its scenario fingerprint) as
+/// a `C64` frame of kind [`FRAME_POINT`] — the checkpoint-journal record.
+pub fn encode_point(scenario: u64, point: &PointObservables) -> Vec<C64> {
+    let mut bytes = Vec::new();
+    put_u64(&mut bytes, scenario);
+    put_f64(&mut bytes, point.value);
+    put_f64(&mut bytes, point.current);
+    put_u32(&mut bytes, point.iterations);
+    bytes.push(point.warm as u8);
+    bytes.push(point.donor.is_some() as u8);
+    put_f64(&mut bytes, point.donor.unwrap_or(0.0));
+    encode_frame(FRAME_POINT, &bytes)
+}
+
+/// Decodes a [`FRAME_POINT`] frame back into `(scenario, point)`.
+pub fn decode_point(frame: &[C64]) -> Option<(u64, PointObservables)> {
+    let (kind, bytes) = decode_frame(frame).ok()?;
+    if kind != FRAME_POINT {
+        return None;
+    }
+    let mut cur = Cursor::new(&bytes);
+    let scenario = cur.u64()?;
+    let value = cur.f64()?;
+    let current = cur.f64()?;
+    let iterations = cur.u32()?;
+    let warm = cur.u8()? != 0;
+    let has_donor = cur.u8()? != 0;
+    let donor_value = cur.f64()?;
+    cur.done()?;
+    Some((
+        scenario,
+        PointObservables {
+            value,
+            current,
+            iterations,
+            warm,
+            donor: has_donor.then_some(donor_value),
+        },
+    ))
 }
 
 fn put_u32(bytes: &mut Vec<u8>, v: u32) {
@@ -223,6 +274,28 @@ mod tests {
     }
 
     #[test]
+    fn point_frame_round_trip() {
+        let point = PointObservables {
+            value: 0.25,
+            current: 1.9e-6,
+            iterations: 3,
+            warm: true,
+            donor: Some(0.2),
+        };
+        let frame = encode_point(0xfeed_beef_cafe_0001, &point);
+        let (scenario, back) = decode_point(&frame).expect("valid frame");
+        assert_eq!(scenario, 0xfeed_beef_cafe_0001);
+        assert_eq!(back.value.to_bits(), point.value.to_bits());
+        assert_eq!(back.current.to_bits(), point.current.to_bits());
+        assert_eq!(back.iterations, 3);
+        assert!(back.warm);
+        assert_eq!(back.donor, Some(0.2));
+        // Wrong kinds and truncation are rejected.
+        assert!(decode_job(&frame).is_none());
+        assert!(decode_point(&frame[..frame.len() - 1]).is_none());
+    }
+
+    #[test]
     fn job_result_round_trip() {
         let result = JobResult {
             points: vec![
@@ -248,6 +321,10 @@ mod tests {
                 iterations_saved: 3,
                 cache_hits: 1,
                 cache_misses: 1,
+                retries: 2,
+                cold_fallbacks: 1,
+                quarantined: 1,
+                resumed_points: 0,
                 seconds: 0.42,
             },
         };
@@ -258,6 +335,9 @@ mod tests {
         assert_eq!(back.points[1].iterations, 3);
         assert!(back.points[1].warm && !back.points[0].warm);
         assert_eq!(back.metrics.iterations_saved, 3);
+        assert_eq!(back.metrics.retries, 2);
+        assert_eq!(back.metrics.cold_fallbacks, 1);
+        assert_eq!(back.metrics.quarantined, 1);
         assert_eq!(back.metrics.seconds, 0.42);
 
         // Truncated frames are rejected.

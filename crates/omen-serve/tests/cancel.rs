@@ -1,0 +1,92 @@
+//! Cancellation race tests: the token must land whether the job is
+//! queued, mid-Born-loop, or anywhere in the submit→queue window, and
+//! `wait()` must always return — these tests hanging *is* the failure.
+
+use omen_serve::{JobError, JobState, ServerConfig, SweepServer, SweepSpec};
+use std::time::{Duration, Instant};
+
+fn one_worker() -> SweepServer {
+    SweepServer::start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+}
+
+#[test]
+fn cancel_lands_mid_born_loop() {
+    let server = one_worker();
+    // Long enough that completion cannot race the cancellation below.
+    let handle = server.submit(SweepSpec::finfet_bias(32)).expect("valid");
+
+    // Wait for the worker to pick the job up, then cancel while the
+    // first point is inside its Born loop.
+    let t0 = Instant::now();
+    while !matches!(handle.state(), JobState::Running { .. }) {
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "worker never started the job"
+        );
+        std::thread::yield_now();
+    }
+    handle.cancel();
+
+    match handle.wait() {
+        Err(JobError::Cancelled(partial)) => {
+            // The in-flight point aborts between Born iterations, so the
+            // sweep stops far short of its 32 points.
+            assert!(
+                partial.points.len() < 32,
+                "cancellation had no effect: {} points",
+                partial.points.len()
+            );
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    assert_eq!(handle.state(), JobState::Cancelled);
+}
+
+#[test]
+fn cancel_races_the_submit_to_queue_window() {
+    let server = one_worker();
+    // Keep the single worker busy so later submissions sit in the queue.
+    let busy = server
+        .submit(SweepSpec::finfet_bias_quick())
+        .expect("valid");
+
+    // Fire cancels from another thread the instant each submit returns:
+    // the cancel can hit before the worker dequeues the id (queued
+    // cancel), or just as it does (the run_job entry re-check).
+    for _ in 0..8 {
+        let handle = server.submit(SweepSpec::finfet_bias(3)).expect("valid");
+        let canceller = std::thread::spawn(move || {
+            handle.cancel();
+            handle
+        });
+        let handle = canceller.join().expect("canceller thread");
+        match handle.wait() {
+            // Usually cancelled before (or just after) dequeue …
+            Err(JobError::Cancelled(partial)) => {
+                assert!(partial.points.len() <= 3);
+                assert_eq!(handle.state(), JobState::Cancelled);
+            }
+            // … but losing the race entirely and completing is legal.
+            Ok(result) => assert_eq!(result.points.len(), 3),
+            Err(other) => panic!("expected Cancelled or Ok, got {other:?}"),
+        }
+    }
+    // The busy job is unaffected by the surrounding churn.
+    assert_eq!(busy.wait().expect("completes").points.len(), 4);
+}
+
+#[test]
+fn double_cancel_and_cancel_after_completion_are_benign() {
+    let server = one_worker();
+    let handle = server.submit(SweepSpec::finfet_bias(2)).expect("valid");
+    let result = handle.wait().expect("completes");
+    assert_eq!(result.points.len(), 2);
+    // Cancelling a finished job must not clobber its terminal state.
+    handle.cancel();
+    handle.cancel();
+    assert_eq!(handle.state(), JobState::Completed);
+    assert_eq!(handle.wait().expect("still completed").points.len(), 2);
+}

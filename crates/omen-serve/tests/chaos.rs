@@ -1,0 +1,140 @@
+//! Chaos acceptance tests: seeded fault injection against real sweeps.
+//!
+//! The contract under test: with worker panics, NaN poisoning, donor
+//! corruption, and storage faults injected at a *fixed seed*, a sweep
+//! job still completes, its observables match the fault-free run within
+//! the solver tolerance, and every recovery decision is visible in
+//! [`JobMetrics`]. The fault plan is process-global, so each test holds
+//! a lock while its plan is armed and restores the environment plan
+//! (what a chaos CI leg sets via `OMEN_FAULT_SEED`) on exit — including
+//! on panic.
+
+use omen_fault::{FaultPlan, FaultSite};
+use omen_serve::{JobResult, ServerConfig, SweepServer, SweepSpec};
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+static PLAN_LOCK: Mutex<()> = Mutex::new(());
+
+/// Installs `plan` process-wide until dropped, then restores whatever
+/// the environment dictates.
+struct ArmedPlan(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+fn arm(plan: FaultPlan) -> ArmedPlan {
+    let guard = PLAN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    omen_fault::install(plan);
+    ArmedPlan(guard)
+}
+
+impl Drop for ArmedPlan {
+    fn drop(&mut self) {
+        omen_fault::install(FaultPlan::from_env());
+    }
+}
+
+fn run_sweep(spec: &SweepSpec, max_attempts: u32, dir: Option<PathBuf>) -> JobResult {
+    let server = SweepServer::start(ServerConfig {
+        workers: 1,
+        max_attempts,
+        checkpoint_dir: dir,
+        ..ServerConfig::default()
+    });
+    server
+        .submit(spec.clone())
+        .expect("valid sweep")
+        .wait()
+        .expect("sweep reaches Completed despite injected faults")
+}
+
+#[test]
+fn chaotic_sweep_matches_fault_free_observables() {
+    let spec = SweepSpec::finfet_bias(8);
+    let tolerance = spec.base.tolerance;
+
+    // Fault-free reference.
+    let clean = {
+        let _armed = arm(FaultPlan::disabled());
+        run_sweep(&spec, 4, None)
+    };
+    assert_eq!(clean.points.len(), 8);
+    assert_eq!(clean.metrics.retries, 0);
+
+    // The same sweep under a seeded storm of every fault kind.
+    let chaotic = {
+        let _armed = arm(FaultPlan::seeded(7, 0.0)
+            .with_rate(FaultSite::WorkerPanic, 0.15)
+            .with_rate(FaultSite::NanPoison, 0.15)
+            .with_rate(FaultSite::DonorCorrupt, 0.15)
+            .with_rate(FaultSite::FrameCorrupt, 0.25));
+        run_sweep(&spec, 6, None)
+    };
+
+    assert_eq!(chaotic.points.len(), 8);
+    // Seed 7 at these rates must actually exercise the machinery —
+    // otherwise this test silently degenerates into the clean run.
+    assert!(
+        chaotic.metrics.retries > 0,
+        "seed 7 injected no faults: {:?}",
+        chaotic.metrics
+    );
+    // Every point still converged to the same fixed point: retried and
+    // cold-fallback solves answer the same self-consistent equation.
+    for (c, f) in chaotic.points.iter().zip(&clean.points) {
+        assert_eq!(c.value.to_bits(), f.value.to_bits());
+        let rel = ((c.current - f.current) / f.current).abs();
+        assert!(
+            rel < 10.0 * tolerance,
+            "chaotic current {} vs clean {} at {} (rel {rel})",
+            c.current,
+            f.current,
+            c.value
+        );
+    }
+}
+
+#[test]
+fn corrupted_donors_are_quarantined_and_sweep_recovers() {
+    // Every warm attempt receives a poisoned donor (rate 1.0 fires
+    // regardless of seed): the solve must fail typed, the donor must be
+    // quarantined, and the cold retry must still converge.
+    let spec = SweepSpec::finfet_bias_quick();
+    let result = {
+        let _armed = arm(FaultPlan::seeded(3, 0.0).with_rate(FaultSite::DonorCorrupt, 1.0));
+        run_sweep(&spec, 4, None)
+    };
+    assert_eq!(result.points.len(), 4);
+    assert!(result.points.iter().all(|p| p.current > 0.0));
+    // No point ends up warm: every donor it was offered was corrupt.
+    assert!(result.points.iter().all(|p| !p.warm));
+    let m = result.metrics;
+    assert!(m.quarantined >= 1, "corrupt donors must be quarantined");
+    assert!(m.cold_fallbacks >= 1);
+    assert!(m.retries >= 1);
+}
+
+#[test]
+fn checkpoint_resume_survives_storage_faults() {
+    // Half of all journal appends are bit-flipped. A resumed job must
+    // treat damaged records as missing — recompute those points — and
+    // still produce the full, correct sweep.
+    let dir = std::env::temp_dir().join(format!("omen-serve-chaos-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = SweepSpec::finfet_bias_quick();
+
+    let _armed = arm(FaultPlan::seeded(11, 0.0).with_rate(FaultSite::FrameCorrupt, 0.5));
+    let first = run_sweep(&spec, 4, Some(dir.clone()));
+    let second = run_sweep(&spec, 4, Some(dir.clone()));
+
+    assert_eq!(second.points.len(), 4);
+    assert!(second.metrics.resumed_points <= 4);
+    for (a, b) in second.points.iter().zip(&first.points) {
+        let rel = ((a.current - b.current) / b.current).abs();
+        assert!(
+            rel < 10.0 * spec.base.tolerance,
+            "resumed/recomputed current {} vs first run {} (rel {rel})",
+            a.current,
+            b.current
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -20,7 +20,7 @@ fn main() {
         cfg.max_iterations
     );
     let mut sim = cfg.into_builder().build().expect("valid configuration");
-    let result = sim.run();
+    let result = sim.run().expect("run succeeds");
     let report = electro_thermal_report(&sim, &result);
 
     println!("\n=== energy currents along transport (Fig. 11 left) ===");

@@ -18,7 +18,7 @@ fn main() {
             .kernel(kernel)
             .build()
             .expect("valid configuration");
-        sim.run().current_history()
+        sim.run().expect("run succeeds").current_history()
     };
     let h64 = run(KernelVariant::Transformed);
     let h_norm = run(KernelVariant::Mixed(Normalization::PerTensor));

@@ -30,7 +30,7 @@ fn main() {
         sim.config().device.nx / sim.config().device.cols_per_slab,
         sim.config().device.norb
     );
-    let result = sim.run();
+    let result = sim.run().expect("run succeeds");
 
     println!("\nBorn iterations: {}", result.records.len());
     for r in &result.records {

@@ -27,7 +27,8 @@ fn main() {
     for i in 0..points {
         let run = Simulation::new(spec.config_for(i))
             .expect("valid sweep point")
-            .run();
+            .run()
+            .expect("cold sweep point converges");
         cold_iters += run.records.len();
         cold_currents.push(run.current());
     }

@@ -13,7 +13,10 @@ fn run_with_kind(kind: ExecutorKind) -> SimulationResult {
     let mut cfg = SimulationConfig::tiny();
     cfg.max_iterations = 6;
     cfg.executor = kind;
-    Simulation::new(cfg).expect("valid config").run()
+    Simulation::new(cfg)
+        .expect("valid config")
+        .run()
+        .expect("run succeeds")
 }
 
 #[test]
@@ -82,18 +85,24 @@ fn explicit_executors_match_config_dispatch() {
     let mut cfg = SimulationConfig::tiny();
     cfg.max_iterations = 3;
     cfg.executor = ExecutorKind::Serial;
-    let via_config = Simulation::new(cfg.clone()).expect("valid config").run();
+    let via_config = Simulation::new(cfg.clone())
+        .expect("valid config")
+        .run()
+        .expect("run succeeds");
 
     // The trait-level entry point accepts any PointExecutor directly.
     let serial = Simulation::new(cfg.clone())
         .expect("valid config")
-        .run_with(&SerialExecutor);
+        .run_with(&SerialExecutor)
+        .expect("run succeeds");
     let rayon = Simulation::new(cfg.clone())
         .expect("valid config")
-        .run_with(&RayonExecutor::new(2));
+        .run_with(&RayonExecutor::new(2))
+        .expect("run succeeds");
     let part = Simulation::new(cfg)
         .expect("valid config")
-        .run_with(&PartitionedExecutor::new(2));
+        .run_with(&PartitionedExecutor::new(2))
+        .expect("run succeeds");
 
     assert_eq!(via_config.current().to_bits(), serial.current().to_bits());
     assert_eq!(serial.current().to_bits(), rayon.current().to_bits());

@@ -12,7 +12,7 @@ fn self_consistent_loop_converges_and_conserves() {
     let mut cfg = SimulationConfig::tiny();
     cfg.max_iterations = 12;
     let mut sim = Simulation::new(cfg).expect("valid config");
-    let result = sim.run();
+    let result = sim.run().expect("run succeeds");
     assert!(
         result.records.last().unwrap().rel_change < 1e-3,
         "not converging"
@@ -31,7 +31,11 @@ fn mixed_precision_converges_to_f64_answer() {
     let run = |kernel| {
         let mut c = cfg.clone();
         c.kernel = kernel;
-        Simulation::new(c).expect("valid config").run().current()
+        Simulation::new(c)
+            .expect("valid config")
+            .run()
+            .expect("run succeeds")
+            .current()
     };
     let f64v = run(KernelVariant::Transformed);
     let f16v = run(KernelVariant::Mixed(Normalization::PerTensor));
@@ -48,7 +52,7 @@ fn self_heating_appears_under_bias() {
     cfg.mu_source = 0.4;
     cfg.max_iterations = 8;
     let mut sim = Simulation::new(cfg).expect("valid config");
-    let result = sim.run();
+    let result = sim.run().expect("run succeeds");
     let report = electro_thermal_report(&sim, &result);
     assert!(
         report.t_max() > report.contact_temperature,
