@@ -12,7 +12,7 @@ use omen_core::{
 };
 
 fn bench<E: PointExecutor>(sim: &Simulation, exec: &E) -> (f64, f64) {
-    let (.., spectral, _) = sim.gf_phase_with(exec);
+    let spectral = sim.gf_phase_with(exec).spectral;
     let current = spectral.el_current[spectral.el_current.len() / 2];
     let time = timed_min(2, || {
         std::hint::black_box(sim.gf_phase_with(exec));

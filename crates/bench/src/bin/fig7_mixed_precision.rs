@@ -13,7 +13,8 @@ fn main() {
 
     // (a) output value distribution of Σ< (real/imaginary planes).
     let mut sim = Simulation::new(cfg.clone()).expect("valid config");
-    let (gl, gg, dl, dg, _, _) = sim.gf_phase();
+    let gf = sim.gf_phase();
+    let (gl, gg, dl, dg) = (gf.g_l, gf.g_g, gf.d_l, gf.d_g);
     let out = sim.sse_phase(&gl, &gg, &dl, &dg);
     let sl = out.sigma_l.to_layout(omen_sse::GLayout::PairMajor);
     for (plane, vals) in [

@@ -36,11 +36,25 @@
 //! a fault-free run must report zero retries/fallbacks/quarantines in
 //! `sweep_fault_retries_quick`.
 //!
+//! A fourth floor bounds disarmed tracing the same way: the measured
+//! per-call cost of one disarmed `omen-trace` instrumentation call
+//! (`sweep_trace_probe_quick.median_ns`) times the instrumentation calls
+//! an armed warm point actually made (`.n`) must stay under
+//! `--max-trace-overhead` (default 2 %) of a warm point's wall time. The
+//! `sweep_trace*` records are excluded from the cross-run ratio table
+//! like the fault records.
+//!
+//! `--trace-out PATH` adds a trace-artifact check (and may run with zero
+//! baseline/fresh pairs): `PATH` must be well-formed chrome://tracing
+//! JSON containing at least one `gf_phase`, one `sse_phase`, and one
+//! `comm_*` duration event.
+//!
 //! ```text
 //! perf_check --baseline BENCH_kernels.json --fresh fresh_kernels.json \
 //!            --baseline BENCH_sweeps.json  --fresh fresh_sweeps.json \
 //!            [--tolerance 2.0] [--min-speedup 1.2] [--min-sweep-speedup 0.9] \
-//!            [--max-fault-overhead 0.02]
+//!            [--max-fault-overhead 0.02] [--max-trace-overhead 0.02] \
+//!            [--trace-out trace.json]
 //! ```
 
 use omen_bench::{parse_bench_json, BenchRecord};
@@ -59,14 +73,15 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
 }
 
 /// `true` for records the gate covers: packed-kernel and sweep-service
-/// quick-mode entries. The `sweep_fault_*` records are excluded from the
-/// cross-run ratio table — one is a raw counter triple and the other a
-/// nanosecond-scale probe too noisy for a 2x machine-to-machine gate —
-/// and are instead consumed by the within-run fault-overhead floor.
+/// quick-mode entries. The `sweep_fault_*` and `sweep_trace*` records are
+/// excluded from the cross-run ratio table — they carry raw counters and
+/// nanosecond-scale probes too noisy for a 2x machine-to-machine gate —
+/// and are instead consumed by the within-run overhead floors.
 fn gated(name: &str) -> bool {
     (name.contains("packed") || name.starts_with("sweep_"))
         && name.ends_with("_quick")
         && !name.contains("fault")
+        && !name.contains("trace")
 }
 
 /// Outcome of one baseline/fresh pair.
@@ -84,6 +99,7 @@ fn check_pair(
     min_speedup: f64,
     min_sweep_speedup: f64,
     max_fault_overhead: f64,
+    max_trace_overhead: f64,
 ) -> PairOutcome {
     let mut out = PairOutcome {
         compared: 0,
@@ -252,15 +268,88 @@ fn check_pair(
                 }
             }
         }
+        // Disarmed-tracing floor: `n` instrumentation calls per warm
+        // point (counted from the armed run) times the measured disarmed
+        // per-call cost must be invisible next to a warm point's wall
+        // time. This is the cost every *untraced* run pays for the
+        // instrumentation being compiled in.
+        if let (Some(probe), Some(warm)) = (find("sweep_trace_probe"), find("sweep_warm")) {
+            let overhead = probe.n as f64 * probe.median_ns / warm.median_ns;
+            println!(
+                "within-run: disarmed tracing {} calls/point x {:.2} ns -> {:.4}% of a warm \
+                 point (cap {:.1}%)",
+                probe.n,
+                probe.median_ns,
+                100.0 * overhead,
+                100.0 * max_trace_overhead
+            );
+            if overhead.is_nan() || overhead > max_trace_overhead {
+                eprintln!(
+                    "perf_check: disarmed tracing costs {:.4}% of a warm point, above the \
+                     {:.1}% cap",
+                    100.0 * overhead,
+                    100.0 * max_trace_overhead
+                );
+                out.failed_floors += 1;
+            }
+        }
     }
     out
+}
+
+/// Validates an exported chrome://tracing artifact: parseable JSON in
+/// the `traceEvents` shape, with duration events from each instrumented
+/// subsystem — GF, SSE, and at least one communication plan.
+fn check_trace_artifact(path: &str) -> bool {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("perf_check: cannot read trace {path}: {e}");
+            return false;
+        }
+    };
+    let stats = match omen_trace::validate_chrome_trace(&text) {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("perf_check: {path} is not a valid chrome trace: {e}");
+            return false;
+        }
+    };
+    let comm_spans: usize = stats
+        .span_names
+        .iter()
+        .filter(|(n, _)| n.starts_with("comm_"))
+        .map(|&(_, c)| c)
+        .sum();
+    println!(
+        "trace artifact {path}: {} events, {} gf_phase / {} sse_phase / {comm_spans} comm_* \
+         duration events",
+        stats.events,
+        stats.spans_named("gf_phase"),
+        stats.spans_named("sse_phase"),
+    );
+    let mut ok = true;
+    for (what, count) in [
+        ("gf_phase", stats.spans_named("gf_phase")),
+        ("sse_phase", stats.spans_named("sse_phase")),
+        ("comm_*", comm_spans),
+    ] {
+        if count == 0 {
+            eprintln!("perf_check: trace {path} has no {what} duration events");
+            ok = false;
+        }
+    }
+    ok
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let baselines = arg_values(&args, "--baseline");
     let freshes = arg_values(&args, "--fresh");
-    if baselines.is_empty() || baselines.len() != freshes.len() {
+    let trace_out = arg_value(&args, "--trace-out");
+    // `--trace-out` alone is a valid invocation (the CI trace leg); the
+    // pair requirement applies once any pair flag appears.
+    if (baselines.is_empty() && trace_out.is_none()) || baselines.len() != freshes.len() {
         eprintln!(
             "perf_check: need matched --baseline/--fresh pairs (got {} baselines, {} fresh)",
             baselines.len(),
@@ -280,6 +369,9 @@ fn main() -> ExitCode {
     let max_fault_overhead: f64 = arg_value(&args, "--max-fault-overhead")
         .map(|t| t.parse().expect("--max-fault-overhead must be a number"))
         .unwrap_or(0.02);
+    let max_trace_overhead: f64 = arg_value(&args, "--max-trace-overhead")
+        .map(|t| t.parse().expect("--max-trace-overhead must be a number"))
+        .unwrap_or(0.02);
 
     let mut compared = 0usize;
     let mut new_records = 0usize;
@@ -293,6 +385,7 @@ fn main() -> ExitCode {
             min_speedup,
             min_sweep_speedup,
             max_fault_overhead,
+            max_trace_overhead,
         );
         compared += outcome.compared;
         new_records += outcome.new_records;
@@ -300,6 +393,18 @@ fn main() -> ExitCode {
         failed_floors += outcome.failed_floors;
     }
 
+    if let Some(path) = &trace_out {
+        if !check_trace_artifact(path) {
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if compared == 0 && new_records == 0 && baselines.is_empty() {
+        // Trace-artifact-only invocation: the artifact check above is the
+        // whole gate.
+        println!("\nperf_check: trace artifact ok");
+        return ExitCode::SUCCESS;
+    }
     if compared == 0 && new_records == 0 {
         eprintln!(
             "\nperf_check: no gated quick records matched in any baseline/fresh pair — the gate \

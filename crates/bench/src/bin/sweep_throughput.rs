@@ -18,12 +18,24 @@
 //! `sweep_fault_retries*` repurposes the fields as raw counters: `n` =
 //! retries, `median_ns` = cold fallbacks, `gflops` = quarantined donors
 //! — all exactly zero in a fault-free run.
+//!
+//! Two tracing records follow the same pattern. `sweep_traced_warm*` is
+//! the warm sweep re-run with the `omen-trace` registry armed (same field
+//! meaning as `sweep_warm*`). `sweep_trace_probe*` carries the
+//! disarmed-overhead inputs `perf_check` gates on: `n` = instrumentation
+//! calls per warm point counted from the armed run's snapshot,
+//! `median_ns` = cost of one *disarmed* instrumentation call, `gflops` =
+//! the armed/disarmed wall-time ratio of the warm sweep. Passing
+//! `--trace-out PATH` additionally exports the armed run as
+//! chrome://tracing JSON.
 
 use omen_bench::{
-    header, json_flag, quick_flag, row, write_bench_json, BenchRecord, BENCH_SWEEPS_JSON_PATH,
+    arg_value, header, json_flag, quick_flag, row, write_bench_json, BenchRecord,
+    BENCH_SWEEPS_JSON_PATH,
 };
 use omen_core::Simulation;
 use omen_serve::{CacheConfig, ServerConfig, SweepServer, SweepSpec};
+use omen_trace as trace;
 use std::time::Instant;
 
 fn main() {
@@ -122,6 +134,63 @@ fn main() {
     let probe_ns = t0.elapsed().as_nanos() as f64 / probe_iters as f64;
     std::hint::black_box(fired);
     println!("fault probe: {probe_ns:.1} ns per should_inject call");
+
+    // --- traced warm sweep: the same job with the trace registry armed ---
+    trace::reset();
+    trace::arm();
+    let traced_server = SweepServer::start(ServerConfig {
+        workers: 1,
+        cache: CacheConfig::default(),
+        ..ServerConfig::default()
+    });
+    let t0 = Instant::now();
+    let traced_result = traced_server
+        .submit(SweepSpec::finfet_bias(points))
+        .expect("valid sweep")
+        .wait()
+        .expect("traced sweep completes");
+    let traced_secs = t0.elapsed().as_secs_f64();
+    // Join the workers so every span guard has dropped before snapshot.
+    drop(traced_server);
+    let snap = trace::snapshot();
+    trace::disarm();
+
+    // Instrumentation calls the armed warm sweep actually made, counted
+    // from the registry itself: every span and phase guard (enter + drop),
+    // every event, and the counter increments on the kernel hot paths —
+    // one `add2` per gemm/sbsmm call, two pack-size adds per sbsmm, one
+    // add per comm call, one SSE-flops add per kernel application.
+    let sse_runs = snap.spans.iter().filter(|s| s.name == "sse_kernel").count() as u64;
+    let trace_ops = 2 * (snap.spans.len() + snap.phases.len() + snap.events.len()) as u64
+        + snap.counter(trace::Counter::GemmCalls)
+        + 3 * snap.counter(trace::Counter::SbsmmCalls)
+        + snap.counter(trace::Counter::CommCalls)
+        + sse_runs;
+    let ops_per_point = trace_ops / points as u64;
+
+    // Disarmed per-call cost: the price every *untraced* run pays for the
+    // instrumentation being compiled in. Three calls per iteration.
+    let t0 = Instant::now();
+    for i in 0..probe_iters {
+        let _span = trace::span!("disarmed_probe");
+        trace::add2(trace::Counter::GemmCalls, 0, trace::Counter::GemmFlops, 0);
+        trace::event2("disarmed_probe", i as f64, 0.0);
+    }
+    let trace_probe_ns = t0.elapsed().as_nanos() as f64 / (3 * probe_iters) as f64;
+    trace::rearm_from_env();
+    println!(
+        "trace: armed sweep {:.2}x the untraced warm sweep; {} instrumentation calls/point, \
+         {trace_probe_ns:.2} ns/call disarmed",
+        traced_secs / warm_secs,
+        ops_per_point
+    );
+
+    if let Some(path) = arg_value("--trace-out") {
+        std::fs::write(&path, trace::chrome_trace_json(&snap)).expect("write chrome trace");
+        println!("trace: wrote {path} ({} spans)", snap.spans.len());
+    }
+    trace::reset();
+
     for (p, cold) in result.points.iter().zip(&cold_currents) {
         let rel = ((p.current - cold) / cold).abs();
         assert!(
@@ -159,6 +228,18 @@ fn main() {
                 n: m.retries as usize,
                 median_ns: m.cold_fallbacks as f64,
                 gflops: m.quarantined as f64,
+            },
+            BenchRecord {
+                name: format!("sweep_traced_warm{suffix}"),
+                n: traced_result.metrics.born_iterations as usize,
+                median_ns: per_point(traced_secs),
+                gflops: points as f64 / traced_secs,
+            },
+            BenchRecord {
+                name: format!("sweep_trace_probe{suffix}"),
+                n: ops_per_point as usize,
+                median_ns: trace_probe_ns,
+                gflops: traced_secs / warm_secs,
             },
         ];
         write_bench_json(BENCH_SWEEPS_JSON_PATH, &records).expect("write BENCH_sweeps.json");

@@ -10,7 +10,8 @@ fn main() {
     let mut cfg = SimulationConfig::demo();
     cfg.max_iterations = 1;
     let sim = Simulation::new(cfg).expect("valid config");
-    let ((g_l, g_g, d_l, d_g, _, gf_times), gf_wall) = timed(|| sim.gf_phase());
+    let (gf, gf_wall) = timed(|| sim.gf_phase());
+    let (g_l, g_g, d_l, d_g, gf_times) = (gf.g_l, gf.g_g, gf.d_l, gf.d_g, gf.times);
     let prob = sim.sse_problem();
 
     let (_, t_eager) = timed(|| sse_eager(&prob, &g_l, &g_g, &d_l, &d_g));

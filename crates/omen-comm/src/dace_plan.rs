@@ -85,6 +85,7 @@ pub fn run_dace_plan(
         tiling.nranks(),
         "source and tile decompositions must share the world"
     );
+    let _phase = omen_trace::PhaseGuard::enter("comm_dace_plan");
     let nranks = tiling.nranks();
     let ledger = VolumeLedger::new(nranks);
     let bsz = prob.norb() * prob.norb();

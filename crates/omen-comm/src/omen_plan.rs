@@ -56,6 +56,7 @@ pub fn run_omen_plan(
     d_g: &DTensor,
     grid: &OmenGrid,
 ) -> (PlanResult, VolumeLedger) {
+    let _phase = omen_trace::PhaseGuard::enter("comm_omen_plan");
     let nranks = grid.nranks();
     let ledger = VolumeLedger::new(nranks);
     let bsz = prob.norb() * prob.norb();

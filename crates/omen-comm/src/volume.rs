@@ -73,6 +73,12 @@ impl VolumeLedger {
     /// Records `bytes` injected by `rank` under `kind`. `new_call` marks
     /// the start of a logical operation (an `MPI_*` invocation).
     pub fn record(&self, kind: OpKind, rank: usize, bytes: u64, new_call: bool) {
+        omen_trace::add2(
+            omen_trace::Counter::BytesCommunicated,
+            bytes,
+            omen_trace::Counter::CommCalls,
+            u64::from(new_call),
+        );
         let mut g = self.inner.lock();
         g.bytes[kind.index()] += bytes;
         if new_call {

@@ -179,6 +179,27 @@ pub struct SpectralData {
     pub contact_currents: (f64, f64),
 }
 
+/// Everything one GF phase produces: the four SSE input tensors, the
+/// spectral observables, and the accumulated per-stage solver times.
+/// Named replacement for the positional 6-tuple `gf_phase` used to
+/// return; the same quantities also flow into the trace registry as a
+/// `gf_phase` phase record when tracing is armed.
+pub struct GfPhaseOutput {
+    /// Electron lesser Green's function `G^<`.
+    pub g_l: GTensor,
+    /// Electron greater Green's function `G^>`.
+    pub g_g: GTensor,
+    /// Phonon lesser Green's function `D^<`.
+    pub d_l: DTensor,
+    /// Phonon greater Green's function `D^>`.
+    pub d_g: DTensor,
+    /// Spectral observables accumulated across all points.
+    pub spectral: SpectralData,
+    /// Specialization/boundary/RGF wall time summed over every point
+    /// solve (CPU time, not wall time, under a parallel executor).
+    pub times: PhaseTimes,
+}
+
 /// The simulation driver.
 pub struct Simulation {
     /// Configuration (private: the builder validated it, and keeping it
@@ -543,7 +564,7 @@ impl Simulation {
     /// Runs the GF phase with the configured executor: every `(kz, E)` and
     /// `(qz, ω)` point, returning the SSE input tensors plus the spectral
     /// observables.
-    pub fn gf_phase(&self) -> (GTensor, GTensor, DTensor, DTensor, SpectralData, PhaseTimes) {
+    pub fn gf_phase(&self) -> GfPhaseOutput {
         match self.config.executor {
             ExecutorKind::Serial => self.gf_phase_with(&SerialExecutor),
             ExecutorKind::Rayon { threads } => self.gf_phase_with(&RayonExecutor::new(threads)),
@@ -554,10 +575,8 @@ impl Simulation {
     }
 
     /// Runs the GF phase through an explicit [`PointExecutor`].
-    pub fn gf_phase_with<E: PointExecutor>(
-        &self,
-        exec: &E,
-    ) -> (GTensor, GTensor, DTensor, DTensor, SpectralData, PhaseTimes) {
+    pub fn gf_phase_with<E: PointExecutor>(&self, exec: &E) -> GfPhaseOutput {
+        let _phase = omen_trace::PhaseGuard::enter("gf_phase");
         let dev = &self.device;
         let cfg = &self.config;
         // Borrow the fields the worker factories need as locals: the
@@ -602,7 +621,10 @@ impl Simulation {
                 ElectronContribution::from_solution(dev, ik, ie, &out)
             }
         };
-        let eobs = exec.run(&grid_points(cfg.nk, cfg.ne), make_eworker, eacc);
+        let eobs = {
+            let _span = omen_trace::span!("gf_electrons");
+            exec.run(&grid_points(cfg.nk, cfg.ne), make_eworker, eacc)
+        };
 
         // --- phonons ---
         let pacc = PhononObservables::new(dev, cfg.nk, fvals.clone(), self.kgrid.weight(), w_ph);
@@ -626,7 +648,10 @@ impl Simulation {
                 PhononContribution::from_solution(dev, iq, iw, &out)
             }
         };
-        let pobs = exec.run(&grid_points(cfg.nk, cfg.nw), make_pworker, pacc);
+        let pobs = {
+            let _span = omen_trace::span!("gf_phonons");
+            exec.run(&grid_points(cfg.nk, cfg.nw), make_pworker, pacc)
+        };
 
         let mut times = eobs.times;
         times.accumulate(&pobs.times);
@@ -640,7 +665,14 @@ impl Simulation {
             el_density: eobs.el_density,
             contact_currents: eobs.contacts,
         };
-        (eobs.g_l, eobs.g_g, pobs.d_l, pobs.d_g, spectral, times)
+        GfPhaseOutput {
+            g_l: eobs.g_l,
+            g_g: eobs.g_g,
+            d_l: pobs.d_l,
+            d_g: pobs.d_g,
+            spectral,
+            times,
+        }
     }
 
     /// Runs the configured SSE kernel on GF outputs. The output lives in
@@ -686,8 +718,17 @@ impl Simulation {
 
     /// One Born iteration through an explicit executor.
     pub fn iterate_with<E: PointExecutor>(&mut self, exec: &E) -> (IterationRecord, SpectralData) {
-        let (g_l, g_g, d_l, d_g, spectral, gf_times) = self.gf_phase_with(exec);
+        let _span = omen_trace::span!("born_iteration");
+        let GfPhaseOutput {
+            g_l,
+            g_g,
+            d_l,
+            d_g,
+            spectral,
+            times: gf_times,
+        } = self.gf_phase_with(exec);
 
+        let sse_trace = omen_trace::PhaseGuard::enter("sse_phase");
         let t0 = Instant::now();
         // Inlined `sse_phase`: the kernel output borrows `self.kernel`,
         // and mixing below needs the sibling fields at the same time.
@@ -708,6 +749,7 @@ impl Simulation {
         let sse = self.kernel.run(&prob, &g_l, &g_g, &d_l, &d_g);
         let sse_seconds = t0.elapsed().as_secs_f64();
         let sse_flops = sse.flops;
+        drop(sse_trace);
 
         // Mix the self-energies (layout-normalize first, allocation-free).
         let mix = self.config.mixing;
@@ -734,6 +776,8 @@ impl Simulation {
             Some(prev) if prev.abs() > 1e-300 => ((current - prev) / prev).abs(),
             _ => f64::INFINITY,
         };
+        omen_trace::add(omen_trace::Counter::BornIterations, 1);
+        omen_trace::event2("convergence", self.iteration as f64, rel_change);
         let record = IterationRecord {
             iteration: self.iteration,
             current,

@@ -30,8 +30,8 @@ pub use omen_sse::{KernelState, MixedKernel, ReferenceKernel, SseKernel, Transfo
 
 pub use builder::{ConfigError, KernelVariant, SimulationBuilder, SimulationConfig};
 pub use driver::{
-    CancelToken, DriverError, IterationRecord, Simulation, SimulationResult, SpectralData,
-    WarmStartData, WarmStartError,
+    CancelToken, DriverError, GfPhaseOutput, IterationRecord, Simulation, SimulationResult,
+    SpectralData, WarmStartData, WarmStartError,
 };
 pub use executor::{
     grid_points, ExecutorKind, GridPoint, PartitionedExecutor, PointExecutor, RayonExecutor,

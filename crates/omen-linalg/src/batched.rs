@@ -165,6 +165,10 @@ impl PackedB {
 /// (k-major within a panel), zero-padding tail rows. `out_*` must hold
 /// `ceil(m/MR) * MR * k` elements.
 pub(crate) fn pack_a_panels(a: &[C64], m: usize, k: usize, out_re: &mut [f64], out_im: &mut [f64]) {
+    omen_trace::add(
+        omen_trace::Counter::BytesPacked,
+        (m * k * std::mem::size_of::<C64>()) as u64,
+    );
     let mp = m.div_ceil(MR);
     debug_assert!(out_re.len() >= mp * MR * k && out_im.len() >= mp * MR * k);
     for ip in 0..mp {
@@ -191,6 +195,10 @@ pub(crate) fn pack_a_panels(a: &[C64], m: usize, k: usize, out_re: &mut [f64], o
 /// (k-major within a panel), zero-padding tail columns. `out_*` must hold
 /// `ceil(n/NR) * NR * k` elements.
 pub(crate) fn pack_b_panels(b: &[C64], k: usize, n: usize, out_re: &mut [f64], out_im: &mut [f64]) {
+    omen_trace::add(
+        omen_trace::Counter::BytesPacked,
+        (k * n * std::mem::size_of::<C64>()) as u64,
+    );
     let np = n.div_ceil(NR);
     debug_assert!(out_re.len() >= np * NR * k && out_im.len() >= np * NR * k);
     for jp in 0..np {
@@ -408,11 +416,25 @@ pub fn sbsmm_with(
     if batch == 0 {
         return;
     }
+    if alpha != C64::ZERO {
+        count_sbsmm(dims, batch);
+    }
     if alpha == C64::ZERO || !use_packed_kernel(dims) {
         sbsmm_scalar_unchecked(dims, batch, alpha, a, b, beta, c, strides);
         return;
     }
     sbsmm_packed(arena, dims, batch, alpha, a, b, beta, c, strides);
+}
+
+/// Records one batched-multiply invocation and its `8·m·n·k·batch`
+/// complex FLOPs against the trace registry (no-op while disarmed).
+fn count_sbsmm(dims: BatchDims, batch: usize) {
+    omen_trace::add2(
+        omen_trace::Counter::SbsmmCalls,
+        1,
+        omen_trace::Counter::SbsmmFlops,
+        8 * (dims.m as u64) * (dims.n as u64) * (dims.k as u64) * (batch as u64),
+    );
 }
 
 /// The packed batch engine (bounds already checked, shape known
@@ -490,6 +512,9 @@ pub fn sbsmm_par(
         return Ok(());
     }
     let BatchDims { m, n, k } = dims;
+    if alpha != C64::ZERO {
+        count_sbsmm(dims, batch);
+    }
     // For batch == 1 the stride is unused; clamp the chunk size so a
     // stride-0 descriptor still yields a full output item.
     let chunk = strides.c.max(item_len);
@@ -595,6 +620,7 @@ pub fn sbsmm_pb(
         }
         return;
     }
+    count_sbsmm(dims, batch);
     let fma = fma_available();
     with_batch_arena(|arena| {
         arena.ensure_a(m, k);

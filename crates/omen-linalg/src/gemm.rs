@@ -110,6 +110,12 @@ pub fn gemm(alpha: C64, a: &CMatrix, op_a: Op, b: &CMatrix, op_b: Op, beta: C64,
     if alpha == C64::ZERO || m == 0 || n == 0 || k == 0 {
         return;
     }
+    omen_trace::add2(
+        omen_trace::Counter::GemmCalls,
+        1,
+        omen_trace::Counter::GemmFlops,
+        gemm_flops(m, n, k),
+    );
 
     if m <= SMALL_DIM && n <= SMALL_DIM && k <= SMALL_DIM {
         gemm_small(alpha, a, op_a, b, op_b, c, m, n, k);

@@ -1,0 +1,265 @@
+//! Model-vs-measured performance attribution.
+//!
+//! Joins a live [`TraceSnapshot`] — phase-scoped counter deltas recorded
+//! by the instrumented kernels — against this crate's analytic
+//! predictions: the flop model of §6.1.1 per stage and the
+//! communication-volume model of §6.1.2 per exchange scheme. The result
+//! is a per-stage table of measured vs predicted work, the
+//! measured/predicted ratio, and the achieved rate over the phase's wall
+//! time — the ground truth the paper's Tables 3–5 and the roofline
+//! (Fig. 10) model analytically.
+
+use crate::commvolume::{dace_volume_with, omen_volume};
+use crate::flops::{rgf_flops_total, sse_flops_omen};
+use crate::params::SimParams;
+use omen_trace::{Counter, TraceSnapshot};
+
+/// What the analytic models should be evaluated at when attributing a
+/// trace: the simulation's parameter set, how many Born iterations the
+/// trace covers, and which communication legs (if any) ran.
+#[derive(Clone, Copy, Debug)]
+pub struct AttributionModel {
+    /// Parameter set of the traced simulation.
+    pub params: SimParams,
+    /// Born iterations the trace window covers.
+    pub iterations: u64,
+    /// Rank count of the OMEN-scheme exchange leg (phase
+    /// `comm_omen_plan`), when one ran.
+    pub omen_ranks: Option<usize>,
+    /// `(Ta, TE)` tiling of the DaCe-scheme leg (phase
+    /// `comm_dace_plan`), when one ran.
+    pub dace_tiling: Option<(usize, usize)>,
+}
+
+/// One attributed stage: measured work from the trace against the
+/// model's prediction, plus the stage's wall time.
+#[derive(Clone, Copy, Debug)]
+pub struct StageRow {
+    /// Stage name (`gf`, `sse`, `comm(omen)`, `comm(dace)`).
+    pub stage: &'static str,
+    /// Work measured by the instrumented kernels (flop or bytes).
+    pub measured: f64,
+    /// Work the analytic model predicts (same unit).
+    pub predicted: f64,
+    /// Unit of `measured`/`predicted`: `"flop"` or `"bytes"`.
+    pub unit: &'static str,
+    /// Wall seconds the stage's phase records cover.
+    pub wall_s: f64,
+}
+
+impl StageRow {
+    /// Measured over predicted — 1.0 when the model is exact, NaN when
+    /// the model predicts zero work.
+    pub fn ratio(&self) -> f64 {
+        self.measured / self.predicted
+    }
+
+    /// Achieved rate: measured work per wall second (flop/s or B/s);
+    /// zero when the phase recorded no wall time.
+    pub fn achieved_rate(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.measured / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The per-stage attribution table.
+#[derive(Clone, Debug)]
+pub struct AttributionReport {
+    /// One row per attributed stage, in pipeline order.
+    pub rows: Vec<StageRow>,
+}
+
+/// Builds the attribution table from a trace snapshot and the model
+/// inputs. GF measures `GemmFlops + SbsmmFlops` inside the `gf_phase`
+/// windows against the RGF flop model; SSE measures `SseFlops` inside
+/// `sse_phase` against the OMEN-schedule SSE model; each communication
+/// leg measures `BytesCommunicated` inside its plan phase against the
+/// volume model for that scheme.
+pub fn attribute(snap: &TraceSnapshot, model: &AttributionModel) -> AttributionReport {
+    let iters = model.iterations as f64;
+    let flop_delta = |phase: &str| {
+        (snap.phase_delta(phase, Counter::GemmFlops) + snap.phase_delta(phase, Counter::SbsmmFlops))
+            as f64
+    };
+    let secs = |phase: &str| snap.phase_ns(phase) as f64 * 1e-9;
+
+    let mut rows = vec![
+        StageRow {
+            stage: "gf",
+            measured: flop_delta("gf_phase"),
+            predicted: rgf_flops_total(&model.params) * iters,
+            unit: "flop",
+            wall_s: secs("gf_phase"),
+        },
+        StageRow {
+            stage: "sse",
+            measured: snap.phase_delta("sse_phase", Counter::SseFlops) as f64,
+            predicted: sse_flops_omen(&model.params) * iters,
+            unit: "flop",
+            wall_s: secs("sse_phase"),
+        },
+    ];
+    if let Some(ranks) = model.omen_ranks {
+        rows.push(StageRow {
+            stage: "comm(omen)",
+            measured: snap.phase_delta("comm_omen_plan", Counter::BytesCommunicated) as f64,
+            predicted: omen_volume(&model.params, ranks),
+            unit: "bytes",
+            wall_s: secs("comm_omen_plan"),
+        });
+    }
+    if let Some((ta, te)) = model.dace_tiling {
+        rows.push(StageRow {
+            stage: "comm(dace)",
+            measured: snap.phase_delta("comm_dace_plan", Counter::BytesCommunicated) as f64,
+            predicted: dace_volume_with(&model.params, ta, te),
+            unit: "bytes",
+            wall_s: secs("comm_dace_plan"),
+        });
+    }
+    AttributionReport { rows }
+}
+
+/// Engineering-notation helper: `1.23e9 flop` style, stable for text
+/// reports without pulling in a formatting dependency.
+fn eng(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+impl AttributionReport {
+    /// Renders the table as aligned text: one row per stage with
+    /// measured, predicted, measured/predicted, and the achieved rate
+    /// (GFLOP/s for flop stages, MB/s for byte stages).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:>12} {:>12} {:>9} {:>14}\n",
+            "stage", "measured", "predicted", "ratio", "rate"
+        ));
+        for row in &self.rows {
+            let rate = if row.unit == "flop" {
+                format!("{:.2} GFLOP/s", row.achieved_rate() / 1e9)
+            } else {
+                format!("{:.2} MB/s", row.achieved_rate() / 1e6)
+            };
+            out.push_str(&format!(
+                "{:<12} {:>12} {:>12} {:>9.3} {:>14}\n",
+                row.stage,
+                eng(row.measured),
+                eng(row.predicted),
+                row.ratio(),
+                rate
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omen_trace::{PhaseRecord, NCOUNTERS};
+
+    fn phase(name: &'static str, dur_ns: u64, deltas: &[(Counter, u64)]) -> PhaseRecord {
+        let mut d = [0u64; NCOUNTERS];
+        for &(c, v) in deltas {
+            d[c.index()] = v;
+        }
+        PhaseRecord {
+            name,
+            tid: 1,
+            start_ns: 0,
+            dur_ns,
+            deltas: d,
+        }
+    }
+
+    #[test]
+    fn attribution_joins_phases_against_the_models() {
+        let params = SimParams::small(3);
+        let model = AttributionModel {
+            params,
+            iterations: 2,
+            omen_ranks: Some(4),
+            dace_tiling: Some((2, 2)),
+        };
+        // A synthetic trace that measured exactly half the predicted GF
+        // flops, the exact SSE flops, and the exact OMEN volume.
+        let gf_pred = rgf_flops_total(&params) * 2.0;
+        let sse_pred = sse_flops_omen(&params) * 2.0;
+        let omen_pred = omen_volume(&params, 4);
+        let snap = TraceSnapshot {
+            phases: vec![
+                phase(
+                    "gf_phase",
+                    2_000_000_000,
+                    &[
+                        (Counter::GemmFlops, (gf_pred / 4.0) as u64),
+                        (Counter::SbsmmFlops, (gf_pred / 4.0) as u64),
+                    ],
+                ),
+                phase(
+                    "sse_phase",
+                    1_000_000_000,
+                    &[(Counter::SseFlops, sse_pred as u64)],
+                ),
+                phase(
+                    "comm_omen_plan",
+                    500_000_000,
+                    &[(Counter::BytesCommunicated, omen_pred as u64)],
+                ),
+                phase("comm_dace_plan", 500_000_000, &[]),
+            ],
+            ..TraceSnapshot::default()
+        };
+
+        let report = attribute(&snap, &model);
+        assert_eq!(report.rows.len(), 4);
+        let by_name = |n: &str| *report.rows.iter().find(|r| r.stage == n).unwrap();
+
+        let gf = by_name("gf");
+        assert!((gf.ratio() - 0.5).abs() < 1e-6, "gf ratio {}", gf.ratio());
+        // 2 s of wall → rate = measured / 2.
+        assert!((gf.achieved_rate() - gf.measured / 2.0).abs() < 1.0);
+
+        let sse = by_name("sse");
+        assert!((sse.ratio() - 1.0).abs() < 1e-6);
+
+        let omen = by_name("comm(omen)");
+        assert!((omen.ratio() - 1.0).abs() < 1e-6);
+        assert_eq!(omen.unit, "bytes");
+
+        // The DaCe leg measured nothing: ratio 0, rate 0 by definition.
+        let dace = by_name("comm(dace)");
+        assert_eq!(dace.measured, 0.0);
+        assert_eq!(dace.ratio(), 0.0);
+
+        let text = report.render();
+        assert!(text.contains("gf"));
+        assert!(text.contains("GFLOP/s"));
+        assert!(text.contains("MB/s"));
+        assert!(text.lines().count() == 5, "header + 4 rows:\n{text}");
+    }
+
+    #[test]
+    fn comm_rows_appear_only_when_a_leg_ran() {
+        let model = AttributionModel {
+            params: SimParams::small(3),
+            iterations: 1,
+            omen_ranks: None,
+            dace_tiling: None,
+        };
+        let report = attribute(&TraceSnapshot::default(), &model);
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.rows.iter().all(|r| r.unit == "flop"));
+        // No wall time recorded → rates are zero, not NaN or infinite.
+        assert!(report.rows.iter().all(|r| r.achieved_rate() == 0.0));
+    }
+}

@@ -3,9 +3,12 @@
 //! Analytic performance, communication, and scalability models of the
 //! paper's evaluation section: parameter sets (§6), machine descriptions
 //! (§6.2), the flop model (§6.1.1, Table 3), the communication-volume
-//! model (§6.1.2, Tables 4–5), the roofline (Fig. 10), and the calibrated
-//! time-to-solution model behind Figs. 8–9 and Tables 11–12.
+//! model (§6.1.2, Tables 4–5), the roofline (Fig. 10), the calibrated
+//! time-to-solution model behind Figs. 8–9 and Tables 11–12, and the
+//! model-vs-measured attribution joining these predictions against live
+//! `omen-trace` counters.
 
+pub mod attribution;
 pub mod commvolume;
 pub mod flops;
 pub mod machines;
@@ -13,6 +16,7 @@ pub mod params;
 pub mod roofline;
 pub mod scaling;
 
+pub use attribution::{attribute, AttributionModel, AttributionReport, StageRow};
 pub use commvolume::{
     dace_best_tiling, dace_volume, dace_volume_with, omen_invocations, omen_volume, table4, table5,
     VolumeRow, TIB,

@@ -1,5 +1,7 @@
 //! Job lifecycle types: states, per-point observables, per-job metrics.
 
+use omen_trace::{Counter, CounterSet};
+
 /// Where a submitted sweep job is in its lifecycle.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum JobState {
@@ -85,6 +87,43 @@ impl JobMetrics {
             self.cache_hits as f64 / total as f64
         }
     }
+
+    /// Builds the metrics from a per-job trace counter set plus the wall
+    /// time (which is not a counter). Inverse of
+    /// [`JobMetrics::to_counters`]; `u32` fields saturate.
+    pub fn from_counters(set: &CounterSet, seconds: f64) -> JobMetrics {
+        let narrow = |c: Counter| set.get(c).min(u64::from(u32::MAX)) as u32;
+        JobMetrics {
+            points: narrow(Counter::PointsSolved),
+            warm_points: narrow(Counter::WarmPoints),
+            born_iterations: narrow(Counter::BornIterations),
+            iterations_saved: narrow(Counter::IterationsSaved),
+            cache_hits: set.get(Counter::CacheHits),
+            cache_misses: set.get(Counter::CacheMisses),
+            retries: narrow(Counter::Retries),
+            cold_fallbacks: narrow(Counter::ColdFallbacks),
+            quarantined: narrow(Counter::Quarantined),
+            resumed_points: narrow(Counter::ResumedPoints),
+            seconds,
+        }
+    }
+
+    /// The metrics as a trace counter set — the registry-snapshot view
+    /// the wire protocol serializes (`seconds` travels separately).
+    pub fn to_counters(&self) -> CounterSet {
+        let mut set = CounterSet::new();
+        set.set(Counter::PointsSolved, u64::from(self.points));
+        set.set(Counter::WarmPoints, u64::from(self.warm_points));
+        set.set(Counter::BornIterations, u64::from(self.born_iterations));
+        set.set(Counter::IterationsSaved, u64::from(self.iterations_saved));
+        set.set(Counter::CacheHits, self.cache_hits);
+        set.set(Counter::CacheMisses, self.cache_misses);
+        set.set(Counter::Retries, u64::from(self.retries));
+        set.set(Counter::ColdFallbacks, u64::from(self.cold_fallbacks));
+        set.set(Counter::Quarantined, u64::from(self.quarantined));
+        set.set(Counter::ResumedPoints, u64::from(self.resumed_points));
+        set
+    }
 }
 
 /// Final (or partial, when cancelled) output of a sweep job.
@@ -111,6 +150,29 @@ mod tests {
         assert!(JobState::Completed.is_terminal());
         assert!(JobState::Cancelled.is_terminal());
         assert!(JobState::Failed("bad".into()).is_terminal());
+    }
+
+    #[test]
+    fn metrics_round_trip_through_counters() {
+        let m = JobMetrics {
+            points: 8,
+            warm_points: 5,
+            born_iterations: 40,
+            iterations_saved: 11,
+            cache_hits: 6,
+            cache_misses: 2,
+            retries: 3,
+            cold_fallbacks: 1,
+            quarantined: 1,
+            resumed_points: 4,
+            seconds: 2.5,
+        };
+        let back = JobMetrics::from_counters(&m.to_counters(), m.seconds);
+        assert_eq!(format!("{m:?}"), format!("{back:?}"));
+        // Oversized counters saturate the u32 fields instead of wrapping.
+        let mut set = CounterSet::new();
+        set.set(Counter::Retries, u64::MAX);
+        assert_eq!(JobMetrics::from_counters(&set, 0.0).retries, u32::MAX);
     }
 
     #[test]

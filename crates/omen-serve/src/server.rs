@@ -31,6 +31,7 @@ use omen_core::{
     CancelToken, ConfigError, DriverError, Simulation, SimulationResult, WarmStartData,
 };
 use omen_fault::FaultSite;
+use omen_trace::{Counter, CounterSet};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -387,6 +388,7 @@ fn run_job(inner: &Inner, id: u64) {
     };
     inner.changed.notify_all();
 
+    let _job_span = omen_trace::span!("sweep_job");
     let scenario = spec.scenario_hash();
     let total = spec.len();
     let t0 = Instant::now();
@@ -394,6 +396,10 @@ fn run_job(inner: &Inner, id: u64) {
         points: Vec::with_capacity(total),
         metrics: JobMetrics::default(),
     };
+    // Per-job accounting is a trace [`CounterSet`]: every increment also
+    // lands in the process-global registry when tracing is armed, and
+    // [`JobMetrics`] is materialized from this view at finish.
+    let mut counters = CounterSet::new();
     // Checkpoint resume: restore journaled points of this scenario so
     // only the remaining values are recomputed. The journal is repaired
     // first so a torn tail from a crashed run never blocks appends.
@@ -415,7 +421,7 @@ fn run_job(inner: &Inner, id: u64) {
     let mut cold_baseline: u32 = 0;
     for (i, &value) in spec.values.iter().enumerate() {
         if cancel.is_cancelled() {
-            finish(inner, id, JobState::Cancelled, result, t0);
+            finish(inner, id, JobState::Cancelled, result, &counters, t0);
             return;
         }
         if let Some(point) = restored.get(&value.to_bits()) {
@@ -423,8 +429,8 @@ fn run_job(inner: &Inner, id: u64) {
             // this scenario: restore the observables verbatim. Born
             // iteration counters track work done *by this job*, so a
             // restored point contributes none.
-            result.metrics.points += 1;
-            result.metrics.resumed_points += 1;
+            counters.record(Counter::PointsSolved, 1);
+            counters.record(Counter::ResumedPoints, 1);
             result.points.push(*point);
             let mut jobs = inner.jobs.lock();
             if let Some(entry) = jobs.get_mut(&id) {
@@ -441,22 +447,23 @@ fn run_job(inner: &Inner, id: u64) {
         // the swept value, and the point index — never of wall time — so
         // a seeded chaos run replays the exact same fault schedule.
         let point_key = omen_fault::mix(scenario ^ value.to_bits(), i as u64);
-        match run_point(
-            inner,
-            &spec,
-            i,
-            scenario,
-            point_key,
-            &cancel,
-            &mut result.metrics,
-        ) {
+        let outcome = {
+            let _span = omen_trace::span!("sweep_point");
+            run_point(inner, &spec, i, scenario, point_key, &cancel, &mut counters)
+        };
+        match outcome {
             Ok(point) => {
                 let iterations = point.run.records.len() as u32;
-                result.metrics.points += 1;
-                result.metrics.born_iterations += iterations;
+                counters.record(Counter::PointsSolved, 1);
+                // Local only: the driver already counts BornIterations
+                // into the global registry, one per iteration.
+                counters.add(Counter::BornIterations, u64::from(iterations));
                 if point.warm {
-                    result.metrics.warm_points += 1;
-                    result.metrics.iterations_saved += cold_baseline.saturating_sub(iterations);
+                    counters.record(Counter::WarmPoints, 1);
+                    counters.record(
+                        Counter::IterationsSaved,
+                        u64::from(cold_baseline.saturating_sub(iterations)),
+                    );
                 } else {
                     cold_baseline = cold_baseline.max(iterations);
                 }
@@ -479,12 +486,12 @@ fn run_job(inner: &Inner, id: u64) {
                 }
             }
             Err(PointFailure::Cancelled) => {
-                finish(inner, id, JobState::Cancelled, result, t0);
+                finish(inner, id, JobState::Cancelled, result, &counters, t0);
                 return;
             }
             Err(PointFailure::Exhausted(msg)) => {
                 let state = JobState::Failed(format!("point {i} (value {value}): {msg}"));
-                finish(inner, id, state, result, t0);
+                finish(inner, id, state, result, &counters, t0);
                 return;
             }
         }
@@ -499,7 +506,7 @@ fn run_job(inner: &Inner, id: u64) {
         }
         inner.changed.notify_all();
     }
-    finish(inner, id, JobState::Completed, result, t0);
+    finish(inner, id, JobState::Completed, result, &counters, t0);
 }
 
 /// Solves one sweep point, retrying with capped exponential backoff.
@@ -516,7 +523,7 @@ fn run_point(
     scenario: u64,
     point_key: u64,
     cancel: &CancelToken,
-    metrics: &mut JobMetrics,
+    counters: &mut CounterSet,
 ) -> Result<PointSuccess, PointFailure> {
     let policy = inner.retry;
     let value = spec.values[idx];
@@ -527,7 +534,7 @@ fn run_point(
             return Err(PointFailure::Cancelled);
         }
         if attempt > 1 {
-            metrics.retries += 1;
+            counters.record(Counter::Retries, 1);
             let doublings = (attempt - 2).min(16);
             let delay = policy
                 .backoff_base
@@ -554,7 +561,7 @@ fn run_point(
             let donor = inner.cache.lock().nearest(scenario, spec.axis, value);
             match donor {
                 Some((dv, mut data)) => {
-                    metrics.cache_hits += 1;
+                    counters.record(Counter::CacheHits, 1);
                     if omen_fault::should_inject(FaultSite::DonorCorrupt, attempt_key) {
                         // Damage the donor the way a torn deposit would:
                         // one poisoned self-energy entry. The solve must
@@ -572,10 +579,14 @@ fn run_point(
                         donor_value = Some(dv);
                     }
                 }
-                None => metrics.cache_misses += 1,
+                None => counters.record(Counter::CacheMisses, 1),
             }
         }
         let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // Inside the unwind boundary on purpose: an injected panic
+            // unwinds through this armed span, and the guard's drop must
+            // still balance the thread's span stack.
+            let _span = omen_trace::span!("point_attempt");
             if omen_fault::should_inject(FaultSite::WorkerPanic, attempt_key) {
                 panic!("injected worker panic");
             }
@@ -599,10 +610,10 @@ fn run_point(
             // circulation and restart this point cold.
             if let Some(dv) = donor_value {
                 if inner.cache.lock().quarantine(scenario, spec.axis, dv) {
-                    metrics.quarantined += 1;
+                    counters.record(Counter::Quarantined, 1);
                 }
             }
-            metrics.cold_fallbacks += 1;
+            counters.record(Counter::ColdFallbacks, 1);
             try_warm = false;
         }
     }
@@ -623,8 +634,15 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn finish(inner: &Inner, id: u64, state: JobState, mut result: JobResult, t0: Instant) {
-    result.metrics.seconds = t0.elapsed().as_secs_f64();
+fn finish(
+    inner: &Inner,
+    id: u64,
+    state: JobState,
+    mut result: JobResult,
+    counters: &CounterSet,
+    t0: Instant,
+) {
+    result.metrics = JobMetrics::from_counters(counters, t0.elapsed().as_secs_f64());
     {
         let mut jobs = inner.jobs.lock();
         if let Some(entry) = jobs.get_mut(&id) {

@@ -11,6 +11,7 @@ use crate::sweep::{SweepAxis, SweepSpec};
 use omen_comm::{decode_frame, encode_frame};
 use omen_core::SimulationConfig;
 use omen_linalg::C64;
+use omen_trace::{Counter, CounterSet};
 
 /// Frame kind of a job request.
 pub const FRAME_JOB: u32 = 0x4a4f_4201; // "JOB\x01"
@@ -98,18 +99,7 @@ pub fn encode_result(result: &JobResult) -> Vec<C64> {
         bytes.push(p.donor.is_some() as u8);
         put_f64(&mut bytes, p.donor.unwrap_or(0.0));
     }
-    let m = &result.metrics;
-    put_u32(&mut bytes, m.points);
-    put_u32(&mut bytes, m.warm_points);
-    put_u32(&mut bytes, m.born_iterations);
-    put_u32(&mut bytes, m.iterations_saved);
-    put_u64(&mut bytes, m.cache_hits);
-    put_u64(&mut bytes, m.cache_misses);
-    put_u32(&mut bytes, m.retries);
-    put_u32(&mut bytes, m.cold_fallbacks);
-    put_u32(&mut bytes, m.quarantined);
-    put_u32(&mut bytes, m.resumed_points);
-    put_f64(&mut bytes, m.seconds);
+    put_metrics(&mut bytes, &result.metrics);
     encode_frame(FRAME_RESULT, &bytes)
 }
 
@@ -137,19 +127,7 @@ pub fn decode_result(frame: &[C64]) -> Option<JobResult> {
             donor: has_donor.then_some(donor_value),
         });
     }
-    let metrics = JobMetrics {
-        points: cur.u32()?,
-        warm_points: cur.u32()?,
-        born_iterations: cur.u32()?,
-        iterations_saved: cur.u32()?,
-        cache_hits: cur.u64()?,
-        cache_misses: cur.u64()?,
-        retries: cur.u32()?,
-        cold_fallbacks: cur.u32()?,
-        quarantined: cur.u32()?,
-        resumed_points: cur.u32()?,
-        seconds: cur.f64()?,
-    };
+    let metrics = take_metrics(&mut cur)?;
     cur.done()?;
     Some(JobResult { points, metrics })
 }
@@ -193,6 +171,39 @@ pub fn decode_point(frame: &[C64]) -> Option<(u64, PointObservables)> {
             donor: has_donor.then_some(donor_value),
         },
     ))
+}
+
+/// Writes the metrics as a tagged trace-registry snapshot: a `u32` entry
+/// count, then per nonzero counter a `u8` tag ([`Counter::index`]) and a
+/// `u64` value, then the `f64` wall seconds. Tags are append-only in
+/// `omen-trace`, so old decoders skip counters they don't know about and
+/// new decoders default missing counters to zero — either side can be
+/// upgraded first.
+fn put_metrics(bytes: &mut Vec<u8>, metrics: &JobMetrics) {
+    let set = metrics.to_counters();
+    let entries: Vec<(Counter, u64)> = set.entries().collect();
+    put_u32(bytes, entries.len() as u32);
+    for (counter, value) in entries {
+        bytes.push(counter.index() as u8);
+        put_u64(bytes, value);
+    }
+    put_f64(bytes, metrics.seconds);
+}
+
+/// Reads the tagged counter snapshot written by [`put_metrics`], skipping
+/// entries whose tag this build doesn't recognize.
+fn take_metrics(cur: &mut Cursor<'_>) -> Option<JobMetrics> {
+    let n = cur.u32()? as usize;
+    let mut set = CounterSet::new();
+    for _ in 0..n {
+        let tag = cur.u8()?;
+        let value = cur.u64()?;
+        if let Some(counter) = Counter::from_index(tag as usize) {
+            set.set(counter, value);
+        }
+    }
+    let seconds = cur.f64()?;
+    Some(JobMetrics::from_counters(&set, seconds))
 }
 
 fn put_u32(bytes: &mut Vec<u8>, v: u32) {
@@ -343,5 +354,24 @@ mod tests {
         // Truncated frames are rejected.
         assert!(decode_result(&frame[..frame.len() - 1]).is_none());
         assert!(decode_job(&frame).is_none());
+    }
+
+    #[test]
+    fn metrics_decoder_skips_unknown_counter_tags() {
+        // A result frame from a hypothetical future build: one counter
+        // this build knows, one tag it doesn't.
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, 0); // no points
+        put_u32(&mut bytes, 2); // two counter entries
+        bytes.push(Counter::PointsSolved.index() as u8);
+        put_u64(&mut bytes, 7);
+        bytes.push(0xee); // unknown tag
+        put_u64(&mut bytes, 99);
+        put_f64(&mut bytes, 1.5);
+        let frame = encode_frame(FRAME_RESULT, &bytes);
+        let back = decode_result(&frame).expect("unknown tags are skipped");
+        assert_eq!(back.metrics.points, 7);
+        assert_eq!(back.metrics.seconds, 1.5);
+        assert_eq!(back.metrics.retries, 0);
     }
 }

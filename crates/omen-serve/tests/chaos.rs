@@ -113,6 +113,82 @@ fn corrupted_donors_are_quarantined_and_sweep_recovers() {
 }
 
 #[test]
+fn spans_stay_balanced_across_panic_retries() {
+    use omen_trace as trace;
+
+    // The trace registry is process-global like the fault plan, so the
+    // same lock serializes this test against the other chaos runs; the
+    // guard re-arms from the environment even when an assertion panics.
+    let _armed = arm(FaultPlan::seeded(7, 0.0).with_rate(FaultSite::WorkerPanic, 0.4));
+    struct ArmedTrace;
+    impl Drop for ArmedTrace {
+        fn drop(&mut self) {
+            trace::reset();
+            trace::rearm_from_env();
+        }
+    }
+    trace::reset();
+    trace::arm();
+    let _traced = ArmedTrace;
+
+    let spec = SweepSpec::finfet_bias_quick();
+    let result = run_sweep(&spec, 6, None);
+    let snap = trace::snapshot();
+
+    assert!(
+        result.metrics.retries > 0,
+        "seed 7 must panic at least once: {:?}",
+        result.metrics
+    );
+    let spans = |name: &str| {
+        snap.spans
+            .iter()
+            .filter(move |s| s.name == name)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(spans("sweep_job").len(), 1);
+    assert_eq!(spans("sweep_point").len(), result.points.len());
+    // One attempt span per attempt: a panicking attempt still records
+    // its span when the guard drops during unwinding.
+    assert_eq!(
+        spans("point_attempt").len(),
+        result.points.len() + result.metrics.retries as usize,
+        "every attempt, including panicked ones, must close its span"
+    );
+
+    // Unwinding through armed spans must not corrupt the span tree: on
+    // any one thread, two recorded spans are either disjoint in time or
+    // one contains the other — a partial overlap would mean a panic
+    // skipped a guard and left the stack unbalanced.
+    for (i, a) in snap.spans.iter().enumerate() {
+        for b in &snap.spans[i + 1..] {
+            if a.tid != b.tid {
+                continue;
+            }
+            let (a0, a1) = (a.start_ns, a.start_ns + a.dur_ns);
+            let (b0, b1) = (b.start_ns, b.start_ns + b.dur_ns);
+            let partial = (a0 < b0 && b0 < a1 && a1 < b1) || (b0 < a0 && a0 < b1 && b1 < a1);
+            assert!(
+                !partial,
+                "spans {:?} and {:?} partially overlap on tid {}",
+                a, b, a.tid
+            );
+        }
+    }
+    // Every attempt sits strictly deeper than its enclosing point span.
+    let min_attempt_depth = spans("point_attempt")
+        .iter()
+        .map(|s| s.depth)
+        .min()
+        .unwrap();
+    let max_point_depth = spans("sweep_point").iter().map(|s| s.depth).max().unwrap();
+    assert!(min_attempt_depth > max_point_depth);
+    // This thread never entered a span, and the workers all exited
+    // theirs — depth here must be back at zero.
+    assert_eq!(trace::current_depth(), 0);
+}
+
+#[test]
 fn checkpoint_resume_survives_storage_faults() {
     // Half of all journal appends are bit-flipped. A resumed job must
     // treat damaged records as missing — recompute those points — and

@@ -1,0 +1,85 @@
+//! Property-based tests for the sweep-service wire codec: random job
+//! results — points plus a tagged counter-snapshot metrics section —
+//! must round-trip bit-exactly through the `C64` frame transport, and
+//! random truncation must never decode into a wrong result.
+
+use omen_serve::{decode_result, encode_result, JobMetrics, JobResult, PointObservables};
+use omen_trace::Counter;
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = PointObservables> {
+    (
+        (-2.0f64..2.0, -1.0f64..1.0, 0u64..50),
+        (0u64..2, 0u64..2, -2.0f64..2.0),
+    )
+        .prop_map(|((value, current, iterations), (warm, has_donor, donor))| {
+            PointObservables {
+                value,
+                current: current * 1e-6,
+                iterations: iterations as u32,
+                warm: warm == 1,
+                donor: (has_donor == 1).then_some(donor),
+            }
+        })
+}
+
+fn arb_metrics() -> impl Strategy<Value = JobMetrics> {
+    (
+        (0u64..100, 0u64..100, 0u64..1000, 0u64..100),
+        (0u64..1 << 40, 0u64..1 << 40, 0u64..50, 0u64..20),
+        (0u64..20, 0u64..100, 0.0f64..1e4),
+    )
+        .prop_map(|(a, b, c)| JobMetrics {
+            points: a.0 as u32,
+            warm_points: a.1 as u32,
+            born_iterations: a.2 as u32,
+            iterations_saved: a.3 as u32,
+            cache_hits: b.0,
+            cache_misses: b.1,
+            retries: b.2 as u32,
+            cold_fallbacks: b.3 as u32,
+            quarantined: c.0 as u32,
+            resumed_points: c.1 as u32,
+            seconds: c.2,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn job_results_round_trip(
+        points in proptest::collection::vec(arb_point(), 8),
+        npoints in 0usize..9,
+        metrics in arb_metrics(),
+    ) {
+        let result = JobResult {
+            points: points[..npoints].to_vec(),
+            metrics,
+        };
+        let frame = encode_result(&result);
+        let back = decode_result(&frame).expect("encoded frames decode");
+        // The types carry floats and skip `PartialEq`; the Debug image
+        // is bit-faithful (distinct bit patterns never collide), so a
+        // string compare pins the exact round trip.
+        prop_assert_eq!(format!("{result:?}"), format!("{back:?}"));
+    }
+
+    #[test]
+    fn metrics_survive_the_counter_snapshot(metrics in arb_metrics()) {
+        // The wire image is the registry snapshot: every nonzero metric
+        // must come back through its counter tag.
+        let set = metrics.to_counters();
+        let back = JobMetrics::from_counters(&set, metrics.seconds);
+        prop_assert_eq!(format!("{metrics:?}"), format!("{back:?}"));
+        prop_assert_eq!(set.get(Counter::CacheHits), metrics.cache_hits);
+    }
+
+    #[test]
+    fn truncated_results_never_decode(metrics in arb_metrics(), cut in 0usize..10_000) {
+        let result = JobResult { points: Vec::new(), metrics };
+        let frame = encode_result(&result);
+        let cut = cut % frame.len();
+        prop_assert!(decode_result(&frame[..cut]).is_none());
+    }
+}

@@ -177,12 +177,14 @@ impl SseKernel for ReferenceKernel {
         d_l: &DTensor,
         d_g: &DTensor,
     ) -> &SseOutput {
+        let _span = omen_trace::span!("sse_kernel");
         let cur = self.state.flip();
         let gl = staged_g(g_l, GLayout::PairMajor, &mut self.state.gl_conv);
         let gg = staged_g(g_g, GLayout::PairMajor, &mut self.state.gg_conv);
         let dl = staged_d(d_l, DLayout::PointMajor, &mut self.state.dl_conv);
         let dg = staged_d(d_g, DLayout::PointMajor, &mut self.state.dg_conv);
         sse_reference_into(prob, gl, gg, dl, dg, &mut self.ws, &mut self.state.out[cur]);
+        omen_trace::add(omen_trace::Counter::SseFlops, self.state.out[cur].flops);
         self.state.ran[cur] = true;
         &self.state.out[cur]
     }
@@ -224,12 +226,14 @@ impl SseKernel for TransformedKernel {
         d_l: &DTensor,
         d_g: &DTensor,
     ) -> &SseOutput {
+        let _span = omen_trace::span!("sse_kernel");
         let cur = self.state.flip();
         let gl = staged_g(g_l, GLayout::AtomMajor, &mut self.state.gl_conv);
         let gg = staged_g(g_g, GLayout::AtomMajor, &mut self.state.gg_conv);
         let dl = staged_d(d_l, DLayout::PointMajor, &mut self.state.dl_conv);
         let dg = staged_d(d_g, DLayout::PointMajor, &mut self.state.dg_conv);
         sse_transformed_into(prob, gl, gg, dl, dg, &mut self.tr, &mut self.state.out[cur]);
+        omen_trace::add(omen_trace::Counter::SseFlops, self.state.out[cur].flops);
         self.state.ran[cur] = true;
         &self.state.out[cur]
     }
@@ -276,6 +280,7 @@ impl SseKernel for MixedKernel {
         d_l: &DTensor,
         d_g: &DTensor,
     ) -> &SseOutput {
+        let _span = omen_trace::span!("sse_kernel");
         let cur = self.state.flip();
         let gl = staged_g(g_l, GLayout::AtomMajor, &mut self.state.gl_conv);
         let gg = staged_g(g_g, GLayout::AtomMajor, &mut self.state.gg_conv);
@@ -291,6 +296,7 @@ impl SseKernel for MixedKernel {
             &mut self.scratch,
             &mut self.state.out[cur],
         );
+        omen_trace::add(omen_trace::Counter::SseFlops, self.state.out[cur].flops);
         self.state.ran[cur] = true;
         &self.state.out[cur]
     }

@@ -1,0 +1,91 @@
+//! Observability end to end: the FinFET demo with the `omen-trace`
+//! registry armed, both SSE communication plans executed on the
+//! simulated MPI, and the measured counters joined against the analytic
+//! models of §6.1 — the model-vs-measured attribution report.
+//!
+//! Run with:
+//! `cargo run --release --example trace_attribution [-- --trace-out trace.json]`
+
+use dace_omen::comm::{run_dace_plan, run_omen_plan, DaceTiling, OmenGrid};
+use dace_omen::core::SimulationConfig;
+use dace_omen::perf::{attribute, AttributionModel, SimParams};
+use dace_omen::trace;
+
+fn main() {
+    trace::reset();
+    trace::arm();
+
+    let cfg = SimulationConfig::demo()
+        .into_builder()
+        .max_iterations(8)
+        .config()
+        .clone();
+    let (nk, ne, nw) = (cfg.nk, cfg.ne, cfg.nw);
+    let mut sim = cfg.into_builder().build().expect("valid configuration");
+    println!(
+        "tracing armed: {}-atom FinFET demo, Nkz={nk} NE={ne} Nω={nw}",
+        sim.device.num_atoms()
+    );
+    let result = sim.run().expect("run converges");
+    let iterations = result.records.len() as u64;
+    println!(
+        "converged in {iterations} Born iterations; I = {:.4e}",
+        result.current()
+    );
+
+    // Materialize converged tensors for the communication leg with the
+    // registry off, so the extra GF solve does not inflate the traced
+    // per-iteration gf_phase records.
+    trace::disarm();
+    let gf = sim.gf_phase();
+    trace::arm();
+
+    let prob = sim.sse_problem();
+    let grid = OmenGrid::new(nk, 2, nk, ne);
+    let tiling = DaceTiling::new(nk, 2, prob.na(), ne);
+    let (_, ledger_omen) = run_omen_plan(&prob, &gf.g_l, &gf.g_g, &gf.d_l, &gf.d_g, &grid);
+    let (_, ledger_dace) = run_dace_plan(&prob, &gf.g_l, &gf.g_g, &gf.d_l, &gf.d_g, &grid, &tiling);
+    println!(
+        "\ncomm leg on {} simulated ranks: OMEN plan {} B, DaCe plan {} B",
+        grid.nranks(),
+        ledger_omen.total_bytes(),
+        ledger_dace.total_bytes()
+    );
+
+    let snap = trace::snapshot();
+    trace::disarm();
+
+    // The analytic models evaluated at this run's actual dimensions.
+    let params = SimParams {
+        na: prob.na(),
+        nb: sim.device.max_neighbors(),
+        norb: prob.norb(),
+        n3d: 3,
+        nk,
+        nq: nk,
+        ne,
+        nw,
+        bnum: sim.device.bnum(),
+        bc_block_ops: 0.0,
+    };
+    let model = AttributionModel {
+        params,
+        iterations,
+        omen_ranks: Some(grid.nranks()),
+        dace_tiling: Some((tiling.ta, tiling.te)),
+    };
+    let report = attribute(&snap, &model);
+    println!("\n=== model-vs-measured attribution ===");
+    print!("{}", report.render());
+    println!(
+        "(trace recorded {} spans, {} events, {} phase windows)",
+        snap.spans.len(),
+        snap.events.len(),
+        snap.phases.len()
+    );
+
+    if let Some(path) = std::env::args().skip_while(|a| a != "--trace-out").nth(1) {
+        std::fs::write(&path, trace::chrome_trace_json(&snap)).expect("write chrome trace");
+        println!("wrote chrome trace: {path} (load in Perfetto / chrome://tracing)");
+    }
+}

@@ -17,7 +17,9 @@
 //! * [`core`] — the self-consistent simulation and electro-thermal
 //!   observables;
 //! * [`serve`] — async sweep job service with cross-point warm-start
-//!   caching.
+//!   caching;
+//! * [`trace`] — zero-dependency structured tracing: spans, typed
+//!   counters, chrome-trace/metrics exporters.
 //!
 //! See `README.md` for a guided tour, `DESIGN.md` for the system
 //! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -31,3 +33,4 @@ pub use omen_perf as perf;
 pub use omen_rgf as rgf;
 pub use omen_serve as serve;
 pub use omen_sse as sse;
+pub use omen_trace as trace;

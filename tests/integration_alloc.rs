@@ -24,6 +24,7 @@ use dace_omen::rgf::testutil::test_system;
 use dace_omen::rgf::{rgf_solve_into, RgfInputs, RgfSolution};
 use dace_omen::sse::testutil::{random_inputs, tiny_device, tiny_problem};
 use dace_omen::sse::{sse_reference_into, SseOutput};
+use dace_omen::trace;
 
 // Per-thread counters so the libtest harness's own threads (timers,
 // output capture) can't pollute the measurement. `const`-initialized TLS
@@ -183,7 +184,8 @@ fn steady_state_hot_path_is_allocation_free() {
     // (The GF phase is excluded by design: its per-point observable
     // accumulators are built per phase, not per kernel application.) ----
     let mut sim = Simulation::new(SimulationConfig::tiny()).expect("valid config");
-    let (g_l, g_g, d_l, d_g, _spectral, _times) = sim.gf_phase();
+    let gf = sim.gf_phase();
+    let (g_l, g_g, d_l, d_g) = (gf.g_l, gf.g_g, gf.d_l, gf.d_g);
     sim.sse_phase(&g_l, &g_g, &d_l, &d_g);
     sim.sse_phase(&g_l, &g_g, &d_l, &d_g);
 
@@ -193,5 +195,27 @@ fn steady_state_hot_path_is_allocation_free() {
     assert_eq!(
         driver_sse_allocs, 0,
         "warm driver sse_phase allocated {driver_sse_allocs} times"
+    );
+
+    // ---- Disarmed tracing: the kernels above are instrumented with
+    // omen-trace counters and spans, so the warm point path now passes
+    // through the registry's disarmed checks. Pin the contract that a
+    // disarmed registry is allocation-free — both through the raw probe
+    // loop and through the instrumented sse_phase re-run. ----
+    trace::disarm();
+    let trace_probe_allocs = count_allocations(|| {
+        for i in 0..64u64 {
+            let _span = trace::span!("disarmed_probe");
+            let _phase = trace::PhaseGuard::enter("disarmed_probe");
+            trace::add(trace::Counter::GemmFlops, i);
+            trace::add2(trace::Counter::SbsmmCalls, 1, trace::Counter::SbsmmFlops, i);
+            trace::event2("disarmed_probe", i as f64, 0.0);
+        }
+        sim.sse_phase(&g_l, &g_g, &d_l, &d_g);
+    });
+    trace::rearm_from_env();
+    assert_eq!(
+        trace_probe_allocs, 0,
+        "disarmed tracing allocated {trace_probe_allocs} times on the warm path"
     );
 }
