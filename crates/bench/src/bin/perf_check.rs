@@ -44,17 +44,28 @@
 //! `sweep_trace*` records are excluded from the cross-run ratio table
 //! like the fault records.
 //!
+//! Two floors gate the overlapped executor (`table6_streams --execute`
+//! records): the pipelined sweep must not run slower than the serial one
+//! on a ≥2-point sweep (`--min-overlap-speedup`, default 1.0), and the
+//! lowered-DAG scheduler bookkeeping per Born iteration
+//! (`sweep_sched_overhead_quick.median_ns`) must stay under
+//! `--max-sched-overhead` (default 2 %) of a warm point's wall time.
+//!
 //! `--trace-out PATH` adds a trace-artifact check (and may run with zero
 //! baseline/fresh pairs): `PATH` must be well-formed chrome://tracing
 //! JSON containing at least one `gf_phase`, one `sse_phase`, and one
-//! `comm_*` duration event.
+//! `comm_*` duration event. Adding `--require-overlap NAME1,NAME2`
+//! switches the artifact check to the overlapped-executor contract:
+//! both names must appear and overlap in wall-clock time on different
+//! threads.
 //!
 //! ```text
 //! perf_check --baseline BENCH_kernels.json --fresh fresh_kernels.json \
 //!            --baseline BENCH_sweeps.json  --fresh fresh_sweeps.json \
 //!            [--tolerance 2.0] [--min-speedup 1.2] [--min-sweep-speedup 0.9] \
 //!            [--max-fault-overhead 0.02] [--max-trace-overhead 0.02] \
-//!            [--trace-out trace.json]
+//!            [--min-overlap-speedup 1.0] [--max-sched-overhead 0.02] \
+//!            [--trace-out trace.json] [--require-overlap gf_phase,sse_phase]
 //! ```
 
 use omen_bench::{parse_bench_json, BenchRecord};
@@ -73,15 +84,17 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
 }
 
 /// `true` for records the gate covers: packed-kernel and sweep-service
-/// quick-mode entries. The `sweep_fault_*` and `sweep_trace*` records are
-/// excluded from the cross-run ratio table — they carry raw counters and
-/// nanosecond-scale probes too noisy for a 2x machine-to-machine gate —
-/// and are instead consumed by the within-run overhead floors.
+/// quick-mode entries. The `sweep_fault_*`, `sweep_trace*`, and
+/// `sweep_sched_*` records are excluded from the cross-run ratio table —
+/// they carry raw counters and nanosecond/microsecond-scale probes too
+/// noisy for a 2x machine-to-machine gate — and are instead consumed by
+/// the within-run overhead floors.
 fn gated(name: &str) -> bool {
     (name.contains("packed") || name.starts_with("sweep_"))
         && name.ends_with("_quick")
         && !name.contains("fault")
         && !name.contains("trace")
+        && !name.contains("sched")
 }
 
 /// Outcome of one baseline/fresh pair.
@@ -92,15 +105,28 @@ struct PairOutcome {
     failed_floors: usize,
 }
 
-fn check_pair(
-    baseline_path: &str,
-    fresh_path: &str,
+/// Every threshold the per-pair checks gate on, bundled so the gate's
+/// growing flag surface stays one argument.
+struct Floors {
     tolerance: f64,
     min_speedup: f64,
     min_sweep_speedup: f64,
     max_fault_overhead: f64,
     max_trace_overhead: f64,
-) -> PairOutcome {
+    min_overlap_speedup: f64,
+    max_sched_overhead: f64,
+}
+
+fn check_pair(baseline_path: &str, fresh_path: &str, floors: &Floors) -> PairOutcome {
+    let &Floors {
+        tolerance,
+        min_speedup,
+        min_sweep_speedup,
+        max_fault_overhead,
+        max_trace_overhead,
+        min_overlap_speedup,
+        max_sched_overhead,
+    } = floors;
     let mut out = PairOutcome {
         compared: 0,
         new_records: 0,
@@ -293,14 +319,72 @@ fn check_pair(
                 out.failed_floors += 1;
             }
         }
+        // Stream-overlap floor: on a ≥2-point sweep the pipelined
+        // executor must not be slower than the serial one. Both walls
+        // come from the same run of `table6_streams --execute`, so the
+        // ratio is machine-independent. Exempt: a 1-point sweep has
+        // nothing to overlap, and a single-core machine (the overlap
+        // record's `n` carries the bench host's available parallelism)
+        // cannot run the two stage threads concurrently at all.
+        if let (Some(serial), Some(overlap)) =
+            (find("sweep_stream_serial"), find("sweep_stream_overlap"))
+        {
+            let speedup = serial.median_ns / overlap.median_ns;
+            println!(
+                "within-run: {} vs {}: {speedup:.2}x wall over {} points on {} core(s), \
+                 {:.0}% measured overlap (floor {min_overlap_speedup:.2}x)",
+                overlap.name,
+                serial.name,
+                serial.n,
+                overlap.n,
+                100.0 * overlap.gflops
+            );
+            if overlap.n < 2 {
+                println!("within-run: single-core bench host — overlap speedup floor not applied");
+            } else if serial.n >= 2 && (speedup.is_nan() || speedup < min_overlap_speedup) {
+                eprintln!(
+                    "perf_check: overlapped sweep ran {speedup:.2}x the serial wall on {} \
+                     points, below the {min_overlap_speedup:.2}x floor",
+                    serial.n
+                );
+                out.failed_floors += 1;
+            }
+        }
+        // Scheduler-overhead floor: the lowered-DAG bookkeeping per Born
+        // iteration (`sweep_sched_overhead.median_ns`) must be invisible
+        // next to a warm point's wall time.
+        if let (Some(sched), Some(warm)) = (find("sweep_sched_overhead"), find("sweep_warm")) {
+            let overhead = sched.median_ns / warm.median_ns;
+            println!(
+                "within-run: DAG scheduler {} tasks x {:.1} us bookkeeping -> {:.4}% of a warm \
+                 point (cap {:.1}%)",
+                sched.n,
+                sched.median_ns / 1e3,
+                100.0 * overhead,
+                100.0 * max_sched_overhead
+            );
+            if overhead.is_nan() || overhead > max_sched_overhead {
+                eprintln!(
+                    "perf_check: DAG scheduler costs {:.4}% of a warm point, above the {:.1}% cap",
+                    100.0 * overhead,
+                    100.0 * max_sched_overhead
+                );
+                out.failed_floors += 1;
+            }
+        }
     }
     out
 }
 
-/// Validates an exported chrome://tracing artifact: parseable JSON in
-/// the `traceEvents` shape, with duration events from each instrumented
-/// subsystem — GF, SSE, and at least one communication plan.
-fn check_trace_artifact(path: &str) -> bool {
+/// Validates an exported chrome://tracing artifact. Without
+/// `require_overlap`, the artifact must carry duration events from each
+/// instrumented subsystem — GF, SSE, and at least one communication
+/// plan. With `require_overlap = Some((a, b))` — the overlapped-executor
+/// artifact, which runs no comm leg — the requirement is instead that
+/// events named `a` and `b` exist and *overlap in wall-clock time on
+/// different threads*: the pipelined concurrency, proven straight off
+/// the exported file.
+fn check_trace_artifact(path: &str, require_overlap: Option<(&str, &str)>) -> bool {
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(e) => {
@@ -315,6 +399,31 @@ fn check_trace_artifact(path: &str) -> bool {
             return false;
         }
     };
+    if let Some((a, b)) = require_overlap {
+        let overlap = stats.overlap_us(a, b);
+        println!(
+            "trace artifact {path}: {} events, {} {a} / {} {b} duration events, max \
+             cross-thread overlap {overlap:.1} us",
+            stats.events,
+            stats.spans_named(a),
+            stats.spans_named(b),
+        );
+        let mut ok = true;
+        for name in [a, b] {
+            if stats.spans_named(name) == 0 {
+                eprintln!("perf_check: trace {path} has no {name} duration events");
+                ok = false;
+            }
+        }
+        if ok && overlap <= 0.0 {
+            eprintln!(
+                "perf_check: trace {path} shows no cross-thread overlap between {a} and {b} — \
+                 the pipeline ran serially"
+            );
+            ok = false;
+        }
+        return ok;
+    }
     let comm_spans: usize = stats
         .span_names
         .iter()
@@ -372,21 +481,38 @@ fn main() -> ExitCode {
     let max_trace_overhead: f64 = arg_value(&args, "--max-trace-overhead")
         .map(|t| t.parse().expect("--max-trace-overhead must be a number"))
         .unwrap_or(0.02);
+    let min_overlap_speedup: f64 = arg_value(&args, "--min-overlap-speedup")
+        .map(|t| t.parse().expect("--min-overlap-speedup must be a number"))
+        .unwrap_or(1.0);
+    let max_sched_overhead: f64 = arg_value(&args, "--max-sched-overhead")
+        .map(|t| t.parse().expect("--max-sched-overhead must be a number"))
+        .unwrap_or(0.02);
+    let require_overlap = arg_value(&args, "--require-overlap").map(|spec| {
+        let (a, b) = spec
+            .split_once(',')
+            .expect("--require-overlap takes NAME1,NAME2");
+        (a.to_string(), b.to_string())
+    });
+    if require_overlap.is_some() && trace_out.is_none() {
+        eprintln!("perf_check: --require-overlap needs --trace-out");
+        return ExitCode::from(2);
+    }
 
     let mut compared = 0usize;
     let mut new_records = 0usize;
     let mut regressed = 0usize;
     let mut failed_floors = 0usize;
+    let floors = Floors {
+        tolerance,
+        min_speedup,
+        min_sweep_speedup,
+        max_fault_overhead,
+        max_trace_overhead,
+        min_overlap_speedup,
+        max_sched_overhead,
+    };
     for (baseline_path, fresh_path) in baselines.iter().zip(&freshes) {
-        let outcome = check_pair(
-            baseline_path,
-            fresh_path,
-            tolerance,
-            min_speedup,
-            min_sweep_speedup,
-            max_fault_overhead,
-            max_trace_overhead,
-        );
+        let outcome = check_pair(baseline_path, fresh_path, &floors);
         compared += outcome.compared;
         new_records += outcome.new_records;
         regressed += outcome.regressed;
@@ -394,7 +520,10 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = &trace_out {
-        if !check_trace_artifact(path) {
+        let require = require_overlap
+            .as_ref()
+            .map(|(a, b)| (a.as_str(), b.as_str()));
+        if !check_trace_artifact(path, require) {
             return ExitCode::FAILURE;
         }
     }

@@ -1,15 +1,53 @@
 //! Table 6: concurrent streams in the GF phase. CUDA streams are replaced
 //! by worker-thread counts over independent energy-momentum points; the
 //! shape to reproduce is diminishing-but-real gains up to high counts.
-use omen_bench::{header, row, timed_min};
+//!
+//! `--execute` adds the real overlapped executor: the same bias sweep run
+//! serially and through `omen_core::run_overlapped` (GF phase of point
+//! *k+1* against SSE phase of point *k*), with `omen-trace` armed so the
+//! measured GF/SSE overlap fraction can be compared against the
+//! `omen_perf::StreamModel` pipeline prediction built from the serial
+//! run's phase timings. A scheduler-overhead probe times the lowered-DAG
+//! bookkeeping (`lower_iteration` + an inline walk) per Born iteration.
+//!
+//! With `--json` the execute leg merges four records into
+//! `BENCH_sweeps.json`: `sweep_stream_serial*` (`n` = sweep points,
+//! `median_ns` = wall per point), `sweep_stream_overlap*` (`n` = the
+//! machine's available parallelism — `perf_check` exempts single-core
+//! runs from the speedup floor — `gflops` = the *measured* overlap
+//! fraction), `sweep_stream_model*` (`n` = pipelined tasks, `median_ns`
+//! = modeled pipelined wall per point, `gflops` = modeled speedup), and
+//! `sweep_sched_overhead*` (`n` = DAG tasks per iteration, `median_ns` =
+//! scheduler bookkeeping per iteration). `--quick` shrinks both legs;
+//! `--trace-out PATH` exports the overlapped run as chrome-trace JSON.
+
+use omen_bench::{
+    arg_value, header, json_flag, quick_flag, row, timed_median, timed_min, write_bench_json,
+    BenchRecord, BENCH_SWEEPS_JSON_PATH,
+};
+use omen_core::{run_overlapped, ExecutorKind, Simulation, SimulationConfig, SimulationResult};
+use omen_dataflow::simulation_sdfg;
 use omen_device::{DeviceConfig, DeviceStructure};
 use omen_rgf::{CacheMode, ElectronParams, ElectronSolver};
+use omen_sched::lower_iteration;
+use omen_trace as trace;
+use std::time::Instant;
 
 fn main() {
+    let quick = quick_flag();
+    scaling_table(quick);
+    if std::env::args().any(|a| a == "--execute") {
+        execute_leg(quick);
+    }
+}
+
+/// The original Table 6 reproduction: stream counts → worker threads
+/// over independent (kz, E) electron solves.
+fn scaling_table(quick: bool) {
     println!("Table 6: Concurrency in Green's Functions (streams -> worker threads)\n");
     let dev = DeviceStructure::build(DeviceConfig::demo());
     let nk = 2usize;
-    let ne = 24usize;
+    let ne = if quick { 8 } else { 24 };
     let kzs: Vec<f64> = (0..nk).map(|i| i as f64).collect();
     let es: Vec<f64> = (0..ne)
         .map(|i| -0.8 + 1.6 * i as f64 / (ne - 1) as f64)
@@ -43,7 +81,11 @@ fn main() {
     let w = [12, 12, 10];
     header(&["Streams", "Time [s]", "Speedup"], &w);
     let base = run_with(1);
-    for &t in &[1usize, 2, 4, 16, auto] {
+    let counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 16] };
+    for &t in counts
+        .iter()
+        .chain((!counts.contains(&auto)).then_some(&auto))
+    {
         let time = if t == 1 { base } else { run_with(t) };
         row(
             &[
@@ -59,4 +101,181 @@ fn main() {
         );
     }
     println!("\npaper (Summit): 10.07 / 9.94 / 9.86 / 9.61 / 9.32 s for 1/2/4/16/auto(32)");
+}
+
+/// One sweep point: a tiny serial-per-point simulation, bias varied so
+/// the points are distinct but every run of this function is identical.
+fn sweep_sims(points: usize, iters: usize) -> Vec<Simulation> {
+    (0..points)
+        .map(|i| {
+            let mut cfg = SimulationConfig::tiny();
+            cfg.executor = ExecutorKind::Serial;
+            cfg.max_iterations = iters;
+            cfg.mu_drain = 0.01 * i as f64;
+            Simulation::new(cfg).expect("valid sweep point")
+        })
+        .collect()
+}
+
+/// The `--execute` leg: serial vs overlapped wall, model vs measured
+/// overlap, and the scheduler-overhead probe.
+fn execute_leg(quick: bool) {
+    let suffix = if quick { "_quick" } else { "" };
+    let (points, iters) = if quick { (4, 4) } else { (8, 6) };
+    println!("\n--execute: {points}-point sweep, {iters} Born iterations/point, window 2\n");
+
+    // Both legs run twice and keep the faster repetition (with its
+    // matching trace snapshot): the sweep is deterministic, so the min
+    // wall is the honest cost and first-run warmup cancels out.
+    let reps = 2;
+
+    // --- serial reference, traced: phase busy times feed the model ---
+    let mut serial_secs = f64::INFINITY;
+    let mut serial_snap = trace::TraceSnapshot::default();
+    let mut serial = Vec::new();
+    for _ in 0..reps {
+        trace::reset();
+        trace::arm();
+        let t0 = Instant::now();
+        let results: Vec<SimulationResult> = sweep_sims(points, iters)
+            .into_iter()
+            .map(|mut s| s.run().expect("serial sweep point"))
+            .collect();
+        let secs = t0.elapsed().as_secs_f64();
+        let snap = trace::snapshot();
+        trace::disarm();
+        if secs < serial_secs {
+            (serial_secs, serial_snap, serial) = (secs, snap, results);
+        }
+    }
+    let tasks: usize = serial.iter().map(|r| r.records.len()).sum();
+
+    // The Table 6 pipeline model, evaluated at the serial run's measured
+    // per-iteration GF/SSE stage costs.
+    let model = omen_perf::StreamModel::from_trace(&serial_snap, tasks);
+
+    // --- the same sweep through the real overlapped executor ---
+    let mut overlap_secs = f64::INFINITY;
+    let mut snap = trace::TraceSnapshot::default();
+    let mut outcomes = Vec::new();
+    for _ in 0..reps {
+        trace::reset();
+        trace::arm();
+        let t0 = Instant::now();
+        let out = run_overlapped(sweep_sims(points, iters), 2);
+        let secs = t0.elapsed().as_secs_f64();
+        let rep_snap = trace::snapshot();
+        trace::disarm();
+        if secs < overlap_secs {
+            (overlap_secs, snap, outcomes) = (secs, rep_snap, out);
+        }
+    }
+
+    // The pipeline must not change the physics: bit-identical currents.
+    for (s, o) in serial.iter().zip(&outcomes) {
+        let o = o.finished().expect("overlapped sweep point");
+        assert_eq!(
+            s.current().to_bits(),
+            o.current().to_bits(),
+            "overlapped executor drifted from serial"
+        );
+    }
+
+    let gf_busy = snap.phase_ns("gf_phase") as f64 * 1e-9;
+    let sse_busy = snap.phase_ns("sse_phase") as f64 * 1e-9;
+    let measured = omen_perf::measured_overlap_fraction(gf_busy, sse_busy, overlap_secs);
+
+    // --- scheduler bookkeeping per Born iteration: lower + bind + walk
+    // the DAG with no-op bodies, no physics ---
+    let sdfg = simulation_sdfg();
+    let cfg = SimulationConfig::tiny();
+    let plan = lower_iteration(&sdfg, cfg.nk, cfg.ne, cfg.nw).expect("simulation SDFG lowers");
+    let tasks_per_iter = plan.dag.len();
+    let sched_secs = timed_median(if quick { 20 } else { 100 }, || {
+        let plan = lower_iteration(&sdfg, cfg.nk, cfg.ne, cfg.nw).expect("simulation SDFG lowers");
+        plan.dag.run_inline(|t| {
+            std::hint::black_box(t);
+        });
+    });
+    let sched_ns = sched_secs * 1e9;
+
+    let w = [14, 12, 12, 12];
+    header(&["variant", "wall [s]", "points/s", "overlap"], &w);
+    row(
+        &[
+            "serial".into(),
+            format!("{serial_secs:.3}"),
+            format!("{:.2}", points as f64 / serial_secs),
+            "-".into(),
+        ],
+        &w,
+    );
+    row(
+        &[
+            "overlapped".into(),
+            format!("{overlap_secs:.3}"),
+            format!("{:.2}", points as f64 / overlap_secs),
+            format!("{:.0}%", 100.0 * measured),
+        ],
+        &w,
+    );
+    row(
+        &[
+            "model".into(),
+            format!("{:.3}", model.pipelined_wall()),
+            format!("{:.2}", points as f64 / model.pipelined_wall()),
+            format!("{:.0}%", 100.0 * model.overlap_fraction()),
+        ],
+        &w,
+    );
+    println!(
+        "\nmeasured {:.2}x vs modeled {:.2}x speedup over {tasks} pipelined tasks \
+         (gf {:.1} ms, sse {:.1} ms per task)",
+        serial_secs / overlap_secs,
+        model.speedup(),
+        1e3 * model.gf_s,
+        1e3 * model.sse_s
+    );
+    println!(
+        "scheduler: {tasks_per_iter} DAG tasks/iteration, {:.1} us bookkeeping/iteration",
+        sched_ns / 1e3
+    );
+
+    if let Some(path) = arg_value("--trace-out") {
+        std::fs::write(&path, trace::chrome_trace_json(&snap)).expect("write chrome trace");
+        println!("trace: wrote {path} ({} phase windows)", snap.phases.len());
+    }
+    trace::reset();
+
+    if json_flag() {
+        let per_point = |secs: f64| secs * 1e9 / points as f64;
+        let records = [
+            BenchRecord {
+                name: format!("sweep_stream_serial{suffix}"),
+                n: points,
+                median_ns: per_point(serial_secs),
+                gflops: points as f64 / serial_secs,
+            },
+            BenchRecord {
+                name: format!("sweep_stream_overlap{suffix}"),
+                n: std::thread::available_parallelism().map_or(1, |n| n.get()),
+                median_ns: per_point(overlap_secs),
+                gflops: measured,
+            },
+            BenchRecord {
+                name: format!("sweep_stream_model{suffix}"),
+                n: tasks,
+                median_ns: per_point(model.pipelined_wall()),
+                gflops: model.speedup(),
+            },
+            BenchRecord {
+                name: format!("sweep_sched_overhead{suffix}"),
+                n: tasks_per_iter,
+                median_ns: sched_ns,
+                gflops: 0.0,
+            },
+        ];
+        write_bench_json(BENCH_SWEEPS_JSON_PATH, &records).expect("write BENCH_sweeps.json");
+        println!("wrote {BENCH_SWEEPS_JSON_PATH}");
+    }
 }

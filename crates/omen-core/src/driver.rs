@@ -14,7 +14,8 @@
 
 use crate::builder::{ConfigError, SimulationConfig};
 use crate::executor::{
-    grid_points, ExecutorKind, PartitionedExecutor, PointExecutor, RayonExecutor, SerialExecutor,
+    grid_points, DagExecutor, ExecutorKind, PartitionedExecutor, PointExecutor, RayonExecutor,
+    SerialExecutor,
 };
 use crate::grids::{EnergyGrid, FrequencyGrid, MomentumGrid};
 use crate::observables::{
@@ -394,6 +395,47 @@ impl Simulation {
         &self.config
     }
 
+    /// Typed interruption verdict (cancellation, deadline) at an
+    /// iteration boundary, shared by [`Simulation::run_with`] and the
+    /// stream pipeline.
+    pub(crate) fn interrupted(&self) -> Option<DriverError> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Some(DriverError::Cancelled {
+                    iteration: self.iteration,
+                });
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(DriverError::DeadlineExceeded {
+                    iteration: self.iteration,
+                });
+            }
+        }
+        None
+    }
+
+    /// Clone of the most recent spectral data (stream finalization of a
+    /// run that performed no iterations).
+    pub(crate) fn last_spectral_clone(&self) -> Option<SpectralData> {
+        self.last_spectral.clone()
+    }
+
+    /// Whether the supervised NaN fault site fires for this run (see
+    /// [`Simulation::set_fault_key`]).
+    pub(crate) fn nan_injection_armed(&self) -> bool {
+        self.fault_key
+            .map(|k| omen_fault::should_inject(omen_fault::FaultSite::NanPoison, k))
+            .unwrap_or(false)
+    }
+
+    /// Poisons the convergence baseline (the armed NaN fault site firing
+    /// on the first iteration of a supervised run).
+    pub(crate) fn poison_current(&mut self) {
+        self.last_current = Some(f64::NAN);
+    }
+
     /// Replaces the SSE kernel with a custom [`SseKernel`] implementation
     /// (the enum on the config covers the built-in three).
     pub fn set_kernel(&mut self, kernel: Box<dyn SseKernel>) {
@@ -571,6 +613,7 @@ impl Simulation {
             ExecutorKind::Partitioned { ranks } => {
                 self.gf_phase_with(&PartitionedExecutor::new(ranks))
             }
+            ExecutorKind::Dag { threads } => self.gf_phase_with(&DagExecutor::new(threads)),
         }
     }
 
@@ -713,12 +756,24 @@ impl Simulation {
             ExecutorKind::Partitioned { ranks } => {
                 self.iterate_with(&PartitionedExecutor::new(ranks))
             }
+            ExecutorKind::Dag { threads } => self.iterate_with(&DagExecutor::new(threads)),
         }
     }
 
     /// One Born iteration through an explicit executor.
     pub fn iterate_with<E: PointExecutor>(&mut self, exec: &E) -> (IterationRecord, SpectralData) {
         let _span = omen_trace::span!("born_iteration");
+        let gf = self.gf_phase_with(exec);
+        self.finish_iteration(gf)
+    }
+
+    /// Completes a Born iteration whose GF phase already ran: the SSE
+    /// kernel, self-energy mixing, and the convergence bookkeeping.
+    ///
+    /// This is [`Simulation::iterate_with`] split at the phase boundary,
+    /// so the stream pipeline (see [`crate::stream`]) can run the GF
+    /// phase of sweep point *k+1* while point *k* sits in this call.
+    pub fn finish_iteration(&mut self, gf: GfPhaseOutput) -> (IterationRecord, SpectralData) {
         let GfPhaseOutput {
             g_l,
             g_g,
@@ -726,7 +781,7 @@ impl Simulation {
             d_g,
             spectral,
             times: gf_times,
-        } = self.gf_phase_with(exec);
+        } = gf;
 
         let sse_trace = omen_trace::PhaseGuard::enter("sse_phase");
         let t0 = Instant::now();
@@ -803,6 +858,7 @@ impl Simulation {
             ExecutorKind::Serial => self.run_with(&SerialExecutor),
             ExecutorKind::Rayon { threads } => self.run_with(&RayonExecutor::new(threads)),
             ExecutorKind::Partitioned { ranks } => self.run_with(&PartitionedExecutor::new(ranks)),
+            ExecutorKind::Dag { threads } => self.run_with(&DagExecutor::new(threads)),
         }
     }
 
@@ -827,25 +883,11 @@ impl Simulation {
         let mut spectral = None;
         // Supervised NaN-poisoning fault site: one deterministic decision
         // per (point, attempt) key, armed only by `set_fault_key`.
-        let inject_nan = self
-            .fault_key
-            .map(|k| omen_fault::should_inject(omen_fault::FaultSite::NanPoison, k))
-            .unwrap_or(false);
+        let inject_nan = self.nan_injection_armed();
         let mut converged = false;
         while self.iteration < self.config.max_iterations {
-            if let Some(token) = &self.cancel {
-                if token.is_cancelled() {
-                    return Err(DriverError::Cancelled {
-                        iteration: self.iteration,
-                    });
-                }
-            }
-            if let Some(deadline) = self.deadline {
-                if Instant::now() >= deadline {
-                    return Err(DriverError::DeadlineExceeded {
-                        iteration: self.iteration,
-                    });
-                }
+            if let Some(err) = self.interrupted() {
+                return Err(err);
             }
             let (mut rec, spec) = self.iterate_with(exec);
             if inject_nan && records.is_empty() {

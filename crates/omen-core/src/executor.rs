@@ -232,6 +232,90 @@ impl PointExecutor for PartitionedExecutor {
     }
 }
 
+/// Task-DAG executor: the sweep lowered through `omen-sched`.
+///
+/// Where [`RayonExecutor`] claims points from an atomic counter, this
+/// engine materializes the sweep as an `omen_sched::TaskDag` — the same
+/// runtime that executes lowered SDFG schedules — and drains it on the
+/// scheduler's panic-isolating worker pool. A GF sweep is a pure map,
+/// so the DAG is edge-free here; the value is that the *driver's* point
+/// sweeps and the *dataflow graph's* lowered schedules now run on one
+/// scheduler, with `Counter::SchedTasks` accounting for both.
+///
+/// Contributions land in per-point slots and fold in global point order,
+/// so results are **bit-identical** to [`SerialExecutor`] (the
+/// `RayonExecutor` discipline). A panicking point solve propagates as a
+/// panic after the sweep drains — point workers are deterministic solver
+/// code; isolation with retry is the stream/service layer's job.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DagExecutor {
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+}
+
+impl DagExecutor {
+    /// An executor over `threads` scheduler workers (0 = auto).
+    pub fn new(threads: usize) -> Self {
+        DagExecutor { threads }
+    }
+
+    /// The effective worker count (explicit setting, else all cores).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+}
+
+impl PointExecutor for DagExecutor {
+    fn name(&self) -> &'static str {
+        "dag"
+    }
+
+    fn run<O, W, F>(&self, points: &[GridPoint], make_worker: F, mut acc: O) -> O
+    where
+        O: Observables,
+        W: FnMut(GridPoint) -> O::Contribution + Send,
+        F: Fn() -> W + Sync,
+    {
+        use std::sync::Mutex;
+        let nthreads = self.effective_threads().min(points.len()).max(1);
+        if nthreads <= 1 {
+            return SerialExecutor.run(points, make_worker, acc);
+        }
+        let mut dag = omen_sched::TaskDag::new();
+        for _ in points {
+            dag.add_task("gf_point", &[]);
+        }
+        // Workers carry mutable solver caches, so the shared task closure
+        // leases them from a pool (scheduler workers outnumber leases only
+        // transiently; point solves dwarf the lock).
+        let workers: Mutex<Vec<W>> = Mutex::new(Vec::new());
+        let slots: Vec<Mutex<Option<O::Contribution>>> =
+            points.iter().map(|_| Mutex::new(None)).collect();
+        dag.run(nthreads, |t| {
+            let mut worker = workers
+                .lock()
+                .expect("worker pool lock")
+                .pop()
+                .unwrap_or_else(&make_worker);
+            let c = worker(points[t]);
+            *slots[t].lock().expect("slot lock") = Some(c);
+            workers.lock().expect("worker pool lock").push(worker);
+        })
+        .unwrap_or_else(|err| panic!("point solve panicked: {err}"));
+        // Deterministic fold in global point order.
+        for slot in slots {
+            if let Some(c) = slot.into_inner().expect("slot lock") {
+                acc.accumulate(&c);
+            }
+        }
+        acc
+    }
+}
+
 /// Executor selection for [`crate::builder::SimulationConfig`] — the
 /// enum-shaped convenience over the trait (custom executors plug in via
 /// [`crate::driver::Simulation::run_with`]).
@@ -249,6 +333,11 @@ pub enum ExecutorKind {
         /// Simulated rank count.
         ranks: usize,
     },
+    /// [`DagExecutor`] with the given thread count (0 = auto).
+    Dag {
+        /// Scheduler worker threads (0 = all available cores).
+        threads: usize,
+    },
 }
 
 impl Default for ExecutorKind {
@@ -264,6 +353,7 @@ impl ExecutorKind {
             ExecutorKind::Serial => "serial",
             ExecutorKind::Rayon { .. } => "rayon",
             ExecutorKind::Partitioned { .. } => "partitioned",
+            ExecutorKind::Dag { .. } => "dag",
         }
     }
 }
@@ -329,6 +419,7 @@ mod tests {
             run_with(&SerialExecutor, &points).visited,
             run_with(&RayonExecutor::new(4), &points).visited,
             run_with(&PartitionedExecutor::new(5), &points).visited,
+            run_with(&DagExecutor::new(4), &points).visited,
         ] {
             let mut sorted = visited.clone();
             sorted.sort_unstable();
@@ -358,6 +449,16 @@ mod tests {
         // Exact sum here (dyadic values), same as serial.
         let serial = run_with(&SerialExecutor, &points);
         assert_eq!(serial.sum, part.sum);
+    }
+
+    #[test]
+    fn dag_order_is_bitwise_serial() {
+        let points = grid_points(4, 9);
+        let serial = run_with(&SerialExecutor, &points);
+        let dag = run_with(&DagExecutor::new(3), &points);
+        // Slot-ordered folding: same visit order, hence bit-equal sums.
+        assert_eq!(serial.visited, dag.visited);
+        assert_eq!(serial.sum.to_bits(), dag.sum.to_bits());
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //! * [`observables`] — per-point contributions folded into mergeable
 //!   [`Observables`] accumulators;
 //! * [`driver`] — the [`Simulation`] Born loop dispatching through the
-//!   [`omen_sse::SseKernel`] trait.
+//!   [`omen_sse::SseKernel`] trait;
+//! * [`stream`] — the overlapped sweep pipeline ([`run_overlapped`])
+//!   running the GF phase of point *k+1* against the SSE phase of
+//!   point *k* on `omen-sched`'s stream executor.
 
 pub mod builder;
 pub mod driver;
@@ -23,6 +26,7 @@ pub mod executor;
 pub mod grids;
 pub mod observables;
 pub mod state;
+pub mod stream;
 pub mod thermal;
 
 pub use omen_linalg::Normalization;
@@ -34,8 +38,8 @@ pub use driver::{
     SpectralData, WarmStartData, WarmStartError,
 };
 pub use executor::{
-    grid_points, ExecutorKind, GridPoint, PartitionedExecutor, PointExecutor, RayonExecutor,
-    SerialExecutor,
+    grid_points, DagExecutor, ExecutorKind, GridPoint, PartitionedExecutor, PointExecutor,
+    RayonExecutor, SerialExecutor,
 };
 pub use grids::{EnergyGrid, FrequencyGrid, MomentumGrid};
 pub use observables::{
@@ -46,6 +50,7 @@ pub use state::{
     extract_electron_blocks, extract_phonon_blocks, pi_blocks_for_point, sigma_blocks_for_point,
     zero_tensors,
 };
+pub use stream::{run_overlapped, OverlapOutcome, OverlappedSweep, SweepPoint};
 pub use thermal::{
     electro_thermal_report, equilibrium_energy, fit_temperature, ElectroThermalReport, KB_EV_PER_K,
 };

@@ -4,14 +4,146 @@
 //! Nodes are data containers (access nodes), tasklets (fine-grained
 //! computation), and parametric map scopes; memlet edges carry symbolic
 //! per-execution volumes. States sequence dataflow under control
-//! dependencies. The representation is deliberately *analyzable* rather
-//! than executable: its purpose in this reproduction is to derive the
-//! data-movement expressions the paper uses to discover the
-//! communication-avoiding variant, while the executable kernels live in
-//! `omen-sse` (the test suite ties the two together).
+//! dependencies. The representation serves two roles in this
+//! reproduction: *analysis* — deriving the data-movement expressions the
+//! paper uses to discover the communication-avoiding variant — and
+//! *execution* — [`crate::lower`] turns the memlets into a dependency
+//! DAG with buffer liveness that `omen-sched` runs against the real
+//! kernels.
 
 use crate::symbolic::Expr;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Typed error for structural validation and graph transformations.
+///
+/// Every failure mode of the IR — malformed scopes, out-of-range edges,
+/// and transformations that would change program meaning — is a distinct
+/// variant, so callers (and tests) can match on the cause instead of
+/// string-scraping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// The node was expected to be a [`Node::Map`].
+    NotAMap {
+        /// Offending node index.
+        node: usize,
+    },
+    /// A map body refers past the end of the node arena.
+    BodyOutOfRange {
+        /// The map whose body is malformed.
+        map: usize,
+        /// The out-of-range child index.
+        child: usize,
+    },
+    /// A map lists itself in its own body.
+    SelfContainingMap {
+        /// Offending map index.
+        map: usize,
+    },
+    /// A node appears in the body of two different maps.
+    DoubleOwnership {
+        /// The doubly-owned node.
+        node: usize,
+        /// The first claiming map.
+        first: usize,
+        /// The second claiming map.
+        second: usize,
+    },
+    /// A memlet's target is past the end of the node arena.
+    MemletOutOfRange {
+        /// Index of the memlet in the state's memlet list.
+        memlet: usize,
+        /// Its out-of-range target node.
+        target: usize,
+    },
+    /// Map fission requires at least two children to split.
+    FissionTooSmall {
+        /// The map that is too small to fission.
+        map: usize,
+    },
+    /// Map fusion requires identical iteration ranges.
+    RangeMismatch {
+        /// First map of the attempted fusion.
+        a: usize,
+        /// Second map of the attempted fusion.
+        b: usize,
+    },
+    /// Fusing the two maps would break a memlet's producer/consumer
+    /// ordering: a node outside the pair consumes data the first map
+    /// produces and produces data the second map consumes, so it must
+    /// run *between* them — impossible once they share one scope.
+    FusionReordersDataflow {
+        /// The intermediate node that sits on the `a → via → b` path.
+        via: usize,
+        /// Data written by the first map and read by `via`.
+        carried: String,
+        /// Data written by `via` and read by the second map.
+        produced: String,
+    },
+    /// A task reads data whose only producers are scheduled after it
+    /// (surfaced by lowering, where schedule order is arena order).
+    UseBeforeDef {
+        /// The data container read too early.
+        data: String,
+        /// Schedule position of the offending reader.
+        task: usize,
+    },
+    /// An error inside one state of an [`Sdfg`].
+    InState {
+        /// Index of the failing state.
+        state: usize,
+        /// The underlying error.
+        error: Box<GraphError>,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NotAMap { node } => write!(f, "node {node} is not a map"),
+            GraphError::BodyOutOfRange { map, child } => {
+                write!(f, "map {map} body index {child} out of range")
+            }
+            GraphError::SelfContainingMap { map } => write!(f, "map {map} contains itself"),
+            GraphError::DoubleOwnership {
+                node,
+                first,
+                second,
+            } => write!(f, "node {node} owned by maps {first} and {second}"),
+            GraphError::MemletOutOfRange { memlet, target } => {
+                write!(f, "memlet {memlet} target {target} out of range")
+            }
+            GraphError::FissionTooSmall { map } => {
+                write!(f, "fission of map {map} needs at least two children")
+            }
+            GraphError::RangeMismatch { a, b } => {
+                write!(f, "fusion of maps {a} and {b} requires identical ranges")
+            }
+            GraphError::FusionReordersDataflow {
+                via,
+                carried,
+                produced,
+            } => write!(
+                f,
+                "fusion would reorder dataflow: node {via} consumes \"{carried}\" \
+                 from the first map and produces \"{produced}\" for the second"
+            ),
+            GraphError::UseBeforeDef { data, task } => {
+                write!(f, "task {task} reads \"{data}\" before any producer runs")
+            }
+            GraphError::InState { state, error } => write!(f, "state {state}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::InState { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
 
 /// A node of a dataflow state.
 #[derive(Clone, Debug, PartialEq)]
@@ -50,8 +182,43 @@ pub struct Memlet {
     /// `true` if the subset accessed depends only on iteration variables
     /// *owned by the local rank* after distribution (no remote traffic).
     pub local_after_distribution: bool,
-    /// The node this memlet feeds (index into the state arena).
+    /// Direction: `false` carries `data` *into* node `to` (a read);
+    /// `true` means node `to` *produces* `data` (a write). Lowering
+    /// turns write→read pairs on the same container into dependency
+    /// edges and liveness intervals.
+    pub write: bool,
+    /// The node this memlet attaches to (index into the state arena).
     pub to: usize,
+}
+
+impl Memlet {
+    /// A read memlet: `data` flows into node `to`.
+    pub fn read(data: &str, volume: Expr, to: usize) -> Memlet {
+        Memlet {
+            data: data.to_string(),
+            volume,
+            local_after_distribution: false,
+            write: false,
+            to,
+        }
+    }
+
+    /// A write memlet: node `to` produces `data`.
+    pub fn write(data: &str, volume: Expr, to: usize) -> Memlet {
+        Memlet {
+            data: data.to_string(),
+            volume,
+            local_after_distribution: false,
+            write: true,
+            to,
+        }
+    }
+
+    /// Marks the memlet rank-local after distribution (builder-style).
+    pub fn local(mut self) -> Memlet {
+        self.local_after_distribution = true;
+        self
+    }
 }
 
 /// One dataflow state.
@@ -138,7 +305,7 @@ impl State {
     }
 
     /// For each node, the maps containing it (transitively).
-    fn containing_maps(&self) -> Vec<Vec<usize>> {
+    pub(crate) fn containing_maps(&self) -> Vec<Vec<usize>> {
         let mut out = vec![Vec::new(); self.nodes.len()];
         for (idx, node) in self.nodes.iter().enumerate() {
             if let Node::Map { body, .. } = node {
@@ -155,28 +322,59 @@ impl State {
         out
     }
 
+    /// The node plus every node transitively inside its map scope.
+    fn scope_nodes(&self, idx: usize) -> BTreeSet<usize> {
+        let mut scope = BTreeSet::new();
+        let mut stack = vec![idx];
+        while let Some(n) = stack.pop() {
+            if scope.insert(n) {
+                if let Node::Map { body, .. } = &self.nodes[n] {
+                    stack.extend(body.iter().copied());
+                }
+            }
+        }
+        scope
+    }
+
+    /// Data containers written (resp. read) by memlets attached to any
+    /// node in `scope`.
+    fn scope_data(&self, scope: &BTreeSet<usize>, write: bool) -> BTreeSet<&str> {
+        self.memlets
+            .iter()
+            .filter(|m| m.write == write && scope.contains(&m.to))
+            .map(|m| m.data.as_str())
+            .collect()
+    }
+
     /// Validates structural invariants: body indices in range, no node in
     /// two map bodies, memlet targets in range.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), GraphError> {
         let mut owner: HashMap<usize, usize> = HashMap::new();
         for (idx, node) in self.nodes.iter().enumerate() {
             if let Node::Map { body, .. } = node {
                 for &child in body {
                     if child >= self.nodes.len() {
-                        return Err(format!("map {idx} body index {child} out of range"));
+                        return Err(GraphError::BodyOutOfRange { map: idx, child });
                     }
                     if child == idx {
-                        return Err(format!("map {idx} contains itself"));
+                        return Err(GraphError::SelfContainingMap { map: idx });
                     }
                     if let Some(prev) = owner.insert(child, idx) {
-                        return Err(format!("node {child} owned by maps {prev} and {idx}"));
+                        return Err(GraphError::DoubleOwnership {
+                            node: child,
+                            first: prev,
+                            second: idx,
+                        });
                     }
                 }
             }
         }
         for (i, m) in self.memlets.iter().enumerate() {
             if m.to >= self.nodes.len() {
-                return Err(format!("memlet {i} target {} out of range", m.to));
+                return Err(GraphError::MemletOutOfRange {
+                    memlet: i,
+                    target: m.to,
+                });
             }
         }
         Ok(())
@@ -199,9 +397,12 @@ impl Sdfg {
     }
 
     /// Validates all states.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), GraphError> {
         for (i, s) in self.states.iter().enumerate() {
-            s.validate().map_err(|e| format!("state {i}: {e}"))?;
+            s.validate().map_err(|e| GraphError::InState {
+                state: i,
+                error: Box::new(e),
+            })?;
         }
         Ok(())
     }
@@ -225,7 +426,7 @@ pub fn map_tiling(
     state: &mut State,
     idx: usize,
     tile_counts: &[(&str, Expr)],
-) -> Result<usize, String> {
+) -> Result<usize, GraphError> {
     let (name, ranges, body, distributed) = match &state.nodes[idx] {
         Node::Map {
             name,
@@ -233,7 +434,7 @@ pub fn map_tiling(
             body,
             distributed,
         } => (name.clone(), ranges.clone(), body.clone(), *distributed),
-        _ => return Err(format!("node {idx} is not a map")),
+        _ => return Err(GraphError::NotAMap { node: idx }),
     };
     // Outer map iterates over tiles; inner over elements within a tile.
     let mut outer_ranges = Vec::new();
@@ -269,7 +470,7 @@ pub fn map_fission(
     state: &mut State,
     idx: usize,
     transient_volume: Expr,
-) -> Result<Vec<usize>, String> {
+) -> Result<Vec<usize>, GraphError> {
     let (name, ranges, body, distributed) = match &state.nodes[idx] {
         Node::Map {
             name,
@@ -277,10 +478,10 @@ pub fn map_fission(
             body,
             distributed,
         } => (name.clone(), ranges.clone(), body.clone(), *distributed),
-        _ => return Err(format!("node {idx} is not a map")),
+        _ => return Err(GraphError::NotAMap { node: idx }),
     };
     if body.len() < 2 {
-        return Err("fission needs at least two children".to_string());
+        return Err(GraphError::FissionTooSmall { map: idx });
     }
     let mut new_maps = Vec::new();
     for (stage, child) in body.iter().enumerate() {
@@ -297,12 +498,14 @@ pub fn map_fission(
             let t = state.add_node(Node::Access {
                 data: format!("{name}_transient{stage}"),
             });
-            state.add_memlet(Memlet {
-                data: format!("{name}_transient{stage}"),
-                volume: transient_volume.clone(),
-                local_after_distribution: true,
-                to: t,
-            });
+            state.add_memlet(
+                Memlet::read(
+                    &format!("{name}_transient{stage}"),
+                    transient_volume.clone(),
+                    t,
+                )
+                .local(),
+            );
             state.add_node(Node::Map {
                 name: format!("{name}_s{stage}"),
                 ranges: ranges.clone(),
@@ -317,7 +520,13 @@ pub fn map_fission(
 
 /// Map fusion (Fig. 6 step ❹): merges two maps with identical ranges into
 /// one scope (the inverse of fission, minus the transient).
-pub fn map_fusion(state: &mut State, a: usize, b: usize) -> Result<usize, String> {
+///
+/// Rejects the fusion when a node outside the pair sits on a dataflow
+/// path `a → via → b` — i.e. it consumes data `a` produces and produces
+/// data `b` consumes. Fusing then would schedule `b`'s body in the same
+/// scope instance as `a`'s, before `via` can run, silently reordering the
+/// producer/consumer chain the memlets encode.
+pub fn map_fusion(state: &mut State, a: usize, b: usize) -> Result<usize, GraphError> {
     let (ranges_a, mut body_a, name_a, dist_a) = match &state.nodes[a] {
         Node::Map {
             ranges,
@@ -325,14 +534,39 @@ pub fn map_fusion(state: &mut State, a: usize, b: usize) -> Result<usize, String
             name,
             distributed,
         } => (ranges.clone(), body.clone(), name.clone(), *distributed),
-        _ => return Err(format!("node {a} is not a map")),
+        _ => return Err(GraphError::NotAMap { node: a }),
     };
     let (ranges_b, body_b) = match &state.nodes[b] {
         Node::Map { ranges, body, .. } => (ranges.clone(), body.clone()),
-        _ => return Err(format!("node {b} is not a map")),
+        _ => return Err(GraphError::NotAMap { node: b }),
     };
     if ranges_a != ranges_b {
-        return Err("fusion requires identical ranges".to_string());
+        return Err(GraphError::RangeMismatch { a, b });
+    }
+    // Producer/consumer ordering check across the memlets.
+    let scope_a = state.scope_nodes(a);
+    let scope_b = state.scope_nodes(b);
+    let written_by_a = state.scope_data(&scope_a, true);
+    let read_by_b = state.scope_data(&scope_b, false);
+    for via in 0..state.nodes.len() {
+        if scope_a.contains(&via) || scope_b.contains(&via) {
+            continue;
+        }
+        let carried = state
+            .memlets
+            .iter()
+            .find(|m| !m.write && m.to == via && written_by_a.contains(m.data.as_str()));
+        let produced = state
+            .memlets
+            .iter()
+            .find(|m| m.write && m.to == via && read_by_b.contains(m.data.as_str()));
+        if let (Some(c), Some(p)) = (carried, produced) {
+            return Err(GraphError::FusionReordersDataflow {
+                via,
+                carried: c.data.clone(),
+                produced: p.data.clone(),
+            });
+        }
     }
     body_a.extend(body_b);
     state.nodes[a] = Node::Map {
@@ -370,12 +604,7 @@ mod tests {
             body: vec![t],
             distributed: true,
         });
-        s.add_memlet(Memlet {
-            data: "A".into(),
-            volume: c(1.0),
-            local_after_distribution: false,
-            to: t,
-        });
+        s.add_memlet(Memlet::read("A", c(1.0), t));
         let _ = m;
         s
     }
@@ -411,12 +640,7 @@ mod tests {
         if let Node::Map { body, .. } = &mut s.nodes[2] {
             body.push(t2);
         }
-        s.add_memlet(Memlet {
-            data: "B".into(),
-            volume: c(2.0),
-            local_after_distribution: true,
-            to: t2,
-        });
+        s.add_memlet(Memlet::read("B", c(2.0), t2).local());
         let b = bindings(&[("N", 10.0)]);
         assert_eq!(s.total_movement().eval(&b), 10.0 + 20.0);
         assert_eq!(s.distributed_movement().eval(&b), 10.0);
@@ -454,6 +678,91 @@ mod tests {
     }
 
     #[test]
+    fn fusion_rejects_intermediate_producer_consumer() {
+        // map a { t1 writes X }   n reads X, writes Y   map b { t2 reads Y }
+        // Fusing a and b would run t2 before n can produce Y.
+        let mut s = State {
+            name: "s".into(),
+            ..Default::default()
+        };
+        let t1 = s.add_node(Node::Tasklet { name: "t1".into() });
+        let n = s.add_node(Node::Tasklet { name: "mid".into() });
+        let t2 = s.add_node(Node::Tasklet { name: "t2".into() });
+        let a = s.add_node(Node::Map {
+            name: "a".into(),
+            ranges: vec![("i".into(), p("N"))],
+            body: vec![t1],
+            distributed: false,
+        });
+        let b = s.add_node(Node::Map {
+            name: "b".into(),
+            ranges: vec![("i".into(), p("N"))],
+            body: vec![t2],
+            distributed: false,
+        });
+        s.add_memlet(Memlet::write("X", c(1.0), t1));
+        s.add_memlet(Memlet::read("X", c(1.0), n));
+        s.add_memlet(Memlet::write("Y", c(1.0), n));
+        s.add_memlet(Memlet::read("Y", c(1.0), t2));
+        s.validate().unwrap();
+        let err = map_fusion(&mut s, a, b).expect_err("must reject reordering fusion");
+        assert_eq!(
+            err,
+            GraphError::FusionReordersDataflow {
+                via: n,
+                carried: "X".into(),
+                produced: "Y".into(),
+            }
+        );
+        // The graph is untouched on rejection.
+        if let Node::Map { body, .. } = &s.nodes[a] {
+            assert_eq!(body, &vec![t1]);
+        }
+        // A direct producer/consumer pair (no intermediate) still fuses.
+        let mut ok = State {
+            name: "ok".into(),
+            ..Default::default()
+        };
+        let p1 = ok.add_node(Node::Tasklet { name: "p".into() });
+        let c1 = ok.add_node(Node::Tasklet { name: "c".into() });
+        let ma = ok.add_node(Node::Map {
+            name: "a".into(),
+            ranges: vec![("i".into(), p("N"))],
+            body: vec![p1],
+            distributed: false,
+        });
+        let mb = ok.add_node(Node::Map {
+            name: "b".into(),
+            ranges: vec![("i".into(), p("N"))],
+            body: vec![c1],
+            distributed: false,
+        });
+        ok.add_memlet(Memlet::write("T", c(1.0), p1));
+        ok.add_memlet(Memlet::read("T", c(1.0), c1));
+        map_fusion(&mut ok, ma, mb).expect("direct chain fuses");
+    }
+
+    #[test]
+    fn typed_errors_render_and_match() {
+        let mut s = simple_state();
+        let err = map_tiling(&mut s, 0, &[]).expect_err("tasklet is not a map");
+        assert_eq!(err, GraphError::NotAMap { node: 0 });
+        assert_eq!(err.to_string(), "node 0 is not a map");
+        let err = map_fission(&mut s, 2, c(1.0)).expect_err("single child");
+        assert_eq!(err, GraphError::FissionTooSmall { map: 2 });
+        // Sdfg::validate wraps with the state index and keeps the source.
+        let mut bad = State::default();
+        bad.add_memlet(Memlet::read("A", c(1.0), 7));
+        let mut g = Sdfg::new("g");
+        g.add_state(simple_state());
+        g.add_state(bad);
+        let err = g.validate().expect_err("memlet out of range");
+        assert!(matches!(err, GraphError::InState { state: 1, .. }));
+        assert_eq!(err.to_string(), "state 1: memlet 0 target 7 out of range");
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
     fn validation_catches_double_ownership() {
         let mut s = State {
             name: "bad".into(),
@@ -472,7 +781,10 @@ mod tests {
             body: vec![t],
             distributed: false,
         });
-        assert!(s.validate().is_err());
+        assert!(matches!(
+            s.validate(),
+            Err(GraphError::DoubleOwnership { node: 0, .. })
+        ));
     }
 
     #[test]

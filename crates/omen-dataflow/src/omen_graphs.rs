@@ -7,7 +7,9 @@
 //! the bulk of the traffic and leaves only the halo exchange. The
 //! expressions produced here evaluate to the same numbers as the analytic
 //! model in `omen-perf` (cross-checked in the workspace integration
-//! tests).
+//! tests). The same memlets carry direction (`write`) flags, so
+//! [`crate::lower`] can turn the graph into the executable GF → SSE task
+//! DAG that `omen-sched` runs.
 
 use crate::graph::{map_tiling, Memlet, Node, Sdfg, State};
 use crate::symbolic::{c, p, Expr};
@@ -47,35 +49,20 @@ pub fn sse_state() -> State {
     // which carries no Nb factor. D blocks are per-(a,b) 3×3 entries.
     let norb2_bytes = p("Norb") * p("Norb") * c(64.0) / p("Nb");
     let d_bytes = p("N3D") * p("N3D") * c(32.0);
-    s.add_memlet(Memlet {
-        data: "gradH".into(),
-        volume: p("Norb") * p("Norb") * c(16.0),
-        local_after_distribution: true, // static material data, replicated once
-        to: tasklet,
-    });
-    s.add_memlet(Memlet {
-        data: "G".into(),
-        volume: norb2_bytes.clone(),
-        local_after_distribution: false,
-        to: tasklet,
-    });
-    s.add_memlet(Memlet {
-        data: "D".into(),
-        volume: d_bytes,
-        local_after_distribution: false,
-        to: tasklet,
-    });
+    // Static material data, replicated once.
+    s.add_memlet(Memlet::read("gradH", p("Norb") * p("Norb") * c(16.0), tasklet).local());
+    s.add_memlet(Memlet::read("G", norb2_bytes.clone(), tasklet));
+    s.add_memlet(Memlet::read("D", d_bytes.clone(), tasklet));
     // Outputs accumulate locally under both decompositions (CR: Sum).
-    s.add_memlet(Memlet {
-        data: "Sigma".into(),
-        volume: norb2_bytes,
-        local_after_distribution: true,
-        to: tasklet,
-    });
+    s.add_memlet(Memlet::write("Sigma", norb2_bytes, tasklet).local());
+    s.add_memlet(Memlet::write("Pi", d_bytes, tasklet).local());
     s
 }
 
 /// The full simulation SDFG skeleton of Fig. 4: GF state then SSE state.
+/// The GF tasklets *produce* the `G`/`D` containers the SSE state
+/// consumes, so lowering the whole graph yields the per-iteration
+/// electron-solves ∥ phonon-solves → SSE dependency DAG.
 pub fn simulation_sdfg() -> Sdfg {
     let mut g = Sdfg::new("dace_omen");
     let mut gf = State {
@@ -100,6 +87,15 @@ pub fn simulation_sdfg() -> Sdfg {
         body: vec![rgf_p],
         distributed: false,
     });
+    // Per (kz, E) point the electron RGF reads the block-tridiagonal
+    // Hamiltonian and emits both G^≷ components; per (qz, ω) the phonon
+    // solve reads the dynamical matrix and emits D^≷.
+    let g_bytes = p("Na") * p("Norb") * p("Norb") * c(64.0);
+    let d_point_bytes = p("Na") * p("N3D") * p("N3D") * c(64.0);
+    gf.add_memlet(Memlet::read("H", p("Na") * p("Norb") * p("Norb") * c(16.0), rgf_e).local());
+    gf.add_memlet(Memlet::write("G", g_bytes, rgf_e).local());
+    gf.add_memlet(Memlet::read("Phi", p("Na") * p("N3D") * p("N3D") * c(16.0), rgf_p).local());
+    gf.add_memlet(Memlet::write("D", d_point_bytes, rgf_p).local());
     g.add_state(gf);
     g.add_state(sse_state());
     g

@@ -208,6 +208,17 @@ pub fn mix(a: u64, b: u64) -> u64 {
     splitmix64(a ^ b.wrapping_mul(0x2545_f491_4f6c_dd1d))
 }
 
+/// Deterministic delay jitter in `[0, max_ns)` for `(seed, key)` — the
+/// chaos-scheduling counterpart of [`FaultPlan::should_inject`]. The
+/// `omen-sched` tests perturb worker interleavings with it: a pure
+/// function of the seed, so any ordering bug it exposes replays exactly.
+pub fn jitter_ns(seed: u64, key: u64, max_ns: u64) -> u64 {
+    if max_ns == 0 {
+        return 0;
+    }
+    mix(seed, key) % max_ns
+}
+
 fn unit_f64(h: u64) -> f64 {
     (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }

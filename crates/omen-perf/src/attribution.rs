@@ -12,6 +12,7 @@
 use crate::commvolume::{dace_volume_with, omen_volume};
 use crate::flops::{rgf_flops_total, sse_flops_omen};
 use crate::params::SimParams;
+use crate::streams::StreamModel;
 use omen_trace::{Counter, TraceSnapshot};
 
 /// What the analytic models should be evaluated at when attributing a
@@ -29,6 +30,22 @@ pub struct AttributionModel {
     /// `(Ta, TE)` tiling of the DaCe-scheme leg (phase
     /// `comm_dace_plan`), when one ran.
     pub dace_tiling: Option<(usize, usize)>,
+    /// GF/SSE stream-overlap leg: the Table 6 pipeline model plus the
+    /// measured wall seconds of the overlapped sweep, when one ran.
+    pub stream: Option<StreamAttribution>,
+}
+
+/// Inputs of the stream-overlap row: the analytic pipeline model and
+/// the wall time the overlapped sweep actually took. The measured
+/// hidden time comes from the trace (`gf_phase + sse_phase` busy sums
+/// minus this wall); the prediction is the model's `serial − pipelined`
+/// saving.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamAttribution {
+    /// The Table 6 pipeline model evaluated for this sweep.
+    pub model: StreamModel,
+    /// Measured wall seconds of the overlapped sweep.
+    pub wall_s: f64,
 }
 
 /// One attributed stage: measured work from the trace against the
@@ -41,7 +58,8 @@ pub struct StageRow {
     pub measured: f64,
     /// Work the analytic model predicts (same unit).
     pub predicted: f64,
-    /// Unit of `measured`/`predicted`: `"flop"` or `"bytes"`.
+    /// Unit of `measured`/`predicted`: `"flop"`, `"bytes"`, or `"s"`
+    /// (the stream-overlap row, where the work *is* hidden seconds).
     pub unit: &'static str,
     /// Wall seconds the stage's phase records cover.
     pub wall_s: f64,
@@ -120,6 +138,17 @@ pub fn attribute(snap: &TraceSnapshot, model: &AttributionModel) -> AttributionR
             wall_s: secs("comm_dace_plan"),
         });
     }
+    if let Some(stream) = model.stream {
+        // Hidden seconds: phase busy time that did not extend the wall.
+        let busy = secs("gf_phase") + secs("sse_phase");
+        rows.push(StageRow {
+            stage: "overlap",
+            measured: (busy - stream.wall_s).max(0.0),
+            predicted: stream.model.saved_s(),
+            unit: "s",
+            wall_s: stream.wall_s,
+        });
+    }
     AttributionReport { rows }
 }
 
@@ -136,7 +165,8 @@ fn eng(v: f64) -> String {
 impl AttributionReport {
     /// Renders the table as aligned text: one row per stage with
     /// measured, predicted, measured/predicted, and the achieved rate
-    /// (GFLOP/s for flop stages, MB/s for byte stages).
+    /// (GFLOP/s for flop stages, MB/s for byte stages, percent of the
+    /// sweep wall hidden for the overlap stage).
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
@@ -144,10 +174,10 @@ impl AttributionReport {
             "stage", "measured", "predicted", "ratio", "rate"
         ));
         for row in &self.rows {
-            let rate = if row.unit == "flop" {
-                format!("{:.2} GFLOP/s", row.achieved_rate() / 1e9)
-            } else {
-                format!("{:.2} MB/s", row.achieved_rate() / 1e6)
+            let rate = match row.unit {
+                "flop" => format!("{:.2} GFLOP/s", row.achieved_rate() / 1e9),
+                "s" => format!("{:.1}% hidden", 100.0 * row.achieved_rate()),
+                _ => format!("{:.2} MB/s", row.achieved_rate() / 1e6),
             };
             out.push_str(&format!(
                 "{:<12} {:>12} {:>12} {:>9.3} {:>14}\n",
@@ -189,6 +219,7 @@ mod tests {
             iterations: 2,
             omen_ranks: Some(4),
             dace_tiling: Some((2, 2)),
+            stream: None,
         };
         // A synthetic trace that measured exactly half the predicted GF
         // flops, the exact SSE flops, and the exact OMEN volume.
@@ -255,11 +286,65 @@ mod tests {
             iterations: 1,
             omen_ranks: None,
             dace_tiling: None,
+            stream: None,
         };
         let report = attribute(&TraceSnapshot::default(), &model);
         assert_eq!(report.rows.len(), 2);
         assert!(report.rows.iter().all(|r| r.unit == "flop"));
         // No wall time recorded → rates are zero, not NaN or infinite.
         assert!(report.rows.iter().all(|r| r.achieved_rate() == 0.0));
+    }
+
+    #[test]
+    fn overlap_row_joins_hidden_seconds_against_the_stream_model() {
+        // 4 tasks, gf 2 s, sse 1 s: serial 12 s, pipelined 9 s, 3 s saved.
+        let stream = StreamModel {
+            tasks: 4,
+            gf_s: 2.0,
+            sse_s: 1.0,
+        };
+        let model = AttributionModel {
+            params: SimParams::small(3),
+            iterations: 4,
+            omen_ranks: None,
+            dace_tiling: None,
+            stream: Some(StreamAttribution {
+                model: stream,
+                wall_s: 9.0,
+            }),
+        };
+        // A trace whose busy sums are exactly the serial schedule.
+        let snap = TraceSnapshot {
+            phases: vec![
+                phase("gf_phase", 8_000_000_000, &[]),
+                phase("sse_phase", 4_000_000_000, &[]),
+            ],
+            ..TraceSnapshot::default()
+        };
+        let report = attribute(&snap, &model);
+        let overlap = *report.rows.iter().find(|r| r.stage == "overlap").unwrap();
+        assert_eq!(overlap.unit, "s");
+        // Hidden = 12 busy − 9 wall = 3 s, exactly the model's saving.
+        assert!((overlap.measured - 3.0).abs() < 1e-9);
+        assert!((overlap.predicted - 3.0).abs() < 1e-9);
+        assert!((overlap.ratio() - 1.0).abs() < 1e-9);
+        let text = report.render();
+        assert!(text.contains("overlap"), "{text}");
+        assert!(text.contains("% hidden"), "{text}");
+
+        // A serial wall hides nothing — measured clamps to zero.
+        let serial = AttributionModel {
+            stream: Some(StreamAttribution {
+                model: stream,
+                wall_s: 12.5,
+            }),
+            ..model
+        };
+        let row = *attribute(&snap, &serial)
+            .rows
+            .iter()
+            .find(|r| r.stage == "overlap")
+            .unwrap();
+        assert_eq!(row.measured, 0.0);
     }
 }

@@ -15,8 +15,11 @@ pub mod machines;
 pub mod params;
 pub mod roofline;
 pub mod scaling;
+pub mod streams;
 
-pub use attribution::{attribute, AttributionModel, AttributionReport, StageRow};
+pub use attribution::{
+    attribute, AttributionModel, AttributionReport, StageRow, StreamAttribution,
+};
 pub use commvolume::{
     dace_best_tiling, dace_volume, dace_volume_with, omen_invocations, omen_volume, table4, table5,
     VolumeRow, TIB,
@@ -28,6 +31,8 @@ pub use flops::{
 pub use machines::{Gpu, MachineSpec, P100, V100};
 pub use params::{table2_requirements, Requirement, SimParams};
 pub use roofline::{attainable, gemm_intensity, is_compute_bound, paper_kernels, RooflineKernel};
+pub use streams::{measured_overlap_fraction, StreamModel};
+
 pub use scaling::{
     comm_time, fig8_strong, fig8_weak, fig9, iteration_flops, iteration_time, rates, table11,
     table12, Caching, Fig8Point, Fig9Point, IterationModel, Rates, Table11Model, Table12Model,

@@ -1,0 +1,193 @@
+//! Liveness-driven buffer reservation out of the `omen-linalg`
+//! [`Workspace`] arena.
+//!
+//! The lowering's [`DataInterval`]s say exactly when each container
+//! must exist: from its first writer to its last reader. A
+//! [`BufferPlan`] turns those intervals into per-task acquire/release
+//! lists; [`run_with_arena`] walks a [`TaskDag`] inline, checking each
+//! buffer out of the workspace at its first write and returning it at
+//! its last use — never earlier, never later. Because
+//! [`Workspace::take_buf`] is a best-fit reuse pool, the second (warm)
+//! walk of the same plan performs no heap allocation at all; the
+//! workspace integration test pins that with a counting allocator.
+
+use crate::dag::TaskDag;
+use omen_dataflow::{DataInterval, LoweredDag};
+use omen_linalg::{Workspace, C64};
+
+/// Per-task buffer reservation schedule derived from liveness.
+#[derive(Clone, Debug, Default)]
+pub struct BufferPlan {
+    /// Container names, one per planned buffer (plan-buffer id order).
+    names: Vec<String>,
+    /// Element count per planned buffer.
+    lens: Vec<usize>,
+    /// `acquire[t]` = plan-buffer ids checked out before task `t` runs.
+    acquire: Vec<Vec<usize>>,
+    /// `release[t]` = plan-buffer ids returned after task `t` finishes.
+    release: Vec<Vec<usize>>,
+}
+
+impl BufferPlan {
+    /// Builds the reservation schedule for a lowered DAG. `size_of`
+    /// maps a container name to its element count (the lowering keeps
+    /// volumes symbolic; the runtime knows the concrete dims).
+    pub fn from_liveness(lowered: &LoweredDag, size_of: impl Fn(&str) -> usize) -> BufferPlan {
+        let n = lowered.tasks.len();
+        let mut plan = BufferPlan {
+            names: Vec::new(),
+            lens: Vec::new(),
+            acquire: vec![Vec::new(); n],
+            release: vec![Vec::new(); n],
+        };
+        for DataInterval {
+            data,
+            first_write,
+            last_use,
+        } in &lowered.liveness
+        {
+            let id = plan.names.len();
+            plan.names.push(data.clone());
+            plan.lens.push(size_of(data));
+            plan.acquire[*first_write].push(id);
+            plan.release[*last_use].push(id);
+        }
+        plan
+    }
+
+    /// Number of planned buffers.
+    pub fn buffer_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Container name of plan-buffer `id`.
+    pub fn name(&self, id: usize) -> &str {
+        &self.names[id]
+    }
+}
+
+/// The live buffers of an in-flight arena walk. Reusable across runs:
+/// the slot vector is sized once and kept, so a warm walk performs no
+/// allocation on the coordinating thread.
+#[derive(Debug, Default)]
+pub struct ArenaBuffers {
+    slots: Vec<Option<Vec<C64>>>,
+}
+
+impl ArenaBuffers {
+    /// Slot storage for `plan` (call once, reuse across runs).
+    pub fn for_plan(plan: &BufferPlan) -> ArenaBuffers {
+        ArenaBuffers {
+            slots: (0..plan.buffer_count()).map(|_| None).collect(),
+        }
+    }
+
+    /// Mutable view of a live buffer by plan-buffer id; `None` outside
+    /// its liveness interval.
+    pub fn get_mut(&mut self, id: usize) -> Option<&mut [C64]> {
+        self.slots.get_mut(id)?.as_deref_mut()
+    }
+
+    /// Looks a live buffer up by container name (linear scan — the plan
+    /// has a handful of containers, and no allocation is permitted on
+    /// the warm path).
+    pub fn by_name_mut<'a>(&'a mut self, plan: &BufferPlan, name: &str) -> Option<&'a mut [C64]> {
+        let id = plan.names.iter().position(|n| n == name)?;
+        self.get_mut(id)
+    }
+}
+
+/// Walks `dag` inline (dependency = index order), reserving buffers out
+/// of `ws` per `plan`: acquired zeroed before each task's first write,
+/// released after its last use. The task closure sees exactly the
+/// buffers that are live at its position.
+///
+/// # Panics
+/// If `plan` and `dag` disagree on task count, or `bufs` was built for
+/// a different plan.
+pub fn run_with_arena(
+    dag: &TaskDag,
+    plan: &BufferPlan,
+    ws: &mut Workspace,
+    bufs: &mut ArenaBuffers,
+    mut f: impl FnMut(usize, &mut ArenaBuffers),
+) {
+    assert_eq!(plan.acquire.len(), dag.len(), "plan built for another DAG");
+    assert_eq!(
+        bufs.slots.len(),
+        plan.buffer_count(),
+        "buffers built for another plan"
+    );
+    dag.run_inline(|t| {
+        for &id in &plan.acquire[t] {
+            bufs.slots[id] = Some(ws.take_buf(plan.lens[id]));
+        }
+        f(t, bufs);
+        for &id in &plan.release[t] {
+            let buf = bufs.slots[id].take().expect("released buffer was live");
+            ws.give_buf(buf);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omen_dataflow::{lower_sdfg, simulation_sdfg};
+
+    fn plan_for_sim() -> (TaskDag, BufferPlan) {
+        let lowered = lower_sdfg(&simulation_sdfg()).unwrap();
+        let dag = TaskDag::from_lowered(&lowered);
+        let plan = BufferPlan::from_liveness(&lowered, |name| match name {
+            "G" => 64,
+            "D" => 32,
+            "Sigma" => 64,
+            "Pi" => 32,
+            other => panic!("unplanned container {other}"),
+        });
+        (dag, plan)
+    }
+
+    #[test]
+    fn buffers_live_exactly_their_intervals() {
+        let (dag, plan) = plan_for_sim();
+        let mut ws = Workspace::new();
+        let mut bufs = ArenaBuffers::for_plan(&plan);
+        run_with_arena(&dag, &plan, &mut ws, &mut bufs, |t, bufs| match t {
+            // Electron solve: G just allocated, D/Sigma not yet live.
+            0 => {
+                assert!(bufs.by_name_mut(&plan, "G").is_some());
+                assert!(bufs.by_name_mut(&plan, "D").is_none());
+                assert!(bufs.by_name_mut(&plan, "Sigma").is_none());
+            }
+            // Phonon solve: G still live (SSE reads it later), D live.
+            1 => {
+                assert!(bufs.by_name_mut(&plan, "G").is_some());
+                assert!(bufs.by_name_mut(&plan, "D").is_some());
+            }
+            // SSE: everything live; outputs were just acquired zeroed.
+            2 => {
+                for name in ["G", "D", "Sigma", "Pi"] {
+                    let buf = bufs.by_name_mut(&plan, name).expect("live at SSE");
+                    assert!(buf.iter().all(|v| *v == C64::ZERO) || name == "G" || name == "D");
+                }
+            }
+            _ => unreachable!(),
+        });
+        // Everything was released back to the pool.
+        assert!(bufs.slots.iter().all(Option::is_none));
+        assert!(ws.pooled_bytes() >= (64 + 32 + 64 + 32) * 16);
+    }
+
+    #[test]
+    fn warm_walk_reuses_pooled_buffers() {
+        let (dag, plan) = plan_for_sim();
+        let mut ws = Workspace::new();
+        let mut bufs = ArenaBuffers::for_plan(&plan);
+        run_with_arena(&dag, &plan, &mut ws, &mut bufs, |_, _| {});
+        let pooled = ws.pooled_bytes();
+        run_with_arena(&dag, &plan, &mut ws, &mut bufs, |_, _| {});
+        // The pool neither grew nor shrank: every warm take was a reuse.
+        assert_eq!(ws.pooled_bytes(), pooled);
+    }
+}

@@ -186,6 +186,19 @@ fn json_string(s: &str) -> String {
     out
 }
 
+/// One `ph:"X"` duration event extracted by [`validate_chrome_trace`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanWindow {
+    /// Event name.
+    pub name: String,
+    /// Thread id (`tid`), 0 when absent.
+    pub tid: f64,
+    /// Start timestamp in microseconds.
+    pub ts_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+}
+
 /// Summary a successful [`validate_chrome_trace`] returns.
 #[derive(Clone, Debug, Default)]
 pub struct ChromeTraceStats {
@@ -193,6 +206,8 @@ pub struct ChromeTraceStats {
     pub events: usize,
     /// Occurrences of each `ph:"X"` (span/phase) name, sorted by name.
     pub span_names: Vec<(String, usize)>,
+    /// Every duration event's time window, in document order.
+    pub windows: Vec<SpanWindow>,
 }
 
 impl ChromeTraceStats {
@@ -203,6 +218,25 @@ impl ChromeTraceStats {
             .find(|(n, _)| n == name)
             .map(|&(_, c)| c)
             .unwrap_or(0)
+    }
+
+    /// Maximum wall-clock overlap (µs) between any duration event named
+    /// `a` and any named `b` on *different* threads — the stream
+    /// executor's gf/sse concurrency, measured straight off the
+    /// exported artifact.
+    pub fn overlap_us(&self, a: &str, b: &str) -> f64 {
+        let mut best: f64 = 0.0;
+        for wa in self.windows.iter().filter(|w| w.name == a) {
+            for wb in self.windows.iter().filter(|w| w.name == b) {
+                if wa.tid == wb.tid {
+                    continue;
+                }
+                let lo = wa.ts_us.max(wb.ts_us);
+                let hi = (wa.ts_us + wa.dur_us).min(wb.ts_us + wb.dur_us);
+                best = best.max(hi - lo);
+            }
+        }
+        best
     }
 }
 
@@ -227,6 +261,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceStats, String> {
         return Err("traceEvents is not an array".into());
     };
     let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut windows = Vec::new();
     for (i, item) in items.iter().enumerate() {
         let json::Value::Object(fields) = item else {
             return Err(format!("traceEvents[{i}] is not an object"));
@@ -240,11 +275,22 @@ pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceStats, String> {
         };
         if ph == "X" {
             *counts.entry(name.clone()).or_insert(0) += 1;
+            let num = |key: &str| match get(key) {
+                Some(json::Value::Number(v)) => *v,
+                _ => 0.0,
+            };
+            windows.push(SpanWindow {
+                name: name.clone(),
+                tid: num("tid"),
+                ts_us: num("ts"),
+                dur_us: num("dur"),
+            });
         }
     }
     Ok(ChromeTraceStats {
         events: items.len(),
         span_names: counts.into_iter().collect(),
+        windows,
     })
 }
 
@@ -484,6 +530,21 @@ mod tests {
         assert_eq!(stats.spans_named("gf_phase"), 1);
         assert_eq!(stats.spans_named("born_iteration"), 1);
         assert_eq!(stats.spans_named("absent"), 0);
+    }
+
+    #[test]
+    fn windows_and_overlap_come_from_the_artifact() {
+        // Two phases on different threads overlapping for 3ms, plus a
+        // same-thread pair that must not count.
+        let text = r#"{"traceEvents":[
+         {"name":"gf_phase","ph":"X","pid":1,"tid":2,"ts":0.0,"dur":5000.0},
+         {"name":"sse_phase","ph":"X","pid":1,"tid":3,"ts":2000.0,"dur":4000.0},
+         {"name":"sse_phase","ph":"X","pid":1,"tid":2,"ts":0.0,"dur":5000.0}
+        ]}"#;
+        let stats = validate_chrome_trace(text).expect("well-formed");
+        assert_eq!(stats.windows.len(), 3);
+        assert_eq!(stats.overlap_us("gf_phase", "sse_phase"), 3000.0);
+        assert_eq!(stats.overlap_us("gf_phase", "absent"), 0.0);
     }
 
     #[test]

@@ -95,10 +95,14 @@ pub enum Counter {
     Quarantined,
     /// Points restored from a checkpoint journal instead of recomputed.
     ResumedPoints,
+    /// Tasks executed by the `omen-sched` DAG runtime.
+    SchedTasks,
+    /// DAG/stream tasks isolated after a panic (the run continues).
+    SchedPanics,
 }
 
 /// Number of [`Counter`] variants (the registry's array width).
-pub const NCOUNTERS: usize = 18;
+pub const NCOUNTERS: usize = 20;
 
 impl Counter {
     /// Every counter, in [`Counter::index`] order.
@@ -121,6 +125,8 @@ impl Counter {
         Counter::ColdFallbacks,
         Counter::Quarantined,
         Counter::ResumedPoints,
+        Counter::SchedTasks,
+        Counter::SchedPanics,
     ];
 
     /// Stable snake_case name (used by the exporters and wire format).
@@ -144,6 +150,8 @@ impl Counter {
             Counter::ColdFallbacks => "cold_fallbacks",
             Counter::Quarantined => "quarantined",
             Counter::ResumedPoints => "resumed_points",
+            Counter::SchedTasks => "sched_tasks",
+            Counter::SchedPanics => "sched_panics",
         }
     }
 
@@ -170,6 +178,8 @@ impl Counter {
             Counter::ColdFallbacks => 15,
             Counter::Quarantined => 16,
             Counter::ResumedPoints => 17,
+            Counter::SchedTasks => 18,
+            Counter::SchedPanics => 19,
         }
     }
 

@@ -73,6 +73,7 @@ fn main() {
         iterations,
         omen_ranks: Some(grid.nranks()),
         dace_tiling: Some((tiling.ta, tiling.te)),
+        stream: None,
     };
     let report = attribute(&snap, &model);
     println!("\n=== model-vs-measured attribution ===");

@@ -11,7 +11,9 @@
 //! * [`rgf`] — recursive Green's function solvers and boundary methods;
 //! * [`sse`] — scattering self-energy kernels (reference / transformed /
 //!   mixed precision);
-//! * [`dataflow`] — SDFG-lite IR with movement analysis;
+//! * [`dataflow`] — SDFG-lite IR with movement analysis and lowering;
+//! * [`sched`] — executable task-DAG runtime: memlet-derived
+//!   dependencies, liveness-driven arena buffers, GF/SSE stream overlap;
 //! * [`comm`] — simulated MPI, the two SSE communication plans, staging;
 //! * [`perf`] — analytic performance/communication/scaling models;
 //! * [`core`] — the self-consistent simulation and electro-thermal
@@ -31,6 +33,7 @@ pub use omen_device as device;
 pub use omen_linalg as linalg;
 pub use omen_perf as perf;
 pub use omen_rgf as rgf;
+pub use omen_sched as sched;
 pub use omen_serve as serve;
 pub use omen_sse as sse;
 pub use omen_trace as trace;

@@ -1,12 +1,13 @@
-//! Executor equivalence: the three `PointExecutor` engines must produce
-//! the same physics. The thread-parallel engine re-orders contributions
-//! back to global point order, so it is *bit-identical* to serial; the
-//! rank-partitioned engine reduces per-rank partials in rank order, which
-//! reassociates floating-point sums — identical to near machine precision.
+//! Executor equivalence: the `PointExecutor` engines must produce the
+//! same physics. The thread-parallel and DAG engines re-order
+//! contributions back to global point order, so they are *bit-identical*
+//! to serial; the rank-partitioned engine reduces per-rank partials in
+//! rank order, which reassociates floating-point sums — identical to
+//! near machine precision.
 
 use dace_omen::core::{
-    ExecutorKind, PartitionedExecutor, RayonExecutor, SerialExecutor, Simulation, SimulationConfig,
-    SimulationResult,
+    DagExecutor, ExecutorKind, PartitionedExecutor, RayonExecutor, SerialExecutor, Simulation,
+    SimulationConfig, SimulationResult,
 };
 
 fn run_with_kind(kind: ExecutorKind) -> SimulationResult {
@@ -56,6 +57,57 @@ fn rayon_is_bitwise_identical_to_serial() {
 }
 
 #[test]
+fn dag_engine_is_bitwise_identical_to_serial() {
+    let serial = run_with_kind(ExecutorKind::Serial);
+    let dag = run_with_kind(ExecutorKind::Dag { threads: 3 });
+    assert_eq!(serial.records.len(), dag.records.len());
+    for (s, d) in serial.records.iter().zip(&dag.records) {
+        assert_eq!(
+            s.current.to_bits(),
+            d.current.to_bits(),
+            "iteration {}: serial {} vs dag {}",
+            s.iteration,
+            s.current,
+            d.current
+        );
+        assert_eq!(s.rel_change.to_bits(), d.rel_change.to_bits());
+    }
+    // Full spectral observables, not just the headline current.
+    for (a, (s, d)) in serial
+        .spectral
+        .el_density
+        .iter()
+        .zip(&dag.spectral.el_density)
+        .enumerate()
+    {
+        assert_eq!(s.to_bits(), d.to_bits(), "el_density[{a}]");
+    }
+    for (a, (s, d)) in serial
+        .spectral
+        .ph_energy_density
+        .iter()
+        .zip(&dag.spectral.ph_energy_density)
+        .enumerate()
+    {
+        assert_eq!(s.to_bits(), d.to_bits(), "ph_energy_density[{a}]");
+    }
+}
+
+#[test]
+fn dag_thread_counts_do_not_change_results() {
+    let serial = run_with_kind(ExecutorKind::Serial);
+    // threads: 0 = auto; 1 falls back to the serial engine internally.
+    for threads in [0, 1, 2, 5] {
+        let d = run_with_kind(ExecutorKind::Dag { threads });
+        assert_eq!(
+            serial.current().to_bits(),
+            d.current().to_bits(),
+            "dag threads = {threads}"
+        );
+    }
+}
+
+#[test]
 fn partitioned_matches_serial_to_machine_precision() {
     let serial = run_with_kind(ExecutorKind::Serial);
     let part = run_with_kind(ExecutorKind::Partitioned { ranks: 3 });
@@ -99,6 +151,10 @@ fn explicit_executors_match_config_dispatch() {
         .expect("valid config")
         .run_with(&RayonExecutor::new(2))
         .expect("run succeeds");
+    let dag = Simulation::new(cfg.clone())
+        .expect("valid config")
+        .run_with(&DagExecutor::new(2))
+        .expect("run succeeds");
     let part = Simulation::new(cfg)
         .expect("valid config")
         .run_with(&PartitionedExecutor::new(2))
@@ -106,6 +162,7 @@ fn explicit_executors_match_config_dispatch() {
 
     assert_eq!(via_config.current().to_bits(), serial.current().to_bits());
     assert_eq!(serial.current().to_bits(), rayon.current().to_bits());
+    assert_eq!(serial.current().to_bits(), dag.current().to_bits());
     let (s, p) = (serial.current(), part.current());
     assert!(((s - p) / s).abs() < 1e-9, "partitioned {p} vs serial {s}");
 }
