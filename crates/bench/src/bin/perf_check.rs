@@ -51,6 +51,17 @@
 //! (`sweep_sched_overhead_quick.median_ns`) must stay under
 //! `--max-sched-overhead` (default 2 %) of a warm point's wall time.
 //!
+//! A communication-volume band gates the distributed Born loop
+//! (`table45_comm --execute` records): every `comm45_*_quick` record
+//! carries the measured/model volume ratio in `gflops`, and it must sit
+//! inside `[--min-comm-ratio, --max-comm-ratio]` (defaults 0.15–1.5).
+//! Both sides are deterministic — the ledger counts exact bytes and the
+//! model is analytic — so the band is machine-independent; it catches a
+//! plan that starts moving the wrong amount of data or a model that
+//! drifts from the executed schedule. The `comm45_*` records also join
+//! the cross-run table (`median_ns` = bytes per Born iteration, exact,
+//! so any drift against the committed baseline is a real change).
+//!
 //! `--trace-out PATH` adds a trace-artifact check (and may run with zero
 //! baseline/fresh pairs): `PATH` must be well-formed chrome://tracing
 //! JSON containing at least one `gf_phase`, one `sse_phase`, and one
@@ -65,6 +76,7 @@
 //!            [--tolerance 2.0] [--min-speedup 1.2] [--min-sweep-speedup 0.9] \
 //!            [--max-fault-overhead 0.02] [--max-trace-overhead 0.02] \
 //!            [--min-overlap-speedup 1.0] [--max-sched-overhead 0.02] \
+//!            [--min-comm-ratio 0.15] [--max-comm-ratio 1.5] \
 //!            [--trace-out trace.json] [--require-overlap gf_phase,sse_phase]
 //! ```
 
@@ -90,7 +102,7 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
 /// noisy for a 2x machine-to-machine gate — and are instead consumed by
 /// the within-run overhead floors.
 fn gated(name: &str) -> bool {
-    (name.contains("packed") || name.starts_with("sweep_"))
+    (name.contains("packed") || name.starts_with("sweep_") || name.starts_with("comm45_"))
         && name.ends_with("_quick")
         && !name.contains("fault")
         && !name.contains("trace")
@@ -115,6 +127,8 @@ struct Floors {
     max_trace_overhead: f64,
     min_overlap_speedup: f64,
     max_sched_overhead: f64,
+    min_comm_ratio: f64,
+    max_comm_ratio: f64,
 }
 
 fn check_pair(baseline_path: &str, fresh_path: &str, floors: &Floors) -> PairOutcome {
@@ -126,6 +140,8 @@ fn check_pair(baseline_path: &str, fresh_path: &str, floors: &Floors) -> PairOut
         max_trace_overhead,
         min_overlap_speedup,
         max_sched_overhead,
+        min_comm_ratio,
+        max_comm_ratio,
     } = floors;
     let mut out = PairOutcome {
         compared: 0,
@@ -373,6 +389,39 @@ fn check_pair(baseline_path: &str, fresh_path: &str, floors: &Floors) -> PairOut
             }
         }
     }
+    // Communication-volume band (`table45_comm --execute` family): the
+    // measured/model volume ratio each `comm45_*` record carries in
+    // `gflops` is a deterministic function of the device and the plan —
+    // no timing anywhere — so a fixed band holds on every machine.
+    if fresh.iter().any(|r| r.name.starts_with("comm45_")) {
+        let legs: Vec<&BenchRecord> = fresh
+            .iter()
+            .filter(|r| r.name.starts_with("comm45_") && r.name.ends_with("_quick"))
+            .collect();
+        if legs.is_empty() {
+            eprintln!(
+                "perf_check: {fresh_path} has comm45 records but no quick legs — the volume \
+                 band would be vacuous; failing"
+            );
+            out.failed_floors += 1;
+        }
+        for leg in legs {
+            let ratio = leg.gflops;
+            println!(
+                "within-run: {} moved {:.0} B/iteration on {} ranks, {ratio:.3}x the model \
+                 (band {min_comm_ratio:.2}-{max_comm_ratio:.2})",
+                leg.name, leg.median_ns, leg.n
+            );
+            if !(min_comm_ratio..=max_comm_ratio).contains(&ratio) {
+                eprintln!(
+                    "perf_check: {} measured/model volume ratio {ratio:.3} is outside the \
+                     {min_comm_ratio:.2}-{max_comm_ratio:.2} band",
+                    leg.name
+                );
+                out.failed_floors += 1;
+            }
+        }
+    }
     out
 }
 
@@ -487,6 +536,12 @@ fn main() -> ExitCode {
     let max_sched_overhead: f64 = arg_value(&args, "--max-sched-overhead")
         .map(|t| t.parse().expect("--max-sched-overhead must be a number"))
         .unwrap_or(0.02);
+    let min_comm_ratio: f64 = arg_value(&args, "--min-comm-ratio")
+        .map(|t| t.parse().expect("--min-comm-ratio must be a number"))
+        .unwrap_or(0.15);
+    let max_comm_ratio: f64 = arg_value(&args, "--max-comm-ratio")
+        .map(|t| t.parse().expect("--max-comm-ratio must be a number"))
+        .unwrap_or(1.5);
     let require_overlap = arg_value(&args, "--require-overlap").map(|spec| {
         let (a, b) = spec
             .split_once(',')
@@ -510,6 +565,8 @@ fn main() -> ExitCode {
         max_trace_overhead,
         min_overlap_speedup,
         max_sched_overhead,
+        min_comm_ratio,
+        max_comm_ratio,
     };
     for (baseline_path, fresh_path) in baselines.iter().zip(&freshes) {
         let outcome = check_pair(baseline_path, fresh_path, &floors);

@@ -5,15 +5,63 @@
 //! SSE communication schemes of the paper (OMEN's round-based replication
 //! vs the data-centric four-Alltoallv redistribution), an analytic network
 //! time model, and the data-ingestion staging path.
+//!
+//! ## Layering
+//!
+//! The crate is three layers, paper section in parentheses:
+//!
+//! | layer | modules | role |
+//! |---|---|---|
+//! | mechanics | [`transport`] | raw [`Envelope`] delivery between ranks — the deployment seam |
+//! | semantics | [`mpi_sim`], [`volume`] | MPI-shaped collectives with tag matching and byte-exact ledgers (§6.1) |
+//! | schemes | [`omen_plan`] (Fig. 5 left), [`dace_plan`] (§5.2, Fig. 5 right), [`plan_kernel`], [`topology`] | the two SSE exchange schedules, executable inside the Born loop |
+//!
+//! Around those sit [`staging`] (§7.1.1 chunked-broadcast ingestion, plus
+//! a checksummed retransmitting frame protocol), [`netmodel`] (analytic
+//! network timing), and [`sse_state`]/[`plan_common`] (per-rank tensor
+//! state and result assembly).
+//!
+//! The measured side of Tables 4/5 comes out of the [`VolumeLedger`]
+//! every operation records into; the analytic side lives in `omen-perf`,
+//! and `bench/table45_comm --execute` joins the two on a live Born loop.
+//!
+//! ## A two-rank world by hand
+//!
+//! [`run_world`] spawns rank threads over a [`channel_world`] and is what
+//! the plans use; the pieces compose individually too — any
+//! [`Transport`] endpoint wraps into a [`Comm`]:
+//!
+//! ```
+//! use omen_comm::{channel_world, Comm, OpKind, VolumeLedger};
+//! use omen_linalg::c64;
+//!
+//! let ledger = VolumeLedger::new(2);
+//! let mut world = channel_world(2); // one ChannelTransport per rank
+//! let c1 = Comm::from_transport(Box::new(world.pop().unwrap()), ledger.clone());
+//! let c0 = Comm::from_transport(Box::new(world.pop().unwrap()), ledger.clone());
+//! std::thread::scope(|s| {
+//!     s.spawn(move || c0.send(1, /*tag*/ 7, vec![c64(1.0, -1.0); 4]));
+//!     s.spawn(move || assert_eq!(c1.recv(0, 7), vec![c64(1.0, -1.0); 4]));
+//! });
+//! // 4 complex numbers × 16 bytes, accounted byte-exactly.
+//! assert_eq!(ledger.bytes(OpKind::PointToPoint), 64);
+//! ```
+//!
+//! Swapping [`ChannelTransport`] for a socket- or shared-memory-backed
+//! implementation changes nothing above the [`Transport`] trait: the
+//! plans, the driver's `ExecutorKind::Distributed`, and the ledgers are
+//! deployment-agnostic.
 
 pub mod dace_plan;
 pub mod mpi_sim;
 pub mod netmodel;
 pub mod omen_plan;
 pub mod plan_common;
+pub mod plan_kernel;
 pub mod sse_state;
 pub mod staging;
 pub mod topology;
+pub mod transport;
 pub mod volume;
 
 pub use dace_plan::{run_dace_plan, tile_atoms_with_halo, tile_d_entries, tile_pi_entries};
@@ -21,9 +69,12 @@ pub use mpi_sim::{payload_bytes, run_world, Comm};
 pub use netmodel::Network;
 pub use omen_plan::run_omen_plan;
 pub use plan_common::{CombinedG, PlanResult, RankSse};
+pub use plan_kernel::{CommPlan, PlanKernel};
 pub use sse_state::{LocalD, LocalG};
 pub use staging::{
-    decode_frame, encode_frame, pack_bytes, stage_material, unpack_bytes, FrameError, StagingModel,
+    decode_frame, encode_frame, pack_bytes, recv_framed, send_framed, stage_material, unpack_bytes,
+    FrameError, StagingModel,
 };
-pub use topology::{split_range, DaceTiling, OmenGrid};
+pub use topology::{grid_for_ranks, split_range, tiling_for_ranks, DaceTiling, OmenGrid};
+pub use transport::{channel_world, ChannelTransport, Envelope, Transport};
 pub use volume::{OpKind, VolumeLedger};

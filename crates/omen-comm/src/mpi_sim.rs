@@ -1,22 +1,26 @@
-//! In-process simulated MPI: rank threads exchanging complex payloads over
-//! crossbeam channels, with every byte accounted in a [`VolumeLedger`].
+//! In-process simulated MPI: rank threads exchanging complex payloads
+//! through a pluggable [`Transport`], with every byte accounted in a
+//! [`VolumeLedger`].
 //!
 //! The point is *not* to model network timing (that is `netmodel`) but to
 //! execute the paper's two SSE communication schemes for real — same data,
-//! same collectives, exact measured volumes — at laptop rank counts.
+//! same collectives, exact measured volumes — at laptop rank counts. This
+//! is the executable counterpart of §6.1 (arXiv 1912.10024): the
+//! collectives here (`bcast`, `reduce_sum`, `alltoallv`, `barrier`) are
+//! the exact operations the Table 4/5 volume models count, and
+//! [`run_world`] is the stand-in for the 10 000-node Piz Daint allocation.
+//!
+//! Delivery mechanics live behind the [`Transport`] trait
+//! ([`ChannelTransport`](crate::transport::ChannelTransport) today);
+//! `Comm` adds the MPI-shaped semantics on top: tag matching with an
+//! out-of-order pending buffer, linear-fan collectives, and ledger
+//! accounting where self-traffic is free.
 
+use crate::transport::{Envelope, Transport};
 use crate::volume::{OpKind, VolumeLedger};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use omen_linalg::C64;
 use std::cell::RefCell;
 use std::collections::VecDeque;
-
-/// One message between ranks.
-struct Message {
-    src: usize,
-    tag: u64,
-    payload: Vec<C64>,
-}
 
 /// Bytes of a complex payload.
 #[inline]
@@ -26,24 +30,31 @@ pub fn payload_bytes(len: usize) -> u64 {
 
 /// A rank's communicator handle.
 pub struct Comm {
-    rank: usize,
-    size: usize,
-    senders: Vec<Sender<Message>>,
-    receiver: Receiver<Message>,
+    transport: Box<dyn Transport>,
     /// Out-of-order messages awaiting a matching `recv`.
-    pending: RefCell<VecDeque<Message>>,
+    pending: RefCell<VecDeque<Envelope>>,
     ledger: VolumeLedger,
 }
 
 impl Comm {
+    /// Wraps a transport endpoint in a communicator that records every
+    /// off-rank byte in `ledger`.
+    pub fn from_transport(transport: Box<dyn Transport>, ledger: VolumeLedger) -> Comm {
+        Comm {
+            transport,
+            pending: RefCell::new(VecDeque::new()),
+            ledger,
+        }
+    }
+
     /// This rank's id.
     pub fn rank(&self) -> usize {
-        self.rank
+        self.transport.rank()
     }
 
     /// World size.
     pub fn size(&self) -> usize {
-        self.size
+        self.transport.size()
     }
 
     /// The shared ledger.
@@ -57,17 +68,11 @@ impl Comm {
     }
 
     fn send_kind(&self, dest: usize, tag: u64, payload: Vec<C64>, kind: OpKind, new_call: bool) {
-        if dest != self.rank {
+        if dest != self.rank() {
             self.ledger
-                .record(kind, self.rank, payload_bytes(payload.len()), new_call);
+                .record(kind, self.rank(), payload_bytes(payload.len()), new_call);
         }
-        self.senders[dest]
-            .send(Message {
-                src: self.rank,
-                tag,
-                payload,
-            })
-            .expect("receiver alive");
+        self.transport.send(dest, tag, payload);
     }
 
     /// Receives the message with `(src, tag)`, buffering mismatches.
@@ -80,7 +85,7 @@ impl Comm {
             }
         }
         loop {
-            let msg = self.receiver.recv().expect("sender alive");
+            let msg = self.transport.recv_any();
             if msg.src == src && msg.tag == tag {
                 return msg.payload;
             }
@@ -91,12 +96,12 @@ impl Comm {
     /// Barrier: gather-to-0 then release (payload-free).
     pub fn barrier(&self, tag: u64) {
         self.ledger
-            .record(OpKind::Barrier, self.rank, 0, self.rank == 0);
-        if self.rank == 0 {
-            for r in 1..self.size {
+            .record(OpKind::Barrier, self.rank(), 0, self.rank() == 0);
+        if self.rank() == 0 {
+            for r in 1..self.size() {
                 let _ = self.recv(r, tag);
             }
-            for r in 1..self.size {
+            for r in 1..self.size() {
                 self.send_kind(r, tag, Vec::new(), OpKind::Barrier, false);
             }
         } else {
@@ -108,15 +113,15 @@ impl Comm {
     /// Broadcast from `root`: linear fan-out (volume `(P−1)·n`, the model
     /// §6.1.2 uses for the D^≷ distribution).
     pub fn bcast(&self, root: usize, tag: u64, data: &mut Vec<C64>) {
-        if self.rank == root {
-            for r in 0..self.size {
+        if self.rank() == root {
+            for r in 0..self.size() {
                 if r != root {
                     self.send_kind(
                         r,
                         tag,
                         data.clone(),
                         OpKind::Bcast,
-                        r == (root + 1) % self.size,
+                        r == (root + 1) % self.size(),
                     );
                 }
             }
@@ -128,8 +133,8 @@ impl Comm {
     /// Sum-reduction to `root` (each non-root sends its buffer: volume
     /// `(P−1)·n`).
     pub fn reduce_sum(&self, root: usize, tag: u64, data: &mut [C64]) {
-        if self.rank == root {
-            for r in 0..self.size {
+        if self.rank() == root {
+            for r in 0..self.size() {
                 if r != root {
                     let part = self.recv(r, tag);
                     assert_eq!(part.len(), data.len(), "reduce length mismatch");
@@ -144,7 +149,7 @@ impl Comm {
                 tag,
                 data.to_vec(),
                 OpKind::Reduce,
-                self.rank == (root + 1) % self.size,
+                self.rank() == (root + 1) % self.size(),
             );
         }
     }
@@ -152,10 +157,10 @@ impl Comm {
     /// Personalized all-to-all: rank `r` receives `sendbufs[r]` from every
     /// rank. One logical `MPI_Alltoallv` invocation (counted at rank 0).
     pub fn alltoallv(&self, tag: u64, sendbufs: Vec<Vec<C64>>) -> Vec<Vec<C64>> {
-        assert_eq!(sendbufs.len(), self.size, "need one buffer per rank");
-        let mut out: Vec<Vec<C64>> = (0..self.size).map(|_| Vec::new()).collect();
+        assert_eq!(sendbufs.len(), self.size(), "need one buffer per rank");
+        let mut out: Vec<Vec<C64>> = (0..self.size()).map(|_| Vec::new()).collect();
         for (r, buf) in sendbufs.into_iter().enumerate() {
-            if r == self.rank {
+            if r == self.rank() {
                 out[r] = buf;
             } else {
                 self.send_kind(
@@ -163,12 +168,12 @@ impl Comm {
                     tag,
                     buf,
                     OpKind::Alltoall,
-                    self.rank == 0 && r == (self.rank + 1) % self.size,
+                    self.rank() == 0 && r == (self.rank() + 1) % self.size(),
                 );
             }
         }
         for (r, slot) in out.iter_mut().enumerate() {
-            if r != self.rank {
+            if r != self.rank() {
                 *slot = self.recv(r, tag);
             }
         }
@@ -177,40 +182,25 @@ impl Comm {
 }
 
 /// Runs `f` on `nranks` simulated ranks (one OS thread each) and returns
-/// the per-rank results in rank order.
+/// the per-rank results in rank order. Each rank gets a
+/// [`ChannelTransport`](crate::transport::ChannelTransport) endpoint of a
+/// fully-connected in-process world wrapped in a [`Comm`] sharing
+/// `ledger`.
 pub fn run_world<R, F>(nranks: usize, ledger: VolumeLedger, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(Comm) -> R + Sync,
 {
     assert!(nranks >= 1);
-    let mut senders = Vec::with_capacity(nranks);
-    let mut receivers = Vec::with_capacity(nranks);
-    for _ in 0..nranks {
-        let (tx, rx) = unbounded();
-        senders.push(tx);
-        receivers.push(rx);
-    }
+    let world = crate::transport::channel_world(nranks);
     let mut results: Vec<Option<R>> = (0..nranks).map(|_| None).collect();
     std::thread::scope(|s| {
-        let handles: Vec<_> = receivers
+        let handles: Vec<_> = world
             .into_iter()
-            .enumerate()
-            .map(|(rank, receiver)| {
-                let senders = senders.clone();
+            .map(|transport| {
                 let ledger = ledger.clone();
                 let f = &f;
-                s.spawn(move || {
-                    let comm = Comm {
-                        rank,
-                        size: nranks,
-                        senders,
-                        receiver,
-                        pending: RefCell::new(VecDeque::new()),
-                        ledger,
-                    };
-                    f(comm)
-                })
+                s.spawn(move || f(Comm::from_transport(Box::new(transport), ledger)))
             })
             .collect();
         for (rank, h) in handles.into_iter().enumerate() {
@@ -351,5 +341,31 @@ mod tests {
         });
         assert_eq!(results[0], c64(1.0, 1.0));
         assert_eq!(ledger.total_bytes(), 0, "self-traffic is free");
+    }
+
+    /// A custom transport plugs straight into `Comm`: collectives and
+    /// ledger accounting are transport-agnostic.
+    #[test]
+    fn custom_transport_behind_comm() {
+        use crate::transport::channel_world;
+        let p = 3;
+        let ledger = VolumeLedger::new(p);
+        let comms: Vec<Comm> = channel_world(p)
+            .into_iter()
+            .map(|t| Comm::from_transport(Box::new(t), ledger.clone()))
+            .collect();
+        std::thread::scope(|s| {
+            for comm in comms {
+                s.spawn(move || {
+                    let mut data = vec![c64(comm.rank() as f64, 0.0); 2];
+                    comm.reduce_sum(0, 4, &mut data);
+                    if comm.rank() == 0 {
+                        assert_eq!(data[0], c64(3.0, 0.0));
+                    }
+                });
+            }
+        });
+        assert_eq!(ledger.calls(OpKind::Reduce), 1);
+        assert_eq!(ledger.bytes(OpKind::Reduce), 2 * 2 * 16);
     }
 }

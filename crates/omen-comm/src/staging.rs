@@ -188,6 +188,43 @@ pub fn decode_frame(frame: &[C64]) -> Result<(u32, Vec<u8>), FrameError> {
     Ok((kind, payload))
 }
 
+/// Reliable framed point-to-point send: encodes `(kind, payload)` as a
+/// checksummed frame ([`encode_frame`]), ships it to `dest` on `tag`, and
+/// waits for the receiver's verdict on `tag + 1` — retransmitting until
+/// the frame arrives intact. The retry loop is what makes transport-level
+/// corruption (e.g. an injected `FrameCorrupt` fault) *recoverable*
+/// instead of fatal: damage is detected by the checksum on the far side
+/// and the frame is simply sent again.
+///
+/// Panics after 100 rejected attempts — at that point the damage is
+/// deterministic, not transient, and retrying cannot help.
+pub fn send_framed(comm: &Comm, dest: usize, tag: u64, kind: u32, payload: &[u8]) {
+    for _ in 0..100 {
+        comm.send(dest, tag, encode_frame(kind, payload));
+        let ack = comm.recv(dest, tag + 1);
+        if ack.first().is_some_and(|a| a.re == 1.0) {
+            return;
+        }
+    }
+    panic!("frame to rank {dest} rejected 100 times; corruption is not transient");
+}
+
+/// Receiving side of [`send_framed`]: decodes frames from `src` on `tag`,
+/// acking each on `tag + 1` (`1.0` = intact, `0.0` = resend), until one
+/// survives the checksum. Returns the message kind and payload bytes.
+pub fn recv_framed(comm: &Comm, src: usize, tag: u64) -> (u32, Vec<u8>) {
+    loop {
+        let frame = comm.recv(src, tag);
+        match decode_frame(&frame) {
+            Ok((kind, payload)) => {
+                comm.send(src, tag + 1, vec![c64(1.0, 0.0)]);
+                return (kind, payload);
+            }
+            Err(_) => comm.send(src, tag + 1, vec![c64(0.0, 0.0)]),
+        }
+    }
+}
+
 /// Executable staging: `root` holds the serialized material file; all
 /// ranks return the full byte vector after a chunked broadcast.
 pub fn stage_material(
@@ -283,6 +320,23 @@ mod tests {
         let mut frame3 = encode_frame(9, &payload);
         frame3[0].re += 1.0;
         assert_eq!(decode_frame(&frame3), Err(FrameError::Corrupt));
+    }
+
+    #[test]
+    fn framed_send_recv_round_trip() {
+        let payload: Vec<u8> = (0..500).map(|i| (i * 13 % 251) as u8).collect();
+        let ledger = VolumeLedger::new(2);
+        let results = run_world(2, ledger, |comm| {
+            if comm.rank() == 0 {
+                send_framed(&comm, 1, 70, 3, &payload);
+                Vec::new()
+            } else {
+                let (kind, got) = recv_framed(&comm, 0, 70);
+                assert_eq!(kind, 3);
+                got
+            }
+        });
+        assert_eq!(results[1], payload);
     }
 
     #[test]

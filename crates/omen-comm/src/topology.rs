@@ -142,6 +142,39 @@ impl DaceTiling {
     }
 }
 
+/// Deterministically factors `ranks` into a `gk × ge` [`OmenGrid`] over
+/// an `nk × ne` point set, preferring the most momentum groups (the
+/// paper assigns whole `kz` points to process groups first and splits
+/// energy within each group). `None` when no factorization fits — e.g.
+/// a prime `ranks` larger than both `nk` and `ne`.
+pub fn grid_for_ranks(nk: usize, ne: usize, ranks: usize) -> Option<OmenGrid> {
+    if ranks == 0 {
+        return None;
+    }
+    for gk in (1..=nk.min(ranks)).rev() {
+        if ranks.is_multiple_of(gk) && ranks / gk <= ne {
+            return Some(OmenGrid::new(gk, ranks / gk, nk, ne));
+        }
+    }
+    None
+}
+
+/// Deterministically factors `ranks` into a `ta × te` [`DaceTiling`] of
+/// `na` atoms × `ne` energies, preferring the most atom tiles (the
+/// data-centric scheme tiles by atom position first; Fig. 5 right).
+/// `None` when no factorization fits.
+pub fn tiling_for_ranks(na: usize, ne: usize, ranks: usize) -> Option<DaceTiling> {
+    if ranks == 0 {
+        return None;
+    }
+    for ta in (1..=na.min(ranks)).rev() {
+        if ranks.is_multiple_of(ta) && ranks / ta <= ne {
+            return Some(DaceTiling::new(ta, ranks / ta, na, ne));
+        }
+    }
+    None
+}
+
 /// Balanced split of `n` items into `parts`; part `i`'s `[lo, hi)`.
 pub fn split_range(n: usize, parts: usize, i: usize) -> (usize, usize) {
     let base = n / parts;
@@ -211,6 +244,42 @@ mod tests {
         }
         let (r, c) = t.tile_of(t.rank_of(2, 1));
         assert_eq!((r, c), (2, 1));
+    }
+
+    #[test]
+    fn grid_for_ranks_prefers_momentum_groups() {
+        // tiny(): nk = 2, ne = 24.
+        assert_eq!(grid_for_ranks(2, 24, 1), Some(OmenGrid::new(1, 1, 2, 24)));
+        assert_eq!(grid_for_ranks(2, 24, 2), Some(OmenGrid::new(2, 1, 2, 24)));
+        assert_eq!(grid_for_ranks(2, 24, 4), Some(OmenGrid::new(2, 2, 2, 24)));
+        // More ranks than points in any factorization: no grid.
+        assert_eq!(grid_for_ranks(2, 3, 7), None);
+        assert_eq!(grid_for_ranks(2, 24, 0), None);
+        // Every returned grid has exactly `ranks` ranks.
+        for ranks in 1..=8 {
+            if let Some(g) = grid_for_ranks(3, 10, ranks) {
+                assert_eq!(g.nranks(), ranks);
+            }
+        }
+    }
+
+    #[test]
+    fn tiling_for_ranks_prefers_atom_tiles() {
+        assert_eq!(
+            tiling_for_ranks(16, 24, 4),
+            Some(DaceTiling::new(4, 1, 16, 24))
+        );
+        assert_eq!(
+            tiling_for_ranks(3, 24, 4),
+            Some(DaceTiling::new(2, 2, 3, 24))
+        );
+        assert_eq!(tiling_for_ranks(1, 2, 5), None);
+        assert_eq!(tiling_for_ranks(16, 24, 0), None);
+        for ranks in 1..=12 {
+            if let Some(t) = tiling_for_ranks(6, 8, ranks) {
+                assert_eq!(t.nranks(), ranks);
+            }
+        }
     }
 
     #[test]

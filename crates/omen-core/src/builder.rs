@@ -11,6 +11,7 @@
 //! [`Simulation::new`]: crate::driver::Simulation::new
 
 use crate::executor::ExecutorKind;
+use omen_comm::{grid_for_ranks, CommPlan};
 use omen_device::DeviceConfig;
 use omen_linalg::Normalization;
 use omen_rgf::CacheMode;
@@ -77,6 +78,10 @@ pub struct SimulationConfig {
     pub kernel: KernelVariant,
     /// GF-phase point executor.
     pub executor: ExecutorKind,
+    /// SSE communication scheme used by [`ExecutorKind::Distributed`]
+    /// (ignored by every other executor): OMEN's round-based replication
+    /// or the data-centric `Alltoallv` redistribution.
+    pub comm_plan: CommPlan,
     /// GF-phase caching policy (§7.1.2).
     pub cache_mode: CacheMode,
     /// Electron broadening (eV).
@@ -126,6 +131,7 @@ impl SimulationConfig {
             mixing: 0.6,
             kernel: KernelVariant::Transformed,
             executor: ExecutorKind::default(),
+            comm_plan: CommPlan::Omen,
             cache_mode: CacheMode::CacheBcSpec,
             eta: 1e-5,
             eta_ph: 2e-5,
@@ -232,6 +238,18 @@ impl SimulationConfig {
         if let ExecutorKind::Partitioned { ranks: 0 } = self.executor {
             return Err(ConfigError::NoRanks);
         }
+        if let ExecutorKind::Distributed { ranks } = self.executor {
+            if ranks == 0 {
+                return Err(ConfigError::NoRanks);
+            }
+            if grid_for_ranks(self.nk, self.ne, ranks).is_none() {
+                return Err(ConfigError::RanksDontFit {
+                    ranks,
+                    nk: self.nk,
+                    ne: self.ne,
+                });
+            }
+        }
         if !(self.warm_divergence_threshold > 0.0) || !self.warm_divergence_threshold.is_finite() {
             return Err(ConfigError::InvalidDivergenceBound {
                 threshold: self.warm_divergence_threshold,
@@ -315,8 +333,18 @@ pub enum ConfigError {
         /// Ramp end (fraction).
         off: f64,
     },
-    /// Partitioned executor with zero ranks.
+    /// Rank-decomposed executor with zero ranks.
     NoRanks,
+    /// No `gk × ge` process grid with exactly `ranks` ranks fits the
+    /// `nk × ne` point set (e.g. a prime rank count exceeding both).
+    RanksDontFit {
+        /// Requested rank count.
+        ranks: usize,
+        /// Momentum points.
+        nk: usize,
+        /// Energy points.
+        ne: usize,
+    },
     /// Warm-divergence threshold not a positive finite number.
     InvalidDivergenceBound {
         /// Offending value.
@@ -366,7 +394,10 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "potential ramp must satisfy 0 ≤ on < off ≤ 1, got ({on}, {off})"
             ),
-            ConfigError::NoRanks => write!(f, "partitioned executor needs ≥ 1 rank"),
+            ConfigError::NoRanks => write!(f, "rank-decomposed executor needs ≥ 1 rank"),
+            ConfigError::RanksDontFit { ranks, nk, ne } => {
+                write!(f, "no {ranks}-rank process grid fits nk = {nk}, ne = {ne}")
+            }
             ConfigError::InvalidDivergenceBound { threshold } => write!(
                 f,
                 "warm-divergence threshold must be positive and finite, got {threshold}"
@@ -457,6 +488,11 @@ impl SimulationBuilder {
     setter!(
         /// Selects the GF-phase point executor.
         executor: ExecutorKind
+    );
+    setter!(
+        /// Selects the SSE communication scheme for
+        /// [`ExecutorKind::Distributed`].
+        comm_plan: CommPlan
     );
     setter!(
         /// Selects the GF-phase caching policy.
@@ -615,6 +651,16 @@ mod tests {
         check(
             &|c| c.executor = ExecutorKind::Partitioned { ranks: 0 },
             |e| matches!(e, ConfigError::NoRanks),
+        );
+        check(
+            &|c| c.executor = ExecutorKind::Distributed { ranks: 0 },
+            |e| matches!(e, ConfigError::NoRanks),
+        );
+        // tiny() has nk = 2, ne = 24: 49 ranks admits no grid (49 = 7²,
+        // gk ∈ {1}, ge = 49 > 24).
+        check(
+            &|c| c.executor = ExecutorKind::Distributed { ranks: 49 },
+            |e| matches!(e, ConfigError::RanksDontFit { .. }),
         );
         check(&|c| c.warm_divergence_threshold = f64::NAN, |e| {
             matches!(e, ConfigError::InvalidDivergenceBound { .. })

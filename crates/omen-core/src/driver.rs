@@ -14,8 +14,8 @@
 
 use crate::builder::{ConfigError, SimulationConfig};
 use crate::executor::{
-    grid_points, DagExecutor, ExecutorKind, PartitionedExecutor, PointExecutor, RayonExecutor,
-    SerialExecutor,
+    grid_points, DagExecutor, DistributedExecutor, ExecutorKind, PartitionedExecutor,
+    PointExecutor, RayonExecutor, SerialExecutor,
 };
 use crate::grids::{EnergyGrid, FrequencyGrid, MomentumGrid};
 use crate::observables::{
@@ -333,7 +333,15 @@ impl Simulation {
         let potential = device.linear_potential(vds, config.ramp.0, config.ramp.1);
         let (sigma_l, sigma_g, pi_l, pi_g) =
             zero_tensors(&device, config.nk, config.ne, config.nk, config.nw);
-        let kernel = config.kernel.to_kernel();
+        // The distributed executor pairs with the plan kernel: the SSE
+        // phase *is* the inter-rank exchange, so the configured kernel
+        // variant is superseded by the configured communication plan.
+        let kernel: Box<dyn SseKernel> = match config.executor {
+            ExecutorKind::Distributed { ranks } => {
+                Box::new(omen_comm::PlanKernel::new(config.comm_plan, ranks))
+            }
+            _ => config.kernel.to_kernel(),
+        };
         let caching = config.cache_mode != CacheMode::NoCache;
         let el_bc = caching.then(|| Arc::new(BoundaryCache::new(config.nk * config.ne)));
         let ph_bc = caching.then(|| Arc::new(BoundaryCache::new(config.nk * config.nw)));
@@ -614,6 +622,9 @@ impl Simulation {
                 self.gf_phase_with(&PartitionedExecutor::new(ranks))
             }
             ExecutorKind::Dag { threads } => self.gf_phase_with(&DagExecutor::new(threads)),
+            ExecutorKind::Distributed { ranks } => {
+                self.gf_phase_with(&DistributedExecutor::new(ranks))
+            }
         }
     }
 
@@ -757,6 +768,9 @@ impl Simulation {
                 self.iterate_with(&PartitionedExecutor::new(ranks))
             }
             ExecutorKind::Dag { threads } => self.iterate_with(&DagExecutor::new(threads)),
+            ExecutorKind::Distributed { ranks } => {
+                self.iterate_with(&DistributedExecutor::new(ranks))
+            }
         }
     }
 
@@ -859,6 +873,7 @@ impl Simulation {
             ExecutorKind::Rayon { threads } => self.run_with(&RayonExecutor::new(threads)),
             ExecutorKind::Partitioned { ranks } => self.run_with(&PartitionedExecutor::new(ranks)),
             ExecutorKind::Dag { threads } => self.run_with(&DagExecutor::new(threads)),
+            ExecutorKind::Distributed { ranks } => self.run_with(&DistributedExecutor::new(ranks)),
         }
     }
 

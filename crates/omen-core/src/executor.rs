@@ -232,6 +232,73 @@ impl PointExecutor for PartitionedExecutor {
     }
 }
 
+/// Rank-decomposed executor for the *distributed* Born loop: each
+/// rank-thread owns a contiguous point partition (the same
+/// [`omen_comm::split_range`] decomposition the communication plans use
+/// for their initial `G^≷` distribution) and solves it to completion.
+///
+/// Unlike [`PartitionedExecutor`], which merges whole per-rank
+/// accumulators (reassociating the reduction), contributions here land in
+/// per-point slots and fold in global point order — so the GF phase is
+/// **bit-identical** to [`SerialExecutor`] at every rank count. That is
+/// what lets `ExecutorKind::Distributed` pin the full Born loop bitwise
+/// against serial while the SSE phase really exchanges data through
+/// `omen-comm`'s plans (see `omen_comm::PlanKernel`).
+#[derive(Clone, Copy, Debug)]
+pub struct DistributedExecutor {
+    /// Simulated rank count.
+    pub ranks: usize,
+}
+
+impl DistributedExecutor {
+    /// An executor over `ranks` rank-threads. `ranks = 0` is clamped to
+    /// one at run time (the builder rejects it with
+    /// [`crate::builder::ConfigError::NoRanks`]).
+    pub fn new(ranks: usize) -> Self {
+        DistributedExecutor { ranks }
+    }
+}
+
+impl PointExecutor for DistributedExecutor {
+    fn name(&self) -> &'static str {
+        "distributed"
+    }
+
+    fn run<O, W, F>(&self, points: &[GridPoint], make_worker: F, mut acc: O) -> O
+    where
+        O: Observables,
+        W: FnMut(GridPoint) -> O::Contribution + Send,
+        F: Fn() -> W + Sync,
+    {
+        let ranks = self.ranks.min(points.len()).max(1);
+        if ranks <= 1 {
+            return SerialExecutor.run(points, make_worker, acc);
+        }
+        let mut slots: Vec<Option<O::Contribution>> = Vec::with_capacity(points.len());
+        slots.resize_with(points.len(), || None);
+        std::thread::scope(|s| {
+            let mut rest: &mut [Option<O::Contribution>] = &mut slots;
+            for rank in 0..ranks {
+                let (lo, hi) = split_range(points.len(), ranks, rank);
+                let (chunk, tail) = rest.split_at_mut(hi - lo);
+                rest = tail;
+                let make_worker = &make_worker;
+                s.spawn(move || {
+                    let mut worker = make_worker();
+                    for (slot, &p) in chunk.iter_mut().zip(&points[lo..hi]) {
+                        *slot = Some(worker(p));
+                    }
+                });
+            }
+        });
+        // Deterministic fold in global point order.
+        for c in slots.into_iter().flatten() {
+            acc.accumulate(&c);
+        }
+        acc
+    }
+}
+
 /// Task-DAG executor: the sweep lowered through `omen-sched`.
 ///
 /// Where [`RayonExecutor`] claims points from an atomic counter, this
@@ -338,6 +405,13 @@ pub enum ExecutorKind {
         /// Scheduler worker threads (0 = all available cores).
         threads: usize,
     },
+    /// [`DistributedExecutor`] with the given rank count: the full Born
+    /// loop runs rank-decomposed, with the SSE phase exchanging data
+    /// through a communication plan (`omen_comm::PlanKernel`).
+    Distributed {
+        /// Simulated rank count.
+        ranks: usize,
+    },
 }
 
 impl Default for ExecutorKind {
@@ -354,6 +428,7 @@ impl ExecutorKind {
             ExecutorKind::Rayon { .. } => "rayon",
             ExecutorKind::Partitioned { .. } => "partitioned",
             ExecutorKind::Dag { .. } => "dag",
+            ExecutorKind::Distributed { .. } => "distributed",
         }
     }
 }
@@ -420,6 +495,7 @@ mod tests {
             run_with(&RayonExecutor::new(4), &points).visited,
             run_with(&PartitionedExecutor::new(5), &points).visited,
             run_with(&DagExecutor::new(4), &points).visited,
+            run_with(&DistributedExecutor::new(4), &points).visited,
         ] {
             let mut sorted = visited.clone();
             sorted.sort_unstable();
@@ -462,10 +538,27 @@ mod tests {
     }
 
     #[test]
+    fn distributed_order_is_bitwise_serial() {
+        let points = grid_points(4, 9);
+        let serial = run_with(&SerialExecutor, &points);
+        for ranks in [1, 2, 3, 4, 36] {
+            let dist = run_with(&DistributedExecutor::new(ranks), &points);
+            // Slot-ordered folding: same visit order, hence bit-equal sums.
+            assert_eq!(serial.visited, dist.visited, "ranks = {ranks}");
+            assert_eq!(serial.sum.to_bits(), dist.sum.to_bits());
+        }
+    }
+
+    #[test]
     fn degenerate_sizes_handled() {
         let empty: Vec<GridPoint> = Vec::new();
         assert_eq!(run_with(&RayonExecutor::new(8), &empty).visited.len(), 0);
+        assert_eq!(
+            run_with(&DistributedExecutor::new(8), &empty).visited.len(),
+            0
+        );
         let one = grid_points(1, 1);
         assert_eq!(run_with(&PartitionedExecutor::new(7), &one).visited, one);
+        assert_eq!(run_with(&DistributedExecutor::new(7), &one).visited, one);
     }
 }

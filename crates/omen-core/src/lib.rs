@@ -38,13 +38,14 @@ pub use driver::{
     SpectralData, WarmStartData, WarmStartError,
 };
 pub use executor::{
-    grid_points, DagExecutor, ExecutorKind, GridPoint, PartitionedExecutor, PointExecutor,
-    RayonExecutor, SerialExecutor,
+    grid_points, DagExecutor, DistributedExecutor, ExecutorKind, GridPoint, PartitionedExecutor,
+    PointExecutor, RayonExecutor, SerialExecutor,
 };
 pub use grids::{EnergyGrid, FrequencyGrid, MomentumGrid};
 pub use observables::{
     ElectronContribution, ElectronObservables, Observables, PhononContribution, PhononObservables,
 };
+pub use omen_comm::{CommPlan, PlanKernel};
 pub use omen_rgf::BoundaryCacheStats;
 pub use state::{
     extract_electron_blocks, extract_phonon_blocks, pi_blocks_for_point, sigma_blocks_for_point,

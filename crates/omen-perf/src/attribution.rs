@@ -30,6 +30,11 @@ pub struct AttributionModel {
     /// `(Ta, TE)` tiling of the DaCe-scheme leg (phase
     /// `comm_dace_plan`), when one ran.
     pub dace_tiling: Option<(usize, usize)>,
+    /// How many times each enabled comm leg executed inside its phase
+    /// windows: 1 for a single-shot exchange on converged tensors, the
+    /// Born iteration count when the plan kernel runs every iteration
+    /// (`ExecutorKind::Distributed`).
+    pub comm_execs: u64,
     /// GF/SSE stream-overlap leg: the Table 6 pipeline model plus the
     /// measured wall seconds of the overlapped sweep, when one ran.
     pub stream: Option<StreamAttribution>,
@@ -120,11 +125,12 @@ pub fn attribute(snap: &TraceSnapshot, model: &AttributionModel) -> AttributionR
             wall_s: secs("sse_phase"),
         },
     ];
+    let execs = model.comm_execs as f64;
     if let Some(ranks) = model.omen_ranks {
         rows.push(StageRow {
             stage: "comm(omen)",
             measured: snap.phase_delta("comm_omen_plan", Counter::BytesCommunicated) as f64,
-            predicted: omen_volume(&model.params, ranks),
+            predicted: omen_volume(&model.params, ranks) * execs,
             unit: "bytes",
             wall_s: secs("comm_omen_plan"),
         });
@@ -133,7 +139,7 @@ pub fn attribute(snap: &TraceSnapshot, model: &AttributionModel) -> AttributionR
         rows.push(StageRow {
             stage: "comm(dace)",
             measured: snap.phase_delta("comm_dace_plan", Counter::BytesCommunicated) as f64,
-            predicted: dace_volume_with(&model.params, ta, te),
+            predicted: dace_volume_with(&model.params, ta, te) * execs,
             unit: "bytes",
             wall_s: secs("comm_dace_plan"),
         });
@@ -219,6 +225,7 @@ mod tests {
             iterations: 2,
             omen_ranks: Some(4),
             dace_tiling: Some((2, 2)),
+            comm_execs: 1,
             stream: None,
         };
         // A synthetic trace that measured exactly half the predicted GF
@@ -286,6 +293,7 @@ mod tests {
             iterations: 1,
             omen_ranks: None,
             dace_tiling: None,
+            comm_execs: 1,
             stream: None,
         };
         let report = attribute(&TraceSnapshot::default(), &model);
@@ -308,6 +316,7 @@ mod tests {
             iterations: 4,
             omen_ranks: None,
             dace_tiling: None,
+            comm_execs: 1,
             stream: Some(StreamAttribution {
                 model: stream,
                 wall_s: 9.0,

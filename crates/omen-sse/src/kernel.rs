@@ -91,6 +91,17 @@ impl KernelState {
     pub fn reset_history(&mut self) {
         self.ran = [false, false];
     }
+
+    /// Advances the double buffer and hands out the fresh output slot,
+    /// marking it as produced. For kernel implementations that assemble
+    /// their output elsewhere (e.g. a distributed communication-plan
+    /// kernel gathering rank contributions) and then deposit it here so
+    /// [`output_delta`](Self::output_delta) keeps working.
+    pub fn advance_output(&mut self) -> &mut SseOutput {
+        let cur = self.flip();
+        self.ran[cur] = true;
+        &mut self.out[cur]
+    }
 }
 
 /// One scattering-self-energy evaluation strategy.

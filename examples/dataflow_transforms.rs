@@ -161,6 +161,7 @@ fn main() {
         iterations: tasks as u64,
         omen_ranks: None,
         dace_tiling: None,
+        comm_execs: 1,
         stream: Some(StreamAttribution {
             model,
             wall_s: overlap_secs,

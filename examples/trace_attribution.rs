@@ -73,6 +73,8 @@ fn main() {
         iterations,
         omen_ranks: Some(grid.nranks()),
         dace_tiling: Some((tiling.ta, tiling.te)),
+        // The comm leg above ran each plan once on the converged tensors.
+        comm_execs: 1,
         stream: None,
     };
     let report = attribute(&snap, &model);

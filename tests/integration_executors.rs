@@ -6,8 +6,8 @@
 //! near machine precision.
 
 use dace_omen::core::{
-    DagExecutor, ExecutorKind, PartitionedExecutor, RayonExecutor, SerialExecutor, Simulation,
-    SimulationConfig, SimulationResult,
+    CommPlan, DagExecutor, ExecutorKind, PartitionedExecutor, PlanKernel, RayonExecutor,
+    SerialExecutor, Simulation, SimulationConfig, SimulationResult,
 };
 
 fn run_with_kind(kind: ExecutorKind) -> SimulationResult {
@@ -165,6 +165,104 @@ fn explicit_executors_match_config_dispatch() {
     assert_eq!(serial.current().to_bits(), dag.current().to_bits());
     let (s, p) = (serial.current(), part.current());
     assert!(((s - p) / s).abs() < 1e-9, "partitioned {p} vs serial {s}");
+}
+
+fn run_distributed(plan: CommPlan, ranks: usize) -> SimulationResult {
+    let mut cfg = SimulationConfig::tiny();
+    cfg.max_iterations = 4;
+    cfg.executor = ExecutorKind::Distributed { ranks };
+    cfg.comm_plan = plan;
+    Simulation::new(cfg)
+        .expect("valid config")
+        .run()
+        .expect("run succeeds")
+}
+
+/// Serial GF phase driving the same communication-plan SSE kernel: the
+/// reference the distributed engine must reproduce *bitwise* (both run
+/// the identical plan arithmetic; only the GF-phase threading differs,
+/// and slot-ordered folding makes that invisible).
+fn run_serial_plan_baseline(plan: CommPlan, ranks: usize) -> SimulationResult {
+    let mut cfg = SimulationConfig::tiny();
+    cfg.max_iterations = 4;
+    cfg.executor = ExecutorKind::Serial;
+    let mut sim = Simulation::new(cfg).expect("valid config");
+    sim.set_kernel(Box::new(PlanKernel::new(plan, ranks)));
+    sim.run().expect("run succeeds")
+}
+
+#[test]
+fn distributed_installs_the_plan_kernel() {
+    let mut cfg = SimulationConfig::tiny();
+    cfg.executor = ExecutorKind::Distributed { ranks: 2 };
+    cfg.comm_plan = CommPlan::Dace;
+    let sim = Simulation::new(cfg).expect("valid config");
+    assert_eq!(sim.kernel().name(), "plan-dace");
+}
+
+#[test]
+fn distributed_is_bitwise_identical_to_serial_on_both_plans() {
+    for plan in [CommPlan::Omen, CommPlan::Dace] {
+        for ranks in [1, 2, 4] {
+            let serial = run_serial_plan_baseline(plan, ranks);
+            let dist = run_distributed(plan, ranks);
+            assert_eq!(serial.records.len(), dist.records.len());
+            for (s, d) in serial.records.iter().zip(&dist.records) {
+                assert_eq!(
+                    s.current.to_bits(),
+                    d.current.to_bits(),
+                    "{} ranks = {ranks}, iteration {}: serial {} vs distributed {}",
+                    plan.name(),
+                    s.iteration,
+                    s.current,
+                    d.current
+                );
+                assert_eq!(s.rel_change.to_bits(), d.rel_change.to_bits());
+            }
+            // Full spectral observables, not just the headline current.
+            for (a, (s, d)) in serial
+                .spectral
+                .el_density
+                .iter()
+                .zip(&dist.spectral.el_density)
+                .enumerate()
+            {
+                assert_eq!(s.to_bits(), d.to_bits(), "el_density[{a}]");
+            }
+            for (a, (s, d)) in serial
+                .spectral
+                .ph_energy_density
+                .iter()
+                .zip(&dist.spectral.ph_energy_density)
+                .enumerate()
+            {
+                assert_eq!(s.to_bits(), d.to_bits(), "ph_energy_density[{a}]");
+            }
+        }
+    }
+}
+
+#[test]
+fn distributed_matches_standard_serial_physics() {
+    // Against the ordinary (single-address-space) serial kernel the plans
+    // agree to cross-schedule reassociation tolerance, accumulated over
+    // the Born iterations.
+    let mut cfg = SimulationConfig::tiny();
+    cfg.max_iterations = 4;
+    cfg.executor = ExecutorKind::Serial;
+    let serial = Simulation::new(cfg)
+        .expect("valid config")
+        .run()
+        .expect("run succeeds");
+    let s = serial.current();
+    for plan in [CommPlan::Omen, CommPlan::Dace] {
+        let d = run_distributed(plan, 2).current();
+        assert!(
+            ((s - d) / s).abs() < 1e-8,
+            "{} distributed current {d} vs serial {s}",
+            plan.name()
+        );
+    }
 }
 
 #[test]
